@@ -1,0 +1,108 @@
+//! Arithmetic in the AES field GF(2^8) with the Rijndael reduction
+//! polynomial x^8 + x^4 + x^3 + x + 1 (0x11b).
+
+/// Multiplies two elements of GF(2^8) (Russian-peasant style).
+#[must_use]
+pub(crate) const fn mul(mut a: u8, mut b: u8) -> u8 {
+    let mut product: u8 = 0;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            product ^= a;
+        }
+        let carry = a & 0x80 != 0;
+        a <<= 1;
+        if carry {
+            a ^= 0x1b; // reduce by the low byte of 0x11b
+        }
+        b >>= 1;
+        i += 1;
+    }
+    product
+}
+
+/// Doubles an element (multiplication by `x`, a.k.a. `xtime` in FIPS-197).
+#[must_use]
+pub(crate) const fn xtime(a: u8) -> u8 {
+    mul(a, 2)
+}
+
+/// Multiplicative inverse in GF(2^8), with `inv(0) = 0` as required by the
+/// AES S-box construction.
+///
+/// Computed as `a^254` (Fermat: the multiplicative group has order 255).
+#[must_use]
+pub(crate) const fn inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^254 via square-and-multiply on the fixed exponent 0b1111_1110.
+    let mut result: u8 = 1;
+    let mut base = a;
+    let mut exp: u8 = 254;
+    while exp > 0 {
+        if exp & 1 != 0 {
+            result = mul(result, base);
+        }
+        base = mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_matches_fips_examples() {
+        // FIPS-197 §4.2: {57} · {83} = {c1}
+        assert_eq!(mul(0x57, 0x83), 0xc1);
+        // FIPS-197 §4.2.1: {57} · {13} = {fe}
+        assert_eq!(mul(0x57, 0x13), 0xfe);
+    }
+
+    #[test]
+    fn mul_identity_and_zero() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(1, a), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn mul_is_commutative() {
+        for a in (0..=255u8).step_by(7) {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), mul(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn xtime_matches_shift_xor() {
+        for a in 0..=255u8 {
+            let expected = if a & 0x80 != 0 { (a << 1) ^ 0x1b } else { a << 1 };
+            assert_eq!(xtime(a), expected);
+        }
+    }
+
+    #[test]
+    fn inverse_is_two_sided() {
+        assert_eq!(inv(0), 0);
+        for a in 1..=255u8 {
+            let ai = inv(a);
+            assert_eq!(mul(a, ai), 1, "a = {a:#04x}");
+            assert_eq!(mul(ai, a), 1, "a = {a:#04x}");
+        }
+    }
+
+    #[test]
+    fn inverse_is_involutive() {
+        for a in 0..=255u8 {
+            assert_eq!(inv(inv(a)), a);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The Rijndael key schedule (FIPS-197 §5.2).
+
+use crate::sbox;
+use crate::Block;
+use crate::KeySize;
+
+/// Maximum number of round keys (AES-256: 14 rounds + initial).
+const MAX_ROUND_KEYS: usize = 15;
+
+/// Round constants `Rcon[i] = x^{i-1}` in GF(2^8); enough for AES-128's 10
+/// applications (larger key sizes use fewer).
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// An expanded AES key: `rounds + 1` round keys of 16 bytes each.
+#[derive(Clone, PartialEq, Eq)]
+pub struct KeySchedule {
+    round_keys: [Block; MAX_ROUND_KEYS],
+    key_size: KeySize,
+}
+
+impl KeySchedule {
+    /// Expands `key` (whose length must match `size`) into round keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len() != size.key_len()`; [`crate::Aes::new`]
+    /// validates this before calling.
+    #[must_use]
+    pub fn expand(key: &[u8], size: KeySize) -> Self {
+        assert_eq!(key.len(), size.key_len(), "key length mismatch");
+
+        let nk = size.key_words();
+        let total_words = 4 * (size.rounds() + 1);
+        let mut words: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+
+        for chunk in key.chunks_exact(4) {
+            words.push([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+
+        for i in nk..total_words {
+            let mut temp = words[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1); // RotWord
+                for b in &mut temp {
+                    *b = sbox::sub(*b); // SubWord
+                }
+                temp[0] ^= RCON[i / nk - 1];
+            } else if nk > 6 && i % nk == 4 {
+                // AES-256 extra SubWord step.
+                for b in &mut temp {
+                    *b = sbox::sub(*b);
+                }
+            }
+            let prev = words[i - nk];
+            words.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+
+        let mut round_keys = [[0u8; 16]; MAX_ROUND_KEYS];
+        for (round, rk) in round_keys.iter_mut().enumerate().take(size.rounds() + 1) {
+            for col in 0..4 {
+                rk[4 * col..4 * col + 4].copy_from_slice(&words[4 * round + col]);
+            }
+        }
+
+        Self {
+            round_keys,
+            key_size: size,
+        }
+    }
+
+    /// The round key for round `round` (0 = initial whitening key).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round > self.rounds()`.
+    #[must_use]
+    pub fn round_key(&self, round: usize) -> &Block {
+        assert!(round <= self.rounds(), "round {round} out of range");
+        &self.round_keys[round]
+    }
+
+    /// Number of cipher rounds for this key size.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.key_size.rounds()
+    }
+
+    /// The key size this schedule was expanded from.
+    #[must_use]
+    pub fn key_size(&self) -> KeySize {
+        self.key_size
+    }
+}
+
+impl core::fmt::Debug for KeySchedule {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print key material.
+        f.debug_struct("KeySchedule")
+            .field("key_size", &self.key_size)
+            .field("round_keys", &"<redacted>")
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS-197 Appendix A.1 key expansion for AES-128.
+    #[test]
+    fn fips197_a1_aes128_expansion() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let ks = KeySchedule::expand(&key, KeySize::Aes128);
+        assert_eq!(ks.round_key(0), &key);
+        // w[4..8] from the appendix: a0fafe17 88542cb1 23a33939 2a6c7605
+        assert_eq!(
+            ks.round_key(1),
+            &[
+                0xa0, 0xfa, 0xfe, 0x17, 0x88, 0x54, 0x2c, 0xb1, 0x23, 0xa3, 0x39, 0x39, 0x2a,
+                0x6c, 0x76, 0x05
+            ]
+        );
+        // Last round key: w[40..44] = d014f9a8 c9ee2589 e13f0cc8 b6630ca6
+        assert_eq!(
+            ks.round_key(10),
+            &[
+                0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25, 0x89, 0xe1, 0x3f, 0x0c, 0xc8, 0xb6,
+                0x63, 0x0c, 0xa6
+            ]
+        );
+    }
+
+    /// FIPS-197 Appendix A.2 key expansion for AES-192 (spot-check).
+    #[test]
+    fn fips197_a2_aes192_expansion() {
+        let key = [
+            0x8e, 0x73, 0xb0, 0xf7, 0xda, 0x0e, 0x64, 0x52, 0xc8, 0x10, 0xf3, 0x2b, 0x80, 0x90,
+            0x79, 0xe5, 0x62, 0xf8, 0xea, 0xd2, 0x52, 0x2c, 0x6b, 0x7b,
+        ];
+        let ks = KeySchedule::expand(&key, KeySize::Aes192);
+        // w[6] = fe0c91f7, w[7] = 2402f5a5 (start of round key 1 second half)
+        let rk1 = ks.round_key(1);
+        assert_eq!(&rk1[8..12], &[0xfe, 0x0c, 0x91, 0xf7]);
+        assert_eq!(&rk1[12..16], &[0x24, 0x02, 0xf5, 0xa5]);
+    }
+
+    /// FIPS-197 Appendix A.3 key expansion for AES-256 (spot-check).
+    #[test]
+    fn fips197_a3_aes256_expansion() {
+        let key = [
+            0x60, 0x3d, 0xeb, 0x10, 0x15, 0xca, 0x71, 0xbe, 0x2b, 0x73, 0xae, 0xf0, 0x85, 0x7d,
+            0x77, 0x81, 0x1f, 0x35, 0x2c, 0x07, 0x3b, 0x61, 0x08, 0xd7, 0x2d, 0x98, 0x10, 0xa3,
+            0x09, 0x14, 0xdf, 0xf4,
+        ];
+        let ks = KeySchedule::expand(&key, KeySize::Aes256);
+        // w[8] = 9ba35411 (first word of round key 2)
+        assert_eq!(&ks.round_key(2)[..4], &[0x9b, 0xa3, 0x54, 0x11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "key length mismatch")]
+    fn mismatched_key_length_panics() {
+        let _ = KeySchedule::expand(&[0u8; 16], KeySize::Aes256);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_round_panics() {
+        let ks = KeySchedule::expand(&[0u8; 16], KeySize::Aes128);
+        let _ = ks.round_key(11);
+    }
+
+    #[test]
+    fn debug_redacts_key_material() {
+        let ks = KeySchedule::expand(&[0xaau8; 16], KeySize::Aes128);
+        let debug = format!("{ks:?}");
+        assert!(debug.contains("redacted"));
+        assert!(!debug.contains("aa"));
+    }
+}

@@ -1,0 +1,351 @@
+//! From-scratch implementation of the AES block cipher (FIPS-197).
+//!
+//! The DEUCE paper uses a hardware AES engine purely as a pseudo-random
+//! function: the memory controller feeds `(line address, counter)` through
+//! AES under a secret key to produce a One-Time Pad (OTP), which is XORed
+//! with the cache-line data. This crate provides that block cipher in
+//! portable Rust, with all three FIPS-197 key sizes.
+//!
+//! The implementation favours clarity and auditability over raw speed: it
+//! is a straightforward byte-oriented realization of the FIPS-197
+//! specification (S-box substitution, row shifts, GF(2^8) column mixing,
+//! and the Rijndael key schedule). It is validated against the complete
+//! FIPS-197 Appendix C known-answer vectors and round-trip property tests.
+//!
+//! This crate is a *simulation* component, not a hardened cryptographic
+//! library: no constant-time or side-channel guarantees are made.
+//!
+//! # Examples
+//!
+//! ```
+//! use deuce_aes::Aes128;
+//!
+//! let key = [0u8; 16];
+//! let cipher = Aes128::new(&key);
+//! let block = [0u8; 16];
+//! let ct = cipher.encrypt_block(&block);
+//! assert_eq!(cipher.decrypt_block(&ct), block);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gf;
+mod key_schedule;
+mod sbox;
+mod state;
+
+pub use key_schedule::KeySchedule;
+
+use state::State;
+
+/// Size of an AES block in bytes (fixed by FIPS-197).
+pub const BLOCK_SIZE: usize = 16;
+
+/// A 128-bit AES block.
+pub type Block = [u8; BLOCK_SIZE];
+
+/// Number of rounds for each AES key size.
+const ROUNDS_128: usize = 10;
+const ROUNDS_192: usize = 12;
+const ROUNDS_256: usize = 14;
+
+/// The AES key size, determining the number of rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeySize {
+    /// AES-128: 16-byte key, 10 rounds.
+    Aes128,
+    /// AES-192: 24-byte key, 12 rounds.
+    Aes192,
+    /// AES-256: 32-byte key, 14 rounds.
+    Aes256,
+}
+
+impl KeySize {
+    /// Key length in bytes.
+    #[must_use]
+    pub const fn key_len(self) -> usize {
+        match self {
+            KeySize::Aes128 => 16,
+            KeySize::Aes192 => 24,
+            KeySize::Aes256 => 32,
+        }
+    }
+
+    /// Number of cipher rounds (`Nr` in FIPS-197).
+    #[must_use]
+    pub const fn rounds(self) -> usize {
+        match self {
+            KeySize::Aes128 => ROUNDS_128,
+            KeySize::Aes192 => ROUNDS_192,
+            KeySize::Aes256 => ROUNDS_256,
+        }
+    }
+
+    /// Number of 32-bit words in the key (`Nk` in FIPS-197).
+    #[must_use]
+    pub const fn key_words(self) -> usize {
+        self.key_len() / 4
+    }
+}
+
+/// An AES cipher instance with an expanded key, generic over key size.
+///
+/// Construct via [`Aes::new`] (which validates the key length) or via the
+/// fixed-size convenience wrappers [`Aes128`], [`Aes192`], [`Aes256`].
+#[derive(Debug, Clone)]
+pub struct Aes {
+    schedule: KeySchedule,
+}
+
+impl Aes {
+    /// Creates a cipher from a key of any supported size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidKeyLength`] if `key` is not 16, 24 or 32 bytes.
+    pub fn new(key: &[u8]) -> Result<Self, InvalidKeyLength> {
+        let size = match key.len() {
+            16 => KeySize::Aes128,
+            24 => KeySize::Aes192,
+            32 => KeySize::Aes256,
+            other => return Err(InvalidKeyLength(other)),
+        };
+        Ok(Self {
+            schedule: KeySchedule::expand(key, size),
+        })
+    }
+
+    /// The key size of this cipher.
+    #[must_use]
+    pub fn key_size(&self) -> KeySize {
+        self.schedule.key_size()
+    }
+
+    /// Encrypts a single 16-byte block.
+    #[must_use]
+    pub fn encrypt_block(&self, plaintext: &Block) -> Block {
+        let mut state = State::from_bytes(plaintext);
+        let rounds = self.schedule.rounds();
+
+        state.add_round_key(self.schedule.round_key(0));
+        for round in 1..rounds {
+            state.sub_bytes();
+            state.shift_rows();
+            state.mix_columns();
+            state.add_round_key(self.schedule.round_key(round));
+        }
+        state.sub_bytes();
+        state.shift_rows();
+        state.add_round_key(self.schedule.round_key(rounds));
+
+        state.to_bytes()
+    }
+
+    /// Decrypts a single 16-byte block.
+    #[must_use]
+    pub fn decrypt_block(&self, ciphertext: &Block) -> Block {
+        let mut state = State::from_bytes(ciphertext);
+        let rounds = self.schedule.rounds();
+
+        state.add_round_key(self.schedule.round_key(rounds));
+        for round in (1..rounds).rev() {
+            state.inv_shift_rows();
+            state.inv_sub_bytes();
+            state.add_round_key(self.schedule.round_key(round));
+            state.inv_mix_columns();
+        }
+        state.inv_shift_rows();
+        state.inv_sub_bytes();
+        state.add_round_key(self.schedule.round_key(0));
+
+        state.to_bytes()
+    }
+}
+
+/// Error returned by [`Aes::new`] for keys that are not 16/24/32 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidKeyLength(pub usize);
+
+impl core::fmt::Display for InvalidKeyLength {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid AES key length {} (expected 16, 24 or 32)", self.0)
+    }
+}
+
+impl std::error::Error for InvalidKeyLength {}
+
+macro_rules! fixed_size_cipher {
+    ($(#[$doc:meta])* $name:ident, $len:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name(Aes);
+
+        impl $name {
+            /// Creates the cipher from a fixed-size key.
+            #[must_use]
+            pub fn new(key: &[u8; $len]) -> Self {
+                Self(Aes::new(key).expect("fixed-size key is always valid"))
+            }
+
+            /// Encrypts a single 16-byte block.
+            #[must_use]
+            pub fn encrypt_block(&self, plaintext: &Block) -> Block {
+                self.0.encrypt_block(plaintext)
+            }
+
+            /// Decrypts a single 16-byte block.
+            #[must_use]
+            pub fn decrypt_block(&self, ciphertext: &Block) -> Block {
+                self.0.decrypt_block(ciphertext)
+            }
+        }
+
+        impl From<$name> for Aes {
+            fn from(cipher: $name) -> Aes {
+                cipher.0
+            }
+        }
+
+        impl AsRef<Aes> for $name {
+            fn as_ref(&self) -> &Aes {
+                &self.0
+            }
+        }
+    };
+}
+
+fixed_size_cipher!(
+    /// AES with a 128-bit key (10 rounds).
+    ///
+    /// This is the variant the DEUCE memory controller uses for pad
+    /// generation.
+    Aes128,
+    16
+);
+fixed_size_cipher!(
+    /// AES with a 192-bit key (12 rounds).
+    Aes192,
+    24
+);
+fixed_size_cipher!(
+    /// AES with a 256-bit key (14 rounds).
+    Aes256,
+    32
+);
+
+impl PartialEq for Aes {
+    fn eq(&self, other: &Self) -> bool {
+        self.schedule == other.schedule
+    }
+}
+
+impl Eq for Aes {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS-197 Appendix B example: AES-128.
+    #[test]
+    fn fips197_appendix_b() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expected = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let cipher = Aes128::new(&key);
+        assert_eq!(cipher.encrypt_block(&pt), expected);
+        assert_eq!(cipher.decrypt_block(&expected), pt);
+    }
+
+    /// FIPS-197 Appendix C.1: AES-128 known-answer test.
+    #[test]
+    fn fips197_appendix_c1_aes128() {
+        let key: Vec<u8> = (0x00..=0x0f).collect();
+        let pt: Vec<u8> = (0x00..=0xff).step_by(0x11).collect();
+        let pt: Block = pt.try_into().unwrap();
+        let cipher = Aes::new(&key).unwrap();
+        let expected = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        assert_eq!(cipher.encrypt_block(&pt), expected);
+        assert_eq!(cipher.decrypt_block(&expected), pt);
+    }
+
+    /// FIPS-197 Appendix C.2: AES-192 known-answer test.
+    #[test]
+    fn fips197_appendix_c2_aes192() {
+        let key: Vec<u8> = (0x00..=0x17).collect();
+        let pt: Vec<u8> = (0x00..=0xff).step_by(0x11).collect();
+        let pt: Block = pt.try_into().unwrap();
+        let cipher = Aes::new(&key).unwrap();
+        let expected = [
+            0xdd, 0xa9, 0x7c, 0xa4, 0x86, 0x4c, 0xdf, 0xe0, 0x6e, 0xaf, 0x70, 0xa0, 0xec, 0x0d,
+            0x71, 0x91,
+        ];
+        assert_eq!(cipher.encrypt_block(&pt), expected);
+        assert_eq!(cipher.decrypt_block(&expected), pt);
+    }
+
+    /// FIPS-197 Appendix C.3: AES-256 known-answer test.
+    #[test]
+    fn fips197_appendix_c3_aes256() {
+        let key: Vec<u8> = (0x00..=0x1f).collect();
+        let pt: Vec<u8> = (0x00..=0xff).step_by(0x11).collect();
+        let pt: Block = pt.try_into().unwrap();
+        let cipher = Aes::new(&key).unwrap();
+        let expected = [
+            0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49,
+            0x60, 0x89,
+        ];
+        assert_eq!(cipher.encrypt_block(&pt), expected);
+        assert_eq!(cipher.decrypt_block(&expected), pt);
+    }
+
+    #[test]
+    fn invalid_key_length_is_rejected() {
+        for len in [0usize, 1, 15, 17, 23, 25, 31, 33, 64] {
+            let key = vec![0u8; len];
+            assert_eq!(Aes::new(&key), Err(InvalidKeyLength(len)) as Result<_, _>);
+        }
+    }
+
+    #[test]
+    fn key_size_accessors() {
+        assert_eq!(KeySize::Aes128.key_len(), 16);
+        assert_eq!(KeySize::Aes192.key_len(), 24);
+        assert_eq!(KeySize::Aes256.key_len(), 32);
+        assert_eq!(KeySize::Aes128.rounds(), 10);
+        assert_eq!(KeySize::Aes192.rounds(), 12);
+        assert_eq!(KeySize::Aes256.rounds(), 14);
+        assert_eq!(KeySize::Aes128.key_words(), 4);
+        assert_eq!(KeySize::Aes192.key_words(), 6);
+        assert_eq!(KeySize::Aes256.key_words(), 8);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = InvalidKeyLength(7);
+        assert!(err.to_string().contains('7'));
+    }
+
+    #[test]
+    fn differing_keys_give_differing_ciphertexts() {
+        let a = Aes128::new(&[0u8; 16]);
+        let mut key_b = [0u8; 16];
+        key_b[15] = 1;
+        let b = Aes128::new(&key_b);
+        let pt = [0x42u8; 16];
+        assert_ne!(a.encrypt_block(&pt), b.encrypt_block(&pt));
+    }
+}
+

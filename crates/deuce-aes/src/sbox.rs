@@ -1,0 +1,100 @@
+//! The AES S-box and its inverse, derived at compile time from the
+//! GF(2^8) inverse and the FIPS-197 affine transform rather than
+//! transcribed as literals (eliminating transcription errors).
+
+use crate::gf;
+
+/// The FIPS-197 affine transformation applied after inversion.
+const fn affine(x: u8) -> u8 {
+    x ^ x.rotate_left(1) ^ x.rotate_left(2) ^ x.rotate_left(3) ^ x.rotate_left(4) ^ 0x63
+}
+
+const fn build_sbox() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        table[i] = affine(gf::inv(i as u8));
+        i += 1;
+    }
+    table
+}
+
+const fn build_inv_sbox(sbox: &[u8; 256]) -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        table[sbox[i] as usize] = i as u8;
+        i += 1;
+    }
+    table
+}
+
+/// Forward S-box (`SubBytes`).
+pub(crate) const SBOX: [u8; 256] = build_sbox();
+
+/// Inverse S-box (`InvSubBytes`).
+pub(crate) const INV_SBOX: [u8; 256] = build_inv_sbox(&SBOX);
+
+/// Applies the forward S-box to a byte.
+#[inline]
+#[must_use]
+pub(crate) fn sub(byte: u8) -> u8 {
+    SBOX[byte as usize]
+}
+
+/// Applies the inverse S-box to a byte.
+#[inline]
+#[must_use]
+pub(crate) fn inv_sub(byte: u8) -> u8 {
+    INV_SBOX[byte as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Spot-check well-known S-box entries from the FIPS-197 table.
+    #[test]
+    fn known_entries() {
+        assert_eq!(sub(0x00), 0x63);
+        assert_eq!(sub(0x01), 0x7c);
+        assert_eq!(sub(0x53), 0xed);
+        assert_eq!(sub(0xff), 0x16);
+        assert_eq!(sub(0x10), 0xca);
+        assert_eq!(sub(0xc5), 0xa6);
+    }
+
+    #[test]
+    fn inverse_entries() {
+        assert_eq!(inv_sub(0x63), 0x00);
+        assert_eq!(inv_sub(0xed), 0x53);
+        assert_eq!(inv_sub(0x16), 0xff);
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let mut seen = [false; 256];
+        for i in 0..=255u8 {
+            let s = sub(i);
+            assert!(!seen[s as usize], "duplicate S-box output {s:#04x}");
+            seen[s as usize] = true;
+        }
+    }
+
+    #[test]
+    fn inv_sbox_inverts_sbox() {
+        for i in 0..=255u8 {
+            assert_eq!(inv_sub(sub(i)), i);
+            assert_eq!(sub(inv_sub(i)), i);
+        }
+    }
+
+    #[test]
+    fn sbox_has_no_fixed_points() {
+        for i in 0..=255u8 {
+            assert_ne!(sub(i), i);
+            // Nor "anti-fixed" points (complement fixed points).
+            assert_ne!(sub(i), !i);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! The 4×4 AES state and the four round transformations of FIPS-197 §5.
+
+use crate::gf;
+use crate::sbox;
+use crate::Block;
+
+/// The AES state: 16 bytes arranged column-major as in FIPS-197 §3.4
+/// (`state[r][c] = input[r + 4c]`). We store it flat in input order, so
+/// index `i` holds row `i % 4`, column `i / 4`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct State {
+    bytes: [u8; 16],
+}
+
+impl State {
+    #[must_use]
+    pub(crate) fn from_bytes(bytes: &Block) -> Self {
+        Self { bytes: *bytes }
+    }
+
+    #[must_use]
+    pub(crate) fn to_bytes(self) -> Block {
+        self.bytes
+    }
+
+    /// `AddRoundKey`: XOR the state with a 16-byte round key.
+    pub(crate) fn add_round_key(&mut self, round_key: &Block) {
+        for (b, k) in self.bytes.iter_mut().zip(round_key) {
+            *b ^= k;
+        }
+    }
+
+    /// `SubBytes`: apply the S-box to every byte.
+    pub(crate) fn sub_bytes(&mut self) {
+        for b in &mut self.bytes {
+            *b = sbox::sub(*b);
+        }
+    }
+
+    /// `InvSubBytes`.
+    pub(crate) fn inv_sub_bytes(&mut self) {
+        for b in &mut self.bytes {
+            *b = sbox::inv_sub(*b);
+        }
+    }
+
+    #[inline]
+    fn at(&self, row: usize, col: usize) -> u8 {
+        self.bytes[row + 4 * col]
+    }
+
+    #[inline]
+    fn set(&mut self, row: usize, col: usize, value: u8) {
+        self.bytes[row + 4 * col] = value;
+    }
+
+    /// `ShiftRows`: row `r` rotates left by `r` positions.
+    pub(crate) fn shift_rows(&mut self) {
+        let snapshot = *self;
+        for row in 1..4 {
+            for col in 0..4 {
+                self.set(row, col, snapshot.at(row, (col + row) % 4));
+            }
+        }
+    }
+
+    /// `InvShiftRows`: row `r` rotates right by `r` positions.
+    pub(crate) fn inv_shift_rows(&mut self) {
+        let snapshot = *self;
+        for row in 1..4 {
+            for col in 0..4 {
+                self.set(row, col, snapshot.at(row, (col + 4 - row) % 4));
+            }
+        }
+    }
+
+    /// `MixColumns`: each column is multiplied by the fixed polynomial
+    /// {03}x^3 + {01}x^2 + {01}x + {02} over GF(2^8).
+    pub(crate) fn mix_columns(&mut self) {
+        for col in 0..4 {
+            let a0 = self.at(0, col);
+            let a1 = self.at(1, col);
+            let a2 = self.at(2, col);
+            let a3 = self.at(3, col);
+            self.set(0, col, gf::xtime(a0) ^ gf::mul(a1, 3) ^ a2 ^ a3);
+            self.set(1, col, a0 ^ gf::xtime(a1) ^ gf::mul(a2, 3) ^ a3);
+            self.set(2, col, a0 ^ a1 ^ gf::xtime(a2) ^ gf::mul(a3, 3));
+            self.set(3, col, gf::mul(a0, 3) ^ a1 ^ a2 ^ gf::xtime(a3));
+        }
+    }
+
+    /// `InvMixColumns`: multiply by {0b}x^3 + {0d}x^2 + {09}x + {0e}.
+    pub(crate) fn inv_mix_columns(&mut self) {
+        for col in 0..4 {
+            let a0 = self.at(0, col);
+            let a1 = self.at(1, col);
+            let a2 = self.at(2, col);
+            let a3 = self.at(3, col);
+            self.set(
+                0,
+                col,
+                gf::mul(a0, 0x0e) ^ gf::mul(a1, 0x0b) ^ gf::mul(a2, 0x0d) ^ gf::mul(a3, 0x09),
+            );
+            self.set(
+                1,
+                col,
+                gf::mul(a0, 0x09) ^ gf::mul(a1, 0x0e) ^ gf::mul(a2, 0x0b) ^ gf::mul(a3, 0x0d),
+            );
+            self.set(
+                2,
+                col,
+                gf::mul(a0, 0x0d) ^ gf::mul(a1, 0x09) ^ gf::mul(a2, 0x0e) ^ gf::mul(a3, 0x0b),
+            );
+            self.set(
+                3,
+                col,
+                gf::mul(a0, 0x0b) ^ gf::mul(a1, 0x0d) ^ gf::mul(a2, 0x09) ^ gf::mul(a3, 0x0e),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> State {
+        let mut bytes = [0u8; 16];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(0x1f).wrapping_add(3);
+        }
+        State::from_bytes(&bytes)
+    }
+
+    #[test]
+    fn shift_rows_roundtrip() {
+        let original = sample_state();
+        let mut s = original;
+        s.shift_rows();
+        assert_ne!(s, original);
+        s.inv_shift_rows();
+        assert_eq!(s, original);
+    }
+
+    #[test]
+    fn shift_rows_leaves_row_zero_alone() {
+        let original = sample_state();
+        let mut s = original;
+        s.shift_rows();
+        for col in 0..4 {
+            assert_eq!(s.at(0, col), original.at(0, col));
+        }
+    }
+
+    #[test]
+    fn mix_columns_roundtrip() {
+        let original = sample_state();
+        let mut s = original;
+        s.mix_columns();
+        assert_ne!(s, original);
+        s.inv_mix_columns();
+        assert_eq!(s, original);
+    }
+
+    /// FIPS-197 §5.1.3 MixColumns example column: [db 13 53 45] -> [8e 4d a1 bc].
+    #[test]
+    fn mix_columns_known_column() {
+        let mut bytes = [0u8; 16];
+        bytes[0] = 0xdb;
+        bytes[1] = 0x13;
+        bytes[2] = 0x53;
+        bytes[3] = 0x45;
+        let mut s = State::from_bytes(&bytes);
+        s.mix_columns();
+        let out = s.to_bytes();
+        assert_eq!(&out[..4], &[0x8e, 0x4d, 0xa1, 0xbc]);
+    }
+
+    #[test]
+    fn sub_bytes_roundtrip() {
+        let original = sample_state();
+        let mut s = original;
+        s.sub_bytes();
+        s.inv_sub_bytes();
+        assert_eq!(s, original);
+    }
+
+    #[test]
+    fn add_round_key_is_involutive() {
+        let original = sample_state();
+        let key = [0xa5u8; 16];
+        let mut s = original;
+        s.add_round_key(&key);
+        s.add_round_key(&key);
+        assert_eq!(s, original);
+    }
+}

@@ -1,0 +1,156 @@
+//! Microbenchmarks of the simulator's hot paths: everything the
+//! per-write inner loop touches.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use deuce_aes::Aes128;
+use deuce_crypto::{EpochInterval, LineAddr, OtpEngine, SecretKey};
+use deuce_nvm::{write_slots, LineImage, MetaBits, SlotConfig};
+use deuce_schemes::{fnw_encode, DeuceLine, SchemeConfig, SchemeKind, SchemeLine, WordSize};
+use deuce_trace::{Benchmark, TraceConfig};
+use deuce_wear::StartGap;
+
+fn bench_aes_block(c: &mut Criterion) {
+    let cipher = Aes128::new(&[7u8; 16]);
+    let block = [0x42u8; 16];
+    let mut group = c.benchmark_group("aes");
+    group.throughput(Throughput::Bytes(16));
+    group.bench_function("encrypt_block", |b| {
+        b.iter(|| cipher.encrypt_block(black_box(&block)));
+    });
+    group.bench_function("decrypt_block", |b| {
+        let ct = cipher.encrypt_block(&block);
+        b.iter(|| cipher.decrypt_block(black_box(&ct)));
+    });
+    group.finish();
+}
+
+fn bench_pad_generation(c: &mut Criterion) {
+    let engine = OtpEngine::new(&SecretKey::from_seed(1));
+    let mut group = c.benchmark_group("otp");
+    group.throughput(Throughput::Bytes(64));
+    group.bench_function("line_pad", |b| {
+        let mut ctr = 0u64;
+        b.iter(|| {
+            ctr += 1;
+            engine.line_pad(black_box(LineAddr::new(0x1000)), black_box(ctr))
+        });
+    });
+    group.bench_function("block_pad", |b| {
+        let mut ctr = 0u64;
+        b.iter(|| {
+            ctr += 1;
+            engine.block_pad(black_box(LineAddr::new(0x1000)), 2, black_box(ctr))
+        });
+    });
+    group.finish();
+}
+
+fn bench_scheme_writes(c: &mut Criterion) {
+    let engine = OtpEngine::new(&SecretKey::from_seed(2));
+    let mut group = c.benchmark_group("scheme_write");
+    group.throughput(Throughput::Bytes(64));
+    for kind in [
+        SchemeKind::EncryptedDcw,
+        SchemeKind::EncryptedFnw,
+        SchemeKind::Deuce,
+        SchemeKind::DynDeuce,
+        SchemeKind::BleDeuce,
+    ] {
+        group.bench_function(kind.label(), |b| {
+            let mut line =
+                SchemeLine::new(&SchemeConfig::new(kind), &engine, LineAddr::new(1), &[0u8; 64]);
+            let mut data = [0u8; 64];
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                data[0] = i as u8;
+                data[17] = (i >> 8) as u8;
+                line.write(&engine, black_box(&data))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_deuce_read(c: &mut Criterion) {
+    let engine = OtpEngine::new(&SecretKey::from_seed(3));
+    let mut line = DeuceLine::new(
+        &engine,
+        LineAddr::new(4),
+        &[0u8; 64],
+        WordSize::Bytes2,
+        EpochInterval::DEFAULT,
+        28,
+    );
+    let mut data = [0u8; 64];
+    data[0] = 1;
+    let _ = line.write(&engine, &data);
+    c.bench_function("deuce_read_dual_pad", |b| {
+        b.iter(|| line.read(black_box(&engine)));
+    });
+}
+
+fn bench_fnw_encode(c: &mut Criterion) {
+    let logical: [u8; 64] = std::array::from_fn(|i| (i as u8).wrapping_mul(41));
+    let stored: [u8; 64] = std::array::from_fn(|i| (i as u8).wrapping_mul(97));
+    let flips = MetaBits::new(32);
+    c.bench_function("fnw_encode_line", |b| {
+        b.iter(|| fnw_encode(black_box(&logical), black_box(&stored), &flips, 16));
+    });
+}
+
+fn bench_write_slots(c: &mut Criterion) {
+    let old = LineImage::zeroed(32);
+    let mut new = old;
+    for i in 0..24 {
+        new.data_mut()[i * 2] = 0xFF;
+    }
+    c.bench_function("write_slot_packing", |b| {
+        b.iter(|| write_slots(black_box(&old), black_box(&new), SlotConfig::PAPER));
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_gen");
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("libq_1k_writes", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            TraceConfig::new(Benchmark::Libquantum)
+                .lines(64)
+                .writes(1_000)
+                .seed(seed)
+                .generate()
+        });
+    });
+    group.finish();
+}
+
+fn bench_start_gap(c: &mut Criterion) {
+    c.bench_function("start_gap_remap", |b| {
+        let mut sg = StartGap::new(4096, 100);
+        for _ in 0..12345 {
+            let _ = sg.record_write();
+        }
+        let mut line = 0usize;
+        b.iter(|| {
+            line = (line + 1) % 4096;
+            sg.remap(black_box(line))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_aes_block,
+    bench_pad_generation,
+    bench_scheme_writes,
+    bench_deuce_read,
+    bench_fnw_encode,
+    bench_write_slots,
+    bench_trace_generation,
+    bench_start_gap,
+);
+criterion_main!(benches);

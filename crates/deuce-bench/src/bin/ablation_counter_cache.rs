@@ -1,0 +1,55 @@
+//! Extension study: counter-storage traffic.
+//!
+//! The paper (like most counter-mode-memory work) assumes the per-line
+//! counters are available on chip; in a real controller they live in a
+//! small counter cache backed by memory (Bonsai-style). This ablation
+//! sweeps the cache size and reports its hit ratio and the slowdown the
+//! extra counter traffic costs DEUCE relative to the paper's ideal
+//! (counters always on chip).
+
+use deuce_bench::{geomean, mean, per_benchmark, run_config, tsv_header, tsv_row, ExperimentArgs};
+use deuce_schemes::SchemeKind;
+use deuce_sim::{CounterCacheConfig, SimConfig};
+
+fn main() {
+    let mut args = ExperimentArgs::parse();
+    if args.cores == 1 {
+        args.cores = 8;
+    }
+    let sizes: [Option<usize>; 4] = [Some(8), Some(64), Some(512), None];
+
+    tsv_header(&[
+        "counter_cache_lines",
+        "hit_ratio",
+        "slowdown_vs_ideal",
+    ]);
+    for entries in sizes {
+        let rows = per_benchmark(&args.benchmarks, |benchmark| {
+            let trace = args.trace(benchmark);
+            let ideal = run_config(SimConfig::new(SchemeKind::Deuce), &trace);
+            match entries {
+                None => (1.0, 1.0),
+                Some(entries) => {
+                    let config = SimConfig::new(SchemeKind::Deuce).with_counter_cache(
+                        CounterCacheConfig {
+                            entries,
+                            counters_per_line: 16,
+                        },
+                    );
+                    let result = run_config(config, &trace);
+                    (
+                        result.counter_cache_hit_ratio,
+                        result.exec_time_ns / ideal.exec_time_ns,
+                    )
+                }
+            }
+        });
+        let hits: Vec<f64> = rows.iter().map(|(_, r)| r.0).collect();
+        let slowdowns: Vec<f64> = rows.iter().map(|(_, r)| r.1).collect();
+        tsv_row(&[
+            entries.map_or("ideal(on-chip)".to_string(), |e| e.to_string()),
+            format!("{:.3}", mean(&hits)),
+            format!("{:.3}", geomean(&slowdowns)),
+        ]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Extension study: HWL over both vertical wear-leveling substrates.
+//!
+//! §5.3 presents HWL as an extension of Start-Gap *or* Security
+//! Refresh. This ablation runs DEUCE's Fig. 14 lifetime study over both
+//! substrates and both rotation functions, confirming the rotation —
+//! not the particular vertical leveler — is what unlocks the lifetime.
+
+use deuce_bench::{mean, per_benchmark, run_config, tsv_header, tsv_row, ExperimentArgs};
+use deuce_schemes::SchemeKind;
+use deuce_sim::{HwlMode, LifetimePolicy, SimConfig, VerticalWl, WearConfig};
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let policy = LifetimePolicy::VerticalLeveled;
+    let configs: [(&str, VerticalWl, Option<HwlMode>); 6] = [
+        ("StartGap, no HWL", VerticalWl::StartGap, None),
+        ("StartGap + algebraic", VerticalWl::StartGap, Some(HwlMode::Algebraic)),
+        ("StartGap + hashed", VerticalWl::StartGap, Some(HwlMode::Hashed)),
+        ("SecRefresh, no HWL", VerticalWl::SecurityRefresh, None),
+        ("SecRefresh + algebraic", VerticalWl::SecurityRefresh, Some(HwlMode::Algebraic)),
+        ("SecRefresh + hashed", VerticalWl::SecurityRefresh, Some(HwlMode::Hashed)),
+    ];
+
+    tsv_header(&["configuration", "lifetime_vs_encrypted"]);
+    for (name, vwl, hwl) in configs {
+        let ratios = per_benchmark(&args.benchmarks, |benchmark| {
+            let trace = args.trace(benchmark);
+            let lines = args.lines * usize::from(args.cores);
+            let baseline = run_config(
+                SimConfig::new(SchemeKind::EncryptedDcw)
+                    .with_wear(WearConfig::vertical_only(lines)),
+                &trace,
+            )
+            .lifetime(policy)
+            .expect("wear on");
+            let mut wear = match hwl {
+                Some(mode) => WearConfig::with_hwl(lines, mode).gap_interval(2),
+                None => WearConfig::vertical_only(lines).gap_interval(2),
+            };
+            wear = wear.vertical_leveler(vwl);
+            run_config(SimConfig::new(SchemeKind::Deuce).with_wear(wear), &trace)
+                .lifetime(policy)
+                .expect("wear on")
+                / baseline
+        });
+        let values: Vec<f64> = ratios.iter().map(|(_, r)| *r).collect();
+        tsv_row(&[name.to_string(), format!("{:.2}x", mean(&values))]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Extension study: how the global write-power budget (§6.1's current
+//! capacity, \[22\]) interacts with bit-flip reduction.
+//!
+//! The paper's evaluation assumes banks are the concurrency limit; this
+//! ablation sweeps a global budget of concurrently drivable write slots
+//! and shows DEUCE's advantage *grows* as power tightens — fewer flips
+//! per write means less current per write, so more writes fit in the
+//! budget.
+
+use deuce_bench::{geomean, per_benchmark, run_config, tsv_header, tsv_row, ExperimentArgs};
+use deuce_schemes::SchemeKind;
+use deuce_sim::SimConfig;
+
+fn main() {
+    let mut args = ExperimentArgs::parse();
+    if args.cores == 1 {
+        args.cores = 8;
+    }
+    // Budgets in concurrent write slots; `None` = unlimited (the
+    // paper's setup, where only banks limit writes).
+    let budgets: [Option<usize>; 4] = [Some(4), Some(8), Some(16), None];
+
+    tsv_header(&["power_budget_slots", "DEUCE_speedup", "NoEncrFNW_speedup"]);
+    for budget in budgets {
+        let rows = per_benchmark(&args.benchmarks, |benchmark| {
+            let trace = args.trace(benchmark);
+            let config = |kind: SchemeKind| {
+                let mut c = SimConfig::new(kind);
+                c.power_channels = budget;
+                c
+            };
+            let baseline = run_config(config(SchemeKind::EncryptedDcw), &trace);
+            [
+                run_config(config(SchemeKind::Deuce), &trace).speedup_over(&baseline),
+                run_config(config(SchemeKind::UnencryptedFnw), &trace).speedup_over(&baseline),
+            ]
+        });
+        let deuce: Vec<f64> = rows.iter().map(|(_, s)| s[0]).collect();
+        let plain: Vec<f64> = rows.iter().map(|(_, s)| s[1]).collect();
+        tsv_row(&[
+            budget.map_or("unlimited".to_string(), |b| b.to_string()),
+            format!("{:.2}", geomean(&deuce)),
+            format!("{:.2}", geomean(&plain)),
+        ]);
+    }
+}

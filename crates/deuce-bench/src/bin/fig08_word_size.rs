@@ -1,0 +1,45 @@
+//! Figure 8: DEUCE's sensitivity to the tracking granularity (word
+//! size), at the default epoch interval of 32.
+//!
+//! Paper's averages: 1 byte → 21.4%, 2 bytes → 23.7%, 4 bytes → 26.8%,
+//! 8 bytes → 32.2%.
+
+use deuce_bench::{mean, pct, per_benchmark, run_scheme, tsv_header, tsv_row, ExperimentArgs};
+use deuce_schemes::{SchemeConfig, SchemeKind, WordSize};
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let word_sizes = [
+        WordSize::Bytes1,
+        WordSize::Bytes2,
+        WordSize::Bytes4,
+        WordSize::Bytes8,
+    ];
+
+    let rows = per_benchmark(&args.benchmarks, |benchmark| {
+        let trace = args.trace(benchmark);
+        word_sizes.map(|ws| {
+            run_scheme(
+                SchemeConfig::new(SchemeKind::Deuce).with_word_size(ws),
+                &trace,
+            )
+            .flip_rate()
+        })
+    });
+
+    tsv_header(&["benchmark", "1B(64bit)", "2B(32bit)", "4B(16bit)", "8B(8bit)"]);
+    let mut columns = vec![Vec::new(); word_sizes.len()];
+    for (benchmark, rates) in &rows {
+        let mut cells = vec![benchmark.name().to_string()];
+        for (i, rate) in rates.iter().enumerate() {
+            columns[i].push(*rate);
+            cells.push(pct(*rate));
+        }
+        tsv_row(&cells);
+    }
+    let mut avg = vec!["AVERAGE".to_string()];
+    for column in &columns {
+        avg.push(pct(mean(column)));
+    }
+    tsv_row(&avg);
+}

@@ -1,0 +1,43 @@
+//! Figure 9: DEUCE's sensitivity to the epoch interval (word size 2B).
+//!
+//! Paper's averages: epoch 8 → 24.8%, epoch 16 → 24.0%, epoch 32 →
+//! 23.7%; wrf rises from epoch 8 to 16 and milc from 16 to 32 (their
+//! modified-word footprints drift, so long epochs keep re-encrypting
+//! words that stopped being written).
+
+use deuce_bench::{mean, pct, per_benchmark, run_scheme, tsv_header, tsv_row, ExperimentArgs};
+use deuce_crypto::EpochInterval;
+use deuce_schemes::{SchemeConfig, SchemeKind};
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let epochs = [8u64, 16, 32];
+
+    let rows = per_benchmark(&args.benchmarks, |benchmark| {
+        let trace = args.trace(benchmark);
+        epochs.map(|e| {
+            run_scheme(
+                SchemeConfig::new(SchemeKind::Deuce)
+                    .with_epoch(EpochInterval::new(e).expect("power of two")),
+                &trace,
+            )
+            .flip_rate()
+        })
+    });
+
+    tsv_header(&["benchmark", "epoch8", "epoch16", "epoch32"]);
+    let mut columns = vec![Vec::new(); epochs.len()];
+    for (benchmark, rates) in &rows {
+        let mut cells = vec![benchmark.name().to_string()];
+        for (i, rate) in rates.iter().enumerate() {
+            columns[i].push(*rate);
+            cells.push(pct(*rate));
+        }
+        tsv_row(&cells);
+    }
+    let mut avg = vec!["AVERAGE".to_string()];
+    for column in &columns {
+        avg.push(pct(mean(column)));
+    }
+    tsv_row(&avg);
+}

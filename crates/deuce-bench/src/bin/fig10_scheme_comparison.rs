@@ -1,0 +1,57 @@
+//! Figure 10 + Table 3: modified bits per write for every scheme, per
+//! benchmark, plus the storage-overhead table.
+//!
+//! Paper's averages: FNW(encr) 42.7%, BLE 33%, DEUCE 23.7%,
+//! DynDEUCE 22.0%, DEUCE+FNW 20.3%, FNW(no-encr) 10.5%.
+
+use deuce_bench::{mean, pct, per_benchmark, run_scheme, tsv_header, tsv_row, ExperimentArgs};
+use deuce_schemes::{SchemeConfig, SchemeKind};
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let schemes = [
+        SchemeKind::EncryptedFnw,
+        SchemeKind::Ble,
+        SchemeKind::Deuce,
+        SchemeKind::DynDeuce,
+        SchemeKind::DeuceFnw,
+        SchemeKind::UnencryptedFnw,
+    ];
+
+    let rows = per_benchmark(&args.benchmarks, |benchmark| {
+        let trace = args.trace(benchmark);
+        schemes
+            .map(|kind| run_scheme(SchemeConfig::new(kind), &trace).flip_rate())
+    });
+
+    let mut header = vec!["benchmark"];
+    header.extend(schemes.iter().map(|s| s.label()));
+    tsv_header(&header);
+
+    let mut columns = vec![Vec::new(); schemes.len()];
+    for (benchmark, rates) in &rows {
+        let mut cells = vec![benchmark.name().to_string()];
+        for (i, rate) in rates.iter().enumerate() {
+            columns[i].push(*rate);
+            cells.push(pct(*rate));
+        }
+        tsv_row(&cells);
+    }
+
+    let mut avg_cells = vec!["AVERAGE".to_string()];
+    for column in &columns {
+        avg_cells.push(pct(mean(column)));
+    }
+    tsv_row(&avg_cells);
+
+    println!();
+    println!("# Table 3: storage overhead (bits/line, excluding counters)");
+    tsv_header(&["scheme", "overhead_bits", "avg_flips"]);
+    for (i, kind) in schemes.iter().enumerate() {
+        tsv_row(&[
+            kind.label().to_string(),
+            SchemeConfig::new(*kind).metadata_bits().to_string(),
+            pct(mean(&columns[i])),
+        ]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 12: writes per bit position of a line, normalized to the
+//! average, for unencrypted memory (DCW).
+//!
+//! Paper: the most-written bit receives ~6× (mcf) to ~27× (libquantum)
+//! the average bit's writes — the non-uniformity Horizontal Wear
+//! Leveling exists to fix.
+
+use deuce_bench::{per_benchmark, run_config, tsv_header, tsv_row, ExperimentArgs};
+use deuce_sim::{SimConfig, WearConfig};
+use deuce_schemes::SchemeKind;
+
+fn main() {
+    let mut args = ExperimentArgs::parse();
+    if args.benchmarks.len() == 12 {
+        // The paper plots mcf and libquantum; default to those.
+        args.benchmarks = vec![
+            deuce_trace::Benchmark::Mcf,
+            deuce_trace::Benchmark::Libquantum,
+        ];
+    }
+
+    let rows = per_benchmark(&args.benchmarks, |benchmark| {
+        let trace = args.trace(benchmark);
+        let config = SimConfig::new(SchemeKind::UnencryptedDcw)
+            .with_wear(WearConfig::vertical_only(args.lines * usize::from(args.cores)));
+        let result = run_config(config, &trace);
+        let cells = result.cells.expect("wear tracking enabled");
+        let totals = cells.position_totals();
+        let avg = totals.iter().sum::<u64>() as f64 / totals.len() as f64;
+        let normalized: Vec<f64> = totals.iter().map(|&t| t as f64 / avg).collect();
+        normalized
+    });
+
+    tsv_header(&["benchmark", "bit_position", "writes_normalized_to_avg"]);
+    for (benchmark, normalized) in &rows {
+        for (pos, value) in normalized.iter().enumerate() {
+            tsv_row(&[
+                benchmark.name().to_string(),
+                pos.to_string(),
+                format!("{value:.3}"),
+            ]);
+        }
+    }
+
+    println!();
+    println!("# summary: max/avg per benchmark (paper: mcf ~6x, libq ~27x)");
+    for (benchmark, normalized) in &rows {
+        let max = normalized.iter().copied().fold(0.0, f64::max);
+        println!("# {}\tmax/avg = {max:.1}x", benchmark.name());
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 14: lifetime normalized to encrypted memory.
+//!
+//! Paper: FNW ≈ 1.14×, DEUCE ≈ 1.11× (bit-write reduction wasted on a
+//! skewed footprint), DEUCE+HWL ≈ 2× (reduction fully realized).
+//!
+//! Methodology notes (documented in DESIGN.md §3): all configurations
+//! run on top of vertical wear leveling (Start-Gap), so the binding wear
+//! is the hottest *bit position* aggregated across lines. The runs here
+//! use the hashed HWL variant with a small gap interval so the rotation
+//! cycles enough times at simulation scale; Start-Gap copy writes are
+//! excluded from wear (≤1% of writes at the paper's ψ=100).
+
+use deuce_bench::{mean, per_benchmark, run_config, tsv_header, tsv_row, ExperimentArgs};
+use deuce_sim::{HwlMode, LifetimePolicy, SimConfig, WearConfig};
+use deuce_schemes::SchemeKind;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let policy = LifetimePolicy::VerticalLeveled;
+
+    let rows = per_benchmark(&args.benchmarks, |benchmark| {
+        let trace = args.trace(benchmark);
+        let lines = args.lines * usize::from(args.cores);
+        let wear = WearConfig::vertical_only(lines);
+        let wear_hwl = WearConfig::with_hwl(lines, HwlMode::Hashed).gap_interval(2);
+
+        let lifetime = |kind: SchemeKind, wear: WearConfig| {
+            run_config(SimConfig::new(kind).with_wear(wear), &trace)
+                .lifetime(policy)
+                .expect("wear enabled")
+        };
+
+        let encrypted = lifetime(SchemeKind::EncryptedDcw, wear);
+        [
+            lifetime(SchemeKind::EncryptedFnw, wear) / encrypted,
+            lifetime(SchemeKind::Deuce, wear) / encrypted,
+            lifetime(SchemeKind::Deuce, wear_hwl) / encrypted,
+        ]
+    });
+
+    tsv_header(&["benchmark", "FNW", "DEUCE", "DEUCE-HWL"]);
+    let mut columns = vec![Vec::new(); 3];
+    for (benchmark, ratios) in &rows {
+        let mut cells = vec![benchmark.name().to_string()];
+        for (i, r) in ratios.iter().enumerate() {
+            columns[i].push(*r);
+            cells.push(format!("{r:.2}x"));
+        }
+        tsv_row(&cells);
+    }
+    let mut avg = vec!["AVERAGE".to_string()];
+    for column in &columns {
+        avg.push(format!("{:.2}x", mean(column)));
+    }
+    tsv_row(&avg);
+}

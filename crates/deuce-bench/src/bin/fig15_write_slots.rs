@@ -1,0 +1,39 @@
+//! Figure 15: average write slots consumed per write request.
+//!
+//! Paper: encrypted memory ~4 slots, encrypted+FNW barely better
+//! (fragmentation), DEUCE 2.64, unencrypted 1.92 — DEUCE bridges
+//! two-thirds of the gap.
+
+use deuce_bench::{mean, per_benchmark, run_scheme, tsv_header, tsv_row, ExperimentArgs};
+use deuce_schemes::{SchemeConfig, SchemeKind};
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let schemes = [
+        SchemeKind::EncryptedDcw,
+        SchemeKind::EncryptedFnw,
+        SchemeKind::Deuce,
+        SchemeKind::UnencryptedDcw,
+    ];
+
+    let rows = per_benchmark(&args.benchmarks, |benchmark| {
+        let trace = args.trace(benchmark);
+        schemes.map(|kind| run_scheme(SchemeConfig::new(kind), &trace).avg_slots_per_write())
+    });
+
+    tsv_header(&["benchmark", "Encrypted", "Encr-FNW", "DEUCE", "Unencrypted"]);
+    let mut columns = vec![Vec::new(); schemes.len()];
+    for (benchmark, slots) in &rows {
+        let mut cells = vec![benchmark.name().to_string()];
+        for (i, s) in slots.iter().enumerate() {
+            columns[i].push(*s);
+            cells.push(format!("{s:.2}"));
+        }
+        tsv_row(&cells);
+    }
+    let mut avg = vec!["AVERAGE".to_string()];
+    for column in &columns {
+        avg.push(format!("{:.2}", mean(column)));
+    }
+    tsv_row(&avg);
+}

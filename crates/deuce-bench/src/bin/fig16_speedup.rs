@@ -1,0 +1,44 @@
+//! Figure 16: system speedup relative to the encrypted-memory baseline,
+//! from the 8-core timing model.
+//!
+//! Paper: FNW-on-encrypted ~1.00 (slot fragmentation), DEUCE 1.27,
+//! FNW-without-encryption 1.40 — DEUCE bridges two-thirds of the gap.
+
+use deuce_bench::{geomean, per_benchmark, run_scheme, tsv_header, tsv_row, ExperimentArgs};
+use deuce_schemes::{SchemeConfig, SchemeKind};
+
+fn main() {
+    let mut args = ExperimentArgs::parse();
+    if args.cores == 1 {
+        args.cores = 8; // Table 1: 8 cores in rate mode.
+    }
+    let schemes = [
+        SchemeKind::EncryptedFnw,
+        SchemeKind::Deuce,
+        SchemeKind::UnencryptedFnw,
+    ];
+
+    let rows = per_benchmark(&args.benchmarks, |benchmark| {
+        let trace = args.trace(benchmark);
+        let baseline = run_scheme(SchemeConfig::new(SchemeKind::EncryptedDcw), &trace);
+        schemes.map(|kind| {
+            run_scheme(SchemeConfig::new(kind), &trace).speedup_over(&baseline)
+        })
+    });
+
+    tsv_header(&["benchmark", "Encr-FNW", "DEUCE", "NoEncr-FNW"]);
+    let mut columns = vec![Vec::new(); schemes.len()];
+    for (benchmark, speedups) in &rows {
+        let mut cells = vec![benchmark.name().to_string()];
+        for (i, s) in speedups.iter().enumerate() {
+            columns[i].push(*s);
+            cells.push(format!("{s:.2}"));
+        }
+        tsv_row(&cells);
+    }
+    let mut avg = vec!["GEOMEAN".to_string()];
+    for column in &columns {
+        avg.push(format!("{:.2}", geomean(column)));
+    }
+    tsv_row(&avg);
+}

@@ -1,0 +1,79 @@
+//! Figure 17: speedup, memory energy, memory power, and energy-delay
+//! product, normalized to the encrypted-memory baseline.
+//!
+//! Paper: FNW energy −11% / EDP −4%; DEUCE energy −43%, power −28%,
+//! EDP −43%; unencrypted FNW EDP −56%.
+
+use deuce_bench::{geomean, per_benchmark, run_scheme, tsv_header, tsv_row, ExperimentArgs};
+use deuce_schemes::{SchemeConfig, SchemeKind};
+
+fn main() {
+    let mut args = ExperimentArgs::parse();
+    if args.cores == 1 {
+        args.cores = 8;
+    }
+    let schemes = [
+        SchemeKind::EncryptedFnw,
+        SchemeKind::Deuce,
+        SchemeKind::UnencryptedFnw,
+    ];
+
+    // Fraction of total system energy the memory consumes at the
+    // encrypted baseline. The paper's "EDP" is a *system* energy-delay
+    // product; it does not state the CPU's power, so we model the rest
+    // of the system as a constant-power consumer sized so memory is 30%
+    // of baseline system energy (typical for a PCM main memory).
+    const MEMORY_ENERGY_SHARE: f64 = 0.30;
+
+    // Per benchmark: [speedup, energy, power, mem-EDP, system-EDP] per scheme.
+    let rows = per_benchmark(&args.benchmarks, |benchmark| {
+        let trace = args.trace(benchmark);
+        let baseline = run_scheme(SchemeConfig::new(SchemeKind::EncryptedDcw), &trace);
+        let cpu_mw =
+            baseline.power_mw() * (1.0 - MEMORY_ENERGY_SHARE) / MEMORY_ENERGY_SHARE;
+        let system_edp = |r: &deuce_sim::SimResult| {
+            (r.energy_pj() + cpu_mw * r.exec_time_ns) * r.exec_time_ns
+        };
+        let baseline_system_edp = system_edp(&baseline);
+        schemes.map(|kind| {
+            let r = run_scheme(SchemeConfig::new(kind), &trace);
+            [
+                r.speedup_over(&baseline),
+                r.energy_pj() / baseline.energy_pj(),
+                r.power_mw() / baseline.power_mw(),
+                r.edp() / baseline.edp(),
+                system_edp(&r) / baseline_system_edp,
+            ]
+        })
+    });
+
+    tsv_header(&["scheme", "metric", "geomean_vs_encrypted"]);
+    for (metric_idx, metric) in ["speedup", "energy", "power", "mem-EDP", "system-EDP"]
+        .iter()
+        .enumerate()
+    {
+        for (scheme_idx, kind) in schemes.iter().enumerate() {
+            let values: Vec<f64> = rows
+                .iter()
+                .map(|(_, per_scheme)| per_scheme[scheme_idx][metric_idx])
+                .collect();
+            tsv_row(&[
+                kind.label().to_string(),
+                (*metric).to_string(),
+                format!("{:.2}", geomean(&values)),
+            ]);
+        }
+    }
+
+    println!();
+    println!("# per-benchmark system-EDP ratios");
+    tsv_header(&["benchmark", "Encr-FNW", "DEUCE", "NoEncr-FNW"]);
+    for (benchmark, per_scheme) in &rows {
+        tsv_row(&[
+            benchmark.name().to_string(),
+            format!("{:.2}", per_scheme[0][4]),
+            format!("{:.2}", per_scheme[1][4]),
+            format!("{:.2}", per_scheme[2][4]),
+        ]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Table 2: workload characteristics — verifies the generated traces
+//! reproduce the paper's L4 MPKI / WBPKI, and reports the modification
+//! statistics the other experiments depend on.
+
+use deuce_bench::{per_benchmark, tsv_header, tsv_row, ExperimentArgs};
+use deuce_trace::TraceStats;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+
+    let rows = per_benchmark(&args.benchmarks, |benchmark| {
+        let trace = args.trace(benchmark);
+        (benchmark.profile(), TraceStats::compute(&trace))
+    });
+
+    tsv_header(&[
+        "benchmark",
+        "paper_mpki",
+        "measured_mpki",
+        "paper_wbpki",
+        "measured_wbpki",
+        "avg_words_modified",
+        "dirty_bits",
+    ]);
+    for (benchmark, (profile, stats)) in rows {
+        tsv_row(&[
+            benchmark.name().to_string(),
+            format!("{:.2}", profile.mpki),
+            format!("{:.2}", stats.mpki),
+            format!("{:.2}", profile.wbpki),
+            format!("{:.2}", stats.wbpki),
+            format!("{:.1}", stats.avg_words_modified),
+            format!("{:.1}%", stats.dirty_bit_fraction * 100.0),
+        ]);
+    }
+}

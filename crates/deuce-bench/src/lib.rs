@@ -1,0 +1,218 @@
+//! Shared experiment-harness support for the figure/table binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! DEUCE paper. They share a common command line:
+//!
+//! ```text
+//! --writes N        writebacks per benchmark (default 20000)
+//! --lines N         working-set lines per core (default 256)
+//! --seed N          RNG seed (default 42)
+//! --cores N         cores in rate mode (default 1; timing studies use 8)
+//! --benchmarks a,b  subset of benchmarks (default: all 12)
+//! ```
+//!
+//! Output is TSV so results can be diffed against EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::thread;
+
+use deuce_schemes::SchemeConfig;
+use deuce_sim::{SimConfig, SimResult, Simulator};
+use deuce_trace::{Benchmark, Trace, TraceConfig};
+
+/// Common experiment parameters parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct ExperimentArgs {
+    /// Writebacks generated per benchmark.
+    pub writes: usize,
+    /// Working-set lines per core.
+    pub lines: usize,
+    /// Trace RNG seed.
+    pub seed: u64,
+    /// Cores in rate mode.
+    pub cores: u8,
+    /// Benchmarks to run.
+    pub benchmarks: Vec<Benchmark>,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        Self {
+            writes: 20_000,
+            lines: 256,
+            seed: 42,
+            cores: 1,
+            benchmarks: Benchmark::ALL.to_vec(),
+        }
+    }
+}
+
+impl ExperimentArgs {
+    /// Parses `std::env::args`, exiting with a usage message on error.
+    #[must_use]
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed arguments (the binaries are experiment
+    /// drivers; a loud failure is preferable to a silently wrong run).
+    #[must_use]
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            let mut value = || {
+                iter.next()
+                    .unwrap_or_else(|| panic!("flag {flag} requires a value"))
+            };
+            match flag.as_str() {
+                "--writes" => out.writes = value().parse().expect("--writes: integer"),
+                "--lines" => out.lines = value().parse().expect("--lines: integer"),
+                "--seed" => out.seed = value().parse().expect("--seed: integer"),
+                "--cores" => out.cores = value().parse().expect("--cores: integer"),
+                "--benchmarks" => {
+                    out.benchmarks = value()
+                        .split(',')
+                        .map(|n| {
+                            Benchmark::from_name(n.trim())
+                                .unwrap_or_else(|e| panic!("--benchmarks: {e}"))
+                        })
+                        .collect();
+                }
+                other => panic!("unknown flag {other} (see crate docs for usage)"),
+            }
+        }
+        out
+    }
+
+    /// Builds the trace config for one benchmark.
+    #[must_use]
+    pub fn trace_config(&self, benchmark: Benchmark) -> TraceConfig {
+        TraceConfig::new(benchmark)
+            .lines(self.lines)
+            .writes(self.writes)
+            .cores(self.cores)
+            .seed(self.seed)
+    }
+
+    /// Generates the trace for one benchmark.
+    #[must_use]
+    pub fn trace(&self, benchmark: Benchmark) -> Trace {
+        self.trace_config(benchmark).generate()
+    }
+}
+
+/// Runs `f` for every benchmark in parallel, preserving order.
+pub fn per_benchmark<T, F>(benchmarks: &[Benchmark], f: F) -> Vec<(Benchmark, T)>
+where
+    T: Send,
+    F: Fn(Benchmark) -> T + Sync,
+{
+    let f = &f;
+    thread::scope(|scope| {
+        let handles: Vec<_> = benchmarks
+            .iter()
+            .map(|&b| scope.spawn(move || (b, f(b))))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+}
+
+/// Runs one (scheme, trace) simulation.
+#[must_use]
+pub fn run_scheme(scheme: SchemeConfig, trace: &Trace) -> SimResult {
+    Simulator::new(SimConfig::with_scheme(scheme)).run_trace(trace)
+}
+
+/// Runs one simulation with a full custom config.
+#[must_use]
+pub fn run_config(config: SimConfig, trace: &Trace) -> SimResult {
+    Simulator::new(config).run_trace(trace)
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Prints a TSV header row.
+pub fn tsv_header(columns: &[&str]) {
+    println!("{}", columns.join("\t"));
+}
+
+/// Prints a TSV data row.
+pub fn tsv_row(cells: &[String]) {
+    println!("{}", cells.join("\t"));
+}
+
+/// Geometric mean (the paper's speedup aggregation).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of empty slice");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults_and_overrides() {
+        let args = ExperimentArgs::parse_from(Vec::<String>::new());
+        assert_eq!(args.writes, 20_000);
+        assert_eq!(args.benchmarks.len(), 12);
+
+        let args = ExperimentArgs::parse_from(
+            ["--writes", "100", "--seed", "7", "--benchmarks", "libq,mcf"]
+                .iter()
+                .map(ToString::to_string),
+        );
+        assert_eq!(args.writes, 100);
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.benchmarks, vec![Benchmark::Libquantum, Benchmark::Mcf]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = ExperimentArgs::parse_from(["--bogus".to_string()]);
+    }
+
+    #[test]
+    fn means() {
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_benchmark_preserves_order() {
+        let out = per_benchmark(&Benchmark::ALL, |b| b.name().len());
+        assert_eq!(out.len(), 12);
+        for (i, (b, _)) in out.iter().enumerate() {
+            assert_eq!(*b, Benchmark::ALL[i]);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Load/store access streams feeding the hierarchy.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A read of the line.
+    Load,
+    /// A write of `len` bytes at `offset` within the line.
+    Store,
+}
+
+/// One memory access as issued by a core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Byte address.
+    pub addr: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// For stores: the bytes written (at `addr`, within one line).
+    pub store_bytes: Vec<u8>,
+    /// Issuing core's instruction count.
+    pub instr: u64,
+}
+
+/// A simple synthetic load/store generator with pointer-chasing-style
+/// locality: hot lines are revisited Zipf-style, stores update a few
+/// bytes at stable offsets — enough structure for the hierarchy to
+/// produce realistic coalesced writebacks.
+#[derive(Debug)]
+pub struct AccessStream {
+    rng: StdRng,
+    working_set_lines: u64,
+    store_fraction: f64,
+    instr_per_access: u64,
+    instr: u64,
+    zipf: Vec<f64>,
+}
+
+impl AccessStream {
+    /// Creates a stream over `working_set_lines` lines with the given
+    /// store fraction and mean instructions between accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `working_set_lines == 0` or `store_fraction` is not in
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn new(
+        working_set_lines: u64,
+        store_fraction: f64,
+        instr_per_access: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(working_set_lines > 0);
+        assert!((0.0..=1.0).contains(&store_fraction));
+        let mut weights: Vec<f64> = (0..working_set_lines.min(1 << 16))
+            .map(|r| 1.0 / ((r + 1) as f64).powf(0.7))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            working_set_lines,
+            store_fraction,
+            instr_per_access,
+            instr: 0,
+            zipf: weights,
+        }
+    }
+
+    fn pick_line(&mut self) -> u64 {
+        let u: f64 = self.rng.gen();
+        let rank = self.zipf.partition_point(|&c| c < u) as u64;
+        rank.min(self.working_set_lines - 1)
+    }
+
+    /// Generates the next access.
+    pub fn next_access(&mut self) -> MemAccess {
+        self.instr += self.instr_per_access;
+        let line = self.pick_line();
+        let offset = u64::from(self.rng.gen_range(0u8..32)) * 2;
+        let addr = line * 64 + offset;
+        if self.rng.gen_bool(self.store_fraction) {
+            let len = *[1usize, 2, 4, 8]
+                .get(self.rng.gen_range(0..4))
+                .expect("fixed table");
+            let len = len.min(64 - offset as usize);
+            let bytes = (0..len).map(|_| self.rng.gen()).collect();
+            MemAccess {
+                addr,
+                kind: AccessKind::Store,
+                store_bytes: bytes,
+                instr: self.instr,
+            }
+        } else {
+            MemAccess {
+                addr,
+                kind: AccessKind::Load,
+                store_bytes: Vec::new(),
+                instr: self.instr,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_respects_working_set_and_rate() {
+        let mut stream = AccessStream::new(100, 0.3, 4, 1);
+        let mut stores = 0u32;
+        for i in 1..=2000u64 {
+            let access = stream.next_access();
+            assert!(access.addr / 64 < 100);
+            assert_eq!(access.instr, i * 4);
+            if access.kind == AccessKind::Store {
+                stores += 1;
+                assert!(!access.store_bytes.is_empty());
+                assert!(access.addr % 64 + access.store_bytes.len() as u64 <= 64);
+            } else {
+                assert!(access.store_bytes.is_empty());
+            }
+        }
+        let fraction = f64::from(stores) / 2000.0;
+        assert!((fraction - 0.3).abs() < 0.05, "store fraction {fraction}");
+    }
+
+    #[test]
+    fn zipf_concentrates_on_hot_lines() {
+        let mut stream = AccessStream::new(1000, 0.0, 1, 2);
+        let mut hot = 0u32;
+        for _ in 0..2000 {
+            if stream.next_access().addr / 64 < 10 {
+                hot += 1;
+            }
+        }
+        assert!(hot > 200, "top-1% lines got {hot}/2000 accesses");
+    }
+}

@@ -1,0 +1,340 @@
+//! One level of set-associative, write-back, write-allocate cache.
+
+use deuce_crypto::{LineBytes, LINE_BYTES};
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless capacity is a positive multiple of
+    /// `ways * LINE_BYTES` and the resulting set count is a power of
+    /// two.
+    #[must_use]
+    pub fn new(size_bytes: usize, ways: usize) -> Self {
+        assert!(ways > 0, "need at least one way");
+        assert!(
+            size_bytes > 0 && size_bytes.is_multiple_of(ways * LINE_BYTES),
+            "capacity must be a multiple of ways * line size"
+        );
+        let sets = size_bytes / (ways * LINE_BYTES);
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        Self { size_bytes, ways }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * LINE_BYTES)
+    }
+}
+
+/// Traffic a cache level emits toward the next level on an access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemoryEvent {
+    /// A miss: the line must be fetched from below.
+    Fill {
+        /// Line address (byte address / 64).
+        line: u64,
+    },
+    /// A dirty eviction: the line's current contents go down.
+    Writeback {
+        /// Line address.
+        line: u64,
+        /// Full line contents at eviction.
+        data: LineBytes,
+    },
+}
+
+/// Hit/miss accounting for one level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty evictions emitted.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU stamp: larger = more recent.
+    stamp: u64,
+    data: LineBytes,
+}
+
+/// One cache level. Lines carry their data so dirty evictions emit the
+/// exact bytes, which is what the secure-memory schemes operate on.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    ways: Vec<Way>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        Self {
+            config,
+            ways: vec![
+                Way {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    stamp: 0,
+                    data: [0u8; LINE_BYTES],
+                };
+                config.sets() * config.ways
+            ],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured geometry.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line as usize) & (self.config.sets() - 1);
+        set * self.config.ways..(set + 1) * self.config.ways
+    }
+
+    fn lookup(&mut self, line: u64) -> Option<usize> {
+        let range = self.set_range(line);
+        self.ways[range]
+            .iter()
+            .position(|w| w.valid && w.tag == line)
+            .map(|offset| self.set_range(line).start + offset)
+    }
+
+    /// Handles an access to `line`; returns the victim way index and
+    /// any traffic generated below. `fill_data` provides the line
+    /// contents on a miss (from the level below).
+    fn access(
+        &mut self,
+        line: u64,
+        fill_data: impl FnOnce() -> LineBytes,
+        events: &mut Vec<MemoryEvent>,
+    ) -> usize {
+        self.clock += 1;
+        if let Some(index) = self.lookup(line) {
+            self.stats.hits += 1;
+            self.ways[index].stamp = self.clock;
+            return index;
+        }
+        self.stats.misses += 1;
+        // Victim: invalid way if any, else LRU.
+        let range = self.set_range(line);
+        let victim_offset = self.ways[range.clone()]
+            .iter()
+            .position(|w| !w.valid)
+            .unwrap_or_else(|| {
+                let (offset, _) = self.ways[range.clone()]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.stamp)
+                    .expect("non-empty set");
+                offset
+            });
+        let index = range.start + victim_offset;
+        if self.ways[index].valid && self.ways[index].dirty {
+            self.stats.writebacks += 1;
+            events.push(MemoryEvent::Writeback {
+                line: self.ways[index].tag,
+                data: self.ways[index].data,
+            });
+        }
+        events.push(MemoryEvent::Fill { line });
+        self.ways[index] = Way {
+            tag: line,
+            valid: true,
+            dirty: false,
+            stamp: self.clock,
+            data: fill_data(),
+        };
+        index
+    }
+
+    /// Performs a load of the line containing `addr`; returns generated
+    /// traffic. `fill` supplies line data on a miss.
+    pub fn load_with(&mut self, addr: u64, fill: impl FnOnce() -> LineBytes) -> Vec<MemoryEvent> {
+        let mut events = Vec::new();
+        let _ = self.access(addr / LINE_BYTES as u64, fill, &mut events);
+        events
+    }
+
+    /// Performs a store of `bytes` at `addr` (write-allocate), marking
+    /// the line dirty. Zero-filled on miss.
+    pub fn store(&mut self, addr: u64, offset_in_line: usize, bytes: &[u8]) -> Vec<MemoryEvent> {
+        assert!(
+            offset_in_line + bytes.len() <= LINE_BYTES,
+            "store must not cross a line boundary"
+        );
+        let mut events = Vec::new();
+        let index = self.access(addr / LINE_BYTES as u64, || [0u8; LINE_BYTES], &mut events);
+        self.ways[index].dirty = true;
+        self.ways[index].data[offset_in_line..offset_in_line + bytes.len()].copy_from_slice(bytes);
+        events
+    }
+
+    /// Stores a full line image (used when a higher level evicts into
+    /// this one).
+    pub fn install_dirty(&mut self, line: u64, data: LineBytes) -> Vec<MemoryEvent> {
+        let mut events = Vec::new();
+        let index = self.access(line, || data, &mut events);
+        self.ways[index].dirty = true;
+        self.ways[index].data = data;
+        events
+    }
+
+    /// Flushes every dirty line (power-down / end of simulation).
+    pub fn flush(&mut self) -> Vec<MemoryEvent> {
+        let mut events = Vec::new();
+        for way in &mut self.ways {
+            if way.valid && way.dirty {
+                self.stats.writebacks += 1;
+                events.push(MemoryEvent::Writeback {
+                    line: way.tag,
+                    data: way.data,
+                });
+                way.dirty = false;
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheConfig::new(4 * LINE_BYTES, 2)) // 2 sets x 2 ways
+    }
+
+    #[test]
+    fn config_validation() {
+        assert_eq!(CacheConfig::new(64 * 1024, 8).sets(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = CacheConfig::new(3 * 64 * 8, 8);
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        let events = c.load_with(0, || [1u8; 64]);
+        assert_eq!(events, vec![MemoryEvent::Fill { line: 0 }]);
+        let events = c.load_with(32, || unreachable!("hit must not fill"));
+        assert!(events.is_empty());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_carries_stored_bytes() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (2 sets). Fill ways with 0, 2.
+        let _ = c.store(0, 0, &[0xAA]);
+        let _ = c.load_with(2 * 64, || [2u8; 64]);
+        // Touch line 0 so line 2 becomes LRU... line 0 is older; re-touch:
+        let _ = c.load_with(0, || unreachable!());
+        // Miss on line 4 evicts line 2 (clean: no writeback).
+        let events = c.load_with(4 * 64, || [4u8; 64]);
+        assert_eq!(events, vec![MemoryEvent::Fill { line: 4 }]);
+        // Now line 0 is dirty; force its eviction: touch 4, miss on 2.
+        let _ = c.load_with(4 * 64, || unreachable!());
+        let events = c.load_with(2 * 64, || [2u8; 64]);
+        let mut expected_line0 = [0u8; 64];
+        expected_line0[0] = 0xAA;
+        assert_eq!(
+            events,
+            vec![
+                MemoryEvent::Writeback { line: 0, data: expected_line0 },
+                MemoryEvent::Fill { line: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn stores_coalesce_in_the_line() {
+        let mut c = tiny();
+        for i in 0..8usize {
+            let _ = c.store(0, i, &[i as u8]);
+        }
+        assert_eq!(c.stats().misses, 1, "one allocate, seven hits");
+        let events = c.flush();
+        match &events[0] {
+            MemoryEvent::Writeback { data, .. } => {
+                assert_eq!(&data[..8], &[0, 1, 2, 3, 4, 5, 6, 7]);
+            }
+            other => panic!("expected writeback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flush_clears_dirty_state() {
+        let mut c = tiny();
+        let _ = c.store(0, 0, &[1]);
+        assert_eq!(c.flush().len(), 1);
+        assert!(c.flush().is_empty(), "second flush has nothing to do");
+    }
+
+    #[test]
+    fn lru_prefers_least_recent() {
+        let mut c = tiny();
+        let _ = c.load_with(0, || [0u8; 64]); // set 0, way A
+        let _ = c.load_with(2 * 64, || [2u8; 64]); // set 0, way B
+        let _ = c.load_with(0, || unreachable!()); // touch line 0
+        let _ = c.load_with(4 * 64, || [4u8; 64]); // evicts line 2 (LRU)
+        assert!(c.load_with(0, || unreachable!()).is_empty(), "line 0 kept");
+    }
+
+    #[test]
+    #[should_panic(expected = "line boundary")]
+    fn cross_line_store_rejected() {
+        let mut c = tiny();
+        let _ = c.store(0, 60, &[0u8; 8]);
+    }
+}

@@ -1,0 +1,38 @@
+//! Set-associative write-back cache hierarchy.
+//!
+//! The paper's workloads reach PCM through an L1/L2/L3/L4 stack
+//! (Table 1): writes arrive at memory *only* as L4 evictions, which is
+//! why a writeback modifies few words — stores to the same line coalesce
+//! in the hierarchy for a long time before eviction.
+//!
+//! The headline experiments use `deuce-trace`'s calibrated generators
+//! (which model the *output* of such a hierarchy directly); this crate
+//! provides the *mechanistic* path — an actual cache stack that turns a
+//! load/store stream into memory-level reads and writebacks — used to
+//! validate that the generator's writeback statistics are the kind a
+//! real hierarchy produces, and available to users who have their own
+//! access traces.
+//!
+//! # Examples
+//!
+//! ```
+//! use deuce_cache::{Cache, CacheConfig, MemoryEvent};
+//!
+//! let mut l1 = Cache::new(CacheConfig::new(4 * 1024, 4));
+//! // A store misses (write-allocate), dirtying the line.
+//! let events = l1.store(0x40, 3, &[0xAB]);
+//! assert!(matches!(events[0], MemoryEvent::Fill { .. }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod cache;
+mod hierarchy;
+
+pub use access::{AccessKind, AccessStream, MemAccess};
+pub use cache::{Cache, CacheConfig, CacheStats, MemoryEvent};
+pub use hierarchy::{Hierarchy, HierarchyConfig};
+
+pub use deuce_crypto::{LineBytes, LINE_BYTES};

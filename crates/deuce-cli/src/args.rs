@@ -1,0 +1,369 @@
+//! Command-line parsing (hand-rolled; the workspace stays
+//! dependency-light).
+
+use deuce_crypto::EpochInterval;
+use deuce_schemes::{SchemeConfig, SchemeKind, WordSize};
+use deuce_trace::Benchmark;
+
+/// Usage text for `deuce help`.
+pub const USAGE: &str = "\
+deuce — write-efficient encryption simulator for non-volatile memories
+
+USAGE:
+  deuce gen     --benchmark <name> [--writes N] [--lines N] [--cores N]
+                [--seed N] -o <file>
+  deuce stats   <trace-file>
+  deuce run     (--trace <file> | --benchmark <name>) --scheme <scheme>
+                [--epoch N] [--word-bytes N] [--writes N] [--lines N]
+                [--cores N] [--seed N]
+  deuce compare (--trace <file> | --benchmark <name>) [generation flags]
+  deuce sweep   (--trace <file> | --benchmark <name>) [generation flags]
+  deuce help
+
+SCHEMES:
+  nodcw nofnw encdcw encfnw ble deuce dyndeuce deucefnw bledeuce addrpad
+
+BENCHMARKS:
+  libq mcf lbm Gems milc omnetpp leslie3d soplex zeusmp wrf xalanc astar";
+
+/// CLI failure modes.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing failed.
+    Usage(String),
+    /// Reading or writing a trace failed.
+    Trace(deuce_trace::TraceIoError),
+    /// Terminal or file output failed.
+    Io(std::io::Error),
+}
+
+impl core::fmt::Display for CliError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
+            CliError::Trace(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<deuce_trace::TraceIoError> for CliError {
+    fn from(e: deuce_trace::TraceIoError) -> Self {
+        CliError::Trace(e)
+    }
+}
+
+/// Workload-generation arguments shared by `gen`, `run`, and `compare`.
+#[derive(Debug, Clone)]
+pub struct GenArgs {
+    /// Benchmark profile to generate.
+    pub benchmark: Benchmark,
+    /// Total writebacks.
+    pub writes: usize,
+    /// Working-set lines per core.
+    pub lines: usize,
+    /// Cores in rate mode.
+    pub cores: u8,
+    /// RNG seed.
+    pub seed: u64,
+    /// Output path (for `gen`).
+    pub output: Option<String>,
+}
+
+impl Default for GenArgs {
+    fn default() -> Self {
+        Self {
+            benchmark: Benchmark::Libquantum,
+            writes: 20_000,
+            lines: 256,
+            cores: 1,
+            seed: 42,
+            output: None,
+        }
+    }
+}
+
+/// `deuce stats` arguments.
+#[derive(Debug, Clone)]
+pub struct StatsArgs {
+    /// Trace file to summarize.
+    pub trace_path: String,
+}
+
+/// `deuce run` / `deuce compare` arguments.
+#[derive(Debug, Clone)]
+pub struct RunArgs {
+    /// Load a saved trace instead of generating one.
+    pub trace_path: Option<String>,
+    /// Generation parameters (used when no trace file is given).
+    pub gen: GenArgs,
+    /// Scheme to simulate (`run` only; `compare` runs them all).
+    pub scheme: Option<SchemeConfig>,
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Generate a trace file.
+    Gen(GenArgs),
+    /// Summarize a trace file.
+    Stats(StatsArgs),
+    /// Simulate one scheme.
+    Run(RunArgs),
+    /// Simulate every scheme and tabulate.
+    Compare(RunArgs),
+    /// Sweep DEUCE's epoch interval and word size.
+    Sweep(RunArgs),
+    /// Print usage.
+    Help,
+}
+
+fn parse_scheme_kind(name: &str) -> Result<SchemeKind, CliError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "nodcw" | "unencrypted-dcw" => SchemeKind::UnencryptedDcw,
+        "nofnw" | "unencrypted-fnw" => SchemeKind::UnencryptedFnw,
+        "encdcw" | "encrypted" | "encrypted-dcw" => SchemeKind::EncryptedDcw,
+        "encfnw" | "encrypted-fnw" => SchemeKind::EncryptedFnw,
+        "ble" => SchemeKind::Ble,
+        "deuce" => SchemeKind::Deuce,
+        "dyndeuce" => SchemeKind::DynDeuce,
+        "deucefnw" | "deuce+fnw" => SchemeKind::DeuceFnw,
+        "bledeuce" | "ble+deuce" => SchemeKind::BleDeuce,
+        "addrpad" => SchemeKind::AddrPad,
+        other => return Err(CliError::Usage(format!("unknown scheme {other:?}"))),
+    })
+}
+
+impl Command {
+    /// Parses an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] on malformed input.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, CliError> {
+        let mut args = argv.into_iter();
+        let subcommand = match args.next() {
+            None => return Ok(Command::Help),
+            Some(s) => s,
+        };
+
+        let mut gen = GenArgs::default();
+        let mut benchmark_given = false;
+        let mut trace_path: Option<String> = None;
+        let mut positional: Option<String> = None;
+        let mut scheme_kind: Option<SchemeKind> = None;
+        let mut epoch: Option<u64> = None;
+        let mut word_bytes: Option<usize> = None;
+
+        while let Some(flag) = args.next() {
+            let mut value = |flag: &str| {
+                args.next()
+                    .ok_or_else(|| CliError::Usage(format!("flag {flag} requires a value")))
+            };
+            match flag.as_str() {
+                "--benchmark" => {
+                    let name = value("--benchmark")?;
+                    gen.benchmark = Benchmark::from_name(&name)
+                        .map_err(|e| CliError::Usage(e.to_string()))?;
+                    benchmark_given = true;
+                }
+                "--writes" => gen.writes = parse_number(&value("--writes")?, "--writes")?,
+                "--lines" => gen.lines = parse_number(&value("--lines")?, "--lines")?,
+                "--cores" => gen.cores = parse_number(&value("--cores")?, "--cores")?,
+                "--seed" => gen.seed = parse_number(&value("--seed")?, "--seed")?,
+                "-o" | "--output" => gen.output = Some(value("-o")?),
+                "--trace" => trace_path = Some(value("--trace")?),
+                "--scheme" => scheme_kind = Some(parse_scheme_kind(&value("--scheme")?)?),
+                "--epoch" => epoch = Some(parse_number(&value("--epoch")?, "--epoch")?),
+                "--word-bytes" => {
+                    word_bytes = Some(parse_number(&value("--word-bytes")?, "--word-bytes")?);
+                }
+                other if !other.starts_with('-') && positional.is_none() => {
+                    positional = Some(other.to_string());
+                }
+                other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+            }
+        }
+
+        let scheme = match scheme_kind {
+            None => None,
+            Some(kind) => {
+                let mut config = SchemeConfig::new(kind);
+                if let Some(e) = epoch {
+                    config.epoch = EpochInterval::new(e)
+                        .map_err(|e| CliError::Usage(e.to_string()))?;
+                }
+                if let Some(w) = word_bytes {
+                    config.word_size = WordSize::from_bytes(w)
+                        .map_err(|e| CliError::Usage(e.to_string()))?;
+                }
+                Some(config)
+            }
+        };
+
+        match subcommand.as_str() {
+            "gen" => {
+                if !benchmark_given {
+                    return Err(CliError::Usage("gen requires --benchmark".into()));
+                }
+                if gen.output.is_none() {
+                    return Err(CliError::Usage("gen requires -o <file>".into()));
+                }
+                Ok(Command::Gen(gen))
+            }
+            "stats" => {
+                let trace_path = positional.or(trace_path).ok_or_else(|| {
+                    CliError::Usage("stats requires a trace file".into())
+                })?;
+                Ok(Command::Stats(StatsArgs { trace_path }))
+            }
+            "run" => {
+                if trace_path.is_none() && !benchmark_given {
+                    return Err(CliError::Usage(
+                        "run requires --trace <file> or --benchmark <name>".into(),
+                    ));
+                }
+                let scheme = scheme.ok_or_else(|| {
+                    CliError::Usage("run requires --scheme <scheme>".into())
+                })?;
+                Ok(Command::Run(RunArgs {
+                    trace_path,
+                    gen,
+                    scheme: Some(scheme),
+                }))
+            }
+            "compare" | "sweep" => {
+                if trace_path.is_none() && !benchmark_given {
+                    return Err(CliError::Usage(format!(
+                        "{subcommand} requires --trace <file> or --benchmark <name>"
+                    )));
+                }
+                let run_args = RunArgs {
+                    trace_path,
+                    gen,
+                    scheme,
+                };
+                Ok(if subcommand == "compare" {
+                    Command::Compare(run_args)
+                } else {
+                    Command::Sweep(run_args)
+                })
+            }
+            "help" | "--help" | "-h" => Ok(Command::Help),
+            other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
+        }
+    }
+}
+
+fn parse_number<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, CliError> {
+    s.parse()
+        .map_err(|_| CliError::Usage(format!("{flag}: invalid number {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Result<Command, CliError> {
+        Command::parse(argv.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert!(matches!(parse(&[]), Ok(Command::Help)));
+        assert!(matches!(parse(&["help"]), Ok(Command::Help)));
+    }
+
+    #[test]
+    fn gen_requires_benchmark_and_output() {
+        assert!(matches!(parse(&["gen"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&["gen", "--benchmark", "libq"]),
+            Err(CliError::Usage(_))
+        ));
+        let cmd = parse(&["gen", "--benchmark", "libq", "-o", "t.bin", "--writes", "5"]).unwrap();
+        match cmd {
+            Command::Gen(g) => {
+                assert_eq!(g.benchmark, Benchmark::Libquantum);
+                assert_eq!(g.writes, 5);
+                assert_eq!(g.output.as_deref(), Some("t.bin"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_parses_scheme_and_overrides() {
+        let cmd = parse(&[
+            "run",
+            "--benchmark",
+            "mcf",
+            "--scheme",
+            "deuce",
+            "--epoch",
+            "16",
+            "--word-bytes",
+            "4",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run(r) => {
+                let scheme = r.scheme.unwrap();
+                assert_eq!(scheme.kind, SchemeKind::Deuce);
+                assert_eq!(scheme.epoch.writes(), 16);
+                assert_eq!(scheme.word_size, WordSize::Bytes4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scheme_aliases() {
+        for (alias, kind) in [
+            ("deuce", SchemeKind::Deuce),
+            ("DynDeuce", SchemeKind::DynDeuce),
+            ("ble+deuce", SchemeKind::BleDeuce),
+            ("encrypted", SchemeKind::EncryptedDcw),
+            ("addrpad", SchemeKind::AddrPad),
+        ] {
+            assert_eq!(parse_scheme_kind(alias).unwrap(), kind);
+        }
+        assert!(parse_scheme_kind("nope").is_err());
+    }
+
+    #[test]
+    fn invalid_numbers_are_usage_errors() {
+        assert!(matches!(
+            parse(&["run", "--benchmark", "mcf", "--scheme", "deuce", "--writes", "abc"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["run", "--benchmark", "mcf", "--scheme", "deuce", "--epoch", "7"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn stats_takes_positional_path() {
+        match parse(&["stats", "trace.bin"]).unwrap() {
+            Command::Stats(s) => assert_eq!(s.trace_path, "trace.bin"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compare_without_scheme_is_fine() {
+        assert!(matches!(
+            parse(&["compare", "--benchmark", "gems"]),
+            Ok(Command::Compare(_))
+        ));
+    }
+}

@@ -1,0 +1,257 @@
+//! Command implementations.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+
+use deuce_schemes::{SchemeConfig, SchemeKind};
+use deuce_sim::{SimConfig, SimResult, Simulator};
+use deuce_trace::{read_trace, write_trace, Trace, TraceConfig, TraceStats};
+
+use crate::args::{CliError, GenArgs, RunArgs, StatsArgs};
+
+fn generate(gen: &GenArgs) -> Trace {
+    TraceConfig::new(gen.benchmark)
+        .lines(gen.lines)
+        .writes(gen.writes)
+        .cores(gen.cores)
+        .seed(gen.seed)
+        .generate()
+}
+
+fn load_or_generate(args: &RunArgs) -> Result<Trace, CliError> {
+    match &args.trace_path {
+        Some(path) => Ok(read_trace(BufReader::new(File::open(path)?))?),
+        None => Ok(generate(&args.gen)),
+    }
+}
+
+/// `deuce gen`: generate a trace and write it to disk.
+///
+/// # Errors
+///
+/// Returns I/O errors from writing the file.
+pub fn gen<W: Write>(args: &GenArgs, out: &mut W) -> Result<(), CliError> {
+    let trace = generate(args);
+    let path = args.output.as_deref().expect("parser enforces -o");
+    write_trace(BufWriter::new(File::create(path)?), &trace)?;
+    writeln!(
+        out,
+        "wrote {} events ({} writes, {} reads) to {path}",
+        trace.len(),
+        trace.write_count(),
+        trace.read_count(),
+    )?;
+    Ok(())
+}
+
+/// `deuce stats`: summarize a saved trace.
+///
+/// # Errors
+///
+/// Returns I/O or trace-format errors.
+pub fn stats<W: Write>(args: &StatsArgs, out: &mut W) -> Result<(), CliError> {
+    let trace = read_trace(BufReader::new(File::open(&args.trace_path)?))?;
+    let stats = TraceStats::compute(&trace);
+    writeln!(out, "events\t{}", trace.len())?;
+    writeln!(out, "writes\t{}", trace.write_count())?;
+    writeln!(out, "reads\t{}", trace.read_count())?;
+    writeln!(out, "mpki\t{:.2}", stats.mpki)?;
+    writeln!(out, "wbpki\t{:.2}", stats.wbpki)?;
+    writeln!(out, "avg_words_modified\t{:.2}", stats.avg_words_modified)?;
+    writeln!(out, "avg_bits_modified\t{:.1}", stats.avg_bits_modified)?;
+    writeln!(
+        out,
+        "dirty_bit_fraction\t{:.1}%",
+        stats.dirty_bit_fraction * 100.0
+    )?;
+    writeln!(out, "unique_lines\t{}", stats.unique_lines)?;
+    Ok(())
+}
+
+fn report<W: Write>(result: &SimResult, out: &mut W) -> Result<(), CliError> {
+    writeln!(out, "writes\t{}", result.writes)?;
+    writeln!(out, "reads\t{}", result.reads)?;
+    writeln!(out, "flips_per_write\t{:.1}", result.avg_flips_per_write())?;
+    writeln!(out, "flip_rate\t{:.1}%", result.flip_rate() * 100.0)?;
+    writeln!(out, "slots_per_write\t{:.2}", result.avg_slots_per_write())?;
+    writeln!(out, "exec_time_us\t{:.1}", result.exec_time_ns / 1000.0)?;
+    writeln!(out, "energy_uj\t{:.2}", result.energy_pj() / 1e6)?;
+    writeln!(out, "power_mw\t{:.1}", result.power_mw())?;
+    writeln!(out, "metadata_bits_per_line\t{}", result.metadata_bits)?;
+    Ok(())
+}
+
+/// `deuce run`: simulate one scheme over the trace.
+///
+/// # Errors
+///
+/// Returns I/O or trace-format errors.
+pub fn run<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
+    let trace = load_or_generate(args)?;
+    let scheme = args.scheme.expect("parser enforces --scheme for run");
+    let result = Simulator::new(SimConfig::with_scheme(scheme)).run_trace(&trace);
+    writeln!(out, "scheme\t{}", scheme.kind)?;
+    report(&result, out)?;
+    Ok(())
+}
+
+/// `deuce compare`: simulate every scheme over the same trace and
+/// tabulate the headline metrics.
+///
+/// # Errors
+///
+/// Returns I/O or trace-format errors.
+pub fn compare<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
+    let trace = load_or_generate(args)?;
+    writeln!(out, "scheme\tflip_rate\tslots/write\texec_time_us\tmeta_bits")?;
+    let mut results: Vec<(SchemeKind, SimResult)> = Vec::new();
+    for kind in SchemeKind::ALL {
+        let result =
+            Simulator::new(SimConfig::with_scheme(SchemeConfig::new(kind))).run_trace(&trace);
+        results.push((kind, result));
+    }
+    for (kind, result) in &results {
+        writeln!(
+            out,
+            "{kind}\t{:.1}%\t{:.2}\t{:.1}\t{}",
+            result.flip_rate() * 100.0,
+            result.avg_slots_per_write(),
+            result.exec_time_ns / 1000.0,
+            result.metadata_bits,
+        )?;
+    }
+    Ok(())
+}
+
+/// `deuce sweep`: the §4.2 design-space sweep (word size × epoch) over
+/// one trace.
+///
+/// # Errors
+///
+/// Returns I/O or trace-format errors.
+pub fn sweep<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
+    use deuce_crypto::EpochInterval;
+    use deuce_schemes::WordSize;
+
+    let trace = load_or_generate(args)?;
+    writeln!(out, "word_bytes\tepoch\tflip_rate\tslots_per_write\tmeta_bits")?;
+    for word_size in [WordSize::Bytes1, WordSize::Bytes2, WordSize::Bytes4, WordSize::Bytes8] {
+        for epoch in [8u64, 16, 32, 64] {
+            let scheme = SchemeConfig::new(SchemeKind::Deuce)
+                .with_word_size(word_size)
+                .with_epoch(EpochInterval::new(epoch).expect("power of two"));
+            let result = Simulator::new(SimConfig::with_scheme(scheme)).run_trace(&trace);
+            writeln!(
+                out,
+                "{}\t{}\t{:.1}%\t{:.2}\t{}",
+                word_size.bytes(),
+                epoch,
+                result.flip_rate() * 100.0,
+                result.avg_slots_per_write(),
+                scheme.metadata_bits(),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deuce_trace::Benchmark;
+
+    #[test]
+    fn sweep_covers_the_grid() {
+        let args = RunArgs {
+            trace_path: None,
+            gen: small_gen(),
+            scheme: None,
+        };
+        let mut out = Vec::new();
+        sweep(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 17, "header + 16 grid rows");
+        assert!(text.contains("8\t64\t"));
+    }
+
+    fn small_gen() -> GenArgs {
+        GenArgs {
+            benchmark: Benchmark::Mcf,
+            writes: 300,
+            lines: 32,
+            cores: 1,
+            seed: 5,
+            output: None,
+        }
+    }
+
+    #[test]
+    fn run_reports_metrics() {
+        let args = RunArgs {
+            trace_path: None,
+            gen: small_gen(),
+            scheme: Some(SchemeConfig::new(SchemeKind::Deuce)),
+        };
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("scheme\tDEUCE"));
+        assert!(text.contains("flip_rate"));
+    }
+
+    #[test]
+    fn compare_lists_all_schemes() {
+        let args = RunArgs {
+            trace_path: None,
+            gen: small_gen(),
+            scheme: None,
+        };
+        let mut out = Vec::new();
+        compare(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        for kind in SchemeKind::ALL {
+            assert!(text.contains(kind.label()), "missing {kind}");
+        }
+    }
+
+    #[test]
+    fn gen_stats_roundtrip_through_disk() {
+        let dir = std::env::temp_dir().join("deuce-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        let path_str = path.to_str().unwrap().to_string();
+
+        let mut gen_args = small_gen();
+        gen_args.output = Some(path_str.clone());
+        let mut out = Vec::new();
+        gen(&gen_args, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("300 writes"));
+
+        let mut out = Vec::new();
+        stats(&StatsArgs { trace_path: path_str.clone() }, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("writes\t300"));
+
+        // And a run over the saved trace.
+        let args = RunArgs {
+            trace_path: Some(path_str),
+            gen: small_gen(),
+            scheme: Some(SchemeConfig::new(SchemeKind::EncryptedDcw)),
+        };
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("flip_rate\t50.0%"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let err = stats(
+            &StatsArgs { trace_path: "/nonexistent/definitely.trace".into() },
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+}

@@ -1,0 +1,45 @@
+//! Library backing the `deuce` command-line tool.
+//!
+//! All command logic lives here (unit-testable); `main.rs` is a thin
+//! shell. The tool drives the full simulator stack from the terminal:
+//!
+//! ```text
+//! deuce gen --benchmark libq --writes 20000 -o libq.trace
+//! deuce stats libq.trace
+//! deuce run --trace libq.trace --scheme deuce
+//! deuce run --benchmark mcf --scheme dyndeuce --epoch 16
+//! deuce compare --benchmark gems
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{CliError, Command, GenArgs, RunArgs, StatsArgs};
+pub use commands::{compare, gen, run, stats, sweep};
+
+/// Entry point shared by the binary and tests.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for malformed arguments or failing I/O; the
+/// binary prints it and exits non-zero.
+pub fn main_with_args<I, W>(argv: I, out: &mut W) -> Result<(), CliError>
+where
+    I: IntoIterator<Item = String>,
+    W: std::io::Write,
+{
+    match Command::parse(argv)? {
+        Command::Gen(args) => gen(&args, out),
+        Command::Stats(args) => stats(&args, out),
+        Command::Run(args) => run(&args, out),
+        Command::Compare(args) => compare(&args, out),
+        Command::Sweep(args) => sweep(&args, out),
+        Command::Help => {
+            writeln!(out, "{}", args::USAGE)?;
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! The `deuce` command-line tool.
+
+fn main() {
+    let mut stdout = std::io::stdout().lock();
+    if let Err(err) = deuce_cli::main_with_args(std::env::args().skip(1), &mut stdout) {
+        eprintln!("deuce: {err}");
+        std::process::exit(1);
+    }
+}

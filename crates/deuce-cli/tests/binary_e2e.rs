@@ -1,0 +1,68 @@
+//! End-to-end tests of the compiled `deuce` binary.
+
+use std::process::Command;
+
+fn deuce() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_deuce"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let output = deuce().arg("help").output().expect("binary runs");
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("deuce run"));
+}
+
+#[test]
+fn no_args_prints_usage_and_succeeds() {
+    let output = deuce().output().expect("binary runs");
+    assert!(output.status.success());
+    assert!(String::from_utf8(output.stdout).unwrap().contains("USAGE"));
+}
+
+#[test]
+fn bad_flag_fails_with_message() {
+    let output = deuce().args(["run", "--bogus"]).output().expect("binary runs");
+    assert!(!output.status.success());
+    let err = String::from_utf8(output.stderr).unwrap();
+    assert!(err.contains("bogus"));
+}
+
+#[test]
+fn full_pipeline_through_the_binary() {
+    let dir = std::env::temp_dir().join("deuce-bin-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("pipeline.trace");
+    let trace_str = trace.to_str().unwrap();
+
+    let output = deuce()
+        .args([
+            "gen", "--benchmark", "libq", "--writes", "400", "--lines", "32", "-o", trace_str,
+        ])
+        .output()
+        .expect("gen runs");
+    assert!(output.status.success(), "{:?}", output);
+
+    let output = deuce().args(["stats", trace_str]).output().expect("stats runs");
+    assert!(output.status.success());
+    assert!(String::from_utf8(output.stdout).unwrap().contains("writes\t400"));
+
+    let output = deuce()
+        .args(["run", "--trace", trace_str, "--scheme", "deuce"])
+        .output()
+        .expect("run runs");
+    assert!(output.status.success());
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("scheme\tDEUCE"), "{text}");
+
+    let output = deuce()
+        .args(["sweep", "--trace", trace_str])
+        .output()
+        .expect("sweep runs");
+    assert!(output.status.success());
+    assert_eq!(String::from_utf8(output.stdout).unwrap().lines().count(), 17);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

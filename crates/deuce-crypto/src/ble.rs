@@ -1,0 +1,127 @@
+//! Per-block counters for Block-Level Encryption (BLE, §7.1).
+
+/// Bytes per AES block (the minimum AES granularity the paper cites when
+/// motivating word-level DEUCE over block-level BLE).
+pub const BLOCK_BYTES: usize = 16;
+
+/// AES blocks per 64-byte line.
+pub const BLOCKS_PER_LINE: usize = crate::LINE_BYTES / BLOCK_BYTES;
+
+/// The four per-block write counters a BLE line carries.
+///
+/// BLE re-encrypts only the 16-byte blocks whose plaintext changed,
+/// incrementing just those blocks' counters — the remaining blocks keep
+/// their stored ciphertext. DEUCE is orthogonal and can run *inside* each
+/// block (BLE+DEUCE, Fig. 18).
+///
+/// # Examples
+///
+/// ```
+/// use deuce_crypto::BlockCounters;
+///
+/// let mut counters = BlockCounters::new(28);
+/// counters.increment(2);
+/// assert_eq!(counters.value(2), 1);
+/// assert_eq!(counters.value(0), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockCounters {
+    values: [u64; BLOCKS_PER_LINE],
+    width_bits: u32,
+}
+
+impl BlockCounters {
+    /// Creates zeroed block counters of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bits` is 0 or greater than 48.
+    #[must_use]
+    pub fn new(width_bits: u32) -> Self {
+        assert!(
+            (1..=48).contains(&width_bits),
+            "counter width {width_bits} out of range 1..=48"
+        );
+        Self {
+            values: [0; BLOCKS_PER_LINE],
+            width_bits,
+        }
+    }
+
+    /// Counter value for a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= BLOCKS_PER_LINE`.
+    #[must_use]
+    pub fn value(&self, block: usize) -> u64 {
+        self.values[block]
+    }
+
+    /// Increments the counter of one block, returning `true` on wrap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= BLOCKS_PER_LINE`.
+    pub fn increment(&mut self, block: usize) -> bool {
+        let mask = (1u64 << self.width_bits) - 1;
+        self.values[block] = (self.values[block] + 1) & mask;
+        self.values[block] == 0
+    }
+
+    /// Total storage bits for the per-block counters.
+    #[must_use]
+    pub fn storage_bits(&self) -> u32 {
+        self.width_bits * BLOCKS_PER_LINE as u32
+    }
+
+    /// Iterates over the counter values in block order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.values.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_are_independent() {
+        let mut c = BlockCounters::new(28);
+        c.increment(1);
+        c.increment(1);
+        c.increment(3);
+        assert_eq!(c.value(0), 0);
+        assert_eq!(c.value(1), 2);
+        assert_eq!(c.value(2), 0);
+        assert_eq!(c.value(3), 1);
+    }
+
+    #[test]
+    fn storage_is_four_counters() {
+        assert_eq!(BlockCounters::new(28).storage_bits(), 112);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut c = BlockCounters::new(8);
+        c.increment(0);
+        c.increment(2);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_block_panics() {
+        let c = BlockCounters::new(8);
+        let _ = c.value(4);
+    }
+
+    #[test]
+    fn wrap_reports() {
+        let mut c = BlockCounters::new(1);
+        assert!(!c.increment(0));
+        assert!(c.increment(0));
+        assert_eq!(c.value(0), 0);
+    }
+}

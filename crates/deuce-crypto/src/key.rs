@@ -1,0 +1,84 @@
+//! The memory-controller secret key.
+
+/// The 128-bit secret key held inside the memory controller.
+///
+/// The paper assumes "the key is well protected" (§2.4): it never leaves the
+/// processor package, so the plaintext line counters stored in the PCM DIMM
+/// are useless to an attacker. The `Debug` implementation redacts the key
+/// bytes so accidental logging cannot leak it.
+///
+/// # Examples
+///
+/// ```
+/// use deuce_crypto::SecretKey;
+///
+/// let key = SecretKey::from_bytes([0x5a; 16]);
+/// assert_eq!(format!("{key:?}"), "SecretKey(<redacted>)");
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct SecretKey {
+    bytes: [u8; 16],
+}
+
+impl SecretKey {
+    /// Creates a key from raw bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; 16]) -> Self {
+        Self { bytes }
+    }
+
+    /// Derives a deterministic test key from a seed (for simulations).
+    ///
+    /// Expands the seed by encrypting it under a fixed key, so distinct
+    /// seeds give well-mixed distinct keys.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let fixed = deuce_aes::Aes128::new(&[0x9e; 16]);
+        let mut block = [0u8; 16];
+        block[..8].copy_from_slice(&seed.to_le_bytes());
+        Self {
+            bytes: fixed.encrypt_block(&block),
+        }
+    }
+
+    /// Exposes the raw key bytes (needed to key the AES engine).
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; 16] {
+        &self.bytes
+    }
+}
+
+impl From<[u8; 16]> for SecretKey {
+    fn from(bytes: [u8; 16]) -> Self {
+        Self::from_bytes(bytes)
+    }
+}
+
+impl core::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("SecretKey(<redacted>)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_redacts() {
+        let key = SecretKey::from_bytes([0xaa; 16]);
+        assert!(!format!("{key:?}").contains("aa"));
+    }
+
+    #[test]
+    fn seeded_keys_differ() {
+        assert_ne!(SecretKey::from_seed(0), SecretKey::from_seed(1));
+        assert_eq!(SecretKey::from_seed(7), SecretKey::from_seed(7));
+    }
+
+    #[test]
+    fn from_array_conversion() {
+        let key: SecretKey = [1u8; 16].into();
+        assert_eq!(key.as_bytes(), &[1u8; 16]);
+    }
+}

@@ -1,0 +1,156 @@
+//! One-time pads at line (64-byte) and AES-block (16-byte) granularity.
+
+use crate::{LineBytes, LINE_BYTES};
+
+/// A 512-bit one-time pad covering a full memory line.
+///
+/// Produced by [`crate::OtpEngine::line_pad`]; XORing the pad with data
+/// encrypts, XORing again decrypts (Fig. 4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pad {
+    bytes: LineBytes,
+}
+
+impl Pad {
+    /// Wraps raw pad bytes (used by the engine; exposed for tests).
+    #[must_use]
+    pub fn from_bytes(bytes: LineBytes) -> Self {
+        Self { bytes }
+    }
+
+    /// The raw pad bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &LineBytes {
+        &self.bytes
+    }
+
+    /// XORs the pad with `data`, returning the encrypted (or decrypted)
+    /// line.
+    #[must_use]
+    pub fn xor(&self, data: &LineBytes) -> LineBytes {
+        let mut out = [0u8; LINE_BYTES];
+        for ((o, d), p) in out.iter_mut().zip(data).zip(&self.bytes) {
+            *o = d ^ p;
+        }
+        out
+    }
+
+    /// XORs the pad into `data` in place.
+    pub fn xor_in_place(&self, data: &mut LineBytes) {
+        for (d, p) in data.iter_mut().zip(&self.bytes) {
+            *d ^= p;
+        }
+    }
+
+    /// The pad bytes covering one *word* of the line, where words are
+    /// `word_bytes` wide. DEUCE encrypts modified words with the leading
+    /// pad and leaves unmodified words under the trailing pad, so pads are
+    /// sliced per word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_bytes` does not divide the line size or `index` is
+    /// out of range.
+    #[must_use]
+    pub fn word(&self, index: usize, word_bytes: usize) -> &[u8] {
+        assert!(
+            word_bytes > 0 && LINE_BYTES.is_multiple_of(word_bytes),
+            "word size {word_bytes} must divide line size {LINE_BYTES}"
+        );
+        let words = LINE_BYTES / word_bytes;
+        assert!(index < words, "word index {index} out of range 0..{words}");
+        &self.bytes[index * word_bytes..(index + 1) * word_bytes]
+    }
+}
+
+/// A 128-bit pad covering one 16-byte AES block of a line (used by BLE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockPad {
+    bytes: [u8; 16],
+}
+
+impl BlockPad {
+    /// Wraps raw pad bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; 16]) -> Self {
+        Self { bytes }
+    }
+
+    /// The raw pad bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; 16] {
+        &self.bytes
+    }
+
+    /// XORs the pad with a 16-byte block.
+    #[must_use]
+    pub fn xor(&self, data: &[u8; 16]) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for ((o, d), p) in out.iter_mut().zip(data).zip(&self.bytes) {
+            *o = d ^ p;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_pad() -> Pad {
+        let mut bytes = [0u8; LINE_BYTES];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        Pad::from_bytes(bytes)
+    }
+
+    #[test]
+    fn xor_roundtrip() {
+        let pad = sample_pad();
+        let data = [0x3cu8; LINE_BYTES];
+        assert_eq!(pad.xor(&pad.xor(&data)), data);
+    }
+
+    #[test]
+    fn xor_in_place_matches_xor() {
+        let pad = sample_pad();
+        let data = [0x77u8; LINE_BYTES];
+        let mut in_place = data;
+        pad.xor_in_place(&mut in_place);
+        assert_eq!(in_place, pad.xor(&data));
+    }
+
+    #[test]
+    fn word_slicing_covers_line() {
+        let pad = sample_pad();
+        for word_bytes in [1usize, 2, 4, 8, 16] {
+            let words = LINE_BYTES / word_bytes;
+            let mut reassembled = Vec::new();
+            for w in 0..words {
+                reassembled.extend_from_slice(pad.word(w, word_bytes));
+            }
+            assert_eq!(reassembled, pad.as_bytes());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn invalid_word_size_panics() {
+        let _ = sample_pad().word(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_word_panics() {
+        let _ = sample_pad().word(32, 2);
+    }
+
+    #[test]
+    fn block_pad_roundtrip() {
+        let pad = BlockPad::from_bytes([0x55; 16]);
+        let data = [0xAA; 16];
+        assert_eq!(pad.xor(&data), [0xFF; 16]);
+        assert_eq!(pad.xor(&pad.xor(&data)), data);
+    }
+}

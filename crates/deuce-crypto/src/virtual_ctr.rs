@@ -1,0 +1,177 @@
+//! DEUCE's virtual leading/trailing counters (§4.1 of the paper).
+
+/// The epoch interval: a full-line re-encryption happens every `interval`
+/// writes. Must be a power of two so the trailing counter can be derived by
+/// masking the leading counter's least-significant bits.
+///
+/// The paper evaluates intervals of 8, 16 and 32 (Fig. 9) and defaults
+/// to 32.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EpochInterval {
+    interval: u64,
+}
+
+impl EpochInterval {
+    /// The paper's default epoch interval of 32 writes.
+    pub const DEFAULT: Self = Self { interval: 32 };
+
+    /// Creates an epoch interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidEpochInterval`] unless `interval` is a power of two
+    /// and at least 2.
+    pub fn new(interval: u64) -> Result<Self, InvalidEpochInterval> {
+        if interval >= 2 && interval.is_power_of_two() {
+            Ok(Self { interval })
+        } else {
+            Err(InvalidEpochInterval(interval))
+        }
+    }
+
+    /// The interval in writes.
+    #[must_use]
+    pub fn writes(self) -> u64 {
+        self.interval
+    }
+
+    /// Mask that clears the in-epoch LSBs of a counter.
+    #[must_use]
+    pub fn tctr_mask(self) -> u64 {
+        !(self.interval - 1)
+    }
+
+    /// Number of LSBs masked off the leading counter.
+    #[must_use]
+    pub fn masked_bits(self) -> u32 {
+        self.interval.trailing_zeros()
+    }
+}
+
+impl Default for EpochInterval {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+/// Error returned by [`EpochInterval::new`] for non-power-of-two intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidEpochInterval(pub u64);
+
+impl core::fmt::Display for InvalidEpochInterval {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "invalid epoch interval {} (must be a power of two >= 2)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for InvalidEpochInterval {}
+
+/// The pair of *virtual* counters DEUCE derives from the stored line
+/// counter: the Leading Counter (LCTR, identical to the line counter) and
+/// the Trailing Counter (TCTR, the LCTR with its in-epoch LSBs masked).
+///
+/// Words modified since the start of the epoch are encrypted with the LCTR
+/// pad; unmodified words remain encrypted with the TCTR pad. Neither
+/// counter is stored — "except for the existing line counter, DEUCE does
+/// not require separate counters" (§4.1).
+///
+/// # Examples
+///
+/// ```
+/// use deuce_crypto::{EpochInterval, VirtualCounterPair};
+///
+/// let epoch = EpochInterval::new(4)?;
+/// let v = VirtualCounterPair::derive(6, epoch);
+/// assert_eq!(v.lctr(), 6);
+/// assert_eq!(v.tctr(), 4); // 2 LSBs masked
+/// assert!(!v.is_epoch_start());
+/// assert!(VirtualCounterPair::derive(8, epoch).is_epoch_start());
+/// # Ok::<(), deuce_crypto::InvalidEpochInterval>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VirtualCounterPair {
+    lctr: u64,
+    tctr: u64,
+}
+
+impl VirtualCounterPair {
+    /// Derives both virtual counters from the stored line counter.
+    #[must_use]
+    pub fn derive(line_counter: u64, epoch: EpochInterval) -> Self {
+        Self {
+            lctr: line_counter,
+            tctr: line_counter & epoch.tctr_mask(),
+        }
+    }
+
+    /// The leading counter (equals the line counter).
+    #[must_use]
+    pub fn lctr(self) -> u64 {
+        self.lctr
+    }
+
+    /// The trailing counter (LCTR with in-epoch LSBs masked).
+    #[must_use]
+    pub fn tctr(self) -> u64 {
+        self.tctr
+    }
+
+    /// True when LCTR == TCTR, i.e. this write starts a new epoch: the
+    /// whole line is re-encrypted and all modified bits reset.
+    #[must_use]
+    pub fn is_epoch_start(self) -> bool {
+        self.lctr == self.tctr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_interval_is_32() {
+        assert_eq!(EpochInterval::default().writes(), 32);
+        assert_eq!(EpochInterval::DEFAULT.masked_bits(), 5);
+    }
+
+    #[test]
+    fn rejects_invalid_intervals() {
+        for bad in [0u64, 1, 3, 6, 12, 33] {
+            assert_eq!(EpochInterval::new(bad), Err(InvalidEpochInterval(bad)));
+        }
+        for good in [2u64, 4, 8, 16, 32, 64] {
+            assert!(EpochInterval::new(good).is_ok());
+        }
+    }
+
+    #[test]
+    fn paper_example_epoch_of_4() {
+        // Figure 6: epoch interval 4; at counters 0, 4, 8 the epoch starts.
+        let epoch = EpochInterval::new(4).unwrap();
+        for ctr in 0..12u64 {
+            let v = VirtualCounterPair::derive(ctr, epoch);
+            assert_eq!(v.lctr(), ctr);
+            assert_eq!(v.tctr(), ctr / 4 * 4);
+            assert_eq!(v.is_epoch_start(), ctr % 4 == 0);
+        }
+    }
+
+    #[test]
+    fn tctr_never_exceeds_lctr() {
+        let epoch = EpochInterval::new(32).unwrap();
+        for ctr in 0..1000u64 {
+            let v = VirtualCounterPair::derive(ctr, epoch);
+            assert!(v.tctr() <= v.lctr());
+            assert!(v.lctr() - v.tctr() < 32);
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(InvalidEpochInterval(3).to_string().contains('3'));
+    }
+}

@@ -1,0 +1,172 @@
+//! An AES-based hash (Matyas–Meyer–Oseas mode).
+//!
+//! Memory controllers already carry an AES datapath for pad generation,
+//! so integrity hardware reuses it instead of adding a SHA core. The
+//! MMO construction turns a block cipher into a compression function:
+//! `H_i = E_{H_{i-1}}(m_i) XOR m_i`, with Merkle–Damgård length
+//! strengthening for variable-length input.
+//!
+//! This is a *simulation* of such hardware — no claims are made about
+//! side channels, and 128-bit MMO offers 64-bit collision resistance,
+//! which is the usual engineering trade-off in memory-integrity
+//! proposals.
+
+use deuce_aes::Aes128;
+
+/// A 128-bit digest.
+pub type Digest = [u8; 16];
+
+/// An AES-MMO hasher with a fixed initialization vector.
+///
+/// # Examples
+///
+/// ```
+/// use deuce_integrity::AesHash;
+///
+/// let hasher = AesHash::new();
+/// let a = hasher.hash(b"hello");
+/// let b = hasher.hash(b"hello!");
+/// assert_ne!(a, b);
+/// assert_eq!(a, hasher.hash(b"hello"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AesHash {
+    iv: Digest,
+}
+
+impl AesHash {
+    /// The fixed IV (nothing-up-my-sleeve: ASCII of the construction
+    /// name).
+    const IV: Digest = *b"DEUCE-MMO-HASH-1";
+
+    /// Creates a hasher with the standard IV.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { iv: Self::IV }
+    }
+
+    /// Creates a hasher with a custom IV (domain separation between
+    /// tree levels, MACs, etc.).
+    #[must_use]
+    pub fn with_iv(iv: Digest) -> Self {
+        Self { iv }
+    }
+
+    /// Hashes arbitrary bytes to a 128-bit digest.
+    #[must_use]
+    pub fn hash(&self, data: &[u8]) -> Digest {
+        let mut state = self.iv;
+        // Process full 16-byte blocks.
+        let mut chunks = data.chunks_exact(16);
+        for chunk in &mut chunks {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(chunk);
+            state = Self::compress(&state, &block);
+        }
+        // Final block: remainder + 0x80 padding.
+        let remainder = chunks.remainder();
+        let mut block = [0u8; 16];
+        block[..remainder.len()].copy_from_slice(remainder);
+        block[remainder.len()] = 0x80;
+        state = Self::compress(&state, &block);
+        // Length strengthening.
+        let mut length_block = [0u8; 16];
+        length_block[..8].copy_from_slice(&(data.len() as u64).to_le_bytes());
+        Self::compress(&state, &length_block)
+    }
+
+    /// Hashes the concatenation of several fields (avoids an
+    /// intermediate buffer at call sites).
+    #[must_use]
+    pub fn hash_parts(&self, parts: &[&[u8]]) -> Digest {
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let mut buffer = Vec::with_capacity(total);
+        for part in parts {
+            buffer.extend_from_slice(part);
+        }
+        self.hash(&buffer)
+    }
+
+    /// MMO compression: `E_state(block) XOR block`.
+    fn compress(state: &Digest, block: &Digest) -> Digest {
+        let cipher = Aes128::new(state);
+        let encrypted = cipher.encrypt_block(block);
+        let mut out = [0u8; 16];
+        for ((o, e), b) in out.iter_mut().zip(&encrypted).zip(block) {
+            *o = e ^ b;
+        }
+        out
+    }
+}
+
+impl Default for AesHash {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let h = AesHash::new();
+        assert_eq!(h.hash(b"abc"), h.hash(b"abc"));
+    }
+
+    #[test]
+    fn sensitive_to_every_input_byte() {
+        let h = AesHash::new();
+        let base = vec![0u8; 48];
+        let reference = h.hash(&base);
+        for i in 0..48 {
+            let mut modified = base.clone();
+            modified[i] = 1;
+            assert_ne!(h.hash(&modified), reference, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn length_extension_padding_is_unambiguous() {
+        let h = AesHash::new();
+        // Classic padding pitfalls: trailing zeros and boundary sizes.
+        assert_ne!(h.hash(b""), h.hash(&[0u8]));
+        assert_ne!(h.hash(&[0u8; 15]), h.hash(&[0u8; 16]));
+        assert_ne!(h.hash(&[0u8; 16]), h.hash(&[0u8; 17]));
+        assert_ne!(h.hash(&[0x80]), h.hash(b""));
+    }
+
+    #[test]
+    fn iv_separates_domains() {
+        let a = AesHash::with_iv([1u8; 16]);
+        let b = AesHash::with_iv([2u8; 16]);
+        assert_ne!(a.hash(b"x"), b.hash(b"x"));
+    }
+
+    #[test]
+    fn hash_parts_matches_concatenation() {
+        let h = AesHash::new();
+        assert_eq!(
+            h.hash_parts(&[b"ab", b"cd", b""]),
+            h.hash(b"abcd")
+        );
+    }
+
+    #[test]
+    fn avalanche_statistics() {
+        let h = AesHash::new();
+        let mut total_diff = 0u32;
+        for i in 0..32u8 {
+            let a = h.hash(&[i, 0, 0, 0]);
+            let b = h.hash(&[i, 1, 0, 0]);
+            total_diff += a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| (x ^ y).count_ones())
+                .sum::<u32>();
+        }
+        let mean = f64::from(total_diff) / 32.0;
+        assert!((mean - 64.0).abs() < 10.0, "mean digest distance {mean}");
+    }
+}

@@ -1,0 +1,40 @@
+//! Counter authentication for secure NVM (the paper's footnote 1).
+//!
+//! Counter-mode encryption stores the per-line counters in plain text —
+//! safe against a *passive* adversary, but an attacker who can tamper
+//! with the memory or the bus can reset a counter to a previous value,
+//! force the controller to regenerate an old pad, and mount pad-reuse
+//! attacks. The DEUCE paper notes that Merkle-tree authentication
+//! (\[14, 16\]) closes this hole; this crate builds that machinery:
+//!
+//! - [`AesHash`] — a Matyas–Meyer–Oseas compression function over the
+//!   same AES core the pad engine uses (a real memory controller would
+//!   reuse its AES datapath exactly like this).
+//! - [`CounterTree`] — an 8-ary Merkle tree over the per-line counters.
+//!   Only the root must live in the tamper-proof processor; everything
+//!   else can sit in untrusted memory and is verified on the read path.
+//! - [`LineMac`] — per-line MACs binding (address, counter, ciphertext),
+//!   catching tampering with the data itself.
+//!
+//! # Examples
+//!
+//! ```
+//! use deuce_integrity::CounterTree;
+//!
+//! let mut tree = CounterTree::new(64, [7u8; 16]);
+//! tree.update(3, 41);
+//! assert!(tree.verify(3, 41).is_ok());
+//! // An attacker resetting the counter is detected:
+//! assert!(tree.verify(3, 0).is_err());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hash;
+mod mac;
+mod merkle;
+
+pub use hash::{AesHash, Digest};
+pub use mac::LineMac;
+pub use merkle::{CounterTree, TamperDetected};

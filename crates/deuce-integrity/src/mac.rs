@@ -1,0 +1,114 @@
+//! Per-line MACs binding (address, counter, ciphertext).
+//!
+//! The counter tree stops counter rollback; a MAC over the stored
+//! ciphertext stops the complementary attack of splicing old *data* back
+//! into memory. Together they give the integrity layer the paper's
+//! footnote 1 sketches via \[14, 16\].
+
+use deuce_crypto::{LineAddr, LineBytes};
+
+use crate::hash::{AesHash, Digest};
+
+/// Computes and checks per-line MACs.
+///
+/// # Examples
+///
+/// ```
+/// use deuce_integrity::LineMac;
+/// use deuce_crypto::LineAddr;
+///
+/// let mac = LineMac::new([1u8; 16]);
+/// let tag = mac.tag(LineAddr::new(7), 3, &[0xAB; 64]);
+/// assert!(mac.check(LineAddr::new(7), 3, &[0xAB; 64], &tag));
+/// assert!(!mac.check(LineAddr::new(7), 4, &[0xAB; 64], &tag)); // wrong counter
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineMac {
+    hasher: AesHash,
+}
+
+impl LineMac {
+    /// Creates a MAC engine keyed (domain-separated) by `key_iv`.
+    #[must_use]
+    pub fn new(key_iv: [u8; 16]) -> Self {
+        Self {
+            hasher: AesHash::with_iv(key_iv),
+        }
+    }
+
+    /// Computes the tag for a stored line.
+    #[must_use]
+    pub fn tag(&self, addr: LineAddr, counter: u64, ciphertext: &LineBytes) -> Digest {
+        self.hasher.hash_parts(&[
+            &addr.value().to_le_bytes(),
+            &counter.to_le_bytes(),
+            ciphertext,
+        ])
+    }
+
+    /// Checks a tag fetched from untrusted memory.
+    #[must_use]
+    pub fn check(
+        &self,
+        addr: LineAddr,
+        counter: u64,
+        ciphertext: &LineBytes,
+        tag: &Digest,
+    ) -> bool {
+        // Constant-time-ish comparison (simulation; documents intent).
+        let computed = self.tag(addr, counter, ciphertext);
+        computed
+            .iter()
+            .zip(tag)
+            .fold(0u8, |acc, (a, b)| acc | (a ^ b))
+            == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac() -> LineMac {
+        LineMac::new([0x5Au8; 16])
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        let m = mac();
+        let data = [7u8; 64];
+        let tag = m.tag(LineAddr::new(1), 9, &data);
+        assert!(m.check(LineAddr::new(1), 9, &data, &tag));
+    }
+
+    #[test]
+    fn detects_data_splicing() {
+        let m = mac();
+        let old = [7u8; 64];
+        let new = [8u8; 64];
+        let old_tag = m.tag(LineAddr::new(1), 9, &old);
+        // Attacker replays old data (with its old tag) at a new counter.
+        assert!(!m.check(LineAddr::new(1), 10, &old, &old_tag));
+        // Or forges data under the current counter.
+        assert!(!m.check(LineAddr::new(1), 9, &new, &old_tag));
+    }
+
+    #[test]
+    fn detects_cross_line_relocation() {
+        let m = mac();
+        let data = [7u8; 64];
+        let tag = m.tag(LineAddr::new(1), 9, &data);
+        assert!(!m.check(LineAddr::new(2), 9, &data, &tag));
+    }
+
+    #[test]
+    fn keys_separate_tags() {
+        let a = LineMac::new([1u8; 16]);
+        let b = LineMac::new([2u8; 16]);
+        let data = [0u8; 64];
+        assert_ne!(
+            a.tag(LineAddr::new(0), 0, &data),
+            b.tag(LineAddr::new(0), 0, &data)
+        );
+    }
+}

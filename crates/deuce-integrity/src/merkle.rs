@@ -1,0 +1,300 @@
+//! An 8-ary Merkle tree over the per-line write counters.
+//!
+//! Counters live in untrusted memory (the paper stores them in plain
+//! text, §2.4). To stop a *bus-tampering* adversary from rolling a
+//! counter back — which would make the controller reuse a one-time pad —
+//! the counters are authenticated: leaves hash groups of 8 counters,
+//! each internal node hashes its 8 children, and only the root digest
+//! needs tamper-proof storage inside the processor.
+//!
+//! The 8-ary shape follows Bonsai-style counter trees \[16\]: counters are
+//! small, so a wide shallow tree keeps verification to a handful of
+//! hashes per miss.
+
+use crate::hash::{AesHash, Digest};
+
+/// Children per internal node.
+const ARITY: usize = 8;
+
+/// Verification failure: the stored counter does not match the
+/// authenticated root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TamperDetected {
+    /// The line whose verification failed.
+    pub line: usize,
+}
+
+impl core::fmt::Display for TamperDetected {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "counter integrity violation on line {}", self.line)
+    }
+}
+
+impl std::error::Error for TamperDetected {}
+
+/// Merkle tree authenticating `n` line counters.
+///
+/// The tree mirrors the counters it protects: [`CounterTree::update`]
+/// must be called whenever a line's counter changes (the write path),
+/// and [`CounterTree::verify`] checks a counter read back from
+/// untrusted memory against the protected root (the read path).
+///
+/// # Examples
+///
+/// ```
+/// use deuce_integrity::CounterTree;
+///
+/// let mut tree = CounterTree::new(100, [0u8; 16]);
+/// tree.update(42, 7);
+/// tree.verify(42, 7)?;
+/// # Ok::<(), deuce_integrity::TamperDetected>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CounterTree {
+    /// Authenticated copy of the counters (what the *controller*
+    /// believes; the attacker tampers with their own copy).
+    counters: Vec<u64>,
+    /// Hash levels, leaves first; `levels.last()` has one digest, the
+    /// root.
+    levels: Vec<Vec<Digest>>,
+    hasher: AesHash,
+    /// Hash invocations performed (for overhead studies).
+    hash_ops: u64,
+}
+
+impl CounterTree {
+    /// Builds the tree for `lines` zeroed counters. `key_iv` acts as the
+    /// hash domain key so different modules' trees are incomparable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines == 0`.
+    #[must_use]
+    pub fn new(lines: usize, key_iv: [u8; 16]) -> Self {
+        assert!(lines > 0, "tree needs at least one counter");
+        let mut tree = Self {
+            counters: vec![0; lines],
+            levels: Vec::new(),
+            hasher: AesHash::with_iv(key_iv),
+            hash_ops: 0,
+        };
+        tree.rebuild();
+        tree
+    }
+
+    /// Number of counters protected.
+    #[must_use]
+    pub fn lines(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// The protected root digest (lives in the processor).
+    #[must_use]
+    pub fn root(&self) -> Digest {
+        self.levels.last().expect("tree has a root")[0]
+    }
+
+    /// Total hash invocations so far (update + verify traffic).
+    #[must_use]
+    pub fn hash_ops(&self) -> u64 {
+        self.hash_ops
+    }
+
+    fn leaf_count(lines: usize) -> usize {
+        lines.div_ceil(ARITY)
+    }
+
+    fn leaf_digest(&mut self, leaf: usize) -> Digest {
+        self.hash_ops += 1;
+        let start = leaf * ARITY;
+        let mut buffer = [0u8; ARITY * 8];
+        for i in 0..ARITY {
+            let value = self.counters.get(start + i).copied().unwrap_or(0);
+            buffer[i * 8..i * 8 + 8].copy_from_slice(&value.to_le_bytes());
+        }
+        self.hasher.hash_parts(&[&(leaf as u64).to_le_bytes(), &buffer])
+    }
+
+    fn node_digest(&mut self, level: usize, node: usize) -> Digest {
+        self.hash_ops += 1;
+        let children = &self.levels[level];
+        let start = node * ARITY;
+        let mut buffer = Vec::with_capacity(ARITY * 16 + 8);
+        buffer.extend_from_slice(&(node as u64).to_le_bytes());
+        for i in 0..ARITY {
+            // Missing children hash as zero digests (fixed-shape tree).
+            let digest = children.get(start + i).copied().unwrap_or([0u8; 16]);
+            buffer.extend_from_slice(&digest);
+        }
+        self.hasher.hash(&buffer)
+    }
+
+    fn rebuild(&mut self) {
+        self.levels.clear();
+        let leaves = Self::leaf_count(self.counters.len());
+        let level: Vec<Digest> = (0..leaves).map(|i| self.leaf_digest(i)).collect();
+        self.levels.push(level);
+        while self.levels.last().expect("non-empty").len() > 1 {
+            let level_idx = self.levels.len() - 1;
+            let nodes = self.levels[level_idx].len().div_ceil(ARITY);
+            let mut next = Vec::with_capacity(nodes);
+            for node in 0..nodes {
+                next.push(self.node_digest(level_idx, node));
+            }
+            self.levels.push(next);
+        }
+    }
+
+    /// Records a counter change on the write path, updating the path to
+    /// the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range.
+    pub fn update(&mut self, line: usize, counter: u64) {
+        assert!(line < self.counters.len(), "line {line} out of range");
+        self.counters[line] = counter;
+        // Recompute the leaf and each ancestor.
+        let mut index = line / ARITY;
+        self.levels[0][index] = self.leaf_digest(index);
+        for level in 1..self.levels.len() {
+            index /= ARITY;
+            self.levels[level][index] = self.node_digest(level - 1, index);
+        }
+    }
+
+    /// Verifies a counter value read from untrusted memory against the
+    /// authenticated tree.
+    ///
+    /// Trust model: this struct *is* the controller-side authenticated
+    /// state (root in the processor, cached interior nodes assumed
+    /// verified on fill, as in Bonsai Merkle Tree designs). The attacker
+    /// controls the counter value arriving from the DIMM — `claimed` —
+    /// and verification recomputes the leaf digest over it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TamperDetected`] if `claimed` disagrees with the
+    /// authenticated state.
+    pub fn verify(&mut self, line: usize, claimed: u64) -> Result<(), TamperDetected> {
+        assert!(line < self.counters.len(), "line {line} out of range");
+        // Recompute the leaf with the claimed value in place of the
+        // authenticated one — the hardware equivalent of hashing the
+        // fetched counter block.
+        let genuine = self.counters[line];
+        self.counters[line] = claimed;
+        let index = line / ARITY;
+        let digest = self.leaf_digest(index);
+        self.counters[line] = genuine;
+
+        if digest == self.levels[0][index] {
+            Ok(())
+        } else {
+            Err(TamperDetected { line })
+        }
+    }
+
+    /// Tree height in hash levels (leaf level included).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_tree_verifies_zeroes() {
+        let mut tree = CounterTree::new(100, [0u8; 16]);
+        for line in [0usize, 1, 7, 8, 63, 99] {
+            assert!(tree.verify(line, 0).is_ok(), "line {line}");
+        }
+    }
+
+    #[test]
+    fn update_then_verify() {
+        let mut tree = CounterTree::new(100, [0u8; 16]);
+        for line in 0..100 {
+            tree.update(line, line as u64 + 1);
+        }
+        for line in 0..100 {
+            assert!(tree.verify(line, line as u64 + 1).is_ok());
+        }
+    }
+
+    #[test]
+    fn counter_rollback_is_detected() {
+        let mut tree = CounterTree::new(64, [3u8; 16]);
+        tree.update(10, 5);
+        tree.update(10, 6);
+        // The pad-reuse attack: reset the counter to a previous value.
+        assert_eq!(tree.verify(10, 5), Err(TamperDetected { line: 10 }));
+        assert_eq!(tree.verify(10, 0), Err(TamperDetected { line: 10 }));
+        assert!(tree.verify(10, 6).is_ok());
+    }
+
+    #[test]
+    fn root_changes_with_every_update() {
+        let mut tree = CounterTree::new(64, [0u8; 16]);
+        let mut roots = std::collections::HashSet::new();
+        roots.insert(tree.root());
+        for i in 0..20 {
+            tree.update(i % 64, i as u64 + 1);
+            assert!(roots.insert(tree.root()), "root repeated at update {i}");
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_full_rebuild() {
+        let mut incremental = CounterTree::new(200, [9u8; 16]);
+        for (line, value) in [(0usize, 3u64), (77, 12), (199, 9), (8, 1)] {
+            incremental.update(line, value);
+        }
+        let mut rebuilt = CounterTree::new(200, [9u8; 16]);
+        rebuilt.counters = incremental.counters.clone();
+        rebuilt.rebuild();
+        assert_eq!(incremental.root(), rebuilt.root());
+    }
+
+    #[test]
+    fn single_line_tree_works() {
+        let mut tree = CounterTree::new(1, [0u8; 16]);
+        tree.update(0, 42);
+        assert!(tree.verify(0, 42).is_ok());
+        assert!(tree.verify(0, 41).is_err());
+        assert_eq!(tree.height(), 1);
+    }
+
+    #[test]
+    fn height_is_logarithmic() {
+        assert_eq!(CounterTree::new(8, [0; 16]).height(), 1);
+        assert_eq!(CounterTree::new(9, [0; 16]).height(), 2);
+        assert_eq!(CounterTree::new(64, [0; 16]).height(), 2);
+        assert_eq!(CounterTree::new(65, [0; 16]).height(), 3);
+        assert_eq!(CounterTree::new(4096, [0; 16]).height(), 4);
+    }
+
+    #[test]
+    fn different_keys_give_different_roots() {
+        let a = CounterTree::new(16, [1u8; 16]);
+        let b = CounterTree::new(16, [2u8; 16]);
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn hash_ops_are_counted() {
+        let mut tree = CounterTree::new(64, [0u8; 16]);
+        let before = tree.hash_ops();
+        tree.update(0, 1);
+        // 64 lines -> 8 leaves + root: update touches 1 leaf + 1 node.
+        assert_eq!(tree.hash_ops() - before, 2);
+    }
+
+    #[test]
+    fn error_display() {
+        let err = TamperDetected { line: 5 };
+        assert!(err.to_string().contains('5'));
+    }
+}

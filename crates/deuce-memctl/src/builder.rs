@@ -1,0 +1,129 @@
+//! Configuration builder for [`crate::SecureMemory`].
+
+use deuce_crypto::EpochInterval;
+use deuce_schemes::{SchemeConfig, SchemeKind, WordSize};
+
+use crate::memory::SecureMemory;
+
+/// Builds a [`SecureMemory`] (non-consuming builder).
+///
+/// Defaults: DEUCE at the paper's configuration (2-byte words, epoch
+/// 32, 28-bit counters), integrity checking off, key seed 0.
+///
+/// # Examples
+///
+/// ```
+/// use deuce_memctl::{MemoryBuilder, SchemeKind, WordSize};
+///
+/// let memory = MemoryBuilder::new(1 << 16)
+///     .scheme(SchemeKind::DynDeuce)
+///     .word_size(WordSize::Bytes2)
+///     .epoch(16)
+///     .integrity(true)
+///     .key_seed(42)
+///     .build();
+/// assert_eq!(memory.size_bytes(), 1 << 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryBuilder {
+    size_bytes: usize,
+    scheme: SchemeConfig,
+    integrity: bool,
+    key_seed: u64,
+}
+
+impl MemoryBuilder {
+    /// Starts a builder for a memory of `size_bytes` (rounded up to a
+    /// whole number of 64-byte lines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes == 0`.
+    #[must_use]
+    pub fn new(size_bytes: usize) -> Self {
+        assert!(size_bytes > 0, "memory must be non-empty");
+        Self {
+            size_bytes,
+            scheme: SchemeConfig::new(SchemeKind::Deuce),
+            integrity: false,
+            key_seed: 0,
+        }
+    }
+
+    /// Selects the memory encoding scheme.
+    pub fn scheme(&mut self, kind: SchemeKind) -> &mut Self {
+        self.scheme = SchemeConfig {
+            kind,
+            ..self.scheme
+        };
+        self
+    }
+
+    /// Sets the DEUCE tracking word size.
+    pub fn word_size(&mut self, word_size: WordSize) -> &mut Self {
+        self.scheme.word_size = word_size;
+        self
+    }
+
+    /// Sets the DEUCE epoch interval in writes (must be a power of two
+    /// ≥ 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `writes` is not a power of two ≥ 2 (configuration
+    /// error, caught at build time).
+    pub fn epoch(&mut self, writes: u64) -> &mut Self {
+        self.scheme.epoch = EpochInterval::new(writes).expect("epoch must be a power of two >= 2");
+        self
+    }
+
+    /// Enables Merkle-tree counter authentication and per-line MACs.
+    pub fn integrity(&mut self, enabled: bool) -> &mut Self {
+        self.integrity = enabled;
+        self
+    }
+
+    /// Seeds the controller's secret key (simulation convenience).
+    pub fn key_seed(&mut self, seed: u64) -> &mut Self {
+        self.key_seed = seed;
+        self
+    }
+
+    /// Builds the memory.
+    #[must_use]
+    pub fn build(&self) -> SecureMemory {
+        SecureMemory::with_config(self.size_bytes, self.scheme, self.integrity, self.key_seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let memory = MemoryBuilder::new(100).build();
+        // 100 bytes round up to 2 lines.
+        assert_eq!(memory.size_bytes(), 128);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let mut b = MemoryBuilder::new(4096);
+        b.scheme(SchemeKind::EncryptedDcw).key_seed(5).integrity(true);
+        let memory = b.build();
+        assert_eq!(memory.size_bytes(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_epoch_panics_at_configuration() {
+        let _ = MemoryBuilder::new(64).epoch(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_rejected() {
+        let _ = MemoryBuilder::new(0);
+    }
+}

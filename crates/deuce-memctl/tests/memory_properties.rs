@@ -1,0 +1,118 @@
+//! Model-based testing: `SecureMemory` must behave exactly like a plain
+//! byte array, for every scheme, under arbitrary access sequences.
+
+use deuce_memctl::{MemoryBuilder, SchemeKind};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Access {
+    Write { offset: usize, data: Vec<u8> },
+    Read { offset: usize, len: usize },
+}
+
+fn access_strategy(size: usize) -> impl Strategy<Value = Access> {
+    prop_oneof![
+        (0..size, prop::collection::vec(any::<u8>(), 1..200)).prop_map(|(offset, data)| {
+            Access::Write { offset, data }
+        }),
+        (0..size, 1usize..200).prop_map(|(offset, len)| Access::Read { offset, len }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Differential test against a plain `Vec<u8>` shadow model.
+    #[test]
+    fn behaves_like_a_byte_array(
+        kind in prop::sample::select(vec![
+            SchemeKind::UnencryptedDcw,
+            SchemeKind::EncryptedDcw,
+            SchemeKind::Deuce,
+            SchemeKind::DynDeuce,
+            SchemeKind::BleDeuce,
+        ]),
+        seed in any::<u64>(),
+        accesses in prop::collection::vec(access_strategy(1024), 1..40),
+    ) {
+        let size = 1024usize;
+        let mut builder = MemoryBuilder::new(size);
+        builder.scheme(kind).key_seed(seed);
+        let mut memory = builder.build();
+        let mut model = vec![0u8; size];
+
+        for access in accesses {
+            match access {
+                Access::Write { offset, data } => {
+                    let len = data.len().min(size - offset);
+                    let data = &data[..len];
+                    memory.write(offset, data).unwrap();
+                    model[offset..offset + len].copy_from_slice(data);
+                }
+                Access::Read { offset, len } => {
+                    let len = len.min(size - offset);
+                    let mut buf = vec![0u8; len];
+                    memory.read(offset, &mut buf).unwrap();
+                    prop_assert_eq!(&buf, &model[offset..offset + len], "{}", kind);
+                }
+            }
+        }
+        // Final full readback.
+        let mut full = vec![0u8; size];
+        memory.read(0, &mut full).unwrap();
+        prop_assert_eq!(full, model);
+    }
+
+    /// Integrity mode changes nothing functionally (until tampering).
+    #[test]
+    fn integrity_is_transparent(
+        seed in any::<u64>(),
+        writes in prop::collection::vec((0usize..512, any::<u8>()), 1..30),
+    ) {
+        let mut with = {
+            let mut b = MemoryBuilder::new(512);
+            b.integrity(true).key_seed(seed);
+            b.build()
+        };
+        let mut without = {
+            let mut b = MemoryBuilder::new(512);
+            b.key_seed(seed);
+            b.build()
+        };
+        for (offset, byte) in writes {
+            with.write(offset, &[byte]).unwrap();
+            without.write(offset, &[byte]).unwrap();
+        }
+        let mut a = vec![0u8; 512];
+        let mut b = vec![0u8; 512];
+        with.read(0, &mut a).unwrap();
+        without.read(0, &mut b).unwrap();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(with.stats().bit_flips, without.stats().bit_flips);
+        prop_assert!(with.stats().integrity_checks > 0);
+        prop_assert_eq!(without.stats().integrity_checks, 0);
+    }
+}
+
+/// Tampering with any line's counter is caught on the next access to
+/// that line (and only that line).
+#[test]
+fn tampering_is_localized() {
+    let mut builder = MemoryBuilder::new(64 * 8);
+    builder.integrity(true).key_seed(7);
+    let mut memory = builder.build();
+    for line in 0..8usize {
+        memory.write(line * 64, &[line as u8; 64]).unwrap();
+    }
+    memory.tamper_counter(3, 999);
+    for line in 0..8usize {
+        let mut buf = [0u8; 64];
+        let result = memory.read(line * 64, &mut buf);
+        if line == 3 {
+            assert!(result.is_err(), "tampered line must fail");
+        } else {
+            assert!(result.is_ok(), "line {line} should be unaffected");
+            assert_eq!(buf, [line as u8; 64]);
+        }
+    }
+}

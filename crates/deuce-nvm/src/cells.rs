@@ -1,0 +1,254 @@
+//! Per-bit-position write counting for endurance and wear studies.
+
+use crate::line_image::LineImage;
+
+/// Per-cell write counters for a region of PCM lines.
+///
+/// Every line has `bits_per_line` cells (512 data bits plus metadata).
+/// [`CellArray::record_write`] applies Data Comparison Write semantics:
+/// only the bits that differ between the old and new image are counted as
+/// written. A rotation offset (from Horizontal Wear Leveling) maps logical
+/// bit positions to physical cells.
+///
+/// This feeds Fig. 12 (per-bit-position write skew) and Fig. 14
+/// (lifetime).
+///
+/// # Examples
+///
+/// ```
+/// use deuce_nvm::{CellArray, LineImage, MetaBits};
+///
+/// let mut cells = CellArray::new(4, 544);
+/// let old = LineImage::zeroed(32);
+/// let mut new = old;
+/// new.data_mut()[0] = 1;
+/// cells.record_write(0, &old, &new, 0);
+/// assert_eq!(cells.writes_recorded(), 1);
+/// assert_eq!(cells.count(0, 0), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CellArray {
+    counts: Vec<u64>,
+    lines: usize,
+    bits_per_line: u32,
+    writes: u64,
+}
+
+impl CellArray {
+    /// Creates a zeroed cell array for `lines` lines of `bits_per_line`
+    /// cells each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` or `bits_per_line` is zero.
+    #[must_use]
+    pub fn new(lines: usize, bits_per_line: u32) -> Self {
+        assert!(lines > 0, "cell array needs at least one line");
+        assert!(bits_per_line > 0, "cell array needs at least one bit per line");
+        Self {
+            counts: vec![0; lines * bits_per_line as usize],
+            lines,
+            bits_per_line,
+            writes: 0,
+        }
+    }
+
+    /// Number of lines tracked.
+    #[must_use]
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Cells per line.
+    #[must_use]
+    pub fn bits_per_line(&self) -> u32 {
+        self.bits_per_line
+    }
+
+    /// Total line writes recorded.
+    #[must_use]
+    pub fn writes_recorded(&self) -> u64 {
+        self.writes
+    }
+
+    /// Records a DCW write of `new` over `old` to `line`, with the bits
+    /// rotated left by `rotation` positions (HWL): logical bit `i` lands in
+    /// physical cell `(i + rotation) % bits_per_line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range or the images' total bits don't
+    /// match `bits_per_line`.
+    pub fn record_write(&mut self, line: usize, old: &LineImage, new: &LineImage, rotation: u32) {
+        assert!(line < self.lines, "line {line} out of range");
+        assert_eq!(
+            old.total_bits(),
+            self.bits_per_line,
+            "image size does not match cell array"
+        );
+        let base = line * self.bits_per_line as usize;
+        for bit in old.changed_bits(new) {
+            let physical = (bit + rotation) % self.bits_per_line;
+            self.counts[base + physical as usize] += 1;
+        }
+        self.writes += 1;
+    }
+
+    /// Write count of one physical cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn count(&self, line: usize, bit: u32) -> u64 {
+        assert!(line < self.lines && bit < self.bits_per_line);
+        self.counts[line * self.bits_per_line as usize + bit as usize]
+    }
+
+    /// Per-bit-position totals summed across all lines (the Fig. 12
+    /// series).
+    #[must_use]
+    pub fn position_totals(&self) -> Vec<u64> {
+        let mut totals = vec![0u64; self.bits_per_line as usize];
+        for line in 0..self.lines {
+            let base = line * self.bits_per_line as usize;
+            for (pos, total) in totals.iter_mut().enumerate() {
+                *total += self.counts[base + pos];
+            }
+        }
+        totals
+    }
+
+    /// Summary statistics used by the lifetime model.
+    #[must_use]
+    pub fn wear_summary(&self) -> WearSummary {
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        let total: u64 = self.counts.iter().sum();
+        let avg = total as f64 / self.counts.len() as f64;
+        WearSummary {
+            max_cell_writes: max,
+            total_bit_writes: total,
+            avg_cell_writes: avg,
+            line_writes: self.writes,
+            cells: self.counts.len() as u64,
+        }
+    }
+}
+
+/// Aggregate wear statistics over a [`CellArray`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WearSummary {
+    /// Writes to the most-written cell (determines lifetime: the first
+    /// cell to reach the endurance limit kills the line).
+    pub max_cell_writes: u64,
+    /// Total bit writes across all cells.
+    pub total_bit_writes: u64,
+    /// Mean writes per cell.
+    pub avg_cell_writes: f64,
+    /// Line-level writes recorded.
+    pub line_writes: u64,
+    /// Number of cells tracked.
+    pub cells: u64,
+}
+
+impl WearSummary {
+    /// Ratio of the most-written cell to the average (Fig. 12's metric;
+    /// 1.0 = perfectly uniform).
+    #[must_use]
+    pub fn max_over_avg(&self) -> f64 {
+        if self.avg_cell_writes == 0.0 {
+            0.0
+        } else {
+            self.max_cell_writes as f64 / self.avg_cell_writes
+        }
+    }
+
+    /// Relative lifetime under an endurance limit: proportional to
+    /// `1 / max_cell_writes` per line write. Normalizing two summaries'
+    /// values against each other reproduces Fig. 14.
+    #[must_use]
+    pub fn lifetime_metric(&self) -> f64 {
+        if self.max_cell_writes == 0 {
+            f64::INFINITY
+        } else {
+            self.line_writes as f64 / self.max_cell_writes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LineImage;
+
+    fn image_with_bits(bits: &[u32]) -> LineImage {
+        let mut img = LineImage::zeroed(32);
+        for &b in bits {
+            if b < 512 {
+                img.data_mut()[(b / 8) as usize] |= 1 << (b % 8);
+            } else {
+                img.meta_mut().set(b - 512, true);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn records_only_changed_bits() {
+        let mut cells = CellArray::new(2, 544);
+        let old = LineImage::zeroed(32);
+        let new = image_with_bits(&[0, 100, 512]);
+        cells.record_write(1, &old, &new, 0);
+        assert_eq!(cells.count(1, 0), 1);
+        assert_eq!(cells.count(1, 100), 1);
+        assert_eq!(cells.count(1, 512), 1);
+        assert_eq!(cells.count(1, 1), 0);
+        assert_eq!(cells.count(0, 0), 0, "other lines untouched");
+    }
+
+    #[test]
+    fn rotation_remaps_positions() {
+        let mut cells = CellArray::new(1, 544);
+        let old = LineImage::zeroed(32);
+        let new = image_with_bits(&[540]);
+        cells.record_write(0, &old, &new, 10); // 540 + 10 = 550 % 544 = 6
+        assert_eq!(cells.count(0, 6), 1);
+        assert_eq!(cells.count(0, 540), 0);
+    }
+
+    #[test]
+    fn position_totals_sum_lines() {
+        let mut cells = CellArray::new(3, 544);
+        let old = LineImage::zeroed(32);
+        let new = image_with_bits(&[7]);
+        for line in 0..3 {
+            cells.record_write(line, &old, &new, 0);
+        }
+        let totals = cells.position_totals();
+        assert_eq!(totals[7], 3);
+        assert_eq!(totals.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn wear_summary_statistics() {
+        let mut cells = CellArray::new(1, 544);
+        let old = LineImage::zeroed(32);
+        let new = image_with_bits(&[0, 1]);
+        cells.record_write(0, &old, &new, 0);
+        cells.record_write(0, &new, &image_with_bits(&[1]), 0); // flips bit 0 back
+        let s = cells.wear_summary();
+        assert_eq!(s.max_cell_writes, 2); // bit 0 written twice
+        assert_eq!(s.total_bit_writes, 3);
+        assert_eq!(s.line_writes, 2);
+        assert!(s.max_over_avg() > 1.0);
+        assert!((s.lifetime_metric() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn empty_summary_is_sane() {
+        let cells = CellArray::new(1, 10);
+        let s = cells.wear_summary();
+        assert_eq!(s.max_over_avg(), 0.0);
+        assert!(s.lifetime_metric().is_infinite());
+    }
+}

@@ -1,0 +1,84 @@
+//! PCM energy model for the Fig. 17 energy/power/EDP studies.
+
+/// Energy parameters. PCM write energy is dominated by the RESET/SET
+/// current per programmed cell, so write energy scales with the number of
+/// bit flips; reads sense the whole line at much lower energy.
+///
+/// Absolute joule values are not reproducible from the paper (it reports
+/// only normalized results), so these are representative per-event costs
+/// from the PCM literature; every figure we reproduce is a *ratio* between
+/// two configurations, which depends only on the write/read energy ratio.
+///
+/// # Examples
+///
+/// ```
+/// use deuce_nvm::EnergyParams;
+///
+/// let e = EnergyParams::default();
+/// let energy = e.write_energy_pj(128) + e.read_energy_pj();
+/// assert!(energy > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Energy per bit flip (picojoules). ~13.5 pJ/set-bit is typical of
+    /// PCM prototypes.
+    pub write_pj_per_bit: f64,
+    /// Energy per line read (picojoules), covering sensing and I/O.
+    pub read_pj_per_line: f64,
+    /// Static/background power of the PCM subsystem (milliwatts),
+    /// accumulated over execution time.
+    pub background_mw: f64,
+}
+
+impl EnergyParams {
+    /// Representative PCM energy configuration.
+    pub const PAPER: Self = Self {
+        write_pj_per_bit: 13.5,
+        read_pj_per_line: 180.0,
+        background_mw: 15.0,
+    };
+
+    /// Energy for a write that flips `bits` cells.
+    #[must_use]
+    pub fn write_energy_pj(&self, bits: u32) -> f64 {
+        self.write_pj_per_bit * f64::from(bits)
+    }
+
+    /// Energy for one line read.
+    #[must_use]
+    pub fn read_energy_pj(&self) -> f64 {
+        self.read_pj_per_line
+    }
+
+    /// Background energy over an interval.
+    #[must_use]
+    pub fn background_energy_pj(&self, duration_ns: u64) -> f64 {
+        // mW * ns = pJ
+        self.background_mw * duration_ns as f64
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_energy_scales_with_flips() {
+        let e = EnergyParams::default();
+        assert!(e.write_energy_pj(256) > e.write_energy_pj(64));
+        assert_eq!(e.write_energy_pj(0), 0.0);
+    }
+
+    #[test]
+    fn background_units() {
+        let e = EnergyParams { background_mw: 1.0, ..EnergyParams::default() };
+        // 1 mW for 1000 ns = 1000 pJ
+        assert!((e.background_energy_pj(1000) - 1000.0).abs() < 1e-9);
+    }
+}

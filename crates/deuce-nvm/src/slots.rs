@@ -1,0 +1,172 @@
+//! The §6.1 write-throughput model: write slots and fragmentation.
+//!
+//! PCM write power is limited: the 8Gb prototype the paper references has
+//! a 128-bit write width, so a 64-byte line takes up to 4 sequential write
+//! slots of 150 ns each. Each 128-bit slot is provisioned (via internal
+//! Flip-N-Write) to flip at most 64 cells. Fewer bit flips can let several
+//! 128-bit regions share a slot — but fragmentation means the reduction in
+//! flips does not always reduce slots (a 70-flip write still takes 2
+//! slots).
+
+use crate::line_image::LineImage;
+
+/// Write-slot configuration (defaults follow §6.1 / Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotConfig {
+    /// Bits written per slot region (the device write width).
+    pub region_bits: u32,
+    /// Maximum cell flips a single slot's current budget can drive.
+    pub flips_per_slot: u32,
+}
+
+impl SlotConfig {
+    /// The paper's configuration: 128-bit regions, 64 flips per slot.
+    pub const PAPER: Self = Self {
+        region_bits: 128,
+        flips_per_slot: 64,
+    };
+
+    /// Number of regions a line (data + metadata) divides into, rounding
+    /// up so metadata bits occupy the tail region.
+    #[must_use]
+    pub fn regions_for(&self, total_bits: u32) -> u32 {
+        total_bits.div_ceil(self.region_bits)
+    }
+}
+
+impl Default for SlotConfig {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+/// Flip counts per 128-bit region for a write of `new` over `old`.
+///
+/// Metadata bits are physically co-located with the data they describe
+/// (a flip/modified bit sits next to its word), so metadata bit `i` of a
+/// width-`m` field is charged to data region `i * regions / m` rather
+/// than occupying a region of its own.
+///
+/// # Panics
+///
+/// Panics if the images disagree on total bits.
+#[must_use]
+pub fn region_flips(old: &LineImage, new: &LineImage, cfg: SlotConfig) -> Vec<u32> {
+    assert_eq!(old.total_bits(), new.total_bits(), "image size mismatch");
+    let data_bits = deuce_crypto::LINE_BITS as u32;
+    let regions = cfg.regions_for(data_bits);
+    let meta_bits = old.total_bits() - data_bits;
+    let mut flips = vec![0u32; regions as usize];
+    for bit in old.changed_bits(new) {
+        let region = if bit < data_bits {
+            bit / cfg.region_bits
+        } else {
+            (bit - data_bits) * regions / meta_bits.max(1)
+        };
+        flips[region.min(regions - 1) as usize] += 1;
+    }
+    flips
+}
+
+/// Number of write slots a write consumes: first-fit-decreasing packing of
+/// the per-region flip counts into slots with a `flips_per_slot` budget.
+///
+/// Internal FNW guarantees each region needs at most `flips_per_slot`
+/// flips, so every region fits in some slot. A write that flips nothing
+/// still consumes one slot (the device must still drive the write
+/// command).
+#[must_use]
+pub fn write_slots(old: &LineImage, new: &LineImage, cfg: SlotConfig) -> u32 {
+    let mut flips = region_flips(old, new, cfg);
+    // Internal FNW bounds each region's flips at half the region bits.
+    for f in &mut flips {
+        *f = (*f).min(cfg.flips_per_slot);
+    }
+    flips.retain(|&f| f > 0);
+    if flips.is_empty() {
+        return 1;
+    }
+    flips.sort_unstable_by(|a, b| b.cmp(a));
+    let mut bins: Vec<u32> = Vec::new();
+    for f in flips {
+        match bins.iter_mut().find(|remaining| **remaining >= f) {
+            Some(remaining) => *remaining -= f,
+            None => bins.push(cfg.flips_per_slot - f),
+        }
+    }
+    bins.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line_image::{LineImage, MetaBits};
+
+    fn image_with_region_flips(per_region: &[u32]) -> (LineImage, LineImage) {
+        let old = LineImage::new([0u8; 64], MetaBits::new(32));
+        let mut new = old;
+        for (region, &n) in per_region.iter().enumerate() {
+            for i in 0..n {
+                let bit = region as u32 * 128 + i;
+                assert!(bit < 512, "test helper only sets data bits");
+                new.data_mut()[(bit / 8) as usize] |= 1 << (bit % 8);
+            }
+        }
+        (old, new)
+    }
+
+    #[test]
+    fn zero_flip_write_takes_one_slot() {
+        let (old, _) = image_with_region_flips(&[0, 0, 0, 0]);
+        assert_eq!(write_slots(&old, &old, SlotConfig::PAPER), 1);
+    }
+
+    #[test]
+    fn dense_write_takes_four_slots() {
+        // ~64 flips in each of 4 regions: no two regions can share a slot.
+        let (old, new) = image_with_region_flips(&[64, 64, 64, 64]);
+        assert_eq!(write_slots(&old, &new, SlotConfig::PAPER), 4);
+    }
+
+    #[test]
+    fn paper_fragmentation_example() {
+        // §6.1: "if the given write causes 70 flips, and one slot can only
+        // handle 64 flips, then this write will take two slots."
+        let (old, new) = image_with_region_flips(&[35, 35, 0, 0]);
+        // 35+35=70 > 64: cannot share.
+        assert_eq!(write_slots(&old, &new, SlotConfig::PAPER), 2);
+    }
+
+    #[test]
+    fn sparse_regions_pack_into_one_slot() {
+        let (old, new) = image_with_region_flips(&[16, 16, 16, 16]);
+        assert_eq!(write_slots(&old, &new, SlotConfig::PAPER), 1);
+    }
+
+    #[test]
+    fn two_pairs_pack_into_two_slots() {
+        let (old, new) = image_with_region_flips(&[40, 30, 24, 30]);
+        // FFD: 40+24=64 in slot 1, 30+30=60 in slot 2.
+        assert_eq!(write_slots(&old, &new, SlotConfig::PAPER), 2);
+    }
+
+    #[test]
+    fn region_flips_colocate_metadata_with_its_words() {
+        let old = LineImage::new([0u8; 64], MetaBits::new(32));
+        let mut new = old;
+        new.meta_mut().set(0, true); // word 0's bit -> region 0
+        new.meta_mut().set(31, true); // word 31's bit -> region 3
+        let flips = region_flips(&old, &new, SlotConfig::PAPER);
+        assert_eq!(flips.len(), 4);
+        assert_eq!(flips[0], 1);
+        assert_eq!(flips[3], 1);
+    }
+
+    #[test]
+    fn regions_for_rounds_up() {
+        assert_eq!(SlotConfig::PAPER.regions_for(512), 4);
+        assert_eq!(SlotConfig::PAPER.regions_for(544), 5);
+        assert_eq!(SlotConfig::PAPER.regions_for(128), 1);
+        assert_eq!(SlotConfig::PAPER.regions_for(129), 2);
+    }
+}

@@ -1,0 +1,365 @@
+//! Block-Level Encryption (BLE) and its DEUCE combination (§7.1).
+//!
+//! BLE provisions each 64-byte line with four counters, one per 16-byte
+//! AES block, and re-encrypts only the blocks whose plaintext changed.
+//! This cuts the avalanche from the whole line to the touched blocks
+//! (50% → 33% average flips), but still rewrites 128 bits when a single
+//! bit changes. DEUCE can run *inside* each block, decoupling the
+//! re-encryption granularity (2-byte words) from the AES granularity —
+//! the BLE+DEUCE combination reaches 19.9% (Fig. 18).
+
+use deuce_crypto::{
+    BlockCounters, EpochInterval, LineAddr, LineBytes, OtpEngine, VirtualCounterPair,
+    BLOCKS_PER_LINE, BLOCK_BYTES,
+};
+use deuce_nvm::{LineImage, MetaBits};
+
+use crate::config::WordSize;
+use crate::WriteOutcome;
+
+fn block_range(block: usize) -> core::ops::Range<usize> {
+    block * BLOCK_BYTES..(block + 1) * BLOCK_BYTES
+}
+
+/// One memory line under Block-Level Encryption.
+#[derive(Debug, Clone)]
+pub struct BleLine {
+    stored: LineBytes,
+    shadow: LineBytes,
+    counters: BlockCounters,
+    addr: LineAddr,
+}
+
+impl BleLine {
+    /// Initializes the line: each block encrypted at its counter 0.
+    #[must_use]
+    pub fn new(engine: &OtpEngine, addr: LineAddr, initial: &LineBytes, counter_bits: u32) -> Self {
+        let counters = BlockCounters::new(counter_bits);
+        let mut stored = [0u8; deuce_crypto::LINE_BYTES];
+        for block in 0..BLOCKS_PER_LINE {
+            let pad = engine.block_pad(addr, block, counters.value(block));
+            let mut pt = [0u8; BLOCK_BYTES];
+            pt.copy_from_slice(&initial[block_range(block)]);
+            stored[block_range(block)].copy_from_slice(&pad.xor(&pt));
+        }
+        Self {
+            stored,
+            shadow: *initial,
+            counters,
+            addr,
+        }
+    }
+
+    /// Writes new data: only blocks whose plaintext changed re-encrypt
+    /// (their counters increment).
+    #[must_use]
+    pub fn write(&mut self, engine: &OtpEngine, data: &LineBytes) -> WriteOutcome {
+        let old_image = self.image();
+        let mut counter_flips = 0u32;
+        for block in 0..BLOCKS_PER_LINE {
+            let range = block_range(block);
+            if data[range.clone()] == self.shadow[range.clone()] {
+                continue;
+            }
+            let old = self.counters.value(block);
+            self.counters.increment(block);
+            counter_flips += (old ^ self.counters.value(block)).count_ones();
+            let pad = engine.block_pad(self.addr, block, self.counters.value(block));
+            let mut pt = [0u8; BLOCK_BYTES];
+            pt.copy_from_slice(&data[range.clone()]);
+            self.stored[range].copy_from_slice(&pad.xor(&pt));
+        }
+        self.shadow = *data;
+        WriteOutcome::from_images(old_image, self.image(), counter_flips, false)
+    }
+
+    /// Reads the line: each block decrypts with its own counter.
+    #[must_use]
+    pub fn read(&self, engine: &OtpEngine) -> LineBytes {
+        let mut out = [0u8; deuce_crypto::LINE_BYTES];
+        for block in 0..BLOCKS_PER_LINE {
+            let pad = engine.block_pad(self.addr, block, self.counters.value(block));
+            let mut ct = [0u8; BLOCK_BYTES];
+            ct.copy_from_slice(&self.stored[block_range(block)]);
+            out[block_range(block)].copy_from_slice(&pad.xor(&ct));
+        }
+        out
+    }
+
+    /// The per-block counter values.
+    #[must_use]
+    pub fn counters(&self) -> &BlockCounters {
+        &self.counters
+    }
+
+    /// The current stored image (no metadata bits — counters are stored
+    /// separately).
+    #[must_use]
+    pub fn image(&self) -> LineImage {
+        LineImage::new(self.stored, MetaBits::new(0))
+    }
+}
+
+/// One memory line under BLE with DEUCE running inside each block.
+///
+/// Each block keeps its own counter with DEUCE epoch semantics; each word
+/// keeps a modified bit. A block whose plaintext is untouched by a write
+/// is skipped entirely (its counter does not advance), so words in cold
+/// blocks never suffer epoch re-encryption — which is why the combination
+/// beats standalone DEUCE (19.9% vs 23.7%).
+#[derive(Debug, Clone)]
+pub struct BleDeuceLine {
+    stored: LineBytes,
+    shadow: LineBytes,
+    counters: BlockCounters,
+    /// One modified bit per word across the whole line.
+    modified: MetaBits,
+    addr: LineAddr,
+    epoch: EpochInterval,
+    word_size: WordSize,
+}
+
+impl BleDeuceLine {
+    /// Initializes the line.
+    #[must_use]
+    pub fn new(
+        engine: &OtpEngine,
+        addr: LineAddr,
+        initial: &LineBytes,
+        word_size: WordSize,
+        epoch: EpochInterval,
+        counter_bits: u32,
+    ) -> Self {
+        assert!(
+            word_size.bytes() <= BLOCK_BYTES,
+            "word size must fit within an AES block"
+        );
+        let counters = BlockCounters::new(counter_bits);
+        let mut stored = [0u8; deuce_crypto::LINE_BYTES];
+        for block in 0..BLOCKS_PER_LINE {
+            let pad = engine.block_pad(addr, block, counters.value(block));
+            let mut pt = [0u8; BLOCK_BYTES];
+            pt.copy_from_slice(&initial[block_range(block)]);
+            stored[block_range(block)].copy_from_slice(&pad.xor(&pt));
+        }
+        Self {
+            stored,
+            shadow: *initial,
+            counters,
+            modified: MetaBits::new(word_size.tracking_bits()),
+            addr,
+            epoch,
+            word_size,
+        }
+    }
+
+    fn words_per_block(&self) -> usize {
+        BLOCK_BYTES / self.word_size.bytes()
+    }
+
+    /// Writes new data.
+    #[must_use]
+    pub fn write(&mut self, engine: &OtpEngine, data: &LineBytes) -> WriteOutcome {
+        let old_image = self.image();
+        let w = self.word_size.bytes();
+        let wpb = self.words_per_block();
+        let mut counter_flips = 0u32;
+        let mut any_epoch = false;
+
+        for block in 0..BLOCKS_PER_LINE {
+            let brange = block_range(block);
+            if data[brange.clone()] == self.shadow[brange] {
+                continue; // cold block: counter frozen, nothing rewritten
+            }
+            let old_ctr = self.counters.value(block);
+            self.counters.increment(block);
+            counter_flips += (old_ctr ^ self.counters.value(block)).count_ones();
+            let v = VirtualCounterPair::derive(self.counters.value(block), self.epoch);
+
+            let lead_pad = engine.block_pad(self.addr, block, v.lctr());
+            if v.is_epoch_start() {
+                any_epoch = true;
+                // Whole block re-encrypts; its modified bits reset.
+                for word_in_block in 0..wpb {
+                    let word = block * wpb + word_in_block;
+                    self.modified.set(word as u32, false);
+                    for (offset, i) in (word * w..(word + 1) * w).enumerate() {
+                        self.stored[i] =
+                            data[i] ^ lead_pad.as_bytes()[word_in_block * w + offset];
+                    }
+                }
+            } else {
+                for word_in_block in 0..wpb {
+                    let word = block * wpb + word_in_block;
+                    let range = word * w..(word + 1) * w;
+                    if data[range.clone()] != self.shadow[range] {
+                        self.modified.set(word as u32, true);
+                    }
+                }
+                for word_in_block in 0..wpb {
+                    let word = block * wpb + word_in_block;
+                    if self.modified.get(word as u32) {
+                        for (offset, i) in (word * w..(word + 1) * w).enumerate() {
+                            self.stored[i] =
+                                data[i] ^ lead_pad.as_bytes()[word_in_block * w + offset];
+                        }
+                    }
+                }
+            }
+        }
+        self.shadow = *data;
+        WriteOutcome::from_images(old_image, self.image(), counter_flips, any_epoch)
+    }
+
+    /// Reads the line: per block, per word, the modified bit selects the
+    /// leading or trailing block pad.
+    #[must_use]
+    pub fn read(&self, engine: &OtpEngine) -> LineBytes {
+        let w = self.word_size.bytes();
+        let wpb = self.words_per_block();
+        let mut out = [0u8; deuce_crypto::LINE_BYTES];
+        for block in 0..BLOCKS_PER_LINE {
+            let v = VirtualCounterPair::derive(self.counters.value(block), self.epoch);
+            let lead = engine.block_pad(self.addr, block, v.lctr());
+            let trail = engine.block_pad(self.addr, block, v.tctr());
+            for word_in_block in 0..wpb {
+                let word = block * wpb + word_in_block;
+                let pad = if self.modified.get(word as u32) {
+                    lead.as_bytes()
+                } else {
+                    trail.as_bytes()
+                };
+                for (offset, i) in (word * w..(word + 1) * w).enumerate() {
+                    out[i] = self.stored[i] ^ pad[word_in_block * w + offset];
+                }
+            }
+        }
+        out
+    }
+
+    /// The current stored image (ciphertext + per-word modified bits).
+    #[must_use]
+    pub fn image(&self) -> LineImage {
+        LineImage::new(self.stored, self.modified)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deuce_crypto::SecretKey;
+
+    fn engine() -> OtpEngine {
+        OtpEngine::new(&SecretKey::from_seed(41))
+    }
+
+    #[test]
+    fn ble_roundtrip() {
+        let e = engine();
+        let mut l = BleLine::new(&e, LineAddr::new(1), &[0u8; 64], 28);
+        for i in 0..30u8 {
+            let mut data = [0u8; 64];
+            data[usize::from(i % 64)] = i + 1;
+            let _ = l.write(&e, &data);
+            assert_eq!(l.read(&e), data, "write {i}");
+        }
+    }
+
+    #[test]
+    fn ble_touches_only_changed_blocks() {
+        let e = engine();
+        let mut l = BleLine::new(&e, LineAddr::new(2), &[0u8; 64], 28);
+        let mut data = [0u8; 64];
+        data[0] = 1; // block 0 only
+        let o = l.write(&e, &data);
+        for bit in o.old_image.changed_bits(&o.new_image) {
+            assert!(bit < 128, "bit {bit} outside block 0 flipped");
+        }
+        // Block 0's counter advanced; others untouched.
+        assert_eq!(l.counters().value(0), 1);
+        assert_eq!(l.counters().value(1), 0);
+        // A single-block change re-encrypts ~64 of its 128 bits.
+        assert!(o.flips.total() >= 40 && o.flips.total() <= 90);
+    }
+
+    #[test]
+    fn ble_unchanged_write_flips_nothing() {
+        let e = engine();
+        let data = [5u8; 64];
+        let mut l = BleLine::new(&e, LineAddr::new(3), &data, 28);
+        let o = l.write(&e, &data);
+        assert_eq!(o.flips.total(), 0);
+        assert_eq!(o.counter_flips, 0);
+    }
+
+    #[test]
+    fn ble_deuce_roundtrip_across_block_epochs() {
+        let e = engine();
+        let mut l = BleDeuceLine::new(
+            &e,
+            LineAddr::new(4),
+            &[0u8; 64],
+            WordSize::Bytes2,
+            EpochInterval::new(4).unwrap(),
+            28,
+        );
+        for i in 0..40u8 {
+            let mut data = [0u8; 64];
+            data[0] = i; // block 0
+            data[40] = i.wrapping_mul(2); // block 2
+            let _ = l.write(&e, &data);
+            assert_eq!(l.read(&e), data, "write {i}");
+        }
+    }
+
+    #[test]
+    fn ble_deuce_sparse_write_is_cheaper_than_ble() {
+        let e = engine();
+        let mut ble = BleLine::new(&e, LineAddr::new(5), &[0u8; 64], 28);
+        let mut combo = BleDeuceLine::new(
+            &e,
+            LineAddr::new(5),
+            &[0u8; 64],
+            WordSize::Bytes2,
+            EpochInterval::DEFAULT,
+            28,
+        );
+        let mut ble_total = 0u64;
+        let mut combo_total = 0u64;
+        for i in 0..320u64 {
+            let mut data = [0u8; 64];
+            data[0] = i as u8;
+            data[1] = (i >> 8) as u8;
+            ble_total += u64::from(ble.write(&e, &data).flips.total());
+            combo_total += u64::from(combo.write(&e, &data).flips.total());
+        }
+        assert!(
+            combo_total < ble_total,
+            "BLE+DEUCE ({combo_total}) should beat BLE ({ble_total}) on sparse writes"
+        );
+    }
+
+    #[test]
+    fn ble_deuce_cold_blocks_never_reencrypt() {
+        let e = engine();
+        let mut l = BleDeuceLine::new(
+            &e,
+            LineAddr::new(6),
+            &[0u8; 64],
+            WordSize::Bytes2,
+            EpochInterval::new(4).unwrap(),
+            28,
+        );
+        // 20 writes (5 block epochs) confined to block 0.
+        for i in 0..20u8 {
+            let mut data = [0u8; 64];
+            data[0] = i + 1;
+            let o = l.write(&e, &data);
+            for bit in o.old_image.changed_bits(&o.new_image) {
+                let in_block0 = bit < 128;
+                let block0_meta = (512..512 + 8).contains(&bit);
+                assert!(in_block0 || block0_meta, "cold-block bit {bit} flipped");
+            }
+        }
+    }
+}

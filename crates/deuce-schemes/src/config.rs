@@ -1,0 +1,281 @@
+//! Scheme selection and parameters.
+
+use deuce_crypto::EpochInterval;
+use deuce_crypto::LINE_BYTES;
+
+/// DEUCE's modified-word tracking granularity (§4.2). One metadata bit is
+/// stored per word, so smaller words cost more storage but save more
+/// flips (Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum WordSize {
+    /// 1-byte words: 64 tracking bits per line, 21.4% flips.
+    Bytes1,
+    /// 2-byte words (the paper's default): 32 bits, 23.7% flips.
+    #[default]
+    Bytes2,
+    /// 4-byte words: 16 bits, 26.8% flips.
+    Bytes4,
+    /// 8-byte words: 8 bits, 32.2% flips.
+    Bytes8,
+}
+
+impl WordSize {
+    /// Word size in bytes.
+    #[must_use]
+    pub fn bytes(self) -> usize {
+        match self {
+            WordSize::Bytes1 => 1,
+            WordSize::Bytes2 => 2,
+            WordSize::Bytes4 => 4,
+            WordSize::Bytes8 => 8,
+        }
+    }
+
+    /// Words per 64-byte line.
+    #[must_use]
+    pub fn words_per_line(self) -> usize {
+        LINE_BYTES / self.bytes()
+    }
+
+    /// Tracking metadata bits per line (one per word).
+    #[must_use]
+    pub fn tracking_bits(self) -> u32 {
+        self.words_per_line() as u32
+    }
+
+    /// Creates a word size from a byte count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message for sizes other than 1, 2, 4 or 8.
+    pub fn from_bytes(bytes: usize) -> Result<Self, InvalidWordSize> {
+        match bytes {
+            1 => Ok(WordSize::Bytes1),
+            2 => Ok(WordSize::Bytes2),
+            4 => Ok(WordSize::Bytes4),
+            8 => Ok(WordSize::Bytes8),
+            other => Err(InvalidWordSize(other)),
+        }
+    }
+}
+
+
+/// Error for unsupported DEUCE word sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidWordSize(pub usize);
+
+impl core::fmt::Display for InvalidWordSize {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid DEUCE word size {} (expected 1, 2, 4 or 8)", self.0)
+    }
+}
+
+impl std::error::Error for InvalidWordSize {}
+
+/// Which memory encoding to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Plaintext memory with Data Comparison Write.
+    UnencryptedDcw,
+    /// Plaintext memory with Flip-N-Write at 2-byte granularity.
+    UnencryptedFnw,
+    /// Counter-mode encrypted memory (the secure baseline): the whole
+    /// line re-encrypts on every write.
+    EncryptedDcw,
+    /// Counter-mode encryption with FNW applied to the ciphertext.
+    EncryptedFnw,
+    /// Block-Level Encryption: four 16-byte blocks with private counters.
+    Ble,
+    /// Dual Counter Encryption (the paper's contribution).
+    Deuce,
+    /// DEUCE that morphs into FNW mid-epoch when FNW would flip fewer
+    /// bits (§4.6).
+    DynDeuce,
+    /// DEUCE with dedicated FNW flip bits on top (64 metadata bits).
+    DeuceFnw,
+    /// DEUCE running inside each BLE block (§7.1, Fig. 18).
+    BleDeuce,
+    /// Address-only pad encryption (§7.2): counterless, protects against
+    /// stolen-DIMM attacks only, with unencrypted-level bit flips.
+    AddrPad,
+}
+
+impl SchemeKind {
+    /// All schemes, in the order the paper's figures present them.
+    pub const ALL: [SchemeKind; 10] = [
+        SchemeKind::UnencryptedDcw,
+        SchemeKind::UnencryptedFnw,
+        SchemeKind::EncryptedDcw,
+        SchemeKind::EncryptedFnw,
+        SchemeKind::Ble,
+        SchemeKind::Deuce,
+        SchemeKind::DynDeuce,
+        SchemeKind::DeuceFnw,
+        SchemeKind::BleDeuce,
+        SchemeKind::AddrPad,
+    ];
+
+    /// Short label used in experiment output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::UnencryptedDcw => "NoEncr-DCW",
+            SchemeKind::UnencryptedFnw => "NoEncr-FNW",
+            SchemeKind::EncryptedDcw => "Encr-DCW",
+            SchemeKind::EncryptedFnw => "Encr-FNW",
+            SchemeKind::Ble => "BLE",
+            SchemeKind::Deuce => "DEUCE",
+            SchemeKind::DynDeuce => "DynDEUCE",
+            SchemeKind::DeuceFnw => "DEUCE+FNW",
+            SchemeKind::BleDeuce => "BLE+DEUCE",
+            SchemeKind::AddrPad => "AddrPad",
+        }
+    }
+
+    /// Whether the scheme encrypts memory contents.
+    #[must_use]
+    pub fn is_encrypted(self) -> bool {
+        !matches!(self, SchemeKind::UnencryptedDcw | SchemeKind::UnencryptedFnw)
+    }
+}
+
+impl core::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Full scheme configuration: kind plus the DEUCE/FNW parameters.
+///
+/// # Examples
+///
+/// ```
+/// use deuce_schemes::{SchemeConfig, SchemeKind, WordSize};
+/// use deuce_crypto::EpochInterval;
+///
+/// let config = SchemeConfig::new(SchemeKind::Deuce)
+///     .with_word_size(WordSize::Bytes4)
+///     .with_epoch(EpochInterval::new(16)?);
+/// assert_eq!(config.metadata_bits(), 16);
+/// # Ok::<(), deuce_crypto::InvalidEpochInterval>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemeConfig {
+    /// Which scheme to run.
+    pub kind: SchemeKind,
+    /// DEUCE tracking granularity (default: 2 bytes).
+    pub word_size: WordSize,
+    /// DEUCE epoch interval (default: 32 writes).
+    pub epoch: EpochInterval,
+    /// FNW segment width in bits (default: 16, i.e. 2-byte granularity
+    /// with one flip bit per 16 data bits).
+    pub fnw_segment_bits: u32,
+    /// Line-counter width in bits (default: 28; BLE uses this per block).
+    pub counter_bits: u32,
+}
+
+impl SchemeConfig {
+    /// Creates the default (paper Table 1 / §3.1) configuration for a
+    /// scheme: 2-byte words, epoch 32, 16-bit FNW segments, 28-bit
+    /// counters.
+    #[must_use]
+    pub fn new(kind: SchemeKind) -> Self {
+        Self {
+            kind,
+            word_size: WordSize::default(),
+            epoch: EpochInterval::DEFAULT,
+            fnw_segment_bits: 16,
+            counter_bits: 28,
+        }
+    }
+
+    /// Sets the DEUCE word size.
+    #[must_use]
+    pub fn with_word_size(mut self, word_size: WordSize) -> Self {
+        self.word_size = word_size;
+        self
+    }
+
+    /// Sets the DEUCE epoch interval.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: EpochInterval) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Per-line metadata bits the scheme stores (Table 3), excluding
+    /// counters.
+    #[must_use]
+    pub fn metadata_bits(&self) -> u32 {
+        let fnw_bits = (deuce_crypto::LINE_BITS as u32) / self.fnw_segment_bits;
+        match self.kind {
+            SchemeKind::UnencryptedDcw
+            | SchemeKind::EncryptedDcw
+            | SchemeKind::Ble
+            | SchemeKind::AddrPad => 0,
+            SchemeKind::UnencryptedFnw | SchemeKind::EncryptedFnw => fnw_bits,
+            SchemeKind::Deuce | SchemeKind::BleDeuce => self.word_size.tracking_bits(),
+            SchemeKind::DynDeuce => self.word_size.tracking_bits() + 1,
+            SchemeKind::DeuceFnw => self.word_size.tracking_bits() + fnw_bits,
+        }
+    }
+
+    /// Per-line counter storage bits (28 for line-counter schemes, 4×28
+    /// for BLE variants, 0 for unencrypted memory).
+    #[must_use]
+    pub fn counter_storage_bits(&self) -> u32 {
+        match self.kind {
+            SchemeKind::UnencryptedDcw | SchemeKind::UnencryptedFnw | SchemeKind::AddrPad => 0,
+            SchemeKind::Ble | SchemeKind::BleDeuce => self.counter_bits * 4,
+            _ => self.counter_bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_sizes() {
+        assert_eq!(WordSize::Bytes1.tracking_bits(), 64);
+        assert_eq!(WordSize::Bytes2.tracking_bits(), 32);
+        assert_eq!(WordSize::Bytes4.tracking_bits(), 16);
+        assert_eq!(WordSize::Bytes8.tracking_bits(), 8);
+        assert_eq!(WordSize::from_bytes(2), Ok(WordSize::Bytes2));
+        assert_eq!(WordSize::from_bytes(3), Err(InvalidWordSize(3)));
+    }
+
+    #[test]
+    fn table3_metadata_overheads() {
+        // Table 3: FNW 32, DEUCE 32, DynDEUCE 33, DEUCE+FNW 64 bits/line.
+        assert_eq!(SchemeConfig::new(SchemeKind::EncryptedFnw).metadata_bits(), 32);
+        assert_eq!(SchemeConfig::new(SchemeKind::Deuce).metadata_bits(), 32);
+        assert_eq!(SchemeConfig::new(SchemeKind::DynDeuce).metadata_bits(), 33);
+        assert_eq!(SchemeConfig::new(SchemeKind::DeuceFnw).metadata_bits(), 64);
+        assert_eq!(SchemeConfig::new(SchemeKind::EncryptedDcw).metadata_bits(), 0);
+    }
+
+    #[test]
+    fn counter_storage() {
+        assert_eq!(SchemeConfig::new(SchemeKind::UnencryptedDcw).counter_storage_bits(), 0);
+        assert_eq!(SchemeConfig::new(SchemeKind::Deuce).counter_storage_bits(), 28);
+        assert_eq!(SchemeConfig::new(SchemeKind::Ble).counter_storage_bits(), 112);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            SchemeKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), SchemeKind::ALL.len());
+    }
+
+    #[test]
+    fn encryption_flags() {
+        assert!(!SchemeKind::UnencryptedDcw.is_encrypted());
+        assert!(!SchemeKind::UnencryptedFnw.is_encrypted());
+        assert!(SchemeKind::Deuce.is_encrypted());
+        assert!(SchemeKind::Ble.is_encrypted());
+    }
+}

@@ -1,0 +1,157 @@
+//! Data Comparison Write baselines: plaintext DCW and counter-mode
+//! encrypted DCW (the paper's secure baseline).
+
+use deuce_crypto::{LineAddr, LineBytes, LineCounter, OtpEngine};
+use deuce_nvm::{LineImage, MetaBits};
+
+use crate::WriteOutcome;
+
+/// Plaintext memory with Data Comparison Write \[7\]: only the bits that
+/// changed are written. This is the unencrypted reference (12.4% average
+/// flips in Fig. 5).
+#[derive(Debug, Clone)]
+pub struct UnencryptedDcwLine {
+    stored: LineBytes,
+}
+
+impl UnencryptedDcwLine {
+    /// Initializes the line with `initial`.
+    #[must_use]
+    pub fn new(initial: &LineBytes) -> Self {
+        Self { stored: *initial }
+    }
+
+    /// Writes new data.
+    #[must_use]
+    pub fn write(&mut self, data: &LineBytes) -> WriteOutcome {
+        let old_image = self.image();
+        self.stored = *data;
+        WriteOutcome::from_images(old_image, self.image(), 0, false)
+    }
+
+    /// Reads the line.
+    #[must_use]
+    pub fn read(&self) -> LineBytes {
+        self.stored
+    }
+
+    /// The current stored image (no metadata).
+    #[must_use]
+    pub fn image(&self) -> LineImage {
+        LineImage::new(self.stored, MetaBits::new(0))
+    }
+}
+
+/// Counter-mode encrypted memory (Fig. 2c / §2.4): each write increments
+/// the per-line counter and re-encrypts the entire line with a fresh
+/// one-time pad. The avalanche effect makes ~50% of the stored bits flip
+/// on every write regardless of how little the plaintext changed — the
+/// problem DEUCE exists to fix.
+#[derive(Debug, Clone)]
+pub struct EncryptedDcwLine {
+    stored: LineBytes,
+    addr: LineAddr,
+    counter: LineCounter,
+}
+
+impl EncryptedDcwLine {
+    /// Initializes the line: `initial` is encrypted at counter 0.
+    #[must_use]
+    pub fn new(engine: &OtpEngine, addr: LineAddr, initial: &LineBytes, counter_bits: u32) -> Self {
+        let counter = LineCounter::new(counter_bits);
+        Self {
+            stored: engine.line_pad(addr, counter.value()).xor(initial),
+            addr,
+            counter,
+        }
+    }
+
+    /// Writes new data: counter increments, whole line re-encrypts.
+    #[must_use]
+    pub fn write(&mut self, engine: &OtpEngine, data: &LineBytes) -> WriteOutcome {
+        let old_image = self.image();
+        let old_ctr = self.counter.value();
+        self.counter.increment();
+        self.stored = engine.line_pad(self.addr, self.counter.value()).xor(data);
+        WriteOutcome::from_images(old_image, self.image(), self.counter.flips_from(old_ctr), false)
+    }
+
+    /// Reads and decrypts the line.
+    #[must_use]
+    pub fn read(&self, engine: &OtpEngine) -> LineBytes {
+        engine.line_pad(self.addr, self.counter.value()).xor(&self.stored)
+    }
+
+    /// The current line-counter value.
+    #[must_use]
+    pub fn counter(&self) -> u64 {
+        self.counter.value()
+    }
+
+    /// The current stored image (no metadata).
+    #[must_use]
+    pub fn image(&self) -> LineImage {
+        LineImage::new(self.stored, MetaBits::new(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deuce_crypto::SecretKey;
+
+    #[test]
+    fn unencrypted_dcw_counts_exact_flips() {
+        let mut line = UnencryptedDcwLine::new(&[0u8; 64]);
+        let mut data = [0u8; 64];
+        data[0] = 0b111;
+        let outcome = line.write(&data);
+        assert_eq!(outcome.flips.total(), 3);
+        assert_eq!(line.read(), data);
+        // Writing identical data flips nothing.
+        assert_eq!(line.write(&data).flips.total(), 0);
+    }
+
+    #[test]
+    fn encrypted_dcw_roundtrip() {
+        let engine = OtpEngine::new(&SecretKey::from_seed(5));
+        let mut line = EncryptedDcwLine::new(&engine, LineAddr::new(77), &[9u8; 64], 28);
+        assert_eq!(line.read(&engine), [9u8; 64]);
+        let data = [3u8; 64];
+        let _ = line.write(&engine, &data);
+        assert_eq!(line.read(&engine), data);
+        assert_eq!(line.counter(), 1);
+    }
+
+    #[test]
+    fn encrypted_dcw_avalanche_near_half() {
+        let engine = OtpEngine::new(&SecretKey::from_seed(6));
+        let mut line = EncryptedDcwLine::new(&engine, LineAddr::new(1), &[0u8; 64], 28);
+        let mut total = 0u64;
+        let writes = 2000u64;
+        for i in 0..writes {
+            let mut data = [0u8; 64];
+            data[0] = i as u8; // one byte of logical change
+            total += u64::from(line.write(&engine, &data).flips.total());
+        }
+        let rate = total as f64 / writes as f64 / 512.0;
+        assert!((rate - 0.5).abs() < 0.01, "encrypted DCW flip rate {rate}");
+    }
+
+    #[test]
+    fn encrypted_stored_bits_differ_from_plaintext() {
+        let engine = OtpEngine::new(&SecretKey::from_seed(8));
+        let line = EncryptedDcwLine::new(&engine, LineAddr::new(2), &[0u8; 64], 28);
+        assert_ne!(line.image().data(), &[0u8; 64], "data at rest is encrypted");
+    }
+
+    #[test]
+    fn counter_flip_accounting() {
+        let engine = OtpEngine::new(&SecretKey::from_seed(9));
+        let mut line = EncryptedDcwLine::new(&engine, LineAddr::new(3), &[0u8; 64], 28);
+        let o1 = line.write(&engine, &[1u8; 64]);
+        assert_eq!(o1.counter_flips, 1); // 0 -> 1
+        let o2 = line.write(&engine, &[2u8; 64]);
+        assert_eq!(o2.counter_flips, 2); // 1 -> 2 (0b01 -> 0b10)
+    }
+}

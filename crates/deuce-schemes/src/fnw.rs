@@ -1,0 +1,327 @@
+//! Flip-N-Write \[8\]: per-segment data inversion to halve worst-case bit
+//! flips.
+//!
+//! FNW divides the line into segments (16 bits in the paper's
+//! configuration, §3.1) and stores each segment either as-is or inverted,
+//! recording the choice in a per-segment *flip bit*. On a write, the
+//! encoding with fewer cell flips (counting the flip bit itself) wins,
+//! bounding flips at half the segment size. On unencrypted data this
+//! trims 12.4% → 10.5% average flips; on encrypted (random) data it trims
+//! 50% → ~42.7%.
+
+use deuce_crypto::{LineBytes, LINE_BYTES};
+use deuce_nvm::{LineImage, MetaBits};
+
+/// The chosen FNW encoding of a full line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnwEncoding {
+    /// Segment values as stored (possibly inverted).
+    pub stored: LineBytes,
+    /// One flip bit per segment.
+    pub flip_bits: MetaBits,
+}
+
+/// Encodes `logical` for storage over the current stored image
+/// (`old_stored`, `old_flips`), choosing per-segment inversion to
+/// minimize total cell flips (data + flip bit).
+///
+/// Ties prefer the *current* flip-bit value (no gratuitous metadata
+/// flips).
+///
+/// # Panics
+///
+/// Panics if `segment_bits` is not a multiple of 8 that divides the line,
+/// or if `old_flips.width()` doesn't match the segment count.
+#[must_use]
+pub fn fnw_encode(
+    logical: &LineBytes,
+    old_stored: &LineBytes,
+    old_flips: &MetaBits,
+    segment_bits: u32,
+) -> FnwEncoding {
+    assert!(
+        segment_bits >= 8 && segment_bits.is_multiple_of(8) && (LINE_BYTES * 8).is_multiple_of(segment_bits as usize),
+        "unsupported FNW segment width {segment_bits}"
+    );
+    let seg_bytes = (segment_bits / 8) as usize;
+    let segments = LINE_BYTES / seg_bytes;
+    assert_eq!(old_flips.width(), segments as u32, "flip-bit width mismatch");
+
+    let mut stored = [0u8; LINE_BYTES];
+    let mut flip_bits = MetaBits::new(segments as u32);
+
+    for seg in 0..segments {
+        let range = seg * seg_bytes..(seg + 1) * seg_bytes;
+        let old_flip = old_flips.get(seg as u32);
+
+        let mut normal_flips = u32::from(old_flip); // flip bit 1 -> 0
+        let mut inverted_flips = u32::from(!old_flip); // flip bit 0 -> 1
+        for (l, o) in logical[range.clone()].iter().zip(&old_stored[range.clone()]) {
+            normal_flips += (l ^ o).count_ones();
+            inverted_flips += (!l ^ o).count_ones();
+        }
+
+        // Strict comparison: on ties keep the normal/old-flip-preserving
+        // choice determined by which candidate preserves the flip bit.
+        let invert = if inverted_flips != normal_flips {
+            inverted_flips < normal_flips
+        } else {
+            old_flip
+        };
+        for (dst, src) in stored[range.clone()].iter_mut().zip(&logical[range]) {
+            *dst = if invert { !src } else { *src };
+        }
+        flip_bits.set(seg as u32, invert);
+    }
+
+    FnwEncoding { stored, flip_bits }
+}
+
+/// Decodes an FNW-stored line back to its logical value.
+#[must_use]
+pub fn fnw_decode(stored: &LineBytes, flip_bits: &MetaBits, segment_bits: u32) -> LineBytes {
+    let seg_bytes = (segment_bits / 8) as usize;
+    let mut logical = *stored;
+    for seg in 0..LINE_BYTES / seg_bytes {
+        if flip_bits.get(seg as u32) {
+            for b in &mut logical[seg * seg_bytes..(seg + 1) * seg_bytes] {
+                *b = !*b;
+            }
+        }
+    }
+    logical
+}
+
+/// Decodes a single stored segment given its flip bit (helper for
+/// word-granularity consumers).
+#[must_use]
+pub fn fnw_decode_segment(stored: &[u8], inverted: bool) -> Vec<u8> {
+    stored
+        .iter()
+        .map(|&b| if inverted { !b } else { b })
+        .collect()
+}
+
+/// Plaintext memory with Flip-N-Write (the paper's unencrypted FNW
+/// reference point).
+#[derive(Debug, Clone)]
+pub struct UnencryptedFnwLine {
+    stored: LineBytes,
+    flip_bits: MetaBits,
+    segment_bits: u32,
+}
+
+impl UnencryptedFnwLine {
+    /// Initializes the line holding `initial` (stored un-inverted).
+    #[must_use]
+    pub fn new(initial: &LineBytes, segment_bits: u32) -> Self {
+        let segments = (LINE_BYTES * 8) as u32 / segment_bits;
+        Self {
+            stored: *initial,
+            flip_bits: MetaBits::new(segments),
+            segment_bits,
+        }
+    }
+
+    /// Writes new data, FNW-encoded.
+    #[must_use]
+    pub fn write(&mut self, data: &LineBytes) -> crate::WriteOutcome {
+        let old_image = self.image();
+        let enc = fnw_encode(data, &self.stored, &self.flip_bits, self.segment_bits);
+        self.stored = enc.stored;
+        self.flip_bits = enc.flip_bits;
+        crate::WriteOutcome::from_images(old_image, self.image(), 0, false)
+    }
+
+    /// Reads the logical line value.
+    #[must_use]
+    pub fn read(&self) -> LineBytes {
+        fnw_decode(&self.stored, &self.flip_bits, self.segment_bits)
+    }
+
+    /// The current stored image.
+    #[must_use]
+    pub fn image(&self) -> LineImage {
+        LineImage::new(self.stored, self.flip_bits)
+    }
+}
+
+/// Counter-mode encrypted memory with FNW applied to the ciphertext.
+///
+/// Every write re-encrypts the whole line with a fresh pad (the
+/// counter increments), then FNW picks per-segment inversion — trimming
+/// the avalanche's 50% flips to ~42.7% (Table 3).
+#[derive(Debug, Clone)]
+pub struct EncryptedFnwLine {
+    stored: LineBytes,
+    flip_bits: MetaBits,
+    segment_bits: u32,
+    addr: deuce_crypto::LineAddr,
+    counter: deuce_crypto::LineCounter,
+}
+
+impl EncryptedFnwLine {
+    /// Initializes the line: `initial` is encrypted at counter 0 and
+    /// stored un-inverted.
+    #[must_use]
+    pub fn new(
+        engine: &deuce_crypto::OtpEngine,
+        addr: deuce_crypto::LineAddr,
+        initial: &LineBytes,
+        segment_bits: u32,
+        counter_bits: u32,
+    ) -> Self {
+        let segments = (LINE_BYTES * 8) as u32 / segment_bits;
+        let counter = deuce_crypto::LineCounter::new(counter_bits);
+        let ciphertext = engine.line_pad(addr, counter.value()).xor(initial);
+        Self {
+            stored: ciphertext,
+            flip_bits: MetaBits::new(segments),
+            segment_bits,
+            addr,
+            counter,
+        }
+    }
+
+    /// Writes new data: increments the counter, re-encrypts, FNW-encodes.
+    #[must_use]
+    pub fn write(&mut self, engine: &deuce_crypto::OtpEngine, data: &LineBytes) -> crate::WriteOutcome {
+        let old_image = self.image();
+        let old_ctr = self.counter.value();
+        self.counter.increment();
+        let ciphertext = engine.line_pad(self.addr, self.counter.value()).xor(data);
+        let enc = fnw_encode(&ciphertext, &self.stored, &self.flip_bits, self.segment_bits);
+        self.stored = enc.stored;
+        self.flip_bits = enc.flip_bits;
+        crate::WriteOutcome::from_images(old_image, self.image(), self.counter.flips_from(old_ctr), false)
+    }
+
+    /// Reads and decrypts the logical line value.
+    #[must_use]
+    pub fn read(&self, engine: &deuce_crypto::OtpEngine) -> LineBytes {
+        let ciphertext = fnw_decode(&self.stored, &self.flip_bits, self.segment_bits);
+        engine.line_pad(self.addr, self.counter.value()).xor(&ciphertext)
+    }
+
+    /// The current stored image.
+    #[must_use]
+    pub fn image(&self) -> LineImage {
+        LineImage::new(self.stored, self.flip_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deuce_crypto::{LineAddr, OtpEngine, SecretKey};
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let logical = {
+            let mut l = [0u8; LINE_BYTES];
+            for (i, b) in l.iter_mut().enumerate() {
+                *b = (i as u8).wrapping_mul(37);
+            }
+            l
+        };
+        let old = [0xAAu8; LINE_BYTES];
+        let flips = MetaBits::new(32);
+        let enc = fnw_encode(&logical, &old, &flips, 16);
+        assert_eq!(fnw_decode(&enc.stored, &enc.flip_bits, 16), logical);
+    }
+
+    #[test]
+    fn fnw_never_flips_more_than_dcw_plus_meta() {
+        // FNW's choice per segment is min(normal, inverted), so it cannot
+        // exceed the DCW flips by more than... it cannot exceed at all
+        // once flip-bit cost is included in both candidates.
+        let old_stored = [0x55u8; LINE_BYTES];
+        let old_flips = MetaBits::new(32);
+        let new = [0xAAu8; LINE_BYTES]; // worst case: every data bit differs
+        let enc = fnw_encode(&new, &old_stored, &old_flips, 16);
+        let old_img = LineImage::new(old_stored, old_flips);
+        let new_img = LineImage::new(enc.stored, enc.flip_bits);
+        let flips = old_img.flips_to(&new_img);
+        // Without FNW this would be 512 flips; FNW bounds it at
+        // segments * (segment/2 + 1) = 32 * 9 = 288, and for the pure
+        // inversion case it's just the 32 flip bits.
+        assert_eq!(flips.total(), 32);
+    }
+
+    #[test]
+    fn fnw_bound_half_plus_one_per_segment() {
+        // Random-ish data: flips per 17-bit (16+flip) segment <= 8+1.
+        let mut old_stored = [0u8; LINE_BYTES];
+        for (i, b) in old_stored.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(97).wrapping_add(13);
+        }
+        let old_flips = MetaBits::new(32);
+        let mut new = [0u8; LINE_BYTES];
+        for (i, b) in new.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(41).wrapping_add(201);
+        }
+        let enc = fnw_encode(&new, &old_stored, &old_flips, 16);
+        for seg in 0..32usize {
+            let mut flips = u32::from(enc.flip_bits.get(seg as u32) != old_flips.get(seg as u32));
+            let range = seg * 2..seg * 2 + 2;
+            for (a, b) in enc.stored[range.clone()].iter().zip(&old_stored[range]) {
+                flips += (a ^ b).count_ones();
+            }
+            assert!(flips <= 9, "segment {seg} flipped {flips} > 9 bits");
+        }
+    }
+
+    #[test]
+    fn unencrypted_fnw_line_roundtrip() {
+        let mut line = UnencryptedFnwLine::new(&[0u8; LINE_BYTES], 16);
+        let mut data = [0u8; LINE_BYTES];
+        data[5] = 0x12;
+        let outcome = line.write(&data);
+        assert_eq!(line.read(), data);
+        assert!(outcome.flips.total() <= 3); // two data bits + maybe flip bit
+    }
+
+    #[test]
+    fn unencrypted_fnw_prefers_inversion_for_dense_changes() {
+        let mut line = UnencryptedFnwLine::new(&[0x00u8; LINE_BYTES], 16);
+        let outcome = line.write(&[0xFFu8; LINE_BYTES]);
+        // Storing inverted: data unchanged, only 32 flip bits change.
+        assert_eq!(outcome.flips.total(), 32);
+        assert_eq!(line.read(), [0xFFu8; LINE_BYTES]);
+    }
+
+    #[test]
+    fn encrypted_fnw_roundtrip_many_writes() {
+        let engine = OtpEngine::new(&SecretKey::from_seed(3));
+        let mut line = EncryptedFnwLine::new(&engine, LineAddr::new(9), &[0u8; LINE_BYTES], 16, 28);
+        for i in 0..50u8 {
+            let mut data = [i; LINE_BYTES];
+            data[0] = i.wrapping_mul(3);
+            let _ = line.write(&engine, &data);
+            assert_eq!(line.read(&engine), data, "write {i}");
+        }
+    }
+
+    #[test]
+    fn encrypted_fnw_flips_near_43_percent() {
+        let engine = OtpEngine::new(&SecretKey::from_seed(11));
+        let mut line = EncryptedFnwLine::new(&engine, LineAddr::new(1), &[0u8; LINE_BYTES], 16, 28);
+        let mut total = 0u64;
+        let writes = 2000u64;
+        for i in 0..writes {
+            let mut data = [0u8; LINE_BYTES];
+            data[0] = i as u8; // tiny logical change; ciphertext is random
+            total += u64::from(line.write(&engine, &data).flips.total());
+        }
+        let rate = total as f64 / writes as f64 / 512.0;
+        // Theory: per 16-bit segment E[min(X, 17-X)] with X~B(16,1/2) plus
+        // flip-bit accounting ~ 6.84 bits -> ~42.7% of 512.
+        assert!((rate - 0.427).abs() < 0.02, "encrypted FNW flip rate {rate}");
+    }
+
+    #[test]
+    fn segment_decode_helper() {
+        assert_eq!(fnw_decode_segment(&[0x0F, 0xF0], true), vec![0xF0, 0x0F]);
+        assert_eq!(fnw_decode_segment(&[0x0F, 0xF0], false), vec![0x0F, 0xF0]);
+    }
+}

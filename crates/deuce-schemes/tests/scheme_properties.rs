@@ -1,0 +1,156 @@
+//! Property-based tests over all scheme state machines.
+
+use deuce_crypto::{EpochInterval, LineAddr, OtpEngine, SecretKey};
+use deuce_schemes::{DeuceLine, SchemeConfig, SchemeKind, SchemeLine, WordSize};
+use proptest::prelude::*;
+
+fn scheme_strategy() -> impl Strategy<Value = SchemeKind> {
+    prop::sample::select(SchemeKind::ALL.to_vec())
+}
+
+/// Writes modeled as (byte index, new value) patches so that sequences
+/// mix sparse and dense updates.
+fn patches() -> impl Strategy<Value = Vec<(usize, u8)>> {
+    prop::collection::vec((0usize..64, any::<u8>()), 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fundamental contract: read always returns the latest write,
+    /// for every scheme, any write sequence.
+    #[test]
+    fn read_returns_latest_write(
+        kind in scheme_strategy(),
+        seed in any::<u64>(),
+        initial in any::<[u8; 64]>(),
+        writes in prop::collection::vec(patches(), 1..40),
+    ) {
+        let engine = OtpEngine::new(&SecretKey::from_seed(seed));
+        let config = SchemeConfig::new(kind);
+        let mut line = SchemeLine::new(&config, &engine, LineAddr::new(seed % 1024), &initial);
+        let mut data = initial;
+        for patch in writes {
+            for (idx, value) in patch {
+                data[idx] = value;
+            }
+            let _ = line.write(&engine, &data);
+            prop_assert_eq!(line.read(&engine), data, "{}", kind);
+        }
+    }
+
+    /// Flip accounting is always consistent with the stored images, and
+    /// never exceeds the total stored bits.
+    #[test]
+    fn flips_are_image_consistent_and_bounded(
+        kind in scheme_strategy(),
+        initial in any::<[u8; 64]>(),
+        patch in patches(),
+    ) {
+        let engine = OtpEngine::new(&SecretKey::from_seed(1));
+        let config = SchemeConfig::new(kind);
+        let mut line = SchemeLine::new(&config, &engine, LineAddr::new(3), &initial);
+        let mut data = initial;
+        for (idx, value) in patch {
+            data[idx] = value;
+        }
+        let outcome = line.write(&engine, &data);
+        prop_assert_eq!(outcome.flips, outcome.old_image.flips_to(&outcome.new_image));
+        prop_assert!(outcome.flips.total() <= 512 + config.metadata_bits());
+        prop_assert_eq!(outcome.old_image.meta().width(), config.metadata_bits());
+        prop_assert_eq!(outcome.new_image.meta().width(), config.metadata_bits());
+    }
+
+    /// A write that does not change the plaintext never flips stored
+    /// bits under the write-efficient schemes (DCW semantics) — while
+    /// counter-mode always pays the avalanche.
+    #[test]
+    fn identity_writes(initial in any::<[u8; 64]>()) {
+        let engine = OtpEngine::new(&SecretKey::from_seed(2));
+        for kind in [SchemeKind::UnencryptedDcw, SchemeKind::UnencryptedFnw, SchemeKind::Ble, SchemeKind::AddrPad] {
+            let mut line = SchemeLine::new(&SchemeConfig::new(kind), &engine, LineAddr::new(1), &initial);
+            let outcome = line.write(&engine, &initial);
+            prop_assert_eq!(outcome.flips.total(), 0, "{}", kind);
+        }
+        // Encrypted DCW re-encrypts regardless: ~50% of bits flip.
+        let mut enc = SchemeLine::new(&SchemeConfig::new(SchemeKind::EncryptedDcw), &engine, LineAddr::new(1), &initial);
+        let outcome = enc.write(&engine, &initial);
+        prop_assert!(outcome.flips.total() > 150);
+    }
+
+    /// DEUCE invariant: between epoch starts, stored bits outside the
+    /// modified footprint (words + their tracking bits) never change.
+    #[test]
+    fn deuce_untouched_words_are_frozen(
+        seed in any::<u64>(),
+        word_updates in prop::collection::vec((0usize..8, any::<u16>()), 1..60),
+    ) {
+        let engine = OtpEngine::new(&SecretKey::from_seed(seed));
+        let mut line = DeuceLine::new(
+            &engine,
+            LineAddr::new(9),
+            &[0u8; 64],
+            WordSize::Bytes2,
+            EpochInterval::new(64).unwrap(),
+            28,
+        );
+        // Confine updates to words 0..8; words 8..32 must stay frozen
+        // until the first epoch boundary (write 64, beyond this run).
+        let mut data = [0u8; 64];
+        let baseline = *line.image().data();
+        for (word, value) in word_updates {
+            data[word * 2..word * 2 + 2].copy_from_slice(&value.to_le_bytes());
+            let _ = line.write(&engine, &data);
+        }
+        let now = *line.image().data();
+        prop_assert_eq!(&now[16..], &baseline[16..], "cold words changed");
+    }
+
+    /// Epoch counting: exactly floor(writes / epoch) epoch starts occur
+    /// in a run of consecutive writes to one line.
+    #[test]
+    fn epoch_start_frequency(writes in 1usize..100, epoch_log2 in 2u32..6) {
+        let engine = OtpEngine::new(&SecretKey::from_seed(5));
+        let epoch = 1u64 << epoch_log2;
+        let mut line = DeuceLine::new(
+            &engine,
+            LineAddr::new(2),
+            &[0u8; 64],
+            WordSize::Bytes2,
+            EpochInterval::new(epoch).unwrap(),
+            28,
+        );
+        let mut observed = 0u64;
+        let mut data = [0u8; 64];
+        for i in 1..=writes {
+            data[0] = i as u8;
+            data[1] = (i >> 8) as u8;
+            if line.write(&engine, &data).epoch_started {
+                observed += 1;
+            }
+        }
+        prop_assert_eq!(observed, writes as u64 / epoch);
+    }
+}
+
+/// Differential: DEUCE with word size w and epoch e decrypts identically
+/// whether reads happen after every write or only at the end (no hidden
+/// read-side state).
+#[test]
+fn reads_have_no_side_effects() {
+    let engine = OtpEngine::new(&SecretKey::from_seed(8));
+    for kind in SchemeKind::ALL {
+        let config = SchemeConfig::new(kind);
+        let mut with_reads = SchemeLine::new(&config, &engine, LineAddr::new(4), &[0u8; 64]);
+        let mut without = SchemeLine::new(&config, &engine, LineAddr::new(4), &[0u8; 64]);
+        let mut data = [0u8; 64];
+        for i in 0..50u8 {
+            data[usize::from(i % 32)] = i;
+            let a = with_reads.write(&engine, &data);
+            let _ = with_reads.read(&engine);
+            let b = without.write(&engine, &data);
+            assert_eq!(a.flips, b.flips, "{kind}: read perturbed the state at write {i}");
+        }
+        assert_eq!(with_reads.image(), without.image(), "{kind}");
+    }
+}

@@ -1,0 +1,214 @@
+//! Simulation configuration.
+
+use deuce_nvm::{EnergyParams, Geometry, SlotConfig, TimingParams};
+use deuce_schemes::{SchemeConfig, SchemeKind};
+use deuce_wear::HwlMode;
+
+/// Which vertical wear-leveling algorithm drives the HWL rotation
+/// (§5.3 extends HWL to both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerticalWl {
+    /// Start-Gap [20]: deterministic rotation via Start/Gap registers.
+    #[default]
+    StartGap,
+    /// Security Refresh [21]: randomized key-XOR remapping.
+    SecurityRefresh,
+}
+
+use crate::counter_cache::CounterCacheConfig;
+
+/// CPU-side parameters (Table 1: 8 cores, each 4-wide at 4 GHz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuParams {
+    /// Peak retired instructions per nanosecond per core
+    /// (width × frequency; 4-wide × 4 GHz = 16).
+    pub instr_per_ns: f64,
+}
+
+impl CpuParams {
+    /// The paper's Table 1 core.
+    pub const PAPER: Self = Self { instr_per_ns: 16.0 };
+}
+
+impl Default for CpuParams {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+/// What counts toward the modified-bits figure of merit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricConfig {
+    /// Also count flips in the separately-stored line/block counters.
+    /// The paper's percentages exclude them (its encrypted baseline is
+    /// exactly 50%), so the default is `false`.
+    pub count_counter_bits: bool,
+}
+
+/// Wear-tracking configuration. When present, the simulator maintains a
+/// per-cell write-count array and (optionally) rotates writes through
+/// Horizontal Wear Leveling on top of Start-Gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WearConfig {
+    /// Maximum distinct lines the trace touches (sizes the cell array
+    /// and the Start-Gap ring).
+    pub lines: usize,
+    /// HWL rotation mode; `None` = vertical wear leveling only (no
+    /// intra-line rotation), as in the paper's "DEUCE" bar of Fig. 14.
+    pub hwl: Option<HwlMode>,
+    /// Start-Gap gap-movement interval ψ in line writes (100 in the
+    /// Start-Gap paper), or the Security Refresh swap interval.
+    pub gap_interval: u32,
+    /// The vertical wear-leveling substrate HWL piggy-backs on.
+    pub vwl: VerticalWl,
+}
+
+impl WearConfig {
+    /// Wear tracking without intra-line rotation.
+    #[must_use]
+    pub fn vertical_only(lines: usize) -> Self {
+        Self {
+            lines,
+            hwl: None,
+            gap_interval: 100,
+            vwl: VerticalWl::StartGap,
+        }
+    }
+
+    /// Wear tracking with HWL rotation.
+    #[must_use]
+    pub fn with_hwl(lines: usize, mode: HwlMode) -> Self {
+        Self {
+            lines,
+            hwl: Some(mode),
+            gap_interval: 100,
+            vwl: VerticalWl::StartGap,
+        }
+    }
+
+    /// Selects the vertical wear-leveling substrate.
+    #[must_use]
+    pub fn vertical_leveler(mut self, vwl: VerticalWl) -> Self {
+        self.vwl = vwl;
+        self
+    }
+
+    /// Overrides the gap-movement interval.
+    #[must_use]
+    pub fn gap_interval(mut self, interval: u32) -> Self {
+        self.gap_interval = interval;
+        self
+    }
+}
+
+/// Full simulation configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// The memory encoding to simulate.
+    pub scheme: SchemeConfig,
+    /// Seed for the controller's secret key.
+    pub key_seed: u64,
+    /// Figure-of-merit accounting options.
+    pub metric: MetricConfig,
+    /// Write-slot model.
+    pub slot: SlotConfig,
+    /// Device timing.
+    pub timing: TimingParams,
+    /// Device energy model.
+    pub energy: EnergyParams,
+    /// Rank/bank geometry.
+    pub geometry: Geometry,
+    /// CPU model.
+    pub cpu: CpuParams,
+    /// Wear tracking (off by default; flip/perf studies don't need it).
+    pub wear: Option<WearConfig>,
+    /// Global write-power budget as a number of concurrently drivable
+    /// write slots (§6.1 / \[22\]); `None` = power delivery never limits
+    /// concurrency (banks do).
+    pub power_channels: Option<usize>,
+    /// Counter-cache model; `None` (the default, and the paper's
+    /// implicit assumption) means counters are always on chip and cost
+    /// no memory traffic.
+    pub counter_cache: Option<CounterCacheConfig>,
+}
+
+impl SimConfig {
+    /// Default (paper Table 1) configuration for a scheme kind.
+    #[must_use]
+    pub fn new(kind: SchemeKind) -> Self {
+        Self::with_scheme(SchemeConfig::new(kind))
+    }
+
+    /// Default configuration with an explicit scheme configuration
+    /// (custom epoch / word size).
+    #[must_use]
+    pub fn with_scheme(scheme: SchemeConfig) -> Self {
+        Self {
+            scheme,
+            key_seed: 0x00DE_C0DE,
+            metric: MetricConfig::default(),
+            slot: SlotConfig::PAPER,
+            timing: TimingParams::PAPER,
+            energy: EnergyParams::PAPER,
+            geometry: Geometry::PAPER,
+            cpu: CpuParams::PAPER,
+            wear: None,
+            power_channels: None,
+            counter_cache: None,
+        }
+    }
+
+    /// Enables the counter-cache traffic model.
+    #[must_use]
+    pub fn with_counter_cache(mut self, config: CounterCacheConfig) -> Self {
+        self.counter_cache = Some(config);
+        self
+    }
+
+    /// Limits global write power to `channels` concurrent write slots.
+    #[must_use]
+    pub fn with_power_channels(mut self, channels: usize) -> Self {
+        self.power_channels = Some(channels);
+        self
+    }
+
+    /// Enables wear tracking.
+    #[must_use]
+    pub fn with_wear(mut self, wear: WearConfig) -> Self {
+        self.wear = Some(wear);
+        self
+    }
+
+    /// Sets the key seed.
+    #[must_use]
+    pub fn key_seed(mut self, seed: u64) -> Self {
+        self.key_seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_values() {
+        let c = SimConfig::new(SchemeKind::Deuce);
+        assert_eq!(c.timing.read_ns, 75);
+        assert_eq!(c.timing.write_slot_ns, 150);
+        assert_eq!(c.slot.region_bits, 128);
+        assert_eq!(c.geometry.total_banks(), 32);
+        assert!((c.cpu.instr_per_ns - 16.0).abs() < 1e-12);
+        assert!(c.wear.is_none());
+        assert!(!c.metric.count_counter_bits);
+    }
+
+    #[test]
+    fn wear_config_builders() {
+        let w = WearConfig::with_hwl(64, HwlMode::Hashed).gap_interval(10);
+        assert_eq!(w.lines, 64);
+        assert_eq!(w.gap_interval, 10);
+        assert_eq!(w.hwl, Some(HwlMode::Hashed));
+        assert_eq!(WearConfig::vertical_only(8).hwl, None);
+    }
+}

@@ -1,0 +1,41 @@
+//! Trace-driven system simulator for secure PCM memory.
+//!
+//! Ties the whole stack together: a [`deuce_trace::Trace`] is driven
+//! through a [`deuce_schemes::SchemeLine`] per memory line, the resulting
+//! bit-exact write outcomes feed the [`deuce_nvm`] device model (flips,
+//! write slots, energy, cell wear), an optional [`deuce_wear`] Start-Gap +
+//! HWL layer rotates the wear, and a memory-controller timing model with
+//! per-bank queues and blocking reads produces execution time — from which
+//! the paper's speedup / energy / power / EDP figures derive.
+//!
+//! # Examples
+//!
+//! ```
+//! use deuce_sim::{SimConfig, Simulator};
+//! use deuce_schemes::SchemeKind;
+//! use deuce_trace::{Benchmark, TraceConfig};
+//!
+//! let trace = TraceConfig::new(Benchmark::Mcf).writes(2_000).generate();
+//! let result = Simulator::new(SimConfig::new(SchemeKind::Deuce)).run_trace(&trace);
+//! assert!(result.flip_rate() > 0.0 && result.flip_rate() < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod counter_cache;
+mod latency;
+mod result;
+mod simulator;
+mod timing;
+
+pub use config::{CpuParams, MetricConfig, SimConfig, VerticalWl, WearConfig};
+pub use counter_cache::{CounterCache, CounterCacheConfig, CounterTraffic};
+pub use latency::{pad_latency_report, PadEngineOption, PadLatencyReport};
+pub use result::SimResult;
+pub use simulator::Simulator;
+pub use timing::MemoryTimingModel;
+
+pub use deuce_schemes::{SchemeConfig, SchemeKind};
+pub use deuce_wear::{HwlMode, LifetimePolicy};

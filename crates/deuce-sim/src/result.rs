@@ -1,0 +1,212 @@
+//! Aggregated simulation results and derived metrics.
+
+use deuce_nvm::{CellArray, EnergyParams, WearSummary};
+use deuce_wear::{relative_lifetime, LifetimePolicy};
+
+/// Everything one simulation run produced.
+///
+/// All figure-of-merit accessors are derived on demand so a single run
+/// feeds every figure: flips (Figs. 5/8/9/10/18), slots (Fig. 15),
+/// execution time (Fig. 16), energy/power/EDP (Fig. 17) and wear
+/// (Figs. 12/14).
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Writes counted (excludes each line's initial placement write).
+    pub writes: u64,
+    /// Reads serviced.
+    pub reads: u64,
+    /// Data-bit flips across all counted writes.
+    pub data_flips: u64,
+    /// Metadata-bit flips across all counted writes.
+    pub meta_flips: u64,
+    /// Counter-storage flips (reported separately; see
+    /// [`crate::MetricConfig`]).
+    pub counter_flips: u64,
+    /// Whether counter flips were included in the figure of merit.
+    pub counters_in_metric: bool,
+    /// Write slots consumed across all counted writes.
+    pub total_slots: u64,
+    /// DEUCE epoch starts observed.
+    pub epoch_starts: u64,
+    /// Execution time from the timing model.
+    pub exec_time_ns: f64,
+    /// Energy parameters used (for deriving energy/power).
+    pub energy_params: EnergyParams,
+    /// Per-cell wear tracking, when enabled.
+    pub cells: Option<CellArray>,
+    /// Metadata bits per line of the simulated scheme.
+    pub metadata_bits: u32,
+    /// Counter-cache misses (extra counter-line reads), when the
+    /// counter-cache model is enabled.
+    pub counter_cache_misses: u64,
+    /// Counter-cache hit ratio (0 when the model is disabled).
+    pub counter_cache_hit_ratio: f64,
+}
+
+impl SimResult {
+    /// Total bit flips counted by the figure of merit.
+    #[must_use]
+    pub fn metric_flips(&self) -> u64 {
+        let base = self.data_flips + self.meta_flips;
+        if self.counters_in_metric {
+            base + self.counter_flips
+        } else {
+            base
+        }
+    }
+
+    /// Mean flips per write.
+    #[must_use]
+    pub fn avg_flips_per_write(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.metric_flips() as f64 / self.writes as f64
+        }
+    }
+
+    /// The paper's figure of merit: mean modified bits per write as a
+    /// fraction of the 512 data bits in a line.
+    #[must_use]
+    pub fn flip_rate(&self) -> f64 {
+        self.avg_flips_per_write() / deuce_crypto::LINE_BITS as f64
+    }
+
+    /// Mean write slots consumed per write (Fig. 15).
+    #[must_use]
+    pub fn avg_slots_per_write(&self) -> f64 {
+        if self.writes == 0 {
+            0.0
+        } else {
+            self.total_slots as f64 / self.writes as f64
+        }
+    }
+
+    /// Total memory energy in picojoules (writes + reads + background).
+    #[must_use]
+    pub fn energy_pj(&self) -> f64 {
+        let flips = u32::try_from(self.data_flips + self.meta_flips).unwrap_or(u32::MAX);
+        // write_energy_pj is linear, so one call with the total is exact
+        // when it fits; fall back to explicit multiplication otherwise.
+        let write = if u64::from(flips) == self.data_flips + self.meta_flips {
+            self.energy_params.write_energy_pj(flips)
+        } else {
+            self.energy_params.write_pj_per_bit * (self.data_flips + self.meta_flips) as f64
+        };
+        let read = self.energy_params.read_energy_pj() * self.reads as f64;
+        let background = self.energy_params.background_energy_pj(self.exec_time_ns as u64);
+        write + read + background
+    }
+
+    /// Mean memory power in milliwatts over the run.
+    #[must_use]
+    pub fn power_mw(&self) -> f64 {
+        if self.exec_time_ns == 0.0 {
+            0.0
+        } else {
+            self.energy_pj() / self.exec_time_ns
+        }
+    }
+
+    /// Energy-delay product (pJ · ns), the Fig. 17 metric.
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        self.energy_pj() * self.exec_time_ns
+    }
+
+    /// Speedup of this run relative to `baseline` (same trace).
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
+        if self.exec_time_ns == 0.0 {
+            1.0
+        } else {
+            baseline.exec_time_ns / self.exec_time_ns
+        }
+    }
+
+    /// Wear summary, if cell tracking was enabled.
+    #[must_use]
+    pub fn wear_summary(&self) -> Option<WearSummary> {
+        self.cells.as_ref().map(CellArray::wear_summary)
+    }
+
+    /// Relative lifetime metric under a policy; `None` without cell
+    /// tracking. Normalize two runs' values against each other for
+    /// Fig. 14.
+    #[must_use]
+    pub fn lifetime(&self, policy: LifetimePolicy) -> Option<f64> {
+        let cells = self.cells.as_ref()?;
+        let summary = cells.wear_summary();
+        Some(relative_lifetime(
+            &cells.position_totals(),
+            summary.max_cell_writes,
+            summary.line_writes,
+            policy,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimResult {
+        SimResult {
+            writes: 100,
+            reads: 50,
+            data_flips: 12_800, // 128/write = 25%
+            meta_flips: 200,
+            counter_flips: 150,
+            counters_in_metric: false,
+            total_slots: 264,
+            epoch_starts: 3,
+            exec_time_ns: 10_000.0,
+            energy_params: EnergyParams::PAPER,
+            cells: None,
+            metadata_bits: 32,
+            counter_cache_misses: 0,
+            counter_cache_hit_ratio: 0.0,
+        }
+    }
+
+    #[test]
+    fn flip_rate_excludes_counters_by_default() {
+        let r = sample();
+        assert!((r.avg_flips_per_write() - 130.0).abs() < 1e-9);
+        assert!((r.flip_rate() - 130.0 / 512.0).abs() < 1e-12);
+        let mut with = sample();
+        with.counters_in_metric = true;
+        assert!(with.flip_rate() > r.flip_rate());
+    }
+
+    #[test]
+    fn slots_and_speedup() {
+        let r = sample();
+        assert!((r.avg_slots_per_write() - 2.64).abs() < 1e-9);
+        let mut slower = sample();
+        slower.exec_time_ns = 20_000.0;
+        assert!((r.speedup_over(&slower) - 2.0).abs() < 1e-12);
+        assert!((slower.speedup_over(&r) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_power_edp_consistency() {
+        let r = sample();
+        let e = r.energy_pj();
+        assert!(e > 0.0);
+        assert!((r.power_mw() - e / 10_000.0).abs() < 1e-9);
+        assert!((r.edp() - e * 10_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_writes_are_safe() {
+        let mut r = sample();
+        r.writes = 0;
+        r.exec_time_ns = 0.0;
+        assert_eq!(r.avg_flips_per_write(), 0.0);
+        assert_eq!(r.avg_slots_per_write(), 0.0);
+        assert_eq!(r.power_mw(), 0.0);
+        assert_eq!(r.speedup_over(&sample()), 1.0);
+        assert!(r.lifetime(LifetimePolicy::Raw).is_none());
+    }
+}

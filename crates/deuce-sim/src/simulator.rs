@@ -1,0 +1,338 @@
+//! The simulator driving traces through schemes, device, wear, and
+//! timing models.
+
+use std::collections::HashMap;
+
+use deuce_crypto::{LineAddr, OtpEngine, SecretKey};
+use deuce_nvm::{write_slots, CellArray};
+use deuce_schemes::SchemeLine;
+use deuce_trace::{Op, Trace};
+use deuce_wear::{HorizontalWearLeveler, HwlMode, SecurityRefresh, StartGap};
+
+use crate::config::{SimConfig, VerticalWl};
+use crate::counter_cache::CounterCache;
+use crate::result::SimResult;
+use crate::timing::MemoryTimingModel;
+
+/// Runs traces under one configuration.
+///
+/// Lines are instantiated lazily: the first write to an address is
+/// treated as the initial placement (encrypted as it enters memory, per
+/// §3.1) and is *not* counted in the flip statistics — matching how
+/// [`deuce_trace::TraceStats`] skips each line's first write.
+#[derive(Debug)]
+pub struct Simulator {
+    config: SimConfig,
+    engine: OtpEngine,
+}
+
+impl Simulator {
+    /// Creates a simulator.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        let engine = OtpEngine::new(&SecretKey::from_seed(config.key_seed));
+        Self { config, engine }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Drives a trace through the full stack and aggregates every metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if wear tracking is enabled and the trace touches more
+    /// distinct lines than [`crate::WearConfig::lines`].
+    #[must_use]
+    pub fn run_trace(&self, trace: &Trace) -> SimResult {
+        let cores = trace
+            .events()
+            .iter()
+            .map(|e| usize::from(e.core) + 1)
+            .max()
+            .unwrap_or(1);
+        let mut timing = MemoryTimingModel::with_power_channels(
+            self.config.timing,
+            self.config.cpu,
+            self.config.geometry,
+            cores,
+            self.config.power_channels,
+        );
+
+        let meta_bits = self.config.scheme.metadata_bits();
+        let bits_per_line = deuce_crypto::LINE_BITS as u32 + meta_bits;
+        let mut wear_state = self.config.wear.map(|w| WearState {
+            cells: CellArray::new(w.lines, bits_per_line),
+            vwl: match w.vwl {
+                VerticalWl::StartGap => {
+                    Leveler::StartGap(StartGap::new(w.lines.max(2), w.gap_interval))
+                }
+                VerticalWl::SecurityRefresh => Leveler::SecurityRefresh(SecurityRefresh::new(
+                    w.lines.max(2).next_power_of_two(),
+                    w.gap_interval,
+                    self.config.key_seed,
+                )),
+            },
+            hwl: w.hwl,
+            bits_per_line,
+            index_of: HashMap::new(),
+        });
+
+        let mut counter_cache = self.config.counter_cache.map(CounterCache::new);
+        // Counter lines live in a dedicated region; give them distinct
+        // addresses for bank mapping.
+        const COUNTER_REGION: u64 = 1 << 40;
+
+        let mut lines: HashMap<u64, SchemeLine> = HashMap::new();
+        let mut result = SimResult {
+            writes: 0,
+            reads: 0,
+            data_flips: 0,
+            meta_flips: 0,
+            counter_flips: 0,
+            counters_in_metric: self.config.metric.count_counter_bits,
+            total_slots: 0,
+            epoch_starts: 0,
+            exec_time_ns: 0.0,
+            energy_params: self.config.energy,
+            cells: None,
+            metadata_bits: meta_bits,
+            counter_cache_misses: 0,
+            counter_cache_hit_ratio: 0.0,
+        };
+
+        for event in trace.events() {
+            // The counter must be available before the pad can be
+            // generated; a counter-cache miss costs an extra (blocking)
+            // memory read, and a dirty eviction an extra 1-slot write.
+            if let Some(cache) = &mut counter_cache {
+                let dirtying = event.op == Op::Write;
+                let traffic = cache.access(event.line.value(), dirtying);
+                let counter_line =
+                    deuce_crypto::LineAddr::new(COUNTER_REGION | (event.line.value() / 16));
+                if traffic.fill {
+                    timing.read(usize::from(event.core), event.instr, counter_line);
+                }
+                if traffic.writeback {
+                    timing.write(usize::from(event.core), event.instr, counter_line, 1);
+                }
+            }
+            match event.op {
+                Op::Read => {
+                    result.reads += 1;
+                    timing.read(usize::from(event.core), event.instr, event.line);
+                }
+                Op::Write => {
+                    let data = event.data.expect("write events carry data");
+                    match lines.entry(event.line.value()) {
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            // Initial placement: encrypt-in, not counted.
+                            slot.insert(SchemeLine::new(
+                                &self.config.scheme,
+                                &self.engine,
+                                event.line,
+                                &data,
+                            ));
+                        }
+                        std::collections::hash_map::Entry::Occupied(mut slot) => {
+                            let outcome = slot.get_mut().write(&self.engine, &data);
+                            result.writes += 1;
+                            result.data_flips += u64::from(outcome.flips.data);
+                            result.meta_flips += u64::from(outcome.flips.meta);
+                            result.counter_flips += u64::from(outcome.counter_flips);
+                            result.epoch_starts += u64::from(outcome.epoch_started);
+
+                            let slots = write_slots(
+                                &outcome.old_image,
+                                &outcome.new_image,
+                                self.config.slot,
+                            );
+                            result.total_slots += u64::from(slots);
+                            timing.write(usize::from(event.core), event.instr, event.line, slots);
+
+                            if let Some(w) = &mut wear_state {
+                                w.record(event.line, &outcome);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        result.exec_time_ns = timing.exec_time_ns();
+        result.cells = wear_state.map(|w| w.cells);
+        if let Some(cache) = &counter_cache {
+            result.counter_cache_misses = cache.misses();
+            result.counter_cache_hit_ratio = cache.hit_ratio();
+        }
+        result
+    }
+}
+
+/// Wear-tracking state bundled together.
+#[derive(Debug)]
+struct WearState {
+    cells: CellArray,
+    vwl: Leveler,
+    hwl: Option<HwlMode>,
+    bits_per_line: u32,
+    index_of: HashMap<u64, usize>,
+}
+
+/// The vertical wear-leveling substrate in use.
+#[derive(Debug)]
+enum Leveler {
+    StartGap(StartGap),
+    SecurityRefresh(SecurityRefresh),
+}
+
+impl WearState {
+    fn rotation(&self, index: usize, addr: u64) -> u32 {
+        let Some(mode) = self.hwl else { return 0 };
+        match &self.vwl {
+            Leveler::StartGap(sg) => {
+                HorizontalWearLeveler::new(mode, self.bits_per_line).rotation(sg, index, addr)
+            }
+            Leveler::SecurityRefresh(sr) => match mode {
+                HwlMode::Algebraic => sr.hwl_rotation(index, self.bits_per_line),
+                HwlMode::Hashed => {
+                    // Decorrelate per line, as footnote 2 prescribes.
+                    let base = u64::from(sr.hwl_rotation(index, self.bits_per_line));
+                    let mut z = base ^ addr.rotate_left(17) ^ 0x94d0_49bb_1331_11eb;
+                    z = (z ^ (z >> 27)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    ((z ^ (z >> 31)) % u64::from(self.bits_per_line)) as u32
+                }
+            },
+        }
+    }
+
+    fn record(&mut self, addr: LineAddr, outcome: &deuce_schemes::WriteOutcome) {
+        let next = self.index_of.len();
+        let lines = self.cells.lines();
+        let index = *self.index_of.entry(addr.value()).or_insert_with(|| {
+            assert!(
+                next < lines,
+                "trace touches more than the configured {lines} wear-tracked lines"
+            );
+            next
+        });
+        let rotation = self.rotation(index, addr.value());
+        self.cells
+            .record_write(index, &outcome.old_image, &outcome.new_image, rotation);
+        match &mut self.vwl {
+            Leveler::StartGap(sg) => {
+                let _ = sg.record_write();
+            }
+            Leveler::SecurityRefresh(sr) => {
+                let _ = sr.record_write();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WearConfig;
+    use deuce_schemes::SchemeKind;
+    use deuce_trace::{Benchmark, TraceConfig};
+    use deuce_wear::HwlMode;
+
+    fn trace(benchmark: Benchmark, writes: usize) -> Trace {
+        TraceConfig::new(benchmark).lines(64).writes(writes).seed(11).generate()
+    }
+
+    #[test]
+    fn encrypted_baseline_flips_half() {
+        let t = trace(Benchmark::Mcf, 3000);
+        let r = Simulator::new(SimConfig::new(SchemeKind::EncryptedDcw)).run_trace(&t);
+        assert!((r.flip_rate() - 0.5).abs() < 0.01, "rate {}", r.flip_rate());
+        assert!(r.avg_slots_per_write() > 3.9, "slots {}", r.avg_slots_per_write());
+    }
+
+    #[test]
+    fn deuce_beats_encrypted_on_sparse_workload() {
+        let t = trace(Benchmark::Libquantum, 3000);
+        let enc = Simulator::new(SimConfig::new(SchemeKind::EncryptedDcw)).run_trace(&t);
+        let deuce = Simulator::new(SimConfig::new(SchemeKind::Deuce)).run_trace(&t);
+        assert!(deuce.flip_rate() < enc.flip_rate() / 2.0);
+        assert!(deuce.avg_slots_per_write() < enc.avg_slots_per_write());
+        assert!(deuce.exec_time_ns < enc.exec_time_ns);
+    }
+
+    #[test]
+    fn unencrypted_is_cheapest() {
+        let t = trace(Benchmark::Omnetpp, 2000);
+        let plain = Simulator::new(SimConfig::new(SchemeKind::UnencryptedDcw)).run_trace(&t);
+        let deuce = Simulator::new(SimConfig::new(SchemeKind::Deuce)).run_trace(&t);
+        assert!(plain.flip_rate() < deuce.flip_rate());
+        assert_eq!(plain.counter_flips, 0);
+    }
+
+    #[test]
+    fn first_write_per_line_is_not_counted() {
+        let t = trace(Benchmark::Astar, 500);
+        let r = Simulator::new(SimConfig::new(SchemeKind::Deuce)).run_trace(&t);
+        let distinct = t
+            .writes()
+            .map(|e| e.line.value())
+            .collect::<std::collections::HashSet<_>>()
+            .len() as u64;
+        assert_eq!(r.writes, t.write_count() as u64 - distinct);
+    }
+
+    #[test]
+    fn wear_tracking_populates_cells() {
+        let t = trace(Benchmark::Libquantum, 2000);
+        let cfg = SimConfig::new(SchemeKind::Deuce)
+            .with_wear(WearConfig::with_hwl(64, HwlMode::Hashed).gap_interval(5));
+        let r = Simulator::new(cfg).run_trace(&t);
+        let cells = r.cells.as_ref().expect("wear enabled");
+        assert_eq!(cells.writes_recorded(), r.writes);
+        assert!(r.wear_summary().unwrap().total_bit_writes > 0);
+        assert!(r.lifetime(crate::LifetimePolicy::VerticalLeveled).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn hwl_levels_bit_positions() {
+        let t = trace(Benchmark::Libquantum, 6000);
+        let no_hwl = Simulator::new(
+            SimConfig::new(SchemeKind::Deuce).with_wear(WearConfig::vertical_only(64)),
+        )
+        .run_trace(&t);
+        let hwl = Simulator::new(
+            SimConfig::new(SchemeKind::Deuce)
+                .with_wear(WearConfig::with_hwl(64, HwlMode::Hashed).gap_interval(2)),
+        )
+        .run_trace(&t);
+        let skew_without = no_hwl.cells.as_ref().unwrap().wear_summary().max_over_avg();
+        let life_no = no_hwl.lifetime(crate::LifetimePolicy::VerticalLeveled).unwrap();
+        let life_hwl = hwl.lifetime(crate::LifetimePolicy::VerticalLeveled).unwrap();
+        assert!(skew_without > 3.0, "libq should be skewed, got {skew_without}");
+        assert!(
+            life_hwl > life_no * 1.5,
+            "HWL lifetime {life_hwl} vs {life_no}"
+        );
+    }
+
+    #[test]
+    fn reads_contribute_to_time_and_energy() {
+        let t = TraceConfig::new(Benchmark::Mcf).lines(64).writes(1000).seed(1).generate();
+        let r = Simulator::new(SimConfig::new(SchemeKind::Deuce)).run_trace(&t);
+        assert!(r.reads > 0);
+        assert!(r.exec_time_ns > 0.0);
+        assert!(r.energy_pj() > 0.0);
+        assert!(r.power_mw() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wear-tracked lines")]
+    fn wear_overflow_is_detected() {
+        let t = trace(Benchmark::Mcf, 2000);
+        let cfg = SimConfig::new(SchemeKind::Deuce).with_wear(WearConfig::vertical_only(2));
+        let _ = Simulator::new(cfg).run_trace(&t);
+    }
+}

@@ -1,0 +1,170 @@
+//! Adversarial write streams (§7.3).
+//!
+//! PCM's limited endurance invites a second attack class the paper
+//! distinguishes from information leaks: *lifetime attacks*, where a
+//! malicious program hammers a small region to wear it out \[20, 21, 23\].
+//! These generators produce such streams for testing detectors and wear
+//! levelers; they are the adversarial counterpart to the benign
+//! [`crate::TraceConfig`] workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use deuce_crypto::{LineAddr, LINE_BYTES};
+
+use crate::trace::{Trace, TraceEvent};
+
+/// Which endurance attack to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// Hammer one line with maximally-flipping data (alternating
+    /// all-zeros / all-ones), the classic birthday-paradox-free attack.
+    SingleLine,
+    /// Rotate through a small set of lines to evade naive per-line
+    /// rate detectors while still concentrating wear.
+    SmallSet {
+        /// Number of lines cycled through.
+        lines: u8,
+    },
+    /// Hammer one *bit position* of one line: flip a single bit back
+    /// and forth, the worst case for intra-line wear (what HWL must
+    /// defeat).
+    SingleBit,
+}
+
+/// Generator for endurance-attack traces.
+///
+/// # Examples
+///
+/// ```
+/// use deuce_trace::{AttackKind, AttackTrace};
+///
+/// let trace = AttackTrace::new(AttackKind::SingleLine).writes(1_000).generate();
+/// assert_eq!(trace.write_count(), 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AttackTrace {
+    kind: AttackKind,
+    writes: usize,
+    seed: u64,
+    /// Benign background writes interleaved per attack write (camouflage).
+    background_per_attack: u32,
+}
+
+impl AttackTrace {
+    /// Creates a generator for the given attack.
+    #[must_use]
+    pub fn new(kind: AttackKind) -> Self {
+        Self {
+            kind,
+            writes: 10_000,
+            seed: 0,
+            background_per_attack: 0,
+        }
+    }
+
+    /// Total attack writes.
+    #[must_use]
+    pub fn writes(mut self, writes: usize) -> Self {
+        self.writes = writes;
+        self
+    }
+
+    /// RNG seed (for background traffic and value noise).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Interleaves `n` benign writes (to a 4096-line region) per attack
+    /// write, to stress detectors.
+    #[must_use]
+    pub fn camouflage(mut self, n: u32) -> Self {
+        self.background_per_attack = n;
+        self
+    }
+
+    /// Generates the trace.
+    #[must_use]
+    pub fn generate(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trace = Trace::default();
+        let mut instr = 0u64;
+        let target_base = 0u64;
+        let mut bit_state = false;
+        for i in 0..self.writes {
+            for _ in 0..self.background_per_attack {
+                instr += 50;
+                let line = LineAddr::new(0x10_0000 + rng.gen_range(0u64..4096));
+                let mut data = [0u8; LINE_BYTES];
+                rng.fill(&mut data[..8]);
+                trace.push(TraceEvent::write(0, instr, line, data));
+            }
+            instr += 50;
+            let (line, data) = match self.kind {
+                AttackKind::SingleLine => {
+                    let fill = if i % 2 == 0 { 0x00 } else { 0xFF };
+                    (LineAddr::new(target_base), [fill; LINE_BYTES])
+                }
+                AttackKind::SmallSet { lines } => {
+                    let fill = if i % 2 == 0 { 0x00 } else { 0xFF };
+                    (
+                        LineAddr::new(target_base + (i % usize::from(lines.max(1))) as u64),
+                        [fill; LINE_BYTES],
+                    )
+                }
+                AttackKind::SingleBit => {
+                    bit_state = !bit_state;
+                    let mut data = [0u8; LINE_BYTES];
+                    data[0] = u8::from(bit_state);
+                    (LineAddr::new(target_base), data)
+                }
+            };
+            trace.push(TraceEvent::write(0, instr, line, data));
+        }
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceStats;
+
+    #[test]
+    fn single_line_concentrates_all_writes() {
+        let trace = AttackTrace::new(AttackKind::SingleLine).writes(500).generate();
+        let stats = TraceStats::compute(&trace);
+        assert_eq!(stats.unique_lines, 1);
+        // Alternating 00/FF flips every bit, every write.
+        assert!((stats.dirty_bit_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_set_cycles() {
+        let trace = AttackTrace::new(AttackKind::SmallSet { lines: 4 })
+            .writes(400)
+            .generate();
+        assert_eq!(TraceStats::compute(&trace).unique_lines, 4);
+    }
+
+    #[test]
+    fn single_bit_flips_exactly_one_bit() {
+        let trace = AttackTrace::new(AttackKind::SingleBit).writes(300).generate();
+        let stats = TraceStats::compute(&trace);
+        assert!((stats.avg_bits_modified - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn camouflage_adds_background() {
+        let trace = AttackTrace::new(AttackKind::SingleLine)
+            .writes(100)
+            .camouflage(9)
+            .seed(3)
+            .generate();
+        assert_eq!(trace.write_count(), 1_000);
+        let stats = TraceStats::compute(&trace);
+        assert!(stats.unique_lines > 100);
+    }
+}

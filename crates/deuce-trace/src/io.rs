@@ -1,0 +1,179 @@
+//! A small self-describing binary container for traces, so generated
+//! workloads can be saved and replayed across runs and tools.
+
+use std::io::{self, Read, Write};
+
+use deuce_crypto::{LineAddr, LINE_BYTES};
+
+use crate::trace::{Op, Trace, TraceEvent};
+
+const MAGIC: &[u8; 8] = b"DEUCETRC";
+const VERSION: u32 = 1;
+
+/// Errors from trace (de)serialization.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the trace magic.
+    BadMagic([u8; 8]),
+    /// The container version is not supported.
+    UnsupportedVersion(u32),
+    /// An event record had an invalid op byte.
+    BadOp(u8),
+}
+
+impl core::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::BadMagic(m) => write!(f, "not a DEUCE trace (magic {m:02x?})"),
+            TraceIoError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceIoError::BadOp(op) => write!(f, "invalid op byte {op:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Serializes a trace. A `&mut` reference can be passed for any
+/// `W: Write`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_trace<W: Write>(mut writer: W, trace: &Trace) -> Result<(), TraceIoError> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for e in trace.events() {
+        writer.write_all(&[e.core, matches!(e.op, Op::Write) as u8])?;
+        writer.write_all(&e.instr.to_le_bytes())?;
+        writer.write_all(&e.line.value().to_le_bytes())?;
+        if let Some(data) = &e.data {
+            writer.write_all(data)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a trace written by [`write_trace`]. A `&mut` reference
+/// can be passed for any `R: Read`.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on malformed input or I/O failure.
+pub fn read_trace<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceIoError::BadMagic(magic));
+    }
+    let mut buf4 = [0u8; 4];
+    reader.read_exact(&mut buf4)?;
+    let version = u32::from_le_bytes(buf4);
+    if version != VERSION {
+        return Err(TraceIoError::UnsupportedVersion(version));
+    }
+    let mut buf8 = [0u8; 8];
+    reader.read_exact(&mut buf8)?;
+    let count = u64::from_le_bytes(buf8);
+
+    let mut trace = Trace::default();
+    for _ in 0..count {
+        let mut head = [0u8; 2];
+        reader.read_exact(&mut head)?;
+        let core = head[0];
+        let op = match head[1] {
+            0 => Op::Read,
+            1 => Op::Write,
+            other => return Err(TraceIoError::BadOp(other)),
+        };
+        reader.read_exact(&mut buf8)?;
+        let instr = u64::from_le_bytes(buf8);
+        reader.read_exact(&mut buf8)?;
+        let line = LineAddr::new(u64::from_le_bytes(buf8));
+        let data = if op == Op::Write {
+            let mut data = [0u8; LINE_BYTES];
+            reader.read_exact(&mut data)?;
+            Some(data)
+        } else {
+            None
+        };
+        trace.push(TraceEvent {
+            core,
+            instr,
+            op,
+            line,
+            data,
+        });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Benchmark, TraceConfig};
+
+    #[test]
+    fn roundtrip() {
+        let trace = TraceConfig::new(Benchmark::Omnetpp).writes(300).seed(4).generate();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let loaded = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(trace, loaded);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace(&b"NOTATRACE-------"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadMagic(_)));
+        assert!(err.to_string().contains("not a DEUCE trace"));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            read_trace(buf.as_slice()),
+            Err(TraceIoError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let trace = TraceConfig::new(Benchmark::Astar).writes(10).generate();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(matches!(read_trace(buf.as_slice()), Err(TraceIoError::Io(_))));
+    }
+
+    #[test]
+    fn rejects_bad_op_byte() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&[0u8, 7u8]); // op byte 7 is invalid
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(read_trace(buf.as_slice()), Err(TraceIoError::BadOp(7))));
+    }
+}

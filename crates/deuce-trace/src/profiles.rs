@@ -1,0 +1,427 @@
+//! Per-benchmark workload profiles calibrated to the paper's Table 2 and
+//! the per-benchmark behaviours its figures report.
+
+use crate::value_model::WordRole;
+
+/// The 12 SPEC2006 benchmarks the paper evaluates (all with ≥ 1 WBPKI),
+/// in Table 2 order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// libquantum: extremely sparse, counter-dominated writes; the most
+    /// DEUCE-friendly workload and the most bit-skewed (27× in Fig. 12).
+    Libquantum,
+    /// mcf: pointer-chasing; sparse stable footprint, 6× bit skew.
+    Mcf,
+    /// lbm: fluid dynamics; moderate float churn.
+    Lbm,
+    /// GemsFDTD: dense writes — most words change every writeback, so
+    /// DEUCE degenerates and FNW wins (motivates DynDEUCE).
+    Gems,
+    /// milc: float churn whose footprint drifts at a medium timescale
+    /// (bit flips *increase* from epoch 16 to 32 in Fig. 9).
+    Milc,
+    /// omnetpp: discrete-event simulator; sparse pointer updates.
+    Omnetpp,
+    /// leslie3d: moderate float churn.
+    Leslie3d,
+    /// soplex: dense writes, like Gems.
+    Soplex,
+    /// zeusmp: moderate float churn.
+    Zeusmp,
+    /// wrf: float churn with fast footprint drift (bit flips increase
+    /// from epoch 8 to 16 in Fig. 9).
+    Wrf,
+    /// xalancbmk: sparse pointer/string updates.
+    Xalancbmk,
+    /// astar: sparse pointer updates.
+    Astar,
+}
+
+impl Benchmark {
+    /// All benchmarks in Table 2 order.
+    pub const ALL: [Benchmark; 12] = [
+        Benchmark::Libquantum,
+        Benchmark::Mcf,
+        Benchmark::Lbm,
+        Benchmark::Gems,
+        Benchmark::Milc,
+        Benchmark::Omnetpp,
+        Benchmark::Leslie3d,
+        Benchmark::Soplex,
+        Benchmark::Zeusmp,
+        Benchmark::Wrf,
+        Benchmark::Xalancbmk,
+        Benchmark::Astar,
+    ];
+
+    /// Short name as the paper prints it.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Libquantum => "libq",
+            Benchmark::Mcf => "mcf",
+            Benchmark::Lbm => "lbm",
+            Benchmark::Gems => "Gems",
+            Benchmark::Milc => "milc",
+            Benchmark::Omnetpp => "omnetpp",
+            Benchmark::Leslie3d => "leslie3d",
+            Benchmark::Soplex => "soplex",
+            Benchmark::Zeusmp => "zeusmp",
+            Benchmark::Wrf => "wrf",
+            Benchmark::Xalancbmk => "xalanc",
+            Benchmark::Astar => "astar",
+        }
+    }
+
+    /// Looks a benchmark up by its short name (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unmatched name.
+    pub fn from_name(name: &str) -> Result<Self, UnknownBenchmark> {
+        let lower = name.to_ascii_lowercase();
+        Self::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(&lower))
+            .ok_or_else(|| UnknownBenchmark(name.to_string()))
+    }
+
+    /// The calibrated workload profile.
+    #[must_use]
+    pub fn profile(self) -> BenchmarkProfile {
+        // Table 2 rates are exact; the footprint/role parameters are
+        // calibrated so the full pipeline reproduces the paper's
+        // per-scheme flip rates (see EXPERIMENTS.md for the comparison).
+        match self {
+            Benchmark::Libquantum => BenchmarkProfile {
+                benchmark: self,
+                mpki: 22.9,
+                wbpki: 9.78,
+                hot_words: 4,
+                touch_probability: 0.95,
+                block_activity: 0.85,
+                roles: RoleMix::counter_heavy(),
+                drift: FootprintDrift::NONE,
+                line_zipf: 0.6,
+            },
+            Benchmark::Mcf => BenchmarkProfile {
+                benchmark: self,
+                mpki: 16.2,
+                wbpki: 8.78,
+                hot_words: 8,
+                touch_probability: 0.9,
+                block_activity: 0.8,
+                roles: RoleMix::pointer_heavy(),
+                drift: FootprintDrift::NONE,
+                line_zipf: 0.8,
+            },
+            Benchmark::Lbm => BenchmarkProfile {
+                benchmark: self,
+                mpki: 14.6,
+                wbpki: 7.25,
+                hot_words: 15,
+                touch_probability: 0.95,
+                block_activity: 0.85,
+                roles: RoleMix::float_heavy(),
+                drift: FootprintDrift::NONE,
+                line_zipf: 0.5,
+            },
+            Benchmark::Gems => BenchmarkProfile {
+                benchmark: self,
+                mpki: 14.4,
+                wbpki: 7.14,
+                hot_words: 30,
+                touch_probability: 0.97,
+                block_activity: 0.97,
+                roles: RoleMix::float_heavy(),
+                drift: FootprintDrift::NONE,
+                line_zipf: 0.4,
+            },
+            Benchmark::Milc => BenchmarkProfile {
+                benchmark: self,
+                mpki: 19.6,
+                wbpki: 6.80,
+                hot_words: 12,
+                touch_probability: 0.95,
+                block_activity: 0.85,
+                roles: RoleMix::float_heavy(),
+                drift: FootprintDrift {
+                    period: Some(20),
+                    fraction: 0.6,
+                },
+                line_zipf: 0.6,
+            },
+            Benchmark::Omnetpp => BenchmarkProfile {
+                benchmark: self,
+                mpki: 10.8,
+                wbpki: 4.71,
+                hot_words: 7,
+                touch_probability: 0.9,
+                block_activity: 0.8,
+                roles: RoleMix::pointer_heavy(),
+                drift: FootprintDrift::NONE,
+                line_zipf: 0.9,
+            },
+            Benchmark::Leslie3d => BenchmarkProfile {
+                benchmark: self,
+                mpki: 12.8,
+                wbpki: 4.38,
+                hot_words: 16,
+                touch_probability: 0.95,
+                block_activity: 0.85,
+                roles: RoleMix::float_heavy(),
+                drift: FootprintDrift::NONE,
+                line_zipf: 0.5,
+            },
+            Benchmark::Soplex => BenchmarkProfile {
+                benchmark: self,
+                mpki: 25.5,
+                wbpki: 3.97,
+                hot_words: 29,
+                touch_probability: 0.95,
+                block_activity: 0.95,
+                roles: RoleMix {
+                    counter: 0.05,
+                    pointer: 0.15,
+                    float: 0.7,
+                    random: 0.1,
+                },
+                drift: FootprintDrift::NONE,
+                line_zipf: 0.4,
+            },
+            Benchmark::Zeusmp => BenchmarkProfile {
+                benchmark: self,
+                mpki: 4.65,
+                wbpki: 1.97,
+                hot_words: 15,
+                touch_probability: 0.95,
+                block_activity: 0.85,
+                roles: RoleMix::float_heavy(),
+                drift: FootprintDrift::NONE,
+                line_zipf: 0.5,
+            },
+            Benchmark::Wrf => BenchmarkProfile {
+                benchmark: self,
+                mpki: 3.85,
+                wbpki: 1.67,
+                hot_words: 12,
+                touch_probability: 0.95,
+                block_activity: 0.85,
+                roles: RoleMix::float_heavy(),
+                drift: FootprintDrift {
+                    period: Some(9),
+                    fraction: 0.7,
+                },
+                line_zipf: 0.6,
+            },
+            Benchmark::Xalancbmk => BenchmarkProfile {
+                benchmark: self,
+                mpki: 1.85,
+                wbpki: 1.61,
+                hot_words: 11,
+                touch_probability: 0.9,
+                block_activity: 0.8,
+                roles: RoleMix::pointer_heavy(),
+                drift: FootprintDrift::NONE,
+                line_zipf: 0.8,
+            },
+            Benchmark::Astar => BenchmarkProfile {
+                benchmark: self,
+                mpki: 1.84,
+                wbpki: 1.29,
+                hot_words: 12,
+                touch_probability: 0.9,
+                block_activity: 0.8,
+                roles: RoleMix::pointer_heavy(),
+                drift: FootprintDrift::NONE,
+                line_zipf: 0.8,
+            },
+        }
+    }
+}
+
+impl core::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error for [`Benchmark::from_name`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBenchmark(pub String);
+
+impl core::fmt::Display for UnknownBenchmark {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "unknown benchmark {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownBenchmark {}
+
+/// Mix of word-update roles assigned to a line's words.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoleMix {
+    /// Fraction of counter-like words.
+    pub counter: f64,
+    /// Fraction of pointer-like words.
+    pub pointer: f64,
+    /// Fraction of float-like words.
+    pub float: f64,
+    /// Fraction of fully-random words.
+    pub random: f64,
+}
+
+impl RoleMix {
+    fn counter_heavy() -> Self {
+        Self {
+            counter: 0.7,
+            pointer: 0.2,
+            float: 0.0,
+            random: 0.1,
+        }
+    }
+
+    fn pointer_heavy() -> Self {
+        Self {
+            counter: 0.15,
+            pointer: 0.65,
+            float: 0.1,
+            random: 0.1,
+        }
+    }
+
+    fn float_heavy() -> Self {
+        Self {
+            counter: 0.05,
+            pointer: 0.1,
+            float: 0.8,
+            random: 0.05,
+        }
+    }
+
+    /// Picks a role given a uniform sample in `[0, 1)`.
+    #[must_use]
+    pub fn pick(&self, u: f64) -> WordRole {
+        let mut acc = self.counter;
+        if u < acc {
+            return WordRole::Counter;
+        }
+        acc += self.pointer;
+        if u < acc {
+            return WordRole::Pointer;
+        }
+        acc += self.float;
+        if u < acc {
+            return WordRole::Float;
+        }
+        WordRole::Random
+    }
+}
+
+/// How a line's hot-word footprint changes over time.
+///
+/// When `period` is `Some(p)`, every `p` writes to a line a `fraction` of
+/// its hot positions are re-sampled. Words that leave the footprint stop
+/// being written — but DEUCE keeps re-encrypting them until the next
+/// epoch, which is exactly the wrf/milc pathology of Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FootprintDrift {
+    /// Writes to a line between drift events (`None` = stable footprint).
+    pub period: Option<u64>,
+    /// Fraction of hot words re-sampled per drift event.
+    pub fraction: f64,
+}
+
+impl FootprintDrift {
+    /// A perfectly stable footprint.
+    pub const NONE: Self = Self {
+        period: None,
+        fraction: 0.0,
+    };
+}
+
+/// Everything the generator needs to emit one benchmark's trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Which benchmark this is.
+    pub benchmark: Benchmark,
+    /// L4 read misses per kilo-instruction (Table 2).
+    pub mpki: f64,
+    /// L4 writebacks per kilo-instruction (Table 2).
+    pub wbpki: f64,
+    /// Size of each line's hot-word footprint (16-bit words).
+    pub hot_words: usize,
+    /// Probability each hot word is touched by a given writeback.
+    pub touch_probability: f64,
+    /// Probability each hot *block* (16-byte region) participates in a
+    /// given writeback. Real writebacks update one field group at a
+    /// time, so untouched blocks let per-block counters (BLE, BLE+DEUCE)
+    /// freeze — the source of BLE+DEUCE's win in Fig. 18.
+    pub block_activity: f64,
+    /// Word-role mix for the line's words.
+    pub roles: RoleMix,
+    /// Footprint drift behaviour.
+    pub drift: FootprintDrift,
+    /// Zipf exponent for line selection within the working set.
+    pub line_zipf: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rates_match_paper() {
+        let libq = Benchmark::Libquantum.profile();
+        assert!((libq.mpki - 22.9).abs() < 1e-9);
+        assert!((libq.wbpki - 9.78).abs() < 1e-9);
+        let astar = Benchmark::Astar.profile();
+        assert!((astar.mpki - 1.84).abs() < 1e-9);
+        assert!((astar.wbpki - 1.29).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_benchmarks_have_at_least_1_wbpki() {
+        for b in Benchmark::ALL {
+            assert!(b.profile().wbpki >= 1.0, "{b}: paper only keeps >= 1 WBPKI");
+        }
+    }
+
+    #[test]
+    fn dense_benchmarks_are_gems_and_soplex() {
+        for b in Benchmark::ALL {
+            let p = b.profile();
+            let dense = p.hot_words >= 24;
+            let should_be_dense = matches!(b, Benchmark::Gems | Benchmark::Soplex);
+            assert_eq!(dense, should_be_dense, "{b}");
+        }
+    }
+
+    #[test]
+    fn drifting_benchmarks_are_wrf_and_milc() {
+        for b in Benchmark::ALL {
+            let drifts = b.profile().drift.period.is_some();
+            assert_eq!(drifts, matches!(b, Benchmark::Wrf | Benchmark::Milc), "{b}");
+        }
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_name(b.name()), Ok(b));
+        }
+        assert!(Benchmark::from_name("nope").is_err());
+    }
+
+    #[test]
+    fn role_mix_sums_to_one_and_picks() {
+        for b in Benchmark::ALL {
+            let m = b.profile().roles;
+            let sum = m.counter + m.pointer + m.float + m.random;
+            assert!((sum - 1.0).abs() < 1e-9, "{b}: role mix sums to {sum}");
+        }
+        let mix = RoleMix::counter_heavy();
+        assert_eq!(mix.pick(0.0), WordRole::Counter);
+        assert_eq!(mix.pick(0.99), WordRole::Random);
+    }
+}

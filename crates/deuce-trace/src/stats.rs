@@ -1,0 +1,136 @@
+//! Trace statistics: the Table 2 characteristics plus the word/bit
+//! modification statistics the DEUCE results hinge on.
+
+use std::collections::HashMap;
+
+use deuce_crypto::{LineBytes, LINE_BITS};
+
+use crate::trace::{Op, Trace};
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Read misses per kilo-instruction (per core, averaged).
+    pub mpki: f64,
+    /// Writebacks per kilo-instruction (per core, averaged).
+    pub wbpki: f64,
+    /// Mean 16-bit words modified per writeback (vs the previous write of
+    /// the same line).
+    pub avg_words_modified: f64,
+    /// Mean data bits modified per writeback.
+    pub avg_bits_modified: f64,
+    /// Mean fraction of the 512 data bits modified per writeback (the
+    /// unencrypted-DCW flip rate).
+    pub dirty_bit_fraction: f64,
+    /// Distinct lines touched.
+    pub unique_lines: usize,
+    /// Writebacks that were compared (first write per line is skipped).
+    pub compared_writes: u64,
+}
+
+impl TraceStats {
+    /// Computes statistics by replaying the trace's write stream.
+    #[must_use]
+    pub fn compute(trace: &Trace) -> Self {
+        let mut last: HashMap<u64, LineBytes> = HashMap::new();
+        let mut words_modified = 0u64;
+        let mut bits_modified = 0u64;
+        let mut compared = 0u64;
+        let mut max_instr_per_core: HashMap<u8, u64> = HashMap::new();
+        let mut reads_per_core: HashMap<u8, u64> = HashMap::new();
+        let mut writes_per_core: HashMap<u8, u64> = HashMap::new();
+
+        for e in trace.events() {
+            let per_core = max_instr_per_core.entry(e.core).or_insert(0);
+            *per_core = (*per_core).max(e.instr);
+            match e.op {
+                Op::Read => *reads_per_core.entry(e.core).or_insert(0) += 1,
+                Op::Write => {
+                    *writes_per_core.entry(e.core).or_insert(0) += 1;
+                    let data = e.data.expect("write events carry data");
+                    if let Some(prev) = last.get(&e.line.value()) {
+                        compared += 1;
+                        for w in 0..32 {
+                            let range = w * 2..w * 2 + 2;
+                            if prev[range.clone()] != data[range] {
+                                words_modified += 1;
+                            }
+                        }
+                        bits_modified += prev
+                            .iter()
+                            .zip(&data)
+                            .map(|(a, b)| u64::from((a ^ b).count_ones()))
+                            .sum::<u64>();
+                    }
+                    last.insert(e.line.value(), data);
+                }
+            }
+        }
+
+        let kilo_instr: f64 = max_instr_per_core.values().map(|&i| i as f64 / 1000.0).sum();
+        let reads: u64 = reads_per_core.values().sum();
+        let writes: u64 = writes_per_core.values().sum();
+
+        Self {
+            mpki: if kilo_instr > 0.0 { reads as f64 / kilo_instr } else { 0.0 },
+            wbpki: if kilo_instr > 0.0 { writes as f64 / kilo_instr } else { 0.0 },
+            avg_words_modified: if compared > 0 {
+                words_modified as f64 / compared as f64
+            } else {
+                0.0
+            },
+            avg_bits_modified: if compared > 0 {
+                bits_modified as f64 / compared as f64
+            } else {
+                0.0
+            },
+            dirty_bit_fraction: if compared > 0 {
+                bits_modified as f64 / compared as f64 / LINE_BITS as f64
+            } else {
+                0.0
+            },
+            unique_lines: last.len(),
+            compared_writes: compared,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Benchmark, TraceConfig};
+
+    #[test]
+    fn rates_match_profile() {
+        let trace = TraceConfig::new(Benchmark::Mcf).writes(5000).seed(2).generate();
+        let stats = TraceStats::compute(&trace);
+        assert!((stats.wbpki - 8.78).abs() < 0.5, "wbpki {}", stats.wbpki);
+        assert!((stats.mpki - 16.2).abs() < 1.2, "mpki {}", stats.mpki);
+    }
+
+    #[test]
+    fn sparse_benchmark_has_few_modified_words() {
+        let trace = TraceConfig::new(Benchmark::Libquantum)
+            .writes(5000)
+            .seed(2)
+            .generate();
+        let stats = TraceStats::compute(&trace);
+        assert!(stats.avg_words_modified < 6.0, "{}", stats.avg_words_modified);
+        assert!(stats.dirty_bit_fraction < 0.06, "{}", stats.dirty_bit_fraction);
+    }
+
+    #[test]
+    fn dense_benchmark_has_many_modified_words() {
+        let trace = TraceConfig::new(Benchmark::Gems).writes(5000).seed(2).generate();
+        let stats = TraceStats::compute(&trace);
+        assert!(stats.avg_words_modified > 20.0, "{}", stats.avg_words_modified);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let stats = TraceStats::compute(&Trace::default());
+        assert_eq!(stats.compared_writes, 0);
+        assert_eq!(stats.unique_lines, 0);
+        assert_eq!(stats.dirty_bit_fraction, 0.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Trace container types.
+
+use deuce_crypto::{LineAddr, LineBytes};
+
+/// Memory operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// L4 miss: a line read from PCM.
+    Read,
+    /// L4 eviction: a dirty line written back to PCM.
+    Write,
+}
+
+/// One memory request as it leaves the L4 cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Issuing core (0-based; rate mode runs one benchmark copy per core).
+    pub core: u8,
+    /// The issuing core's retired-instruction count at this request
+    /// (the timing model converts this to arrival time).
+    pub instr: u64,
+    /// Request kind.
+    pub op: Op,
+    /// Target line.
+    pub line: LineAddr,
+    /// Full new line contents for writes; `None` for reads.
+    pub data: Option<LineBytes>,
+}
+
+impl TraceEvent {
+    /// Shorthand for a read event.
+    #[must_use]
+    pub fn read(core: u8, instr: u64, line: LineAddr) -> Self {
+        Self {
+            core,
+            instr,
+            op: Op::Read,
+            line,
+            data: None,
+        }
+    }
+
+    /// Shorthand for a write event.
+    #[must_use]
+    pub fn write(core: u8, instr: u64, line: LineAddr, data: LineBytes) -> Self {
+        Self {
+            core,
+            instr,
+            op: Op::Write,
+            line,
+            data: Some(data),
+        }
+    }
+}
+
+/// A generated (or loaded) request trace, ordered by issue.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates a trace from pre-built events.
+    #[must_use]
+    pub fn from_events(events: Vec<TraceEvent>) -> Self {
+        Self { events }
+    }
+
+    /// All events in issue order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of write events.
+    #[must_use]
+    pub fn write_count(&self) -> usize {
+        self.events.iter().filter(|e| e.op == Op::Write).count()
+    }
+
+    /// Number of read events.
+    #[must_use]
+    pub fn read_count(&self) -> usize {
+        self.events.iter().filter(|e| e.op == Op::Read).count()
+    }
+
+    /// Iterates over write events only.
+    pub fn writes(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(|e| e.op == Op::Write)
+    }
+
+    /// Appends an event (used by generators and loaders).
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}
+
+impl FromIterator<TraceEvent> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceEvent>>(iter: I) -> Self {
+        Self {
+            events: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Trace {
+    /// Returns the sub-trace of events issued by one core (rate mode
+    /// runs are per-core symmetric, so single-core slices are often all
+    /// an analysis needs).
+    #[must_use]
+    pub fn filter_core(&self, core: u8) -> Trace {
+        self.events
+            .iter()
+            .filter(|e| e.core == core)
+            .cloned()
+            .collect()
+    }
+
+    /// Returns the prefix containing the first `writes` writebacks (and
+    /// every read issued before the last of them) — useful for warmup
+    /// splits.
+    #[must_use]
+    pub fn truncate_writes(&self, writes: usize) -> Trace {
+        let mut remaining = writes;
+        let mut out = Trace::default();
+        for e in &self.events {
+            if e.op == Op::Write {
+                if remaining == 0 {
+                    break;
+                }
+                remaining -= 1;
+            }
+            out.push(e.clone());
+        }
+        out
+    }
+
+    /// Merges two traces by interleaving on instruction count
+    /// (stable: ties keep `self` first). Cores must be disjoint for the
+    /// result to be meaningful; this is the caller's responsibility.
+    #[must_use]
+    pub fn merge(&self, other: &Trace) -> Trace {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut a, mut b) = (self.events.iter().peekable(), other.events.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    if x.instr <= y.instr {
+                        out.push(a.next().expect("peeked").clone());
+                    } else {
+                        out.push(b.next().expect("peeked").clone());
+                    }
+                }
+                (Some(_), None) => out.extend(a.by_ref().cloned()),
+                (None, Some(_)) => out.extend(b.by_ref().cloned()),
+                (None, None) => break,
+            }
+        }
+        Trace::from_events(out)
+    }
+}
+
+impl Extend<TraceEvent> for Trace {
+    fn extend<I: IntoIterator<Item = TraceEvent>>(&mut self, iter: I) {
+        self.events.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_iteration() {
+        let mut t = Trace::default();
+        assert!(t.is_empty());
+        t.push(TraceEvent::read(0, 100, LineAddr::new(1)));
+        t.push(TraceEvent::write(0, 200, LineAddr::new(1), [1u8; 64]));
+        t.push(TraceEvent::write(1, 300, LineAddr::new(2), [2u8; 64]));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.read_count(), 1);
+        assert_eq!(t.write_count(), 2);
+        assert_eq!(t.writes().count(), 2);
+        assert!(t.events()[0].data.is_none());
+        assert_eq!(t.events()[1].data.unwrap()[0], 1);
+    }
+
+    #[test]
+    fn filter_core_selects_exactly_that_core() {
+        let mut t = Trace::default();
+        for i in 0..10u64 {
+            t.push(TraceEvent::write((i % 3) as u8, i * 10, LineAddr::new(i), [0u8; 64]));
+        }
+        let core1 = t.filter_core(1);
+        assert_eq!(core1.len(), 3);
+        assert!(core1.events().iter().all(|e| e.core == 1));
+    }
+
+    #[test]
+    fn truncate_writes_keeps_prefix() {
+        let mut t = Trace::default();
+        t.push(TraceEvent::read(0, 5, LineAddr::new(0)));
+        t.push(TraceEvent::write(0, 10, LineAddr::new(0), [1u8; 64]));
+        t.push(TraceEvent::read(0, 15, LineAddr::new(1)));
+        t.push(TraceEvent::write(0, 20, LineAddr::new(1), [2u8; 64]));
+        let head = t.truncate_writes(1);
+        assert_eq!(head.write_count(), 1);
+        assert_eq!(head.len(), 3, "the read between the writes is kept");
+        assert_eq!(t.truncate_writes(0).write_count(), 0);
+        assert_eq!(t.truncate_writes(99), t, "over-asking keeps everything");
+    }
+
+    #[test]
+    fn merge_interleaves_by_instruction_count() {
+        let mut a = Trace::default();
+        a.push(TraceEvent::read(0, 10, LineAddr::new(0)));
+        a.push(TraceEvent::read(0, 30, LineAddr::new(0)));
+        let mut b = Trace::default();
+        b.push(TraceEvent::read(1, 20, LineAddr::new(1)));
+        b.push(TraceEvent::read(1, 40, LineAddr::new(1)));
+        let merged = a.merge(&b);
+        let instrs: Vec<u64> = merged.events().iter().map(|e| e.instr).collect();
+        assert_eq!(instrs, vec![10, 20, 30, 40]);
+        assert_eq!(merged.len(), 4);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: Trace = (0..5)
+            .map(|i| TraceEvent::write(0, i * 10, LineAddr::new(i), [i as u8; 64]))
+            .collect();
+        assert_eq!(t.write_count(), 5);
+    }
+}

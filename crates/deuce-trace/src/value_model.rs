@@ -1,0 +1,159 @@
+//! How the value inside a 16-bit word changes when a writeback touches
+//! it.
+//!
+//! The role determines how many — and crucially *which* — bits flip,
+//! which drives both the DCW/FNW flip rates (Fig. 5) and the per-bit-
+//! position write skew (Fig. 12: libquantum's hottest bit sees 27× the
+//! average because its inner loop increments counters whose low bits sit
+//! at fixed positions in the line).
+
+use rand::Rng;
+
+/// The update behaviour of one word of a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WordRole {
+    /// Loop counter / accumulator: small increments, so low-order bits
+    /// flip almost every write (bit 0 ~every write, bit 1 ~half, ...).
+    Counter,
+    /// Pointer / index: jumps within a region, flipping a band of
+    /// middle bits.
+    Pointer,
+    /// Floating-point mantissa fragment: low mantissa bits churn, high
+    /// bits are stable.
+    Float,
+    /// Fully random replacement (dense value churn).
+    Random,
+}
+
+impl WordRole {
+    /// Produces the word's next value after a modification.
+    ///
+    /// Guaranteed to differ from `old` (a "modified word" that happens to
+    /// keep its value would silently vanish from DCW statistics).
+    pub fn next_value<R: Rng + ?Sized>(self, old: u16, rng: &mut R) -> u16 {
+        let new = match self {
+            WordRole::Counter => {
+                if rng.gen_bool(0.05) {
+                    // Sign change / zero crossing: two's complement flips
+                    // nearly every bit of a small value — the dense-flip
+                    // events Flip-N-Write profits from.
+                    (old as i16).wrapping_neg() as u16
+                } else {
+                    old.wrapping_add(rng.gen_range(1..=3))
+                }
+            }
+            WordRole::Pointer => {
+                // Jump by a geometric-ish stride within a 4K-entry region:
+                // flips a band of bits around positions 2..10.
+                let stride = 1u16 << rng.gen_range(2..7);
+                let delta = stride.wrapping_mul(rng.gen_range(1..=7));
+                if rng.gen_bool(0.5) {
+                    old.wrapping_add(delta)
+                } else {
+                    old.wrapping_sub(delta)
+                }
+            }
+            WordRole::Float => {
+                if rng.gen_bool(0.08) {
+                    // Sign/exponent flip: most mantissa bits invert.
+                    old ^ (0xFFE0 | rng.gen_range(0u16..32))
+                } else {
+                    // Churn the low 8 mantissa bits; occasionally disturb
+                    // bits 8..13 (exponent drift).
+                    let low = rng.gen_range(1u16..1024);
+                    let high = if rng.gen_bool(0.15) {
+                        (rng.gen_range(1u16..64)) << 10
+                    } else {
+                        0
+                    };
+                    old ^ (low | high)
+                }
+            }
+            WordRole::Random => rng.gen(),
+        };
+        if new == old {
+            new.wrapping_add(1)
+        } else {
+            new
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_flips(role: WordRole, trials: u32) -> f64 {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut value: u16 = 0x1234;
+        let mut flips = 0u64;
+        for _ in 0..trials {
+            let next = role.next_value(value, &mut rng);
+            flips += u64::from((value ^ next).count_ones());
+            value = next;
+        }
+        f64::from(flips as u32) / f64::from(trials)
+    }
+
+    #[test]
+    fn next_value_always_differs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for role in [WordRole::Counter, WordRole::Pointer, WordRole::Float, WordRole::Random] {
+            let mut v = 0u16;
+            for _ in 0..500 {
+                let next = role.next_value(v, &mut rng);
+                assert_ne!(next, v, "{role:?}");
+                v = next;
+            }
+        }
+    }
+
+    #[test]
+    fn counter_is_sparse_and_low_biased() {
+        let m = mean_flips(WordRole::Counter, 4000);
+        assert!(m > 1.0 && m < 4.0, "counter mean flips {m}");
+        // Bit 0 flips far more often than bit 8.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: u16 = 0;
+        let mut bit0 = 0u32;
+        let mut bit8 = 0u32;
+        for _ in 0..4000 {
+            let next = WordRole::Counter.next_value(v, &mut rng);
+            let diff = v ^ next;
+            bit0 += u32::from(diff & 1);
+            bit8 += u32::from(diff >> 8 & 1);
+            v = next;
+        }
+        assert!(bit0 > bit8 * 10, "bit0 {bit0} vs bit8 {bit8}");
+    }
+
+    #[test]
+    fn random_is_dense() {
+        let m = mean_flips(WordRole::Random, 4000);
+        assert!((m - 8.0).abs() < 0.5, "random mean flips {m}");
+    }
+
+    #[test]
+    fn float_is_moderate() {
+        let m = mean_flips(WordRole::Float, 4000);
+        assert!(m > 3.0 && m < 8.0, "float mean flips {m}");
+    }
+
+    #[test]
+    fn pointer_flips_middle_band() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut v: u16 = 0x4000;
+        let mut low = 0u32; // bits 0..2
+        let mut mid = 0u32; // bits 2..11
+        for _ in 0..4000 {
+            let next = WordRole::Pointer.next_value(v, &mut rng);
+            let diff = v ^ next;
+            low += (diff & 0b11).count_ones();
+            mid += (diff & 0x07FC).count_ones();
+            v = next;
+        }
+        assert!(mid > low * 4, "mid {mid} vs low {low}");
+    }
+}

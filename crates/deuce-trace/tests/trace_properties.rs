@@ -1,0 +1,123 @@
+//! Property tests for trace generation and the container format.
+
+use deuce_trace::{
+    read_trace, write_trace, Benchmark, Op, Trace, TraceConfig, TraceEvent, TraceStats,
+};
+use proptest::prelude::*;
+
+fn benchmark_strategy() -> impl Strategy<Value = Benchmark> {
+    prop::sample::select(Benchmark::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Structural invariants of every generated trace.
+    #[test]
+    fn generated_traces_are_well_formed(
+        benchmark in benchmark_strategy(),
+        writes in 1usize..800,
+        lines in 1usize..64,
+        cores in 1u8..4,
+        seed in any::<u64>(),
+    ) {
+        let trace = TraceConfig::new(benchmark)
+            .lines(lines)
+            .writes(writes)
+            .cores(cores)
+            .seed(seed)
+            .generate();
+        prop_assert_eq!(trace.write_count(), writes);
+        for e in trace.events() {
+            prop_assert!(e.core < cores);
+            prop_assert!((e.line.value() & 0xFFFF_FFFF) < lines as u64);
+            prop_assert_eq!(e.line.value() >> 32, u64::from(e.core));
+            match e.op {
+                Op::Write => prop_assert!(e.data.is_some()),
+                Op::Read => prop_assert!(e.data.is_none()),
+            }
+        }
+    }
+
+    /// Serialization roundtrips bit-exactly for generated traces.
+    #[test]
+    fn io_roundtrip(
+        benchmark in benchmark_strategy(),
+        writes in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        let trace = TraceConfig::new(benchmark).lines(16).writes(writes).seed(seed).generate();
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, &trace).unwrap();
+        prop_assert_eq!(read_trace(buffer.as_slice()).unwrap(), trace);
+    }
+
+    /// Serialization roundtrips for arbitrary hand-built traces too
+    /// (not just generator output).
+    #[test]
+    fn io_roundtrip_arbitrary(
+        events in prop::collection::vec(
+            (any::<u8>(), any::<u64>(), any::<u64>(), prop::option::of(any::<[u8; 64]>())),
+            0..60,
+        )
+    ) {
+        let trace: Trace = events
+            .into_iter()
+            .map(|(core, instr, line, data)| match data {
+                Some(d) => TraceEvent::write(core, instr, deuce_trace::LineAddr::new(line), d),
+                None => TraceEvent::read(core, instr, deuce_trace::LineAddr::new(line)),
+            })
+            .collect();
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, &trace).unwrap();
+        prop_assert_eq!(read_trace(buffer.as_slice()).unwrap(), trace);
+    }
+
+    /// Statistics are finite and within physical bounds.
+    #[test]
+    fn stats_are_sane(benchmark in benchmark_strategy(), seed in any::<u64>()) {
+        let trace = TraceConfig::new(benchmark).lines(32).writes(600).seed(seed).generate();
+        let stats = TraceStats::compute(&trace);
+        prop_assert!(stats.dirty_bit_fraction > 0.0 && stats.dirty_bit_fraction <= 1.0);
+        prop_assert!(stats.avg_words_modified > 0.0 && stats.avg_words_modified <= 32.0);
+        prop_assert!(stats.unique_lines <= 32);
+        prop_assert!(stats.wbpki > 0.0);
+        prop_assert!(stats.mpki >= 0.0);
+    }
+}
+
+/// Table 2 fidelity across all 12 benchmarks at once.
+#[test]
+fn all_profiles_reproduce_table2_rates() {
+    for benchmark in Benchmark::ALL {
+        let profile = benchmark.profile();
+        let trace = TraceConfig::new(benchmark)
+            .lines(64)
+            .writes(6_000)
+            .seed(9)
+            .generate();
+        let stats = TraceStats::compute(&trace);
+        let wb_err = (stats.wbpki - profile.wbpki).abs() / profile.wbpki;
+        let mpki_err = (stats.mpki - profile.mpki).abs() / profile.mpki;
+        assert!(wb_err < 0.05, "{benchmark}: wbpki {} vs {}", stats.wbpki, profile.wbpki);
+        assert!(mpki_err < 0.10, "{benchmark}: mpki {} vs {}", stats.mpki, profile.mpki);
+    }
+}
+
+/// The dirty-bit fractions across benchmarks average near the paper's
+/// 12.4% (Fig. 5's unencrypted DCW bar, which equals the trace's own
+/// dirty-bit rate).
+#[test]
+fn average_dirtiness_matches_paper() {
+    let mut total = 0.0;
+    for benchmark in Benchmark::ALL {
+        let trace = TraceConfig::new(benchmark)
+            .lines(64)
+            .writes(4_000)
+            .seed(4)
+            .generate();
+        total += TraceStats::compute(&trace).dirty_bit_fraction;
+    }
+    let mean = total / 12.0;
+    assert!((mean - 0.124).abs() < 0.03, "mean dirtiness {mean}");
+}

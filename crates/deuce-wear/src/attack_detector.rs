@@ -1,0 +1,156 @@
+//! Online detection of malicious write streams (§7.3, after \[23\]).
+//!
+//! Wear leveling slows an endurance attack but cannot stop a determined
+//! one; the practical defense is to *detect* abnormal write
+//! concentration online and throttle the offender. This detector keeps
+//! aging per-line write counters over a sliding window and raises an
+//! alarm when any line's share of recent writes exceeds a threshold —
+//! benign workloads (even Zipf-skewed ones) stay far below it, while
+//! hammering attacks cross it within one window.
+
+use std::collections::HashMap;
+
+/// Verdict for one observed write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteVerdict {
+    /// Nothing suspicious.
+    Benign,
+    /// This line's recent write share crossed the threshold.
+    Suspicious {
+        /// Writes to the line within the current window.
+        line_writes: u32,
+    },
+}
+
+/// Sliding-window write-rate detector.
+///
+/// # Examples
+///
+/// ```
+/// use deuce_wear::{AttackDetector, WriteVerdict};
+///
+/// let mut detector = AttackDetector::new(1000, 0.10);
+/// let mut alarmed = false;
+/// for _ in 0..500 {
+///     alarmed |= detector.observe(42) != WriteVerdict::Benign;
+/// }
+/// assert!(alarmed, "hammering one line must trip the detector");
+/// ```
+#[derive(Debug, Clone)]
+pub struct AttackDetector {
+    window: u32,
+    threshold: f64,
+    counts: HashMap<u64, u32>,
+    writes_in_window: u32,
+    alarms: u64,
+}
+
+impl AttackDetector {
+    /// Creates a detector: within any aging window of `window` writes, a
+    /// line taking more than `threshold` of the traffic is flagged.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `window > 0` and `threshold` is in `(0, 1]`.
+    #[must_use]
+    pub fn new(window: u32, threshold: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(threshold > 0.0 && threshold <= 1.0, "threshold in (0, 1]");
+        Self {
+            window,
+            threshold,
+            counts: HashMap::new(),
+            writes_in_window: 0,
+            alarms: 0,
+        }
+    }
+
+    /// Total alarms raised.
+    #[must_use]
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+
+    /// Observes one line write and classifies it.
+    pub fn observe(&mut self, line: u64) -> WriteVerdict {
+        self.writes_in_window += 1;
+        let count = self.counts.entry(line).or_insert(0);
+        *count += 1;
+        // Halving at each window boundary lets a steady writer
+        // accumulate up to 2x its per-window count (geometric
+        // carryover), so the alarm bound includes that factor: a line
+        // sustains `threshold` of the traffic before tripping.
+        let verdict = if f64::from(*count) > self.threshold * 2.0 * f64::from(self.window) {
+            self.alarms += 1;
+            WriteVerdict::Suspicious { line_writes: *count }
+        } else {
+            WriteVerdict::Benign
+        };
+        if self.writes_in_window >= self.window {
+            // Age: halve everything (cheap approximation of a sliding
+            // window; keeps hot lines visible across window boundaries).
+            self.writes_in_window = 0;
+            self.counts.retain(|_, c| {
+                *c /= 2;
+                *c > 0
+            });
+        }
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hammering_trips_quickly() {
+        let mut d = AttackDetector::new(1000, 0.1);
+        let mut first_alarm = None;
+        for i in 0..1000u32 {
+            if d.observe(7) != WriteVerdict::Benign && first_alarm.is_none() {
+                first_alarm = Some(i);
+            }
+        }
+        assert_eq!(first_alarm, Some(200), "alarm at the threshold crossing");
+        assert!(d.alarms() > 700);
+    }
+
+    #[test]
+    fn uniform_traffic_never_trips() {
+        let mut d = AttackDetector::new(1000, 0.1);
+        for i in 0..10_000u64 {
+            assert_eq!(d.observe(i % 64), WriteVerdict::Benign, "write {i}");
+        }
+    }
+
+    #[test]
+    fn small_set_attack_still_trips() {
+        // 4 lines at 25% each > 10% threshold.
+        let mut d = AttackDetector::new(1000, 0.1);
+        let mut alarmed = false;
+        for i in 0..2000u64 {
+            alarmed |= d.observe(i % 4) != WriteVerdict::Benign;
+        }
+        assert!(alarmed);
+    }
+
+    #[test]
+    fn aging_forgets_old_hotness() {
+        let mut d = AttackDetector::new(100, 0.5);
+        // 40 writes to line 1 (below 50-threshold), then cold traffic.
+        for _ in 0..40 {
+            assert_eq!(d.observe(1), WriteVerdict::Benign);
+        }
+        for i in 0..600u64 {
+            let v = d.observe(100 + i % 60);
+            assert_eq!(v, WriteVerdict::Benign, "background write {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_rejected() {
+        let _ = AttackDetector::new(10, 1.5);
+    }
+}

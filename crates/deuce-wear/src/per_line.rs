@@ -1,0 +1,96 @@
+//! The per-line rotation baseline HWL replaces (§5.2).
+//!
+//! Bit writes within a line can be made uniform by rotating the line
+//! periodically and keeping track of the rotation amount *per line* \[7\].
+//! This works, but costs `log2(BitsInLine)` storage bits per line and a
+//! full line rewrite on each rotation. It serves as the
+//! storage-overhead ablation against [`crate::HorizontalWearLeveler`].
+
+/// Per-line rotation state: an explicit rotation register per line.
+#[derive(Debug, Clone)]
+pub struct PerLineRotation {
+    rotations: Vec<u32>,
+    writes: Vec<u32>,
+    bits_in_line: u32,
+    rotate_every: u32,
+}
+
+impl PerLineRotation {
+    /// Creates state for `lines` lines, rotating a line by one bit every
+    /// `rotate_every` writes to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    #[must_use]
+    pub fn new(lines: usize, bits_in_line: u32, rotate_every: u32) -> Self {
+        assert!(lines > 0 && bits_in_line > 0 && rotate_every > 0);
+        Self {
+            rotations: vec![0; lines],
+            writes: vec![0; lines],
+            bits_in_line,
+            rotate_every,
+        }
+    }
+
+    /// Storage overhead per line in bits (the cost HWL eliminates).
+    #[must_use]
+    pub fn storage_bits_per_line(&self) -> u32 {
+        32 - (self.bits_in_line - 1).leading_zeros()
+    }
+
+    /// Current rotation of a line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range.
+    #[must_use]
+    pub fn rotation(&self, line: usize) -> u32 {
+        self.rotations[line]
+    }
+
+    /// Records a write to `line`; returns `true` if the line rotated
+    /// (requiring a full line rewrite in hardware).
+    pub fn record_write(&mut self, line: usize) -> bool {
+        self.writes[line] += 1;
+        if self.writes[line] >= self.rotate_every {
+            self.writes[line] = 0;
+            self.rotations[line] = (self.rotations[line] + 1) % self.bits_in_line;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotates_after_interval() {
+        let mut plr = PerLineRotation::new(2, 544, 3);
+        assert!(!plr.record_write(0));
+        assert!(!plr.record_write(0));
+        assert!(plr.record_write(0));
+        assert_eq!(plr.rotation(0), 1);
+        assert_eq!(plr.rotation(1), 0, "lines rotate independently");
+    }
+
+    #[test]
+    fn rotation_wraps_at_ring_size() {
+        let mut plr = PerLineRotation::new(1, 4, 1);
+        for _ in 0..4 {
+            let _ = plr.record_write(0);
+        }
+        assert_eq!(plr.rotation(0), 0);
+    }
+
+    #[test]
+    fn storage_cost_reported() {
+        let plr = PerLineRotation::new(1, 544, 100);
+        assert_eq!(plr.storage_bits_per_line(), 10); // ceil(log2 544)
+        let plr = PerLineRotation::new(1, 512, 100);
+        assert_eq!(plr.storage_bits_per_line(), 9);
+    }
+}

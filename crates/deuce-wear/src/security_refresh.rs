@@ -1,0 +1,311 @@
+//! Security Refresh \[21\]: randomized vertical wear leveling.
+//!
+//! Where Start-Gap rotates the memory deterministically, Security
+//! Refresh remaps logical to physical addresses by XORing with a random
+//! key, and *gradually* migrates from the current key to a freshly drawn
+//! next key: every `refresh_interval` writes, one pair of physical
+//! locations `(p, p ^ (K_cur ^ K_next))` swaps contents. After the sweep
+//! covers every pair, the next key becomes current and a new key is
+//! drawn — so an attacker cannot predict where a hot line lives.
+//!
+//! §5.3 extends *both* Start-Gap and Security Refresh to Horizontal Wear
+//! Leveling; here the rotation amount derives from the completed round
+//! count exactly as HWL derives it from Start.
+
+/// Randomized vertical wear leveler over a power-of-two region.
+///
+/// # Examples
+///
+/// ```
+/// use deuce_wear::SecurityRefresh;
+///
+/// let mut sr = SecurityRefresh::new(64, 100, 1);
+/// let before = sr.remap(5);
+/// assert!(before < 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SecurityRefresh {
+    lines: usize,
+    current_key: u64,
+    next_key: u64,
+    /// Pairs already swapped in the current sweep.
+    swept: usize,
+    refresh_interval: u32,
+    writes_since_refresh: u32,
+    rounds: u64,
+    seed: u64,
+}
+
+/// A pending swap of two physical frames (the caller moves the data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameSwap {
+    /// One frame of the pair.
+    pub a: usize,
+    /// The other frame.
+    pub b: usize,
+    /// True when this swap completed a sweep (keys advanced).
+    pub round_completed: bool,
+}
+
+impl SecurityRefresh {
+    /// Creates a leveler for `lines` (a power of two ≥ 2), swapping one
+    /// pair every `refresh_interval` writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is not a power of two ≥ 2 or the interval is 0.
+    #[must_use]
+    pub fn new(lines: usize, refresh_interval: u32, seed: u64) -> Self {
+        assert!(
+            lines >= 2 && lines.is_power_of_two(),
+            "Security Refresh needs a power-of-two region"
+        );
+        assert!(refresh_interval > 0, "refresh interval must be positive");
+        let current_key = 0;
+        let next_key = derive_key(seed, 0, lines);
+        Self {
+            lines,
+            current_key,
+            next_key,
+            swept: 0,
+            refresh_interval,
+            writes_since_refresh: 0,
+            rounds: 0,
+            seed,
+        }
+    }
+
+    /// Number of lines managed.
+    #[must_use]
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Completed key rounds (the HWL rotation driver, like Start-Gap's
+    /// sweep count).
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    fn key_delta(&self) -> u64 {
+        self.current_key ^ self.next_key
+    }
+
+    /// Highest set bit of the key delta (the pairing bit).
+    fn pair_bit(&self) -> u32 {
+        63 - self.key_delta().leading_zeros()
+    }
+
+    /// Rank of the pair containing physical frame `p` in sweep order.
+    fn pair_rank(&self, p: u64) -> usize {
+        let h = self.pair_bit();
+        // Canonicalize: the pair is {p, p ^ K_d}; exactly one member has
+        // bit h clear (they differ in every set bit of K_d).
+        let c = if p >> h & 1 == 1 { p ^ self.key_delta() } else { p };
+        // Rank = canonical value with (always-zero) bit h removed.
+        let low = c & ((1u64 << h) - 1);
+        let high = (c >> (h + 1)) << h;
+        (low | high) as usize
+    }
+
+    /// True if the pair containing physical frame `p` has been swapped
+    /// this sweep (so `p`'s occupant maps under the next key).
+    fn pair_swapped(&self, p: u64) -> bool {
+        self.pair_rank(p) < self.swept
+    }
+
+    /// Maps a logical line to its current physical frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= lines`.
+    #[must_use]
+    pub fn remap(&self, logical: usize) -> usize {
+        assert!(logical < self.lines, "logical line {logical} out of range");
+        let under_current = logical as u64 ^ self.current_key;
+        if self.pair_swapped(under_current) {
+            (logical as u64 ^ self.next_key) as usize
+        } else {
+            under_current as usize
+        }
+    }
+
+    /// Whether the sweep has already migrated this logical line — the
+    /// `Start'`-style adjustment for HWL (§5.3 footnote applies to SR
+    /// the same way).
+    #[must_use]
+    pub fn migrated(&self, logical: usize) -> bool {
+        self.pair_swapped(logical as u64 ^ self.current_key)
+    }
+
+    /// HWL rotation amount for a line: completed rounds, plus one if the
+    /// sweep already migrated (and therefore re-rotated) the line.
+    #[must_use]
+    pub fn hwl_rotation(&self, logical: usize, bits_in_line: u32) -> u32 {
+        let effective = self.rounds + u64::from(self.migrated(logical));
+        (effective % u64::from(bits_in_line)) as u32
+    }
+
+    /// Records a line write; every `refresh_interval` writes, one pair
+    /// swaps. The caller must physically exchange the returned frames'
+    /// contents.
+    pub fn record_write(&mut self) -> Option<FrameSwap> {
+        self.writes_since_refresh += 1;
+        if self.writes_since_refresh < self.refresh_interval {
+            return None;
+        }
+        self.writes_since_refresh = 0;
+
+        // Identify the pair with rank == swept.
+        let h = self.pair_bit();
+        let rank = self.swept as u64;
+        let low = rank & ((1u64 << h) - 1);
+        let high = (rank >> h) << (h + 1);
+        let a = low | high; // canonical rep (bit h clear)
+        let b = a ^ self.key_delta();
+        self.swept += 1;
+
+        let round_completed = self.swept == self.lines / 2;
+        let swap = FrameSwap {
+            a: a as usize,
+            b: b as usize,
+            round_completed,
+        };
+        if round_completed {
+            self.rounds += 1;
+            self.current_key = self.next_key;
+            self.next_key = derive_key(self.seed, self.rounds, self.lines);
+            if self.next_key == self.current_key {
+                // The pairing needs a nonzero delta; nudge the draw.
+                self.next_key ^= 1;
+            }
+            self.swept = 0;
+        }
+        Some(swap)
+    }
+}
+
+/// Derives the round key: well-mixed, nonzero delta from the previous
+/// key, and within the region.
+fn derive_key(seed: u64, round: u64, lines: usize) -> u64 {
+    let mut z = seed ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xdead_beef;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    let key = z & (lines as u64 - 1);
+    // The delta (vs any previous key) must be nonzero for pairing; force
+    // at least bit 0 when the draw lands on zero.
+    if key == 0 {
+        1
+    } else {
+        key
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mapping_is_bijective_throughout_sweeps() {
+        let lines = 32;
+        let mut sr = SecurityRefresh::new(lines, 1, 7);
+        for step in 0..500 {
+            let mapped: HashSet<usize> = (0..lines).map(|la| sr.remap(la)).collect();
+            assert_eq!(mapped.len(), lines, "collision at step {step}");
+            assert!(mapped.iter().all(|&pa| pa < lines));
+            let _ = sr.record_write();
+        }
+    }
+
+    /// The physical data motion must match the logical remapping: when a
+    /// swap is announced, exactly the two frames' occupants exchange.
+    #[test]
+    fn swaps_track_remapping() {
+        let lines = 16;
+        let mut sr = SecurityRefresh::new(lines, 1, 3);
+        // frames[pa] = logical occupant, per the current mapping.
+        let mut frames: Vec<usize> = {
+            let mut f = vec![0usize; lines];
+            for la in 0..lines {
+                f[sr.remap(la)] = la;
+            }
+            f
+        };
+        for step in 0..300 {
+            if let Some(swap) = sr.record_write() {
+                frames.swap(swap.a, swap.b);
+            }
+            for la in 0..lines {
+                assert_eq!(
+                    frames[sr.remap(la)], la,
+                    "step {step}: mapping and data motion diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_advance_after_full_sweep() {
+        let lines = 8;
+        let mut sr = SecurityRefresh::new(lines, 1, 1);
+        let mut completions = 0;
+        for _ in 0..lines / 2 * 5 {
+            if let Some(swap) = sr.record_write() {
+                if swap.round_completed {
+                    completions += 1;
+                }
+            }
+        }
+        assert_eq!(completions, 5);
+        assert_eq!(sr.rounds(), 5);
+    }
+
+    #[test]
+    fn keys_randomize_placement_across_rounds() {
+        let lines = 64;
+        let mut sr = SecurityRefresh::new(lines, 1, 9);
+        let initial: Vec<usize> = (0..lines).map(|la| sr.remap(la)).collect();
+        // Run several full rounds.
+        for _ in 0..lines / 2 * 4 {
+            let _ = sr.record_write();
+        }
+        let later: Vec<usize> = (0..lines).map(|la| sr.remap(la)).collect();
+        let moved = initial.iter().zip(&later).filter(|(a, b)| a != b).count();
+        assert!(moved > lines / 2, "only {moved} lines moved after 4 rounds");
+    }
+
+    #[test]
+    fn hwl_rotation_follows_rounds() {
+        let lines = 8;
+        let mut sr = SecurityRefresh::new(lines, 1, 2);
+        assert_eq!(sr.hwl_rotation(0, 544), u32::from(sr.migrated(0)));
+        while sr.rounds() < 3 {
+            let _ = sr.record_write();
+        }
+        for la in 0..lines {
+            let expected = (3 + u64::from(sr.migrated(la))) % 544;
+            assert_eq!(sr.hwl_rotation(la, 544), expected as u32);
+        }
+    }
+
+    #[test]
+    fn refresh_interval_is_respected() {
+        let mut sr = SecurityRefresh::new(8, 5, 1);
+        let mut swaps = 0;
+        for _ in 0..50 {
+            if sr.record_write().is_some() {
+                swaps += 1;
+            }
+        }
+        assert_eq!(swaps, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        let _ = SecurityRefresh::new(12, 1, 0);
+    }
+}

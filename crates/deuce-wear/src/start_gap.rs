@@ -1,0 +1,240 @@
+//! Start-Gap vertical wear leveling \[20\].
+
+/// A gap movement: the contents of physical frame `from` must be copied
+/// to physical frame `to` (the old gap), and `from` becomes the new gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapMove {
+    /// Frame whose contents move.
+    pub from: usize,
+    /// Frame that receives them (the previous gap position).
+    pub to: usize,
+    /// True when this move completed a full sweep (Start incremented).
+    pub sweep_completed: bool,
+}
+
+/// The Start-Gap wear leveler: two global registers and one spare frame.
+///
+/// A memory of `n` logical lines uses `n + 1` physical frames; the extra
+/// frame is the *gap*. Every `gap_interval` line writes, the gap moves by
+/// one (copying its neighbour), slowly rotating the whole memory through
+/// the physical frames. After the gap traverses all frames, `start`
+/// advances: every line has shifted by one frame.
+///
+/// Mapping (from the Start-Gap paper): `pa = (la + start) mod n`, then
+/// `pa += 1` if `pa >= gap`.
+///
+/// # Examples
+///
+/// ```
+/// use deuce_wear::StartGap;
+///
+/// let mut sg = StartGap::new(8, 100);
+/// let pa = sg.remap(3);
+/// assert!(pa < 9); // 8 lines live in 9 frames
+/// ```
+#[derive(Debug, Clone)]
+pub struct StartGap {
+    lines: usize,
+    start: usize,
+    gap: usize,
+    gap_interval: u32,
+    writes_since_move: u32,
+    /// Completed sweeps (equals the unwrapped Start value; HWL's rotation
+    /// is derived from this).
+    sweeps: u64,
+}
+
+impl StartGap {
+    /// Creates a leveler for `lines` logical lines, moving the gap every
+    /// `gap_interval` writes (ψ = 100 in the Start-Gap paper; smaller
+    /// values level faster at higher overhead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines < 2` or `gap_interval == 0`.
+    #[must_use]
+    pub fn new(lines: usize, gap_interval: u32) -> Self {
+        assert!(lines >= 2, "Start-Gap needs at least 2 lines");
+        assert!(gap_interval > 0, "gap interval must be positive");
+        Self {
+            lines,
+            start: 0,
+            gap: lines, // gap starts at the spare frame past the end
+            gap_interval,
+            writes_since_move: 0,
+            sweeps: 0,
+        }
+    }
+
+    /// Number of logical lines.
+    #[must_use]
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Physical frames (lines + 1 spare).
+    #[must_use]
+    pub fn frames(&self) -> usize {
+        self.lines + 1
+    }
+
+    /// Current Start register (wraps at `lines`).
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Current gap frame.
+    #[must_use]
+    pub fn gap(&self) -> usize {
+        self.gap
+    }
+
+    /// Total completed sweeps (unwrapped Start).
+    #[must_use]
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    /// Maps a logical line to its physical frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= lines`.
+    #[must_use]
+    pub fn remap(&self, logical: usize) -> usize {
+        assert!(logical < self.lines, "logical line {logical} out of range");
+        let pa = (logical + self.start) % self.lines;
+        if pa >= self.gap {
+            pa + 1
+        } else {
+            pa
+        }
+    }
+
+    /// Whether the gap has already swept past this logical line in the
+    /// current rotation — such lines have effectively shifted by
+    /// `start + 1`, which is what HWL's `Start'` captures (§5.3).
+    #[must_use]
+    pub fn gap_passed(&self, logical: usize) -> bool {
+        let pa = (logical + self.start) % self.lines;
+        pa >= self.gap
+    }
+
+    /// Records one line write; every `gap_interval` writes the gap moves.
+    /// Returns the resulting move, if any, so the caller can copy frame
+    /// contents (and apply the HWL re-rotation).
+    pub fn record_write(&mut self) -> Option<GapMove> {
+        self.writes_since_move += 1;
+        if self.writes_since_move < self.gap_interval {
+            return None;
+        }
+        self.writes_since_move = 0;
+        Some(self.move_gap())
+    }
+
+    fn move_gap(&mut self) -> GapMove {
+        if self.gap == 0 {
+            // Wrap: the gap returns to the top and Start advances.
+            self.gap = self.lines;
+            self.start = (self.start + 1) % self.lines;
+            self.sweeps += 1;
+            GapMove {
+                from: self.lines,
+                to: 0,
+                sweep_completed: true,
+            }
+        } else {
+            let mv = GapMove {
+                from: self.gap - 1,
+                to: self.gap,
+                sweep_completed: false,
+            };
+            self.gap -= 1;
+            mv
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mapping_is_a_bijection_at_all_times() {
+        let mut sg = StartGap::new(8, 1);
+        for step in 0..200 {
+            let mapped: HashSet<usize> = (0..8).map(|la| sg.remap(la)).collect();
+            assert_eq!(mapped.len(), 8, "collision at step {step}");
+            assert!(mapped.iter().all(|&pa| pa < 9));
+            assert!(
+                !mapped.contains(&sg.gap()),
+                "line mapped onto the gap at step {step}"
+            );
+            let _ = sg.record_write();
+        }
+    }
+
+    #[test]
+    fn gap_moves_every_interval() {
+        let mut sg = StartGap::new(4, 3);
+        assert!(sg.record_write().is_none());
+        assert!(sg.record_write().is_none());
+        let mv = sg.record_write().expect("3rd write moves the gap");
+        assert_eq!(mv, GapMove { from: 3, to: 4, sweep_completed: false });
+        assert_eq!(sg.gap(), 3);
+    }
+
+    #[test]
+    fn full_sweep_increments_start() {
+        let lines = 4;
+        let mut sg = StartGap::new(lines, 1);
+        let mut sweeps = 0;
+        for _ in 0..(lines + 1) * 3 {
+            if let Some(mv) = sg.record_write() {
+                if mv.sweep_completed {
+                    sweeps += 1;
+                }
+            }
+        }
+        assert_eq!(sg.sweeps(), sweeps);
+        assert_eq!(sweeps, 3);
+        assert_eq!(sg.start(), 3);
+    }
+
+    #[test]
+    fn lines_rotate_through_all_frames() {
+        // After enough sweeps, a given logical line must have visited
+        // every physical frame (that is the point of vertical WL).
+        let lines = 6;
+        let mut sg = StartGap::new(lines, 1);
+        let mut visited: HashSet<usize> = HashSet::new();
+        for _ in 0..(lines + 1) * lines * 2 {
+            visited.insert(sg.remap(2));
+            let _ = sg.record_write();
+        }
+        assert_eq!(visited.len(), sg.frames());
+    }
+
+    #[test]
+    fn gap_passed_matches_mapping_shift() {
+        let mut sg = StartGap::new(8, 1);
+        for _ in 0..30 {
+            for la in 0..8 {
+                let pa = sg.remap(la);
+                // If the gap passed, the line sits one frame further on.
+                let base = (la + sg.start()) % 8;
+                assert_eq!(sg.gap_passed(la), pa == base + 1);
+            }
+            let _ = sg.record_write();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn remap_bounds_checked() {
+        let sg = StartGap::new(4, 1);
+        let _ = sg.remap(4);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the wear-leveling substrate.
+
+use deuce_wear::{HorizontalWearLeveler, HwlMode, PerLineRotation, StartGap};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// Start-Gap's remapping stays a bijection into the frame space at
+    /// every point of any write sequence.
+    #[test]
+    fn start_gap_remains_bijective(
+        lines in 2usize..64,
+        gap_interval in 1u32..8,
+        steps in 0usize..500,
+    ) {
+        let mut sg = StartGap::new(lines, gap_interval);
+        for _ in 0..steps {
+            let _ = sg.record_write();
+        }
+        let mapped: HashSet<usize> = (0..lines).map(|la| sg.remap(la)).collect();
+        prop_assert_eq!(mapped.len(), lines);
+        prop_assert!(mapped.iter().all(|&pa| pa < lines + 1));
+        prop_assert!(!mapped.contains(&sg.gap()));
+    }
+
+    /// Sweeps advance exactly once per (lines + 1) gap moves.
+    #[test]
+    fn sweep_rate(lines in 2usize..32, moves in 1usize..200) {
+        let mut sg = StartGap::new(lines, 1);
+        for _ in 0..moves {
+            let _ = sg.record_write();
+        }
+        prop_assert_eq!(sg.sweeps(), (moves / (lines + 1)) as u64);
+    }
+
+    /// HWL rotations are always within the ring, in both modes.
+    #[test]
+    fn rotations_in_range(
+        lines in 2usize..32,
+        steps in 0usize..300,
+        ring in 1u32..1024,
+        addr in any::<u64>(),
+    ) {
+        let mut sg = StartGap::new(lines, 1);
+        for _ in 0..steps {
+            let _ = sg.record_write();
+        }
+        for mode in [HwlMode::Algebraic, HwlMode::Hashed] {
+            let hwl = HorizontalWearLeveler::new(mode, ring);
+            for la in 0..lines {
+                prop_assert!(hwl.rotation(&sg, la, addr) < ring);
+            }
+        }
+    }
+
+    /// The algebraic rotation advances by exactly one per sweep for a
+    /// line the gap has not yet passed.
+    #[test]
+    fn algebraic_rotation_tracks_sweeps(lines in 2usize..16) {
+        let mut sg = StartGap::new(lines, 1);
+        let hwl = HorizontalWearLeveler::new(HwlMode::Algebraic, 544);
+        for expected_sweep in 0..5u64 {
+            // At the start of a sweep the gap is at the top: nothing
+            // passed yet.
+            for la in 0..lines {
+                if !sg.gap_passed(la) {
+                    prop_assert_eq!(hwl.rotation(&sg, la, 0), (expected_sweep % 544) as u32);
+                }
+            }
+            while sg.sweeps() == expected_sweep {
+                let _ = sg.record_write();
+            }
+        }
+    }
+
+    /// Per-line rotation: counts writes independently and wraps.
+    #[test]
+    fn per_line_rotation_wraps(ring in 2u32..32, interval in 1u32..5, writes in 1u32..200) {
+        let mut plr = PerLineRotation::new(2, ring, interval);
+        for _ in 0..writes {
+            let _ = plr.record_write(0);
+        }
+        prop_assert_eq!(plr.rotation(0), (writes / interval) % ring);
+        prop_assert_eq!(plr.rotation(1), 0);
+    }
+}
+
+/// The §5.3 invariant as a long-run test: after the gap passes a line,
+/// the line's rotation equals the next sweep's value — so when Start
+/// increments, all passed lines are already rotated correctly.
+#[test]
+fn gap_passage_pre_rotates_consistently() {
+    let lines = 12;
+    let mut sg = StartGap::new(lines, 1);
+    let hwl = HorizontalWearLeveler::new(HwlMode::Algebraic, 97);
+    for _ in 0..1000 {
+        let sweeps = sg.sweeps();
+        for la in 0..lines {
+            let expected = if sg.gap_passed(la) { sweeps + 1 } else { sweeps };
+            assert_eq!(hwl.rotation(&sg, la, 0), (expected % 97) as u32);
+        }
+        let _ = sg.record_write();
+    }
+}

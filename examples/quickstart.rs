@@ -1,0 +1,45 @@
+//! Quickstart: how much does encrypting PCM cost in bit flips, and how
+//! much of that does DEUCE win back?
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use deuce::schemes::SchemeKind;
+use deuce::sim::{SimConfig, Simulator};
+use deuce::trace::{Benchmark, TraceConfig};
+
+fn main() {
+    // A libquantum-like workload: sparse writes that keep hitting the
+    // same few words of each line — the common case for writebacks.
+    let trace = TraceConfig::new(Benchmark::Libquantum)
+        .lines(128)
+        .writes(10_000)
+        .seed(1)
+        .generate();
+
+    println!("scheme            flips/write   % of line   write slots");
+    println!("---------------------------------------------------------");
+    for kind in [
+        SchemeKind::UnencryptedDcw,
+        SchemeKind::EncryptedDcw,
+        SchemeKind::EncryptedFnw,
+        SchemeKind::Deuce,
+        SchemeKind::DynDeuce,
+    ] {
+        let result = Simulator::new(SimConfig::new(kind)).run_trace(&trace);
+        println!(
+            "{:<17} {:>9.1} {:>11.1}% {:>11.2}",
+            kind.label(),
+            result.avg_flips_per_write(),
+            result.flip_rate() * 100.0,
+            result.avg_slots_per_write(),
+        );
+    }
+
+    println!();
+    println!("Counter-mode encryption makes every write flip ~50% of the");
+    println!("line (the avalanche effect); DEUCE re-encrypts only the");
+    println!("words that changed since the epoch began, recovering most");
+    println!("of the unencrypted write efficiency while staying secure.");
+}
