@@ -3,7 +3,7 @@
 //! dual-candidate decision cost, word-size cost scaling, and the
 //! simulator's end-to-end throughput.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use deuce_bench::harness::{black_box, BenchmarkId, Harness, Throughput};
 
 use deuce_crypto::{EpochInterval, LineAddr, OtpEngine, SecretKey};
 use deuce_schemes::{SchemeConfig, SchemeKind, SchemeLine, WordSize};
@@ -15,7 +15,7 @@ use deuce_trace::{Benchmark, TraceConfig};
 /// (~6.84 flips per 17-bit FNW segment on random data) — is cheaper but
 /// cannot capture workload structure. This pair quantifies the cost of
 /// exactness.
-fn ablation_exact_vs_estimated_flips(c: &mut Criterion) {
+fn ablation_exact_vs_estimated_flips(c: &mut Harness) {
     let old: [u8; 64] = std::array::from_fn(|i| (i as u8).wrapping_mul(37));
     let new: [u8; 64] = std::array::from_fn(|i| (i as u8).wrapping_mul(73));
     let mut group = c.benchmark_group("flip_accounting");
@@ -37,7 +37,7 @@ fn ablation_exact_vs_estimated_flips(c: &mut Criterion) {
 /// Design decision 4: DynDEUCE evaluates *both* candidate encodings
 /// exactly per write (Fig. 11). Compare against plain DEUCE to see what
 /// the morphing's 1.7-point flip reduction costs per write.
-fn ablation_dyn_deuce_decision(c: &mut Criterion) {
+fn ablation_dyn_deuce_decision(c: &mut Harness) {
     let engine = OtpEngine::new(&SecretKey::from_seed(5));
     let mut group = c.benchmark_group("dyn_deuce_decision");
     group.throughput(Throughput::Bytes(64));
@@ -60,7 +60,7 @@ fn ablation_dyn_deuce_decision(c: &mut Criterion) {
 /// Word size scales the tracking loop: 1-byte tracking doubles the
 /// per-write bookkeeping of 2-byte tracking for ~2 points of flips
 /// (Fig. 8).
-fn ablation_word_size_cost(c: &mut Criterion) {
+fn ablation_word_size_cost(c: &mut Harness) {
     let engine = OtpEngine::new(&SecretKey::from_seed(6));
     let mut group = c.benchmark_group("deuce_word_size");
     for ws in [WordSize::Bytes1, WordSize::Bytes2, WordSize::Bytes4, WordSize::Bytes8] {
@@ -86,7 +86,7 @@ fn ablation_word_size_cost(c: &mut Criterion) {
 /// Epoch interval trades full re-encryptions against carryover
 /// re-encryption (Fig. 9); per-write cost is essentially flat,
 /// confirming the choice is about flips, not simulator speed.
-fn ablation_epoch_interval(c: &mut Criterion) {
+fn ablation_epoch_interval(c: &mut Harness) {
     let engine = OtpEngine::new(&SecretKey::from_seed(7));
     let mut group = c.benchmark_group("deuce_epoch");
     for epoch in [8u64, 32, 128] {
@@ -107,7 +107,7 @@ fn ablation_epoch_interval(c: &mut Criterion) {
 }
 
 /// End-to-end simulator throughput (writebacks simulated per second).
-fn ablation_end_to_end(c: &mut Criterion) {
+fn ablation_end_to_end(c: &mut Harness) {
     let trace = TraceConfig::new(Benchmark::Mcf)
         .lines(64)
         .writes(2_000)
@@ -125,12 +125,11 @@ fn ablation_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    ablation_exact_vs_estimated_flips,
-    ablation_dyn_deuce_decision,
-    ablation_word_size_cost,
-    ablation_epoch_interval,
-    ablation_end_to_end,
-);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::from_env();
+    ablation_exact_vs_estimated_flips(&mut harness);
+    ablation_dyn_deuce_decision(&mut harness);
+    ablation_word_size_cost(&mut harness);
+    ablation_epoch_interval(&mut harness);
+    ablation_end_to_end(&mut harness);
+}

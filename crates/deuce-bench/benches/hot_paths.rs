@@ -1,7 +1,7 @@
 //! Microbenchmarks of the simulator's hot paths: everything the
 //! per-write inner loop touches.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use deuce_bench::harness::{black_box, Harness, Throughput};
 
 use deuce_aes::Aes128;
 use deuce_crypto::{EpochInterval, LineAddr, OtpEngine, SecretKey};
@@ -10,7 +10,7 @@ use deuce_schemes::{fnw_encode, DeuceLine, SchemeConfig, SchemeKind, SchemeLine,
 use deuce_trace::{Benchmark, TraceConfig};
 use deuce_wear::StartGap;
 
-fn bench_aes_block(c: &mut Criterion) {
+fn bench_aes_block(c: &mut Harness) {
     let cipher = Aes128::new(&[7u8; 16]);
     let block = [0x42u8; 16];
     let mut group = c.benchmark_group("aes");
@@ -25,7 +25,7 @@ fn bench_aes_block(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_pad_generation(c: &mut Criterion) {
+fn bench_pad_generation(c: &mut Harness) {
     let engine = OtpEngine::new(&SecretKey::from_seed(1));
     let mut group = c.benchmark_group("otp");
     group.throughput(Throughput::Bytes(64));
@@ -46,7 +46,7 @@ fn bench_pad_generation(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_scheme_writes(c: &mut Criterion) {
+fn bench_scheme_writes(c: &mut Harness) {
     let engine = OtpEngine::new(&SecretKey::from_seed(2));
     let mut group = c.benchmark_group("scheme_write");
     group.throughput(Throughput::Bytes(64));
@@ -73,7 +73,7 @@ fn bench_scheme_writes(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_deuce_read(c: &mut Criterion) {
+fn bench_deuce_read(c: &mut Harness) {
     let engine = OtpEngine::new(&SecretKey::from_seed(3));
     let mut line = DeuceLine::new(
         &engine,
@@ -91,7 +91,7 @@ fn bench_deuce_read(c: &mut Criterion) {
     });
 }
 
-fn bench_fnw_encode(c: &mut Criterion) {
+fn bench_fnw_encode(c: &mut Harness) {
     let logical: [u8; 64] = std::array::from_fn(|i| (i as u8).wrapping_mul(41));
     let stored: [u8; 64] = std::array::from_fn(|i| (i as u8).wrapping_mul(97));
     let flips = MetaBits::new(32);
@@ -100,7 +100,7 @@ fn bench_fnw_encode(c: &mut Criterion) {
     });
 }
 
-fn bench_write_slots(c: &mut Criterion) {
+fn bench_write_slots(c: &mut Harness) {
     let old = LineImage::zeroed(32);
     let mut new = old;
     for i in 0..24 {
@@ -111,7 +111,7 @@ fn bench_write_slots(c: &mut Criterion) {
     });
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
+fn bench_trace_generation(c: &mut Harness) {
     let mut group = c.benchmark_group("trace_gen");
     group.throughput(Throughput::Elements(1_000));
     group.bench_function("libq_1k_writes", |b| {
@@ -128,7 +128,7 @@ fn bench_trace_generation(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_start_gap(c: &mut Criterion) {
+fn bench_start_gap(c: &mut Harness) {
     c.bench_function("start_gap_remap", |b| {
         let mut sg = StartGap::new(4096, 100);
         for _ in 0..12345 {
@@ -142,15 +142,14 @@ fn bench_start_gap(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_aes_block,
-    bench_pad_generation,
-    bench_scheme_writes,
-    bench_deuce_read,
-    bench_fnw_encode,
-    bench_write_slots,
-    bench_trace_generation,
-    bench_start_gap,
-);
-criterion_main!(benches);
+fn main() {
+    let mut harness = Harness::from_env();
+    bench_aes_block(&mut harness);
+    bench_pad_generation(&mut harness);
+    bench_scheme_writes(&mut harness);
+    bench_deuce_read(&mut harness);
+    bench_fnw_encode(&mut harness);
+    bench_write_slots(&mut harness);
+    bench_trace_generation(&mut harness);
+    bench_start_gap(&mut harness);
+}

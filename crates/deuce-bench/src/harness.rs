@@ -1,0 +1,190 @@
+//! A minimal, dependency-free microbenchmark harness.
+//!
+//! The bench binaries under `benches/` are plain `harness = false`
+//! executables; this module gives them a Criterion-shaped API (groups,
+//! throughput annotations, `Bencher::iter`) backed by simple wall-clock
+//! calibration: each benchmark is warmed up, the iteration count is
+//! doubled until a batch runs long enough to time reliably, and the
+//! best of several batches is reported as nanoseconds per iteration.
+//!
+//! Output is TSV (`group/name  ns_per_iter  throughput`) so runs can be
+//! diffed, and a substring filter can be passed as the first CLI
+//! argument, mirroring `cargo bench -- <filter>`.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Minimum measured batch duration before a timing is trusted.
+const MIN_BATCH: Duration = Duration::from_millis(20);
+/// Number of measured batches; the fastest is reported.
+const BATCHES: u32 = 3;
+
+/// Throughput annotation for a benchmark, used to derive a rate column.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// A parameter label for [`BenchGroup::bench_with_input`].
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a displayable parameter, Criterion-style.
+    pub fn from_parameter<T: std::fmt::Display>(parameter: T) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Passed to the measurement closure; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the calibrated nanoseconds per iteration.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm-up: populate caches, trigger lazy init.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        // Calibrate the batch size upward until it runs long enough.
+        let mut n: u64 = 1;
+        let mut elapsed;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            elapsed = start.elapsed();
+            if elapsed >= MIN_BATCH || n >= 1 << 30 {
+                break;
+            }
+            n = n.saturating_mul(2);
+        }
+        let mut best = elapsed;
+        for _ in 1..BATCHES {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            best = best.min(start.elapsed());
+        }
+        self.ns_per_iter = best.as_secs_f64() * 1e9 / n as f64;
+    }
+}
+
+/// The top-level harness: owns the filter and the output format.
+pub struct Harness {
+    filter: Option<String>,
+    header_printed: bool,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Harness {
+    /// Builds a harness, taking an optional substring filter from the
+    /// command line (`cargo bench --bench hot_paths -- aes`). The
+    /// `--bench` flag cargo forwards to the binary is ignored.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
+        Self { filter, header_printed: false }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchGroup<'_> {
+        BenchGroup { harness: self, name: name.to_string(), throughput: None }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        self.run(name, None, f);
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, name: &str, throughput: Option<Throughput>, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if !self.header_printed {
+            println!("benchmark\tns_per_iter\tthroughput");
+            self.header_printed = true;
+        }
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        f(&mut bencher);
+        let ns = bencher.ns_per_iter;
+        let rate = match throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                format!("{:.1} MiB/s", bytes as f64 / ns * 1e9 / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(elems)) => {
+                format!("{:.0} elem/s", elems as f64 / ns * 1e9)
+            }
+            None => "-".to_string(),
+        };
+        println!("{name}\t{ns:.1}\t{rate}");
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchGroup<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchGroup<'_> {
+    /// Sets the per-iteration throughput used for the rate column.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Accepted for Criterion compatibility; the calibrating harness
+    /// sizes batches by time, so a sample count is not needed.
+    pub fn sample_size(&mut self, _samples: usize) {}
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let full = format!("{}/{}", self.name, name);
+        self.harness.run(&full, self.throughput, f);
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        self.harness.run(&full, self.throughput, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for Criterion API parity).
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        b.iter(|| black_box(1u64).wrapping_mul(3));
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats_parameter() {
+        assert_eq!(BenchmarkId::from_parameter(32).0, "32");
+    }
+}

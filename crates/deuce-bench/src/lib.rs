@@ -16,10 +16,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::thread;
+pub mod harness;
 
 use deuce_schemes::SchemeConfig;
-use deuce_sim::{SimConfig, SimResult, Simulator};
+use deuce_sim::{ParallelSweep, SimConfig, SimResult, Simulator};
 use deuce_trace::{Benchmark, Trace, TraceConfig};
 
 /// Common experiment parameters parsed from the command line.
@@ -108,20 +108,14 @@ impl ExperimentArgs {
     }
 }
 
-/// Runs `f` for every benchmark in parallel, preserving order.
+/// Runs `f` for every benchmark as one sharded sweep (one shard per
+/// available core, results in benchmark order).
 pub fn per_benchmark<T, F>(benchmarks: &[Benchmark], f: F) -> Vec<(Benchmark, T)>
 where
     T: Send,
     F: Fn(Benchmark) -> T + Sync,
 {
-    let f = &f;
-    thread::scope(|scope| {
-        let handles: Vec<_> = benchmarks
-            .iter()
-            .map(|&b| scope.spawn(move || (b, f(b))))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
+    ParallelSweep::new().map(benchmarks, |_, &b| (b, f(b)))
 }
 
 /// Runs one (scheme, trace) simulation.

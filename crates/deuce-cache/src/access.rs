@@ -1,7 +1,6 @@
 //! Load/store access streams feeding the hierarchy.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use deuce_rng::{DeuceRng, Rng};
 
 /// Load or store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,7 +30,7 @@ pub struct MemAccess {
 /// produce realistic coalesced writebacks.
 #[derive(Debug)]
 pub struct AccessStream {
-    rng: StdRng,
+    rng: DeuceRng,
     working_set_lines: u64,
     store_fraction: f64,
     instr_per_access: u64,
@@ -66,7 +65,7 @@ impl AccessStream {
             *w = acc;
         }
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: DeuceRng::seed_from_u64(seed),
             working_set_lines,
             store_fraction,
             instr_per_access,
@@ -89,7 +88,7 @@ impl AccessStream {
         let addr = line * 64 + offset;
         if self.rng.gen_bool(self.store_fraction) {
             let len = *[1usize, 2, 4, 8]
-                .get(self.rng.gen_range(0..4))
+                .get(self.rng.gen_range(0usize..4))
                 .expect("fixed table");
             let len = len.min(64 - offset as usize);
             let bytes = (0..len).map(|_| self.rng.gen()).collect();

@@ -4,7 +4,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 
 use deuce_schemes::{SchemeConfig, SchemeKind};
-use deuce_sim::{SimConfig, SimResult, Simulator};
+use deuce_sim::{ParallelSweep, SimConfig, SimResult, Simulator};
 use deuce_trace::{read_trace, write_trace, Trace, TraceConfig, TraceStats};
 
 use crate::args::{CliError, GenArgs, RunArgs, StatsArgs};
@@ -104,12 +104,12 @@ pub fn run<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
 pub fn compare<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
     let trace = load_or_generate(args)?;
     writeln!(out, "scheme\tflip_rate\tslots/write\texec_time_us\tmeta_bits")?;
-    let mut results: Vec<(SchemeKind, SimResult)> = Vec::new();
-    for kind in SchemeKind::ALL {
-        let result =
-            Simulator::new(SimConfig::with_scheme(SchemeConfig::new(kind))).run_trace(&trace);
-        results.push((kind, result));
-    }
+    let results: Vec<(SchemeKind, SimResult)> = ParallelSweep::new()
+        .map(&SchemeKind::ALL, |_, &kind| {
+            let result =
+                Simulator::new(SimConfig::with_scheme(SchemeConfig::new(kind))).run_trace(&trace);
+            (kind, result)
+        });
     for (kind, result) in &results {
         writeln!(
             out,
@@ -135,22 +135,30 @@ pub fn sweep<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
 
     let trace = load_or_generate(args)?;
     writeln!(out, "word_bytes\tepoch\tflip_rate\tslots_per_write\tmeta_bits")?;
+    let mut grid = Vec::new();
     for word_size in [WordSize::Bytes1, WordSize::Bytes2, WordSize::Bytes4, WordSize::Bytes8] {
         for epoch in [8u64, 16, 32, 64] {
-            let scheme = SchemeConfig::new(SchemeKind::Deuce)
-                .with_word_size(word_size)
-                .with_epoch(EpochInterval::new(epoch).expect("power of two"));
-            let result = Simulator::new(SimConfig::with_scheme(scheme)).run_trace(&trace);
-            writeln!(
-                out,
-                "{}\t{}\t{:.1}%\t{:.2}\t{}",
-                word_size.bytes(),
-                epoch,
-                result.flip_rate() * 100.0,
-                result.avg_slots_per_write(),
-                scheme.metadata_bits(),
-            )?;
+            grid.push((word_size, epoch));
         }
+    }
+    // One shard per grid cell; rows come back in grid order.
+    let rows = ParallelSweep::new().map(&grid, |_, &(word_size, epoch)| {
+        let scheme = SchemeConfig::new(SchemeKind::Deuce)
+            .with_word_size(word_size)
+            .with_epoch(EpochInterval::new(epoch).expect("power of two"));
+        let result = Simulator::new(SimConfig::with_scheme(scheme)).run_trace(&trace);
+        (scheme, result)
+    });
+    for ((word_size, epoch), (scheme, result)) in grid.iter().zip(&rows) {
+        writeln!(
+            out,
+            "{}\t{}\t{:.1}%\t{:.2}\t{}",
+            word_size.bytes(),
+            epoch,
+            result.flip_rate() * 100.0,
+            result.avg_slots_per_write(),
+            scheme.metadata_bits(),
+        )?;
     }
     Ok(())
 }
@@ -240,7 +248,15 @@ mod tests {
         };
         let mut out = Vec::new();
         run(&args, &mut out).unwrap();
-        assert!(String::from_utf8(out).unwrap().contains("flip_rate\t50.0%"));
+        let text = String::from_utf8(out).unwrap();
+        let rate: f64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("flip_rate\t"))
+            .expect("flip_rate row")
+            .trim_end_matches('%')
+            .parse()
+            .expect("percentage");
+        assert!((rate - 50.0).abs() < 1.5, "encrypted DCW flip rate {rate}%");
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -1,69 +1,74 @@
-//! Property tests: the integrity layer catches every single-point
-//! forgery.
+//! Randomized tests: the integrity layer catches every single-point
+//! forgery. Driven by seeded [`deuce_rng`] streams.
 
 use deuce_crypto::LineAddr;
 use deuce_integrity::{AesHash, CounterTree, LineMac};
-use proptest::prelude::*;
+use deuce_rng::{DeuceRng, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any forged counter value is detected, and the genuine one always
-    /// verifies, after an arbitrary update history.
-    #[test]
-    fn forged_counters_always_detected(
-        lines in 1usize..200,
-        updates in prop::collection::vec((any::<u16>(), any::<u32>()), 0..50),
-        probe in any::<u16>(),
-        forged in any::<u64>(),
-    ) {
+/// Any forged counter value is detected, and the genuine one always
+/// verifies, after an arbitrary update history.
+#[test]
+fn forged_counters_always_detected() {
+    let mut rng = DeuceRng::seed_from_u64(0x16E6_0001);
+    for _ in 0..48 {
+        let lines = rng.gen_range(1usize..200);
         let mut tree = CounterTree::new(lines, [1u8; 16]);
         let mut truth = vec![0u64; lines];
-        for (line, value) in updates {
-            let line = usize::from(line) % lines;
-            let value = u64::from(value);
+        let updates = rng.gen_range(0usize..50);
+        for _ in 0..updates {
+            let line = usize::from(rng.gen::<u16>()) % lines;
+            let value = u64::from(rng.gen::<u32>());
             tree.update(line, value);
             truth[line] = value;
         }
-        let probe = usize::from(probe) % lines;
-        prop_assert!(tree.verify(probe, truth[probe]).is_ok());
+        let probe = usize::from(rng.gen::<u16>()) % lines;
+        let forged: u64 = rng.gen();
+        assert!(tree.verify(probe, truth[probe]).is_ok());
         if forged != truth[probe] {
-            prop_assert!(tree.verify(probe, forged).is_err());
+            assert!(tree.verify(probe, forged).is_err());
         }
     }
+}
 
-    /// A MAC never validates data with any single byte corrupted, a
-    /// shifted counter, or a relocated address.
-    #[test]
-    fn macs_catch_single_point_forgeries(
-        addr in any::<u64>(),
-        counter in any::<u64>(),
-        data in any::<[u8; 64]>(),
-        corrupt_at in 0usize..64,
-        corrupt_with in 1u8..=255,
-    ) {
+/// A MAC never validates data with any single byte corrupted, a
+/// shifted counter, or a relocated address.
+#[test]
+fn macs_catch_single_point_forgeries() {
+    let mut rng = DeuceRng::seed_from_u64(0x16E6_0002);
+    for _ in 0..48 {
+        let addr: u64 = rng.gen();
+        let counter: u64 = rng.gen();
+        let data: [u8; 64] = rng.gen();
+        let corrupt_at = rng.gen_range(0usize..64);
+        let corrupt_with = rng.gen_range(1u8..=255);
         let mac = LineMac::new([9u8; 16]);
         let tag = mac.tag(LineAddr::new(addr), counter, &data);
-        prop_assert!(mac.check(LineAddr::new(addr), counter, &data, &tag));
+        assert!(mac.check(LineAddr::new(addr), counter, &data, &tag));
 
         let mut corrupted = data;
         corrupted[corrupt_at] ^= corrupt_with;
-        prop_assert!(!mac.check(LineAddr::new(addr), counter, &corrupted, &tag));
-        prop_assert!(!mac.check(LineAddr::new(addr), counter.wrapping_add(1), &data, &tag));
-        prop_assert!(!mac.check(LineAddr::new(addr.wrapping_add(1)), counter, &data, &tag));
+        assert!(!mac.check(LineAddr::new(addr), counter, &corrupted, &tag));
+        assert!(!mac.check(LineAddr::new(addr), counter.wrapping_add(1), &data, &tag));
+        assert!(!mac.check(LineAddr::new(addr.wrapping_add(1)), counter, &data, &tag));
     }
+}
 
-    /// Hash collisions do not appear across structurally different
-    /// inputs (prefix-freeness from length strengthening).
-    #[test]
-    fn hash_distinguishes_prefixes(data in prop::collection::vec(any::<u8>(), 0..64)) {
+/// Hash collisions do not appear across structurally different
+/// inputs (prefix-freeness from length strengthening).
+#[test]
+fn hash_distinguishes_prefixes() {
+    let mut rng = DeuceRng::seed_from_u64(0x16E6_0003);
+    for _ in 0..48 {
+        let len = rng.gen_range(0usize..64);
+        let mut data = vec![0u8; len];
+        rng.fill(&mut data);
         let h = AesHash::new();
         let base = h.hash(&data);
         let mut extended = data.clone();
         extended.push(0);
-        prop_assert_ne!(base, h.hash(&extended));
+        assert_ne!(base, h.hash(&extended));
         if !data.is_empty() {
-            prop_assert_ne!(base, h.hash(&data[..data.len() - 1]));
+            assert_ne!(base, h.hash(&data[..data.len() - 1]));
         }
     }
 }

@@ -5,7 +5,10 @@
 //! controller — or a downstream system wanting an encrypted NVM
 //! region — consumes them: a byte-addressable [`SecureMemory`] with
 //! transparent encryption, write-reduction, optional integrity
-//! checking, and cumulative device statistics.
+//! checking, and cumulative device statistics. The [`pipeline`] module
+//! exposes the controller's internal structure — counter, scheme, wear,
+//! and timing stages behind traits — so trace-driven drivers (the
+//! simulator, the figure binaries, the CLI) share one core.
 //!
 //! ```
 //! use deuce_memctl::{MemoryBuilder, MemoryError};
@@ -25,8 +28,13 @@
 
 mod builder;
 mod memory;
+pub mod pipeline;
 
 pub use builder::MemoryBuilder;
 pub use memory::{MemoryError, MemoryStats, SecureMemory};
+pub use pipeline::{
+    counter_line_addr, CounterOutcome, CounterStage, MemoryPipeline, SchemeStage, TimingStage,
+    WearStage, WriteEffect, COUNTER_REGION,
+};
 
 pub use deuce_schemes::{SchemeConfig, SchemeKind, WordSize};

@@ -1,0 +1,394 @@
+//! The memory-controller write pipeline, as composable stages.
+//!
+//! A secure-NVM controller processes every request through the same
+//! four stations, in order:
+//!
+//! 1. **Counter stage** — make the line's encryption counter available
+//!    (on-chip counter cache; a miss costs a blocking counter-line read,
+//!    a dirty eviction a counter-line writeback).
+//! 2. **Scheme stage** — produce the new stored image (DEUCE, DCW, FNW,
+//!    …), yielding the bit-flip accounting for the write.
+//! 3. **Wear stage** — record cell-level wear for the flipped bits
+//!    under the active wear-leveling rotation.
+//! 4. **Timing stage** — charge the request's latency and bank
+//!    occupancy to the timing model.
+//!
+//! [`MemoryPipeline`] wires the stages together and is the single
+//! driver abstraction the simulator, the CLI, the figure binaries, and
+//! the examples all sit on. Each station is a trait, so alternative
+//! models (a different counter cache, a trace-only timing stub, a
+//! no-op wear model) slot in without touching the driver loop.
+//!
+//! ```
+//! use deuce_memctl::pipeline::{MemoryPipeline, SchemeStage, TimingStage};
+//! use deuce_crypto::LineAddr;
+//! use deuce_nvm::SlotConfig;
+//! use deuce_schemes::WriteOutcome;
+//!
+//! /// A trivial scheme stage: every write is a first touch.
+//! struct NullSchemes;
+//! impl SchemeStage for NullSchemes {
+//!     fn write(&mut self, _: LineAddr, _: &[u8; 64]) -> Option<WriteOutcome> {
+//!         None
+//!     }
+//! }
+//!
+//! /// A timing stage that only counts requests.
+//! #[derive(Default)]
+//! struct CountingTiming {
+//!     reads: u64,
+//!     writes: u64,
+//! }
+//! impl TimingStage for CountingTiming {
+//!     fn read(&mut self, _: usize, _: u64, _: LineAddr) {
+//!         self.reads += 1;
+//!     }
+//!     fn write(&mut self, _: usize, _: u64, _: LineAddr, _: u32) {
+//!         self.writes += 1;
+//!     }
+//! }
+//!
+//! let mut pipeline = MemoryPipeline::new(NullSchemes, CountingTiming::default(), SlotConfig::PAPER);
+//! pipeline.read(0, 0, LineAddr::new(3));
+//! assert!(pipeline.write(0, 1, LineAddr::new(3), &[0u8; 64]).is_none());
+//! assert_eq!(pipeline.timing.reads, 1);
+//! ```
+
+use deuce_crypto::LineAddr;
+use deuce_nvm::{write_slots, SlotConfig};
+use deuce_schemes::WriteOutcome;
+
+/// Counter lines live in a dedicated address region so bank mapping
+/// keeps them apart from data lines.
+pub const COUNTER_REGION: u64 = 1 << 40;
+
+/// The address of the counter line holding `line`'s encryption counter,
+/// with `counters_per_line` counters packed per 64-byte counter line.
+#[must_use]
+pub fn counter_line_addr(line: LineAddr, counters_per_line: usize) -> LineAddr {
+    LineAddr::new(COUNTER_REGION | (line.value() / counters_per_line as u64))
+}
+
+/// Memory traffic triggered by one counter-stage access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterOutcome {
+    /// The counter line must be fetched from memory before the request
+    /// can proceed (a blocking read).
+    pub fill: bool,
+    /// A dirty counter line was evicted and must be written back.
+    pub writeback: bool,
+}
+
+/// Stage 1: makes the per-line encryption counter available.
+pub trait CounterStage {
+    /// Accesses the counter for data line `line`; `dirtying` is true on
+    /// the write path (the counter increments, dirtying its line).
+    fn access(&mut self, line: LineAddr, dirtying: bool) -> CounterOutcome;
+}
+
+/// Stage 2: transforms plaintext writes into stored-image updates.
+pub trait SchemeStage {
+    /// Writes `data` to `line`.
+    ///
+    /// Returns `None` on first touch (initial placement encrypts the
+    /// line as it enters memory, §3.1, and is not counted), and the
+    /// write outcome — images and flip accounting — afterwards.
+    fn write(&mut self, line: LineAddr, data: &[u8; 64]) -> Option<WriteOutcome>;
+}
+
+/// Stage 3: records cell-level wear for a completed write.
+pub trait WearStage {
+    /// Records the bit flips of `outcome` against `line`'s cells.
+    fn record(&mut self, line: LineAddr, outcome: &WriteOutcome);
+}
+
+/// Stage 4: charges latency and occupancy for issued requests.
+pub trait TimingStage {
+    /// Charges one line read issued by `core` at instruction `instr`.
+    fn read(&mut self, core: usize, instr: u64, line: LineAddr);
+    /// Charges one line write occupying `slots` write slots.
+    fn write(&mut self, core: usize, instr: u64, line: LineAddr, slots: u32);
+}
+
+/// Stage 1 placeholder: a controller whose counters are all on chip —
+/// no access ever generates memory traffic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCounterStage;
+
+impl CounterStage for NoCounterStage {
+    fn access(&mut self, _line: LineAddr, _dirtying: bool) -> CounterOutcome {
+        CounterOutcome::default()
+    }
+}
+
+/// Stage 3 placeholder: a controller without wear tracking.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoWearStage;
+
+impl WearStage for NoWearStage {
+    fn record(&mut self, _line: LineAddr, _outcome: &WriteOutcome) {}
+}
+
+/// The result of pushing one write through the scheme stage.
+#[derive(Debug, Clone)]
+pub struct WriteEffect {
+    /// The scheme's write outcome (images, flips, epoch bookkeeping).
+    pub outcome: WriteOutcome,
+    /// Write slots the stored-image update occupied.
+    pub slots: u32,
+}
+
+/// The staged controller core: counter → scheme → wear → timing.
+///
+/// The counter and wear stations are optional (`None` models a
+/// controller without a counter cache, or without wear tracking); the
+/// scheme and timing stations are always present. Stage state is
+/// public so the driver can read statistics back out after a run.
+#[derive(Debug)]
+pub struct MemoryPipeline<C, S, W, T> {
+    /// Optional stage 1: counter availability.
+    pub counters: Option<C>,
+    /// Stage 2: scheme engine.
+    pub schemes: S,
+    /// Optional stage 3: wear recording.
+    pub wear: Option<W>,
+    /// Stage 4: timing model.
+    pub timing: T,
+    slot: SlotConfig,
+    counters_per_line: usize,
+}
+
+impl<S, T> MemoryPipeline<NoCounterStage, S, NoWearStage, T>
+where
+    S: SchemeStage,
+    T: TimingStage,
+{
+    /// Builds a pipeline with the two mandatory stages; the counter and
+    /// wear stations start as no-ops and can be swapped in with
+    /// [`MemoryPipeline::with_counter_stage`] /
+    /// [`MemoryPipeline::with_wear_stage`].
+    #[must_use]
+    pub fn new(schemes: S, timing: T, slot: SlotConfig) -> Self {
+        Self {
+            counters: None,
+            schemes,
+            wear: None,
+            timing,
+            slot,
+            counters_per_line: 16,
+        }
+    }
+}
+
+impl<C, S, W, T> MemoryPipeline<C, S, W, T>
+where
+    C: CounterStage,
+    S: SchemeStage,
+    W: WearStage,
+    T: TimingStage,
+{
+    /// Attaches (or, with `None`, removes) the counter stage;
+    /// `counters_per_line` sets the counter-line address mapping.
+    #[must_use]
+    pub fn with_counter_stage<C2: CounterStage>(
+        self,
+        counters: Option<C2>,
+        counters_per_line: usize,
+    ) -> MemoryPipeline<C2, S, W, T> {
+        MemoryPipeline {
+            counters,
+            schemes: self.schemes,
+            wear: self.wear,
+            timing: self.timing,
+            slot: self.slot,
+            counters_per_line,
+        }
+    }
+
+    /// Attaches (or, with `None`, removes) the wear stage.
+    #[must_use]
+    pub fn with_wear_stage<W2: WearStage>(self, wear: Option<W2>) -> MemoryPipeline<C, S, W2, T> {
+        MemoryPipeline {
+            counters: self.counters,
+            schemes: self.schemes,
+            wear,
+            timing: self.timing,
+            slot: self.slot,
+            counters_per_line: self.counters_per_line,
+        }
+    }
+
+    /// Routes counter-stage traffic into the timing stage. The counter
+    /// must be available before the pad can be generated, so a fill is
+    /// a blocking read; a dirty eviction is an extra 1-slot write.
+    fn stage_counter(&mut self, core: usize, instr: u64, line: LineAddr, dirtying: bool) {
+        let Some(counters) = &mut self.counters else {
+            return;
+        };
+        let outcome = counters.access(line, dirtying);
+        let counter_line = counter_line_addr(line, self.counters_per_line);
+        if outcome.fill {
+            self.timing.read(core, instr, counter_line);
+        }
+        if outcome.writeback {
+            self.timing.write(core, instr, counter_line, 1);
+        }
+    }
+
+    /// Drives one read through the pipeline.
+    pub fn read(&mut self, core: usize, instr: u64, line: LineAddr) {
+        self.stage_counter(core, instr, line, false);
+        self.timing.read(core, instr, line);
+    }
+
+    /// Drives one write through all four stages.
+    ///
+    /// Returns `None` for an initial placement (stage 2 installed the
+    /// line; nothing is counted) and the write's effect otherwise.
+    pub fn write(
+        &mut self,
+        core: usize,
+        instr: u64,
+        line: LineAddr,
+        data: &[u8; 64],
+    ) -> Option<WriteEffect> {
+        self.stage_counter(core, instr, line, true);
+        let outcome = self.schemes.write(line, data)?;
+        let slots = write_slots(&outcome.old_image, &outcome.new_image, self.slot);
+        self.timing.write(core, instr, line, slots);
+        if let Some(wear) = &mut self.wear {
+            wear.record(line, &outcome);
+        }
+        Some(WriteEffect { outcome, slots })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deuce_crypto::{OtpEngine, SecretKey};
+    use deuce_schemes::{SchemeConfig, SchemeKind, SchemeLine};
+    use std::collections::HashMap;
+
+    /// A real scheme stage over lazily instantiated lines, mirroring
+    /// what the simulator does.
+    struct Store {
+        engine: OtpEngine,
+        config: SchemeConfig,
+        lines: HashMap<u64, SchemeLine>,
+    }
+
+    impl Store {
+        fn new(kind: SchemeKind) -> Self {
+            Self {
+                engine: OtpEngine::new(&SecretKey::from_seed(1)),
+                config: SchemeConfig::new(kind),
+                lines: HashMap::new(),
+            }
+        }
+    }
+
+    impl SchemeStage for Store {
+        fn write(&mut self, line: LineAddr, data: &[u8; 64]) -> Option<WriteOutcome> {
+            match self.lines.entry(line.value()) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(SchemeLine::new(&self.config, &self.engine, line, data));
+                    None
+                }
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    Some(slot.get_mut().write(&self.engine, data))
+                }
+            }
+        }
+    }
+
+    /// Counter stage that misses every other access.
+    struct AlternatingCounters {
+        toggle: bool,
+    }
+
+    impl CounterStage for AlternatingCounters {
+        fn access(&mut self, _line: LineAddr, dirtying: bool) -> CounterOutcome {
+            self.toggle = !self.toggle;
+            CounterOutcome { fill: self.toggle, writeback: self.toggle && dirtying }
+        }
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        reads: Vec<u64>,
+        writes: Vec<(u64, u32)>,
+    }
+
+    impl TimingStage for Recorder {
+        fn read(&mut self, _core: usize, _instr: u64, line: LineAddr) {
+            self.reads.push(line.value());
+        }
+        fn write(&mut self, _core: usize, _instr: u64, line: LineAddr, slots: u32) {
+            self.writes.push((line.value(), slots));
+        }
+    }
+
+    #[derive(Default)]
+    struct WearLog(Vec<u64>);
+
+    impl WearStage for WearLog {
+        fn record(&mut self, line: LineAddr, _outcome: &WriteOutcome) {
+            self.0.push(line.value());
+        }
+    }
+
+    fn pipeline(
+        kind: SchemeKind,
+    ) -> MemoryPipeline<NoCounterStage, Store, NoWearStage, Recorder> {
+        MemoryPipeline::new(Store::new(kind), Recorder::default(), SlotConfig::PAPER)
+    }
+
+    #[test]
+    fn first_touch_is_uncounted_then_writes_flow() {
+        let mut p = pipeline(SchemeKind::Deuce);
+        let line = LineAddr::new(5);
+        assert!(p.write(0, 0, line, &[1u8; 64]).is_none(), "initial placement");
+        let effect = p.write(0, 1, line, &[2u8; 64]).expect("second write counts");
+        assert!(effect.outcome.flips.total() > 0);
+        assert!(effect.slots >= 1 && effect.slots <= 4);
+        assert_eq!(p.timing.writes.len(), 1, "only the counted write reached timing");
+    }
+
+    #[test]
+    fn counter_stage_traffic_reaches_timing() {
+        let mut p = pipeline(SchemeKind::Deuce)
+            .with_counter_stage(Some(AlternatingCounters { toggle: false }), 16);
+        let line = LineAddr::new(3);
+        // First access: toggle -> fill + (dirtying) writeback.
+        let _ = p.write(0, 0, line, &[0u8; 64]);
+        let counter_line = counter_line_addr(line, 16).value();
+        assert_eq!(p.timing.reads, vec![counter_line], "blocking counter fill");
+        assert_eq!(
+            p.timing.writes,
+            vec![(counter_line, 1)],
+            "dirty counter eviction is a 1-slot write"
+        );
+        // Second access hits: a data read charges only the data line.
+        p.read(0, 1, line);
+        assert_eq!(p.timing.reads, vec![counter_line, line.value()]);
+    }
+
+    #[test]
+    fn wear_stage_sees_only_counted_writes() {
+        let mut p =
+            pipeline(SchemeKind::UnencryptedDcw).with_wear_stage(Some(WearLog::default()));
+        let line = LineAddr::new(9);
+        let _ = p.write(0, 0, line, &[0u8; 64]);
+        let _ = p.write(0, 1, line, &[7u8; 64]);
+        let _ = p.write(0, 2, line, &[7u8; 64]);
+        assert_eq!(p.wear.as_ref().unwrap().0, vec![line.value(), line.value()]);
+    }
+
+    #[test]
+    fn counter_region_is_disjoint_from_data() {
+        let addr = counter_line_addr(LineAddr::new(12345), 16);
+        assert_eq!(addr.value() & COUNTER_REGION, COUNTER_REGION);
+        assert_eq!(addr.value() & !COUNTER_REGION, 12345 / 16);
+    }
+}

@@ -1,8 +1,9 @@
 //! Model-based testing: `SecureMemory` must behave exactly like a plain
 //! byte array, for every scheme, under arbitrary access sequences.
+//! Driven by seeded [`deuce_rng`] streams.
 
 use deuce_memctl::{MemoryBuilder, SchemeKind};
-use proptest::prelude::*;
+use deuce_rng::{DeuceRng, Rng, RngCore};
 
 #[derive(Debug, Clone)]
 enum Access {
@@ -10,39 +11,41 @@ enum Access {
     Read { offset: usize, len: usize },
 }
 
-fn access_strategy(size: usize) -> impl Strategy<Value = Access> {
-    prop_oneof![
-        (0..size, prop::collection::vec(any::<u8>(), 1..200)).prop_map(|(offset, data)| {
-            Access::Write { offset, data }
-        }),
-        (0..size, 1usize..200).prop_map(|(offset, len)| Access::Read { offset, len }),
-    ]
+fn random_access<R: RngCore>(rng: &mut R, size: usize) -> Access {
+    let offset = rng.gen_range(0..size);
+    if rng.gen_bool(0.5) {
+        let len = rng.gen_range(1usize..200);
+        let mut data = vec![0u8; len];
+        rng.fill(&mut data);
+        Access::Write { offset, data }
+    } else {
+        Access::Read { offset, len: rng.gen_range(1usize..200) }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Differential test against a plain `Vec<u8>` shadow model.
-    #[test]
-    fn behaves_like_a_byte_array(
-        kind in prop::sample::select(vec![
-            SchemeKind::UnencryptedDcw,
-            SchemeKind::EncryptedDcw,
-            SchemeKind::Deuce,
-            SchemeKind::DynDeuce,
-            SchemeKind::BleDeuce,
-        ]),
-        seed in any::<u64>(),
-        accesses in prop::collection::vec(access_strategy(1024), 1..40),
-    ) {
+/// Differential test against a plain `Vec<u8>` shadow model.
+#[test]
+fn behaves_like_a_byte_array() {
+    let kinds = [
+        SchemeKind::UnencryptedDcw,
+        SchemeKind::EncryptedDcw,
+        SchemeKind::Deuce,
+        SchemeKind::DynDeuce,
+        SchemeKind::BleDeuce,
+    ];
+    let mut rng = DeuceRng::seed_from_u64(0x3E3C_0001);
+    for case in 0..32 {
+        let kind = kinds[case % kinds.len()];
+        let seed: u64 = rng.gen();
         let size = 1024usize;
         let mut builder = MemoryBuilder::new(size);
         builder.scheme(kind).key_seed(seed);
         let mut memory = builder.build();
         let mut model = vec![0u8; size];
 
-        for access in accesses {
-            match access {
+        let accesses = rng.gen_range(1usize..40);
+        for _ in 0..accesses {
+            match random_access(&mut rng, size) {
                 Access::Write { offset, data } => {
                     let len = data.len().min(size - offset);
                     let data = &data[..len];
@@ -53,22 +56,23 @@ proptest! {
                     let len = len.min(size - offset);
                     let mut buf = vec![0u8; len];
                     memory.read(offset, &mut buf).unwrap();
-                    prop_assert_eq!(&buf, &model[offset..offset + len], "{}", kind);
+                    assert_eq!(&buf, &model[offset..offset + len], "{kind}");
                 }
             }
         }
         // Final full readback.
         let mut full = vec![0u8; size];
         memory.read(0, &mut full).unwrap();
-        prop_assert_eq!(full, model);
+        assert_eq!(full, model);
     }
+}
 
-    /// Integrity mode changes nothing functionally (until tampering).
-    #[test]
-    fn integrity_is_transparent(
-        seed in any::<u64>(),
-        writes in prop::collection::vec((0usize..512, any::<u8>()), 1..30),
-    ) {
+/// Integrity mode changes nothing functionally (until tampering).
+#[test]
+fn integrity_is_transparent() {
+    let mut rng = DeuceRng::seed_from_u64(0x3E3C_0002);
+    for _ in 0..32 {
+        let seed: u64 = rng.gen();
         let mut with = {
             let mut b = MemoryBuilder::new(512);
             b.integrity(true).key_seed(seed);
@@ -79,7 +83,10 @@ proptest! {
             b.key_seed(seed);
             b.build()
         };
-        for (offset, byte) in writes {
+        let writes = rng.gen_range(1usize..30);
+        for _ in 0..writes {
+            let offset = rng.gen_range(0usize..512);
+            let byte: u8 = rng.gen();
             with.write(offset, &[byte]).unwrap();
             without.write(offset, &[byte]).unwrap();
         }
@@ -87,10 +94,10 @@ proptest! {
         let mut b = vec![0u8; 512];
         with.read(0, &mut a).unwrap();
         without.read(0, &mut b).unwrap();
-        prop_assert_eq!(a, b);
-        prop_assert_eq!(with.stats().bit_flips, without.stats().bit_flips);
-        prop_assert!(with.stats().integrity_checks > 0);
-        prop_assert_eq!(without.stats().integrity_checks, 0);
+        assert_eq!(a, b);
+        assert_eq!(with.stats().bit_flips, without.stats().bit_flips);
+        assert!(with.stats().integrity_checks > 0);
+        assert_eq!(without.stats().integrity_checks, 0);
     }
 }
 

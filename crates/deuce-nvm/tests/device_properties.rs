@@ -1,90 +1,97 @@
-//! Property tests over the PCM device model.
+//! Randomized tests over the PCM device model, driven by seeded
+//! [`deuce_rng`] streams.
 
 use deuce_nvm::{region_flips, write_slots, CellArray, LineImage, MetaBits, SlotConfig};
-use proptest::prelude::*;
+use deuce_rng::{DeuceRng, Rng};
 
 fn image(data: [u8; 64], meta_raw: u32) -> LineImage {
     LineImage::new(data, MetaBits::from_raw(u64::from(meta_raw), 32))
 }
 
-proptest! {
-    /// Region flips partition the changed bits: their sum equals the
-    /// total flip count, whatever the images.
-    #[test]
-    fn region_flips_partition_changes(
-        a in any::<[u8; 64]>(),
-        b in any::<[u8; 64]>(),
-        meta_a in any::<u32>(),
-        meta_b in any::<u32>(),
-    ) {
-        let old = image(a, meta_a);
-        let new = image(b, meta_b);
+/// Region flips partition the changed bits: their sum equals the
+/// total flip count, whatever the images.
+#[test]
+fn region_flips_partition_changes() {
+    let mut rng = DeuceRng::seed_from_u64(0x0001_0001);
+    for _ in 0..256 {
+        let old = image(rng.gen(), rng.gen());
+        let new = image(rng.gen(), rng.gen());
         let regions = region_flips(&old, &new, SlotConfig::PAPER);
-        prop_assert_eq!(regions.len(), 4);
-        prop_assert_eq!(regions.iter().sum::<u32>(), old.flips_to(&new).total());
+        assert_eq!(regions.len(), 4);
+        assert_eq!(regions.iter().sum::<u32>(), old.flips_to(&new).total());
     }
+}
 
-    /// Slot count bounds: at least 1, at most the region count, and
-    /// monotone under the flips-per-slot budget.
-    #[test]
-    fn slot_count_bounds(a in any::<[u8; 64]>(), b in any::<[u8; 64]>()) {
-        let old = image(a, 0);
-        let new = image(b, 0);
+/// Slot count bounds: at least 1, at most the region count, and
+/// monotone under the flips-per-slot budget.
+#[test]
+fn slot_count_bounds() {
+    let mut rng = DeuceRng::seed_from_u64(0x0001_0002);
+    for _ in 0..256 {
+        let old = image(rng.gen(), 0);
+        let new = image(rng.gen(), 0);
         let slots = write_slots(&old, &new, SlotConfig::PAPER);
-        prop_assert!(slots >= 1);
-        prop_assert!(slots <= 4);
+        assert!(slots >= 1);
+        assert!(slots <= 4);
         // A roomier budget can never need more slots.
         let roomy = SlotConfig { region_bits: 128, flips_per_slot: 128 };
-        prop_assert!(write_slots(&old, &new, roomy) <= slots);
+        assert!(write_slots(&old, &new, roomy) <= slots);
     }
+}
 
-    /// Flip counting is a metric: symmetric, zero on identity, triangle
-    /// inequality.
-    #[test]
-    fn flip_count_is_a_metric(
-        a in any::<[u8; 64]>(),
-        b in any::<[u8; 64]>(),
-        c in any::<[u8; 64]>(),
-    ) {
-        let ia = image(a, 0);
-        let ib = image(b, 0);
-        let ic = image(c, 0);
-        prop_assert_eq!(ia.flips_to(&ia).total(), 0);
-        prop_assert_eq!(ia.flips_to(&ib).total(), ib.flips_to(&ia).total());
-        prop_assert!(
+/// Flip counting is a metric: symmetric, zero on identity, triangle
+/// inequality.
+#[test]
+fn flip_count_is_a_metric() {
+    let mut rng = DeuceRng::seed_from_u64(0x0001_0003);
+    for _ in 0..256 {
+        let ia = image(rng.gen(), 0);
+        let ib = image(rng.gen(), 0);
+        let ic = image(rng.gen(), 0);
+        assert_eq!(ia.flips_to(&ia).total(), 0);
+        assert_eq!(ia.flips_to(&ib).total(), ib.flips_to(&ia).total());
+        assert!(
             ia.flips_to(&ic).total() <= ia.flips_to(&ib).total() + ib.flips_to(&ic).total()
         );
     }
+}
 
-    /// Cell-array conservation: recorded bit writes equal the flips of
-    /// the writes recorded, under any rotation.
-    #[test]
-    fn cell_array_conserves_flips(
-        writes in prop::collection::vec((any::<[u8; 64]>(), 0u32..544), 1..20),
-    ) {
+/// Cell-array conservation: recorded bit writes equal the flips of
+/// the writes recorded, under any rotation.
+#[test]
+fn cell_array_conserves_flips() {
+    let mut rng = DeuceRng::seed_from_u64(0x0001_0004);
+    for _ in 0..32 {
         let mut cells = CellArray::new(1, 544);
         let mut current = image([0u8; 64], 0);
         let mut expected = 0u64;
-        for (data, rotation) in writes {
-            let next = image(data, 0);
+        let writes = rng.gen_range(1usize..20);
+        for _ in 0..writes {
+            let next = image(rng.gen(), 0);
+            let rotation = rng.gen_range(0u32..544);
             expected += u64::from(current.flips_to(&next).total());
             cells.record_write(0, &current, &next, rotation);
             current = next;
         }
-        prop_assert_eq!(cells.wear_summary().total_bit_writes, expected);
+        assert_eq!(cells.wear_summary().total_bit_writes, expected);
     }
+}
 
-    /// Rotation is a bijection on cells: totals per line are invariant,
-    /// only positions move.
-    #[test]
-    fn rotation_preserves_totals(data in any::<[u8; 64]>(), rotation in 0u32..544) {
+/// Rotation is a bijection on cells: totals per line are invariant,
+/// only positions move.
+#[test]
+fn rotation_preserves_totals() {
+    let mut rng = DeuceRng::seed_from_u64(0x0001_0005);
+    for _ in 0..64 {
+        let data: [u8; 64] = rng.gen();
+        let rotation = rng.gen_range(0u32..544);
         let old = image([0u8; 64], 0);
         let new = image(data, 0);
         let mut rotated = CellArray::new(1, 544);
         rotated.record_write(0, &old, &new, rotation);
         let mut straight = CellArray::new(1, 544);
         straight.record_write(0, &old, &new, 0);
-        prop_assert_eq!(
+        assert_eq!(
             rotated.wear_summary().total_bit_writes,
             straight.wear_summary().total_bit_writes
         );
@@ -92,7 +99,7 @@ proptest! {
         let r = rotated.position_totals();
         let s = straight.position_totals();
         for pos in 0..544usize {
-            prop_assert_eq!(r[(pos + rotation as usize) % 544], s[pos]);
+            assert_eq!(r[(pos + rotation as usize) % 544], s[pos]);
         }
     }
 }

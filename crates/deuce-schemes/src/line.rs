@@ -183,15 +183,14 @@ impl SchemeLine {
 mod tests {
     use super::*;
     use deuce_crypto::SecretKey;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use deuce_rng::{DeuceRng, Rng};
 
     /// Differential test: every scheme must return exactly what was last
     /// written, across hundreds of random writes.
     #[test]
     fn all_schemes_roundtrip_random_writes() {
         let engine = OtpEngine::new(&SecretKey::from_seed(1234));
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = DeuceRng::seed_from_u64(99);
         for kind in SchemeKind::ALL {
             let config = SchemeConfig::new(kind);
             let mut initial = [0u8; 64];
@@ -202,7 +201,7 @@ mod tests {
             for i in 0..200 {
                 // Mix sparse and dense updates.
                 if rng.gen_bool(0.7) {
-                    let idx = rng.gen_range(0..64);
+                    let idx = rng.gen_range(0usize..64);
                     data[idx] = rng.gen();
                 } else {
                     rng.fill(&mut data);

@@ -1,90 +1,107 @@
-//! Property-based tests over all scheme state machines.
+//! Randomized tests over all scheme state machines, driven by seeded
+//! [`deuce_rng`] streams.
 
 use deuce_crypto::{EpochInterval, LineAddr, OtpEngine, SecretKey};
+use deuce_rng::{DeuceRng, Rng, RngCore};
 use deuce_schemes::{DeuceLine, SchemeConfig, SchemeKind, SchemeLine, WordSize};
-use proptest::prelude::*;
 
-fn scheme_strategy() -> impl Strategy<Value = SchemeKind> {
-    prop::sample::select(SchemeKind::ALL.to_vec())
+fn pick_scheme<R: RngCore>(rng: &mut R) -> SchemeKind {
+    SchemeKind::ALL[rng.gen_range(0..SchemeKind::ALL.len())]
 }
 
 /// Writes modeled as (byte index, new value) patches so that sequences
 /// mix sparse and dense updates.
-fn patches() -> impl Strategy<Value = Vec<(usize, u8)>> {
-    prop::collection::vec((0usize..64, any::<u8>()), 1..120)
+fn patch<R: RngCore>(rng: &mut R) -> Vec<(usize, u8)> {
+    let len = rng.gen_range(1usize..120);
+    (0..len).map(|_| (rng.gen_range(0usize..64), rng.gen())).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The fundamental contract: read always returns the latest write,
-    /// for every scheme, any write sequence.
-    #[test]
-    fn read_returns_latest_write(
-        kind in scheme_strategy(),
-        seed in any::<u64>(),
-        initial in any::<[u8; 64]>(),
-        writes in prop::collection::vec(patches(), 1..40),
-    ) {
+/// The fundamental contract: read always returns the latest write,
+/// for every scheme, any write sequence.
+#[test]
+fn read_returns_latest_write() {
+    let mut rng = DeuceRng::seed_from_u64(0x5C4E_0001);
+    for _ in 0..64 {
+        let kind = pick_scheme(&mut rng);
+        let seed: u64 = rng.gen();
+        let initial: [u8; 64] = rng.gen();
         let engine = OtpEngine::new(&SecretKey::from_seed(seed));
         let config = SchemeConfig::new(kind);
         let mut line = SchemeLine::new(&config, &engine, LineAddr::new(seed % 1024), &initial);
         let mut data = initial;
-        for patch in writes {
-            for (idx, value) in patch {
+        let writes = rng.gen_range(1usize..40);
+        for _ in 0..writes {
+            for (idx, value) in patch(&mut rng) {
                 data[idx] = value;
             }
             let _ = line.write(&engine, &data);
-            prop_assert_eq!(line.read(&engine), data, "{}", kind);
+            assert_eq!(line.read(&engine), data, "{kind}");
         }
     }
+}
 
-    /// Flip accounting is always consistent with the stored images, and
-    /// never exceeds the total stored bits.
-    #[test]
-    fn flips_are_image_consistent_and_bounded(
-        kind in scheme_strategy(),
-        initial in any::<[u8; 64]>(),
-        patch in patches(),
-    ) {
+/// Flip accounting is always consistent with the stored images, and
+/// never exceeds the total stored bits.
+#[test]
+fn flips_are_image_consistent_and_bounded() {
+    let mut rng = DeuceRng::seed_from_u64(0x5C4E_0002);
+    for _ in 0..64 {
+        let kind = pick_scheme(&mut rng);
+        let initial: [u8; 64] = rng.gen();
         let engine = OtpEngine::new(&SecretKey::from_seed(1));
         let config = SchemeConfig::new(kind);
         let mut line = SchemeLine::new(&config, &engine, LineAddr::new(3), &initial);
         let mut data = initial;
-        for (idx, value) in patch {
+        for (idx, value) in patch(&mut rng) {
             data[idx] = value;
         }
         let outcome = line.write(&engine, &data);
-        prop_assert_eq!(outcome.flips, outcome.old_image.flips_to(&outcome.new_image));
-        prop_assert!(outcome.flips.total() <= 512 + config.metadata_bits());
-        prop_assert_eq!(outcome.old_image.meta().width(), config.metadata_bits());
-        prop_assert_eq!(outcome.new_image.meta().width(), config.metadata_bits());
+        assert_eq!(outcome.flips, outcome.old_image.flips_to(&outcome.new_image));
+        assert!(outcome.flips.total() <= 512 + config.metadata_bits());
+        assert_eq!(outcome.old_image.meta().width(), config.metadata_bits());
+        assert_eq!(outcome.new_image.meta().width(), config.metadata_bits());
     }
+}
 
-    /// A write that does not change the plaintext never flips stored
-    /// bits under the write-efficient schemes (DCW semantics) — while
-    /// counter-mode always pays the avalanche.
-    #[test]
-    fn identity_writes(initial in any::<[u8; 64]>()) {
+/// A write that does not change the plaintext never flips stored
+/// bits under the write-efficient schemes (DCW semantics) — while
+/// counter-mode always pays the avalanche.
+#[test]
+fn identity_writes() {
+    let mut rng = DeuceRng::seed_from_u64(0x5C4E_0003);
+    for _ in 0..64 {
+        let initial: [u8; 64] = rng.gen();
         let engine = OtpEngine::new(&SecretKey::from_seed(2));
-        for kind in [SchemeKind::UnencryptedDcw, SchemeKind::UnencryptedFnw, SchemeKind::Ble, SchemeKind::AddrPad] {
-            let mut line = SchemeLine::new(&SchemeConfig::new(kind), &engine, LineAddr::new(1), &initial);
+        for kind in [
+            SchemeKind::UnencryptedDcw,
+            SchemeKind::UnencryptedFnw,
+            SchemeKind::Ble,
+            SchemeKind::AddrPad,
+        ] {
+            let mut line =
+                SchemeLine::new(&SchemeConfig::new(kind), &engine, LineAddr::new(1), &initial);
             let outcome = line.write(&engine, &initial);
-            prop_assert_eq!(outcome.flips.total(), 0, "{}", kind);
+            assert_eq!(outcome.flips.total(), 0, "{kind}");
         }
         // Encrypted DCW re-encrypts regardless: ~50% of bits flip.
-        let mut enc = SchemeLine::new(&SchemeConfig::new(SchemeKind::EncryptedDcw), &engine, LineAddr::new(1), &initial);
+        let mut enc = SchemeLine::new(
+            &SchemeConfig::new(SchemeKind::EncryptedDcw),
+            &engine,
+            LineAddr::new(1),
+            &initial,
+        );
         let outcome = enc.write(&engine, &initial);
-        prop_assert!(outcome.flips.total() > 150);
+        assert!(outcome.flips.total() > 150);
     }
+}
 
-    /// DEUCE invariant: between epoch starts, stored bits outside the
-    /// modified footprint (words + their tracking bits) never change.
-    #[test]
-    fn deuce_untouched_words_are_frozen(
-        seed in any::<u64>(),
-        word_updates in prop::collection::vec((0usize..8, any::<u16>()), 1..60),
-    ) {
+/// DEUCE invariant: between epoch starts, stored bits outside the
+/// modified footprint (words + their tracking bits) never change.
+#[test]
+fn deuce_untouched_words_are_frozen() {
+    let mut rng = DeuceRng::seed_from_u64(0x5C4E_0004);
+    for _ in 0..64 {
+        let seed: u64 = rng.gen();
         let engine = OtpEngine::new(&SecretKey::from_seed(seed));
         let mut line = DeuceLine::new(
             &engine,
@@ -98,18 +115,26 @@ proptest! {
         // until the first epoch boundary (write 64, beyond this run).
         let mut data = [0u8; 64];
         let baseline = *line.image().data();
-        for (word, value) in word_updates {
+        let updates = rng.gen_range(1usize..60);
+        for _ in 0..updates {
+            let word = rng.gen_range(0usize..8);
+            let value: u16 = rng.gen();
             data[word * 2..word * 2 + 2].copy_from_slice(&value.to_le_bytes());
             let _ = line.write(&engine, &data);
         }
         let now = *line.image().data();
-        prop_assert_eq!(&now[16..], &baseline[16..], "cold words changed");
+        assert_eq!(&now[16..], &baseline[16..], "cold words changed");
     }
+}
 
-    /// Epoch counting: exactly floor(writes / epoch) epoch starts occur
-    /// in a run of consecutive writes to one line.
-    #[test]
-    fn epoch_start_frequency(writes in 1usize..100, epoch_log2 in 2u32..6) {
+/// Epoch counting: exactly floor(writes / epoch) epoch starts occur
+/// in a run of consecutive writes to one line.
+#[test]
+fn epoch_start_frequency() {
+    let mut rng = DeuceRng::seed_from_u64(0x5C4E_0005);
+    for _ in 0..64 {
+        let writes = rng.gen_range(1usize..100);
+        let epoch_log2 = rng.gen_range(2u32..6);
         let engine = OtpEngine::new(&SecretKey::from_seed(5));
         let epoch = 1u64 << epoch_log2;
         let mut line = DeuceLine::new(
@@ -129,7 +154,7 @@ proptest! {
                 observed += 1;
             }
         }
-        prop_assert_eq!(observed, writes as u64 / epoch);
+        assert_eq!(observed, writes as u64 / epoch);
     }
 }
 

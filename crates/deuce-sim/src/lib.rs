@@ -6,7 +6,9 @@
 //! write slots, energy, cell wear), an optional [`deuce_wear`] Start-Gap +
 //! HWL layer rotates the wear, and a memory-controller timing model with
 //! per-bank queues and blocking reads produces execution time — from which
-//! the paper's speedup / energy / power / EDP figures derive.
+//! the paper's speedup / energy / power / EDP figures derive. Grids of
+//! independent runs shard across threads with [`ParallelSweep`],
+//! bit-identical to a sequential loop.
 //!
 //! # Examples
 //!
@@ -28,6 +30,7 @@ mod counter_cache;
 mod latency;
 mod result;
 mod simulator;
+mod sweep;
 mod timing;
 
 pub use config::{CpuParams, MetricConfig, SimConfig, VerticalWl, WearConfig};
@@ -35,6 +38,7 @@ pub use counter_cache::{CounterCache, CounterCacheConfig, CounterTraffic};
 pub use latency::{pad_latency_report, PadEngineOption, PadLatencyReport};
 pub use result::SimResult;
 pub use simulator::Simulator;
+pub use sweep::{ParallelSweep, SweepCell};
 pub use timing::MemoryTimingModel;
 
 pub use deuce_schemes::{SchemeConfig, SchemeKind};

@@ -39,8 +39,37 @@ pub struct SimResult {
     /// Counter-cache misses (extra counter-line reads), when the
     /// counter-cache model is enabled.
     pub counter_cache_misses: u64,
+    /// Dirty counter-line evictions written back to memory, when the
+    /// counter-cache model is enabled.
+    pub counter_cache_writebacks: u64,
     /// Counter-cache hit ratio (0 when the model is disabled).
     pub counter_cache_hit_ratio: f64,
+}
+
+/// An empty result: every counter zero, no wear tracking, and the
+/// paper's energy parameters. Accumulating drivers start from this and
+/// fill in what they measure (`..SimResult::default()` keeps struct
+/// literals short as fields are added).
+impl Default for SimResult {
+    fn default() -> Self {
+        Self {
+            writes: 0,
+            reads: 0,
+            data_flips: 0,
+            meta_flips: 0,
+            counter_flips: 0,
+            counters_in_metric: false,
+            total_slots: 0,
+            epoch_starts: 0,
+            exec_time_ns: 0.0,
+            energy_params: EnergyParams::PAPER,
+            cells: None,
+            metadata_bits: 0,
+            counter_cache_misses: 0,
+            counter_cache_writebacks: 0,
+            counter_cache_hit_ratio: 0.0,
+        }
+    }
 }
 
 impl SimResult {
@@ -157,16 +186,22 @@ mod tests {
             data_flips: 12_800, // 128/write = 25%
             meta_flips: 200,
             counter_flips: 150,
-            counters_in_metric: false,
             total_slots: 264,
             epoch_starts: 3,
             exec_time_ns: 10_000.0,
-            energy_params: EnergyParams::PAPER,
-            cells: None,
             metadata_bits: 32,
-            counter_cache_misses: 0,
-            counter_cache_hit_ratio: 0.0,
+            ..SimResult::default()
         }
+    }
+
+    #[test]
+    fn default_is_a_zero_run() {
+        let r = SimResult::default();
+        assert_eq!(r.writes, 0);
+        assert_eq!(r.metric_flips(), 0);
+        assert_eq!(r.avg_flips_per_write(), 0.0);
+        assert_eq!(r.energy_pj(), 0.0);
+        assert!(r.cells.is_none());
     }
 
     #[test]

@@ -1,11 +1,17 @@
-//! The simulator driving traces through schemes, device, wear, and
-//! timing models.
+//! The simulator driving traces through the staged memory-controller
+//! pipeline: counter cache → scheme engine → wear recording → timing.
+//!
+//! The pipeline structure itself lives in
+//! [`deuce_memctl::pipeline`]; this module supplies the concrete
+//! stages (lazy scheme-line store, counter cache, wear state, timing
+//! model) and folds each write's [`WriteEffect`] into a [`SimResult`].
 
 use std::collections::HashMap;
 
 use deuce_crypto::{LineAddr, OtpEngine, SecretKey};
-use deuce_nvm::{write_slots, CellArray};
-use deuce_schemes::SchemeLine;
+use deuce_memctl::{MemoryPipeline, SchemeStage, WearStage, WriteEffect};
+use deuce_nvm::CellArray;
+use deuce_schemes::{SchemeConfig, SchemeLine, WriteOutcome};
 use deuce_trace::{Op, Trace};
 use deuce_wear::{HorizontalWearLeveler, HwlMode, SecurityRefresh, StartGap};
 
@@ -54,7 +60,7 @@ impl Simulator {
             .map(|e| usize::from(e.core) + 1)
             .max()
             .unwrap_or(1);
-        let mut timing = MemoryTimingModel::with_power_channels(
+        let timing = MemoryTimingModel::with_power_channels(
             self.config.timing,
             self.config.cpu,
             self.config.geometry,
@@ -64,7 +70,7 @@ impl Simulator {
 
         let meta_bits = self.config.scheme.metadata_bits();
         let bits_per_line = deuce_crypto::LINE_BITS as u32 + meta_bits;
-        let mut wear_state = self.config.wear.map(|w| WearState {
+        let wear_state = self.config.wear.map(|w| WearState {
             cells: CellArray::new(w.lines, bits_per_line),
             vwl: match w.vwl {
                 VerticalWl::StartGap => {
@@ -81,94 +87,87 @@ impl Simulator {
             index_of: HashMap::new(),
         });
 
-        let mut counter_cache = self.config.counter_cache.map(CounterCache::new);
-        // Counter lines live in a dedicated region; give them distinct
-        // addresses for bank mapping.
-        const COUNTER_REGION: u64 = 1 << 40;
+        let store = LazySchemeStore {
+            config: &self.config.scheme,
+            engine: &self.engine,
+            lines: HashMap::new(),
+        };
+        let counters_per_line = self
+            .config
+            .counter_cache
+            .map_or(16, |cache| cache.counters_per_line);
+        let mut pipeline = MemoryPipeline::new(store, timing, self.config.slot)
+            .with_counter_stage(
+                self.config.counter_cache.map(CounterCache::new),
+                counters_per_line,
+            )
+            .with_wear_stage(wear_state);
 
-        let mut lines: HashMap<u64, SchemeLine> = HashMap::new();
         let mut result = SimResult {
-            writes: 0,
-            reads: 0,
-            data_flips: 0,
-            meta_flips: 0,
-            counter_flips: 0,
             counters_in_metric: self.config.metric.count_counter_bits,
-            total_slots: 0,
-            epoch_starts: 0,
-            exec_time_ns: 0.0,
             energy_params: self.config.energy,
-            cells: None,
             metadata_bits: meta_bits,
-            counter_cache_misses: 0,
-            counter_cache_hit_ratio: 0.0,
+            ..SimResult::default()
         };
 
         for event in trace.events() {
-            // The counter must be available before the pad can be
-            // generated; a counter-cache miss costs an extra (blocking)
-            // memory read, and a dirty eviction an extra 1-slot write.
-            if let Some(cache) = &mut counter_cache {
-                let dirtying = event.op == Op::Write;
-                let traffic = cache.access(event.line.value(), dirtying);
-                let counter_line =
-                    deuce_crypto::LineAddr::new(COUNTER_REGION | (event.line.value() / 16));
-                if traffic.fill {
-                    timing.read(usize::from(event.core), event.instr, counter_line);
-                }
-                if traffic.writeback {
-                    timing.write(usize::from(event.core), event.instr, counter_line, 1);
-                }
-            }
+            let core = usize::from(event.core);
             match event.op {
                 Op::Read => {
                     result.reads += 1;
-                    timing.read(usize::from(event.core), event.instr, event.line);
+                    pipeline.read(core, event.instr, event.line);
                 }
                 Op::Write => {
                     let data = event.data.expect("write events carry data");
-                    match lines.entry(event.line.value()) {
-                        std::collections::hash_map::Entry::Vacant(slot) => {
-                            // Initial placement: encrypt-in, not counted.
-                            slot.insert(SchemeLine::new(
-                                &self.config.scheme,
-                                &self.engine,
-                                event.line,
-                                &data,
-                            ));
-                        }
-                        std::collections::hash_map::Entry::Occupied(mut slot) => {
-                            let outcome = slot.get_mut().write(&self.engine, &data);
-                            result.writes += 1;
-                            result.data_flips += u64::from(outcome.flips.data);
-                            result.meta_flips += u64::from(outcome.flips.meta);
-                            result.counter_flips += u64::from(outcome.counter_flips);
-                            result.epoch_starts += u64::from(outcome.epoch_started);
-
-                            let slots = write_slots(
-                                &outcome.old_image,
-                                &outcome.new_image,
-                                self.config.slot,
-                            );
-                            result.total_slots += u64::from(slots);
-                            timing.write(usize::from(event.core), event.instr, event.line, slots);
-
-                            if let Some(w) = &mut wear_state {
-                                w.record(event.line, &outcome);
-                            }
-                        }
+                    if let Some(effect) = pipeline.write(core, event.instr, event.line, &data) {
+                        fold_effect(&mut result, &effect);
                     }
                 }
             }
         }
 
-        result.exec_time_ns = timing.exec_time_ns();
-        result.cells = wear_state.map(|w| w.cells);
-        if let Some(cache) = &counter_cache {
+        result.exec_time_ns = pipeline.timing.exec_time_ns();
+        result.cells = pipeline.wear.map(|w| w.cells);
+        if let Some(cache) = &pipeline.counters {
             result.counter_cache_misses = cache.misses();
+            result.counter_cache_writebacks = cache.writebacks();
             result.counter_cache_hit_ratio = cache.hit_ratio();
         }
         result
+    }
+}
+
+/// Accumulates one counted write's effect into the aggregate result.
+fn fold_effect(result: &mut SimResult, effect: &WriteEffect) {
+    result.writes += 1;
+    result.data_flips += u64::from(effect.outcome.flips.data);
+    result.meta_flips += u64::from(effect.outcome.flips.meta);
+    result.counter_flips += u64::from(effect.outcome.counter_flips);
+    result.epoch_starts += u64::from(effect.outcome.epoch_started);
+    result.total_slots += u64::from(effect.slots);
+}
+
+/// Stage 2: scheme lines instantiated lazily. The first write to an
+/// address is the initial placement (encrypted as it enters memory, per
+/// §3.1) and is not counted.
+#[derive(Debug)]
+struct LazySchemeStore<'a> {
+    config: &'a SchemeConfig,
+    engine: &'a OtpEngine,
+    lines: HashMap<u64, SchemeLine>,
+}
+
+impl SchemeStage for LazySchemeStore<'_> {
+    fn write(&mut self, line: LineAddr, data: &[u8; 64]) -> Option<WriteOutcome> {
+        match self.lines.entry(line.value()) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(SchemeLine::new(self.config, self.engine, line, data));
+                None
+            }
+            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                Some(slot.get_mut().write(self.engine, data))
+            }
+        }
     }
 }
 
@@ -208,8 +207,12 @@ impl WearState {
             },
         }
     }
+}
 
-    fn record(&mut self, addr: LineAddr, outcome: &deuce_schemes::WriteOutcome) {
+/// Stage 3: cell-array wear recording under the configured vertical
+/// and horizontal levelers.
+impl WearStage for WearState {
+    fn record(&mut self, addr: LineAddr, outcome: &WriteOutcome) {
         let next = self.index_of.len();
         let lines = self.cells.lines();
         let index = *self.index_of.entry(addr.value()).or_insert_with(|| {

@@ -1,0 +1,272 @@
+//! Sharded parallel sweep execution.
+//!
+//! Every figure in the paper is a *grid*: benchmarks × schemes,
+//! benchmarks × epochs, word sizes × epochs. The cells are mutually
+//! independent simulations, so [`ParallelSweep`] shards them across OS
+//! threads — one shard per benchmark×config cell — while keeping the
+//! results **bit-identical** to a sequential run:
+//!
+//! - results come back in input order, regardless of which thread
+//!   finished first;
+//! - each cell's randomness is derived only from its own seed (via
+//!   [`deuce_rng::derive_seed`] in [`ParallelSweep::run_seeded`]), never
+//!   from scheduling;
+//! - workers take a fixed round-robin slice of the grid, so the shard
+//!   assignment itself is deterministic too.
+//!
+//! ```
+//! use deuce_sim::{ParallelSweep, SimConfig, SweepCell};
+//! use deuce_schemes::SchemeKind;
+//! use deuce_trace::{Benchmark, TraceConfig};
+//!
+//! let cells: Vec<SweepCell> = [SchemeKind::Deuce, SchemeKind::EncryptedDcw]
+//!     .into_iter()
+//!     .map(|kind| SweepCell {
+//!         label: kind.to_string(),
+//!         trace: TraceConfig::new(Benchmark::Mcf).writes(500),
+//!         config: SimConfig::new(kind),
+//!     })
+//!     .collect();
+//! let results = ParallelSweep::new().run(&cells);
+//! assert_eq!(results.len(), 2);
+//! assert!(results[0].flip_rate() < results[1].flip_rate(), "DEUCE beats full encryption");
+//! ```
+
+use std::thread;
+
+use deuce_rng::derive_seed;
+use deuce_trace::TraceConfig;
+
+use crate::{SimConfig, SimResult, Simulator};
+
+/// One cell of a sweep grid: a workload and a controller configuration.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Human-readable cell name (benchmark, scheme, parameter point…).
+    pub label: String,
+    /// Trace to generate for this cell.
+    pub trace: TraceConfig,
+    /// Simulator configuration for this cell.
+    pub config: SimConfig,
+}
+
+impl SweepCell {
+    /// Creates a cell.
+    #[must_use]
+    pub fn new(label: impl Into<String>, trace: TraceConfig, config: SimConfig) -> Self {
+        Self { label: label.into(), trace, config }
+    }
+}
+
+/// Deterministic sharded runner for independent simulations.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelSweep {
+    shards: usize,
+}
+
+impl Default for ParallelSweep {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParallelSweep {
+    /// A sweep sharded across the machine's available parallelism.
+    #[must_use]
+    pub fn new() -> Self {
+        let shards = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::with_shards(shards)
+    }
+
+    /// A sweep with an explicit shard count (clamped to at least 1).
+    /// `with_shards(1)` is a plain sequential loop — useful as the
+    /// reference when checking determinism.
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        Self { shards: shards.max(1) }
+    }
+
+    /// Worker threads this sweep will use.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Maps `f` over `items` in parallel, returning results in input
+    /// order. Worker `k` owns items `k, k + shards, k + 2·shards, …`,
+    /// so both the output order and the shard assignment are
+    /// independent of thread scheduling: any shard count produces the
+    /// same `Vec` as a sequential loop (assuming `f` itself is a pure
+    /// function of `(index, item)`).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f`.
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        let shards = self.shards.min(items.len()).max(1);
+        if shards == 1 {
+            return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+        let f = &f;
+        thread::scope(|scope| {
+            let workers: Vec<_> = (0..shards)
+                .map(|k| {
+                    scope.spawn(move || -> Vec<(usize, T)> {
+                        items
+                            .iter()
+                            .enumerate()
+                            .skip(k)
+                            .step_by(shards)
+                            .map(|(i, item)| (i, f(i, item)))
+                            .collect()
+                    })
+                })
+                .collect();
+            let mut slots: Vec<Option<T>> = items.iter().map(|_| None).collect();
+            for worker in workers {
+                for (i, value) in worker.join().expect("sweep worker panicked") {
+                    slots[i] = Some(value);
+                }
+            }
+            slots.into_iter().map(|slot| slot.expect("every index filled")).collect()
+        })
+    }
+
+    /// Runs every cell (generate its trace, simulate it), in cell
+    /// order. Each cell uses the seed already in its [`TraceConfig`].
+    #[must_use]
+    pub fn run(&self, cells: &[SweepCell]) -> Vec<SimResult> {
+        self.map(cells, |_, cell| {
+            let trace = cell.trace.generate();
+            Simulator::new(cell.config.clone()).run_trace(&trace)
+        })
+    }
+
+    /// Like [`run`](Self::run), but re-seeds cell `i`'s trace with
+    /// `derive_seed(base_seed, i)` so every shard draws from its own
+    /// decorrelated stream while the whole sweep stays a pure function
+    /// of `base_seed`.
+    #[must_use]
+    pub fn run_seeded(&self, base_seed: u64, cells: &[SweepCell]) -> Vec<SimResult> {
+        self.map(cells, |i, cell| {
+            let trace = cell.trace.clone().seed(derive_seed(base_seed, i as u64)).generate();
+            Simulator::new(cell.config.clone()).run_trace(&trace)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deuce_crypto::EpochInterval;
+    use deuce_schemes::{SchemeConfig, SchemeKind, WordSize};
+    use deuce_trace::{Benchmark, TraceConfig};
+
+    fn grid() -> Vec<SweepCell> {
+        let mut cells = Vec::new();
+        for benchmark in [Benchmark::Mcf, Benchmark::Libquantum] {
+            for (kind, epoch) in [(SchemeKind::Deuce, 8), (SchemeKind::Deuce, 32)] {
+                let scheme = SchemeConfig::new(kind)
+                    .with_word_size(WordSize::Bytes2)
+                    .with_epoch(EpochInterval::new(epoch).expect("power of two"));
+                cells.push(SweepCell::new(
+                    format!("{benchmark}/{kind}/e{epoch}"),
+                    TraceConfig::new(benchmark).lines(64).writes(600).seed(9),
+                    SimConfig::with_scheme(scheme),
+                ));
+            }
+        }
+        cells
+    }
+
+    fn fingerprint(results: &[SimResult]) -> Vec<(u64, u64, u64, u64, u64)> {
+        results
+            .iter()
+            .map(|r| (r.writes, r.data_flips, r.meta_flips, r.total_slots, r.exec_time_ns.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<usize> = (0..37).collect();
+        for shards in [1, 2, 3, 8, 64] {
+            let out = ParallelSweep::with_shards(shards).map(&items, |i, &x| i * 100 + x);
+            let expected: Vec<usize> = items.iter().map(|&x| x * 101).collect();
+            assert_eq!(out, expected, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_sequential() {
+        let cells = grid();
+        let sequential = fingerprint(&ParallelSweep::with_shards(1).run(&cells));
+        for shards in [2, 4, 16] {
+            let parallel = fingerprint(&ParallelSweep::with_shards(shards).run(&cells));
+            assert_eq!(parallel, sequential, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn seeded_run_is_deterministic_and_decorrelated() {
+        let cells: Vec<SweepCell> = (0..3)
+            .map(|i| {
+                SweepCell::new(
+                    format!("shard{i}"),
+                    TraceConfig::new(Benchmark::Mcf).lines(64).writes(600),
+                    SimConfig::new(SchemeKind::Deuce),
+                )
+            })
+            .collect();
+        let a = fingerprint(&ParallelSweep::with_shards(4).run_seeded(7, &cells));
+        let b = fingerprint(&ParallelSweep::with_shards(2).run_seeded(7, &cells));
+        assert_eq!(a, b, "same base seed, any sharding: same results");
+        // Identical configs, distinct derived seeds: the cells must not
+        // replay one another's trace.
+        assert_ne!(a[0], a[1]);
+        assert_ne!(a[1], a[2]);
+        let c = fingerprint(&ParallelSweep::with_shards(4).run_seeded(8, &cells));
+        assert_ne!(a, c, "different base seed: different sweep");
+    }
+
+    #[test]
+    fn shards_clamp_to_one() {
+        assert_eq!(ParallelSweep::with_shards(0).shards(), 1);
+        assert!(ParallelSweep::new().shards() >= 1);
+    }
+
+    /// Wall-clock speedup check; meaningful only with real cores, so it
+    /// is a no-op on small machines (CI containers often expose 1).
+    #[test]
+    fn parallel_run_is_faster_on_big_machines() {
+        let cores = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        if cores < 4 {
+            return;
+        }
+        let cells: Vec<SweepCell> = (0..cores.min(8))
+            .map(|i| {
+                SweepCell::new(
+                    format!("cell{i}"),
+                    TraceConfig::new(Benchmark::Mcf).lines(256).writes(20_000).seed(i as u64),
+                    SimConfig::new(SchemeKind::Deuce),
+                )
+            })
+            .collect();
+        let t0 = std::time::Instant::now();
+        let sequential = ParallelSweep::with_shards(1).run(&cells);
+        let sequential_time = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let parallel = ParallelSweep::new().run(&cells);
+        let parallel_time = t1.elapsed();
+        assert_eq!(fingerprint(&sequential), fingerprint(&parallel));
+        assert!(
+            sequential_time.as_secs_f64() >= 2.0 * parallel_time.as_secs_f64(),
+            "expected >=2x speedup on {cores} cores: sequential {sequential_time:?}, \
+             parallel {parallel_time:?}"
+        );
+    }
+}

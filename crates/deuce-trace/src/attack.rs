@@ -7,8 +7,7 @@
 //! levelers; they are the adversarial counterpart to the benign
 //! [`crate::TraceConfig`] workloads.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use deuce_rng::{DeuceRng, Rng};
 
 use deuce_crypto::{LineAddr, LINE_BYTES};
 
@@ -88,7 +87,7 @@ impl AttackTrace {
     /// Generates the trace.
     #[must_use]
     pub fn generate(&self) -> Trace {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = DeuceRng::seed_from_u64(self.seed);
         let mut trace = Trace::default();
         let mut instr = 0u64;
         let target_base = 0u64;

@@ -1,8 +1,7 @@
 //! The trace generator: turns a [`BenchmarkProfile`] into a concrete
 //! request stream.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use deuce_rng::{DeuceRng, Rng};
 
 use deuce_crypto::{LineAddr, LineBytes, LINE_BYTES};
 
@@ -147,7 +146,7 @@ struct LineState {
 #[derive(Debug)]
 struct CoreGenerator {
     core: u8,
-    rng: StdRng,
+    rng: DeuceRng,
     lines: Vec<LineState>,
     zipf_cdf: Vec<f64>,
     instr: u64,
@@ -165,7 +164,7 @@ impl CoreGenerator {
         seed: u64,
         include_reads: bool,
     ) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DeuceRng::seed_from_u64(seed);
         // Layout template: programs lay the same structs out in every
         // line of an array, so hot-word positions and roles repeat across
         // lines (with some jitter). This cross-line correlation is what
@@ -335,7 +334,7 @@ impl CoreGenerator {
 /// concentrate in a few 16-byte blocks rather than scattering across the
 /// line. This is what gives Block-Level Encryption its ~33% average
 /// (Fig. 18) instead of degenerating to 50%.
-fn sample_hot_words(rng: &mut StdRng, count: usize) -> Vec<u8> {
+fn sample_hot_words(rng: &mut DeuceRng, count: usize) -> Vec<u8> {
     const WORDS_PER_BLOCK: usize = 8;
     const BLOCKS: usize = 4;
     let blocks_needed = count.div_ceil(5).clamp(1, BLOCKS);
@@ -354,7 +353,7 @@ fn sample_hot_words(rng: &mut StdRng, count: usize) -> Vec<u8> {
     candidates
 }
 
-fn sample_distinct(rng: &mut StdRng, count: usize, range: usize) -> Vec<u8> {
+fn sample_distinct(rng: &mut DeuceRng, count: usize, range: usize) -> Vec<u8> {
     let mut positions: Vec<u8> = (0..range as u8).collect();
     for i in 0..count.min(range) {
         let j = rng.gen_range(i..range);
@@ -459,7 +458,7 @@ mod tests {
 
     #[test]
     fn sample_distinct_is_distinct() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = DeuceRng::seed_from_u64(5);
         for _ in 0..100 {
             let s = sample_distinct(&mut rng, 10, 32);
             let set: std::collections::HashSet<_> = s.iter().collect();

@@ -7,7 +7,7 @@
 //! average because its inner loop increments counters whose low bits sit
 //! at fixed positions in the line).
 
-use rand::Rng;
+use deuce_rng::Rng;
 
 /// The update behaviour of one word of a line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,7 +45,7 @@ impl WordRole {
             WordRole::Pointer => {
                 // Jump by a geometric-ish stride within a 4K-entry region:
                 // flips a band of bits around positions 2..10.
-                let stride = 1u16 << rng.gen_range(2..7);
+                let stride = 1u16 << rng.gen_range(2u32..7);
                 let delta = stride.wrapping_mul(rng.gen_range(1..=7));
                 if rng.gen_bool(0.5) {
                     old.wrapping_add(delta)
@@ -82,11 +82,10 @@ impl WordRole {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use deuce_rng::DeuceRng;
 
     fn mean_flips(role: WordRole, trials: u32) -> f64 {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DeuceRng::seed_from_u64(1);
         let mut value: u16 = 0x1234;
         let mut flips = 0u64;
         for _ in 0..trials {
@@ -99,7 +98,7 @@ mod tests {
 
     #[test]
     fn next_value_always_differs() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = DeuceRng::seed_from_u64(2);
         for role in [WordRole::Counter, WordRole::Pointer, WordRole::Float, WordRole::Random] {
             let mut v = 0u16;
             for _ in 0..500 {
@@ -115,7 +114,7 @@ mod tests {
         let m = mean_flips(WordRole::Counter, 4000);
         assert!(m > 1.0 && m < 4.0, "counter mean flips {m}");
         // Bit 0 flips far more often than bit 8.
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DeuceRng::seed_from_u64(3);
         let mut v: u16 = 0;
         let mut bit0 = 0u32;
         let mut bit8 = 0u32;
@@ -143,7 +142,7 @@ mod tests {
 
     #[test]
     fn pointer_flips_middle_band() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = DeuceRng::seed_from_u64(4);
         let mut v: u16 = 0x4000;
         let mut low = 0u32; // bits 0..2
         let mut mid = 0u32; // bits 2..11

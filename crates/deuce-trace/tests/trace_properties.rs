@@ -1,88 +1,94 @@
-//! Property tests for trace generation and the container format.
+//! Randomized tests for trace generation and the container format,
+//! driven by seeded [`deuce_rng`] streams.
 
+use deuce_rng::{DeuceRng, Rng};
 use deuce_trace::{
     read_trace, write_trace, Benchmark, Op, Trace, TraceConfig, TraceEvent, TraceStats,
 };
-use proptest::prelude::*;
 
-fn benchmark_strategy() -> impl Strategy<Value = Benchmark> {
-    prop::sample::select(Benchmark::ALL.to_vec())
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Structural invariants of every generated trace.
-    #[test]
-    fn generated_traces_are_well_formed(
-        benchmark in benchmark_strategy(),
-        writes in 1usize..800,
-        lines in 1usize..64,
-        cores in 1u8..4,
-        seed in any::<u64>(),
-    ) {
+/// Structural invariants of every generated trace.
+#[test]
+fn generated_traces_are_well_formed() {
+    let mut rng = DeuceRng::seed_from_u64(0x7ACE_0001);
+    for _ in 0..24 {
+        let benchmark = Benchmark::ALL[rng.gen_range(0..Benchmark::ALL.len())];
+        let writes = rng.gen_range(1usize..800);
+        let lines = rng.gen_range(1usize..64);
+        let cores = rng.gen_range(1u8..4);
+        let seed: u64 = rng.gen();
         let trace = TraceConfig::new(benchmark)
             .lines(lines)
             .writes(writes)
             .cores(cores)
             .seed(seed)
             .generate();
-        prop_assert_eq!(trace.write_count(), writes);
+        assert_eq!(trace.write_count(), writes);
         for e in trace.events() {
-            prop_assert!(e.core < cores);
-            prop_assert!((e.line.value() & 0xFFFF_FFFF) < lines as u64);
-            prop_assert_eq!(e.line.value() >> 32, u64::from(e.core));
+            assert!(e.core < cores);
+            assert!((e.line.value() & 0xFFFF_FFFF) < lines as u64);
+            assert_eq!(e.line.value() >> 32, u64::from(e.core));
             match e.op {
-                Op::Write => prop_assert!(e.data.is_some()),
-                Op::Read => prop_assert!(e.data.is_none()),
+                Op::Write => assert!(e.data.is_some()),
+                Op::Read => assert!(e.data.is_none()),
             }
         }
     }
+}
 
-    /// Serialization roundtrips bit-exactly for generated traces.
-    #[test]
-    fn io_roundtrip(
-        benchmark in benchmark_strategy(),
-        writes in 1usize..300,
-        seed in any::<u64>(),
-    ) {
+/// Serialization roundtrips bit-exactly for generated traces.
+#[test]
+fn io_roundtrip() {
+    let mut rng = DeuceRng::seed_from_u64(0x7ACE_0002);
+    for _ in 0..24 {
+        let benchmark = Benchmark::ALL[rng.gen_range(0..Benchmark::ALL.len())];
+        let writes = rng.gen_range(1usize..300);
+        let seed: u64 = rng.gen();
         let trace = TraceConfig::new(benchmark).lines(16).writes(writes).seed(seed).generate();
         let mut buffer = Vec::new();
         write_trace(&mut buffer, &trace).unwrap();
-        prop_assert_eq!(read_trace(buffer.as_slice()).unwrap(), trace);
+        assert_eq!(read_trace(buffer.as_slice()).unwrap(), trace);
     }
+}
 
-    /// Serialization roundtrips for arbitrary hand-built traces too
-    /// (not just generator output).
-    #[test]
-    fn io_roundtrip_arbitrary(
-        events in prop::collection::vec(
-            (any::<u8>(), any::<u64>(), any::<u64>(), prop::option::of(any::<[u8; 64]>())),
-            0..60,
-        )
-    ) {
-        let trace: Trace = events
-            .into_iter()
-            .map(|(core, instr, line, data)| match data {
-                Some(d) => TraceEvent::write(core, instr, deuce_trace::LineAddr::new(line), d),
-                None => TraceEvent::read(core, instr, deuce_trace::LineAddr::new(line)),
+/// Serialization roundtrips for arbitrary hand-built traces too
+/// (not just generator output).
+#[test]
+fn io_roundtrip_arbitrary() {
+    let mut rng = DeuceRng::seed_from_u64(0x7ACE_0003);
+    for _ in 0..24 {
+        let len = rng.gen_range(0usize..60);
+        let trace: Trace = (0..len)
+            .map(|_| {
+                let core: u8 = rng.gen();
+                let instr: u64 = rng.gen();
+                let line = deuce_trace::LineAddr::new(rng.gen());
+                if rng.gen_bool(0.5) {
+                    TraceEvent::write(core, instr, line, rng.gen())
+                } else {
+                    TraceEvent::read(core, instr, line)
+                }
             })
             .collect();
         let mut buffer = Vec::new();
         write_trace(&mut buffer, &trace).unwrap();
-        prop_assert_eq!(read_trace(buffer.as_slice()).unwrap(), trace);
+        assert_eq!(read_trace(buffer.as_slice()).unwrap(), trace);
     }
+}
 
-    /// Statistics are finite and within physical bounds.
-    #[test]
-    fn stats_are_sane(benchmark in benchmark_strategy(), seed in any::<u64>()) {
+/// Statistics are finite and within physical bounds.
+#[test]
+fn stats_are_sane() {
+    let mut rng = DeuceRng::seed_from_u64(0x7ACE_0004);
+    for _ in 0..24 {
+        let benchmark = Benchmark::ALL[rng.gen_range(0..Benchmark::ALL.len())];
+        let seed: u64 = rng.gen();
         let trace = TraceConfig::new(benchmark).lines(32).writes(600).seed(seed).generate();
         let stats = TraceStats::compute(&trace);
-        prop_assert!(stats.dirty_bit_fraction > 0.0 && stats.dirty_bit_fraction <= 1.0);
-        prop_assert!(stats.avg_words_modified > 0.0 && stats.avg_words_modified <= 32.0);
-        prop_assert!(stats.unique_lines <= 32);
-        prop_assert!(stats.wbpki > 0.0);
-        prop_assert!(stats.mpki >= 0.0);
+        assert!(stats.dirty_bit_fraction > 0.0 && stats.dirty_bit_fraction <= 1.0);
+        assert!(stats.avg_words_modified > 0.0 && stats.avg_words_modified <= 32.0);
+        assert!(stats.unique_lines <= 32);
+        assert!(stats.wbpki > 0.0);
+        assert!(stats.mpki >= 0.0);
     }
 }
 

@@ -1,46 +1,54 @@
-//! Property tests for the wear-leveling substrate.
+//! Randomized tests for the wear-leveling substrate, driven by seeded
+//! [`deuce_rng`] streams.
 
+use deuce_rng::{DeuceRng, Rng};
 use deuce_wear::{HorizontalWearLeveler, HwlMode, PerLineRotation, StartGap};
-use proptest::prelude::*;
 use std::collections::HashSet;
 
-proptest! {
-    /// Start-Gap's remapping stays a bijection into the frame space at
-    /// every point of any write sequence.
-    #[test]
-    fn start_gap_remains_bijective(
-        lines in 2usize..64,
-        gap_interval in 1u32..8,
-        steps in 0usize..500,
-    ) {
+/// Start-Gap's remapping stays a bijection into the frame space at
+/// every point of any write sequence.
+#[test]
+fn start_gap_remains_bijective() {
+    let mut rng = DeuceRng::seed_from_u64(0x3EA6_0001);
+    for _ in 0..128 {
+        let lines = rng.gen_range(2usize..64);
+        let gap_interval = rng.gen_range(1u32..8);
+        let steps = rng.gen_range(0usize..500);
         let mut sg = StartGap::new(lines, gap_interval);
         for _ in 0..steps {
             let _ = sg.record_write();
         }
         let mapped: HashSet<usize> = (0..lines).map(|la| sg.remap(la)).collect();
-        prop_assert_eq!(mapped.len(), lines);
-        prop_assert!(mapped.iter().all(|&pa| pa < lines + 1));
-        prop_assert!(!mapped.contains(&sg.gap()));
+        assert_eq!(mapped.len(), lines);
+        assert!(mapped.iter().all(|&pa| pa < lines + 1));
+        assert!(!mapped.contains(&sg.gap()));
     }
+}
 
-    /// Sweeps advance exactly once per (lines + 1) gap moves.
-    #[test]
-    fn sweep_rate(lines in 2usize..32, moves in 1usize..200) {
+/// Sweeps advance exactly once per (lines + 1) gap moves.
+#[test]
+fn sweep_rate() {
+    let mut rng = DeuceRng::seed_from_u64(0x3EA6_0002);
+    for _ in 0..128 {
+        let lines = rng.gen_range(2usize..32);
+        let moves = rng.gen_range(1usize..200);
         let mut sg = StartGap::new(lines, 1);
         for _ in 0..moves {
             let _ = sg.record_write();
         }
-        prop_assert_eq!(sg.sweeps(), (moves / (lines + 1)) as u64);
+        assert_eq!(sg.sweeps(), (moves / (lines + 1)) as u64);
     }
+}
 
-    /// HWL rotations are always within the ring, in both modes.
-    #[test]
-    fn rotations_in_range(
-        lines in 2usize..32,
-        steps in 0usize..300,
-        ring in 1u32..1024,
-        addr in any::<u64>(),
-    ) {
+/// HWL rotations are always within the ring, in both modes.
+#[test]
+fn rotations_in_range() {
+    let mut rng = DeuceRng::seed_from_u64(0x3EA6_0003);
+    for _ in 0..64 {
+        let lines = rng.gen_range(2usize..32);
+        let steps = rng.gen_range(0usize..300);
+        let ring = rng.gen_range(1u32..1024);
+        let addr: u64 = rng.gen();
         let mut sg = StartGap::new(lines, 1);
         for _ in 0..steps {
             let _ = sg.record_write();
@@ -48,15 +56,18 @@ proptest! {
         for mode in [HwlMode::Algebraic, HwlMode::Hashed] {
             let hwl = HorizontalWearLeveler::new(mode, ring);
             for la in 0..lines {
-                prop_assert!(hwl.rotation(&sg, la, addr) < ring);
+                assert!(hwl.rotation(&sg, la, addr) < ring);
             }
         }
     }
+}
 
-    /// The algebraic rotation advances by exactly one per sweep for a
-    /// line the gap has not yet passed.
-    #[test]
-    fn algebraic_rotation_tracks_sweeps(lines in 2usize..16) {
+/// The algebraic rotation advances by exactly one per sweep for a
+/// line the gap has not yet passed. Exhaustive over the sizes the
+/// original randomized test drew.
+#[test]
+fn algebraic_rotation_tracks_sweeps() {
+    for lines in 2usize..16 {
         let mut sg = StartGap::new(lines, 1);
         let hwl = HorizontalWearLeveler::new(HwlMode::Algebraic, 544);
         for expected_sweep in 0..5u64 {
@@ -64,7 +75,7 @@ proptest! {
             // passed yet.
             for la in 0..lines {
                 if !sg.gap_passed(la) {
-                    prop_assert_eq!(hwl.rotation(&sg, la, 0), (expected_sweep % 544) as u32);
+                    assert_eq!(hwl.rotation(&sg, la, 0), (expected_sweep % 544) as u32);
                 }
             }
             while sg.sweeps() == expected_sweep {
@@ -72,16 +83,22 @@ proptest! {
             }
         }
     }
+}
 
-    /// Per-line rotation: counts writes independently and wraps.
-    #[test]
-    fn per_line_rotation_wraps(ring in 2u32..32, interval in 1u32..5, writes in 1u32..200) {
+/// Per-line rotation: counts writes independently and wraps.
+#[test]
+fn per_line_rotation_wraps() {
+    let mut rng = DeuceRng::seed_from_u64(0x3EA6_0004);
+    for _ in 0..128 {
+        let ring = rng.gen_range(2u32..32);
+        let interval = rng.gen_range(1u32..5);
+        let writes = rng.gen_range(1u32..200);
         let mut plr = PerLineRotation::new(2, ring, interval);
         for _ in 0..writes {
             let _ = plr.record_write(0);
         }
-        prop_assert_eq!(plr.rotation(0), (writes / interval) % ring);
-        prop_assert_eq!(plr.rotation(1), 0);
+        assert_eq!(plr.rotation(0), (writes / interval) % ring);
+        assert_eq!(plr.rotation(1), 0);
     }
 }
 

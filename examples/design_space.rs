@@ -8,7 +8,7 @@
 
 use deuce::crypto::EpochInterval;
 use deuce::schemes::{SchemeConfig, SchemeKind, WordSize};
-use deuce::sim::{SimConfig, Simulator};
+use deuce::sim::{ParallelSweep, SimConfig, SweepCell};
 use deuce::trace::{Benchmark, TraceConfig};
 
 fn main() {
@@ -21,14 +21,29 @@ fn main() {
     let epochs = [8u64, 16, 32, 64];
 
     // A sparse, DEUCE-friendly workload; a dense adversarial one; and
-    // one whose write footprint drifts (epoch-sensitive).
-    for benchmark in [Benchmark::Libquantum, Benchmark::Gems, Benchmark::Wrf] {
-        let trace = TraceConfig::new(benchmark)
-            .lines(128)
-            .writes(8_000)
-            .seed(3)
-            .generate();
+    // one whose write footprint drifts (epoch-sensitive). The full
+    // 3×4×4 grid runs as one sharded sweep, one cell per
+    // benchmark×config point.
+    let benchmarks = [Benchmark::Libquantum, Benchmark::Gems, Benchmark::Wrf];
+    let mut cells = Vec::new();
+    for benchmark in benchmarks {
+        for word_size in word_sizes {
+            for epoch in epochs {
+                let scheme = SchemeConfig::new(SchemeKind::Deuce)
+                    .with_word_size(word_size)
+                    .with_epoch(EpochInterval::new(epoch).expect("power of two"));
+                cells.push(SweepCell::new(
+                    format!("{benchmark}/{}B/e{epoch}", word_size.bytes()),
+                    TraceConfig::new(benchmark).lines(128).writes(8_000).seed(3),
+                    SimConfig::with_scheme(scheme),
+                ));
+            }
+        }
+    }
+    let results = ParallelSweep::new().run(&cells);
+    let mut rows = results.iter();
 
+    for benchmark in benchmarks {
         println!("=== {benchmark}: flip rate (% of line) and metadata cost ===");
         print!("{:>14}", "word \\ epoch");
         for epoch in epochs {
@@ -38,11 +53,8 @@ fn main() {
 
         for word_size in word_sizes {
             print!("{:>14}", format!("{}B", word_size.bytes()));
-            for epoch in epochs {
-                let config = SchemeConfig::new(SchemeKind::Deuce)
-                    .with_word_size(word_size)
-                    .with_epoch(EpochInterval::new(epoch).expect("power of two"));
-                let result = Simulator::new(SimConfig::with_scheme(config)).run_trace(&trace);
+            for _ in epochs {
+                let result = rows.next().expect("one result per cell");
                 print!("{:>8.1}%", result.flip_rate() * 100.0);
             }
             println!("{:>12}", word_size.tracking_bits());

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: hermetic build, full test suite, lint.
+#
+# The workspace has zero external dependencies, so everything runs with
+# --offline on a bare toolchain. Run from the repository root:
+#
+#   bash scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline --workspace"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy -q --offline --workspace --all-targets -- -D warnings"
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
+
+echo "==> tier-1 OK"

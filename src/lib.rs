@@ -61,6 +61,7 @@ pub use deuce_crypto as crypto;
 pub use deuce_integrity as integrity;
 pub use deuce_memctl as memctl;
 pub use deuce_nvm as nvm;
+pub use deuce_rng as rng;
 pub use deuce_schemes as schemes;
 pub use deuce_sim as sim;
 pub use deuce_trace as trace;
