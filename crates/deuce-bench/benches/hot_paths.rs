@@ -7,6 +7,8 @@ use deuce_aes::Aes128;
 use deuce_crypto::{EpochInterval, LineAddr, OtpEngine, SecretKey};
 use deuce_nvm::{write_slots, LineImage, MetaBits, SlotConfig};
 use deuce_schemes::{fnw_encode, DeuceLine, SchemeConfig, SchemeKind, SchemeLine, WordSize};
+use deuce_sim::{SimConfig, Simulator};
+use deuce_telemetry::{NullRecorder, TelemetryRecorder};
 use deuce_trace::{Benchmark, TraceConfig};
 use deuce_wear::StartGap;
 
@@ -142,6 +144,26 @@ fn bench_start_gap(c: &mut Harness) {
     });
 }
 
+fn bench_telemetry_overhead(c: &mut Harness) {
+    let trace = TraceConfig::new(Benchmark::Mcf).lines(64).writes(2_000).seed(9).generate();
+    let sim = Simulator::new(SimConfig::with_scheme(SchemeConfig::new(SchemeKind::Deuce)));
+    let mut group = c.benchmark_group("telemetry");
+    group.throughput(Throughput::Elements(2_000));
+    group.bench_function("run_trace_plain", |b| {
+        b.iter(|| sim.run_trace(black_box(&trace)));
+    });
+    group.bench_function("run_trace_null_recorder", |b| {
+        b.iter(|| sim.run_trace_recorded(black_box(&trace), &mut NullRecorder));
+    });
+    group.bench_function("run_trace_full_recorder", |b| {
+        b.iter(|| {
+            let mut rec = TelemetryRecorder::default();
+            sim.run_trace_recorded(black_box(&trace), &mut rec)
+        });
+    });
+    group.finish();
+}
+
 fn main() {
     let mut harness = Harness::from_env();
     bench_aes_block(&mut harness);
@@ -152,4 +174,5 @@ fn main() {
     bench_write_slots(&mut harness);
     bench_trace_generation(&mut harness);
     bench_start_gap(&mut harness);
+    bench_telemetry_overhead(&mut harness);
 }

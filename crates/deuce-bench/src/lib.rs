@@ -18,7 +18,10 @@
 
 pub mod harness;
 
+use std::io::IsTerminal;
+
 use deuce_schemes::SchemeConfig;
+use deuce_sim::telemetry::SweepProgress;
 use deuce_sim::{ParallelSweep, SimConfig, SimResult, Simulator};
 use deuce_trace::{Benchmark, Trace, TraceConfig};
 
@@ -110,12 +113,19 @@ impl ExperimentArgs {
 
 /// Runs `f` for every benchmark as one sharded sweep (one shard per
 /// available core, results in benchmark order).
+///
+/// When stderr is a terminal a live `benchmarks: N/M cells` progress
+/// line is drawn there; TSV output on stdout is unaffected.
 pub fn per_benchmark<T, F>(benchmarks: &[Benchmark], f: F) -> Vec<(Benchmark, T)>
 where
     T: Send,
     F: Fn(Benchmark) -> T + Sync,
 {
-    ParallelSweep::new().map(benchmarks, |_, &b| (b, f(b)))
+    let sweep = ParallelSweep::new();
+    let shards = sweep.shards().min(benchmarks.len()).max(1);
+    let progress = SweepProgress::new("benchmarks", benchmarks.len(), shards)
+        .live(std::io::stderr().is_terminal());
+    sweep.map_observed(benchmarks, |_, &b| (b, f(b)), Some(&progress))
 }
 
 /// Runs one (scheme, trace) simulation.

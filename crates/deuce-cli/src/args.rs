@@ -15,10 +15,20 @@ USAGE:
   deuce stats   <trace-file>
   deuce run     (--trace <file> | --benchmark <name>) --scheme <scheme>
                 [--epoch N] [--word-bytes N] [--writes N] [--lines N]
-                [--cores N] [--seed N]
+                [--cores N] [--seed N] [--telemetry <file>]
   deuce compare (--trace <file> | --benchmark <name>) [generation flags]
+                [--telemetry <file>]
   deuce sweep   (--trace <file> | --benchmark <name>) [generation flags]
+                [--telemetry <file>]
+  deuce report  <telemetry-file>
   deuce help
+
+TELEMETRY:
+  --telemetry <file> streams structured instrumentation (counters,
+  histograms, a time series keyed on simulated time) to <file> as JSONL
+  plus a CSV summary next to it; [--sample-every N] sets the
+  time-series window (default 64 writes). `deuce report <file>` renders
+  the collected telemetry as text tables.
 
 SCHEMES:
   nodcw nofnw encdcw encfnw ble deuce dyndeuce deucefnw bledeuce addrpad
@@ -33,6 +43,8 @@ pub enum CliError {
     Usage(String),
     /// Reading or writing a trace failed.
     Trace(deuce_trace::TraceIoError),
+    /// A telemetry file could not be interpreted.
+    Telemetry(String),
     /// Terminal or file output failed.
     Io(std::io::Error),
 }
@@ -42,6 +54,7 @@ impl core::fmt::Display for CliError {
         match self {
             CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
             CliError::Trace(e) => write!(f, "{e}"),
+            CliError::Telemetry(msg) => write!(f, "{msg}"),
             CliError::Io(e) => write!(f, "{e}"),
         }
     }
@@ -107,6 +120,17 @@ pub struct RunArgs {
     pub gen: GenArgs,
     /// Scheme to simulate (`run` only; `compare` runs them all).
     pub scheme: Option<SchemeConfig>,
+    /// Stream telemetry to this JSONL file (plus a CSV sibling).
+    pub telemetry: Option<String>,
+    /// Time-series window in counted writes.
+    pub sample_every: u64,
+}
+
+/// `deuce report` arguments.
+#[derive(Debug, Clone)]
+pub struct ReportArgs {
+    /// Telemetry JSONL file to render.
+    pub telemetry_path: String,
 }
 
 /// A parsed CLI invocation.
@@ -122,6 +146,8 @@ pub enum Command {
     Compare(RunArgs),
     /// Sweep DEUCE's epoch interval and word size.
     Sweep(RunArgs),
+    /// Render a telemetry file as text tables.
+    Report(ReportArgs),
     /// Print usage.
     Help,
 }
@@ -162,6 +188,8 @@ impl Command {
         let mut scheme_kind: Option<SchemeKind> = None;
         let mut epoch: Option<u64> = None;
         let mut word_bytes: Option<usize> = None;
+        let mut telemetry: Option<String> = None;
+        let mut sample_every: u64 = 64;
 
         while let Some(flag) = args.next() {
             let mut value = |flag: &str| {
@@ -185,6 +213,15 @@ impl Command {
                 "--epoch" => epoch = Some(parse_number(&value("--epoch")?, "--epoch")?),
                 "--word-bytes" => {
                     word_bytes = Some(parse_number(&value("--word-bytes")?, "--word-bytes")?);
+                }
+                "--telemetry" => telemetry = Some(value("--telemetry")?),
+                "--sample-every" => {
+                    sample_every = parse_number(&value("--sample-every")?, "--sample-every")?;
+                    if sample_every == 0 {
+                        return Err(CliError::Usage(
+                            "--sample-every must be at least 1".into(),
+                        ));
+                    }
                 }
                 other if !other.starts_with('-') && positional.is_none() => {
                     positional = Some(other.to_string());
@@ -238,6 +275,8 @@ impl Command {
                     trace_path,
                     gen,
                     scheme: Some(scheme),
+                    telemetry,
+                    sample_every,
                 }))
             }
             "compare" | "sweep" => {
@@ -250,12 +289,20 @@ impl Command {
                     trace_path,
                     gen,
                     scheme,
+                    telemetry,
+                    sample_every,
                 };
                 Ok(if subcommand == "compare" {
                     Command::Compare(run_args)
                 } else {
                     Command::Sweep(run_args)
                 })
+            }
+            "report" => {
+                let telemetry_path = positional.or(telemetry).ok_or_else(|| {
+                    CliError::Usage("report requires a telemetry file".into())
+                })?;
+                Ok(Command::Report(ReportArgs { telemetry_path }))
             }
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
@@ -357,6 +404,50 @@ mod tests {
             Command::Stats(s) => assert_eq!(s.trace_path, "trace.bin"),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        let cmd = parse(&[
+            "run",
+            "--benchmark",
+            "mcf",
+            "--scheme",
+            "deuce",
+            "--telemetry",
+            "out.jsonl",
+            "--sample-every",
+            "16",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run(r) => {
+                assert_eq!(r.telemetry.as_deref(), Some("out.jsonl"));
+                assert_eq!(r.sample_every, 16);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Default window, no telemetry.
+        match parse(&["compare", "--benchmark", "mcf"]).unwrap() {
+            Command::Compare(r) => {
+                assert!(r.telemetry.is_none());
+                assert_eq!(r.sample_every, 64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse(&["run", "--benchmark", "mcf", "--scheme", "deuce", "--sample-every", "0"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn report_takes_positional_path() {
+        match parse(&["report", "out.jsonl"]).unwrap() {
+            Command::Report(r) => assert_eq!(r.telemetry_path, "out.jsonl"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(parse(&["report"]), Err(CliError::Usage(_))));
     }
 
     #[test]

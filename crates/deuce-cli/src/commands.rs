@@ -1,13 +1,19 @@
 //! Command implementations.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, IsTerminal, Write};
+use std::path::Path;
 
+use deuce_nvm::EnergyParams;
 use deuce_schemes::{SchemeConfig, SchemeKind};
+use deuce_sim::telemetry::export::{write_csv, write_csv_header, write_jsonl};
+use deuce_sim::telemetry::parse::{parse_jsonl, Event};
+use deuce_sim::telemetry::{SweepProgress, TelemetryConfig, TelemetryRecorder};
 use deuce_sim::{ParallelSweep, SimConfig, SimResult, Simulator};
 use deuce_trace::{read_trace, write_trace, Trace, TraceConfig, TraceStats};
 
-use crate::args::{CliError, GenArgs, RunArgs, StatsArgs};
+use crate::args::{CliError, GenArgs, ReportArgs, RunArgs, StatsArgs};
+use crate::format::{RunSummary, METRIC_HEADER};
 
 fn generate(gen: &GenArgs) -> Trace {
     TraceConfig::new(gen.benchmark)
@@ -68,17 +74,40 @@ pub fn stats<W: Write>(args: &StatsArgs, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
-fn report<W: Write>(result: &SimResult, out: &mut W) -> Result<(), CliError> {
-    writeln!(out, "writes\t{}", result.writes)?;
-    writeln!(out, "reads\t{}", result.reads)?;
-    writeln!(out, "flips_per_write\t{:.1}", result.avg_flips_per_write())?;
-    writeln!(out, "flip_rate\t{:.1}%", result.flip_rate() * 100.0)?;
-    writeln!(out, "slots_per_write\t{:.2}", result.avg_slots_per_write())?;
-    writeln!(out, "exec_time_us\t{:.1}", result.exec_time_ns / 1000.0)?;
-    writeln!(out, "energy_uj\t{:.2}", result.energy_pj() / 1e6)?;
-    writeln!(out, "power_mw\t{:.1}", result.power_mw())?;
-    writeln!(out, "metadata_bits_per_line\t{}", result.metadata_bits)?;
+/// The telemetry configuration a `--telemetry` run collects under.
+fn telemetry_config(args: &RunArgs) -> TelemetryConfig {
+    TelemetryConfig {
+        sample_every: args.sample_every,
+        energy_pj_per_flip: EnergyParams::PAPER.write_pj_per_bit,
+    }
+}
+
+/// Writes collected telemetry: JSONL events at `path`, a CSV summary
+/// next to it (same stem, `.csv`).
+fn write_telemetry(
+    path: &str,
+    runs: &[(String, TelemetryRecorder)],
+) -> Result<(), CliError> {
+    let mut jsonl = BufWriter::new(File::create(path)?);
+    for (label, recorder) in runs {
+        write_jsonl(&mut jsonl, label, recorder)?;
+    }
+    jsonl.flush()?;
+    let csv_path = Path::new(path).with_extension("csv");
+    let mut csv = BufWriter::new(File::create(&csv_path)?);
+    write_csv_header(&mut csv)?;
+    for (label, recorder) in runs {
+        write_csv(&mut csv, label, recorder)?;
+    }
+    csv.flush()?;
     Ok(())
+}
+
+/// Live progress for a sweep, drawn only when stderr is a terminal so
+/// piped and scripted runs stay clean.
+fn progress(label: &str, total: usize, shards: usize) -> SweepProgress {
+    SweepProgress::new(label, total, shards.min(total).max(1))
+        .live(std::io::stderr().is_terminal())
 }
 
 /// `deuce run`: simulate one scheme over the trace.
@@ -89,9 +118,19 @@ fn report<W: Write>(result: &SimResult, out: &mut W) -> Result<(), CliError> {
 pub fn run<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
     let trace = load_or_generate(args)?;
     let scheme = args.scheme.expect("parser enforces --scheme for run");
-    let result = Simulator::new(SimConfig::with_scheme(scheme)).run_trace(&trace);
+    let simulator = Simulator::new(SimConfig::with_scheme(scheme));
     writeln!(out, "scheme\t{}", scheme.kind)?;
-    report(&result, out)?;
+    let result = match &args.telemetry {
+        None => simulator.run_trace(&trace),
+        Some(path) => {
+            let mut recorder = TelemetryRecorder::new(telemetry_config(args));
+            let result = simulator.run_trace_recorded(&trace, &mut recorder);
+            write_telemetry(path, &[(scheme.kind.to_string(), recorder)])?;
+            writeln!(out, "telemetry\t{path}")?;
+            result
+        }
+    };
+    RunSummary::from(&result).write_to(out)?;
     Ok(())
 }
 
@@ -103,22 +142,39 @@ pub fn run<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
 /// Returns I/O or trace-format errors.
 pub fn compare<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
     let trace = load_or_generate(args)?;
-    writeln!(out, "scheme\tflip_rate\tslots/write\texec_time_us\tmeta_bits")?;
-    let results: Vec<(SchemeKind, SimResult)> = ParallelSweep::new()
-        .map(&SchemeKind::ALL, |_, &kind| {
-            let result =
-                Simulator::new(SimConfig::with_scheme(SchemeConfig::new(kind))).run_trace(&trace);
-            (kind, result)
-        });
-    for (kind, result) in &results {
+    writeln!(out, "scheme\t{METRIC_HEADER}\tmeta_bits")?;
+    let sweep = ParallelSweep::new();
+    let ticker = progress("compare", SchemeKind::ALL.len(), sweep.shards());
+    let collect = args.telemetry.is_some();
+    let results: Vec<(SchemeKind, SimResult, Option<TelemetryRecorder>)> = sweep.map_observed(
+        &SchemeKind::ALL,
+        |_, &kind| {
+            let simulator = Simulator::new(SimConfig::with_scheme(SchemeConfig::new(kind)));
+            if collect {
+                let mut recorder = TelemetryRecorder::new(telemetry_config(args));
+                let result = simulator.run_trace_recorded(&trace, &mut recorder);
+                (kind, result, Some(recorder))
+            } else {
+                (kind, simulator.run_trace(&trace), None)
+            }
+        },
+        Some(&ticker),
+    );
+    for (kind, result, _) in &results {
         writeln!(
             out,
-            "{kind}\t{:.1}%\t{:.2}\t{:.1}\t{}",
-            result.flip_rate() * 100.0,
-            result.avg_slots_per_write(),
-            result.exec_time_ns / 1000.0,
+            "{kind}\t{}\t{}",
+            RunSummary::from(result).metric_cells(),
             result.metadata_bits,
         )?;
+    }
+    if let Some(path) = &args.telemetry {
+        let runs: Vec<(String, TelemetryRecorder)> = results
+            .into_iter()
+            .filter_map(|(kind, _, recorder)| recorder.map(|r| (kind.to_string(), r)))
+            .collect();
+        write_telemetry(path, &runs)?;
+        writeln!(out, "telemetry\t{path}")?;
     }
     Ok(())
 }
@@ -134,7 +190,7 @@ pub fn sweep<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
     use deuce_schemes::WordSize;
 
     let trace = load_or_generate(args)?;
-    writeln!(out, "word_bytes\tepoch\tflip_rate\tslots_per_write\tmeta_bits")?;
+    writeln!(out, "word_bytes\tepoch\t{METRIC_HEADER}\tmeta_bits")?;
     let mut grid = Vec::new();
     for word_size in [WordSize::Bytes1, WordSize::Bytes2, WordSize::Bytes4, WordSize::Bytes8] {
         for epoch in [8u64, 16, 32, 64] {
@@ -142,23 +198,227 @@ pub fn sweep<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
         }
     }
     // One shard per grid cell; rows come back in grid order.
-    let rows = ParallelSweep::new().map(&grid, |_, &(word_size, epoch)| {
-        let scheme = SchemeConfig::new(SchemeKind::Deuce)
-            .with_word_size(word_size)
-            .with_epoch(EpochInterval::new(epoch).expect("power of two"));
-        let result = Simulator::new(SimConfig::with_scheme(scheme)).run_trace(&trace);
-        (scheme, result)
-    });
-    for ((word_size, epoch), (scheme, result)) in grid.iter().zip(&rows) {
+    let runner = ParallelSweep::new();
+    let ticker = progress("sweep", grid.len(), runner.shards());
+    let collect = args.telemetry.is_some();
+    let rows = runner.map_observed(
+        &grid,
+        |_, &(word_size, epoch)| {
+            let scheme = SchemeConfig::new(SchemeKind::Deuce)
+                .with_word_size(word_size)
+                .with_epoch(EpochInterval::new(epoch).expect("power of two"));
+            let simulator = Simulator::new(SimConfig::with_scheme(scheme));
+            if collect {
+                let mut recorder = TelemetryRecorder::new(telemetry_config(args));
+                let result = simulator.run_trace_recorded(&trace, &mut recorder);
+                (scheme, result, Some(recorder))
+            } else {
+                (scheme, simulator.run_trace(&trace), None)
+            }
+        },
+        Some(&ticker),
+    );
+    for ((word_size, epoch), (scheme, result, _)) in grid.iter().zip(&rows) {
         writeln!(
             out,
-            "{}\t{}\t{:.1}%\t{:.2}\t{}",
+            "{}\t{}\t{}\t{}",
             word_size.bytes(),
             epoch,
-            result.flip_rate() * 100.0,
-            result.avg_slots_per_write(),
+            RunSummary::from(result).metric_cells(),
             scheme.metadata_bits(),
         )?;
+    }
+    if let Some(path) = &args.telemetry {
+        let runs: Vec<(String, TelemetryRecorder)> = grid
+            .iter()
+            .zip(rows)
+            .filter_map(|(&(word_size, epoch), (_, _, recorder))| {
+                recorder.map(|r| (format!("w{}e{epoch}", word_size.bytes()), r))
+            })
+            .collect();
+        write_telemetry(path, &runs)?;
+        writeln!(out, "telemetry\t{path}")?;
+    }
+    Ok(())
+}
+
+fn event_counter(events: &[Event], run: &str, name: &str) -> u64 {
+    events
+        .iter()
+        .find(|e| {
+            e.kind() == "counter" && e.str("run") == Some(run) && e.str("name") == Some(name)
+        })
+        .and_then(|e| e.u64("value"))
+        .unwrap_or(0)
+}
+
+fn event_gauge(events: &[Event], run: &str, name: &str) -> f64 {
+    events
+        .iter()
+        .find(|e| e.kind() == "gauge" && e.str("run") == Some(run) && e.str("name") == Some(name))
+        .and_then(|e| e.num("value"))
+        .unwrap_or(0.0)
+}
+
+/// Rebuilds one run's headline summary from its telemetry events.
+fn summary_from_events(events: &[Event], run: &str) -> RunSummary {
+    let writes = event_counter(events, run, "writes");
+    let flips_sum = events
+        .iter()
+        .find(|e| {
+            e.kind() == "hist"
+                && e.str("run") == Some(run)
+                && e.str("name") == Some("flips_per_write")
+        })
+        .and_then(|e| e.u64("sum"))
+        .unwrap_or(0);
+    let per_write = |total: u64| if writes == 0 { 0.0 } else { total as f64 / writes as f64 };
+    let flips_per_write = per_write(flips_sum);
+    let exec_time_ns = event_gauge(events, run, "exec_time_ns");
+    let energy_pj = event_gauge(events, run, "energy_pj");
+    RunSummary {
+        writes,
+        reads: event_counter(events, run, "reads"),
+        flips_per_write,
+        flip_rate: flips_per_write / deuce_crypto::LINE_BITS as f64,
+        slots_per_write: per_write(event_counter(events, run, "slots_total")),
+        exec_time_us: exec_time_ns / 1000.0,
+        energy_uj: energy_pj / 1e6,
+        power_mw: if exec_time_ns == 0.0 { 0.0 } else { energy_pj / exec_time_ns },
+        metadata_bits: Some(event_gauge(events, run, "metadata_bits") as u64),
+    }
+}
+
+fn render_hist<W: Write>(
+    out: &mut W,
+    title: &str,
+    buckets: &[(u64, u64, u64)],
+) -> Result<(), CliError> {
+    writeln!(out, "{title}:")?;
+    if buckets.is_empty() {
+        writeln!(out, "  (empty)")?;
+        return Ok(());
+    }
+    let peak = buckets.iter().map(|&(_, _, count)| count).max().unwrap_or(1).max(1);
+    for &(lo, hi, count) in buckets {
+        let bar = "#".repeat(((count * 40).div_ceil(peak)) as usize);
+        writeln!(out, "  [{lo:>6}, {hi:>6})  {count:>8}  {bar}")?;
+    }
+    Ok(())
+}
+
+fn render_run<W: Write>(out: &mut W, run: &str, events: &[Event]) -> Result<(), CliError> {
+    writeln!(out, "== run {run}")?;
+    summary_from_events(events, run).write_to(out)?;
+    writeln!(out)?;
+    writeln!(out, "counters:")?;
+    for event in events.iter().filter(|e| e.kind() == "counter" && e.str("run") == Some(run)) {
+        writeln!(
+            out,
+            "  {:<20} {}",
+            event.str("name").unwrap_or("?"),
+            event.u64("value").unwrap_or(0),
+        )?;
+    }
+    writeln!(out)?;
+    for (name, title) in [
+        ("flips_per_write", "flips/write histogram"),
+        ("slots_per_write", "slots/write histogram"),
+        ("counter_residency", "counter-cache residency histogram"),
+    ] {
+        let buckets: Vec<(u64, u64, u64)> = events
+            .iter()
+            .filter(|e| {
+                e.kind() == "hist_bucket"
+                    && e.str("run") == Some(run)
+                    && e.str("name") == Some(name)
+            })
+            .filter_map(|e| {
+                Some((e.u64("lo")?, e.u64("hi")?, e.u64("count")?))
+                    .filter(|&(_, _, count)| count > 0)
+            })
+            .collect();
+        if name == "counter_residency" && buckets.is_empty() {
+            continue; // no counter cache configured: nothing to draw
+        }
+        render_hist(out, title, &buckets)?;
+        writeln!(out)?;
+    }
+    let samples: Vec<&Event> = events
+        .iter()
+        .filter(|e| e.kind() == "sample" && e.str("run") == Some(run))
+        .collect();
+    if !samples.is_empty() {
+        let every = events
+            .iter()
+            .find(|e| e.kind() == "meta" && e.str("run") == Some(run))
+            .and_then(|e| e.u64("sample_every"))
+            .unwrap_or(0);
+        writeln!(out, "time series (one row per {every} writes, simulated time):")?;
+        writeln!(out, "  writes\tsim_us\tflips_per_write\tslots_per_write\thit_ratio\tpower_mw")?;
+        for sample in samples {
+            writeln!(
+                out,
+                "  {}\t{:.2}\t{:.1}\t{:.2}\t{:.3}\t{:.2}",
+                sample.u64("writes").unwrap_or(0),
+                sample.num("sim_ns").unwrap_or(0.0) / 1000.0,
+                sample.num("flips_per_write").unwrap_or(0.0),
+                sample.num("slots_per_write").unwrap_or(0.0),
+                sample.num("hit_ratio").unwrap_or(0.0),
+                sample.num("power_mw").unwrap_or(0.0),
+            )?;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// `deuce report`: render a telemetry JSONL file as text tables. The
+/// output is deterministic for a given simulation except the trailing
+/// `== profiling` section (wall-clock stage times) — diff tooling
+/// should stop at that marker.
+///
+/// # Errors
+///
+/// Returns I/O errors reading the file and
+/// [`CliError::Telemetry`] on malformed or empty telemetry.
+pub fn report<W: Write>(args: &ReportArgs, out: &mut W) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(&args.telemetry_path)?;
+    let events = parse_jsonl(&text)
+        .map_err(|e| CliError::Telemetry(format!("{}: {e}", args.telemetry_path)))?;
+    let mut runs: Vec<&str> = Vec::new();
+    for event in &events {
+        if let Some(run) = event.str("run") {
+            if !runs.contains(&run) {
+                runs.push(run);
+            }
+        }
+    }
+    if runs.is_empty() {
+        return Err(CliError::Telemetry(format!(
+            "{}: no telemetry events found",
+            args.telemetry_path
+        )));
+    }
+    for run in &runs {
+        render_run(out, run, &events)?;
+    }
+    let profiles: Vec<&Event> = events.iter().filter(|e| e.kind() == "profile").collect();
+    if !profiles.is_empty() {
+        writeln!(out, "== profiling (wall-clock; nondeterministic)")?;
+        writeln!(out, "run\tstage\tevents\tmean_ns\tp50_ns\tp99_ns")?;
+        for profile in profiles {
+            writeln!(
+                out,
+                "{}\t{}\t{}\t{:.0}\t{}\t{}",
+                profile.str("run").unwrap_or("?"),
+                profile.str("stage").unwrap_or("?"),
+                profile.u64("events").unwrap_or(0),
+                profile.num("mean_ns").unwrap_or(0.0),
+                profile.u64("p50_ns").unwrap_or(0),
+                profile.u64("p99_ns").unwrap_or(0),
+            )?;
+        }
     }
     Ok(())
 }
@@ -174,6 +434,8 @@ mod tests {
             trace_path: None,
             gen: small_gen(),
             scheme: None,
+            telemetry: None,
+            sample_every: 64,
         };
         let mut out = Vec::new();
         sweep(&args, &mut out).unwrap();
@@ -199,6 +461,8 @@ mod tests {
             trace_path: None,
             gen: small_gen(),
             scheme: Some(SchemeConfig::new(SchemeKind::Deuce)),
+            telemetry: None,
+            sample_every: 64,
         };
         let mut out = Vec::new();
         run(&args, &mut out).unwrap();
@@ -213,6 +477,8 @@ mod tests {
             trace_path: None,
             gen: small_gen(),
             scheme: None,
+            telemetry: None,
+            sample_every: 64,
         };
         let mut out = Vec::new();
         compare(&args, &mut out).unwrap();
@@ -245,6 +511,8 @@ mod tests {
             trace_path: Some(path_str),
             gen: small_gen(),
             scheme: Some(SchemeConfig::new(SchemeKind::EncryptedDcw)),
+            telemetry: None,
+            sample_every: 64,
         };
         let mut out = Vec::new();
         run(&args, &mut out).unwrap();
@@ -258,6 +526,74 @@ mod tests {
             .expect("percentage");
         assert!((rate - 50.0).abs() < 1.5, "encrypted DCW flip rate {rate}%");
 
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_with_telemetry_then_report_round_trips() {
+        let dir = std::env::temp_dir().join("deuce-cli-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("run.jsonl");
+        let jsonl_str = jsonl.to_str().unwrap().to_string();
+
+        let args = RunArgs {
+            trace_path: None,
+            gen: small_gen(),
+            scheme: Some(SchemeConfig::new(SchemeKind::Deuce)),
+            telemetry: Some(jsonl_str.clone()),
+            sample_every: 32,
+        };
+        let mut run_out = Vec::new();
+        run(&args, &mut run_out).unwrap();
+        let run_text = String::from_utf8(run_out).unwrap();
+        assert!(run_text.contains("telemetry\t"), "{run_text}");
+
+        // The CSV sibling lands next to the JSONL file.
+        assert!(dir.join("run.csv").exists());
+        let csv = std::fs::read_to_string(dir.join("run.csv")).unwrap();
+        assert!(csv.starts_with("run,metric,value\n"));
+        assert!(csv.contains("DEUCE,writes,"));
+
+        let mut report_out = Vec::new();
+        report(&ReportArgs { telemetry_path: jsonl_str }, &mut report_out).unwrap();
+        let text = String::from_utf8(report_out).unwrap();
+        assert!(text.contains("== run DEUCE"), "{text}");
+        assert!(text.contains("counters:"));
+        assert!(text.contains("flips/write histogram:"));
+        assert!(text.contains("time series (one row per 32 writes"));
+        assert!(text.contains("== profiling"));
+        // The report's summary block equals the run's (both go through
+        // RunSummary, reconstructed from telemetry on the report side).
+        for key in ["flips_per_write\t", "flip_rate\t", "slots_per_write\t", "exec_time_us\t"] {
+            let row = |t: &str| {
+                t.lines().find(|l| l.starts_with(key)).map(str::to_string).expect(key)
+            };
+            assert_eq!(row(&text), row(&run_text), "{key}");
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_rejects_empty_and_malformed_files() {
+        let dir = std::env::temp_dir().join("deuce-cli-report-errors");
+        std::fs::create_dir_all(&dir).unwrap();
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        let err = report(
+            &ReportArgs { telemetry_path: empty.to_str().unwrap().into() },
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Telemetry(_)));
+        let broken = dir.join("broken.jsonl");
+        std::fs::write(&broken, "{not json").unwrap();
+        let err = report(
+            &ReportArgs { telemetry_path: broken.to_str().unwrap().into() },
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Telemetry(_)), "{err:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

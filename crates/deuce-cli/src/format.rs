@@ -1,0 +1,148 @@
+//! Shared result-summary formatting.
+//!
+//! `run`, `compare`, `sweep`, and `report` all print the same headline
+//! metrics; [`RunSummary`] is the one place their rows and labels are
+//! defined, whether the numbers come from a live [`SimResult`] or from
+//! a parsed telemetry file.
+
+use std::io::{self, Write};
+
+use deuce_sim::SimResult;
+
+/// Tab-separated header matching [`RunSummary::metric_cells`], shared
+/// by the `compare` and `sweep` tables.
+pub const METRIC_HEADER: &str = "flip_rate\tslots_per_write\texec_time_us";
+
+/// The headline metrics of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Counted writes (excludes first touches).
+    pub writes: u64,
+    /// Reads serviced.
+    pub reads: u64,
+    /// Mean figure-of-merit flips per write.
+    pub flips_per_write: f64,
+    /// Flips per write as a fraction of the line's data bits.
+    pub flip_rate: f64,
+    /// Mean write slots per write.
+    pub slots_per_write: f64,
+    /// Execution time in microseconds.
+    pub exec_time_us: f64,
+    /// Total memory energy in microjoules.
+    pub energy_uj: f64,
+    /// Mean memory power in milliwatts.
+    pub power_mw: f64,
+    /// Metadata bits per line, when known.
+    pub metadata_bits: Option<u64>,
+}
+
+impl From<&SimResult> for RunSummary {
+    fn from(result: &SimResult) -> Self {
+        Self {
+            writes: result.writes,
+            reads: result.reads,
+            flips_per_write: result.avg_flips_per_write(),
+            flip_rate: result.flip_rate(),
+            slots_per_write: result.avg_slots_per_write(),
+            exec_time_us: result.exec_time_ns / 1000.0,
+            energy_uj: result.energy_pj() / 1e6,
+            power_mw: result.power_mw(),
+            metadata_bits: Some(u64::from(result.metadata_bits)),
+        }
+    }
+}
+
+impl RunSummary {
+    /// Writes the `key\tvalue` summary block (the `deuce run` /
+    /// `deuce report` body).
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        writeln!(out, "writes\t{}", self.writes)?;
+        writeln!(out, "reads\t{}", self.reads)?;
+        writeln!(out, "flips_per_write\t{:.1}", self.flips_per_write)?;
+        writeln!(out, "flip_rate\t{:.1}%", self.flip_rate * 100.0)?;
+        writeln!(out, "slots_per_write\t{:.2}", self.slots_per_write)?;
+        writeln!(out, "exec_time_us\t{:.1}", self.exec_time_us)?;
+        writeln!(out, "energy_uj\t{:.2}", self.energy_uj)?;
+        writeln!(out, "power_mw\t{:.1}", self.power_mw)?;
+        if let Some(bits) = self.metadata_bits {
+            writeln!(out, "metadata_bits_per_line\t{bits}")?;
+        }
+        Ok(())
+    }
+
+    /// The table cells under [`METRIC_HEADER`].
+    #[must_use]
+    pub fn metric_cells(&self) -> String {
+        format!(
+            "{:.1}%\t{:.2}\t{:.1}",
+            self.flip_rate * 100.0,
+            self.slots_per_write,
+            self.exec_time_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunSummary {
+        RunSummary {
+            writes: 100,
+            reads: 50,
+            flips_per_write: 130.0,
+            flip_rate: 130.0 / 512.0,
+            slots_per_write: 2.64,
+            exec_time_us: 10.0,
+            energy_uj: 0.33,
+            power_mw: 33.0,
+            metadata_bits: Some(32),
+        }
+    }
+
+    #[test]
+    fn summary_block_lists_every_metric() {
+        let mut out = Vec::new();
+        sample().write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("writes\t100"));
+        assert!(text.contains("flip_rate\t25.4%"));
+        assert!(text.contains("slots_per_write\t2.64"));
+        assert!(text.contains("metadata_bits_per_line\t32"));
+        let mut without = sample();
+        without.metadata_bits = None;
+        let mut out = Vec::new();
+        without.write_to(&mut out).unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("metadata_bits"));
+    }
+
+    #[test]
+    fn metric_cells_line_up_with_the_header() {
+        assert_eq!(METRIC_HEADER.split('\t').count(), sample().metric_cells().split('\t').count());
+        assert_eq!(sample().metric_cells(), "25.4%\t2.64\t10.0");
+    }
+
+    #[test]
+    fn sim_result_conversion_uses_derived_metrics() {
+        let result = SimResult {
+            writes: 10,
+            reads: 4,
+            data_flips: 500,
+            meta_flips: 12,
+            total_slots: 25,
+            exec_time_ns: 2_000.0,
+            metadata_bits: 12,
+            ..SimResult::default()
+        };
+        let summary = RunSummary::from(&result);
+        assert_eq!(summary.writes, 10);
+        assert!((summary.flips_per_write - 51.2).abs() < 1e-12);
+        assert!((summary.slots_per_write - 2.5).abs() < 1e-12);
+        assert!((summary.exec_time_us - 2.0).abs() < 1e-12);
+        assert_eq!(summary.metadata_bits, Some(12));
+    }
+}

@@ -9,6 +9,8 @@
 //! deuce run --trace libq.trace --scheme deuce
 //! deuce run --benchmark mcf --scheme dyndeuce --epoch 16
 //! deuce compare --benchmark gems
+//! deuce run --benchmark libq --scheme deuce --telemetry run.jsonl
+//! deuce report run.jsonl
 //! ```
 
 #![forbid(unsafe_code)]
@@ -16,9 +18,11 @@
 
 mod args;
 mod commands;
+mod format;
 
-pub use args::{CliError, Command, GenArgs, RunArgs, StatsArgs};
-pub use commands::{compare, gen, run, stats, sweep};
+pub use args::{CliError, Command, GenArgs, ReportArgs, RunArgs, StatsArgs};
+pub use commands::{compare, gen, report, run, stats, sweep};
+pub use format::{RunSummary, METRIC_HEADER};
 
 /// Entry point shared by the binary and tests.
 ///
@@ -37,6 +41,7 @@ where
         Command::Run(args) => run(&args, out),
         Command::Compare(args) => compare(&args, out),
         Command::Sweep(args) => sweep(&args, out),
+        Command::Report(args) => report(&args, out),
         Command::Help => {
             writeln!(out, "{}", args::USAGE)?;
             Ok(())

@@ -66,3 +66,43 @@ fn full_pipeline_through_the_binary() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn telemetry_run_and_report_through_the_binary() {
+    let dir = std::env::temp_dir().join("deuce-bin-telemetry-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let jsonl = dir.join("run.jsonl");
+    let jsonl_str = jsonl.to_str().unwrap();
+
+    let output = deuce()
+        .args([
+            "run",
+            "--benchmark",
+            "libq",
+            "--writes",
+            "500",
+            "--lines",
+            "32",
+            "--scheme",
+            "deuce",
+            "--telemetry",
+            jsonl_str,
+            "--sample-every",
+            "64",
+        ])
+        .output()
+        .expect("run runs");
+    assert!(output.status.success(), "{output:?}");
+    assert!(String::from_utf8(output.stdout).unwrap().contains("telemetry\t"));
+    assert!(jsonl.exists());
+    assert!(dir.join("run.csv").exists());
+
+    let output = deuce().args(["report", jsonl_str]).output().expect("report runs");
+    assert!(output.status.success(), "{output:?}");
+    let text = String::from_utf8(output.stdout).unwrap();
+    assert!(text.contains("== run DEUCE"), "{text}");
+    assert!(text.contains("flips/write histogram:"));
+    assert!(text.contains("time series (one row per 64 writes"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

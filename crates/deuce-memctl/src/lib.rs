@@ -38,3 +38,4 @@ pub use pipeline::{
 };
 
 pub use deuce_schemes::{SchemeConfig, SchemeKind, WordSize};
+pub use deuce_telemetry as telemetry;

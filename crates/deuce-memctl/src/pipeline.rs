@@ -54,9 +54,12 @@
 //! assert_eq!(pipeline.timing.reads, 1);
 //! ```
 
+use std::time::Instant;
+
 use deuce_crypto::LineAddr;
 use deuce_nvm::{write_slots, SlotConfig};
 use deuce_schemes::WriteOutcome;
+use deuce_telemetry::{Counter, NullRecorder, Recorder, Stage};
 
 /// Counter lines live in a dedicated address region so bank mapping
 /// keeps them apart from data lines.
@@ -84,6 +87,12 @@ pub trait CounterStage {
     /// Accesses the counter for data line `line`; `dirtying` is true on
     /// the write path (the counter increments, dirtying its line).
     fn access(&mut self, line: LineAddr, dirtying: bool) -> CounterOutcome;
+
+    /// Counter lines currently resident on chip (telemetry only;
+    /// stages without a cache report 0).
+    fn occupancy(&self) -> u64 {
+        0
+    }
 }
 
 /// Stage 2: transforms plaintext writes into stored-image updates.
@@ -221,11 +230,28 @@ where
     /// Routes counter-stage traffic into the timing stage. The counter
     /// must be available before the pad can be generated, so a fill is
     /// a blocking read; a dirty eviction is an extra 1-slot write.
-    fn stage_counter(&mut self, core: usize, instr: u64, line: LineAddr, dirtying: bool) {
+    fn stage_counter<R: Recorder>(
+        &mut self,
+        core: usize,
+        instr: u64,
+        line: LineAddr,
+        dirtying: bool,
+        rec: &mut R,
+    ) {
         let Some(counters) = &mut self.counters else {
             return;
         };
         let outcome = counters.access(line, dirtying);
+        if R::ENABLED {
+            rec.add(Counter::CounterAccesses, 1);
+            if outcome.fill {
+                rec.add(Counter::CounterFills, 1);
+            }
+            if outcome.writeback {
+                rec.add(Counter::CounterWritebacks, 1);
+            }
+            rec.residency(counters.occupancy());
+        }
         let counter_line = counter_line_addr(line, self.counters_per_line);
         if outcome.fill {
             self.timing.read(core, instr, counter_line);
@@ -237,8 +263,27 @@ where
 
     /// Drives one read through the pipeline.
     pub fn read(&mut self, core: usize, instr: u64, line: LineAddr) {
-        self.stage_counter(core, instr, line, false);
+        self.read_recorded(core, instr, line, &mut NullRecorder);
+    }
+
+    /// [`read`](Self::read) with instrumentation: stage wall time and
+    /// counter-traffic events flow into `rec`. With [`NullRecorder`]
+    /// this monomorphises to the bare read path.
+    pub fn read_recorded<R: Recorder>(
+        &mut self,
+        core: usize,
+        instr: u64,
+        line: LineAddr,
+        rec: &mut R,
+    ) {
+        let clock = stage_clock::<R>();
+        self.stage_counter(core, instr, line, false, rec);
+        let clock = charge::<R>(rec, Stage::Counter, clock);
         self.timing.read(core, instr, line);
+        charge::<R>(rec, Stage::Timing, clock);
+        if R::ENABLED {
+            rec.add(Counter::Reads, 1);
+        }
     }
 
     /// Drives one write through all four stages.
@@ -252,15 +297,64 @@ where
         line: LineAddr,
         data: &[u8; 64],
     ) -> Option<WriteEffect> {
-        self.stage_counter(core, instr, line, true);
-        let outcome = self.schemes.write(line, data)?;
+        self.write_recorded(core, instr, line, data, &mut NullRecorder)
+    }
+
+    /// [`write`](Self::write) with instrumentation: per-stage wall
+    /// time, flip/slot counters, and counter-stage traffic flow into
+    /// `rec`. With [`NullRecorder`] this monomorphises to the bare
+    /// write path — recording never changes the simulated outcome.
+    pub fn write_recorded<R: Recorder>(
+        &mut self,
+        core: usize,
+        instr: u64,
+        line: LineAddr,
+        data: &[u8; 64],
+        rec: &mut R,
+    ) -> Option<WriteEffect> {
+        let clock = stage_clock::<R>();
+        self.stage_counter(core, instr, line, true, rec);
+        let clock = charge::<R>(rec, Stage::Counter, clock);
+        let outcome = self.schemes.write(line, data);
+        let Some(outcome) = outcome else {
+            charge::<R>(rec, Stage::Scheme, clock);
+            if R::ENABLED {
+                rec.add(Counter::FirstTouches, 1);
+            }
+            return None;
+        };
         let slots = write_slots(&outcome.old_image, &outcome.new_image, self.slot);
+        let clock = charge::<R>(rec, Stage::Scheme, clock);
         self.timing.write(core, instr, line, slots);
+        let clock = charge::<R>(rec, Stage::Timing, clock);
         if let Some(wear) = &mut self.wear {
             wear.record(line, &outcome);
         }
+        charge::<R>(rec, Stage::Wear, clock);
+        if R::ENABLED {
+            rec.add(Counter::Writes, 1);
+            rec.add(Counter::DataFlips, u64::from(outcome.flips.data));
+            rec.add(Counter::MetaFlips, u64::from(outcome.flips.meta));
+            rec.add(Counter::CounterFlips, u64::from(outcome.counter_flips));
+            rec.add(Counter::EpochStarts, u64::from(outcome.epoch_started));
+            rec.add(Counter::SlotsTotal, u64::from(slots));
+        }
         Some(WriteEffect { outcome, slots })
     }
+}
+
+/// Starts the per-stage wall clock when `R` records anything.
+fn stage_clock<R: Recorder>() -> Option<Instant> {
+    R::ENABLED.then(Instant::now)
+}
+
+/// Charges the elapsed wall time to `stage` and restarts the clock for
+/// the next stage.
+fn charge<R: Recorder>(rec: &mut R, stage: Stage, clock: Option<Instant>) -> Option<Instant> {
+    let start = clock?;
+    let now = Instant::now();
+    rec.stage_ns(stage, u64::try_from((now - start).as_nanos()).unwrap_or(u64::MAX));
+    Some(now)
 }
 
 #[cfg(test)]
@@ -315,12 +409,12 @@ mod tests {
     }
 
     #[derive(Default)]
-    struct Recorder {
+    struct TimingLog {
         reads: Vec<u64>,
         writes: Vec<(u64, u32)>,
     }
 
-    impl TimingStage for Recorder {
+    impl TimingStage for TimingLog {
         fn read(&mut self, _core: usize, _instr: u64, line: LineAddr) {
             self.reads.push(line.value());
         }
@@ -340,8 +434,8 @@ mod tests {
 
     fn pipeline(
         kind: SchemeKind,
-    ) -> MemoryPipeline<NoCounterStage, Store, NoWearStage, Recorder> {
-        MemoryPipeline::new(Store::new(kind), Recorder::default(), SlotConfig::PAPER)
+    ) -> MemoryPipeline<NoCounterStage, Store, NoWearStage, TimingLog> {
+        MemoryPipeline::new(Store::new(kind), TimingLog::default(), SlotConfig::PAPER)
     }
 
     #[test]
@@ -390,5 +484,39 @@ mod tests {
         let addr = counter_line_addr(LineAddr::new(12345), 16);
         assert_eq!(addr.value() & COUNTER_REGION, COUNTER_REGION);
         assert_eq!(addr.value() & !COUNTER_REGION, 12345 / 16);
+    }
+
+    #[test]
+    fn recorded_writes_match_unrecorded_and_count_events() {
+        use deuce_telemetry::TelemetryRecorder;
+        let mut plain = pipeline(SchemeKind::Deuce)
+            .with_counter_stage(Some(AlternatingCounters { toggle: false }), 16);
+        let mut recorded = pipeline(SchemeKind::Deuce)
+            .with_counter_stage(Some(AlternatingCounters { toggle: false }), 16);
+        let mut rec = TelemetryRecorder::default();
+        let line = LineAddr::new(5);
+        recorded.read_recorded(0, 0, line, &mut rec);
+        plain.read(0, 0, line);
+        for instr in 0..4u64 {
+            let data = [instr as u8 * 3 + 1; 64];
+            let a = plain.write(0, instr, line, &data);
+            let b = recorded.write_recorded(0, instr, line, &data, &mut rec);
+            match (a, b) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.slots, y.slots);
+                    assert_eq!(x.outcome.flips, y.outcome.flips);
+                }
+                _ => panic!("recorded and plain paths diverged"),
+            }
+        }
+        assert_eq!(rec.counter(Counter::Reads), 1);
+        assert_eq!(rec.counter(Counter::FirstTouches), 1);
+        assert_eq!(rec.counter(Counter::Writes), 3);
+        assert!(rec.counter(Counter::DataFlips) > 0);
+        assert!(rec.counter(Counter::SlotsTotal) >= 3);
+        assert_eq!(rec.counter(Counter::CounterAccesses), 5, "1 read + 4 writes");
+        assert_eq!(rec.stage_hist(Stage::Scheme).count(), 4);
+        assert_eq!(rec.stage_hist(Stage::Timing).count(), 4, "reads and counted writes");
     }
 }

@@ -8,10 +8,10 @@ use deuce_wear::HwlMode;
 /// (§5.3 extends HWL to both).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum VerticalWl {
-    /// Start-Gap [20]: deterministic rotation via Start/Gap registers.
+    /// Start-Gap \[20\]: deterministic rotation via Start/Gap registers.
     #[default]
     StartGap,
-    /// Security Refresh [21]: randomized key-XOR remapping.
+    /// Security Refresh \[21\]: randomized key-XOR remapping.
     SecurityRefresh,
 }
 

@@ -42,4 +42,5 @@ pub use sweep::{ParallelSweep, SweepCell};
 pub use timing::MemoryTimingModel;
 
 pub use deuce_schemes::{SchemeConfig, SchemeKind};
+pub use deuce_telemetry as telemetry;
 pub use deuce_wear::{HwlMode, LifetimePolicy};

@@ -112,15 +112,21 @@ impl SimResult {
     }
 
     /// Total memory energy in picojoules (writes + reads + background).
+    ///
+    /// The write term charges every flip the figure of merit counts —
+    /// including counter-storage flips when
+    /// [`counters_in_metric`](Self::counters_in_metric) is set, since
+    /// those bits are written to the same PCM cells.
     #[must_use]
     pub fn energy_pj(&self) -> f64 {
-        let flips = u32::try_from(self.data_flips + self.meta_flips).unwrap_or(u32::MAX);
+        let metric_flips = self.metric_flips();
+        let flips = u32::try_from(metric_flips).unwrap_or(u32::MAX);
         // write_energy_pj is linear, so one call with the total is exact
         // when it fits; fall back to explicit multiplication otherwise.
-        let write = if u64::from(flips) == self.data_flips + self.meta_flips {
+        let write = if u64::from(flips) == metric_flips {
             self.energy_params.write_energy_pj(flips)
         } else {
-            self.energy_params.write_pj_per_bit * (self.data_flips + self.meta_flips) as f64
+            self.energy_params.write_pj_per_bit * metric_flips as f64
         };
         let read = self.energy_params.read_energy_pj() * self.reads as f64;
         let background = self.energy_params.background_energy_pj(self.exec_time_ns as u64);
@@ -231,6 +237,30 @@ mod tests {
         assert!(e > 0.0);
         assert!((r.power_mw() - e / 10_000.0).abs() < 1e-9);
         assert!((r.edp() - e * 10_000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn energy_charges_counter_flips_when_in_metric() {
+        let base = sample();
+        let mut with = sample();
+        with.counters_in_metric = true;
+        // 150 counter flips × write energy per bit, on top of the base.
+        let extra = with.energy_params.write_pj_per_bit * 150.0;
+        assert!(
+            (with.energy_pj() - base.energy_pj() - extra).abs() < 1e-9,
+            "counter flips in the metric must be charged as written bits: \
+             {} vs {} + {extra}",
+            with.energy_pj(),
+            base.energy_pj(),
+        );
+        // Out of the metric, counter flips stay unpriced.
+        assert!((base.energy_pj() - energy_by_hand(&base)).abs() < 1e-9);
+    }
+
+    fn energy_by_hand(r: &SimResult) -> f64 {
+        r.energy_params.write_pj_per_bit * (r.data_flips + r.meta_flips) as f64
+            + r.energy_params.read_energy_pj() * r.reads as f64
+            + r.energy_params.background_energy_pj(r.exec_time_ns as u64)
     }
 
     #[test]

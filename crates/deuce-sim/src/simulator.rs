@@ -12,6 +12,7 @@ use deuce_crypto::{LineAddr, OtpEngine, SecretKey};
 use deuce_memctl::{MemoryPipeline, SchemeStage, WearStage, WriteEffect};
 use deuce_nvm::CellArray;
 use deuce_schemes::{SchemeConfig, SchemeLine, WriteOutcome};
+use deuce_telemetry::{Gauge, NullRecorder, Recorder, WriteObservation};
 use deuce_trace::{Op, Trace};
 use deuce_wear::{HorizontalWearLeveler, HwlMode, SecurityRefresh, StartGap};
 
@@ -54,6 +55,22 @@ impl Simulator {
     /// distinct lines than [`crate::WearConfig::lines`].
     #[must_use]
     pub fn run_trace(&self, trace: &Trace) -> SimResult {
+        self.run_trace_recorded(trace, &mut NullRecorder)
+    }
+
+    /// Like [`run_trace`](Self::run_trace), but streams structured
+    /// telemetry into `rec` as the trace plays: per-write observations
+    /// (figure-of-merit flips, slots, simulated time, counter-cache
+    /// traffic) plus end-of-run gauges. Recording never changes the
+    /// result — a run with any recorder is bit-identical to one with
+    /// [`NullRecorder`], which monomorphises this back into the plain
+    /// uninstrumented loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`run_trace`](Self::run_trace).
+    #[must_use]
+    pub fn run_trace_recorded<R: Recorder>(&self, trace: &Trace, rec: &mut R) -> SimResult {
         let cores = trace
             .events()
             .iter()
@@ -115,12 +132,32 @@ impl Simulator {
             match event.op {
                 Op::Read => {
                     result.reads += 1;
-                    pipeline.read(core, event.instr, event.line);
+                    pipeline.read_recorded(core, event.instr, event.line, rec);
                 }
                 Op::Write => {
                     let data = event.data.expect("write events carry data");
-                    if let Some(effect) = pipeline.write(core, event.instr, event.line, &data) {
+                    if let Some(effect) =
+                        pipeline.write_recorded(core, event.instr, event.line, &data, rec)
+                    {
                         fold_effect(&mut result, &effect);
+                        if R::ENABLED {
+                            let mut flips = u64::from(effect.outcome.flips.data)
+                                + u64::from(effect.outcome.flips.meta);
+                            if result.counters_in_metric {
+                                flips += u64::from(effect.outcome.counter_flips);
+                            }
+                            let (hits, misses) = pipeline
+                                .counters
+                                .as_ref()
+                                .map_or((0, 0), |c| (c.hits(), c.misses()));
+                            rec.write_observed(&WriteObservation {
+                                sim_ns: pipeline.timing.exec_time_ns(),
+                                flips,
+                                slots: effect.slots,
+                                cache_hits: hits,
+                                cache_misses: misses,
+                            });
+                        }
                     }
                 }
             }
@@ -132,6 +169,12 @@ impl Simulator {
             result.counter_cache_misses = cache.misses();
             result.counter_cache_writebacks = cache.writebacks();
             result.counter_cache_hit_ratio = cache.hit_ratio();
+        }
+        if R::ENABLED {
+            rec.gauge(Gauge::ExecTimeNs, result.exec_time_ns);
+            rec.gauge(Gauge::EnergyPj, result.energy_pj());
+            rec.gauge(Gauge::HitRatio, result.counter_cache_hit_ratio);
+            rec.gauge(Gauge::MetadataBits, f64::from(result.metadata_bits));
         }
         result
     }

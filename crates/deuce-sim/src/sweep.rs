@@ -35,6 +35,7 @@
 use std::thread;
 
 use deuce_rng::derive_seed;
+use deuce_telemetry::SweepProgress;
 use deuce_trace::TraceConfig;
 
 use crate::{SimConfig, SimResult, Simulator};
@@ -108,9 +109,41 @@ impl ParallelSweep {
         T: Send,
         F: Fn(usize, &I) -> T + Sync,
     {
+        self.map_observed(items, f, None)
+    }
+
+    /// Like [`map`](Self::map), with optional live progress: worker `k`
+    /// ticks shard `k` of `progress` after each completed item.
+    /// Progress is observation only — the returned `Vec` is
+    /// bit-identical with and without it.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f`.
+    pub fn map_observed<I, T, F>(
+        &self,
+        items: &[I],
+        f: F,
+        progress: Option<&SweepProgress>,
+    ) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
         let shards = self.shards.min(items.len()).max(1);
         if shards == 1 {
-            return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    let value = f(i, item);
+                    if let Some(p) = progress {
+                        p.tick(0);
+                    }
+                    value
+                })
+                .collect();
         }
         let f = &f;
         thread::scope(|scope| {
@@ -122,7 +155,13 @@ impl ParallelSweep {
                             .enumerate()
                             .skip(k)
                             .step_by(shards)
-                            .map(|(i, item)| (i, f(i, item)))
+                            .map(|(i, item)| {
+                                let value = (i, f(i, item));
+                                if let Some(p) = progress {
+                                    p.tick(k);
+                                }
+                                value
+                            })
                             .collect()
                     })
                 })
@@ -141,10 +180,24 @@ impl ParallelSweep {
     /// order. Each cell uses the seed already in its [`TraceConfig`].
     #[must_use]
     pub fn run(&self, cells: &[SweepCell]) -> Vec<SimResult> {
-        self.map(cells, |_, cell| {
-            let trace = cell.trace.generate();
-            Simulator::new(cell.config.clone()).run_trace(&trace)
-        })
+        self.run_observed(cells, None)
+    }
+
+    /// Like [`run`](Self::run), with optional live progress reporting.
+    #[must_use]
+    pub fn run_observed(
+        &self,
+        cells: &[SweepCell],
+        progress: Option<&SweepProgress>,
+    ) -> Vec<SimResult> {
+        self.map_observed(
+            cells,
+            |_, cell| {
+                let trace = cell.trace.generate();
+                Simulator::new(cell.config.clone()).run_trace(&trace)
+            },
+            progress,
+        )
     }
 
     /// Like [`run`](Self::run), but re-seeds cell `i`'s trace with
@@ -231,6 +284,19 @@ mod tests {
         assert_ne!(a[1], a[2]);
         let c = fingerprint(&ParallelSweep::with_shards(4).run_seeded(8, &cells));
         assert_ne!(a, c, "different base seed: different sweep");
+    }
+
+    #[test]
+    fn progress_counts_every_cell_without_changing_results() {
+        let cells = grid();
+        let plain = fingerprint(&ParallelSweep::with_shards(3).run(&cells));
+        let progress = SweepProgress::new("test", cells.len(), 3);
+        let observed =
+            fingerprint(&ParallelSweep::with_shards(3).run_observed(&cells, Some(&progress)));
+        assert_eq!(observed, plain, "progress must not perturb results");
+        assert_eq!(progress.done(), cells.len());
+        let per_shard: usize = (0..3).map(|s| progress.shard_done(s)).sum();
+        assert_eq!(per_shard, cells.len(), "every tick lands on its worker's shard");
     }
 
     #[test]

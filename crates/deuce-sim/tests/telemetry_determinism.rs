@@ -1,0 +1,125 @@
+//! Telemetry must be observation-only: a run with any recorder
+//! attached produces a bit-identical [`SimResult`] to the plain
+//! uninstrumented run, sequentially and under sharded sweeps.
+
+use deuce_schemes::{SchemeConfig, SchemeKind, WordSize};
+use deuce_sim::telemetry::{Counter, SweepProgress, TelemetryRecorder};
+use deuce_sim::{
+    CounterCacheConfig, ParallelSweep, SimConfig, SimResult, Simulator, SweepCell,
+};
+use deuce_trace::{Benchmark, TraceConfig};
+
+/// Every field that feeds a figure, bit-exact (floats by bit pattern).
+fn fingerprint(r: &SimResult) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, u64) {
+    (
+        r.writes,
+        r.reads,
+        r.data_flips,
+        r.meta_flips,
+        r.counter_flips,
+        r.total_slots,
+        r.epoch_starts,
+        r.exec_time_ns.to_bits(),
+        r.counter_cache_misses,
+        r.counter_cache_hit_ratio.to_bits(),
+    )
+}
+
+fn config() -> SimConfig {
+    let scheme = SchemeConfig::new(SchemeKind::Deuce).with_word_size(WordSize::Bytes2);
+    SimConfig::with_scheme(scheme).with_counter_cache(CounterCacheConfig::DEFAULT)
+}
+
+fn trace() -> deuce_trace::Trace {
+    TraceConfig::new(Benchmark::Mcf).lines(96).writes(2_500).seed(42).generate()
+}
+
+#[test]
+fn recorded_sequential_run_is_bit_identical() {
+    let trace = trace();
+    let plain = Simulator::new(config()).run_trace(&trace);
+    let mut rec = TelemetryRecorder::default();
+    let recorded = Simulator::new(config()).run_trace_recorded(&trace, &mut rec);
+    assert_eq!(fingerprint(&plain), fingerprint(&recorded));
+    // And the recorder really observed the run.
+    assert_eq!(rec.counter(Counter::Writes), plain.writes);
+    assert_eq!(rec.counter(Counter::Reads), plain.reads);
+    assert_eq!(
+        rec.counter(Counter::DataFlips) + rec.counter(Counter::MetaFlips),
+        plain.data_flips + plain.meta_flips
+    );
+    assert_eq!(rec.counter(Counter::SlotsTotal), plain.total_slots);
+    assert_eq!(rec.flips_hist().count(), plain.writes);
+    assert!(!rec.samples().is_empty(), "2500 writes crosses the sample window");
+}
+
+#[test]
+fn recorded_sharded_sweep_is_bit_identical() {
+    let cells: Vec<SweepCell> = [Benchmark::Mcf, Benchmark::Libquantum, Benchmark::Astar]
+        .into_iter()
+        .map(|b| {
+            SweepCell::new(
+                b.to_string(),
+                TraceConfig::new(b).lines(64).writes(800).seed(7),
+                config(),
+            )
+        })
+        .collect();
+    let plain: Vec<_> =
+        ParallelSweep::with_shards(1).run(&cells).iter().map(fingerprint).collect();
+    for shards in [2, 4] {
+        let progress = SweepProgress::new("determinism", cells.len(), shards);
+        let recorded: Vec<_> = ParallelSweep::with_shards(shards)
+            .map_observed(
+                &cells,
+                |_, cell| {
+                    let mut rec = TelemetryRecorder::default();
+                    let trace = cell.trace.generate();
+                    let result =
+                        Simulator::new(cell.config.clone()).run_trace_recorded(&trace, &mut rec);
+                    (result, rec)
+                },
+                Some(&progress),
+            )
+            .iter()
+            .map(|(result, _)| fingerprint(result))
+            .collect();
+        assert_eq!(recorded, plain, "{shards} shards");
+        assert_eq!(progress.done(), cells.len());
+    }
+}
+
+#[test]
+fn per_cell_recorders_are_deterministic_across_shardings() {
+    let cells: Vec<SweepCell> = (0..5)
+        .map(|i| {
+            SweepCell::new(
+                format!("cell{i}"),
+                TraceConfig::new(Benchmark::Omnetpp).lines(64).writes(600).seed(i),
+                config(),
+            )
+        })
+        .collect();
+    let observe = |shards: usize| -> Vec<(u64, u64, usize)> {
+        ParallelSweep::with_shards(shards)
+            .map_observed(
+                &cells,
+                |_, cell| {
+                    let mut rec = TelemetryRecorder::default();
+                    let trace = cell.trace.generate();
+                    let _ = Simulator::new(cell.config.clone()).run_trace_recorded(&trace, &mut rec);
+                    (
+                        rec.counter(Counter::DataFlips),
+                        rec.counter(Counter::CounterAccesses),
+                        rec.samples().len(),
+                    )
+                },
+                None,
+            )
+            .into_iter()
+            .collect()
+    };
+    let sequential = observe(1);
+    assert_eq!(observe(3), sequential);
+    assert_eq!(observe(8), sequential);
+}

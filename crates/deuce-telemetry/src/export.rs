@@ -1,0 +1,253 @@
+//! Hand-rolled JSONL event and CSV summary exporters.
+//!
+//! No serde: the event model is flat (one JSON object per line, string
+//! and number values only), so the writers are a few format strings and
+//! the escaping rules of RFC 8259 §7. Everything exported here is
+//! derived from simulated quantities except the `profile` events, which
+//! carry wall-clock stage times and are explicitly nondeterministic
+//! (consumers that diff runs should skip them).
+
+use std::io::{self, Write};
+
+use crate::hist::Histogram;
+use crate::recorder::{Counter, Gauge, Stage, TelemetryRecorder};
+
+/// Escapes a string for inclusion in a JSON document.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (shortest round-trip form; never
+/// `NaN`/`inf`, which JSON cannot carry — those become 0).
+#[must_use]
+pub fn json_num(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:?}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn write_hist<W: Write>(out: &mut W, run: &str, name: &str, hist: &Histogram) -> io::Result<()> {
+    writeln!(
+        out,
+        "{{\"type\":\"hist\",\"run\":\"{run}\",\"name\":\"{name}\",\"count\":{},\"sum\":{},\
+         \"min\":{},\"max\":{},\"mean\":{}}}",
+        hist.count(),
+        hist.sum(),
+        hist.min().unwrap_or(0),
+        hist.max().unwrap_or(0),
+        json_num(hist.mean()),
+    )?;
+    for (lo, hi, count) in hist.rows() {
+        writeln!(
+            out,
+            "{{\"type\":\"hist_bucket\",\"run\":\"{run}\",\"name\":\"{name}\",\
+             \"lo\":{lo},\"hi\":{hi},\"count\":{count}}}",
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes one run's telemetry as JSONL events. Multiple runs (a
+/// `compare` or `sweep` grid) concatenate into one file, distinguished
+/// by the `run` field on every event. Deterministic except for the
+/// trailing `profile` events (wall-clock).
+///
+/// # Errors
+///
+/// Returns I/O errors from the writer.
+pub fn write_jsonl<W: Write>(
+    out: &mut W,
+    run: &str,
+    recorder: &TelemetryRecorder,
+) -> io::Result<()> {
+    let run = json_escape(run);
+    writeln!(
+        out,
+        "{{\"type\":\"meta\",\"run\":\"{run}\",\"version\":1,\"sample_every\":{},\
+         \"energy_pj_per_flip\":{}}}",
+        recorder.config().sample_every,
+        json_num(recorder.config().energy_pj_per_flip),
+    )?;
+    for counter in Counter::ALL {
+        writeln!(
+            out,
+            "{{\"type\":\"counter\",\"run\":\"{run}\",\"name\":\"{}\",\"value\":{}}}",
+            counter.name(),
+            recorder.counter(counter),
+        )?;
+    }
+    for gauge in Gauge::ALL {
+        writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"run\":\"{run}\",\"name\":\"{}\",\"value\":{}}}",
+            gauge.name(),
+            json_num(recorder.gauge_value(gauge)),
+        )?;
+    }
+    write_hist(out, &run, "flips_per_write", recorder.flips_hist())?;
+    write_hist(out, &run, "slots_per_write", recorder.slots_hist())?;
+    write_hist(out, &run, "counter_residency", recorder.residency_hist())?;
+    for sample in recorder.samples() {
+        writeln!(
+            out,
+            "{{\"type\":\"sample\",\"run\":\"{run}\",\"writes\":{},\"sim_ns\":{},\
+             \"flips_per_write\":{},\"slots_per_write\":{},\"hit_ratio\":{},\"power_mw\":{}}}",
+            sample.writes,
+            json_num(sample.sim_ns),
+            json_num(sample.flips_per_write),
+            json_num(sample.slots_per_write),
+            json_num(sample.hit_ratio),
+            json_num(sample.power_mw),
+        )?;
+    }
+    for stage in Stage::ALL {
+        let hist = recorder.stage_hist(stage);
+        if hist.count() == 0 {
+            continue;
+        }
+        writeln!(
+            out,
+            "{{\"type\":\"profile\",\"run\":\"{run}\",\"stage\":\"{}\",\"events\":{},\
+             \"total_ns\":{},\"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+            stage.name(),
+            hist.count(),
+            hist.sum(),
+            json_num(hist.mean()),
+            hist.quantile(0.5).unwrap_or(0),
+            hist.quantile(0.99).unwrap_or(0),
+        )?;
+    }
+    Ok(())
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Writes the CSV summary header (`run,metric,value`).
+///
+/// # Errors
+///
+/// Returns I/O errors from the writer.
+pub fn write_csv_header<W: Write>(out: &mut W) -> io::Result<()> {
+    writeln!(out, "run,metric,value")
+}
+
+/// Writes one run's summary rows: every counter, every gauge, and the
+/// histogram means. Deterministic (wall-clock profiling is not
+/// summarized here).
+///
+/// # Errors
+///
+/// Returns I/O errors from the writer.
+pub fn write_csv<W: Write>(
+    out: &mut W,
+    run: &str,
+    recorder: &TelemetryRecorder,
+) -> io::Result<()> {
+    let run = csv_escape(run);
+    for counter in Counter::ALL {
+        writeln!(out, "{run},{},{}", counter.name(), recorder.counter(counter))?;
+    }
+    for gauge in Gauge::ALL {
+        writeln!(out, "{run},{},{}", gauge.name(), json_num(recorder.gauge_value(gauge)))?;
+    }
+    for (name, hist) in [
+        ("flips_per_write_mean", recorder.flips_hist()),
+        ("slots_per_write_mean", recorder.slots_hist()),
+        ("counter_residency_mean", recorder.residency_hist()),
+    ] {
+        writeln!(out, "{run},{name},{}", json_num(hist.mean()))?;
+    }
+    writeln!(out, "{run},series_samples,{}", recorder.samples().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Recorder, TelemetryConfig, WriteObservation};
+
+    fn sample_recorder() -> TelemetryRecorder {
+        let mut r = TelemetryRecorder::new(TelemetryConfig {
+            sample_every: 2,
+            energy_pj_per_flip: 13.5,
+        });
+        r.add(Counter::Writes, 4);
+        r.gauge(Gauge::ExecTimeNs, 1234.5);
+        r.stage_ns(Stage::Scheme, 90);
+        r.residency(8);
+        for i in 1..=4u64 {
+            r.write_observed(&WriteObservation {
+                sim_ns: 250.0 * i as f64,
+                flips: 60 + i,
+                slots: 2,
+                cache_hits: 3 * i,
+                cache_misses: i,
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn escaping_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn numbers_round_trip() {
+        assert_eq!(json_num(0.5), "0.5");
+        assert_eq!(json_num(500.0), "500.0");
+        assert_eq!(json_num(f64::NAN), "0");
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, "deuce", &sample_recorder()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"run\":\"deuce\""), "{line}");
+        }
+        assert!(text.contains("\"type\":\"meta\""));
+        assert!(text.contains("\"name\":\"writes\",\"value\":4"));
+        assert!(text.contains("\"type\":\"sample\""));
+        assert!(text.contains("\"type\":\"profile\""));
+    }
+
+    #[test]
+    fn csv_summary_has_counters_and_means() {
+        let mut buf = Vec::new();
+        write_csv_header(&mut buf).unwrap();
+        write_csv(&mut buf, "deuce", &sample_recorder()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("run,metric,value\n"));
+        assert!(text.contains("deuce,writes,4"));
+        assert!(text.contains("deuce,flips_per_write_mean,"));
+        assert!(text.contains("deuce,series_samples,2"));
+    }
+}

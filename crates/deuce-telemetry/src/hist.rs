@@ -1,0 +1,221 @@
+//! Log2-bucketed streaming histograms.
+//!
+//! A [`Histogram`] ingests `u64` samples one at a time in O(1) with no
+//! allocation after construction: sample `v` lands in bucket
+//! `⌊log2 v⌋ + 1` (bucket 0 holds the zeros), so 64 buckets cover the
+//! whole `u64` range. Count, sum, min, and max are tracked exactly;
+//! percentiles are answered from the bucket boundaries (within one
+//! power of two), which is all the run reports need.
+
+/// Number of buckets: one for zero plus one per bit position.
+pub const BUCKETS: usize = 65;
+
+/// A streaming histogram over `u64` samples with power-of-two buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The bucket index for a sample.
+#[must_use]
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The half-open value range `[lo, hi)` a bucket covers (`hi` saturates
+/// at `u64::MAX` for the top bucket).
+#[must_use]
+pub fn bucket_bounds(bucket: usize) -> (u64, u64) {
+    match bucket {
+        0 => (0, 1),
+        64 => (1 << 63, u64::MAX),
+        b => (1 << (b - 1), 1 << b),
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { counts: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Ingests one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Samples ingested.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Count in one bucket.
+    #[must_use]
+    pub fn bucket_count(&self, bucket: usize) -> u64 {
+        self.counts[bucket]
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` rows, in value order.
+    #[must_use]
+    pub fn rows(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| {
+                let (lo, hi) = bucket_bounds(b);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 ≤ q ≤ 1.0`), or `None` when empty. Accurate to the bucket
+    /// boundary, i.e. within a factor of two.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_bounds(b).1.min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_powers_land_in_their_buckets() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.bucket_count(0), 1, "zero bucket");
+        assert_eq!(h.bucket_count(1), 1, "[1,2)");
+        assert_eq!(h.bucket_count(2), 2, "[2,4)");
+        assert_eq!(h.bucket_count(11), 1, "[1024,2048)");
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1030);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1024));
+    }
+
+    #[test]
+    fn rows_report_bounds_in_order() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(6);
+        h.record(300);
+        assert_eq!(h.rows(), vec![(4, 8, 2), (256, 512, 1)]);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_accurate() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert!(h.quantile(0.5).unwrap() >= 50 / 2 && h.quantile(0.5).unwrap() <= 100);
+        assert_eq!(h.quantile(1.0), Some(100), "max caps the top bucket");
+        assert!(Histogram::new().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn merge_is_sum_of_parts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in [0u64, 3, 9, 12, 700] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [1u64, 9, 4096] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.bucket_count(64), 2);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates");
+        assert_eq!(bucket_bounds(64).1, u64::MAX);
+    }
+}

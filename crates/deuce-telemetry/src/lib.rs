@@ -1,0 +1,71 @@
+//! Zero-dependency structured instrumentation for the DEUCE stack.
+//!
+//! The paper's figures are averages, but DEUCE's behaviour is
+//! distributional: bit flips concentrate in some writes (Figs. 11/12),
+//! epoch effects move with the interval (Fig. 9), and pipeline cost is
+//! dominated by different stages under different configurations. This
+//! crate supplies the observability layer the rest of the workspace
+//! threads through its hot paths:
+//!
+//! - [`Recorder`] — the instrumentation sink trait. Code is generic
+//!   over `R: Recorder` and monomorphised; the [`NullRecorder`]
+//!   default has `ENABLED == false`, so the uninstrumented build
+//!   compiles to exactly the previous code and costs nothing.
+//! - [`TelemetryRecorder`] — the collecting sink: structured
+//!   [`Counter`]s and [`Gauge`]s, log2-bucketed streaming
+//!   [`Histogram`]s (flips/write, slots/write, counter-cache
+//!   residency, per-[`Stage`] wall time), and a windowed time-series
+//!   ([`SeriesSampler`]) keyed on *simulated* time, so exports are a
+//!   deterministic function of the run.
+//! - [`export`] — hand-rolled JSONL event and CSV summary writers
+//!   (convention: under `results/telemetry/`); [`parse`] reads the
+//!   JSONL back for `deuce report`.
+//! - [`SweepProgress`] — lock-free per-shard progress counters
+//!   aggregated into a live progress line for `ParallelSweep` grids.
+//!
+//! Determinism contract: everything exported derives from simulated
+//! quantities, except `profile` events (per-stage wall time), which are
+//! explicitly nondeterministic and must be skipped when diffing runs.
+//!
+//! ```
+//! use deuce_telemetry::{Counter, Recorder, TelemetryRecorder, WriteObservation};
+//!
+//! fn hot_loop<R: Recorder>(rec: &mut R) {
+//!     for i in 1..=128u64 {
+//!         if R::ENABLED {
+//!             rec.add(Counter::Writes, 1);
+//!             rec.write_observed(&WriteObservation {
+//!                 sim_ns: 150.0 * i as f64,
+//!                 flips: 60 + (i % 9),
+//!                 slots: 2,
+//!                 cache_hits: i,
+//!                 cache_misses: 0,
+//!             });
+//!         }
+//!     }
+//! }
+//!
+//! let mut telemetry = TelemetryRecorder::default();
+//! hot_loop(&mut telemetry); // collected
+//! hot_loop(&mut deuce_telemetry::NullRecorder); // compiles to the bare loop
+//! assert_eq!(telemetry.counter(Counter::Writes), 128);
+//! assert_eq!(telemetry.samples().len(), 2, "two 64-write windows");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+mod hist;
+pub mod parse;
+mod progress;
+mod recorder;
+mod series;
+
+pub use hist::{bucket_bounds, Histogram, BUCKETS};
+pub use progress::SweepProgress;
+pub use recorder::{
+    Counter, Gauge, NullRecorder, Recorder, Stage, TelemetryConfig, TelemetryRecorder,
+    WriteObservation,
+};
+pub use series::{Sample, SeriesSampler};

@@ -1,0 +1,135 @@
+//! Live progress aggregation for sharded sweeps.
+//!
+//! [`SweepProgress`] is a lock-free completion counter shared across
+//! sweep workers: each worker ticks its own per-shard counter, the
+//! aggregate drives a single live progress line on stderr (opt-in, so
+//! batch runs and tests stay silent). Progress reporting never touches
+//! the result path — a sweep with and without progress is bit-identical.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Aggregated per-shard progress counters for one sweep.
+#[derive(Debug)]
+pub struct SweepProgress {
+    label: String,
+    total: usize,
+    done: AtomicUsize,
+    per_shard: Vec<AtomicUsize>,
+    live: bool,
+}
+
+impl SweepProgress {
+    /// A progress tracker for `total` cells sharded `shards` ways.
+    #[must_use]
+    pub fn new(label: impl Into<String>, total: usize, shards: usize) -> Self {
+        Self {
+            label: label.into(),
+            total,
+            done: AtomicUsize::new(0),
+            per_shard: (0..shards.max(1)).map(|_| AtomicUsize::new(0)).collect(),
+            live: false,
+        }
+    }
+
+    /// Enables the live stderr progress line.
+    #[must_use]
+    pub fn live(mut self, enabled: bool) -> Self {
+        self.live = enabled;
+        self
+    }
+
+    /// Records one completed cell on `shard`, returning the aggregate
+    /// completion count. With live reporting on, redraws the progress
+    /// line.
+    pub fn tick(&self, shard: usize) -> usize {
+        self.per_shard[shard % self.per_shard.len()].fetch_add(1, Ordering::Relaxed);
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.live {
+            eprint!("\r{}", self.render());
+            if done == self.total {
+                eprintln!();
+            }
+        }
+        done
+    }
+
+    /// Cells completed so far, across all shards.
+    #[must_use]
+    pub fn done(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Cells completed by one shard.
+    #[must_use]
+    pub fn shard_done(&self, shard: usize) -> usize {
+        self.per_shard[shard % self.per_shard.len()].load(Ordering::Relaxed)
+    }
+
+    /// Total cells in the sweep.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Worker shards tracked.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// The current progress line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{}: {}/{} cells [{} shard{}]",
+            self.label,
+            self.done().min(self.total),
+            self.total,
+            self.shards(),
+            if self.shards() == 1 { "" } else { "s" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_aggregate_across_shards() {
+        let p = SweepProgress::new("sweep", 6, 3);
+        assert_eq!(p.tick(0), 1);
+        assert_eq!(p.tick(1), 2);
+        assert_eq!(p.tick(1), 3);
+        assert_eq!(p.tick(2), 4);
+        assert_eq!(p.done(), 4);
+        assert_eq!(p.shard_done(0), 1);
+        assert_eq!(p.shard_done(1), 2);
+        assert_eq!(p.render(), "sweep: 4/6 cells [3 shards]");
+    }
+
+    #[test]
+    fn parallel_ticks_are_lost_update_free() {
+        let p = SweepProgress::new("p", 400, 4);
+        std::thread::scope(|scope| {
+            for shard in 0..4 {
+                let p = &p;
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        p.tick(shard);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.done(), 400);
+        assert!((0..4).all(|s| p.shard_done(s) == 100));
+    }
+
+    #[test]
+    fn zero_shards_clamps() {
+        let p = SweepProgress::new("x", 1, 0);
+        assert_eq!(p.shards(), 1);
+        p.tick(5);
+        assert_eq!(p.done(), 1);
+    }
+}

@@ -1,0 +1,391 @@
+//! The [`Recorder`] trait, its zero-overhead [`NullRecorder`], and the
+//! collecting [`TelemetryRecorder`].
+//!
+//! Instrumented code is generic over `R: Recorder` and monomorphised,
+//! so with [`NullRecorder`] every hook compiles to nothing: the
+//! `ENABLED` associated constant is `false`, the guards around argument
+//! construction fold away, and the instrumented path is the
+//! uninstrumented code. [`TelemetryRecorder`] is the collecting
+//! implementation: structured counters, log2-bucketed histograms of
+//! flips/write, slots/write, counter-cache residency and per-stage
+//! wall-time, and a windowed time-series keyed on *simulated* time so
+//! its output is deterministic.
+
+use crate::hist::Histogram;
+use crate::series::{Sample, SeriesSampler};
+
+/// Structured event counters, one slot per named quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Line reads driven through the pipeline.
+    Reads,
+    /// Counted line writes (excludes first touches).
+    Writes,
+    /// Uncounted initial placements (first write to a line).
+    FirstTouches,
+    /// Data-bit flips across counted writes.
+    DataFlips,
+    /// Metadata-bit flips across counted writes.
+    MetaFlips,
+    /// Counter-storage bit flips across counted writes.
+    CounterFlips,
+    /// DEUCE epoch starts observed.
+    EpochStarts,
+    /// Write slots consumed across counted writes.
+    SlotsTotal,
+    /// Counter-stage accesses (stage 1 present).
+    CounterAccesses,
+    /// Counter-line fills (counter-cache misses).
+    CounterFills,
+    /// Dirty counter-line writebacks.
+    CounterWritebacks,
+}
+
+impl Counter {
+    /// Every counter, in export order.
+    pub const ALL: [Counter; 11] = [
+        Counter::Reads,
+        Counter::Writes,
+        Counter::FirstTouches,
+        Counter::DataFlips,
+        Counter::MetaFlips,
+        Counter::CounterFlips,
+        Counter::EpochStarts,
+        Counter::SlotsTotal,
+        Counter::CounterAccesses,
+        Counter::CounterFills,
+        Counter::CounterWritebacks,
+    ];
+
+    /// Stable export name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Reads => "reads",
+            Counter::Writes => "writes",
+            Counter::FirstTouches => "first_touches",
+            Counter::DataFlips => "data_flips",
+            Counter::MetaFlips => "meta_flips",
+            Counter::CounterFlips => "counter_flips",
+            Counter::EpochStarts => "epoch_starts",
+            Counter::SlotsTotal => "slots_total",
+            Counter::CounterAccesses => "counter_accesses",
+            Counter::CounterFills => "counter_fills",
+            Counter::CounterWritebacks => "counter_writebacks",
+        }
+    }
+}
+
+/// End-of-run scalar measurements (set once, not accumulated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gauge {
+    /// Simulated execution time in nanoseconds.
+    ExecTimeNs,
+    /// Total memory energy in picojoules.
+    EnergyPj,
+    /// Counter-cache hit ratio over the whole run.
+    HitRatio,
+    /// Metadata bits per line of the simulated scheme.
+    MetadataBits,
+}
+
+impl Gauge {
+    /// Every gauge, in export order.
+    pub const ALL: [Gauge; 4] =
+        [Gauge::ExecTimeNs, Gauge::EnergyPj, Gauge::HitRatio, Gauge::MetadataBits];
+
+    /// Stable export name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::ExecTimeNs => "exec_time_ns",
+            Gauge::EnergyPj => "energy_pj",
+            Gauge::HitRatio => "counter_cache_hit_ratio",
+            Gauge::MetadataBits => "metadata_bits",
+        }
+    }
+}
+
+/// The four stations of the memory-controller write pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Stage 1: counter availability (cache lookup + fills/writebacks).
+    Counter,
+    /// Stage 2: scheme encode and slot packing.
+    Scheme,
+    /// Stage 3: cell-wear recording.
+    Wear,
+    /// Stage 4: timing-model charging.
+    Timing,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 4] = [Stage::Counter, Stage::Scheme, Stage::Wear, Stage::Timing];
+
+    /// Stable export name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Counter => "counter",
+            Stage::Scheme => "scheme",
+            Stage::Wear => "wear",
+            Stage::Timing => "timing",
+        }
+    }
+}
+
+/// One counted write as the time-series sampler sees it: simulated
+/// time plus the write's own cost and the cumulative cache statistics
+/// (windows are computed from deltas).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteObservation {
+    /// Simulated time after the write, in nanoseconds.
+    pub sim_ns: f64,
+    /// Bit flips this write contributed to the figure of merit.
+    pub flips: u64,
+    /// Write slots this write occupied.
+    pub slots: u32,
+    /// Cumulative counter-cache hits (0 without a counter cache).
+    pub cache_hits: u64,
+    /// Cumulative counter-cache misses (0 without a counter cache).
+    pub cache_misses: u64,
+}
+
+/// An instrumentation sink. All hooks have empty default bodies, so a
+/// sink only overrides what it collects; `ENABLED == false` promises
+/// every hook is a no-op and lets call sites skip argument
+/// construction entirely.
+pub trait Recorder {
+    /// Whether this recorder observes anything. Instrumented code may
+    /// guard hook-argument construction on this constant.
+    const ENABLED: bool = true;
+
+    /// Adds `delta` to a structured counter.
+    fn add(&mut self, counter: Counter, delta: u64) {
+        let _ = (counter, delta);
+    }
+
+    /// Sets an end-of-run gauge.
+    fn gauge(&mut self, gauge: Gauge, value: f64) {
+        let _ = (gauge, value);
+    }
+
+    /// Records one pipeline stage's wall-clock cost for one request, in
+    /// nanoseconds. Wall time never feeds back into simulated results.
+    fn stage_ns(&mut self, stage: Stage, ns: u64) {
+        let _ = (stage, ns);
+    }
+
+    /// Records the counter cache's occupancy (lines resident) observed
+    /// at one access.
+    fn residency(&mut self, lines: u64) {
+        let _ = lines;
+    }
+
+    /// Feeds one counted write to the histograms and the time-series
+    /// sampler.
+    fn write_observed(&mut self, obs: &WriteObservation) {
+        let _ = obs;
+    }
+}
+
+/// The zero-overhead default: nothing is recorded, and with
+/// `ENABLED == false` monomorphised call sites compile the hooks away.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    const ENABLED: bool = false;
+}
+
+/// Configuration for [`TelemetryRecorder`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryConfig {
+    /// Counted writes per time-series window (a sample is emitted every
+    /// `sample_every` writes, keyed on simulated time).
+    pub sample_every: u64,
+    /// Picojoules per bit flip, used for the window power estimate
+    /// (`0.0` reports power as 0).
+    pub energy_pj_per_flip: f64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self { sample_every: 64, energy_pj_per_flip: 0.0 }
+    }
+}
+
+/// The collecting recorder: counters, gauges, histograms, per-stage
+/// wall-time, and the deterministic time-series.
+#[derive(Debug, Clone)]
+pub struct TelemetryRecorder {
+    config: TelemetryConfig,
+    counters: [u64; Counter::ALL.len()],
+    gauges: [f64; Gauge::ALL.len()],
+    flips_hist: Histogram,
+    slots_hist: Histogram,
+    residency_hist: Histogram,
+    stage_hists: [Histogram; Stage::ALL.len()],
+    series: SeriesSampler,
+}
+
+impl Default for TelemetryRecorder {
+    fn default() -> Self {
+        Self::new(TelemetryConfig::default())
+    }
+}
+
+impl TelemetryRecorder {
+    /// A fresh recorder.
+    #[must_use]
+    pub fn new(config: TelemetryConfig) -> Self {
+        Self {
+            config,
+            counters: [0; Counter::ALL.len()],
+            gauges: [0.0; Gauge::ALL.len()],
+            flips_hist: Histogram::new(),
+            slots_hist: Histogram::new(),
+            residency_hist: Histogram::new(),
+            stage_hists: std::array::from_fn(|_| Histogram::new()),
+            series: SeriesSampler::new(config.sample_every, config.energy_pj_per_flip),
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.config
+    }
+
+    /// Current value of a counter.
+    #[must_use]
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize]
+    }
+
+    /// Current value of a gauge (0 until set).
+    #[must_use]
+    pub fn gauge_value(&self, gauge: Gauge) -> f64 {
+        self.gauges[gauge as usize]
+    }
+
+    /// Histogram of figure-of-merit flips per counted write.
+    #[must_use]
+    pub fn flips_hist(&self) -> &Histogram {
+        &self.flips_hist
+    }
+
+    /// Histogram of write slots per counted write.
+    #[must_use]
+    pub fn slots_hist(&self) -> &Histogram {
+        &self.slots_hist
+    }
+
+    /// Histogram of counter-cache occupancy at access time.
+    #[must_use]
+    pub fn residency_hist(&self) -> &Histogram {
+        &self.residency_hist
+    }
+
+    /// Wall-time histogram (nanoseconds per request) of one stage.
+    #[must_use]
+    pub fn stage_hist(&self, stage: Stage) -> &Histogram {
+        &self.stage_hists[stage as usize]
+    }
+
+    /// Time-series samples collected so far.
+    #[must_use]
+    pub fn samples(&self) -> &[Sample] {
+        self.series.samples()
+    }
+}
+
+impl Recorder for TelemetryRecorder {
+    fn add(&mut self, counter: Counter, delta: u64) {
+        self.counters[counter as usize] += delta;
+    }
+
+    fn gauge(&mut self, gauge: Gauge, value: f64) {
+        self.gauges[gauge as usize] = value;
+    }
+
+    fn stage_ns(&mut self, stage: Stage, ns: u64) {
+        self.stage_hists[stage as usize].record(ns);
+    }
+
+    fn residency(&mut self, lines: u64) {
+        self.residency_hist.record(lines);
+    }
+
+    fn write_observed(&mut self, obs: &WriteObservation) {
+        self.flips_hist.record(obs.flips);
+        self.slots_hist.record(u64::from(obs.slots));
+        self.series.observe(obs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled_and_inert() {
+        const { assert!(!NullRecorder::ENABLED) };
+        let mut r = NullRecorder;
+        r.add(Counter::Writes, 3);
+        r.stage_ns(Stage::Scheme, 17);
+        r.write_observed(&WriteObservation {
+            sim_ns: 1.0,
+            flips: 2,
+            slots: 1,
+            cache_hits: 0,
+            cache_misses: 0,
+        });
+        assert_eq!(r, NullRecorder);
+    }
+
+    #[test]
+    fn telemetry_recorder_collects_everything() {
+        let mut r = TelemetryRecorder::new(TelemetryConfig {
+            sample_every: 2,
+            energy_pj_per_flip: 1.0,
+        });
+        const { assert!(TelemetryRecorder::ENABLED) };
+        r.add(Counter::Writes, 1);
+        r.add(Counter::Writes, 1);
+        r.gauge(Gauge::ExecTimeNs, 500.0);
+        r.stage_ns(Stage::Counter, 100);
+        r.residency(3);
+        for (i, flips) in [10u64, 30].into_iter().enumerate() {
+            r.write_observed(&WriteObservation {
+                sim_ns: 100.0 * (i + 1) as f64,
+                flips,
+                slots: 2,
+                cache_hits: i as u64,
+                cache_misses: 1,
+            });
+        }
+        assert_eq!(r.counter(Counter::Writes), 2);
+        assert!((r.gauge_value(Gauge::ExecTimeNs) - 500.0).abs() < 1e-12);
+        assert_eq!(r.flips_hist().count(), 2);
+        assert_eq!(r.slots_hist().sum(), 4);
+        assert_eq!(r.residency_hist().max(), Some(3));
+        assert_eq!(r.stage_hist(Stage::Counter).count(), 1);
+        assert_eq!(r.samples().len(), 1, "one full window of 2 writes");
+        let s = &r.samples()[0];
+        assert_eq!(s.writes, 2);
+        assert!((s.flips_per_write - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.extend(Gauge::ALL.iter().map(|g| g.name()));
+        names.extend(Stage::ALL.iter().map(|s| s.name()));
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len(), "no duplicate export names");
+    }
+}

@@ -17,4 +17,22 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy -q --offline --workspace --all-targets -- -D warnings"
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --offline --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --no-deps --workspace
+
+echo "==> telemetry smoke test (deterministic report vs golden)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+DEUCE=target/release/deuce
+"$DEUCE" gen --benchmark libq --writes 2000 --lines 64 --seed 42 \
+    -o "$SMOKE_DIR/smoke.trace" > /dev/null
+"$DEUCE" run --trace "$SMOKE_DIR/smoke.trace" --scheme deuce \
+    --telemetry "$SMOKE_DIR/smoke.jsonl" --sample-every 256 > /dev/null
+"$DEUCE" report "$SMOKE_DIR/smoke.jsonl" > "$SMOKE_DIR/smoke.report"
+# Everything above the profiling section is deterministic; wall-clock
+# stage timings below it are not.
+awk '/^== profiling/{exit} {print}' "$SMOKE_DIR/smoke.report" \
+    > "$SMOKE_DIR/smoke.report.stable"
+diff -u results/telemetry/golden_smoke_report.txt "$SMOKE_DIR/smoke.report.stable"
+
 echo "==> tier-1 OK"

@@ -32,6 +32,9 @@
 //!   combining encryption, write reduction, and integrity.
 //! - [`cache`] — the L1–L4 write-back cache hierarchy that turns
 //!   load/store streams into the writeback traffic PCM actually sees.
+//! - [`telemetry`] — zero-dependency structured instrumentation:
+//!   recorders, streaming histograms, time series, and JSONL/CSV export
+//!   (a no-op unless a [`telemetry::TelemetryRecorder`] is attached).
 //!
 //! ## Quickstart
 //!
@@ -64,5 +67,6 @@ pub use deuce_nvm as nvm;
 pub use deuce_rng as rng;
 pub use deuce_schemes as schemes;
 pub use deuce_sim as sim;
+pub use deuce_telemetry as telemetry;
 pub use deuce_trace as trace;
 pub use deuce_wear as wear;
