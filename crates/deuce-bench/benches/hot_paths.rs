@@ -6,7 +6,7 @@ use deuce_bench::harness::{black_box, Harness, Throughput};
 use deuce_aes::Aes128;
 use deuce_crypto::{EpochInterval, LineAddr, OtpEngine, SecretKey};
 use deuce_nvm::{write_slots, LineImage, MetaBits, SlotConfig};
-use deuce_schemes::{fnw_encode, DeuceLine, SchemeConfig, SchemeKind, SchemeLine, WordSize};
+use deuce_schemes::{fnw_encode, DeuceLine, DeuceScheme, SchemeConfig, SchemeKind, SchemeLine, WordSize};
 use deuce_sim::{SimConfig, Simulator};
 use deuce_telemetry::{NullRecorder, TelemetryRecorder};
 use deuce_trace::{Benchmark, TraceConfig};
@@ -164,6 +164,29 @@ fn bench_telemetry_overhead(c: &mut Harness) {
     group.finish();
 }
 
+/// The monomorphised `Simulator<DeuceScheme>` hot loop against the
+/// runtime-dispatched `AnyScheme` default; both drive the identical
+/// trace (and produce bit-identical results, per the parity tests).
+fn bench_simulator_dispatch(c: &mut Harness) {
+    let trace = TraceConfig::new(Benchmark::Mcf).lines(64).writes(2_000).seed(9).generate();
+    let mut group = c.benchmark_group("simulator_dispatch");
+    group.throughput(Throughput::Elements(2_000));
+    group.bench_function("dyn_any_scheme", |b| {
+        let sim = Simulator::new(SimConfig::with_scheme(SchemeConfig::new(SchemeKind::Deuce)));
+        b.iter(|| sim.run_trace(black_box(&trace)));
+    });
+    group.bench_function("monomorphised_deuce", |b| {
+        let config = SimConfig::with_scheme(SchemeConfig::new(SchemeKind::Deuce));
+        let s = config.scheme;
+        let sim = Simulator::with_line_scheme(
+            config,
+            DeuceScheme::new(s.word_size, s.epoch, s.counter_bits),
+        );
+        b.iter(|| sim.run_trace(black_box(&trace)));
+    });
+    group.finish();
+}
+
 fn main() {
     let mut harness = Harness::from_env();
     bench_aes_block(&mut harness);
@@ -175,4 +198,5 @@ fn main() {
     bench_trace_generation(&mut harness);
     bench_start_gap(&mut harness);
     bench_telemetry_overhead(&mut harness);
+    bench_simulator_dispatch(&mut harness);
 }

@@ -10,6 +10,11 @@
 //! Output is TSV (`group/name  ns_per_iter  throughput`) so runs can be
 //! diffed, and a substring filter can be passed as the first CLI
 //! argument, mirroring `cargo bench -- <filter>`.
+//!
+//! Setting `DEUCE_BENCH_SMOKE` in the environment switches every
+//! benchmark to smoke mode: the measured closure runs exactly once,
+//! untimed, so CI can cheaply verify the bench binaries still build and
+//! execute without paying for calibration.
 
 pub use std::hint::black_box;
 
@@ -43,11 +48,18 @@ impl BenchmarkId {
 /// Passed to the measurement closure; call [`Bencher::iter`] exactly once.
 pub struct Bencher {
     ns_per_iter: f64,
+    smoke: bool,
 }
 
 impl Bencher {
-    /// Times `f`, storing the calibrated nanoseconds per iteration.
+    /// Times `f`, storing the calibrated nanoseconds per iteration. In
+    /// smoke mode (`DEUCE_BENCH_SMOKE`), runs `f` once and records no
+    /// timing.
     pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        if self.smoke {
+            black_box(f());
+            return;
+        }
         // Warm-up: populate caches, trigger lazy init.
         for _ in 0..3 {
             black_box(f());
@@ -82,6 +94,7 @@ impl Bencher {
 pub struct Harness {
     filter: Option<String>,
     header_printed: bool,
+    smoke: bool,
 }
 
 impl Default for Harness {
@@ -97,7 +110,8 @@ impl Harness {
     #[must_use]
     pub fn from_env() -> Self {
         let filter = std::env::args().skip(1).find(|a| !a.starts_with("--"));
-        Self { filter, header_printed: false }
+        let smoke = std::env::var_os("DEUCE_BENCH_SMOKE").is_some();
+        Self { filter, header_printed: false, smoke }
     }
 
     /// Opens a named group of related benchmarks.
@@ -120,8 +134,12 @@ impl Harness {
             println!("benchmark\tns_per_iter\tthroughput");
             self.header_printed = true;
         }
-        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        let mut bencher = Bencher { ns_per_iter: 0.0, smoke: self.smoke };
         f(&mut bencher);
+        if self.smoke {
+            println!("{name}\tsmoke\t-");
+            return;
+        }
         let ns = bencher.ns_per_iter;
         let rate = match throughput {
             Some(Throughput::Bytes(bytes)) => {
@@ -178,9 +196,18 @@ mod tests {
 
     #[test]
     fn bencher_measures_something() {
-        let mut b = Bencher { ns_per_iter: 0.0 };
+        let mut b = Bencher { ns_per_iter: 0.0, smoke: false };
         b.iter(|| black_box(1u64).wrapping_mul(3));
         assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once_without_timing() {
+        let mut b = Bencher { ns_per_iter: 0.0, smoke: true };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1, "smoke mode runs the closure exactly once");
+        assert_eq!(b.ns_per_iter, 0.0, "smoke mode records no timing");
     }
 
     #[test]

@@ -286,6 +286,7 @@ fn summary_from_events(events: &[Event], run: &str) -> RunSummary {
         energy_uj: energy_pj / 1e6,
         power_mw: if exec_time_ns == 0.0 { 0.0 } else { energy_pj / exec_time_ns },
         metadata_bits: Some(event_gauge(events, run, "metadata_bits") as u64),
+        line_store_bytes: Some(event_gauge(events, run, "line_store_bytes") as u64),
     }
 }
 

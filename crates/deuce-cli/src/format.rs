@@ -34,6 +34,8 @@ pub struct RunSummary {
     pub power_mw: f64,
     /// Metadata bits per line, when known.
     pub metadata_bits: Option<u64>,
+    /// Resident bytes of the line-store arena at end of run, when known.
+    pub line_store_bytes: Option<u64>,
 }
 
 impl From<&SimResult> for RunSummary {
@@ -48,6 +50,7 @@ impl From<&SimResult> for RunSummary {
             energy_uj: result.energy_pj() / 1e6,
             power_mw: result.power_mw(),
             metadata_bits: Some(u64::from(result.metadata_bits)),
+            line_store_bytes: Some(result.line_store_bytes),
         }
     }
 }
@@ -70,6 +73,9 @@ impl RunSummary {
         writeln!(out, "power_mw\t{:.1}", self.power_mw)?;
         if let Some(bits) = self.metadata_bits {
             writeln!(out, "metadata_bits_per_line\t{bits}")?;
+        }
+        if let Some(bytes) = self.line_store_bytes {
+            writeln!(out, "line_store_bytes\t{bytes}")?;
         }
         Ok(())
     }
@@ -101,6 +107,7 @@ mod tests {
             energy_uj: 0.33,
             power_mw: 33.0,
             metadata_bits: Some(32),
+            line_store_bytes: Some(9216),
         }
     }
 
@@ -113,11 +120,15 @@ mod tests {
         assert!(text.contains("flip_rate\t25.4%"));
         assert!(text.contains("slots_per_write\t2.64"));
         assert!(text.contains("metadata_bits_per_line\t32"));
+        assert!(text.contains("line_store_bytes\t9216"));
         let mut without = sample();
         without.metadata_bits = None;
+        without.line_store_bytes = None;
         let mut out = Vec::new();
         without.write_to(&mut out).unwrap();
-        assert!(!String::from_utf8(out).unwrap().contains("metadata_bits"));
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.contains("metadata_bits"));
+        assert!(!text.contains("line_store_bytes"));
     }
 
     #[test]

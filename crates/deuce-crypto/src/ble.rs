@@ -48,6 +48,28 @@ impl BlockCounters {
         }
     }
 
+    /// Reconstructs block counters from raw per-block values (used by
+    /// arena-backed line stores that keep the values inline and the width
+    /// in the shared scheme parameters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_bits` is 0 or greater than 48, or any value
+    /// doesn't fit in `width_bits`.
+    #[must_use]
+    pub fn from_values(values: [u64; BLOCKS_PER_LINE], width_bits: u32) -> Self {
+        assert!(
+            (1..=48).contains(&width_bits),
+            "counter width {width_bits} out of range 1..=48"
+        );
+        let mask = (1u64 << width_bits) - 1;
+        assert!(
+            values.iter().all(|&v| v <= mask),
+            "counter value exceeds {width_bits}-bit width"
+        );
+        Self { values, width_bits }
+    }
+
     /// Counter value for a block.
     ///
     /// # Panics

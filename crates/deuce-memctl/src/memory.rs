@@ -3,7 +3,7 @@
 use deuce_crypto::{LineAddr, OtpEngine, SecretKey, LINE_BYTES};
 use deuce_integrity::{CounterTree, LineMac};
 use deuce_nvm::{write_slots, SlotConfig};
-use deuce_schemes::{SchemeConfig, SchemeLine};
+use deuce_schemes::{AnyScheme, LineStore, SchemeConfig};
 
 /// Errors from [`SecureMemory`] operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,7 +66,10 @@ pub struct MemoryStats {
 pub struct SecureMemory {
     engine: OtpEngine,
     scheme: SchemeConfig,
-    lines: Vec<SchemeLine>,
+    /// Arena-backed line storage, materialised lazily: an untouched line
+    /// logically holds encrypted zeroes but costs no storage.
+    store: LineStore<AnyScheme>,
+    line_count: usize,
     counters: Vec<u64>,
     integrity: Option<Integrity>,
     stats: MemoryStats,
@@ -77,7 +80,8 @@ pub struct SecureMemory {
 struct Integrity {
     tree: CounterTree,
     mac: LineMac,
-    tags: Vec<deuce_integrity::Digest>,
+    /// Per-line MAC tags, sealed lazily when a line first materialises.
+    tags: Vec<Option<deuce_integrity::Digest>>,
 }
 
 impl SecureMemory {
@@ -90,24 +94,18 @@ impl SecureMemory {
         let line_count = size_bytes.div_ceil(LINE_BYTES);
         let key = SecretKey::from_seed(key_seed);
         let engine = OtpEngine::new(&key);
-        let lines: Vec<SchemeLine> = (0..line_count)
-            .map(|i| SchemeLine::new(&scheme, &engine, LineAddr::new(i as u64), &[0u8; LINE_BYTES]))
-            .collect();
+        let store = LineStore::new(AnyScheme::from_config(&scheme));
         let integrity = integrity.then(|| {
             // Domain-separate the integrity keys from the pad key.
             let mac = LineMac::new(*SecretKey::from_seed(key_seed ^ 0x004D_4143).as_bytes());
             let tree = CounterTree::new(line_count, *SecretKey::from_seed(key_seed ^ 1).as_bytes());
-            let tags = lines
-                .iter()
-                .enumerate()
-                .map(|(i, line)| mac.tag(LineAddr::new(i as u64), 0, line.image().data()))
-                .collect();
-            Integrity { tree, mac, tags }
+            Integrity { tree, mac, tags: vec![None; line_count] }
         });
         Self {
             engine,
             scheme,
-            lines,
+            store,
+            line_count,
             counters: vec![0; line_count],
             integrity,
             stats: MemoryStats::default(),
@@ -118,7 +116,14 @@ impl SecureMemory {
     /// Memory capacity in bytes (whole lines).
     #[must_use]
     pub fn size_bytes(&self) -> usize {
-        self.lines.len() * LINE_BYTES
+        self.line_count * LINE_BYTES
+    }
+
+    /// Lines materialised so far (touched by a write, or verified under
+    /// integrity). Untouched lines cost no line storage.
+    #[must_use]
+    pub fn resident_lines(&self) -> usize {
+        self.store.len()
     }
 
     /// Cumulative device statistics.
@@ -145,22 +150,39 @@ impl SecureMemory {
         }
     }
 
-    fn verify_line(&mut self, line: usize) -> Result<(), MemoryError> {
+    /// Materialises `line` (zero-filled, encrypted per the scheme) and,
+    /// with integrity enabled, seals its initial-placement tag — exactly
+    /// the state an eager construction would have produced for it.
+    fn materialize_line(&mut self, line: usize) {
+        let addr = LineAddr::new(line as u64);
+        if !self.store.contains(addr) {
+            let _ = self.store.materialize(&self.engine, addr, &[0u8; LINE_BYTES]);
+        }
         if let Some(integrity) = &mut self.integrity {
-            self.stats.integrity_checks += 1;
-            integrity
-                .tree
-                .verify(line, self.counters[line])
-                .map_err(|_| MemoryError::IntegrityViolation { line })?;
-            let image = self.lines[line].image();
-            if !integrity.mac.check(
-                LineAddr::new(line as u64),
-                self.counters[line],
-                image.data(),
-                &integrity.tags[line],
-            ) {
-                return Err(MemoryError::IntegrityViolation { line });
+            if integrity.tags[line].is_none() {
+                let image = self.store.image(addr).expect("line just materialised");
+                integrity.tags[line] = Some(integrity.mac.tag(addr, 0, image.data()));
             }
+        }
+    }
+
+    fn verify_line(&mut self, line: usize) -> Result<(), MemoryError> {
+        if self.integrity.is_none() {
+            return Ok(());
+        }
+        self.materialize_line(line);
+        self.stats.integrity_checks += 1;
+        let addr = LineAddr::new(line as u64);
+        let image = self.store.image(addr).expect("verified lines are materialised");
+        let counter = self.counters[line];
+        let integrity = self.integrity.as_mut().expect("checked above");
+        integrity
+            .tree
+            .verify(line, counter)
+            .map_err(|_| MemoryError::IntegrityViolation { line })?;
+        let tag = integrity.tags[line].as_ref().expect("materialised lines carry a tag");
+        if !integrity.mac.check(addr, counter, image.data(), tag) {
+            return Err(MemoryError::IntegrityViolation { line });
         }
         Ok(())
     }
@@ -168,11 +190,17 @@ impl SecureMemory {
     fn read_line(&mut self, line: usize) -> Result<[u8; LINE_BYTES], MemoryError> {
         self.verify_line(line)?;
         self.stats.line_reads += 1;
-        Ok(self.lines[line].read(&self.engine))
+        // An untouched line logically holds zeroes; reading it does not
+        // materialise storage (unless integrity verification already did).
+        Ok(self
+            .store
+            .read(&self.engine, LineAddr::new(line as u64))
+            .unwrap_or([0u8; LINE_BYTES]))
     }
 
     fn write_line(&mut self, line: usize, data: &[u8; LINE_BYTES]) {
-        let outcome = self.lines[line].write(&self.engine, data);
+        let addr = LineAddr::new(line as u64);
+        let outcome = self.store.write(&self.engine, addr, data);
         self.counters[line] += 1;
         self.stats.line_writes += 1;
         self.stats.bit_flips += u64::from(outcome.flips.total());
@@ -180,11 +208,9 @@ impl SecureMemory {
             u64::from(write_slots(&outcome.old_image, &outcome.new_image, self.slot_config));
         if let Some(integrity) = &mut self.integrity {
             integrity.tree.update(line, self.counters[line]);
-            integrity.tags[line] = integrity.mac.tag(
-                LineAddr::new(line as u64),
-                self.counters[line],
-                self.lines[line].image().data(),
-            );
+            let image = self.store.image(addr).expect("written lines are materialised");
+            integrity.tags[line] =
+                Some(integrity.mac.tag(addr, self.counters[line], image.data()));
         }
     }
 
@@ -364,6 +390,39 @@ mod tests {
         // Integrity still guards the persisted state.
         rebooted.tamper_counter(1, 0);
         assert!(rebooted.read(64, &mut buf).is_err());
+    }
+
+    /// Regression test for the eager-construction startup cost: building
+    /// a memory must not materialise any line, and plain reads of
+    /// untouched lines must stay free.
+    #[test]
+    fn construction_is_lazy() {
+        let mut memory = MemoryBuilder::new(1 << 20).key_seed(6).build();
+        assert_eq!(memory.resident_lines(), 0, "no lines materialised at startup");
+        let mut buf = [0u8; 8];
+        memory.read(4096, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8], "untouched lines read as zeroes");
+        assert_eq!(memory.resident_lines(), 0, "reads without integrity stay lazy");
+        memory.write(0, &[1u8; 8]).unwrap();
+        assert_eq!(memory.resident_lines(), 1, "one write materialises one line");
+    }
+
+    /// With integrity enabled, verification seals the untouched line's
+    /// initial-placement tag lazily — and still rejects tampering.
+    #[test]
+    fn lazy_integrity_tags_still_verify() {
+        let mut memory = MemoryBuilder::new(1024).integrity(true).key_seed(7).build();
+        assert_eq!(memory.resident_lines(), 0);
+        let mut buf = [0u8; 4];
+        memory.read(128, &mut buf).unwrap(); // verifies an untouched line
+        assert_eq!(buf, [0u8; 4]);
+        assert_eq!(memory.resident_lines(), 1, "verification materialises the line");
+
+        memory.tamper_counter(5, 99);
+        assert_eq!(
+            memory.read(5 * 64, &mut buf),
+            Err(MemoryError::IntegrityViolation { line: 5 })
+        );
     }
 
     #[test]

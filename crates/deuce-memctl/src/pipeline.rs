@@ -103,6 +103,12 @@ pub trait SchemeStage {
     /// line as it enters memory, §3.1, and is not counted), and the
     /// write outcome — images and flip accounting — afterwards.
     fn write(&mut self, line: LineAddr, data: &[u8; 64]) -> Option<WriteOutcome>;
+
+    /// Resident bytes of the stage's line storage (telemetry only;
+    /// stages without an arena report 0).
+    fn resident_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// Stage 3: records cell-level wear for a completed write.

@@ -87,9 +87,15 @@ impl CellArray {
             "image size does not match cell array"
         );
         let base = line * self.bits_per_line as usize;
-        for bit in old.changed_bits(new) {
-            let physical = (bit + rotation) % self.bits_per_line;
-            self.counts[base + physical as usize] += 1;
+        // Word-level XOR: untouched 64-bit words are skipped entirely;
+        // only set bits of changed words are walked.
+        for (word_base, mut word) in old.changed_words(new) {
+            while word != 0 {
+                let bit = word_base + word.trailing_zeros();
+                word &= word - 1;
+                let physical = (bit + rotation) % self.bits_per_line;
+                self.counts[base + physical as usize] += 1;
+            }
         }
         self.writes += 1;
     }
@@ -242,6 +248,40 @@ mod tests {
         assert_eq!(s.line_writes, 2);
         assert!(s.max_over_avg() > 1.0);
         assert!((s.lifetime_metric() - 1.0).abs() < f64::EPSILON);
+    }
+
+    /// Differential check: the word-level XOR path must count exactly
+    /// the cells the bit-at-a-time `changed_bits` loop would, under
+    /// every rotation.
+    #[test]
+    fn word_level_path_matches_bit_loop() {
+        let mut lcg = 0x0dd_b1a5_ed00_d5eeu64;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            lcg
+        };
+        for rotation in [0u32, 1, 13, 543] {
+            let mut cells = CellArray::new(1, 544);
+            let mut reference = vec![0u64; 544];
+            let mut old = LineImage::zeroed(32);
+            for _ in 0..10 {
+                let mut new = LineImage::zeroed(32);
+                for b in new.data_mut().iter_mut() {
+                    *b = next() as u8;
+                }
+                *new.meta_mut() = crate::MetaBits::from_raw(next() & 0xFFFF_FFFF, 32);
+                for bit in old.changed_bits(&new) {
+                    reference[((bit + rotation) % 544) as usize] += 1;
+                }
+                cells.record_write(0, &old, &new, rotation);
+                old = new;
+            }
+            for (bit, &want) in reference.iter().enumerate() {
+                assert_eq!(cells.count(0, bit as u32), want, "rotation {rotation} bit {bit}");
+            }
+        }
     }
 
     #[test]

@@ -257,6 +257,33 @@ impl LineImage {
     pub fn changed_bits<'a>(&'a self, new: &'a Self) -> impl Iterator<Item = u32> + 'a {
         (0..self.total_bits()).filter(move |&i| self.bit(i) != new.bit(i))
     }
+
+    /// The same changed positions as [`changed_bits`](Self::changed_bits),
+    /// but a whole 64-bit word at a time: each item is `(base, word)`
+    /// where bit `i` of `word` is set iff linear position `base + i`
+    /// differs. Words with no change are skipped, so consumers touch only
+    /// the XOR words that matter; the final item covers the metadata
+    /// bits. Bit-for-bit equivalence with the bit-at-a-time iterator is
+    /// asserted by a differential test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if metadata widths differ.
+    pub fn changed_words<'a>(&'a self, new: &'a Self) -> impl Iterator<Item = (u32, u64)> + 'a {
+        assert_eq!(self.meta.width, new.meta.width, "metadata width mismatch");
+        let data = self
+            .data
+            .chunks_exact(8)
+            .zip(new.data.chunks_exact(8))
+            .enumerate()
+            .map(|(i, (a, b))| {
+                let a = u64::from_le_bytes(a.try_into().expect("8-byte chunk"));
+                let b = u64::from_le_bytes(b.try_into().expect("8-byte chunk"));
+                (i as u32 * 64, a ^ b)
+            });
+        let meta = core::iter::once((LINE_BITS as u32, self.meta.bits ^ new.meta.bits));
+        data.chain(meta).filter(|&(_, word)| word != 0)
+    }
 }
 
 #[cfg(test)]
@@ -352,5 +379,43 @@ mod tests {
         let changed: Vec<u32> = old.changed_bits(&new).collect();
         assert_eq!(changed, vec![0, 1, 512 + 4]);
         assert_eq!(changed.len() as u32, old.flips_to(&new).total());
+    }
+
+    /// Differential check: expanding `changed_words` bit by bit must
+    /// yield exactly the `changed_bits` sequence.
+    #[test]
+    fn changed_words_match_changed_bits() {
+        let mut lcg = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            lcg
+        };
+        for width in [0u32, 1, 32, 33, 64] {
+            for _ in 0..8 {
+                let mut old = LineImage::zeroed(width);
+                let mut new = old;
+                for b in old.data_mut().iter_mut() {
+                    *b = next() as u8;
+                }
+                for b in new.data_mut().iter_mut() {
+                    *b = next() as u8;
+                }
+                let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+                *old.meta_mut() = MetaBits::from_raw(next() & mask, width);
+                *new.meta_mut() = MetaBits::from_raw(next() & mask, width);
+
+                let mut expanded = Vec::new();
+                for (base, mut word) in old.changed_words(&new) {
+                    while word != 0 {
+                        expanded.push(base + word.trailing_zeros());
+                        word &= word - 1;
+                    }
+                }
+                let reference: Vec<u32> = old.changed_bits(&new).collect();
+                assert_eq!(expanded, reference, "width {width}");
+            }
+        }
     }
 }

@@ -57,13 +57,26 @@ pub fn region_flips(old: &LineImage, new: &LineImage, cfg: SlotConfig) -> Vec<u3
     let regions = cfg.regions_for(data_bits);
     let meta_bits = old.total_bits() - data_bits;
     let mut flips = vec![0u32; regions as usize];
-    for bit in old.changed_bits(new) {
-        let region = if bit < data_bits {
-            bit / cfg.region_bits
+    for (word_base, mut word) in old.changed_words(new) {
+        let last_bit = word_base + 63;
+        if last_bit < data_bits && word_base / cfg.region_bits == last_bit / cfg.region_bits {
+            // The whole XOR word falls inside one data region: a single
+            // popcount covers all 64 bits.
+            flips[(word_base / cfg.region_bits) as usize] += word.count_ones();
         } else {
-            (bit - data_bits) * regions / meta_bits.max(1)
-        };
-        flips[region.min(regions - 1) as usize] += 1;
+            // Word straddles a region boundary, or holds metadata bits
+            // (each charged to the region of the word it describes).
+            while word != 0 {
+                let bit = word_base + word.trailing_zeros();
+                word &= word - 1;
+                let region = if bit < data_bits {
+                    bit / cfg.region_bits
+                } else {
+                    (bit - data_bits) * regions / meta_bits.max(1)
+                };
+                flips[region.min(regions - 1) as usize] += 1;
+            }
+        }
     }
     flips
 }
@@ -160,6 +173,51 @@ mod tests {
         assert_eq!(flips.len(), 4);
         assert_eq!(flips[0], 1);
         assert_eq!(flips[3], 1);
+    }
+
+    /// Differential check: region flips from the word-level path must
+    /// equal a bit-at-a-time reference — including for a region width
+    /// that does not align to 64-bit word boundaries.
+    #[test]
+    fn region_flips_match_bit_loop_reference() {
+        let mut lcg = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            lcg
+        };
+        let configs = [
+            SlotConfig::PAPER,
+            SlotConfig { region_bits: 96, flips_per_slot: 48 }, // straddles words
+        ];
+        for cfg in configs {
+            let data_bits = deuce_crypto::LINE_BITS as u32;
+            let regions = cfg.regions_for(data_bits);
+            for _ in 0..20 {
+                let mut old = LineImage::new([0u8; 64], MetaBits::new(32));
+                let mut new = old;
+                for b in old.data_mut().iter_mut() {
+                    *b = next() as u8;
+                }
+                for b in new.data_mut().iter_mut() {
+                    *b = next() as u8;
+                }
+                *old.meta_mut() = MetaBits::from_raw(next() & 0xFFFF_FFFF, 32);
+                *new.meta_mut() = MetaBits::from_raw(next() & 0xFFFF_FFFF, 32);
+
+                let mut want = vec![0u32; regions as usize];
+                for bit in old.changed_bits(&new) {
+                    let region = if bit < data_bits {
+                        bit / cfg.region_bits
+                    } else {
+                        (bit - data_bits) * regions / 32
+                    };
+                    want[region.min(regions - 1) as usize] += 1;
+                }
+                assert_eq!(region_flips(&old, &new, cfg), want, "region_bits {}", cfg.region_bits);
+            }
+        }
     }
 
     #[test]

@@ -16,51 +16,69 @@
 use deuce_crypto::{LineAddr, LineBytes, OtpEngine};
 use deuce_nvm::{LineImage, MetaBits};
 
+use crate::scheme::{LineMut, LineRef, LineScheme, SchemeCell};
 use crate::WriteOutcome;
+
+/// The fixed counter value used for pad derivation (there is no stored
+/// counter).
+const PAD_EPOCH: u64 = 0;
+
+/// Counterless encryption with a per-line, address-derived pad. Per-line
+/// state: none (the pad never changes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AddrPadScheme;
+
+impl LineScheme for AddrPadScheme {
+    type State = ();
+
+    fn needs_shadow(&self) -> bool {
+        false
+    }
+
+    fn metadata_bits(&self) -> u32 {
+        0
+    }
+
+    fn init(&self, engine: &OtpEngine, addr: LineAddr, initial: &LineBytes) -> (LineBytes, ()) {
+        (engine.line_pad(addr, PAD_EPOCH).xor(initial), ())
+    }
+
+    fn write(
+        &self,
+        engine: &OtpEngine,
+        addr: LineAddr,
+        line: LineMut<'_, ()>,
+        data: &LineBytes,
+    ) -> WriteOutcome {
+        let old_image = LineImage::new(*line.stored, MetaBits::new(0));
+        *line.stored = engine.line_pad(addr, PAD_EPOCH).xor(data);
+        WriteOutcome::from_images(
+            old_image,
+            LineImage::new(*line.stored, MetaBits::new(0)),
+            0,
+            false,
+        )
+    }
+
+    fn read(&self, engine: &OtpEngine, addr: LineAddr, line: LineRef<'_, ()>) -> LineBytes {
+        engine.line_pad(addr, PAD_EPOCH).xor(line.stored)
+    }
+
+    fn image(&self, line: LineRef<'_, ()>) -> LineImage {
+        LineImage::new(*line.stored, MetaBits::new(0))
+    }
+}
 
 /// One memory line encrypted with a per-line, address-derived pad
 /// (counterless).
-#[derive(Debug, Clone)]
-pub struct AddrPadLine {
-    stored: LineBytes,
-    addr: LineAddr,
-}
+pub type AddrPadLine = SchemeCell<AddrPadScheme>;
 
 impl AddrPadLine {
-    /// The fixed counter value used for pad derivation (there is no
-    /// stored counter).
-    const PAD_EPOCH: u64 = 0;
-
     /// Initializes the line with `initial` encrypted under the address
     /// pad.
     #[must_use]
     pub fn new(engine: &OtpEngine, addr: LineAddr, initial: &LineBytes) -> Self {
-        Self {
-            stored: engine.line_pad(addr, Self::PAD_EPOCH).xor(initial),
-            addr,
-        }
-    }
-
-    /// Writes new data: re-encrypt with the same pad, so only the bits
-    /// that changed in the plaintext change in the ciphertext (DCW-level
-    /// flips).
-    #[must_use]
-    pub fn write(&mut self, engine: &OtpEngine, data: &LineBytes) -> WriteOutcome {
-        let old_image = self.image();
-        self.stored = engine.line_pad(self.addr, Self::PAD_EPOCH).xor(data);
-        WriteOutcome::from_images(old_image, self.image(), 0, false)
-    }
-
-    /// Reads and decrypts the line.
-    #[must_use]
-    pub fn read(&self, engine: &OtpEngine) -> LineBytes {
-        engine.line_pad(self.addr, Self::PAD_EPOCH).xor(&self.stored)
-    }
-
-    /// The current stored image (no metadata).
-    #[must_use]
-    pub fn image(&self) -> LineImage {
-        LineImage::new(self.stored, MetaBits::new(0))
+        Self::with_scheme(AddrPadScheme, engine, addr, initial)
     }
 }
 

@@ -15,109 +15,310 @@ use deuce_crypto::{
 use deuce_nvm::{LineImage, MetaBits};
 
 use crate::config::WordSize;
+use crate::core::assert_counter_width;
+use crate::scheme::{LineMut, LineRef, LineScheme, SchemeCell};
 use crate::WriteOutcome;
 
 fn block_range(block: usize) -> core::ops::Range<usize> {
     block * BLOCK_BYTES..(block + 1) * BLOCK_BYTES
 }
 
-/// One memory line under Block-Level Encryption.
-#[derive(Debug, Clone)]
-pub struct BleLine {
-    stored: LineBytes,
-    shadow: LineBytes,
-    counters: BlockCounters,
-    addr: LineAddr,
+/// Per-line BLE state: the four raw per-block counter values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BleState {
+    /// Raw counter value per 16-byte block.
+    pub ctrs: [u64; BLOCKS_PER_LINE],
 }
 
-impl BleLine {
-    /// Initializes the line: each block encrypted at its counter 0.
+/// Increments one raw block counter, returning the stored-bit flips.
+fn bump_block(ctrs: &mut [u64; BLOCKS_PER_LINE], block: usize, width_bits: u32) -> u32 {
+    let mask = (1u64 << width_bits) - 1;
+    let old = ctrs[block];
+    ctrs[block] = (old + 1) & mask;
+    (old ^ ctrs[block]).count_ones()
+}
+
+/// Encrypts `initial` block-by-block at counter 0 (shared by BLE and
+/// BLE+DEUCE, whose initial images are identical).
+fn ble_init(engine: &OtpEngine, addr: LineAddr, initial: &LineBytes) -> LineBytes {
+    let mut stored = [0u8; deuce_crypto::LINE_BYTES];
+    for block in 0..BLOCKS_PER_LINE {
+        let pad = engine.block_pad(addr, block, 0);
+        let mut pt = [0u8; BLOCK_BYTES];
+        pt.copy_from_slice(&initial[block_range(block)]);
+        stored[block_range(block)].copy_from_slice(&pad.xor(&pt));
+    }
+    stored
+}
+
+/// Block-Level Encryption: one counter per 16-byte AES block, blocks with
+/// unchanged plaintext keep their ciphertext.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BleScheme {
+    /// Per-block counter width in bits.
+    pub counter_bits: u32,
+}
+
+impl BleScheme {
+    /// Creates the scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counter_bits` is 0 or greater than 48.
     #[must_use]
-    pub fn new(engine: &OtpEngine, addr: LineAddr, initial: &LineBytes, counter_bits: u32) -> Self {
-        let counters = BlockCounters::new(counter_bits);
-        let mut stored = [0u8; deuce_crypto::LINE_BYTES];
-        for block in 0..BLOCKS_PER_LINE {
-            let pad = engine.block_pad(addr, block, counters.value(block));
-            let mut pt = [0u8; BLOCK_BYTES];
-            pt.copy_from_slice(&initial[block_range(block)]);
-            stored[block_range(block)].copy_from_slice(&pad.xor(&pt));
-        }
-        Self {
-            stored,
-            shadow: *initial,
-            counters,
-            addr,
-        }
+    pub fn new(counter_bits: u32) -> Self {
+        assert_counter_width(counter_bits);
+        Self { counter_bits }
+    }
+}
+
+impl LineScheme for BleScheme {
+    type State = BleState;
+
+    fn needs_shadow(&self) -> bool {
+        true
     }
 
-    /// Writes new data: only blocks whose plaintext changed re-encrypt
-    /// (their counters increment).
-    #[must_use]
-    pub fn write(&mut self, engine: &OtpEngine, data: &LineBytes) -> WriteOutcome {
-        let old_image = self.image();
+    fn metadata_bits(&self) -> u32 {
+        0
+    }
+
+    fn init(&self, engine: &OtpEngine, addr: LineAddr, initial: &LineBytes) -> (LineBytes, BleState) {
+        (ble_init(engine, addr, initial), BleState::default())
+    }
+
+    fn write(
+        &self,
+        engine: &OtpEngine,
+        addr: LineAddr,
+        line: LineMut<'_, BleState>,
+        data: &LineBytes,
+    ) -> WriteOutcome {
+        let old_image = LineImage::new(*line.stored, MetaBits::new(0));
         let mut counter_flips = 0u32;
         for block in 0..BLOCKS_PER_LINE {
             let range = block_range(block);
-            if data[range.clone()] == self.shadow[range.clone()] {
+            if data[range.clone()] == line.shadow[range.clone()] {
                 continue;
             }
-            let old = self.counters.value(block);
-            self.counters.increment(block);
-            counter_flips += (old ^ self.counters.value(block)).count_ones();
-            let pad = engine.block_pad(self.addr, block, self.counters.value(block));
+            counter_flips += bump_block(&mut line.state.ctrs, block, self.counter_bits);
+            let pad = engine.block_pad(addr, block, line.state.ctrs[block]);
             let mut pt = [0u8; BLOCK_BYTES];
             pt.copy_from_slice(&data[range.clone()]);
-            self.stored[range].copy_from_slice(&pad.xor(&pt));
+            line.stored[range].copy_from_slice(&pad.xor(&pt));
         }
-        self.shadow = *data;
-        WriteOutcome::from_images(old_image, self.image(), counter_flips, false)
+        *line.shadow = *data;
+        WriteOutcome::from_images(
+            old_image,
+            LineImage::new(*line.stored, MetaBits::new(0)),
+            counter_flips,
+            false,
+        )
     }
 
-    /// Reads the line: each block decrypts with its own counter.
-    #[must_use]
-    pub fn read(&self, engine: &OtpEngine) -> LineBytes {
+    fn read(&self, engine: &OtpEngine, addr: LineAddr, line: LineRef<'_, BleState>) -> LineBytes {
         let mut out = [0u8; deuce_crypto::LINE_BYTES];
         for block in 0..BLOCKS_PER_LINE {
-            let pad = engine.block_pad(self.addr, block, self.counters.value(block));
+            let pad = engine.block_pad(addr, block, line.state.ctrs[block]);
             let mut ct = [0u8; BLOCK_BYTES];
-            ct.copy_from_slice(&self.stored[block_range(block)]);
+            ct.copy_from_slice(&line.stored[block_range(block)]);
             out[block_range(block)].copy_from_slice(&pad.xor(&ct));
         }
         out
     }
 
-    /// The per-block counter values.
-    #[must_use]
-    pub fn counters(&self) -> &BlockCounters {
-        &self.counters
-    }
-
-    /// The current stored image (no metadata bits — counters are stored
-    /// separately).
-    #[must_use]
-    pub fn image(&self) -> LineImage {
-        LineImage::new(self.stored, MetaBits::new(0))
+    fn image(&self, line: LineRef<'_, BleState>) -> LineImage {
+        LineImage::new(*line.stored, MetaBits::new(0))
     }
 }
 
-/// One memory line under BLE with DEUCE running inside each block.
+/// One memory line under Block-Level Encryption.
+pub type BleLine = SchemeCell<BleScheme>;
+
+impl BleLine {
+    /// Initializes the line: each block encrypted at its counter 0.
+    #[must_use]
+    pub fn new(engine: &OtpEngine, addr: LineAddr, initial: &LineBytes, counter_bits: u32) -> Self {
+        Self::with_scheme(BleScheme::new(counter_bits), engine, addr, initial)
+    }
+
+    /// The per-block counter values.
+    #[must_use]
+    pub fn counters(&self) -> BlockCounters {
+        BlockCounters::from_values(self.state().ctrs, self.scheme().counter_bits)
+    }
+}
+
+/// Per-line BLE+DEUCE state: the four raw per-block counter values plus
+/// the raw per-word modified bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BleDeuceState {
+    /// Raw counter value per 16-byte block.
+    pub ctrs: [u64; BLOCKS_PER_LINE],
+    /// Raw per-word modified bits across the whole line.
+    pub modified: u64,
+}
+
+/// BLE with DEUCE running inside each block.
 ///
 /// Each block keeps its own counter with DEUCE epoch semantics; each word
 /// keeps a modified bit. A block whose plaintext is untouched by a write
 /// is skipped entirely (its counter does not advance), so words in cold
 /// blocks never suffer epoch re-encryption — which is why the combination
 /// beats standalone DEUCE (19.9% vs 23.7%).
-#[derive(Debug, Clone)]
-pub struct BleDeuceLine {
-    stored: LineBytes,
-    shadow: LineBytes,
-    counters: BlockCounters,
-    /// One modified bit per word across the whole line.
-    modified: MetaBits,
-    addr: LineAddr,
-    epoch: EpochInterval,
-    word_size: WordSize,
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BleDeuceScheme {
+    /// DEUCE word granularity.
+    pub word_size: WordSize,
+    /// Per-block DEUCE epoch interval.
+    pub epoch: EpochInterval,
+    /// Per-block counter width in bits.
+    pub counter_bits: u32,
 }
+
+impl BleDeuceScheme {
+    /// Creates the scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word size exceeds an AES block or `counter_bits` is
+    /// 0 or greater than 48.
+    #[must_use]
+    pub fn new(word_size: WordSize, epoch: EpochInterval, counter_bits: u32) -> Self {
+        assert!(
+            word_size.bytes() <= BLOCK_BYTES,
+            "word size must fit within an AES block"
+        );
+        assert_counter_width(counter_bits);
+        Self {
+            word_size,
+            epoch,
+            counter_bits,
+        }
+    }
+
+    fn words_per_block(self) -> usize {
+        BLOCK_BYTES / self.word_size.bytes()
+    }
+
+    fn modified_bits(self, state: &BleDeuceState) -> MetaBits {
+        MetaBits::from_raw(state.modified, self.word_size.tracking_bits())
+    }
+}
+
+impl LineScheme for BleDeuceScheme {
+    type State = BleDeuceState;
+
+    fn needs_shadow(&self) -> bool {
+        true
+    }
+
+    fn metadata_bits(&self) -> u32 {
+        self.word_size.tracking_bits()
+    }
+
+    fn init(
+        &self,
+        engine: &OtpEngine,
+        addr: LineAddr,
+        initial: &LineBytes,
+    ) -> (LineBytes, BleDeuceState) {
+        (ble_init(engine, addr, initial), BleDeuceState::default())
+    }
+
+    fn write(
+        &self,
+        engine: &OtpEngine,
+        addr: LineAddr,
+        line: LineMut<'_, BleDeuceState>,
+        data: &LineBytes,
+    ) -> WriteOutcome {
+        let mut modified = self.modified_bits(line.state);
+        let old_image = LineImage::new(*line.stored, modified);
+        let w = self.word_size.bytes();
+        let wpb = self.words_per_block();
+        let mut counter_flips = 0u32;
+        let mut any_epoch = false;
+
+        for block in 0..BLOCKS_PER_LINE {
+            let brange = block_range(block);
+            if data[brange.clone()] == line.shadow[brange] {
+                continue; // cold block: counter frozen, nothing rewritten
+            }
+            counter_flips += bump_block(&mut line.state.ctrs, block, self.counter_bits);
+            let v = VirtualCounterPair::derive(line.state.ctrs[block], self.epoch);
+
+            let lead_pad = engine.block_pad(addr, block, v.lctr());
+            if v.is_epoch_start() {
+                any_epoch = true;
+                // Whole block re-encrypts; its modified bits reset.
+                for word_in_block in 0..wpb {
+                    let word = block * wpb + word_in_block;
+                    modified.set(word as u32, false);
+                    for (offset, i) in (word * w..(word + 1) * w).enumerate() {
+                        line.stored[i] = data[i] ^ lead_pad.as_bytes()[word_in_block * w + offset];
+                    }
+                }
+            } else {
+                for word_in_block in 0..wpb {
+                    let word = block * wpb + word_in_block;
+                    let range = word * w..(word + 1) * w;
+                    if data[range.clone()] != line.shadow[range] {
+                        modified.set(word as u32, true);
+                    }
+                }
+                for word_in_block in 0..wpb {
+                    let word = block * wpb + word_in_block;
+                    if modified.get(word as u32) {
+                        for (offset, i) in (word * w..(word + 1) * w).enumerate() {
+                            line.stored[i] =
+                                data[i] ^ lead_pad.as_bytes()[word_in_block * w + offset];
+                        }
+                    }
+                }
+            }
+        }
+        line.state.modified = modified.raw();
+        *line.shadow = *data;
+        WriteOutcome::from_images(
+            old_image,
+            LineImage::new(*line.stored, modified),
+            counter_flips,
+            any_epoch,
+        )
+    }
+
+    fn read(&self, engine: &OtpEngine, addr: LineAddr, line: LineRef<'_, BleDeuceState>) -> LineBytes {
+        let modified = self.modified_bits(line.state);
+        let w = self.word_size.bytes();
+        let wpb = self.words_per_block();
+        let mut out = [0u8; deuce_crypto::LINE_BYTES];
+        for block in 0..BLOCKS_PER_LINE {
+            let v = VirtualCounterPair::derive(line.state.ctrs[block], self.epoch);
+            let lead = engine.block_pad(addr, block, v.lctr());
+            let trail = engine.block_pad(addr, block, v.tctr());
+            for word_in_block in 0..wpb {
+                let word = block * wpb + word_in_block;
+                let pad = if modified.get(word as u32) {
+                    lead.as_bytes()
+                } else {
+                    trail.as_bytes()
+                };
+                for (offset, i) in (word * w..(word + 1) * w).enumerate() {
+                    out[i] = line.stored[i] ^ pad[word_in_block * w + offset];
+                }
+            }
+        }
+        out
+    }
+
+    fn image(&self, line: LineRef<'_, BleDeuceState>) -> LineImage {
+        LineImage::new(*line.stored, self.modified_bits(line.state))
+    }
+}
+
+/// One memory line under BLE with DEUCE running inside each block.
+pub type BleDeuceLine = SchemeCell<BleDeuceScheme>;
 
 impl BleDeuceLine {
     /// Initializes the line.
@@ -130,117 +331,12 @@ impl BleDeuceLine {
         epoch: EpochInterval,
         counter_bits: u32,
     ) -> Self {
-        assert!(
-            word_size.bytes() <= BLOCK_BYTES,
-            "word size must fit within an AES block"
-        );
-        let counters = BlockCounters::new(counter_bits);
-        let mut stored = [0u8; deuce_crypto::LINE_BYTES];
-        for block in 0..BLOCKS_PER_LINE {
-            let pad = engine.block_pad(addr, block, counters.value(block));
-            let mut pt = [0u8; BLOCK_BYTES];
-            pt.copy_from_slice(&initial[block_range(block)]);
-            stored[block_range(block)].copy_from_slice(&pad.xor(&pt));
-        }
-        Self {
-            stored,
-            shadow: *initial,
-            counters,
-            modified: MetaBits::new(word_size.tracking_bits()),
+        Self::with_scheme(
+            BleDeuceScheme::new(word_size, epoch, counter_bits),
+            engine,
             addr,
-            epoch,
-            word_size,
-        }
-    }
-
-    fn words_per_block(&self) -> usize {
-        BLOCK_BYTES / self.word_size.bytes()
-    }
-
-    /// Writes new data.
-    #[must_use]
-    pub fn write(&mut self, engine: &OtpEngine, data: &LineBytes) -> WriteOutcome {
-        let old_image = self.image();
-        let w = self.word_size.bytes();
-        let wpb = self.words_per_block();
-        let mut counter_flips = 0u32;
-        let mut any_epoch = false;
-
-        for block in 0..BLOCKS_PER_LINE {
-            let brange = block_range(block);
-            if data[brange.clone()] == self.shadow[brange] {
-                continue; // cold block: counter frozen, nothing rewritten
-            }
-            let old_ctr = self.counters.value(block);
-            self.counters.increment(block);
-            counter_flips += (old_ctr ^ self.counters.value(block)).count_ones();
-            let v = VirtualCounterPair::derive(self.counters.value(block), self.epoch);
-
-            let lead_pad = engine.block_pad(self.addr, block, v.lctr());
-            if v.is_epoch_start() {
-                any_epoch = true;
-                // Whole block re-encrypts; its modified bits reset.
-                for word_in_block in 0..wpb {
-                    let word = block * wpb + word_in_block;
-                    self.modified.set(word as u32, false);
-                    for (offset, i) in (word * w..(word + 1) * w).enumerate() {
-                        self.stored[i] =
-                            data[i] ^ lead_pad.as_bytes()[word_in_block * w + offset];
-                    }
-                }
-            } else {
-                for word_in_block in 0..wpb {
-                    let word = block * wpb + word_in_block;
-                    let range = word * w..(word + 1) * w;
-                    if data[range.clone()] != self.shadow[range] {
-                        self.modified.set(word as u32, true);
-                    }
-                }
-                for word_in_block in 0..wpb {
-                    let word = block * wpb + word_in_block;
-                    if self.modified.get(word as u32) {
-                        for (offset, i) in (word * w..(word + 1) * w).enumerate() {
-                            self.stored[i] =
-                                data[i] ^ lead_pad.as_bytes()[word_in_block * w + offset];
-                        }
-                    }
-                }
-            }
-        }
-        self.shadow = *data;
-        WriteOutcome::from_images(old_image, self.image(), counter_flips, any_epoch)
-    }
-
-    /// Reads the line: per block, per word, the modified bit selects the
-    /// leading or trailing block pad.
-    #[must_use]
-    pub fn read(&self, engine: &OtpEngine) -> LineBytes {
-        let w = self.word_size.bytes();
-        let wpb = self.words_per_block();
-        let mut out = [0u8; deuce_crypto::LINE_BYTES];
-        for block in 0..BLOCKS_PER_LINE {
-            let v = VirtualCounterPair::derive(self.counters.value(block), self.epoch);
-            let lead = engine.block_pad(self.addr, block, v.lctr());
-            let trail = engine.block_pad(self.addr, block, v.tctr());
-            for word_in_block in 0..wpb {
-                let word = block * wpb + word_in_block;
-                let pad = if self.modified.get(word as u32) {
-                    lead.as_bytes()
-                } else {
-                    trail.as_bytes()
-                };
-                for (offset, i) in (word * w..(word + 1) * w).enumerate() {
-                    out[i] = self.stored[i] ^ pad[word_in_block * w + offset];
-                }
-            }
-        }
-        out
-    }
-
-    /// The current stored image (ciphertext + per-word modified bits).
-    #[must_use]
-    pub fn image(&self) -> LineImage {
-        LineImage::new(self.stored, self.modified)
+            initial,
+        )
     }
 }
 

@@ -1,44 +1,90 @@
 //! Data Comparison Write baselines: plaintext DCW and counter-mode
 //! encrypted DCW (the paper's secure baseline).
 
-use deuce_crypto::{LineAddr, LineBytes, LineCounter, OtpEngine};
+use deuce_crypto::{LineAddr, LineBytes, OtpEngine};
 use deuce_nvm::{LineImage, MetaBits};
 
+use crate::core::{assert_counter_width, null_addr, null_engine, CtrState};
+use crate::scheme::{LineMut, LineRef, LineScheme, SchemeCell};
 use crate::WriteOutcome;
 
+/// Plaintext Data Comparison Write \[7\]: store the data verbatim, flip
+/// only the bits that changed. This is the unencrypted reference (12.4%
+/// average flips in Fig. 5). Per-line state: none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UnencryptedDcwScheme;
+
+impl LineScheme for UnencryptedDcwScheme {
+    type State = ();
+
+    fn needs_shadow(&self) -> bool {
+        false
+    }
+
+    fn metadata_bits(&self) -> u32 {
+        0
+    }
+
+    fn init(&self, _engine: &OtpEngine, _addr: LineAddr, initial: &LineBytes) -> (LineBytes, ()) {
+        (*initial, ())
+    }
+
+    fn write(
+        &self,
+        _engine: &OtpEngine,
+        _addr: LineAddr,
+        line: LineMut<'_, ()>,
+        data: &LineBytes,
+    ) -> WriteOutcome {
+        let old_image = LineImage::new(*line.stored, MetaBits::new(0));
+        *line.stored = *data;
+        WriteOutcome::from_images(old_image, LineImage::new(*line.stored, MetaBits::new(0)), 0, false)
+    }
+
+    fn read(&self, _engine: &OtpEngine, _addr: LineAddr, line: LineRef<'_, ()>) -> LineBytes {
+        *line.stored
+    }
+
+    fn image(&self, line: LineRef<'_, ()>) -> LineImage {
+        LineImage::new(*line.stored, MetaBits::new(0))
+    }
+}
+
 /// Plaintext memory with Data Comparison Write \[7\]: only the bits that
-/// changed are written. This is the unencrypted reference (12.4% average
-/// flips in Fig. 5).
+/// changed are written.
+///
+/// This wrapper keeps the historical engine-less `write`/`read` API over
+/// the shared [`UnencryptedDcwScheme`] core.
 #[derive(Debug, Clone)]
 pub struct UnencryptedDcwLine {
-    stored: LineBytes,
+    cell: SchemeCell<UnencryptedDcwScheme>,
 }
 
 impl UnencryptedDcwLine {
     /// Initializes the line with `initial`.
     #[must_use]
     pub fn new(initial: &LineBytes) -> Self {
-        Self { stored: *initial }
+        Self {
+            cell: SchemeCell::with_scheme(UnencryptedDcwScheme, null_engine(), null_addr(), initial),
+        }
     }
 
     /// Writes new data.
     #[must_use]
     pub fn write(&mut self, data: &LineBytes) -> WriteOutcome {
-        let old_image = self.image();
-        self.stored = *data;
-        WriteOutcome::from_images(old_image, self.image(), 0, false)
+        self.cell.write(null_engine(), data)
     }
 
     /// Reads the line.
     #[must_use]
     pub fn read(&self) -> LineBytes {
-        self.stored
+        self.cell.read(null_engine())
     }
 
     /// The current stored image (no metadata).
     #[must_use]
     pub fn image(&self) -> LineImage {
-        LineImage::new(self.stored, MetaBits::new(0))
+        self.cell.image()
     }
 }
 
@@ -46,52 +92,82 @@ impl UnencryptedDcwLine {
 /// the per-line counter and re-encrypts the entire line with a fresh
 /// one-time pad. The avalanche effect makes ~50% of the stored bits flip
 /// on every write regardless of how little the plaintext changed — the
-/// problem DEUCE exists to fix.
-#[derive(Debug, Clone)]
-pub struct EncryptedDcwLine {
-    stored: LineBytes,
-    addr: LineAddr,
-    counter: LineCounter,
+/// problem DEUCE exists to fix. Per-line state: the counter value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncryptedDcwScheme {
+    /// Line-counter width in bits.
+    pub counter_bits: u32,
 }
+
+impl EncryptedDcwScheme {
+    /// Creates the scheme with the given counter width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counter_bits` is 0 or greater than 48.
+    #[must_use]
+    pub fn new(counter_bits: u32) -> Self {
+        assert_counter_width(counter_bits);
+        Self { counter_bits }
+    }
+}
+
+impl LineScheme for EncryptedDcwScheme {
+    type State = CtrState;
+
+    fn needs_shadow(&self) -> bool {
+        false
+    }
+
+    fn metadata_bits(&self) -> u32 {
+        0
+    }
+
+    fn init(&self, engine: &OtpEngine, addr: LineAddr, initial: &LineBytes) -> (LineBytes, CtrState) {
+        (engine.line_pad(addr, 0).xor(initial), CtrState::ZERO)
+    }
+
+    fn write(
+        &self,
+        engine: &OtpEngine,
+        addr: LineAddr,
+        line: LineMut<'_, CtrState>,
+        data: &LineBytes,
+    ) -> WriteOutcome {
+        let old_image = LineImage::new(*line.stored, MetaBits::new(0));
+        let counter_flips = line.state.bump(self.counter_bits);
+        *line.stored = engine.line_pad(addr, line.state.value()).xor(data);
+        WriteOutcome::from_images(
+            old_image,
+            LineImage::new(*line.stored, MetaBits::new(0)),
+            counter_flips,
+            false,
+        )
+    }
+
+    fn read(&self, engine: &OtpEngine, addr: LineAddr, line: LineRef<'_, CtrState>) -> LineBytes {
+        engine.line_pad(addr, line.state.value()).xor(line.stored)
+    }
+
+    fn image(&self, line: LineRef<'_, CtrState>) -> LineImage {
+        LineImage::new(*line.stored, MetaBits::new(0))
+    }
+}
+
+/// One memory line under counter-mode encrypted DCW.
+pub type EncryptedDcwLine = SchemeCell<EncryptedDcwScheme>;
 
 impl EncryptedDcwLine {
     /// Initializes the line: `initial` is encrypted at counter 0.
     #[must_use]
     pub fn new(engine: &OtpEngine, addr: LineAddr, initial: &LineBytes, counter_bits: u32) -> Self {
-        let counter = LineCounter::new(counter_bits);
-        Self {
-            stored: engine.line_pad(addr, counter.value()).xor(initial),
-            addr,
-            counter,
-        }
-    }
-
-    /// Writes new data: counter increments, whole line re-encrypts.
-    #[must_use]
-    pub fn write(&mut self, engine: &OtpEngine, data: &LineBytes) -> WriteOutcome {
-        let old_image = self.image();
-        let old_ctr = self.counter.value();
-        self.counter.increment();
-        self.stored = engine.line_pad(self.addr, self.counter.value()).xor(data);
-        WriteOutcome::from_images(old_image, self.image(), self.counter.flips_from(old_ctr), false)
-    }
-
-    /// Reads and decrypts the line.
-    #[must_use]
-    pub fn read(&self, engine: &OtpEngine) -> LineBytes {
-        engine.line_pad(self.addr, self.counter.value()).xor(&self.stored)
+        Self::with_scheme(EncryptedDcwScheme::new(counter_bits), engine, addr, initial)
     }
 
     /// The current line-counter value.
     #[must_use]
     pub fn counter(&self) -> u64 {
-        self.counter.value()
-    }
-
-    /// The current stored image (no metadata).
-    #[must_use]
-    pub fn image(&self) -> LineImage {
-        LineImage::new(self.stored, MetaBits::new(0))
+        self.state().value()
     }
 }
 
@@ -153,5 +229,11 @@ mod tests {
         assert_eq!(o1.counter_flips, 1); // 0 -> 1
         let o2 = line.write(&engine, &[2u8; 64]);
         assert_eq!(o2.counter_flips, 2); // 1 -> 2 (0b01 -> 0b10)
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_counter_width_rejected() {
+        let _ = EncryptedDcwScheme::new(0);
     }
 }

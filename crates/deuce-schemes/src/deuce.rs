@@ -16,11 +16,126 @@
 //! is left untouched, cutting bit flips from 50% to ~24% at a cost of 32
 //! metadata bits per line.
 
-use deuce_crypto::{EpochInterval, LineAddr, LineBytes, LineCounter, OtpEngine, VirtualCounterPair};
+use deuce_crypto::{EpochInterval, LineAddr, LineBytes, OtpEngine, VirtualCounterPair};
 use deuce_nvm::{LineImage, MetaBits};
 
 use crate::config::WordSize;
+use crate::core::{
+    assert_counter_width, dual_pad_read, mark_modified_words, reencrypt_marked_words, CtrState,
+};
+use crate::scheme::{LineMut, LineRef, LineScheme, SchemeCell};
 use crate::WriteOutcome;
+
+/// Per-line DEUCE state: the raw line counter plus the raw per-word
+/// modified bits (reset at each epoch start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeuceState {
+    /// The line counter.
+    pub ctr: CtrState,
+    /// Raw per-word modified bits.
+    pub modified: u64,
+}
+
+/// The DEUCE scheme parameters shared by every line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeuceScheme {
+    /// Re-encryption word granularity.
+    pub word_size: WordSize,
+    /// Epoch interval (full re-encryption period).
+    pub epoch: EpochInterval,
+    /// Line-counter width in bits.
+    pub counter_bits: u32,
+}
+
+impl DeuceScheme {
+    /// Creates the scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counter_bits` is 0 or greater than 48.
+    #[must_use]
+    pub fn new(word_size: WordSize, epoch: EpochInterval, counter_bits: u32) -> Self {
+        assert_counter_width(counter_bits);
+        Self {
+            word_size,
+            epoch,
+            counter_bits,
+        }
+    }
+
+    fn modified_bits(self, state: &DeuceState) -> MetaBits {
+        MetaBits::from_raw(state.modified, self.word_size.tracking_bits())
+    }
+}
+
+impl LineScheme for DeuceScheme {
+    type State = DeuceState;
+
+    fn needs_shadow(&self) -> bool {
+        true
+    }
+
+    fn metadata_bits(&self) -> u32 {
+        self.word_size.tracking_bits()
+    }
+
+    fn init(&self, engine: &OtpEngine, addr: LineAddr, initial: &LineBytes) -> (LineBytes, DeuceState) {
+        (engine.line_pad(addr, 0).xor(initial), DeuceState::default())
+    }
+
+    fn write(
+        &self,
+        engine: &OtpEngine,
+        addr: LineAddr,
+        line: LineMut<'_, DeuceState>,
+        data: &LineBytes,
+    ) -> WriteOutcome {
+        let mut modified = self.modified_bits(line.state);
+        let old_image = LineImage::new(*line.stored, modified);
+        let counter_flips = line.state.ctr.bump(self.counter_bits);
+        let v = VirtualCounterPair::derive(line.state.ctr.value(), self.epoch);
+
+        let epoch_started = v.is_epoch_start();
+        if epoch_started {
+            // Full-line re-encryption; modified bits reset.
+            *line.stored = engine.line_pad(addr, v.lctr()).xor(data);
+            modified.clear();
+        } else {
+            // Mark words changed by *this* write, then re-encrypt every
+            // word modified at any point this epoch with the fresh
+            // leading pad (Fig. 6: previously modified words re-encrypt
+            // on every write).
+            mark_modified_words(&mut modified, self.word_size, line.shadow, data);
+            let pad = engine.line_pad(addr, v.lctr());
+            reencrypt_marked_words(line.stored, data, &pad, &modified, self.word_size);
+        }
+        line.state.modified = modified.raw();
+        *line.shadow = *data;
+        WriteOutcome::from_images(
+            old_image,
+            LineImage::new(*line.stored, modified),
+            counter_flips,
+            epoch_started,
+        )
+    }
+
+    fn read(&self, engine: &OtpEngine, addr: LineAddr, line: LineRef<'_, DeuceState>) -> LineBytes {
+        let v = VirtualCounterPair::derive(line.state.ctr.value(), self.epoch);
+        let pad_lctr = engine.line_pad(addr, v.lctr());
+        let pad_tctr = engine.line_pad(addr, v.tctr());
+        dual_pad_read(
+            line.stored,
+            &self.modified_bits(line.state),
+            &pad_lctr,
+            &pad_tctr,
+            self.word_size,
+        )
+    }
+
+    fn image(&self, line: LineRef<'_, DeuceState>) -> LineImage {
+        LineImage::new(*line.stored, self.modified_bits(line.state))
+    }
+}
 
 /// One memory line under DEUCE.
 ///
@@ -45,20 +160,7 @@ use crate::WriteOutcome;
 /// assert_eq!(line.read(&engine), data);
 /// assert_eq!(line.modified_words(), 1);
 /// ```
-#[derive(Debug, Clone)]
-pub struct DeuceLine {
-    /// Ciphertext exactly as stored in the PCM cells.
-    stored: LineBytes,
-    /// Shadow of the current plaintext (the memory controller obtains
-    /// this by read-decrypting before the write; we cache it).
-    shadow: LineBytes,
-    /// One modified bit per word, reset at each epoch start.
-    modified: MetaBits,
-    addr: LineAddr,
-    counter: LineCounter,
-    epoch: EpochInterval,
-    word_size: WordSize,
-}
+pub type DeuceLine = SchemeCell<DeuceScheme>;
 
 impl DeuceLine {
     /// Initializes the line: `initial` is encrypted in full at counter 0
@@ -72,100 +174,24 @@ impl DeuceLine {
         epoch: EpochInterval,
         counter_bits: u32,
     ) -> Self {
-        let counter = LineCounter::new(counter_bits);
-        Self {
-            stored: engine.line_pad(addr, counter.value()).xor(initial),
-            shadow: *initial,
-            modified: MetaBits::new(word_size.tracking_bits()),
+        Self::with_scheme(
+            DeuceScheme::new(word_size, epoch, counter_bits),
+            engine,
             addr,
-            counter,
-            epoch,
-            word_size,
-        }
-    }
-
-    /// Writes new data through the DEUCE state machine (§4.3.2).
-    #[must_use]
-    pub fn write(&mut self, engine: &OtpEngine, data: &LineBytes) -> WriteOutcome {
-        let old_image = self.image();
-        let old_ctr = self.counter.value();
-        self.counter.increment();
-        let v = VirtualCounterPair::derive(self.counter.value(), self.epoch);
-
-        let epoch_started = v.is_epoch_start();
-        if epoch_started {
-            // Full-line re-encryption; modified bits reset.
-            self.stored = engine.line_pad(self.addr, v.lctr()).xor(data);
-            self.modified.clear();
-        } else {
-            let w = self.word_size.bytes();
-            // Mark words changed by *this* write...
-            for word in 0..self.word_size.words_per_line() {
-                let range = word * w..(word + 1) * w;
-                if data[range.clone()] != self.shadow[range] {
-                    self.modified.set(word as u32, true);
-                }
-            }
-            // ...then re-encrypt every word modified at any point this
-            // epoch with the fresh leading pad (Fig. 6: previously
-            // modified words re-encrypt on every write).
-            let pad = engine.line_pad(self.addr, v.lctr());
-            for word in 0..self.word_size.words_per_line() {
-                if self.modified.get(word as u32) {
-                    let range = word * w..(word + 1) * w;
-                    for (i, offset) in range.clone().zip(0..) {
-                        self.stored[i] = data[i] ^ pad.word(word, w)[offset];
-                    }
-                }
-            }
-        }
-        self.shadow = *data;
-        WriteOutcome::from_images(
-            old_image,
-            self.image(),
-            self.counter.flips_from(old_ctr),
-            epoch_started,
+            initial,
         )
-    }
-
-    /// Reads the line: both pads are generated, and each word's modified
-    /// bit selects which decryption to use (Fig. 7).
-    #[must_use]
-    pub fn read(&self, engine: &OtpEngine) -> LineBytes {
-        let v = VirtualCounterPair::derive(self.counter.value(), self.epoch);
-        let pad_lctr = engine.line_pad(self.addr, v.lctr());
-        let pad_tctr = engine.line_pad(self.addr, v.tctr());
-        let w = self.word_size.bytes();
-        let mut out = [0u8; deuce_crypto::LINE_BYTES];
-        for word in 0..self.word_size.words_per_line() {
-            let pad = if self.modified.get(word as u32) {
-                pad_lctr.word(word, w)
-            } else {
-                pad_tctr.word(word, w)
-            };
-            for (offset, i) in (word * w..(word + 1) * w).enumerate() {
-                out[i] = self.stored[i] ^ pad[offset];
-            }
-        }
-        out
     }
 
     /// Number of words currently marked modified this epoch.
     #[must_use]
     pub fn modified_words(&self) -> u32 {
-        self.modified.count_ones()
+        self.scheme().modified_bits(self.state()).count_ones()
     }
 
     /// Current line-counter value.
     #[must_use]
     pub fn counter(&self) -> u64 {
-        self.counter.value()
-    }
-
-    /// The current stored image (ciphertext + modified bits).
-    #[must_use]
-    pub fn image(&self) -> LineImage {
-        LineImage::new(self.stored, self.modified)
+        self.state().ctr.value()
     }
 }
 

@@ -6,31 +6,177 @@
 //! upper bound DynDEUCE approximates with half the storage (Fig. 10:
 //! 20.3% vs 22.0%).
 
-use deuce_crypto::{EpochInterval, LineAddr, LineBytes, LineCounter, OtpEngine, VirtualCounterPair};
+use deuce_crypto::{EpochInterval, LineAddr, LineBytes, OtpEngine, VirtualCounterPair};
 use deuce_nvm::{LineImage, MetaBits};
 
 use crate::config::WordSize;
+use crate::core::{assert_counter_width, CtrState};
+use crate::scheme::{LineMut, LineRef, LineScheme, SchemeCell};
 use crate::WriteOutcome;
 
-/// One memory line under DEUCE with dedicated FNW flip bits.
+/// Per-line DEUCE+FNW state: the counter plus the raw 64-bit metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeuceFnwState {
+    /// The line counter.
+    pub ctr: CtrState,
+    /// Bits `0..32`: DEUCE modified bits; bits `32..64`: FNW flip bits.
+    pub meta: u64,
+}
+
+/// The DEUCE+FNW scheme parameters shared by every line.
 ///
 /// Metadata layout: bits `0..32` are DEUCE modified bits, bits `32..64`
 /// are FNW flip bits (one per 16-bit word; word size is fixed at 2 bytes
 /// so the granularities coincide).
-#[derive(Debug, Clone)]
-pub struct DeuceFnwLine {
-    stored: LineBytes,
-    shadow: LineBytes,
-    meta: MetaBits,
-    addr: LineAddr,
-    counter: LineCounter,
-    epoch: EpochInterval,
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeuceFnwScheme {
+    /// Epoch interval (full re-encryption period).
+    pub epoch: EpochInterval,
+    /// Line-counter width in bits.
+    pub counter_bits: u32,
 }
 
-impl DeuceFnwLine {
+impl DeuceFnwScheme {
     const WORD: WordSize = WordSize::Bytes2;
     const FLIP_BASE: u32 = 32;
 
+    /// Creates the scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counter_bits` is 0 or greater than 48.
+    #[must_use]
+    pub fn new(epoch: EpochInterval, counter_bits: u32) -> Self {
+        assert_counter_width(counter_bits);
+        Self { epoch, counter_bits }
+    }
+
+    /// Stores ciphertext word `word`, choosing inversion FNW-style.
+    fn store_word_fnw(stored: &mut LineBytes, meta: &mut MetaBits, word: usize, cipher: &[u8]) {
+        let w = Self::WORD.bytes();
+        let range = word * w..(word + 1) * w;
+        let flip_idx = Self::FLIP_BASE + word as u32;
+        let old_flip = meta.get(flip_idx);
+
+        let mut normal = u32::from(old_flip);
+        let mut inverted = u32::from(!old_flip);
+        for (c, o) in cipher.iter().zip(&stored[range.clone()]) {
+            normal += (c ^ o).count_ones();
+            inverted += (!c ^ o).count_ones();
+        }
+        let invert = if inverted != normal { inverted < normal } else { old_flip };
+        for (dst, src) in stored[range].iter_mut().zip(cipher) {
+            *dst = if invert { !src } else { *src };
+        }
+        meta.set(flip_idx, invert);
+    }
+}
+
+impl LineScheme for DeuceFnwScheme {
+    type State = DeuceFnwState;
+
+    fn needs_shadow(&self) -> bool {
+        true
+    }
+
+    fn metadata_bits(&self) -> u32 {
+        64
+    }
+
+    fn init(
+        &self,
+        engine: &OtpEngine,
+        addr: LineAddr,
+        initial: &LineBytes,
+    ) -> (LineBytes, DeuceFnwState) {
+        (engine.line_pad(addr, 0).xor(initial), DeuceFnwState::default())
+    }
+
+    fn write(
+        &self,
+        engine: &OtpEngine,
+        addr: LineAddr,
+        line: LineMut<'_, DeuceFnwState>,
+        data: &LineBytes,
+    ) -> WriteOutcome {
+        let mut meta = MetaBits::from_raw(line.state.meta, 64);
+        let old_image = LineImage::new(*line.stored, meta);
+        let counter_flips = line.state.ctr.bump(self.counter_bits);
+        let v = VirtualCounterPair::derive(line.state.ctr.value(), self.epoch);
+        let w = Self::WORD.bytes();
+
+        let epoch_started = v.is_epoch_start();
+        if epoch_started {
+            // Clear modified bits, re-encrypt every word (FNW choice per
+            // word keeps the flip bits useful even at epoch starts).
+            let pad = engine.line_pad(addr, v.lctr());
+            for word in 0..Self::WORD.words_per_line() {
+                meta.set(word as u32, false);
+                let mut cipher = [0u8; 8];
+                for (offset, i) in (word * w..(word + 1) * w).enumerate() {
+                    cipher[offset] = data[i] ^ pad.word(word, w)[offset];
+                }
+                Self::store_word_fnw(line.stored, &mut meta, word, &cipher[..w]);
+            }
+        } else {
+            for word in 0..Self::WORD.words_per_line() {
+                let range = word * w..(word + 1) * w;
+                if data[range.clone()] != line.shadow[range] {
+                    meta.set(word as u32, true);
+                }
+            }
+            let pad = engine.line_pad(addr, v.lctr());
+            for word in 0..Self::WORD.words_per_line() {
+                if meta.get(word as u32) {
+                    let mut cipher = [0u8; 8];
+                    for (offset, i) in (word * w..(word + 1) * w).enumerate() {
+                        cipher[offset] = data[i] ^ pad.word(word, w)[offset];
+                    }
+                    Self::store_word_fnw(line.stored, &mut meta, word, &cipher[..w]);
+                }
+            }
+        }
+        line.state.meta = meta.raw();
+        *line.shadow = *data;
+        WriteOutcome::from_images(
+            old_image,
+            LineImage::new(*line.stored, meta),
+            counter_flips,
+            epoch_started,
+        )
+    }
+
+    fn read(&self, engine: &OtpEngine, addr: LineAddr, line: LineRef<'_, DeuceFnwState>) -> LineBytes {
+        let meta = MetaBits::from_raw(line.state.meta, 64);
+        let v = VirtualCounterPair::derive(line.state.ctr.value(), self.epoch);
+        let pad_lctr = engine.line_pad(addr, v.lctr());
+        let pad_tctr = engine.line_pad(addr, v.tctr());
+        let w = Self::WORD.bytes();
+        let mut out = [0u8; deuce_crypto::LINE_BYTES];
+        for word in 0..Self::WORD.words_per_line() {
+            let inverted = meta.get(Self::FLIP_BASE + word as u32);
+            let pad = if meta.get(word as u32) {
+                pad_lctr.word(word, w)
+            } else {
+                pad_tctr.word(word, w)
+            };
+            for (offset, i) in (word * w..(word + 1) * w).enumerate() {
+                let stored = if inverted { !line.stored[i] } else { line.stored[i] };
+                out[i] = stored ^ pad[offset];
+            }
+        }
+        out
+    }
+
+    fn image(&self, line: LineRef<'_, DeuceFnwState>) -> LineImage {
+        LineImage::new(*line.stored, MetaBits::from_raw(line.state.meta, 64))
+    }
+}
+
+/// One memory line under DEUCE with dedicated FNW flip bits.
+pub type DeuceFnwLine = SchemeCell<DeuceFnwScheme>;
+
+impl DeuceFnwLine {
     /// Initializes the line (full encryption at counter 0, nothing
     /// inverted).
     #[must_use]
@@ -41,120 +187,13 @@ impl DeuceFnwLine {
         epoch: EpochInterval,
         counter_bits: u32,
     ) -> Self {
-        let counter = LineCounter::new(counter_bits);
-        Self {
-            stored: engine.line_pad(addr, counter.value()).xor(initial),
-            shadow: *initial,
-            meta: MetaBits::new(64),
-            addr,
-            counter,
-            epoch,
-        }
-    }
-
-    /// Stores ciphertext word `word`, choosing inversion FNW-style.
-    fn store_word_fnw(&mut self, word: usize, cipher: &[u8]) {
-        let w = Self::WORD.bytes();
-        let range = word * w..(word + 1) * w;
-        let flip_idx = Self::FLIP_BASE + word as u32;
-        let old_flip = self.meta.get(flip_idx);
-
-        let mut normal = u32::from(old_flip);
-        let mut inverted = u32::from(!old_flip);
-        for (c, o) in cipher.iter().zip(&self.stored[range.clone()]) {
-            normal += (c ^ o).count_ones();
-            inverted += (!c ^ o).count_ones();
-        }
-        let invert = if inverted != normal { inverted < normal } else { old_flip };
-        for (dst, src) in self.stored[range].iter_mut().zip(cipher) {
-            *dst = if invert { !src } else { *src };
-        }
-        self.meta.set(flip_idx, invert);
-    }
-
-    /// Writes new data.
-    #[must_use]
-    pub fn write(&mut self, engine: &OtpEngine, data: &LineBytes) -> WriteOutcome {
-        let old_image = self.image();
-        let old_ctr = self.counter.value();
-        self.counter.increment();
-        let v = VirtualCounterPair::derive(self.counter.value(), self.epoch);
-        let w = Self::WORD.bytes();
-
-        let epoch_started = v.is_epoch_start();
-        if epoch_started {
-            // Clear modified bits, re-encrypt every word (FNW choice per
-            // word keeps the flip bits useful even at epoch starts).
-            let pad = engine.line_pad(self.addr, v.lctr());
-            for word in 0..Self::WORD.words_per_line() {
-                self.meta.set(word as u32, false);
-                let mut cipher = [0u8; 8];
-                for (offset, i) in (word * w..(word + 1) * w).enumerate() {
-                    cipher[offset] = data[i] ^ pad.word(word, w)[offset];
-                }
-                self.store_word_fnw(word, &cipher[..w]);
-            }
-        } else {
-            for word in 0..Self::WORD.words_per_line() {
-                let range = word * w..(word + 1) * w;
-                if data[range.clone()] != self.shadow[range] {
-                    self.meta.set(word as u32, true);
-                }
-            }
-            let pad = engine.line_pad(self.addr, v.lctr());
-            for word in 0..Self::WORD.words_per_line() {
-                if self.meta.get(word as u32) {
-                    let mut cipher = [0u8; 8];
-                    for (offset, i) in (word * w..(word + 1) * w).enumerate() {
-                        cipher[offset] = data[i] ^ pad.word(word, w)[offset];
-                    }
-                    self.store_word_fnw(word, &cipher[..w]);
-                }
-            }
-        }
-        self.shadow = *data;
-        WriteOutcome::from_images(
-            old_image,
-            self.image(),
-            self.counter.flips_from(old_ctr),
-            epoch_started,
-        )
-    }
-
-    /// Reads the line: un-invert each word by its flip bit, then XOR the
-    /// pad the modified bit selects.
-    #[must_use]
-    pub fn read(&self, engine: &OtpEngine) -> LineBytes {
-        let v = VirtualCounterPair::derive(self.counter.value(), self.epoch);
-        let pad_lctr = engine.line_pad(self.addr, v.lctr());
-        let pad_tctr = engine.line_pad(self.addr, v.tctr());
-        let w = Self::WORD.bytes();
-        let mut out = [0u8; deuce_crypto::LINE_BYTES];
-        for word in 0..Self::WORD.words_per_line() {
-            let inverted = self.meta.get(Self::FLIP_BASE + word as u32);
-            let pad = if self.meta.get(word as u32) {
-                pad_lctr.word(word, w)
-            } else {
-                pad_tctr.word(word, w)
-            };
-            for (offset, i) in (word * w..(word + 1) * w).enumerate() {
-                let stored = if inverted { !self.stored[i] } else { self.stored[i] };
-                out[i] = stored ^ pad[offset];
-            }
-        }
-        out
+        Self::with_scheme(DeuceFnwScheme::new(epoch, counter_bits), engine, addr, initial)
     }
 
     /// Current counter value.
     #[must_use]
     pub fn counter(&self) -> u64 {
-        self.counter.value()
-    }
-
-    /// The current stored image (ciphertext + 64 metadata bits).
-    #[must_use]
-    pub fn image(&self) -> LineImage {
-        LineImage::new(self.stored, self.meta)
+        self.state().ctr.value()
     }
 }
 

@@ -8,16 +8,216 @@
 //! FNW mode — repurposing the 32 modified bits as FNW flip bits — until
 //! the next epoch resets it to DEUCE.
 
-use deuce_crypto::{EpochInterval, LineAddr, LineBytes, LineCounter, OtpEngine, VirtualCounterPair};
+use deuce_crypto::{EpochInterval, LineAddr, LineBytes, OtpEngine, Pad, VirtualCounterPair};
 use deuce_nvm::{LineImage, MetaBits};
 
 use crate::config::WordSize;
+use crate::core::{assert_counter_width, CtrState};
 use crate::fnw::{fnw_decode, fnw_encode};
+use crate::scheme::{LineMut, LineRef, LineScheme, SchemeCell};
 use crate::WriteOutcome;
 
 /// Index of the mode bit within the 33-bit metadata (bits `0..32` are the
 /// modified/flip bits).
 const MODE_BIT: u32 = 32;
+
+/// Per-line DynDEUCE state: the counter plus the raw 33-bit metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DynDeuceState {
+    /// The line counter.
+    pub ctr: CtrState,
+    /// Bits 0..32: modified bits (DEUCE mode) or flip bits (FNW mode).
+    /// Bit 32: mode (0 = DEUCE, 1 = FNW).
+    pub meta: u64,
+}
+
+/// The DynDEUCE scheme parameters shared by every line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynDeuceScheme {
+    /// Epoch interval (full re-encryption period; resets mode to DEUCE).
+    pub epoch: EpochInterval,
+    /// Line-counter width in bits.
+    pub counter_bits: u32,
+}
+
+impl DynDeuceScheme {
+    /// Word size is fixed at 2 bytes: the tracking bits must be
+    /// repurposable as 16-bit-segment FNW flip bits, so the granularities
+    /// must match (§4.6).
+    const WORD: WordSize = WordSize::Bytes2;
+
+    /// Creates the scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counter_bits` is 0 or greater than 48.
+    #[must_use]
+    pub fn new(epoch: EpochInterval, counter_bits: u32) -> Self {
+        assert_counter_width(counter_bits);
+        Self { epoch, counter_bits }
+    }
+
+    fn meta_bits(state: &DynDeuceState) -> MetaBits {
+        MetaBits::from_raw(state.meta, 33)
+    }
+
+    fn tracking_bits(state: &DynDeuceState) -> MetaBits {
+        MetaBits::from_raw(state.meta & 0xFFFF_FFFF, 32)
+    }
+
+    fn in_fnw_mode(state: &DynDeuceState) -> bool {
+        Self::meta_bits(state).get(MODE_BIT)
+    }
+
+    /// The stored line and metadata a DEUCE-mode encoding would produce.
+    /// `pad` is the line pad for the current leading counter.
+    fn deuce_candidate(
+        self,
+        pad: &Pad,
+        stored: &LineBytes,
+        shadow: &LineBytes,
+        state: &DynDeuceState,
+        data: &LineBytes,
+    ) -> (LineBytes, MetaBits) {
+        let w = Self::WORD.bytes();
+        let mut modified = Self::tracking_bits(state);
+        for word in 0..Self::WORD.words_per_line() {
+            let range = word * w..(word + 1) * w;
+            if data[range.clone()] != shadow[range] {
+                modified.set(word as u32, true);
+            }
+        }
+        let mut candidate = *stored;
+        for word in 0..Self::WORD.words_per_line() {
+            if modified.get(word as u32) {
+                for (offset, i) in (word * w..(word + 1) * w).enumerate() {
+                    candidate[i] = data[i] ^ pad.word(word, w)[offset];
+                }
+            }
+        }
+        (candidate, MetaBits::from_raw(modified.raw(), 33)) // mode bit stays 0
+    }
+
+    /// The stored line and metadata an FNW-mode encoding would produce:
+    /// full re-encryption with the leading pad, flip bits repurposed from
+    /// the current tracking bits, mode bit set.
+    fn fnw_candidate(
+        self,
+        pad: &Pad,
+        stored: &LineBytes,
+        state: &DynDeuceState,
+        data: &LineBytes,
+    ) -> (LineBytes, MetaBits) {
+        let ciphertext = pad.xor(data);
+        let enc = fnw_encode(&ciphertext, stored, &Self::tracking_bits(state), 16);
+        (
+            enc.stored,
+            MetaBits::from_raw(enc.flip_bits.raw() | 1 << MODE_BIT, 33),
+        )
+    }
+}
+
+impl LineScheme for DynDeuceScheme {
+    type State = DynDeuceState;
+
+    fn needs_shadow(&self) -> bool {
+        true
+    }
+
+    fn metadata_bits(&self) -> u32 {
+        33
+    }
+
+    fn init(
+        &self,
+        engine: &OtpEngine,
+        addr: LineAddr,
+        initial: &LineBytes,
+    ) -> (LineBytes, DynDeuceState) {
+        (engine.line_pad(addr, 0).xor(initial), DynDeuceState::default())
+    }
+
+    fn write(
+        &self,
+        engine: &OtpEngine,
+        addr: LineAddr,
+        line: LineMut<'_, DynDeuceState>,
+        data: &LineBytes,
+    ) -> WriteOutcome {
+        let old_image = LineImage::new(*line.stored, Self::meta_bits(line.state));
+        let counter_flips = line.state.ctr.bump(self.counter_bits);
+        let v = VirtualCounterPair::derive(line.state.ctr.value(), self.epoch);
+
+        let epoch_started = v.is_epoch_start();
+        if epoch_started {
+            // Mode returns to DEUCE at every epoch start (§4.6).
+            *line.stored = engine.line_pad(addr, v.lctr()).xor(data);
+            line.state.meta = 0;
+        } else if Self::in_fnw_mode(line.state) {
+            // Committed to FNW until the next epoch: full re-encryption
+            // with the fresh pad, FNW-encoded against the stored bits.
+            let ciphertext = engine.line_pad(addr, v.lctr()).xor(data);
+            let enc = fnw_encode(&ciphertext, line.stored, &Self::tracking_bits(line.state), 16);
+            *line.stored = enc.stored;
+            line.state.meta = enc.flip_bits.raw() | 1 << MODE_BIT;
+        } else {
+            // DEUCE mode: evaluate both encodings exactly (Fig. 11).
+            let pad = engine.line_pad(addr, v.lctr());
+            let (deuce_stored, deuce_meta) =
+                self.deuce_candidate(&pad, line.stored, line.shadow, line.state, data);
+            let (fnw_stored, fnw_meta) = self.fnw_candidate(&pad, line.stored, line.state, data);
+
+            let deuce_img = LineImage::new(deuce_stored, deuce_meta);
+            let fnw_img = LineImage::new(fnw_stored, fnw_meta);
+            let deuce_flips = old_image.flips_to(&deuce_img).total();
+            let fnw_flips = old_image.flips_to(&fnw_img).total();
+
+            if fnw_flips < deuce_flips {
+                *line.stored = fnw_stored;
+                line.state.meta = fnw_meta.raw();
+            } else {
+                *line.stored = deuce_stored;
+                line.state.meta = deuce_meta.raw();
+            }
+        }
+        *line.shadow = *data;
+        WriteOutcome::from_images(
+            old_image,
+            LineImage::new(*line.stored, Self::meta_bits(line.state)),
+            counter_flips,
+            epoch_started,
+        )
+    }
+
+    fn read(&self, engine: &OtpEngine, addr: LineAddr, line: LineRef<'_, DynDeuceState>) -> LineBytes {
+        let v = VirtualCounterPair::derive(line.state.ctr.value(), self.epoch);
+        if Self::in_fnw_mode(line.state) {
+            let ciphertext = fnw_decode(line.stored, &Self::tracking_bits(line.state), 16);
+            engine.line_pad(addr, v.lctr()).xor(&ciphertext)
+        } else {
+            let pad_lctr = engine.line_pad(addr, v.lctr());
+            let pad_tctr = engine.line_pad(addr, v.tctr());
+            let w = Self::WORD.bytes();
+            let tracking = Self::tracking_bits(line.state);
+            let mut out = [0u8; deuce_crypto::LINE_BYTES];
+            for word in 0..Self::WORD.words_per_line() {
+                let pad = if tracking.get(word as u32) {
+                    pad_lctr.word(word, w)
+                } else {
+                    pad_tctr.word(word, w)
+                };
+                for (offset, i) in (word * w..(word + 1) * w).enumerate() {
+                    out[i] = line.stored[i] ^ pad[offset];
+                }
+            }
+            out
+        }
+    }
+
+    fn image(&self, line: LineRef<'_, DynDeuceState>) -> LineImage {
+        LineImage::new(*line.stored, Self::meta_bits(line.state))
+    }
+}
 
 /// One memory line under DynDEUCE.
 ///
@@ -33,24 +233,9 @@ const MODE_BIT: u32 = 32;
 /// let _ = line.write(&engine, &data);
 /// assert_eq!(line.read(&engine), data);
 /// ```
-#[derive(Debug, Clone)]
-pub struct DynDeuceLine {
-    stored: LineBytes,
-    shadow: LineBytes,
-    /// Bits 0..32: modified bits (DEUCE mode) or flip bits (FNW mode).
-    /// Bit 32: mode (0 = DEUCE, 1 = FNW).
-    meta: MetaBits,
-    addr: LineAddr,
-    counter: LineCounter,
-    epoch: EpochInterval,
-}
+pub type DynDeuceLine = SchemeCell<DynDeuceScheme>;
 
 impl DynDeuceLine {
-    /// Word size is fixed at 2 bytes: the tracking bits must be
-    /// repurposable as 16-bit-segment FNW flip bits, so the granularities
-    /// must match (§4.6).
-    const WORD: WordSize = WordSize::Bytes2;
-
     /// Initializes the line (encrypted in full at counter 0, DEUCE mode).
     #[must_use]
     pub fn new(
@@ -60,159 +245,19 @@ impl DynDeuceLine {
         epoch: EpochInterval,
         counter_bits: u32,
     ) -> Self {
-        let counter = LineCounter::new(counter_bits);
-        Self {
-            stored: engine.line_pad(addr, counter.value()).xor(initial),
-            shadow: *initial,
-            meta: MetaBits::new(33),
-            addr,
-            counter,
-            epoch,
-        }
-    }
-
-    fn tracking_bits(&self) -> MetaBits {
-        MetaBits::from_raw(self.meta.raw() & 0xFFFF_FFFF, 32)
-    }
-
-    fn in_fnw_mode(&self) -> bool {
-        self.meta.get(MODE_BIT)
-    }
-
-    /// Writes new data, dynamically choosing DEUCE or FNW encoding.
-    #[must_use]
-    pub fn write(&mut self, engine: &OtpEngine, data: &LineBytes) -> WriteOutcome {
-        let old_image = self.image();
-        let old_ctr = self.counter.value();
-        self.counter.increment();
-        let v = VirtualCounterPair::derive(self.counter.value(), self.epoch);
-
-        let epoch_started = v.is_epoch_start();
-        if epoch_started {
-            // Mode returns to DEUCE at every epoch start (§4.6).
-            self.stored = engine.line_pad(self.addr, v.lctr()).xor(data);
-            self.meta.clear();
-        } else if self.in_fnw_mode() {
-            // Committed to FNW until the next epoch: full re-encryption
-            // with the fresh pad, FNW-encoded against the stored bits.
-            let ciphertext = engine.line_pad(self.addr, v.lctr()).xor(data);
-            let enc = fnw_encode(&ciphertext, &self.stored, &self.tracking_bits(), 16);
-            self.stored = enc.stored;
-            self.meta = MetaBits::from_raw(enc.flip_bits.raw() | 1 << MODE_BIT, 33);
-        } else {
-            // DEUCE mode: evaluate both encodings exactly (Fig. 11).
-            let (deuce_stored, deuce_meta) = self.deuce_candidate(engine, v, data);
-            let (fnw_stored, fnw_meta) = self.fnw_candidate(engine, v, data);
-
-            let deuce_img = LineImage::new(deuce_stored, deuce_meta);
-            let fnw_img = LineImage::new(fnw_stored, fnw_meta);
-            let deuce_flips = old_image.flips_to(&deuce_img).total();
-            let fnw_flips = old_image.flips_to(&fnw_img).total();
-
-            if fnw_flips < deuce_flips {
-                self.stored = fnw_stored;
-                self.meta = fnw_meta;
-            } else {
-                self.stored = deuce_stored;
-                self.meta = deuce_meta;
-            }
-        }
-        self.shadow = *data;
-        WriteOutcome::from_images(
-            old_image,
-            self.image(),
-            self.counter.flips_from(old_ctr),
-            epoch_started,
-        )
-    }
-
-    /// The stored line and metadata a DEUCE-mode encoding would produce.
-    fn deuce_candidate(
-        &self,
-        engine: &OtpEngine,
-        v: VirtualCounterPair,
-        data: &LineBytes,
-    ) -> (LineBytes, MetaBits) {
-        let w = Self::WORD.bytes();
-        let mut modified = self.tracking_bits();
-        for word in 0..Self::WORD.words_per_line() {
-            let range = word * w..(word + 1) * w;
-            if data[range.clone()] != self.shadow[range] {
-                modified.set(word as u32, true);
-            }
-        }
-        let pad = engine.line_pad(self.addr, v.lctr());
-        let mut stored = self.stored;
-        for word in 0..Self::WORD.words_per_line() {
-            if modified.get(word as u32) {
-                for (offset, i) in (word * w..(word + 1) * w).enumerate() {
-                    stored[i] = data[i] ^ pad.word(word, w)[offset];
-                }
-            }
-        }
-        (stored, MetaBits::from_raw(modified.raw(), 33)) // mode bit stays 0
-    }
-
-    /// The stored line and metadata an FNW-mode encoding would produce:
-    /// full re-encryption with the leading pad, flip bits repurposed from
-    /// the current tracking bits, mode bit set.
-    fn fnw_candidate(
-        &self,
-        engine: &OtpEngine,
-        v: VirtualCounterPair,
-        data: &LineBytes,
-    ) -> (LineBytes, MetaBits) {
-        let ciphertext = engine.line_pad(self.addr, v.lctr()).xor(data);
-        let enc = fnw_encode(&ciphertext, &self.stored, &self.tracking_bits(), 16);
-        (
-            enc.stored,
-            MetaBits::from_raw(enc.flip_bits.raw() | 1 << MODE_BIT, 33),
-        )
-    }
-
-    /// Reads the line under the current mode.
-    #[must_use]
-    pub fn read(&self, engine: &OtpEngine) -> LineBytes {
-        let v = VirtualCounterPair::derive(self.counter.value(), self.epoch);
-        if self.in_fnw_mode() {
-            let ciphertext = fnw_decode(&self.stored, &self.tracking_bits(), 16);
-            engine.line_pad(self.addr, v.lctr()).xor(&ciphertext)
-        } else {
-            let pad_lctr = engine.line_pad(self.addr, v.lctr());
-            let pad_tctr = engine.line_pad(self.addr, v.tctr());
-            let w = Self::WORD.bytes();
-            let tracking = self.tracking_bits();
-            let mut out = [0u8; deuce_crypto::LINE_BYTES];
-            for word in 0..Self::WORD.words_per_line() {
-                let pad = if tracking.get(word as u32) {
-                    pad_lctr.word(word, w)
-                } else {
-                    pad_tctr.word(word, w)
-                };
-                for (offset, i) in (word * w..(word + 1) * w).enumerate() {
-                    out[i] = self.stored[i] ^ pad[offset];
-                }
-            }
-            out
-        }
+        Self::with_scheme(DynDeuceScheme::new(epoch, counter_bits), engine, addr, initial)
     }
 
     /// Whether the line is currently in FNW mode.
     #[must_use]
     pub fn is_fnw_mode(&self) -> bool {
-        self.in_fnw_mode()
+        DynDeuceScheme::in_fnw_mode(self.state())
     }
 
     /// Current counter value.
     #[must_use]
     pub fn counter(&self) -> u64 {
-        self.counter.value()
-    }
-
-    /// The current stored image (ciphertext + 33 metadata bits).
-    #[must_use]
-    pub fn image(&self) -> LineImage {
-        LineImage::new(self.stored, self.meta)
+        self.state().ctr.value()
     }
 }
 

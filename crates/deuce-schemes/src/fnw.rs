@@ -9,8 +9,12 @@
 //! trims 12.4% → 10.5% average flips; on encrypted (random) data it trims
 //! 50% → ~42.7%.
 
-use deuce_crypto::{LineBytes, LINE_BYTES};
+use deuce_crypto::{LineAddr, LineBytes, OtpEngine, LINE_BYTES};
 use deuce_nvm::{LineImage, MetaBits};
+
+use crate::core::{assert_counter_width, null_addr, null_engine, CtrState};
+use crate::scheme::{LineMut, LineRef, LineScheme, SchemeCell};
+use crate::WriteOutcome;
 
 /// The chosen FNW encoding of a full line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,48 +106,120 @@ pub fn fnw_decode_segment(stored: &[u8], inverted: bool) -> Vec<u8> {
         .collect()
 }
 
+/// Per-line FNW state: the raw per-segment flip bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FnwState {
+    /// Raw flip bits (one per segment, LSB = segment 0).
+    pub flip_bits: u64,
+}
+
 /// Plaintext memory with Flip-N-Write (the paper's unencrypted FNW
-/// reference point).
+/// reference point). Per-line state: the flip bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnencryptedFnwScheme {
+    /// FNW segment width in bits.
+    pub segment_bits: u32,
+}
+
+impl UnencryptedFnwScheme {
+    /// Creates the scheme with the given segment width.
+    #[must_use]
+    pub fn new(segment_bits: u32) -> Self {
+        Self { segment_bits }
+    }
+
+    fn segments(self) -> u32 {
+        (LINE_BYTES * 8) as u32 / self.segment_bits
+    }
+}
+
+impl LineScheme for UnencryptedFnwScheme {
+    type State = FnwState;
+
+    fn needs_shadow(&self) -> bool {
+        false
+    }
+
+    fn metadata_bits(&self) -> u32 {
+        self.segments()
+    }
+
+    fn init(&self, _engine: &OtpEngine, _addr: LineAddr, initial: &LineBytes) -> (LineBytes, FnwState) {
+        (*initial, FnwState::default())
+    }
+
+    fn write(
+        &self,
+        _engine: &OtpEngine,
+        _addr: LineAddr,
+        line: LineMut<'_, FnwState>,
+        data: &LineBytes,
+    ) -> WriteOutcome {
+        let flip_bits = MetaBits::from_raw(line.state.flip_bits, self.segments());
+        let old_image = LineImage::new(*line.stored, flip_bits);
+        let enc = fnw_encode(data, line.stored, &flip_bits, self.segment_bits);
+        *line.stored = enc.stored;
+        line.state.flip_bits = enc.flip_bits.raw();
+        WriteOutcome::from_images(old_image, LineImage::new(enc.stored, enc.flip_bits), 0, false)
+    }
+
+    fn read(&self, _engine: &OtpEngine, _addr: LineAddr, line: LineRef<'_, FnwState>) -> LineBytes {
+        let flip_bits = MetaBits::from_raw(line.state.flip_bits, self.segments());
+        fnw_decode(line.stored, &flip_bits, self.segment_bits)
+    }
+
+    fn image(&self, line: LineRef<'_, FnwState>) -> LineImage {
+        LineImage::new(*line.stored, MetaBits::from_raw(line.state.flip_bits, self.segments()))
+    }
+}
+
+/// Plaintext memory with Flip-N-Write, under the historical engine-less
+/// `write`/`read` API.
 #[derive(Debug, Clone)]
 pub struct UnencryptedFnwLine {
-    stored: LineBytes,
-    flip_bits: MetaBits,
-    segment_bits: u32,
+    cell: SchemeCell<UnencryptedFnwScheme>,
 }
 
 impl UnencryptedFnwLine {
     /// Initializes the line holding `initial` (stored un-inverted).
     #[must_use]
     pub fn new(initial: &LineBytes, segment_bits: u32) -> Self {
-        let segments = (LINE_BYTES * 8) as u32 / segment_bits;
         Self {
-            stored: *initial,
-            flip_bits: MetaBits::new(segments),
-            segment_bits,
+            cell: SchemeCell::with_scheme(
+                UnencryptedFnwScheme::new(segment_bits),
+                null_engine(),
+                null_addr(),
+                initial,
+            ),
         }
     }
 
     /// Writes new data, FNW-encoded.
     #[must_use]
-    pub fn write(&mut self, data: &LineBytes) -> crate::WriteOutcome {
-        let old_image = self.image();
-        let enc = fnw_encode(data, &self.stored, &self.flip_bits, self.segment_bits);
-        self.stored = enc.stored;
-        self.flip_bits = enc.flip_bits;
-        crate::WriteOutcome::from_images(old_image, self.image(), 0, false)
+    pub fn write(&mut self, data: &LineBytes) -> WriteOutcome {
+        self.cell.write(null_engine(), data)
     }
 
     /// Reads the logical line value.
     #[must_use]
     pub fn read(&self) -> LineBytes {
-        fnw_decode(&self.stored, &self.flip_bits, self.segment_bits)
+        self.cell.read(null_engine())
     }
 
     /// The current stored image.
     #[must_use]
     pub fn image(&self) -> LineImage {
-        LineImage::new(self.stored, self.flip_bits)
+        self.cell.image()
     }
+}
+
+/// Per-line state of encrypted FNW: counter plus flip bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EncryptedFnwState {
+    /// The line counter.
+    pub ctr: CtrState,
+    /// Raw per-segment flip bits.
+    pub flip_bits: u64,
 }
 
 /// Counter-mode encrypted memory with FNW applied to the ciphertext.
@@ -151,62 +227,112 @@ impl UnencryptedFnwLine {
 /// Every write re-encrypts the whole line with a fresh pad (the
 /// counter increments), then FNW picks per-segment inversion — trimming
 /// the avalanche's 50% flips to ~42.7% (Table 3).
-#[derive(Debug, Clone)]
-pub struct EncryptedFnwLine {
-    stored: LineBytes,
-    flip_bits: MetaBits,
-    segment_bits: u32,
-    addr: deuce_crypto::LineAddr,
-    counter: deuce_crypto::LineCounter,
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncryptedFnwScheme {
+    /// FNW segment width in bits.
+    pub segment_bits: u32,
+    /// Line-counter width in bits.
+    pub counter_bits: u32,
 }
+
+impl EncryptedFnwScheme {
+    /// Creates the scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counter_bits` is 0 or greater than 48.
+    #[must_use]
+    pub fn new(segment_bits: u32, counter_bits: u32) -> Self {
+        assert_counter_width(counter_bits);
+        Self {
+            segment_bits,
+            counter_bits,
+        }
+    }
+
+    fn segments(self) -> u32 {
+        (LINE_BYTES * 8) as u32 / self.segment_bits
+    }
+}
+
+impl LineScheme for EncryptedFnwScheme {
+    type State = EncryptedFnwState;
+
+    fn needs_shadow(&self) -> bool {
+        false
+    }
+
+    fn metadata_bits(&self) -> u32 {
+        self.segments()
+    }
+
+    fn init(
+        &self,
+        engine: &OtpEngine,
+        addr: LineAddr,
+        initial: &LineBytes,
+    ) -> (LineBytes, EncryptedFnwState) {
+        (engine.line_pad(addr, 0).xor(initial), EncryptedFnwState::default())
+    }
+
+    fn write(
+        &self,
+        engine: &OtpEngine,
+        addr: LineAddr,
+        line: LineMut<'_, EncryptedFnwState>,
+        data: &LineBytes,
+    ) -> WriteOutcome {
+        let flip_bits = MetaBits::from_raw(line.state.flip_bits, self.segments());
+        let old_image = LineImage::new(*line.stored, flip_bits);
+        let counter_flips = line.state.ctr.bump(self.counter_bits);
+        let ciphertext = engine.line_pad(addr, line.state.ctr.value()).xor(data);
+        let enc = fnw_encode(&ciphertext, line.stored, &flip_bits, self.segment_bits);
+        *line.stored = enc.stored;
+        line.state.flip_bits = enc.flip_bits.raw();
+        WriteOutcome::from_images(
+            old_image,
+            LineImage::new(enc.stored, enc.flip_bits),
+            counter_flips,
+            false,
+        )
+    }
+
+    fn read(
+        &self,
+        engine: &OtpEngine,
+        addr: LineAddr,
+        line: LineRef<'_, EncryptedFnwState>,
+    ) -> LineBytes {
+        let flip_bits = MetaBits::from_raw(line.state.flip_bits, self.segments());
+        let ciphertext = fnw_decode(line.stored, &flip_bits, self.segment_bits);
+        engine.line_pad(addr, line.state.ctr.value()).xor(&ciphertext)
+    }
+
+    fn image(&self, line: LineRef<'_, EncryptedFnwState>) -> LineImage {
+        LineImage::new(*line.stored, MetaBits::from_raw(line.state.flip_bits, self.segments()))
+    }
+}
+
+/// One memory line under counter-mode encryption with FNW.
+pub type EncryptedFnwLine = SchemeCell<EncryptedFnwScheme>;
 
 impl EncryptedFnwLine {
     /// Initializes the line: `initial` is encrypted at counter 0 and
     /// stored un-inverted.
     #[must_use]
     pub fn new(
-        engine: &deuce_crypto::OtpEngine,
-        addr: deuce_crypto::LineAddr,
+        engine: &OtpEngine,
+        addr: LineAddr,
         initial: &LineBytes,
         segment_bits: u32,
         counter_bits: u32,
     ) -> Self {
-        let segments = (LINE_BYTES * 8) as u32 / segment_bits;
-        let counter = deuce_crypto::LineCounter::new(counter_bits);
-        let ciphertext = engine.line_pad(addr, counter.value()).xor(initial);
-        Self {
-            stored: ciphertext,
-            flip_bits: MetaBits::new(segments),
-            segment_bits,
+        Self::with_scheme(
+            EncryptedFnwScheme::new(segment_bits, counter_bits),
+            engine,
             addr,
-            counter,
-        }
-    }
-
-    /// Writes new data: increments the counter, re-encrypts, FNW-encodes.
-    #[must_use]
-    pub fn write(&mut self, engine: &deuce_crypto::OtpEngine, data: &LineBytes) -> crate::WriteOutcome {
-        let old_image = self.image();
-        let old_ctr = self.counter.value();
-        self.counter.increment();
-        let ciphertext = engine.line_pad(self.addr, self.counter.value()).xor(data);
-        let enc = fnw_encode(&ciphertext, &self.stored, &self.flip_bits, self.segment_bits);
-        self.stored = enc.stored;
-        self.flip_bits = enc.flip_bits;
-        crate::WriteOutcome::from_images(old_image, self.image(), self.counter.flips_from(old_ctr), false)
-    }
-
-    /// Reads and decrypts the logical line value.
-    #[must_use]
-    pub fn read(&self, engine: &deuce_crypto::OtpEngine) -> LineBytes {
-        let ciphertext = fnw_decode(&self.stored, &self.flip_bits, self.segment_bits);
-        engine.line_pad(self.addr, self.counter.value()).xor(&ciphertext)
-    }
-
-    /// The current stored image.
-    #[must_use]
-    pub fn image(&self) -> LineImage {
-        LineImage::new(self.stored, self.flip_bits)
+            initial,
+        )
     }
 }
 

@@ -16,10 +16,13 @@
 //! | DEUCE+FNW | §4.6 | 64 | 20.3% |
 //! | BLE+DEUCE | §7.1 | 32 (+4 counters) | 19.9% |
 //!
-//! Every scheme is driven through the same interface: construct a
-//! [`SchemeLine`] for each memory line, feed it writebacks, and it returns
-//! a [`WriteOutcome`] carrying the exact old/new stored images — from
-//! which bit flips, write slots, energy, and wear all derive.
+//! Every scheme is driven through the same interface: a small `Copy`
+//! parameter struct implementing [`LineScheme`] plus a compact per-line
+//! state. Single lines live in a [`SchemeCell`] (of which [`SchemeLine`]
+//! is the runtime-dispatched flavour); whole memories live in an
+//! arena-backed [`LineStore`]. Writes return a [`WriteOutcome`] carrying
+//! the exact old/new stored images — from which bit flips, write slots,
+//! energy, and wear all derive.
 //!
 //! # Examples
 //!
@@ -48,6 +51,7 @@
 mod addr_pad;
 mod ble;
 mod config;
+mod core;
 mod dcw;
 mod deuce;
 mod deuce_fnw;
@@ -55,17 +59,25 @@ mod dyn_deuce;
 mod fnw;
 mod line;
 mod outcome;
+mod scheme;
+mod store;
 
-pub use addr_pad::AddrPadLine;
-pub use ble::{BleDeuceLine, BleLine};
+pub use addr_pad::{AddrPadLine, AddrPadScheme};
+pub use ble::{BleDeuceLine, BleDeuceScheme, BleDeuceState, BleLine, BleScheme, BleState};
 pub use config::{SchemeConfig, SchemeKind, WordSize};
-pub use dcw::{EncryptedDcwLine, UnencryptedDcwLine};
-pub use deuce::DeuceLine;
-pub use deuce_fnw::DeuceFnwLine;
-pub use dyn_deuce::DynDeuceLine;
-pub use fnw::{fnw_decode_segment, fnw_encode, EncryptedFnwLine, FnwEncoding, UnencryptedFnwLine};
-pub use line::SchemeLine;
+pub use self::core::CtrState;
+pub use dcw::{EncryptedDcwLine, EncryptedDcwScheme, UnencryptedDcwLine, UnencryptedDcwScheme};
+pub use deuce::{DeuceLine, DeuceScheme, DeuceState};
+pub use deuce_fnw::{DeuceFnwLine, DeuceFnwScheme, DeuceFnwState};
+pub use dyn_deuce::{DynDeuceLine, DynDeuceScheme, DynDeuceState};
+pub use fnw::{
+    fnw_decode_segment, fnw_encode, EncryptedFnwLine, EncryptedFnwScheme, EncryptedFnwState,
+    FnwEncoding, FnwState, UnencryptedFnwLine, UnencryptedFnwScheme,
+};
+pub use line::{AnyScheme, AnyState, SchemeLine};
 pub use outcome::WriteOutcome;
+pub use scheme::{LineMut, LineRef, LineScheme, SchemeCell};
+pub use store::LineStore;
 
 pub use deuce_crypto::{EpochInterval, LineAddr, LineBytes, OtpEngine, SecretKey, LINE_BYTES};
 pub use deuce_nvm::{FlipCount, LineImage, MetaBits};

@@ -1,23 +1,306 @@
 //! Uniform dispatch over all schemes, so the simulator can run any
 //! [`SchemeKind`] chosen at runtime.
+//!
+//! [`AnyScheme`] implements [`crate::LineScheme`] by matching on a
+//! (scheme, state) pair, and [`SchemeLine`] is just
+//! `SchemeCell<AnyScheme>` — the generic machinery with dispatch folded
+//! into one `match` per operation. Code that knows its scheme at compile
+//! time should use the concrete parameter structs ([`crate::DeuceScheme`]
+//! …) instead and let monomorphisation remove the dispatch.
 
 use deuce_crypto::{LineAddr, LineBytes, OtpEngine};
 use deuce_nvm::LineImage;
 
-use crate::addr_pad::AddrPadLine;
-use crate::ble::{BleDeuceLine, BleLine};
+use crate::addr_pad::AddrPadScheme;
+use crate::ble::{BleDeuceScheme, BleDeuceState, BleScheme, BleState};
 use crate::config::SchemeConfig;
-use crate::dcw::{EncryptedDcwLine, UnencryptedDcwLine};
-use crate::deuce::DeuceLine;
-use crate::deuce_fnw::DeuceFnwLine;
-use crate::dyn_deuce::DynDeuceLine;
-use crate::fnw::{EncryptedFnwLine, UnencryptedFnwLine};
+use crate::dcw::{EncryptedDcwScheme, UnencryptedDcwScheme};
+use crate::core::CtrState;
+use crate::deuce::{DeuceScheme, DeuceState};
+use crate::deuce_fnw::{DeuceFnwScheme, DeuceFnwState};
+use crate::dyn_deuce::{DynDeuceScheme, DynDeuceState};
+use crate::fnw::{EncryptedFnwScheme, EncryptedFnwState, FnwState, UnencryptedFnwScheme};
+use crate::scheme::{LineMut, LineRef, LineScheme, SchemeCell};
 use crate::{SchemeKind, WriteOutcome};
+
+/// Any of the ten schemes, selected at runtime from a [`SchemeConfig`].
+///
+/// Carries the config-reported metadata bits separately from the scheme
+/// because the two can legitimately differ: `SchemeConfig` accounts
+/// DynDEUCE / DEUCE+FNW metadata at the configured word size, while their
+/// line formats fix the word size at 2 bytes (33 / 64 stored bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnyScheme {
+    kind: AnySchemeKind,
+    metadata_bits: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AnySchemeKind {
+    UnencryptedDcw(UnencryptedDcwScheme),
+    UnencryptedFnw(UnencryptedFnwScheme),
+    EncryptedDcw(EncryptedDcwScheme),
+    EncryptedFnw(EncryptedFnwScheme),
+    Ble(BleScheme),
+    Deuce(DeuceScheme),
+    DynDeuce(DynDeuceScheme),
+    DeuceFnw(DeuceFnwScheme),
+    BleDeuce(BleDeuceScheme),
+    AddrPad(AddrPadScheme),
+}
+
+/// The per-line state of an [`AnyScheme`] line: the concrete scheme's
+/// compact state behind one tag.
+#[derive(Debug, Clone, Copy)]
+pub enum AnyState {
+    /// Plaintext DCW carries no state.
+    UnencryptedDcw,
+    /// Plaintext FNW flip bits.
+    UnencryptedFnw(FnwState),
+    /// Encrypted DCW counter.
+    EncryptedDcw(CtrState),
+    /// Encrypted FNW counter + flip bits.
+    EncryptedFnw(EncryptedFnwState),
+    /// BLE per-block counters.
+    Ble(BleState),
+    /// DEUCE counter + modified bits.
+    Deuce(DeuceState),
+    /// DynDEUCE counter + mode/tracking bits.
+    DynDeuce(DynDeuceState),
+    /// DEUCE+FNW counter + modified/flip bits.
+    DeuceFnw(DeuceFnwState),
+    /// BLE+DEUCE per-block counters + modified bits.
+    BleDeuce(BleDeuceState),
+    /// Address-pad encryption carries no state.
+    AddrPad,
+}
+
+impl AnyScheme {
+    /// Builds the runtime-dispatched scheme a [`SchemeConfig`] describes.
+    #[must_use]
+    pub fn from_config(config: &SchemeConfig) -> Self {
+        let kind = match config.kind {
+            SchemeKind::UnencryptedDcw => AnySchemeKind::UnencryptedDcw(UnencryptedDcwScheme),
+            SchemeKind::UnencryptedFnw => {
+                AnySchemeKind::UnencryptedFnw(UnencryptedFnwScheme::new(config.fnw_segment_bits))
+            }
+            SchemeKind::EncryptedDcw => {
+                AnySchemeKind::EncryptedDcw(EncryptedDcwScheme::new(config.counter_bits))
+            }
+            SchemeKind::EncryptedFnw => AnySchemeKind::EncryptedFnw(EncryptedFnwScheme::new(
+                config.fnw_segment_bits,
+                config.counter_bits,
+            )),
+            SchemeKind::Ble => AnySchemeKind::Ble(BleScheme::new(config.counter_bits)),
+            SchemeKind::Deuce => AnySchemeKind::Deuce(DeuceScheme::new(
+                config.word_size,
+                config.epoch,
+                config.counter_bits,
+            )),
+            SchemeKind::DynDeuce => {
+                AnySchemeKind::DynDeuce(DynDeuceScheme::new(config.epoch, config.counter_bits))
+            }
+            SchemeKind::DeuceFnw => {
+                AnySchemeKind::DeuceFnw(DeuceFnwScheme::new(config.epoch, config.counter_bits))
+            }
+            SchemeKind::BleDeuce => AnySchemeKind::BleDeuce(BleDeuceScheme::new(
+                config.word_size,
+                config.epoch,
+                config.counter_bits,
+            )),
+            SchemeKind::AddrPad => AnySchemeKind::AddrPad(AddrPadScheme),
+        };
+        Self {
+            kind,
+            metadata_bits: config.metadata_bits(),
+        }
+    }
+}
+
+impl LineScheme for AnyScheme {
+    type State = AnyState;
+
+    fn needs_shadow(&self) -> bool {
+        match &self.kind {
+            AnySchemeKind::UnencryptedDcw(s) => s.needs_shadow(),
+            AnySchemeKind::UnencryptedFnw(s) => s.needs_shadow(),
+            AnySchemeKind::EncryptedDcw(s) => s.needs_shadow(),
+            AnySchemeKind::EncryptedFnw(s) => s.needs_shadow(),
+            AnySchemeKind::Ble(s) => s.needs_shadow(),
+            AnySchemeKind::Deuce(s) => s.needs_shadow(),
+            AnySchemeKind::DynDeuce(s) => s.needs_shadow(),
+            AnySchemeKind::DeuceFnw(s) => s.needs_shadow(),
+            AnySchemeKind::BleDeuce(s) => s.needs_shadow(),
+            AnySchemeKind::AddrPad(s) => s.needs_shadow(),
+        }
+    }
+
+    fn metadata_bits(&self) -> u32 {
+        self.metadata_bits
+    }
+
+    fn init(&self, engine: &OtpEngine, addr: LineAddr, initial: &LineBytes) -> (LineBytes, AnyState) {
+        match &self.kind {
+            AnySchemeKind::UnencryptedDcw(s) => {
+                let (stored, ()) = s.init(engine, addr, initial);
+                (stored, AnyState::UnencryptedDcw)
+            }
+            AnySchemeKind::UnencryptedFnw(s) => {
+                let (stored, st) = s.init(engine, addr, initial);
+                (stored, AnyState::UnencryptedFnw(st))
+            }
+            AnySchemeKind::EncryptedDcw(s) => {
+                let (stored, st) = s.init(engine, addr, initial);
+                (stored, AnyState::EncryptedDcw(st))
+            }
+            AnySchemeKind::EncryptedFnw(s) => {
+                let (stored, st) = s.init(engine, addr, initial);
+                (stored, AnyState::EncryptedFnw(st))
+            }
+            AnySchemeKind::Ble(s) => {
+                let (stored, st) = s.init(engine, addr, initial);
+                (stored, AnyState::Ble(st))
+            }
+            AnySchemeKind::Deuce(s) => {
+                let (stored, st) = s.init(engine, addr, initial);
+                (stored, AnyState::Deuce(st))
+            }
+            AnySchemeKind::DynDeuce(s) => {
+                let (stored, st) = s.init(engine, addr, initial);
+                (stored, AnyState::DynDeuce(st))
+            }
+            AnySchemeKind::DeuceFnw(s) => {
+                let (stored, st) = s.init(engine, addr, initial);
+                (stored, AnyState::DeuceFnw(st))
+            }
+            AnySchemeKind::BleDeuce(s) => {
+                let (stored, st) = s.init(engine, addr, initial);
+                (stored, AnyState::BleDeuce(st))
+            }
+            AnySchemeKind::AddrPad(s) => {
+                let (stored, ()) = s.init(engine, addr, initial);
+                (stored, AnyState::AddrPad)
+            }
+        }
+    }
+
+    fn write(
+        &self,
+        engine: &OtpEngine,
+        addr: LineAddr,
+        line: LineMut<'_, AnyState>,
+        data: &LineBytes,
+    ) -> WriteOutcome {
+        let LineMut { stored, shadow, state } = line;
+        match (&self.kind, state) {
+            (AnySchemeKind::UnencryptedDcw(s), AnyState::UnencryptedDcw) => {
+                s.write(engine, addr, LineMut { stored, shadow, state: &mut () }, data)
+            }
+            (AnySchemeKind::UnencryptedFnw(s), AnyState::UnencryptedFnw(st)) => {
+                s.write(engine, addr, LineMut { stored, shadow, state: st }, data)
+            }
+            (AnySchemeKind::EncryptedDcw(s), AnyState::EncryptedDcw(st)) => {
+                s.write(engine, addr, LineMut { stored, shadow, state: st }, data)
+            }
+            (AnySchemeKind::EncryptedFnw(s), AnyState::EncryptedFnw(st)) => {
+                s.write(engine, addr, LineMut { stored, shadow, state: st }, data)
+            }
+            (AnySchemeKind::Ble(s), AnyState::Ble(st)) => {
+                s.write(engine, addr, LineMut { stored, shadow, state: st }, data)
+            }
+            (AnySchemeKind::Deuce(s), AnyState::Deuce(st)) => {
+                s.write(engine, addr, LineMut { stored, shadow, state: st }, data)
+            }
+            (AnySchemeKind::DynDeuce(s), AnyState::DynDeuce(st)) => {
+                s.write(engine, addr, LineMut { stored, shadow, state: st }, data)
+            }
+            (AnySchemeKind::DeuceFnw(s), AnyState::DeuceFnw(st)) => {
+                s.write(engine, addr, LineMut { stored, shadow, state: st }, data)
+            }
+            (AnySchemeKind::BleDeuce(s), AnyState::BleDeuce(st)) => {
+                s.write(engine, addr, LineMut { stored, shadow, state: st }, data)
+            }
+            (AnySchemeKind::AddrPad(s), AnyState::AddrPad) => {
+                s.write(engine, addr, LineMut { stored, shadow, state: &mut () }, data)
+            }
+            _ => unreachable!("scheme/state mismatch"),
+        }
+    }
+
+    fn read(&self, engine: &OtpEngine, addr: LineAddr, line: LineRef<'_, AnyState>) -> LineBytes {
+        let LineRef { stored, state } = line;
+        match (&self.kind, state) {
+            (AnySchemeKind::UnencryptedDcw(s), AnyState::UnencryptedDcw) => {
+                s.read(engine, addr, LineRef { stored, state: &() })
+            }
+            (AnySchemeKind::UnencryptedFnw(s), AnyState::UnencryptedFnw(st)) => {
+                s.read(engine, addr, LineRef { stored, state: st })
+            }
+            (AnySchemeKind::EncryptedDcw(s), AnyState::EncryptedDcw(st)) => {
+                s.read(engine, addr, LineRef { stored, state: st })
+            }
+            (AnySchemeKind::EncryptedFnw(s), AnyState::EncryptedFnw(st)) => {
+                s.read(engine, addr, LineRef { stored, state: st })
+            }
+            (AnySchemeKind::Ble(s), AnyState::Ble(st)) => {
+                s.read(engine, addr, LineRef { stored, state: st })
+            }
+            (AnySchemeKind::Deuce(s), AnyState::Deuce(st)) => {
+                s.read(engine, addr, LineRef { stored, state: st })
+            }
+            (AnySchemeKind::DynDeuce(s), AnyState::DynDeuce(st)) => {
+                s.read(engine, addr, LineRef { stored, state: st })
+            }
+            (AnySchemeKind::DeuceFnw(s), AnyState::DeuceFnw(st)) => {
+                s.read(engine, addr, LineRef { stored, state: st })
+            }
+            (AnySchemeKind::BleDeuce(s), AnyState::BleDeuce(st)) => {
+                s.read(engine, addr, LineRef { stored, state: st })
+            }
+            (AnySchemeKind::AddrPad(s), AnyState::AddrPad) => {
+                s.read(engine, addr, LineRef { stored, state: &() })
+            }
+            _ => unreachable!("scheme/state mismatch"),
+        }
+    }
+
+    fn image(&self, line: LineRef<'_, AnyState>) -> LineImage {
+        let LineRef { stored, state } = line;
+        match (&self.kind, state) {
+            (AnySchemeKind::UnencryptedDcw(s), AnyState::UnencryptedDcw) => {
+                s.image(LineRef { stored, state: &() })
+            }
+            (AnySchemeKind::UnencryptedFnw(s), AnyState::UnencryptedFnw(st)) => {
+                s.image(LineRef { stored, state: st })
+            }
+            (AnySchemeKind::EncryptedDcw(s), AnyState::EncryptedDcw(st)) => {
+                s.image(LineRef { stored, state: st })
+            }
+            (AnySchemeKind::EncryptedFnw(s), AnyState::EncryptedFnw(st)) => {
+                s.image(LineRef { stored, state: st })
+            }
+            (AnySchemeKind::Ble(s), AnyState::Ble(st)) => s.image(LineRef { stored, state: st }),
+            (AnySchemeKind::Deuce(s), AnyState::Deuce(st)) => s.image(LineRef { stored, state: st }),
+            (AnySchemeKind::DynDeuce(s), AnyState::DynDeuce(st)) => {
+                s.image(LineRef { stored, state: st })
+            }
+            (AnySchemeKind::DeuceFnw(s), AnyState::DeuceFnw(st)) => {
+                s.image(LineRef { stored, state: st })
+            }
+            (AnySchemeKind::BleDeuce(s), AnyState::BleDeuce(st)) => {
+                s.image(LineRef { stored, state: st })
+            }
+            (AnySchemeKind::AddrPad(s), AnyState::AddrPad) => s.image(LineRef { stored, state: &() }),
+            _ => unreachable!("scheme/state mismatch"),
+        }
+    }
+}
 
 /// One memory line under any scheme, selected at runtime.
 ///
-/// This is the type the trace-driven simulator instantiates per line; it
-/// forwards `write`/`read`/`image` to the concrete scheme.
+/// This is the type the trace-driven simulator instantiates per line when
+/// the scheme is chosen at runtime; it forwards `write`/`read`/`image`
+/// through [`AnyScheme`] to the concrete scheme.
 ///
 /// # Examples
 ///
@@ -34,25 +317,7 @@ use crate::{SchemeKind, WriteOutcome};
 ///     assert_eq!(line.read(&engine), data, "{kind}");
 /// }
 /// ```
-#[derive(Debug, Clone)]
-pub struct SchemeLine {
-    inner: Inner,
-    metadata_bits: u32,
-}
-
-#[derive(Debug, Clone)]
-enum Inner {
-    UnencryptedDcw(UnencryptedDcwLine),
-    UnencryptedFnw(UnencryptedFnwLine),
-    EncryptedDcw(EncryptedDcwLine),
-    EncryptedFnw(EncryptedFnwLine),
-    Ble(BleLine),
-    Deuce(DeuceLine),
-    DynDeuce(DynDeuceLine),
-    DeuceFnw(DeuceFnwLine),
-    BleDeuce(BleDeuceLine),
-    AddrPad(AddrPadLine),
-}
+pub type SchemeLine = SchemeCell<AnyScheme>;
 
 impl SchemeLine {
     /// Creates a line holding `initial` under the configured scheme.
@@ -63,119 +328,7 @@ impl SchemeLine {
         addr: LineAddr,
         initial: &LineBytes,
     ) -> Self {
-        let inner = match config.kind {
-            SchemeKind::UnencryptedDcw => Inner::UnencryptedDcw(UnencryptedDcwLine::new(initial)),
-            SchemeKind::UnencryptedFnw => {
-                Inner::UnencryptedFnw(UnencryptedFnwLine::new(initial, config.fnw_segment_bits))
-            }
-            SchemeKind::EncryptedDcw => Inner::EncryptedDcw(EncryptedDcwLine::new(
-                engine,
-                addr,
-                initial,
-                config.counter_bits,
-            )),
-            SchemeKind::EncryptedFnw => Inner::EncryptedFnw(EncryptedFnwLine::new(
-                engine,
-                addr,
-                initial,
-                config.fnw_segment_bits,
-                config.counter_bits,
-            )),
-            SchemeKind::Ble => Inner::Ble(BleLine::new(engine, addr, initial, config.counter_bits)),
-            SchemeKind::Deuce => Inner::Deuce(DeuceLine::new(
-                engine,
-                addr,
-                initial,
-                config.word_size,
-                config.epoch,
-                config.counter_bits,
-            )),
-            SchemeKind::DynDeuce => Inner::DynDeuce(DynDeuceLine::new(
-                engine,
-                addr,
-                initial,
-                config.epoch,
-                config.counter_bits,
-            )),
-            SchemeKind::DeuceFnw => Inner::DeuceFnw(DeuceFnwLine::new(
-                engine,
-                addr,
-                initial,
-                config.epoch,
-                config.counter_bits,
-            )),
-            SchemeKind::BleDeuce => Inner::BleDeuce(BleDeuceLine::new(
-                engine,
-                addr,
-                initial,
-                config.word_size,
-                config.epoch,
-                config.counter_bits,
-            )),
-            SchemeKind::AddrPad => Inner::AddrPad(AddrPadLine::new(engine, addr, initial)),
-        };
-        Self {
-            inner,
-            metadata_bits: config.metadata_bits(),
-        }
-    }
-
-    /// Writes a full line of new data, returning the exact device-level
-    /// outcome.
-    #[must_use]
-    pub fn write(&mut self, engine: &OtpEngine, data: &LineBytes) -> WriteOutcome {
-        match &mut self.inner {
-            Inner::UnencryptedDcw(l) => l.write(data),
-            Inner::UnencryptedFnw(l) => l.write(data),
-            Inner::EncryptedDcw(l) => l.write(engine, data),
-            Inner::EncryptedFnw(l) => l.write(engine, data),
-            Inner::Ble(l) => l.write(engine, data),
-            Inner::Deuce(l) => l.write(engine, data),
-            Inner::DynDeuce(l) => l.write(engine, data),
-            Inner::DeuceFnw(l) => l.write(engine, data),
-            Inner::BleDeuce(l) => l.write(engine, data),
-            Inner::AddrPad(l) => l.write(engine, data),
-        }
-    }
-
-    /// Reads (and if necessary decrypts) the logical line value.
-    #[must_use]
-    pub fn read(&self, engine: &OtpEngine) -> LineBytes {
-        match &self.inner {
-            Inner::UnencryptedDcw(l) => l.read(),
-            Inner::UnencryptedFnw(l) => l.read(),
-            Inner::EncryptedDcw(l) => l.read(engine),
-            Inner::EncryptedFnw(l) => l.read(engine),
-            Inner::Ble(l) => l.read(engine),
-            Inner::Deuce(l) => l.read(engine),
-            Inner::DynDeuce(l) => l.read(engine),
-            Inner::DeuceFnw(l) => l.read(engine),
-            Inner::BleDeuce(l) => l.read(engine),
-            Inner::AddrPad(l) => l.read(engine),
-        }
-    }
-
-    /// The current stored image.
-    #[must_use]
-    pub fn image(&self) -> LineImage {
-        match &self.inner {
-            Inner::UnencryptedDcw(l) => l.image(),
-            Inner::UnencryptedFnw(l) => l.image(),
-            Inner::EncryptedDcw(l) => l.image(),
-            Inner::EncryptedFnw(l) => l.image(),
-            Inner::Ble(l) => l.image(),
-            Inner::Deuce(l) => l.image(),
-            Inner::DynDeuce(l) => l.image(),
-            Inner::DeuceFnw(l) => l.image(),
-            Inner::BleDeuce(l) => l.image(),
-            Inner::AddrPad(l) => l.image(),
-        }
-    }
-
-    /// Metadata bits this line stores (Table 3 accounting).
-    #[must_use]
-    pub fn metadata_bits(&self) -> u32 {
-        self.metadata_bits
+        Self::with_scheme(AnyScheme::from_config(config), engine, addr, initial)
     }
 }
 

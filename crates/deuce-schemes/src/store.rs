@@ -1,0 +1,278 @@
+//! Arena-backed storage for many lines under one scheme.
+//!
+//! [`LineStore`] replaces per-line fat-enum allocations with three dense
+//! parallel arrays — 64-byte stored images, optional plaintext shadows,
+//! and compact per-line states — plus an address→slot index. Lines are
+//! materialised lazily on first touch, so constructing a store is O(1)
+//! regardless of the address space it will cover.
+
+use std::collections::HashMap;
+
+use deuce_crypto::{LineAddr, LineBytes, OtpEngine, LINE_BYTES};
+use deuce_nvm::LineImage;
+
+use crate::scheme::{LineMut, LineRef, LineScheme};
+use crate::WriteOutcome;
+
+/// Dense, lazily-populated storage for every touched line of a memory
+/// under a single scheme `S`.
+///
+/// # Examples
+///
+/// ```
+/// use deuce_crypto::{LineAddr, OtpEngine, SecretKey};
+/// use deuce_schemes::{EncryptedDcwScheme, LineStore};
+///
+/// let engine = OtpEngine::new(&SecretKey::from_seed(1));
+/// let mut store = LineStore::new(EncryptedDcwScheme::new(28));
+/// assert_eq!(store.len(), 0); // nothing materialised yet
+///
+/// let addr = LineAddr::new(42);
+/// let outcome = store.write(&engine, addr, &[7u8; 64]);
+/// assert!(outcome.flips.total() > 0);
+/// assert_eq!(store.read(&engine, addr), Some([7u8; 64]));
+/// assert_eq!(store.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineStore<S: LineScheme> {
+    scheme: S,
+    /// Address value → slot in the parallel arrays.
+    index: HashMap<u64, u32>,
+    stored: Vec<LineBytes>,
+    /// Parallel to `stored` iff the scheme needs a shadow; empty
+    /// otherwise.
+    shadow: Vec<LineBytes>,
+    state: Vec<S::State>,
+    /// Shadow stand-in handed to shadowless schemes (they never read or
+    /// write it).
+    scratch: LineBytes,
+}
+
+impl<S: LineScheme> LineStore<S> {
+    /// Creates an empty store; no line storage is allocated until a line
+    /// is first touched.
+    #[must_use]
+    pub fn new(scheme: S) -> Self {
+        Self {
+            scheme,
+            index: HashMap::new(),
+            stored: Vec::new(),
+            shadow: Vec::new(),
+            state: Vec::new(),
+            scratch: [0u8; LINE_BYTES],
+        }
+    }
+
+    /// The scheme every line in this store runs under.
+    #[must_use]
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+
+    /// Number of materialised (touched) lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stored.len()
+    }
+
+    /// Whether no line has been touched yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stored.is_empty()
+    }
+
+    /// Whether `addr` has been materialised.
+    #[must_use]
+    pub fn contains(&self, addr: LineAddr) -> bool {
+        self.index.contains_key(&addr.value())
+    }
+
+    /// Materialises `addr` holding `initial` (encrypted/encoded by the
+    /// scheme) and returns its slot. A no-op returning the existing slot
+    /// if the line is already present.
+    pub fn materialize(&mut self, engine: &OtpEngine, addr: LineAddr, initial: &LineBytes) -> u32 {
+        if let Some(&slot) = self.index.get(&addr.value()) {
+            return slot;
+        }
+        let (stored, state) = self.scheme.init(engine, addr, initial);
+        let slot = u32::try_from(self.stored.len()).expect("more than u32::MAX lines");
+        self.stored.push(stored);
+        if self.scheme.needs_shadow() {
+            self.shadow.push(*initial);
+        }
+        self.state.push(state);
+        self.index.insert(addr.value(), slot);
+        slot
+    }
+
+    fn write_slot(&mut self, engine: &OtpEngine, addr: LineAddr, slot: u32, data: &LineBytes) -> WriteOutcome {
+        let i = slot as usize;
+        let shadow = if self.scheme.needs_shadow() {
+            &mut self.shadow[i]
+        } else {
+            &mut self.scratch
+        };
+        self.scheme.write(
+            engine,
+            addr,
+            LineMut {
+                stored: &mut self.stored[i],
+                shadow,
+                state: &mut self.state[i],
+            },
+            data,
+        )
+    }
+
+    /// Simulator semantics: the first write to a line initialises it with
+    /// the written data and is *not* counted (returns `None`); later
+    /// writes run the scheme state machine.
+    pub fn write_first_touch(
+        &mut self,
+        engine: &OtpEngine,
+        addr: LineAddr,
+        data: &LineBytes,
+    ) -> Option<WriteOutcome> {
+        if let Some(&slot) = self.index.get(&addr.value()) {
+            Some(self.write_slot(engine, addr, slot, data))
+        } else {
+            let _ = self.materialize(engine, addr, data);
+            None
+        }
+    }
+
+    /// Memory semantics: an untouched line materialises zeroed, then
+    /// every write — including the first — runs the scheme state machine
+    /// and is counted.
+    pub fn write(&mut self, engine: &OtpEngine, addr: LineAddr, data: &LineBytes) -> WriteOutcome {
+        let slot = self.materialize(engine, addr, &[0u8; LINE_BYTES]);
+        self.write_slot(engine, addr, slot, data)
+    }
+
+    /// Reads a line's logical value, or `None` if it was never touched.
+    #[must_use]
+    pub fn read(&self, engine: &OtpEngine, addr: LineAddr) -> Option<LineBytes> {
+        let &slot = self.index.get(&addr.value())?;
+        let i = slot as usize;
+        Some(self.scheme.read(
+            engine,
+            addr,
+            LineRef {
+                stored: &self.stored[i],
+                state: &self.state[i],
+            },
+        ))
+    }
+
+    /// A line's stored image, or `None` if it was never touched.
+    #[must_use]
+    pub fn image(&self, addr: LineAddr) -> Option<LineImage> {
+        let &slot = self.index.get(&addr.value())?;
+        let i = slot as usize;
+        Some(self.scheme.image(LineRef {
+            stored: &self.stored[i],
+            state: &self.state[i],
+        }))
+    }
+
+    /// Bytes of arena storage one materialised line occupies: the stored
+    /// image, the shadow (if the scheme keeps one), and the compact state.
+    /// Index overhead is excluded, so the figure is deterministic.
+    #[must_use]
+    pub fn per_line_bytes(&self) -> u64 {
+        let shadow = if self.scheme.needs_shadow() { LINE_BYTES } else { 0 };
+        (LINE_BYTES + shadow + core::mem::size_of::<S::State>()) as u64
+    }
+
+    /// Total resident arena bytes across all materialised lines.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.len() as u64 * self.per_line_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SchemeConfig, SchemeKind};
+    use crate::deuce::DeuceScheme;
+    use crate::line::AnyScheme;
+    use crate::SchemeLine;
+    use deuce_crypto::{EpochInterval, SecretKey};
+
+    fn engine() -> OtpEngine {
+        OtpEngine::new(&SecretKey::from_seed(0xFEED))
+    }
+
+    /// The arena path must be bit-identical to a standalone `SchemeCell`
+    /// driving the same writes, for every runtime-selected scheme.
+    #[test]
+    fn arena_matches_scheme_cell_for_all_kinds() {
+        let e = engine();
+        for kind in SchemeKind::ALL {
+            let config = SchemeConfig::new(kind);
+            let addr = LineAddr::new(19);
+            let initial = [3u8; LINE_BYTES];
+            let mut cell = SchemeLine::new(&config, &e, addr, &initial);
+            let mut store = LineStore::new(AnyScheme::from_config(&config));
+            let _ = store.materialize(&e, addr, &initial);
+            for i in 0..40u8 {
+                let mut data = [i; LINE_BYTES];
+                data[5] = i.wrapping_mul(7);
+                let from_cell = cell.write(&e, &data);
+                let from_store = store.write(&e, addr, &data);
+                assert_eq!(from_cell.flips, from_store.flips, "{kind} write {i}");
+                assert_eq!(from_cell.counter_flips, from_store.counter_flips, "{kind} write {i}");
+                assert_eq!(cell.image().data(), store.image(addr).unwrap().data(), "{kind}");
+                assert_eq!(store.read(&e, addr), Some(cell.read(&e)), "{kind} write {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_touch_is_uncounted_then_counted() {
+        let e = engine();
+        let scheme = DeuceScheme::new(
+            crate::WordSize::Bytes2,
+            EpochInterval::DEFAULT,
+            28,
+        );
+        let mut store = LineStore::new(scheme);
+        let addr = LineAddr::new(4);
+        assert!(store.write_first_touch(&e, addr, &[9u8; 64]).is_none());
+        assert!(store.write_first_touch(&e, addr, &[10u8; 64]).is_some());
+        assert_eq!(store.read(&e, addr), Some([10u8; 64]));
+    }
+
+    #[test]
+    fn untouched_lines_cost_nothing() {
+        let e = engine();
+        let mut store = LineStore::new(DeuceScheme::new(
+            crate::WordSize::Bytes2,
+            EpochInterval::DEFAULT,
+            28,
+        ));
+        assert_eq!(store.resident_bytes(), 0);
+        assert!(store.read(&e, LineAddr::new(1)).is_none());
+        assert!(store.image(LineAddr::new(1)).is_none());
+        let _ = store.write(&e, LineAddr::new(1), &[1u8; 64]);
+        // 64 stored + 64 shadow + 16 state (counter + modified bits).
+        assert_eq!(store.resident_bytes(), store.per_line_bytes());
+        assert!(store.contains(LineAddr::new(1)));
+        assert!(!store.contains(LineAddr::new(2)));
+    }
+
+    #[test]
+    fn shadowless_schemes_skip_the_shadow_array() {
+        let e = engine();
+        let mut with_shadow = LineStore::new(AnyScheme::from_config(&SchemeConfig::new(SchemeKind::Deuce)));
+        let mut without = LineStore::new(AnyScheme::from_config(&SchemeConfig::new(SchemeKind::EncryptedDcw)));
+        let _ = with_shadow.write(&e, LineAddr::new(0), &[1u8; 64]);
+        let _ = without.write(&e, LineAddr::new(0), &[1u8; 64]);
+        assert_eq!(
+            with_shadow.per_line_bytes() - without.per_line_bytes(),
+            LINE_BYTES as u64,
+            "shadow accounts for exactly one line of bytes"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Satellite 4: pins the memory footprint of every per-line state
+//! struct and the cells built from them.
+//!
+//! These sizes determine the `LineStore` arena's per-line cost (and the
+//! simulator's resident-bytes gauge). Growing one is an intentional,
+//! reviewed decision — update the pinned value here together with the
+//! change, never casually.
+
+use core::mem::size_of;
+
+use deuce_schemes::{
+    AnyScheme, AnyState, BleDeuceState, BleState, CtrState, DeuceFnwState, DeuceLine, DeuceState,
+    DynDeuceState, EncryptedDcwLine, EncryptedFnwState, FnwState, LineScheme, LineStore,
+    SchemeConfig, SchemeKind, SchemeLine,
+};
+
+#[test]
+fn per_line_states_stay_compact() {
+    assert_eq!(size_of::<CtrState>(), 8, "CtrState is one raw counter word");
+    assert_eq!(size_of::<FnwState>(), 8, "FnwState is one flip-bit word");
+    assert_eq!(size_of::<EncryptedFnwState>(), 16, "counter + flip bits");
+    assert_eq!(size_of::<DeuceState>(), 16, "counter + modified bits");
+    assert_eq!(size_of::<DynDeuceState>(), 16, "counter + meta word");
+    assert_eq!(size_of::<DeuceFnwState>(), 16, "counter + meta word");
+    assert_eq!(size_of::<BleState>(), 32, "four per-block counters");
+    assert_eq!(size_of::<BleDeuceState>(), 40, "four counters + modified bits");
+    assert_eq!(
+        size_of::<AnyState>(),
+        48,
+        "discriminant + largest variant (BleDeuceState)"
+    );
+}
+
+#[test]
+fn cell_and_dispatch_sizes_stay_pinned() {
+    assert_eq!(size_of::<AnyScheme>(), 32, "runtime scheme descriptor");
+    assert_eq!(size_of::<SchemeLine>(), 216, "dyn cell: descriptor + addr + 2x64B + AnyState");
+    assert_eq!(size_of::<DeuceLine>(), 168, "mono cell: params + addr + 2x64B + DeuceState");
+    assert_eq!(size_of::<EncryptedDcwLine>(), 152, "shadow is stored but state is 8B");
+}
+
+/// The arena's per-line accounting must agree with the actual component
+/// sizes: one stored image, one shadow iff the scheme keeps one, plus
+/// the compact state — for every runtime-selected kind.
+#[test]
+fn line_store_per_line_bytes_match_components() {
+    for kind in SchemeKind::ALL {
+        let scheme = AnyScheme::from_config(&SchemeConfig::new(kind));
+        let store = LineStore::new(scheme);
+        let shadow = if scheme.needs_shadow() { 64 } else { 0 };
+        assert_eq!(
+            store.per_line_bytes(),
+            64 + shadow + size_of::<AnyState>() as u64,
+            "{kind}"
+        );
+    }
+}

@@ -44,6 +44,9 @@ pub struct SimResult {
     pub counter_cache_writebacks: u64,
     /// Counter-cache hit ratio (0 when the model is disabled).
     pub counter_cache_hit_ratio: f64,
+    /// Resident bytes of the line-store arena at end of run (stored
+    /// images + shadows + compact per-line state; index excluded).
+    pub line_store_bytes: u64,
 }
 
 /// An empty result: every counter zero, no wear tracking, and the
@@ -68,6 +71,7 @@ impl Default for SimResult {
             counter_cache_misses: 0,
             counter_cache_writebacks: 0,
             counter_cache_hit_ratio: 0.0,
+            line_store_bytes: 0,
         }
     }
 }

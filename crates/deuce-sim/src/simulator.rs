@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use deuce_crypto::{LineAddr, OtpEngine, SecretKey};
 use deuce_memctl::{MemoryPipeline, SchemeStage, WearStage, WriteEffect};
 use deuce_nvm::CellArray;
-use deuce_schemes::{SchemeConfig, SchemeLine, WriteOutcome};
+use deuce_schemes::{AnyScheme, LineScheme, LineStore, WriteOutcome};
 use deuce_telemetry::{Gauge, NullRecorder, Recorder, WriteObservation};
 use deuce_trace::{Op, Trace};
 use deuce_wear::{HorizontalWearLeveler, HwlMode, SecurityRefresh, StartGap};
@@ -27,18 +27,41 @@ use crate::timing::MemoryTimingModel;
 /// treated as the initial placement (encrypted as it enters memory, per
 /// §3.1) and is *not* counted in the flip statistics — matching how
 /// [`deuce_trace::TraceStats`] skips each line's first write.
+///
+/// The scheme parameter `S` defaults to the runtime-dispatched
+/// [`AnyScheme`], which [`new`](Simulator::new) selects from
+/// `config.scheme` — the path the CLI and sweeps use. Pinning a concrete
+/// scheme type with [`with_line_scheme`](Simulator::with_line_scheme)
+/// monomorphises the whole hot loop for that scheme; both paths are
+/// bit-identical (asserted by the `scheme_parity` golden-fixture test).
 #[derive(Debug)]
-pub struct Simulator {
+pub struct Simulator<S: LineScheme = AnyScheme> {
     config: SimConfig,
     engine: OtpEngine,
+    scheme: S,
 }
 
 impl Simulator {
-    /// Creates a simulator.
+    /// Creates a simulator dispatching on `config.scheme` at runtime.
     #[must_use]
     pub fn new(config: SimConfig) -> Self {
+        let scheme = AnyScheme::from_config(&config.scheme);
+        Self::with_line_scheme(config, scheme)
+    }
+}
+
+impl<S: LineScheme + Copy> Simulator<S> {
+    /// Creates a simulator whose hot loop is monomorphised for `scheme`.
+    ///
+    /// `config.scheme` still governs everything *around* the line scheme
+    /// (counter cache, wear, timing); `scheme` governs how each line is
+    /// encoded. [`new`](Simulator::new) keeps them consistent
+    /// automatically; callers pinning a concrete scheme are responsible
+    /// for passing one matching `config.scheme`.
+    #[must_use]
+    pub fn with_line_scheme(config: SimConfig, scheme: S) -> Self {
         let engine = OtpEngine::new(&SecretKey::from_seed(config.key_seed));
-        Self { config, engine }
+        Self { config, engine, scheme }
     }
 
     /// The configuration in use.
@@ -85,7 +108,7 @@ impl Simulator {
             self.config.power_channels,
         );
 
-        let meta_bits = self.config.scheme.metadata_bits();
+        let meta_bits = self.scheme.metadata_bits();
         let bits_per_line = deuce_crypto::LINE_BITS as u32 + meta_bits;
         let wear_state = self.config.wear.map(|w| WearState {
             cells: CellArray::new(w.lines, bits_per_line),
@@ -104,10 +127,9 @@ impl Simulator {
             index_of: HashMap::new(),
         });
 
-        let store = LazySchemeStore {
-            config: &self.config.scheme,
+        let store = StoreStage {
+            store: LineStore::new(self.scheme),
             engine: &self.engine,
-            lines: HashMap::new(),
         };
         let counters_per_line = self
             .config
@@ -164,6 +186,7 @@ impl Simulator {
         }
 
         result.exec_time_ns = pipeline.timing.exec_time_ns();
+        result.line_store_bytes = pipeline.schemes.resident_bytes();
         result.cells = pipeline.wear.map(|w| w.cells);
         if let Some(cache) = &pipeline.counters {
             result.counter_cache_misses = cache.misses();
@@ -175,6 +198,7 @@ impl Simulator {
             rec.gauge(Gauge::EnergyPj, result.energy_pj());
             rec.gauge(Gauge::HitRatio, result.counter_cache_hit_ratio);
             rec.gauge(Gauge::MetadataBits, f64::from(result.metadata_bits));
+            rec.gauge(Gauge::LineStoreBytes, result.line_store_bytes as f64);
         }
         result
     }
@@ -190,27 +214,22 @@ fn fold_effect(result: &mut SimResult, effect: &WriteEffect) {
     result.total_slots += u64::from(effect.slots);
 }
 
-/// Stage 2: scheme lines instantiated lazily. The first write to an
-/// address is the initial placement (encrypted as it enters memory, per
-/// §3.1) and is not counted.
+/// Stage 2: an arena-backed [`LineStore`] materialising lines lazily.
+/// The first write to an address is the initial placement (encrypted as
+/// it enters memory, per §3.1) and is not counted.
 #[derive(Debug)]
-struct LazySchemeStore<'a> {
-    config: &'a SchemeConfig,
+struct StoreStage<'a, S: LineScheme> {
+    store: LineStore<S>,
     engine: &'a OtpEngine,
-    lines: HashMap<u64, SchemeLine>,
 }
 
-impl SchemeStage for LazySchemeStore<'_> {
+impl<S: LineScheme> SchemeStage for StoreStage<'_, S> {
     fn write(&mut self, line: LineAddr, data: &[u8; 64]) -> Option<WriteOutcome> {
-        match self.lines.entry(line.value()) {
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert(SchemeLine::new(self.config, self.engine, line, data));
-                None
-            }
-            std::collections::hash_map::Entry::Occupied(mut slot) => {
-                Some(slot.get_mut().write(self.engine, data))
-            }
-        }
+        self.store.write_first_touch(self.engine, line, data)
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.store.resident_bytes()
     }
 }
 

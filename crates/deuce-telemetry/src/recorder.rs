@@ -87,12 +87,20 @@ pub enum Gauge {
     HitRatio,
     /// Metadata bits per line of the simulated scheme.
     MetadataBits,
+    /// Resident bytes of the arena-backed line store at end of run
+    /// (stored images + shadows + compact per-line state).
+    LineStoreBytes,
 }
 
 impl Gauge {
     /// Every gauge, in export order.
-    pub const ALL: [Gauge; 4] =
-        [Gauge::ExecTimeNs, Gauge::EnergyPj, Gauge::HitRatio, Gauge::MetadataBits];
+    pub const ALL: [Gauge; 5] = [
+        Gauge::ExecTimeNs,
+        Gauge::EnergyPj,
+        Gauge::HitRatio,
+        Gauge::MetadataBits,
+        Gauge::LineStoreBytes,
+    ];
 
     /// Stable export name.
     #[must_use]
@@ -102,6 +110,7 @@ impl Gauge {
             Gauge::EnergyPj => "energy_pj",
             Gauge::HitRatio => "counter_cache_hit_ratio",
             Gauge::MetadataBits => "metadata_bits",
+            Gauge::LineStoreBytes => "line_store_bytes",
         }
     }
 }

@@ -20,6 +20,9 @@ cargo clippy -q --offline --workspace --all-targets -- -D warnings
 echo "==> cargo doc --offline --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --no-deps --workspace
 
+echo "==> hot_paths bench smoke (one untimed iteration per benchmark)"
+DEUCE_BENCH_SMOKE=1 cargo bench -q --offline -p deuce-bench --bench hot_paths > /dev/null
+
 echo "==> telemetry smoke test (deterministic report vs golden)"
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
