@@ -15,11 +15,11 @@ USAGE:
   deuce stats   <trace-file>
   deuce run     (--trace <file> | --benchmark <name>) --scheme <scheme>
                 [--epoch N] [--word-bytes N] [--writes N] [--lines N]
-                [--cores N] [--seed N] [--telemetry <file>]
+                [--cores N] [--seed N] [--telemetry <file>] [fault flags]
   deuce compare (--trace <file> | --benchmark <name>) [generation flags]
-                [--telemetry <file>]
+                [--telemetry <file>] [fault flags]
   deuce sweep   (--trace <file> | --benchmark <name>) [generation flags]
-                [--telemetry <file>]
+                [--telemetry <file>] [fault flags]
   deuce report  <telemetry-file>
   deuce help
 
@@ -29,6 +29,17 @@ TELEMETRY:
   plus a CSV summary next to it; [--sample-every N] sets the
   time-series window (default 64 writes). `deuce report <file>` renders
   the collected telemetry as text tables.
+
+FAULTS:
+  --faults injects online stuck-at cell faults: each cell dies once its
+  sampled endurance is exhausted, ECP entries absorb the first deaths
+  per line, exhausted lines retire to a spare pool, and an exhausted
+  pool makes further deaths uncorrectable (device end of life).
+  [--endurance-scale X] scales the sampled per-cell endurance (default
+  1e-6: paper-model 1e8 becomes ~100 writes, for accelerated-wear
+  studies); [--ecp-entries N] sets the per-line ECP budget (default 6);
+  [--spare-lines N] sizes the retirement pool (default 8). These three
+  flags require --faults.
 
 SCHEMES:
   nodcw nofnw encdcw encfnw ble deuce dyndeuce deucefnw bledeuce addrpad
@@ -104,6 +115,30 @@ impl Default for GenArgs {
     }
 }
 
+/// Fault-injection arguments shared by `run`, `compare`, and `sweep`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultArgs {
+    /// Inject stuck-at faults (`--faults`).
+    pub enabled: bool,
+    /// Endurance scale-down for accelerated wear (`--endurance-scale`).
+    pub endurance_scale: f64,
+    /// ECP correction entries per line (`--ecp-entries`).
+    pub ecp_entries: u8,
+    /// Spare lines for retirement (`--spare-lines`).
+    pub spare_lines: u32,
+}
+
+impl Default for FaultArgs {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            endurance_scale: 1e-6,
+            ecp_entries: 6,
+            spare_lines: 8,
+        }
+    }
+}
+
 /// `deuce stats` arguments.
 #[derive(Debug, Clone)]
 pub struct StatsArgs {
@@ -124,6 +159,8 @@ pub struct RunArgs {
     pub telemetry: Option<String>,
     /// Time-series window in counted writes.
     pub sample_every: u64,
+    /// Online fault injection.
+    pub faults: FaultArgs,
 }
 
 /// `deuce report` arguments.
@@ -190,6 +227,8 @@ impl Command {
         let mut word_bytes: Option<usize> = None;
         let mut telemetry: Option<String> = None;
         let mut sample_every: u64 = 64;
+        let mut faults = FaultArgs::default();
+        let mut fault_tuning: Option<&'static str> = None;
 
         while let Some(flag) = args.next() {
             let mut value = |flag: &str| {
@@ -215,6 +254,25 @@ impl Command {
                     word_bytes = Some(parse_number(&value("--word-bytes")?, "--word-bytes")?);
                 }
                 "--telemetry" => telemetry = Some(value("--telemetry")?),
+                "--faults" => faults.enabled = true,
+                "--endurance-scale" => {
+                    faults.endurance_scale =
+                        parse_number(&value("--endurance-scale")?, "--endurance-scale")?;
+                    if !(faults.endurance_scale.is_finite() && faults.endurance_scale > 0.0) {
+                        return Err(CliError::Usage(
+                            "--endurance-scale must be a positive number".into(),
+                        ));
+                    }
+                    fault_tuning = Some("--endurance-scale");
+                }
+                "--ecp-entries" => {
+                    faults.ecp_entries = parse_number(&value("--ecp-entries")?, "--ecp-entries")?;
+                    fault_tuning = Some("--ecp-entries");
+                }
+                "--spare-lines" => {
+                    faults.spare_lines = parse_number(&value("--spare-lines")?, "--spare-lines")?;
+                    fault_tuning = Some("--spare-lines");
+                }
                 "--sample-every" => {
                     sample_every = parse_number(&value("--sample-every")?, "--sample-every")?;
                     if sample_every == 0 {
@@ -228,6 +286,10 @@ impl Command {
                 }
                 other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
             }
+        }
+
+        if let (Some(flag), false) = (fault_tuning, faults.enabled) {
+            return Err(CliError::Usage(format!("{flag} requires --faults")));
         }
 
         let scheme = match scheme_kind {
@@ -277,6 +339,7 @@ impl Command {
                     scheme: Some(scheme),
                     telemetry,
                     sample_every,
+                    faults,
                 }))
             }
             "compare" | "sweep" => {
@@ -291,6 +354,7 @@ impl Command {
                     scheme,
                     telemetry,
                     sample_every,
+                    faults,
                 };
                 Ok(if subcommand == "compare" {
                     Command::Compare(run_args)
@@ -437,6 +501,49 @@ mod tests {
         }
         assert!(matches!(
             parse(&["run", "--benchmark", "mcf", "--scheme", "deuce", "--sample-every", "0"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn fault_flags_parse() {
+        let cmd = parse(&[
+            "run",
+            "--benchmark",
+            "mcf",
+            "--scheme",
+            "deuce",
+            "--faults",
+            "--endurance-scale",
+            "2e-7",
+            "--ecp-entries",
+            "2",
+            "--spare-lines",
+            "4",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run(r) => {
+                assert!(r.faults.enabled);
+                assert!((r.faults.endurance_scale - 2e-7).abs() < 1e-18);
+                assert_eq!(r.faults.ecp_entries, 2);
+                assert_eq!(r.faults.spare_lines, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults when --faults is absent.
+        match parse(&["compare", "--benchmark", "mcf"]).unwrap() {
+            Command::Compare(r) => assert_eq!(r.faults, FaultArgs::default()),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Tuning flags demand --faults; the scale must be positive.
+        assert!(matches!(
+            parse(&["compare", "--benchmark", "mcf", "--spare-lines", "4"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["run", "--benchmark", "mcf", "--scheme", "deuce", "--faults",
+                    "--endurance-scale", "0"]),
             Err(CliError::Usage(_))
         ));
     }

@@ -9,11 +9,11 @@ use deuce_schemes::{SchemeConfig, SchemeKind};
 use deuce_sim::telemetry::export::{write_csv, write_csv_header, write_jsonl};
 use deuce_sim::telemetry::parse::{parse_jsonl, Event};
 use deuce_sim::telemetry::{SweepProgress, TelemetryConfig, TelemetryRecorder};
-use deuce_sim::{ParallelSweep, SimConfig, SimResult, Simulator};
+use deuce_sim::{FaultConfig, ParallelSweep, SimConfig, SimResult, Simulator, WearConfig};
 use deuce_trace::{read_trace, write_trace, Trace, TraceConfig, TraceStats};
 
 use crate::args::{CliError, GenArgs, ReportArgs, RunArgs, StatsArgs};
-use crate::format::{RunSummary, METRIC_HEADER};
+use crate::format::{FaultSummary, RunSummary, METRIC_HEADER};
 
 fn generate(gen: &GenArgs) -> Trace {
     TraceConfig::new(gen.benchmark)
@@ -74,6 +74,29 @@ pub fn stats<W: Write>(args: &StatsArgs, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Builds the simulator configuration for one scheme, wiring in fault
+/// injection when `--faults` was given: wear tracking is auto-sized to
+/// the trace's write footprint (every written line needs a cell-array
+/// slot) and the fault flags map onto [`FaultConfig`].
+fn sim_config(args: &RunArgs, trace: &Trace, scheme: SchemeConfig) -> SimConfig {
+    let mut config = SimConfig::with_scheme(scheme);
+    if args.faults.enabled {
+        let lines = trace
+            .writes()
+            .map(|e| e.line.value())
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        config = config
+            .with_wear(WearConfig::vertical_only(lines.max(1)))
+            .with_faults(
+                FaultConfig::accelerated(args.faults.endurance_scale)
+                    .ecp_entries(args.faults.ecp_entries)
+                    .spare_lines(args.faults.spare_lines),
+            );
+    }
+    config
+}
+
 /// The telemetry configuration a `--telemetry` run collects under.
 fn telemetry_config(args: &RunArgs) -> TelemetryConfig {
     TelemetryConfig {
@@ -118,7 +141,7 @@ fn progress(label: &str, total: usize, shards: usize) -> SweepProgress {
 pub fn run<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
     let trace = load_or_generate(args)?;
     let scheme = args.scheme.expect("parser enforces --scheme for run");
-    let simulator = Simulator::new(SimConfig::with_scheme(scheme));
+    let simulator = Simulator::new(sim_config(args, &trace, scheme));
     writeln!(out, "scheme\t{}", scheme.kind)?;
     let result = match &args.telemetry {
         None => simulator.run_trace(&trace),
@@ -131,6 +154,9 @@ pub fn run<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
         }
     };
     RunSummary::from(&result).write_to(out)?;
+    if let Some(report) = &result.faults {
+        FaultSummary::from(report).write_to(out)?;
+    }
     Ok(())
 }
 
@@ -142,14 +168,15 @@ pub fn run<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
 /// Returns I/O or trace-format errors.
 pub fn compare<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
     let trace = load_or_generate(args)?;
-    writeln!(out, "scheme\t{METRIC_HEADER}\tmeta_bits")?;
+    let fault_header = if args.faults.enabled { "\tfirst_ue\tlines_retired" } else { "" };
+    writeln!(out, "scheme\t{METRIC_HEADER}\tmeta_bits{fault_header}")?;
     let sweep = ParallelSweep::new();
     let ticker = progress("compare", SchemeKind::ALL.len(), sweep.shards());
     let collect = args.telemetry.is_some();
     let results: Vec<(SchemeKind, SimResult, Option<TelemetryRecorder>)> = sweep.map_observed(
         &SchemeKind::ALL,
         |_, &kind| {
-            let simulator = Simulator::new(SimConfig::with_scheme(SchemeConfig::new(kind)));
+            let simulator = Simulator::new(sim_config(args, &trace, SchemeConfig::new(kind)));
             if collect {
                 let mut recorder = TelemetryRecorder::new(telemetry_config(args));
                 let result = simulator.run_trace_recorded(&trace, &mut recorder);
@@ -161,9 +188,17 @@ pub fn compare<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
         Some(&ticker),
     );
     for (kind, result, _) in &results {
+        let fault_cells = result.faults.as_ref().map_or_else(String::new, |f| {
+            format!(
+                "\t{}\t{}",
+                f.first_uncorrectable_write
+                    .map_or_else(|| "-".to_string(), |w| w.to_string()),
+                f.lines_retired,
+            )
+        });
         writeln!(
             out,
-            "{kind}\t{}\t{}",
+            "{kind}\t{}\t{}{fault_cells}",
             RunSummary::from(result).metric_cells(),
             result.metadata_bits,
         )?;
@@ -207,7 +242,7 @@ pub fn sweep<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
             let scheme = SchemeConfig::new(SchemeKind::Deuce)
                 .with_word_size(word_size)
                 .with_epoch(EpochInterval::new(epoch).expect("power of two"));
-            let simulator = Simulator::new(SimConfig::with_scheme(scheme));
+            let simulator = Simulator::new(sim_config(args, &trace, scheme));
             if collect {
                 let mut recorder = TelemetryRecorder::new(telemetry_config(args));
                 let result = simulator.run_trace_recorded(&trace, &mut recorder);
@@ -326,6 +361,7 @@ fn render_run<W: Write>(out: &mut W, run: &str, events: &[Event]) -> Result<(), 
         ("flips_per_write", "flips/write histogram"),
         ("slots_per_write", "slots/write histogram"),
         ("counter_residency", "counter-cache residency histogram"),
+        ("ecp_entries_used", "ECP entries used per line histogram"),
     ] {
         let buckets: Vec<(u64, u64, u64)> = events
             .iter()
@@ -339,10 +375,39 @@ fn render_run<W: Write>(out: &mut W, run: &str, events: &[Event]) -> Result<(), 
                     .filter(|&(_, _, count)| count > 0)
             })
             .collect();
-        if name == "counter_residency" && buckets.is_empty() {
-            continue; // no counter cache configured: nothing to draw
+        if matches!(name, "counter_residency" | "ecp_entries_used") && buckets.is_empty() {
+            continue; // counter cache / fault injection off: nothing to draw
         }
         render_hist(out, title, &buckets)?;
+        writeln!(out)?;
+    }
+    let retirements: Vec<&Event> = events
+        .iter()
+        .filter(|e| e.kind() == "retirement" && e.str("run") == Some(run))
+        .collect();
+    if !retirements.is_empty() {
+        writeln!(out, "line retirements (write index, simulated time):")?;
+        writeln!(out, "  write\tsim_us")?;
+        for event in retirements {
+            writeln!(
+                out,
+                "  {}\t{:.2}",
+                event.u64("write").unwrap_or(0),
+                event.num("sim_ns").unwrap_or(0.0) / 1000.0,
+            )?;
+        }
+        writeln!(out)?;
+    }
+    if let Some(event) = events
+        .iter()
+        .find(|e| e.kind() == "uncorrectable" && e.str("run") == Some(run))
+    {
+        writeln!(
+            out,
+            "first uncorrectable write: #{} at {:.2} us (device end of life)",
+            event.u64("write").unwrap_or(0),
+            event.num("sim_ns").unwrap_or(0.0) / 1000.0,
+        )?;
         writeln!(out)?;
     }
     let samples: Vec<&Event> = events
@@ -427,6 +492,7 @@ pub fn report<W: Write>(args: &ReportArgs, out: &mut W) -> Result<(), CliError> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::args::FaultArgs;
     use deuce_trace::Benchmark;
 
     #[test]
@@ -437,6 +503,7 @@ mod tests {
             scheme: None,
             telemetry: None,
             sample_every: 64,
+            faults: FaultArgs::default(),
         };
         let mut out = Vec::new();
         sweep(&args, &mut out).unwrap();
@@ -464,6 +531,7 @@ mod tests {
             scheme: Some(SchemeConfig::new(SchemeKind::Deuce)),
             telemetry: None,
             sample_every: 64,
+            faults: FaultArgs::default(),
         };
         let mut out = Vec::new();
         run(&args, &mut out).unwrap();
@@ -480,6 +548,7 @@ mod tests {
             scheme: None,
             telemetry: None,
             sample_every: 64,
+            faults: FaultArgs::default(),
         };
         let mut out = Vec::new();
         compare(&args, &mut out).unwrap();
@@ -514,6 +583,7 @@ mod tests {
             scheme: Some(SchemeConfig::new(SchemeKind::EncryptedDcw)),
             telemetry: None,
             sample_every: 64,
+            faults: FaultArgs::default(),
         };
         let mut out = Vec::new();
         run(&args, &mut out).unwrap();
@@ -543,6 +613,7 @@ mod tests {
             scheme: Some(SchemeConfig::new(SchemeKind::Deuce)),
             telemetry: Some(jsonl_str.clone()),
             sample_every: 32,
+            faults: FaultArgs::default(),
         };
         let mut run_out = Vec::new();
         run(&args, &mut run_out).unwrap();
@@ -573,6 +644,79 @@ mod tests {
         }
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faulty_run_reports_degradation_and_round_trips_through_report() {
+        let dir = std::env::temp_dir().join("deuce-cli-faults-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("faults.jsonl");
+        let jsonl_str = jsonl.to_str().unwrap().to_string();
+
+        // ~2-write cell endurance over a small hot footprint: plenty of
+        // deaths, retirements, and (with ECP-1, one spare) an
+        // uncorrectable within 300 writes.
+        let faults = FaultArgs {
+            enabled: true,
+            endurance_scale: 2e-8,
+            ecp_entries: 1,
+            spare_lines: 1,
+        };
+        let args = RunArgs {
+            trace_path: None,
+            gen: small_gen(),
+            scheme: Some(SchemeConfig::new(SchemeKind::EncryptedDcw)),
+            telemetry: Some(jsonl_str.clone()),
+            sample_every: 64,
+            faults,
+        };
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("fault_cell_deaths\t"), "{text}");
+        let deaths: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("fault_cell_deaths\t"))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(deaths > 0, "accelerated wear must kill cells:\n{text}");
+        assert!(text.contains("fault_first_uncorrectable_write\t"));
+
+        let mut report_out = Vec::new();
+        report(&ReportArgs { telemetry_path: jsonl_str }, &mut report_out).unwrap();
+        let report_text = String::from_utf8(report_out).unwrap();
+        assert!(report_text.contains("fault_cell_deaths"), "{report_text}");
+        assert!(report_text.contains("ECP entries used per line histogram:"));
+        assert!(report_text.contains("line retirements"));
+        assert!(report_text.contains("first uncorrectable write:"));
+
+        // Fault columns appear in the compare table only with --faults.
+        let mut compare_args = args.clone();
+        compare_args.telemetry = None;
+        let mut out = Vec::new();
+        compare(&compare_args, &mut out).unwrap();
+        let table = String::from_utf8(out).unwrap();
+        assert!(table.starts_with("scheme\t"), "{table}");
+        assert!(table.lines().next().unwrap().ends_with("first_ue\tlines_retired"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_free_run_output_is_unchanged() {
+        let args = RunArgs {
+            trace_path: None,
+            gen: small_gen(),
+            scheme: Some(SchemeConfig::new(SchemeKind::Deuce)),
+            telemetry: None,
+            sample_every: 64,
+            faults: FaultArgs::default(),
+        };
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.contains("fault_"), "faults off must not print fault rows:\n{text}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use std::io::{self, Write};
 
-use deuce_sim::SimResult;
+use deuce_sim::{FaultReport, SimResult};
 
 /// Tab-separated header matching [`RunSummary::metric_cells`], shared
 /// by the `compare` and `sweep` tables.
@@ -92,6 +92,63 @@ impl RunSummary {
     }
 }
 
+/// The degradation headline of one fault-injecting run, printed as
+/// `fault_*` rows after the [`RunSummary`] block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Cells that permanently failed during the run.
+    pub cell_deaths: u64,
+    /// ECP correction entries consumed.
+    pub ecp_entries_consumed: u64,
+    /// Lines retired to the spare pool.
+    pub lines_retired: u64,
+    /// Writes that found no correction resources left.
+    pub uncorrectable_writes: u64,
+    /// Write index of the first retirement, if any.
+    pub first_retirement_write: Option<u64>,
+    /// Write index of the first uncorrectable write, if any.
+    pub first_uncorrectable_write: Option<u64>,
+    /// Spare lines still unused at end of run.
+    pub spare_lines_left: u32,
+}
+
+impl From<&FaultReport> for FaultSummary {
+    fn from(report: &FaultReport) -> Self {
+        Self {
+            cell_deaths: report.cell_deaths,
+            ecp_entries_consumed: report.ecp_entries_consumed,
+            lines_retired: report.lines_retired,
+            uncorrectable_writes: report.uncorrectable_writes,
+            first_retirement_write: report.first_retirement_write,
+            first_uncorrectable_write: report.first_uncorrectable_write,
+            spare_lines_left: report.spare_lines_left,
+        }
+    }
+}
+
+impl FaultSummary {
+    /// Writes the `fault_*` rows of the `deuce run` summary block.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        let opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |w| w.to_string());
+        writeln!(out, "fault_cell_deaths\t{}", self.cell_deaths)?;
+        writeln!(out, "fault_ecp_entries_consumed\t{}", self.ecp_entries_consumed)?;
+        writeln!(out, "fault_lines_retired\t{}", self.lines_retired)?;
+        writeln!(out, "fault_uncorrectable_writes\t{}", self.uncorrectable_writes)?;
+        writeln!(out, "fault_first_retirement_write\t{}", opt(self.first_retirement_write))?;
+        writeln!(
+            out,
+            "fault_first_uncorrectable_write\t{}",
+            opt(self.first_uncorrectable_write)
+        )?;
+        writeln!(out, "fault_spare_lines_left\t{}", self.spare_lines_left)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +192,27 @@ mod tests {
     fn metric_cells_line_up_with_the_header() {
         assert_eq!(METRIC_HEADER.split('\t').count(), sample().metric_cells().split('\t').count());
         assert_eq!(sample().metric_cells(), "25.4%\t2.64\t10.0");
+    }
+
+    #[test]
+    fn fault_summary_renders_every_row() {
+        let report = FaultReport {
+            cell_deaths: 12,
+            ecp_entries_consumed: 9,
+            lines_retired: 1,
+            uncorrectable_writes: 2,
+            first_retirement_write: Some(400),
+            first_uncorrectable_write: None,
+            spare_lines_left: 7,
+            ecp_entries_used: vec![1, 0, 6],
+        };
+        let mut out = Vec::new();
+        FaultSummary::from(&report).write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("fault_cell_deaths\t12"));
+        assert!(text.contains("fault_first_retirement_write\t400"));
+        assert!(text.contains("fault_first_uncorrectable_write\t-"));
+        assert!(text.contains("fault_spare_lines_left\t7"));
     }
 
     #[test]

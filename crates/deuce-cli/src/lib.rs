@@ -11,6 +11,7 @@
 //! deuce compare --benchmark gems
 //! deuce run --benchmark libq --scheme deuce --telemetry run.jsonl
 //! deuce report run.jsonl
+//! deuce run --benchmark libq --scheme deuce --faults --endurance-scale 1e-6
 //! ```
 
 #![forbid(unsafe_code)]
@@ -20,9 +21,9 @@ mod args;
 mod commands;
 mod format;
 
-pub use args::{CliError, Command, GenArgs, ReportArgs, RunArgs, StatsArgs};
+pub use args::{CliError, Command, FaultArgs, GenArgs, ReportArgs, RunArgs, StatsArgs};
 pub use commands::{compare, gen, report, run, stats, sweep};
-pub use format::{RunSummary, METRIC_HEADER};
+pub use format::{FaultSummary, RunSummary, METRIC_HEADER};
 
 /// Entry point shared by the binary and tests.
 ///

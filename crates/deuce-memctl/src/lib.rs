@@ -8,7 +8,10 @@
 //! checking, and cumulative device statistics. The [`pipeline`] module
 //! exposes the controller's internal structure — counter, scheme, wear,
 //! and timing stages behind traits — so trace-driven drivers (the
-//! simulator, the figure binaries, the CLI) share one core.
+//! simulator, the figure binaries, the CLI) share one core. The
+//! [`repair`] module adds the graceful-degradation layer: per-line ECP
+//! correction entries, retirement to a spare pool, and the
+//! [`UncorrectableError`] end-of-life signal.
 //!
 //! ```
 //! use deuce_memctl::{MemoryBuilder, MemoryError};
@@ -29,13 +32,15 @@
 mod builder;
 mod memory;
 pub mod pipeline;
+pub mod repair;
 
 pub use builder::MemoryBuilder;
 pub use memory::{MemoryError, MemoryStats, SecureMemory};
 pub use pipeline::{
-    counter_line_addr, CounterOutcome, CounterStage, MemoryPipeline, SchemeStage, TimingStage,
-    WearStage, WriteEffect, COUNTER_REGION,
+    counter_line_addr, CounterOutcome, CounterStage, FaultEvents, MemoryPipeline, SchemeStage,
+    TimingStage, WearStage, WriteEffect, COUNTER_REGION,
 };
+pub use repair::{EcpConfig, EcpRepair, RepairAction, UncorrectableError};
 
 pub use deuce_schemes::{SchemeConfig, SchemeKind, WordSize};
 pub use deuce_telemetry as telemetry;

@@ -111,10 +111,38 @@ pub trait SchemeStage {
     }
 }
 
+/// Cell-death and repair activity triggered by one write, reported by
+/// the wear stage. All-zero (the default) unless the wear model injects
+/// faults and this write killed at least one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultEvents {
+    /// Cells that reached their endurance threshold on this write.
+    pub cell_deaths: u32,
+    /// ECP correction entries consumed repairing those deaths.
+    pub ecp_consumed: u32,
+    /// The write exhausted the line's ECP entries and retired it to a
+    /// spare line.
+    pub retired: bool,
+    /// A death could not be repaired: entries exhausted and no spare
+    /// left. The line has failed.
+    pub uncorrectable: bool,
+}
+
+impl FaultEvents {
+    /// Whether anything fault-related happened on this write.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        *self != Self::default()
+    }
+}
+
 /// Stage 3: records cell-level wear for a completed write.
 pub trait WearStage {
-    /// Records the bit flips of `outcome` against `line`'s cells.
-    fn record(&mut self, line: LineAddr, outcome: &WriteOutcome);
+    /// Records the bit flips of `outcome` against `line`'s cells and
+    /// reports any cell deaths and repair activity the write triggered
+    /// (always [`FaultEvents::default`] for wear models without fault
+    /// injection).
+    fn record(&mut self, line: LineAddr, outcome: &WriteOutcome) -> FaultEvents;
 }
 
 /// Stage 4: charges latency and occupancy for issued requests.
@@ -141,7 +169,9 @@ impl CounterStage for NoCounterStage {
 pub struct NoWearStage;
 
 impl WearStage for NoWearStage {
-    fn record(&mut self, _line: LineAddr, _outcome: &WriteOutcome) {}
+    fn record(&mut self, _line: LineAddr, _outcome: &WriteOutcome) -> FaultEvents {
+        FaultEvents::default()
+    }
 }
 
 /// The result of pushing one write through the scheme stage.
@@ -151,6 +181,8 @@ pub struct WriteEffect {
     pub outcome: WriteOutcome,
     /// Write slots the stored-image update occupied.
     pub slots: u32,
+    /// Cell deaths and repairs the wear stage reported for this write.
+    pub faults: FaultEvents,
 }
 
 /// The staged controller core: counter → scheme → wear → timing.
@@ -333,9 +365,10 @@ where
         let clock = charge::<R>(rec, Stage::Scheme, clock);
         self.timing.write(core, instr, line, slots);
         let clock = charge::<R>(rec, Stage::Timing, clock);
-        if let Some(wear) = &mut self.wear {
-            wear.record(line, &outcome);
-        }
+        let faults = match &mut self.wear {
+            Some(wear) => wear.record(line, &outcome),
+            None => FaultEvents::default(),
+        };
         charge::<R>(rec, Stage::Wear, clock);
         if R::ENABLED {
             rec.add(Counter::Writes, 1);
@@ -345,7 +378,11 @@ where
             rec.add(Counter::EpochStarts, u64::from(outcome.epoch_started));
             rec.add(Counter::SlotsTotal, u64::from(slots));
         }
-        Some(WriteEffect { outcome, slots })
+        Some(WriteEffect {
+            outcome,
+            slots,
+            faults,
+        })
     }
 }
 
@@ -433,8 +470,9 @@ mod tests {
     struct WearLog(Vec<u64>);
 
     impl WearStage for WearLog {
-        fn record(&mut self, line: LineAddr, _outcome: &WriteOutcome) {
+        fn record(&mut self, line: LineAddr, _outcome: &WriteOutcome) -> FaultEvents {
             self.0.push(line.value());
+            FaultEvents::default()
         }
     }
 

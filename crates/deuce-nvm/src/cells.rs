@@ -1,6 +1,89 @@
-//! Per-bit-position write counting for endurance and wear studies.
+//! Per-bit-position write counting for endurance and wear studies, plus
+//! online stuck-at fault injection.
 
+use crate::ecp::FailureModel;
 use crate::line_image::LineImage;
+
+/// Configuration for online stuck-at fault injection in a [`CellArray`].
+///
+/// Each physical cell gets a deterministic endurance threshold sampled
+/// from [`FailureModel`] (lognormal-ish variation, seeded), multiplied by
+/// `endurance_scale`. The write that reaches a cell's threshold fails:
+/// the cell becomes permanently stuck at the value it held *before* that
+/// write (the failed flip does not take), matching PCM write-verify
+/// behavior where a worn-out cell no longer switches.
+///
+/// `endurance_scale` exists because real endurance (~10^8 writes) makes
+/// online wear-out intractable to simulate; scaling it down to e.g.
+/// `1e-6` produces deaths within thousands of writes while preserving
+/// the *relative* endurance variation across cells.
+///
+/// # Examples
+///
+/// ```
+/// use deuce_nvm::{FailureModel, StuckAtFaults};
+///
+/// // Mean endurance scaled from 1e8 down to ~100 writes per cell.
+/// let faults = StuckAtFaults::new(FailureModel::PAPER, 1e-6);
+/// let t = faults.threshold(0);
+/// assert!(t >= 1);
+/// // Deterministic in the cell id.
+/// assert_eq!(t, faults.threshold(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StuckAtFaults {
+    /// Per-cell endurance distribution, deterministic in `(seed, cell)`.
+    pub model: FailureModel,
+    /// Multiplier applied to every sampled endurance (use `1.0` for
+    /// realistic endurance, tiny values for accelerated-wear runs).
+    pub endurance_scale: f64,
+}
+
+impl StuckAtFaults {
+    /// Creates a fault configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endurance_scale` is not finite and positive.
+    #[must_use]
+    pub fn new(model: FailureModel, endurance_scale: f64) -> Self {
+        assert!(
+            endurance_scale.is_finite() && endurance_scale > 0.0,
+            "endurance scale must be finite and positive"
+        );
+        Self {
+            model,
+            endurance_scale,
+        }
+    }
+
+    /// The write count at which global cell `cell` dies (its write
+    /// numbered `threshold(cell)` is the one that fails), always ≥ 1.
+    #[must_use]
+    pub fn threshold(&self, cell: u64) -> u64 {
+        let scaled = (self.model.endurance_of(cell) * self.endurance_scale).ceil();
+        (scaled as u64).max(1)
+    }
+}
+
+/// One permanently failed cell: its physical bit position within the
+/// line and the value it is stuck at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadCell {
+    /// Physical cell position within the line (after HWL rotation).
+    pub physical_bit: u32,
+    /// The value the cell is frozen at (its last successfully stored
+    /// value).
+    pub stuck_value: bool,
+}
+
+/// Per-line fault bookkeeping, present only when injection is enabled.
+#[derive(Debug, Clone)]
+struct FaultState {
+    config: StuckAtFaults,
+    /// Dead cells per line, in death order.
+    dead: Vec<Vec<DeadCell>>,
+}
 
 /// Per-cell write counters for a region of PCM lines.
 ///
@@ -32,11 +115,12 @@ pub struct CellArray {
     lines: usize,
     bits_per_line: u32,
     writes: u64,
+    faults: Option<FaultState>,
 }
 
 impl CellArray {
     /// Creates a zeroed cell array for `lines` lines of `bits_per_line`
-    /// cells each.
+    /// cells each, with fault injection disabled.
     ///
     /// # Panics
     ///
@@ -50,7 +134,44 @@ impl CellArray {
             lines,
             bits_per_line,
             writes: 0,
+            faults: None,
         }
+    }
+
+    /// Creates a cell array with online stuck-at fault injection: every
+    /// cell carries a deterministic endurance threshold and
+    /// [`record_write`](Self::record_write) reports the cells each write
+    /// kills.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` or `bits_per_line` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use deuce_nvm::{CellArray, FailureModel, LineImage, StuckAtFaults};
+    ///
+    /// // Scale endurance down so every cell dies on its first write.
+    /// let faults = StuckAtFaults::new(FailureModel::PAPER, 1e-10);
+    /// let mut cells = CellArray::with_faults(1, 544, faults);
+    /// let old = LineImage::zeroed(32);
+    /// let mut new = old;
+    /// new.data_mut()[0] = 1; // flip bit 0
+    /// let deaths = cells.record_write(0, &old, &new, 0);
+    /// assert_eq!(deaths, vec![0]);
+    /// // The cell is stuck at its pre-write value, so the intended
+    /// // image reads back with bit 0 still clear.
+    /// assert!(!cells.faulted_image(0, &new, 0).bit(0));
+    /// ```
+    #[must_use]
+    pub fn with_faults(lines: usize, bits_per_line: u32, faults: StuckAtFaults) -> Self {
+        let mut array = Self::new(lines, bits_per_line);
+        array.faults = Some(FaultState {
+            config: faults,
+            dead: vec![Vec::new(); lines],
+        });
+        array
     }
 
     /// Number of lines tracked.
@@ -75,11 +196,25 @@ impl CellArray {
     /// rotated left by `rotation` positions (HWL): logical bit `i` lands in
     /// physical cell `(i + rotation) % bits_per_line`.
     ///
+    /// Returns the physical cells this write killed (in increasing
+    /// linear order), which is always empty unless the array was built
+    /// with [`with_faults`](Self::with_faults). A cell dies on the write
+    /// that reaches its endurance threshold; the failed flip does not
+    /// take, so the cell stays stuck at the value `old` held there. Write
+    /// counts keep accumulating past death so wear statistics are
+    /// identical with and without fault injection.
+    ///
     /// # Panics
     ///
     /// Panics if `line` is out of range or the images' total bits don't
     /// match `bits_per_line`.
-    pub fn record_write(&mut self, line: usize, old: &LineImage, new: &LineImage, rotation: u32) {
+    pub fn record_write(
+        &mut self,
+        line: usize,
+        old: &LineImage,
+        new: &LineImage,
+        rotation: u32,
+    ) -> Vec<u32> {
         assert!(line < self.lines, "line {line} out of range");
         assert_eq!(
             old.total_bits(),
@@ -87,6 +222,7 @@ impl CellArray {
             "image size does not match cell array"
         );
         let base = line * self.bits_per_line as usize;
+        let mut deaths = Vec::new();
         // Word-level XOR: untouched 64-bit words are skipped entirely;
         // only set bits of changed words are walked.
         for (word_base, mut word) in old.changed_words(new) {
@@ -94,10 +230,75 @@ impl CellArray {
                 let bit = word_base + word.trailing_zeros();
                 word &= word - 1;
                 let physical = (bit + rotation) % self.bits_per_line;
-                self.counts[base + physical as usize] += 1;
+                let cell = base + physical as usize;
+                self.counts[cell] += 1;
+                if let Some(faults) = &mut self.faults {
+                    // Counts only ever increase, so the threshold is
+                    // crossed exactly once per cell.
+                    if self.counts[cell] == faults.config.threshold(cell as u64) {
+                        faults.dead[line].push(DeadCell {
+                            physical_bit: physical,
+                            stuck_value: old.bit(bit),
+                        });
+                        deaths.push(physical);
+                    }
+                }
             }
         }
         self.writes += 1;
+        deaths
+    }
+
+    /// Whether this array was built with online fault injection.
+    #[must_use]
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The cells of `line` that have failed so far, in death order.
+    /// Empty when fault injection is disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range.
+    #[must_use]
+    pub fn dead_cells(&self, line: usize) -> &[DeadCell] {
+        assert!(line < self.lines, "line {line} out of range");
+        self.faults.as_ref().map_or(&[], |f| &f.dead[line])
+    }
+
+    /// Total dead cells across all lines.
+    #[must_use]
+    pub fn dead_cell_count(&self) -> u64 {
+        self.faults
+            .as_ref()
+            .map_or(0, |f| f.dead.iter().map(|d| d.len() as u64).sum())
+    }
+
+    /// What a read of `line` actually returns: `intended` with every
+    /// dead cell overridden by its stuck value. `rotation` must be the
+    /// line's current HWL rotation, so stuck *physical* cells land on
+    /// the right *logical* positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range or `intended` doesn't match the
+    /// array's bits-per-line.
+    #[must_use]
+    pub fn faulted_image(&self, line: usize, intended: &LineImage, rotation: u32) -> LineImage {
+        assert!(line < self.lines, "line {line} out of range");
+        assert_eq!(
+            intended.total_bits(),
+            self.bits_per_line,
+            "image size does not match cell array"
+        );
+        let mut image = *intended;
+        for dead in self.dead_cells(line) {
+            let logical = (dead.physical_bit + self.bits_per_line - rotation % self.bits_per_line)
+                % self.bits_per_line;
+            image.set_bit(logical, dead.stuck_value);
+        }
+        image
     }
 
     /// Write count of one physical cell.
@@ -290,5 +491,95 @@ mod tests {
         let s = cells.wear_summary();
         assert_eq!(s.max_over_avg(), 0.0);
         assert!(s.lifetime_metric().is_infinite());
+    }
+
+    /// A fixed-threshold model: cv = 0 makes every cell's endurance
+    /// exactly `mean`, so scale 1.0 gives a threshold of `mean` writes.
+    fn fixed_threshold(mean: f64) -> StuckAtFaults {
+        StuckAtFaults::new(
+            crate::FailureModel {
+                mean_endurance: mean,
+                cv: 0.0,
+                seed: 0,
+            },
+            1.0,
+        )
+    }
+
+    #[test]
+    fn fault_free_array_reports_nothing() {
+        let mut cells = CellArray::new(1, 544);
+        assert!(!cells.faults_enabled());
+        let deaths = cells.record_write(0, &LineImage::zeroed(32), &image_with_bits(&[0]), 0);
+        assert!(deaths.is_empty());
+        assert!(cells.dead_cells(0).is_empty());
+        assert_eq!(cells.dead_cell_count(), 0);
+    }
+
+    #[test]
+    fn cell_dies_at_threshold_and_sticks_at_old_value() {
+        let mut cells = CellArray::with_faults(1, 544, fixed_threshold(3.0));
+        let zero = LineImage::zeroed(32);
+        let one = image_with_bits(&[0]);
+        // Bit 0 toggles every write: writes 1 and 2 survive...
+        assert!(cells.record_write(0, &zero, &one, 0).is_empty());
+        assert!(cells.record_write(0, &one, &zero, 0).is_empty());
+        // ...write 3 (0 -> 1) reaches the threshold and fails.
+        assert_eq!(cells.record_write(0, &zero, &one, 0), vec![0]);
+        let dead = cells.dead_cells(0);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].physical_bit, 0);
+        assert!(!dead[0].stuck_value, "stuck at the pre-write value 0");
+        // The intended image has bit 0 set; the device returns it clear.
+        let seen = cells.faulted_image(0, &one, 0);
+        assert!(!seen.bit(0));
+        assert_eq!(zero.flips_to(&seen).total(), 0);
+        // Further writes keep counting but never re-report the death.
+        assert!(cells.record_write(0, &one, &zero, 0).is_empty());
+        assert_eq!(cells.count(0, 0), 4);
+        assert_eq!(cells.dead_cell_count(), 1);
+    }
+
+    #[test]
+    fn faulted_image_maps_physical_cells_through_rotation() {
+        let mut cells = CellArray::with_faults(1, 544, fixed_threshold(1.0));
+        let zero = LineImage::zeroed(32);
+        let new = image_with_bits(&[540]);
+        // Logical 540 under rotation 10 wears physical cell 6.
+        let deaths = cells.record_write(0, &zero, &new, 10);
+        assert_eq!(deaths, vec![6]);
+        assert_eq!(cells.dead_cells(0)[0].physical_bit, 6);
+        // Read back under the same rotation: logical 540 is stuck at 0.
+        assert!(!cells.faulted_image(0, &new, 10).bit(540));
+        // After the rotation advances, the same physical cell shadows a
+        // different logical position: (6 + 544 - 11) % 544 = 539.
+        let probe = image_with_bits(&[539]);
+        assert!(!cells.faulted_image(0, &probe, 11).bit(539));
+    }
+
+    #[test]
+    fn wear_statistics_identical_with_and_without_faults() {
+        let mut plain = CellArray::new(2, 544);
+        let mut faulty = CellArray::with_faults(2, 544, fixed_threshold(2.0));
+        let mut lcg = 0x5eed_f00d_u64;
+        let mut old = [LineImage::zeroed(32), LineImage::zeroed(32)];
+        for step in 0..200 {
+            lcg = lcg
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let line = (step % 2) as usize;
+            let mut new = old[line];
+            new.data_mut()[(lcg % 64) as usize] ^= (lcg >> 8) as u8;
+            plain.record_write(line, &old[line], &new, step % 5);
+            faulty.record_write(line, &old[line], &new, step % 5);
+            old[line] = new;
+        }
+        for line in 0..2 {
+            for bit in 0..544 {
+                assert_eq!(plain.count(line, bit), faulty.count(line, bit));
+            }
+        }
+        assert_eq!(plain.wear_summary(), faulty.wear_summary());
+        assert!(faulty.dead_cell_count() > 0, "threshold 2 should kill cells");
     }
 }

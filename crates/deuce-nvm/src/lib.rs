@@ -12,7 +12,9 @@
 //!   accounting ([`FlipCount`]).
 //! - [`CellArray`] — per-bit-position write counters for endurance studies
 //!   (Figs. 12 and 14), with support for the rotated writes of Horizontal
-//!   Wear Leveling.
+//!   Wear Leveling, and optional online stuck-at fault injection
+//!   ([`StuckAtFaults`]) where cells die mid-run once their sampled
+//!   endurance is exhausted.
 //! - [`SlotConfig`] / [`write_slots`] — the §6.1 write-throughput model:
 //!   128-bit write width, 150 ns per slot, at most 64 bit flips per slot
 //!   (via the device's internal Flip-N-Write), and slot fragmentation.
@@ -34,7 +36,7 @@ mod line_image;
 mod slots;
 mod timing;
 
-pub use cells::{CellArray, WearSummary};
+pub use cells::{CellArray, DeadCell, StuckAtFaults, WearSummary};
 pub use ecp::{ecp_storage_bits, line_lifetime_writes, FailureModel};
 pub use energy::EnergyParams;
 pub use geometry::{BankId, Geometry};

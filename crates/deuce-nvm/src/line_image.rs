@@ -252,6 +252,39 @@ impl LineImage {
         }
     }
 
+    /// Writes stored bit `index`, in the same linear bit order as
+    /// [`bit`](Self::bit): indices `0..512` address data bits (LSB-first
+    /// within each byte), `512..512+meta_width` address metadata bits.
+    /// The fault engine uses this to stamp stuck-at cells onto an image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= total_bits()`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use deuce_nvm::LineImage;
+    ///
+    /// let mut img = LineImage::zeroed(32);
+    /// img.set_bit(9, true);
+    /// img.set_bit(512, true); // first metadata bit
+    /// assert!(img.bit(9) && img.bit(512));
+    /// ```
+    pub fn set_bit(&mut self, index: u32, value: bool) {
+        if index < LINE_BITS as u32 {
+            let byte = (index / 8) as usize;
+            let bit = index % 8;
+            if value {
+                self.data[byte] |= 1 << bit;
+            } else {
+                self.data[byte] &= !(1 << bit);
+            }
+        } else {
+            self.meta.set(index - LINE_BITS as u32, value);
+        }
+    }
+
     /// Iterator over the positions (in linear bit order) that differ
     /// between this image and `new` — the cells DCW will actually write.
     pub fn changed_bits<'a>(&'a self, new: &'a Self) -> impl Iterator<Item = u32> + 'a {
@@ -368,6 +401,17 @@ mod tests {
         assert!(img.bit(512));
         assert!(img.bit(543));
         assert_eq!(img.total_bits(), 544);
+    }
+
+    #[test]
+    fn set_bit_roundtrip() {
+        let mut img = LineImage::zeroed(32);
+        for idx in [0u32, 7, 63, 511, 512, 543] {
+            img.set_bit(idx, true);
+            assert!(img.bit(idx), "bit {idx} should be set");
+            img.set_bit(idx, false);
+            assert!(!img.bit(idx), "bit {idx} should be clear");
+        }
     }
 
     #[test]

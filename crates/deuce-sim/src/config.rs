@@ -1,6 +1,6 @@
 //! Simulation configuration.
 
-use deuce_nvm::{EnergyParams, Geometry, SlotConfig, TimingParams};
+use deuce_nvm::{EnergyParams, FailureModel, Geometry, SlotConfig, TimingParams};
 use deuce_schemes::{SchemeConfig, SchemeKind};
 use deuce_wear::HwlMode;
 
@@ -101,6 +101,64 @@ impl WearConfig {
     }
 }
 
+/// Online fault-injection configuration: cells die mid-run once their
+/// sampled endurance (scaled by `endurance_scale`) is exhausted, ECP
+/// entries absorb the first deaths per line, exhausted lines retire to
+/// a spare pool, and an exhausted pool makes further deaths
+/// uncorrectable. Requires wear tracking ([`WearConfig`]) — the cell
+/// array is where wear accumulates and cells die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// ECP correction entries per line (the paper's reference \[4\]
+    /// provisions 6).
+    pub ecp_entries: u8,
+    /// Spare lines for retirement; `0` means the first entry-exhausting
+    /// death is uncorrectable.
+    pub spare_lines: u32,
+    /// Per-cell endurance distribution (deterministic, seeded).
+    pub endurance: FailureModel,
+    /// Multiplier on every sampled endurance. Real PCM endurance
+    /// (~10^8) would need ~10^8 writes per cell to exercise, so
+    /// accelerated-wear studies scale it down (e.g. `1e-6` ≈ 100-write
+    /// mean endurance) while preserving relative cell-to-cell
+    /// variation.
+    pub endurance_scale: f64,
+}
+
+impl FaultConfig {
+    /// ECP-6, no spares, unscaled paper endurance.
+    pub const PAPER: Self = Self {
+        ecp_entries: 6,
+        spare_lines: 0,
+        endurance: FailureModel::PAPER,
+        endurance_scale: 1.0,
+    };
+
+    /// ECP-6 with the given endurance scale-down (the accelerated-wear
+    /// entry point the CLI's `--endurance-scale` maps to).
+    #[must_use]
+    pub fn accelerated(endurance_scale: f64) -> Self {
+        Self {
+            endurance_scale,
+            ..Self::PAPER
+        }
+    }
+
+    /// Overrides the ECP entry budget per line.
+    #[must_use]
+    pub fn ecp_entries(mut self, entries: u8) -> Self {
+        self.ecp_entries = entries;
+        self
+    }
+
+    /// Overrides the spare-line pool size.
+    #[must_use]
+    pub fn spare_lines(mut self, spares: u32) -> Self {
+        self.spare_lines = spares;
+        self
+    }
+}
+
 /// Full simulation configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -122,6 +180,12 @@ pub struct SimConfig {
     pub cpu: CpuParams,
     /// Wear tracking (off by default; flip/perf studies don't need it).
     pub wear: Option<WearConfig>,
+    /// Online fault injection (off by default; requires `wear`). When
+    /// enabled, cells die once their scaled endurance is exhausted and
+    /// the run degrades through ECP repair → line retirement →
+    /// uncorrectable errors, reported in
+    /// [`SimResult::faults`](crate::SimResult::faults).
+    pub faults: Option<FaultConfig>,
     /// Global write-power budget as a number of concurrently drivable
     /// write slots (§6.1 / \[22\]); `None` = power delivery never limits
     /// concurrency (banks do).
@@ -153,6 +217,7 @@ impl SimConfig {
             geometry: Geometry::PAPER,
             cpu: CpuParams::PAPER,
             wear: None,
+            faults: None,
             power_channels: None,
             counter_cache: None,
         }
@@ -179,6 +244,15 @@ impl SimConfig {
         self
     }
 
+    /// Enables online fault injection. The simulator panics at run
+    /// start if faults are configured without wear tracking — there is
+    /// no cell array to wear out otherwise.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Sets the key seed.
     #[must_use]
     pub fn key_seed(mut self, seed: u64) -> Self {
@@ -200,7 +274,18 @@ mod tests {
         assert_eq!(c.geometry.total_banks(), 32);
         assert!((c.cpu.instr_per_ns - 16.0).abs() < 1e-12);
         assert!(c.wear.is_none());
+        assert!(c.faults.is_none());
         assert!(!c.metric.count_counter_bits);
+    }
+
+    #[test]
+    fn fault_config_builders() {
+        let f = FaultConfig::accelerated(1e-6).ecp_entries(2).spare_lines(4);
+        assert_eq!(f.ecp_entries, 2);
+        assert_eq!(f.spare_lines, 4);
+        assert!((f.endurance_scale - 1e-6).abs() < 1e-18);
+        assert_eq!(f.endurance, FailureModel::PAPER);
+        assert_eq!(FaultConfig::PAPER.ecp_entries, 6);
     }
 
     #[test]

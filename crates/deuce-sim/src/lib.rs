@@ -10,6 +10,13 @@
 //! independent runs shard across threads with [`ParallelSweep`],
 //! bit-identical to a sequential loop.
 //!
+//! With [`FaultConfig`] the run also injects online stuck-at cell
+//! faults: cells die once their sampled endurance is exhausted, ECP
+//! entries and line retirement absorb the deaths, and
+//! [`SimResult::faults`] reports the degradation timeline — when the
+//! device first retired a line and when it first hit an uncorrectable
+//! write (the online version of the paper's Fig. 14 lifetime question).
+//!
 //! # Examples
 //!
 //! ```
@@ -33,10 +40,10 @@ mod simulator;
 mod sweep;
 mod timing;
 
-pub use config::{CpuParams, MetricConfig, SimConfig, VerticalWl, WearConfig};
+pub use config::{CpuParams, FaultConfig, MetricConfig, SimConfig, VerticalWl, WearConfig};
 pub use counter_cache::{CounterCache, CounterCacheConfig, CounterTraffic};
 pub use latency::{pad_latency_report, PadEngineOption, PadLatencyReport};
-pub use result::SimResult;
+pub use result::{FaultReport, SimResult};
 pub use simulator::Simulator;
 pub use sweep::{ParallelSweep, SweepCell};
 pub use timing::MemoryTimingModel;

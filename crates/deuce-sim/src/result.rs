@@ -3,6 +3,37 @@
 use deuce_nvm::{CellArray, EnergyParams, WearSummary};
 use deuce_wear::{relative_lifetime, LifetimePolicy};
 
+/// What online fault injection observed over a run: the graceful-
+/// degradation ladder from cell deaths through ECP consumption and line
+/// retirement to uncorrectable writes (Fig. 14's lifetime question
+/// answered online rather than analytically).
+///
+/// Write indices are 1-based positions in the counted write stream, so
+/// `first_uncorrectable_write == Some(n)` means the device sustained
+/// `n - 1` clean line writes — the number two schemes are compared on.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultReport {
+    /// Cells that permanently failed (stuck-at) during the run.
+    pub cell_deaths: u64,
+    /// ECP correction entries consumed across all lines, including
+    /// entries freed again when their line retired.
+    pub ecp_entries_consumed: u64,
+    /// Lines retired to the spare pool.
+    pub lines_retired: u64,
+    /// Writes that hit a line with no correction resources left.
+    pub uncorrectable_writes: u64,
+    /// Write index of the first line retirement, if any.
+    pub first_retirement_write: Option<u64>,
+    /// Write index of the first uncorrectable write — the run's
+    /// end-of-life point, if reached.
+    pub first_uncorrectable_write: Option<u64>,
+    /// Spare lines still unused at end of run.
+    pub spare_lines_left: u32,
+    /// ECP entries currently in use, per logical line (final state;
+    /// retired lines restart at zero on their spare).
+    pub ecp_entries_used: Vec<u32>,
+}
+
 /// Everything one simulation run produced.
 ///
 /// All figure-of-merit accessors are derived on demand so a single run
@@ -47,6 +78,8 @@ pub struct SimResult {
     /// Resident bytes of the line-store arena at end of run (stored
     /// images + shadows + compact per-line state; index excluded).
     pub line_store_bytes: u64,
+    /// Fault-injection observations, when faults were enabled.
+    pub faults: Option<FaultReport>,
 }
 
 /// An empty result: every counter zero, no wear tracking, and the
@@ -72,6 +105,7 @@ impl Default for SimResult {
             counter_cache_writebacks: 0,
             counter_cache_hit_ratio: 0.0,
             line_store_bytes: 0,
+            faults: None,
         }
     }
 }

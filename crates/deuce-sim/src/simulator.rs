@@ -9,16 +9,19 @@
 use std::collections::HashMap;
 
 use deuce_crypto::{LineAddr, OtpEngine, SecretKey};
-use deuce_memctl::{MemoryPipeline, SchemeStage, WearStage, WriteEffect};
-use deuce_nvm::CellArray;
+use deuce_memctl::{
+    EcpConfig, EcpRepair, FaultEvents, MemoryPipeline, RepairAction, SchemeStage, WearStage,
+    WriteEffect,
+};
+use deuce_nvm::{CellArray, StuckAtFaults};
 use deuce_schemes::{AnyScheme, LineScheme, LineStore, WriteOutcome};
-use deuce_telemetry::{Gauge, NullRecorder, Recorder, WriteObservation};
+use deuce_telemetry::{FaultObservation, Gauge, NullRecorder, Recorder, WriteObservation};
 use deuce_trace::{Op, Trace};
 use deuce_wear::{HorizontalWearLeveler, HwlMode, SecurityRefresh, StartGap};
 
 use crate::config::{SimConfig, VerticalWl};
 use crate::counter_cache::CounterCache;
-use crate::result::SimResult;
+use crate::result::{FaultReport, SimResult};
 use crate::timing::MemoryTimingModel;
 
 /// Runs traces under one configuration.
@@ -110,21 +113,49 @@ impl<S: LineScheme + Copy> Simulator<S> {
 
         let meta_bits = self.scheme.metadata_bits();
         let bits_per_line = deuce_crypto::LINE_BITS as u32 + meta_bits;
-        let wear_state = self.config.wear.map(|w| WearState {
-            cells: CellArray::new(w.lines, bits_per_line),
-            vwl: match w.vwl {
-                VerticalWl::StartGap => {
-                    Leveler::StartGap(StartGap::new(w.lines.max(2), w.gap_interval))
-                }
-                VerticalWl::SecurityRefresh => Leveler::SecurityRefresh(SecurityRefresh::new(
-                    w.lines.max(2).next_power_of_two(),
-                    w.gap_interval,
-                    self.config.key_seed,
-                )),
-            },
-            hwl: w.hwl,
-            bits_per_line,
-            index_of: HashMap::new(),
+        assert!(
+            self.config.faults.is_none() || self.config.wear.is_some(),
+            "fault injection requires wear tracking: combine SimConfig::with_faults \
+             with SimConfig::with_wear"
+        );
+        let wear_state = self.config.wear.map(|w| {
+            let faults = self.config.faults;
+            WearState {
+                // With faults on, the cell array also covers the spare
+                // pool — retirement moves a line's traffic there and the
+                // spares wear out like any other line.
+                cells: match faults {
+                    Some(f) => CellArray::with_faults(
+                        w.lines + f.spare_lines as usize,
+                        bits_per_line,
+                        StuckAtFaults::new(f.endurance, f.endurance_scale),
+                    ),
+                    None => CellArray::new(w.lines, bits_per_line),
+                },
+                repair: faults.map(|f| {
+                    EcpRepair::new(
+                        w.lines,
+                        EcpConfig {
+                            entries_per_line: f.ecp_entries,
+                            spare_lines: f.spare_lines,
+                        },
+                    )
+                }),
+                lines: w.lines,
+                vwl: match w.vwl {
+                    VerticalWl::StartGap => {
+                        Leveler::StartGap(StartGap::new(w.lines.max(2), w.gap_interval))
+                    }
+                    VerticalWl::SecurityRefresh => Leveler::SecurityRefresh(SecurityRefresh::new(
+                        w.lines.max(2).next_power_of_two(),
+                        w.gap_interval,
+                        self.config.key_seed,
+                    )),
+                },
+                hwl: w.hwl,
+                bits_per_line,
+                index_of: HashMap::new(),
+            }
         });
 
         let store = StoreStage {
@@ -146,8 +177,12 @@ impl<S: LineScheme + Copy> Simulator<S> {
             counters_in_metric: self.config.metric.count_counter_bits,
             energy_params: self.config.energy,
             metadata_bits: meta_bits,
+            faults: self.config.faults.map(|_| FaultReport::default()),
             ..SimResult::default()
         };
+        if R::ENABLED && result.faults.is_some() {
+            rec.fault_injection_active();
+        }
 
         for event in trace.events() {
             let core = usize::from(event.core);
@@ -162,6 +197,19 @@ impl<S: LineScheme + Copy> Simulator<S> {
                         pipeline.write_recorded(core, event.instr, event.line, &data, rec)
                     {
                         fold_effect(&mut result, &effect);
+                        if effect.faults.any() {
+                            fold_faults(&mut result, &effect.faults);
+                            if R::ENABLED {
+                                rec.fault_observed(&FaultObservation {
+                                    sim_ns: pipeline.timing.exec_time_ns(),
+                                    write_index: result.writes,
+                                    cell_deaths: effect.faults.cell_deaths,
+                                    ecp_consumed: effect.faults.ecp_consumed,
+                                    retired: effect.faults.retired,
+                                    uncorrectable: effect.faults.uncorrectable,
+                                });
+                            }
+                        }
                         if R::ENABLED {
                             let mut flips = u64::from(effect.outcome.flips.data)
                                 + u64::from(effect.outcome.flips.meta);
@@ -187,7 +235,19 @@ impl<S: LineScheme + Copy> Simulator<S> {
 
         result.exec_time_ns = pipeline.timing.exec_time_ns();
         result.line_store_bytes = pipeline.schemes.resident_bytes();
-        result.cells = pipeline.wear.map(|w| w.cells);
+        if let Some(wear) = pipeline.wear {
+            if let (Some(report), Some(repair)) = (result.faults.as_mut(), wear.repair.as_ref()) {
+                report.spare_lines_left = repair.spares_left();
+                report.ecp_entries_used =
+                    (0..repair.lines()).map(|l| repair.entries_used(l)).collect();
+                if R::ENABLED {
+                    for &entries in &report.ecp_entries_used {
+                        rec.ecp_entries_used(u64::from(entries));
+                    }
+                }
+            }
+            result.cells = Some(wear.cells);
+        }
         if let Some(cache) = &pipeline.counters {
             result.counter_cache_misses = cache.misses();
             result.counter_cache_writebacks = cache.writebacks();
@@ -214,6 +274,26 @@ fn fold_effect(result: &mut SimResult, effect: &WriteEffect) {
     result.total_slots += u64::from(effect.slots);
 }
 
+/// Accumulates one write's fault events into the fault report.
+/// `result.writes` has already been bumped by [`fold_effect`], so the
+/// recorded first-event indices are 1-based write positions.
+fn fold_faults(result: &mut SimResult, faults: &FaultEvents) {
+    let report = result
+        .faults
+        .as_mut()
+        .expect("fault events only flow when fault injection is configured");
+    report.cell_deaths += u64::from(faults.cell_deaths);
+    report.ecp_entries_consumed += u64::from(faults.ecp_consumed);
+    report.lines_retired += u64::from(faults.retired);
+    report.uncorrectable_writes += u64::from(faults.uncorrectable);
+    if faults.retired && report.first_retirement_write.is_none() {
+        report.first_retirement_write = Some(result.writes);
+    }
+    if faults.uncorrectable && report.first_uncorrectable_write.is_none() {
+        report.first_uncorrectable_write = Some(result.writes);
+    }
+}
+
 /// Stage 2: an arena-backed [`LineStore`] materialising lines lazily.
 /// The first write to an address is the initial placement (encrypted as
 /// it enters memory, per §3.1) and is not counted.
@@ -236,7 +316,14 @@ impl<S: LineScheme> SchemeStage for StoreStage<'_, S> {
 /// Wear-tracking state bundled together.
 #[derive(Debug)]
 struct WearState {
+    /// Per-cell write counts; covers `lines + spare_lines` physical
+    /// lines when fault injection is on, `lines` otherwise.
     cells: CellArray,
+    /// The ECP/retirement layer, when fault injection is on.
+    repair: Option<EcpRepair>,
+    /// Logical (primary-region) lines — the trace-capacity bound; the
+    /// cell array may be larger (spare pool).
+    lines: usize,
     vwl: Leveler,
     hwl: Option<HwlMode>,
     bits_per_line: u32,
@@ -272,11 +359,12 @@ impl WearState {
 }
 
 /// Stage 3: cell-array wear recording under the configured vertical
-/// and horizontal levelers.
+/// and horizontal levelers, with the ECP repair layer consuming any
+/// cell deaths when fault injection is on.
 impl WearStage for WearState {
-    fn record(&mut self, addr: LineAddr, outcome: &WriteOutcome) {
+    fn record(&mut self, addr: LineAddr, outcome: &WriteOutcome) -> FaultEvents {
         let next = self.index_of.len();
-        let lines = self.cells.lines();
+        let lines = self.lines;
         let index = *self.index_of.entry(addr.value()).or_insert_with(|| {
             assert!(
                 next < lines,
@@ -285,8 +373,32 @@ impl WearStage for WearState {
             next
         });
         let rotation = self.rotation(index, addr.value());
-        self.cells
-            .record_write(index, &outcome.old_image, &outcome.new_image, rotation);
+        // Retired lines wear their spare, not their abandoned primary.
+        let physical = self.repair.as_ref().map_or(index, |r| r.resolve(index));
+        let deaths =
+            self.cells
+                .record_write(physical, &outcome.old_image, &outcome.new_image, rotation);
+        let mut events = FaultEvents::default();
+        if let Some(repair) = &mut self.repair {
+            events.cell_deaths = deaths.len() as u32;
+            for cell in deaths {
+                match repair.note_death(index, cell) {
+                    RepairAction::AlreadyCovered => {}
+                    RepairAction::Corrected => events.ecp_consumed += 1,
+                    // Retirement moves the line to a pristine spare; any
+                    // remaining deaths from this write stay behind in the
+                    // abandoned physical line, so stop consuming them.
+                    RepairAction::Retired { .. } => {
+                        events.retired = true;
+                        break;
+                    }
+                    RepairAction::Uncorrectable => {
+                        events.uncorrectable = true;
+                        break;
+                    }
+                }
+            }
+        }
         match &mut self.vwl {
             Leveler::StartGap(sg) => {
                 let _ = sg.record_write();
@@ -295,6 +407,7 @@ impl WearStage for WearState {
                 let _ = sr.record_write();
             }
         }
+        events
     }
 }
 

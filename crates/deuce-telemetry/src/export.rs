@@ -104,6 +104,37 @@ pub fn write_jsonl<W: Write>(
     write_hist(out, &run, "flips_per_write", recorder.flips_hist())?;
     write_hist(out, &run, "slots_per_write", recorder.slots_hist())?;
     write_hist(out, &run, "counter_residency", recorder.residency_hist())?;
+    // Fault events exist only for fault-injecting runs, so fault-free
+    // exports are byte-identical to pre-fault builds.
+    if let Some(faults) = recorder.faults() {
+        for (name, value) in [
+            ("fault_cell_deaths", faults.cell_deaths),
+            ("fault_ecp_consumed", faults.ecp_consumed),
+            ("fault_lines_retired", faults.lines_retired),
+            ("fault_uncorrectable_writes", faults.uncorrectable_writes),
+        ] {
+            writeln!(
+                out,
+                "{{\"type\":\"counter\",\"run\":\"{run}\",\"name\":\"{name}\",\"value\":{value}}}",
+            )?;
+        }
+        write_hist(out, &run, "ecp_entries_used", &faults.ecp_used_hist)?;
+        for &(write, sim_ns) in &faults.retirements {
+            writeln!(
+                out,
+                "{{\"type\":\"retirement\",\"run\":\"{run}\",\"write\":{write},\"sim_ns\":{}}}",
+                json_num(sim_ns),
+            )?;
+        }
+        if let Some((write, sim_ns)) = faults.first_uncorrectable {
+            writeln!(
+                out,
+                "{{\"type\":\"uncorrectable\",\"run\":\"{run}\",\"write\":{write},\
+                 \"sim_ns\":{}}}",
+                json_num(sim_ns),
+            )?;
+        }
+    }
     for sample in recorder.samples() {
         writeln!(
             out,
@@ -180,6 +211,17 @@ pub fn write_csv<W: Write>(
     ] {
         writeln!(out, "{run},{name},{}", json_num(hist.mean()))?;
     }
+    if let Some(faults) = recorder.faults() {
+        for (name, value) in [
+            ("fault_cell_deaths", faults.cell_deaths),
+            ("fault_ecp_consumed", faults.ecp_consumed),
+            ("fault_lines_retired", faults.lines_retired),
+            ("fault_uncorrectable_writes", faults.uncorrectable_writes),
+        ] {
+            writeln!(out, "{run},{name},{value}")?;
+        }
+        writeln!(out, "{run},ecp_entries_used_mean,{}", json_num(faults.ecp_used_hist.mean()))?;
+    }
     writeln!(out, "{run},series_samples,{}", recorder.samples().len())
 }
 
@@ -237,6 +279,57 @@ mod tests {
         assert!(text.contains("\"name\":\"writes\",\"value\":4"));
         assert!(text.contains("\"type\":\"sample\""));
         assert!(text.contains("\"type\":\"profile\""));
+    }
+
+    #[test]
+    fn fault_section_appears_only_for_fault_runs() {
+        use crate::recorder::FaultObservation;
+        // Fault-free: no fault events anywhere.
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, "plain", &sample_recorder()).unwrap();
+        let plain = String::from_utf8(buf).unwrap();
+        assert!(!plain.contains("fault_"), "fault-free export must be unchanged");
+        assert!(!plain.contains("\"type\":\"retirement\""));
+
+        // Fault-injecting run: counters, hist, retirement and
+        // uncorrectable events all flow.
+        let mut r = sample_recorder();
+        r.fault_injection_active();
+        r.fault_observed(&FaultObservation {
+            sim_ns: 500.0,
+            write_index: 3,
+            cell_deaths: 2,
+            ecp_consumed: 1,
+            retired: true,
+            uncorrectable: false,
+        });
+        r.fault_observed(&FaultObservation {
+            sim_ns: 750.0,
+            write_index: 4,
+            cell_deaths: 1,
+            ecp_consumed: 0,
+            retired: false,
+            uncorrectable: true,
+        });
+        r.ecp_entries_used(1);
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, "faulty", &r).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"name\":\"fault_cell_deaths\",\"value\":3"));
+        assert!(text.contains("\"name\":\"fault_lines_retired\",\"value\":1"));
+        assert!(text.contains("\"name\":\"ecp_entries_used\""));
+        assert!(text.contains("\"type\":\"retirement\",\"run\":\"faulty\",\"write\":3"));
+        assert!(text.contains("\"type\":\"uncorrectable\",\"run\":\"faulty\",\"write\":4"));
+        // And it still parses back.
+        let events = crate::parse::parse_jsonl(&text).unwrap();
+        assert!(events.iter().any(|e| e.kind() == "retirement"));
+
+        // CSV summary mirrors the gating.
+        let mut buf = Vec::new();
+        write_csv(&mut buf, "faulty", &r).unwrap();
+        let csv = String::from_utf8(buf).unwrap();
+        assert!(csv.contains("faulty,fault_cell_deaths,3"));
+        assert!(csv.contains("faulty,ecp_entries_used_mean,1.0"));
     }
 
     #[test]

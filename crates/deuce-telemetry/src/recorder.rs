@@ -161,6 +161,47 @@ pub struct WriteObservation {
     pub cache_misses: u64,
 }
 
+/// One write's fault-injection activity: cell deaths and the repair
+/// actions they triggered, stamped with simulated time and the write's
+/// ordinal so time-to-first-retirement series are reconstructible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultObservation {
+    /// Simulated time after the write, in nanoseconds.
+    pub sim_ns: f64,
+    /// Ordinal of this counted write within the run (1-based).
+    pub write_index: u64,
+    /// Cells that reached their endurance threshold on this write.
+    pub cell_deaths: u32,
+    /// ECP entries consumed repairing those deaths.
+    pub ecp_consumed: u32,
+    /// The write retired its line to a spare.
+    pub retired: bool,
+    /// The write hit an uncorrectable death (no entry, no spare).
+    pub uncorrectable: bool,
+}
+
+/// Fault-injection telemetry, materialised only when a run enables
+/// fault injection so fault-free exports stay byte-identical to
+/// pre-fault builds.
+#[derive(Debug, Clone, Default)]
+pub struct FaultTelemetry {
+    /// Total cell deaths observed.
+    pub cell_deaths: u64,
+    /// Total ECP entries consumed.
+    pub ecp_consumed: u64,
+    /// Total line retirements.
+    pub lines_retired: u64,
+    /// Writes that hit an uncorrectable death.
+    pub uncorrectable_writes: u64,
+    /// Distribution of ECP entries in use per line at end of run.
+    pub ecp_used_hist: Histogram,
+    /// Every retirement as `(write ordinal, simulated ns)`, in order.
+    pub retirements: Vec<(u64, f64)>,
+    /// The first uncorrectable death as `(write ordinal, simulated
+    /// ns)`, if the device reached end of life.
+    pub first_uncorrectable: Option<(u64, f64)>,
+}
+
 /// An instrumentation sink. All hooks have empty default bodies, so a
 /// sink only overrides what it collects; `ENABLED == false` promises
 /// every hook is a no-op and lets call sites skip argument
@@ -196,6 +237,22 @@ pub trait Recorder {
     /// sampler.
     fn write_observed(&mut self, obs: &WriteObservation) {
         let _ = obs;
+    }
+
+    /// Announces that the run injects faults, so fault telemetry is
+    /// collected (and exported) even if no cell ever dies.
+    fn fault_injection_active(&mut self) {}
+
+    /// Feeds one write's fault activity. Only called for writes where
+    /// something fault-related happened.
+    fn fault_observed(&mut self, obs: &FaultObservation) {
+        let _ = obs;
+    }
+
+    /// Feeds one line's end-of-run count of ECP entries in use to the
+    /// per-line distribution.
+    fn ecp_entries_used(&mut self, entries: u64) {
+        let _ = entries;
     }
 }
 
@@ -237,6 +294,7 @@ pub struct TelemetryRecorder {
     residency_hist: Histogram,
     stage_hists: [Histogram; Stage::ALL.len()],
     series: SeriesSampler,
+    faults: Option<FaultTelemetry>,
 }
 
 impl Default for TelemetryRecorder {
@@ -258,6 +316,7 @@ impl TelemetryRecorder {
             residency_hist: Histogram::new(),
             stage_hists: std::array::from_fn(|_| Histogram::new()),
             series: SeriesSampler::new(config.sample_every, config.energy_pj_per_flip),
+            faults: None,
         }
     }
 
@@ -308,6 +367,13 @@ impl TelemetryRecorder {
     pub fn samples(&self) -> &[Sample] {
         self.series.samples()
     }
+
+    /// Fault-injection telemetry, present only if the run announced
+    /// fault injection (or a fault event arrived).
+    #[must_use]
+    pub fn faults(&self) -> Option<&FaultTelemetry> {
+        self.faults.as_ref()
+    }
 }
 
 impl Recorder for TelemetryRecorder {
@@ -331,6 +397,31 @@ impl Recorder for TelemetryRecorder {
         self.flips_hist.record(obs.flips);
         self.slots_hist.record(u64::from(obs.slots));
         self.series.observe(obs);
+    }
+
+    fn fault_injection_active(&mut self) {
+        self.faults.get_or_insert_with(FaultTelemetry::default);
+    }
+
+    fn fault_observed(&mut self, obs: &FaultObservation) {
+        let faults = self.faults.get_or_insert_with(FaultTelemetry::default);
+        faults.cell_deaths += u64::from(obs.cell_deaths);
+        faults.ecp_consumed += u64::from(obs.ecp_consumed);
+        if obs.retired {
+            faults.lines_retired += 1;
+            faults.retirements.push((obs.write_index, obs.sim_ns));
+        }
+        if obs.uncorrectable {
+            faults.uncorrectable_writes += 1;
+            if faults.first_uncorrectable.is_none() {
+                faults.first_uncorrectable = Some((obs.write_index, obs.sim_ns));
+            }
+        }
+    }
+
+    fn ecp_entries_used(&mut self, entries: u64) {
+        let faults = self.faults.get_or_insert_with(FaultTelemetry::default);
+        faults.ecp_used_hist.record(entries);
     }
 }
 
@@ -385,6 +476,56 @@ mod tests {
         let s = &r.samples()[0];
         assert_eq!(s.writes, 2);
         assert!((s.flips_per_write - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_telemetry_absent_until_announced() {
+        let mut r = TelemetryRecorder::default();
+        assert!(r.faults().is_none(), "fault-free runs carry no fault section");
+        r.fault_injection_active();
+        let faults = r.faults().expect("announced");
+        assert_eq!(faults.cell_deaths, 0);
+        assert!(faults.retirements.is_empty());
+    }
+
+    #[test]
+    fn fault_events_accumulate() {
+        let mut r = TelemetryRecorder::default();
+        r.fault_observed(&FaultObservation {
+            sim_ns: 100.0,
+            write_index: 10,
+            cell_deaths: 2,
+            ecp_consumed: 2,
+            retired: false,
+            uncorrectable: false,
+        });
+        r.fault_observed(&FaultObservation {
+            sim_ns: 250.0,
+            write_index: 30,
+            cell_deaths: 1,
+            ecp_consumed: 0,
+            retired: true,
+            uncorrectable: false,
+        });
+        r.fault_observed(&FaultObservation {
+            sim_ns: 400.0,
+            write_index: 55,
+            cell_deaths: 1,
+            ecp_consumed: 0,
+            retired: false,
+            uncorrectable: true,
+        });
+        r.ecp_entries_used(2);
+        r.ecp_entries_used(0);
+        let faults = r.faults().expect("events imply a fault section");
+        assert_eq!(faults.cell_deaths, 4);
+        assert_eq!(faults.ecp_consumed, 2);
+        assert_eq!(faults.lines_retired, 1);
+        assert_eq!(faults.uncorrectable_writes, 1);
+        assert_eq!(faults.retirements, vec![(30, 250.0)]);
+        assert_eq!(faults.first_uncorrectable, Some((55, 400.0)));
+        assert_eq!(faults.ecp_used_hist.count(), 2);
+        assert_eq!(faults.ecp_used_hist.sum(), 2);
     }
 
     #[test]

@@ -1,4 +1,15 @@
 //! Lifetime estimation from cell wear (Fig. 14).
+//!
+//! This is the *analytic* view: [`relative_lifetime`] post-processes a
+//! run's final wear histogram to compute when the binding cell would
+//! have died. The complementary *online* view lives in the simulator —
+//! enabling `deuce_sim::FaultConfig` makes cells actually fail at
+//! [`deuce_nvm::FailureModel`] endurance thresholds mid-run, and the
+//! resulting `deuce_sim::FaultReport` records the first uncorrectable
+//! write directly. The two agree on Fig. 14's ordering (pinned by
+//! `deuce-sim/tests/fault_injection.rs`); use this module for cheap
+//! normalized ratios over many configurations, and fault injection to
+//! watch the ECP/retirement degradation path itself.
 
 /// How inter-line wear is assumed to be handled when estimating lifetime
 /// from intra-line bit wear.

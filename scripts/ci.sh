@@ -38,4 +38,13 @@ awk '/^== profiling/{exit} {print}' "$SMOKE_DIR/smoke.report" \
     > "$SMOKE_DIR/smoke.report.stable"
 diff -u results/telemetry/golden_smoke_report.txt "$SMOKE_DIR/smoke.report.stable"
 
+echo "==> fault-injection smoke test (deterministic report vs golden)"
+"$DEUCE" run --trace "$SMOKE_DIR/smoke.trace" --scheme encdcw \
+    --faults --endurance-scale 2e-8 --ecp-entries 2 --spare-lines 4 \
+    --telemetry "$SMOKE_DIR/faults.jsonl" --sample-every 256 > /dev/null
+"$DEUCE" report "$SMOKE_DIR/faults.jsonl" > "$SMOKE_DIR/faults.report"
+awk '/^== profiling/{exit} {print}' "$SMOKE_DIR/faults.report" \
+    > "$SMOKE_DIR/faults.report.stable"
+diff -u results/telemetry/golden_faults_report.txt "$SMOKE_DIR/faults.report.stable"
+
 echo "==> tier-1 OK"
