@@ -6,11 +6,24 @@
 //! with the cache-line data. This crate provides that block cipher in
 //! portable Rust, with all three FIPS-197 key sizes.
 //!
-//! The implementation favours clarity and auditability over raw speed: it
-//! is a straightforward byte-oriented realization of the FIPS-197
-//! specification (S-box substitution, row shifts, GF(2^8) column mixing,
-//! and the Rijndael key schedule). It is validated against the complete
-//! FIPS-197 Appendix C known-answer vectors and round-trip property tests.
+//! Two encryption paths share one key schedule:
+//!
+//! - **T-table** ([`Aes::encrypt_block`], [`Aes::encrypt_blocks4`]) — the
+//!   hot path. Four `const`-derived 256×`u32` round tables fuse SubBytes,
+//!   ShiftRows, and MixColumns into table lookups, and the 4-block entry
+//!   point amortises key-schedule traffic across four independent blocks
+//!   (one 64-byte line pad per call). This is what the simulator's
+//!   per-write loop runs.
+//! - **Byte-oriented reference** ([`Aes::encrypt_block_reference`]) — a
+//!   direct realization of the FIPS-197 specification (S-box
+//!   substitution, row shifts, GF(2^8) column mixing), kept as the
+//!   auditable ground truth the fast path is differentially tested
+//!   against (all Appendix C vectors plus randomized key/block pairs).
+//!
+//! Both paths are bit-identical by construction — the T-tables are
+//! generated from the same S-box and GF(2^8) code at compile time — and
+//! validated against the complete FIPS-197 Appendix C known-answer
+//! vectors and round-trip property tests.
 //!
 //! This crate is a *simulation* component, not a hardened cryptographic
 //! library: no constant-time or side-channel guarantees are made.
@@ -34,6 +47,7 @@ mod gf;
 mod key_schedule;
 mod sbox;
 mod state;
+mod ttable;
 
 pub use key_schedule::KeySchedule;
 
@@ -96,7 +110,13 @@ impl KeySize {
 #[derive(Debug, Clone)]
 pub struct Aes {
     schedule: KeySchedule,
+    /// Round keys re-packed as big-endian `u32` column words for the
+    /// T-table path: `4 * (rounds + 1)` live words.
+    enc_words: [u32; 4 * MAX_ROUND_KEYS],
 }
+
+/// Maximum round keys across key sizes (AES-256: 14 rounds + initial).
+const MAX_ROUND_KEYS: usize = 15;
 
 impl Aes {
     /// Creates a cipher from a key of any supported size.
@@ -111,9 +131,20 @@ impl Aes {
             32 => KeySize::Aes256,
             other => return Err(InvalidKeyLength(other)),
         };
-        Ok(Self {
-            schedule: KeySchedule::expand(key, size),
-        })
+        let schedule = KeySchedule::expand(key, size);
+        let mut enc_words = [0u32; 4 * MAX_ROUND_KEYS];
+        for round in 0..=size.rounds() {
+            let rk = schedule.round_key(round);
+            for col in 0..4 {
+                enc_words[4 * round + col] = u32::from_be_bytes([
+                    rk[4 * col],
+                    rk[4 * col + 1],
+                    rk[4 * col + 2],
+                    rk[4 * col + 3],
+                ]);
+            }
+        }
+        Ok(Self { schedule, enc_words })
     }
 
     /// The key size of this cipher.
@@ -122,9 +153,31 @@ impl Aes {
         self.schedule.key_size()
     }
 
-    /// Encrypts a single 16-byte block.
+    /// Encrypts a single 16-byte block (T-table fast path).
     #[must_use]
     pub fn encrypt_block(&self, plaintext: &Block) -> Block {
+        ttable::encrypt_block(&self.enc_words, self.schedule.rounds(), plaintext)
+    }
+
+    /// Encrypts four independent 16-byte blocks in one pass over the key
+    /// schedule, interleaving their rounds for instruction-level
+    /// parallelism. Output block `i` is exactly
+    /// `self.encrypt_block(&blocks[i])`; the batch exists purely to
+    /// amortise per-call overhead (one 64-byte DEUCE line pad is one
+    /// call).
+    #[must_use]
+    pub fn encrypt_blocks4(&self, blocks: &[Block; 4]) -> [Block; 4] {
+        ttable::encrypt_blocks4(&self.enc_words, self.schedule.rounds(), blocks)
+    }
+
+    /// Encrypts a single block with the byte-oriented FIPS-197 reference
+    /// path (S-box substitution, row shifts, GF(2^8) column mixing).
+    ///
+    /// Bit-identical to [`encrypt_block`](Self::encrypt_block) — kept as
+    /// the auditable ground truth for differential tests and benchmark
+    /// baselines, not for production use.
+    #[must_use]
+    pub fn encrypt_block_reference(&self, plaintext: &Block) -> Block {
         let mut state = State::from_bytes(plaintext);
         let rounds = self.schedule.rounds();
 
@@ -188,10 +241,24 @@ macro_rules! fixed_size_cipher {
                 Self(Aes::new(key).expect("fixed-size key is always valid"))
             }
 
-            /// Encrypts a single 16-byte block.
+            /// Encrypts a single 16-byte block (T-table fast path).
             #[must_use]
             pub fn encrypt_block(&self, plaintext: &Block) -> Block {
                 self.0.encrypt_block(plaintext)
+            }
+
+            /// Encrypts four independent blocks in one batched call; see
+            /// [`Aes::encrypt_blocks4`].
+            #[must_use]
+            pub fn encrypt_blocks4(&self, blocks: &[Block; 4]) -> [Block; 4] {
+                self.0.encrypt_blocks4(blocks)
+            }
+
+            /// Encrypts a block with the byte-oriented reference path;
+            /// see [`Aes::encrypt_block_reference`].
+            #[must_use]
+            pub fn encrypt_block_reference(&self, plaintext: &Block) -> Block {
+                self.0.encrypt_block_reference(plaintext)
             }
 
             /// Decrypts a single 16-byte block.
@@ -263,6 +330,8 @@ mod tests {
         ];
         let cipher = Aes128::new(&key);
         assert_eq!(cipher.encrypt_block(&pt), expected);
+        assert_eq!(cipher.encrypt_block_reference(&pt), expected);
+        assert_eq!(cipher.encrypt_blocks4(&[pt; 4]), [expected; 4]);
         assert_eq!(cipher.decrypt_block(&expected), pt);
     }
 

@@ -1,0 +1,87 @@
+//! Differential validation of the T-table fast path against the
+//! byte-oriented FIPS-197 reference path.
+//!
+//! The bit-identical-ciphertext contract of the crypto fast path rests
+//! on this suite: every FIPS-197 Appendix C known-answer vector plus a
+//! large randomized sweep of `(key, block)` pairs must agree byte for
+//! byte between `encrypt_block` (T-tables), `encrypt_block_reference`
+//! (byte-oriented), and `encrypt_blocks4` (the batched entry point),
+//! and decryption must invert both. `scripts/ci.sh` runs this file as
+//! part of the offline gate.
+
+use deuce_aes::{Aes, Block};
+use deuce_rng::{DeuceRng, Rng};
+
+/// FIPS-197 Appendix C: the `00 11 22 .. ff` plaintext under the
+/// incrementing key, for all three key sizes.
+#[test]
+fn fips197_appendix_c_vectors_agree_across_paths() {
+    let pt: Block = std::array::from_fn(|i| (i as u8) * 0x11);
+    let cases: [(&[u8], Block); 3] = [
+        (
+            &(0x00..=0x0f).collect::<Vec<u8>>(),
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
+                0xb4, 0xc5, 0x5a,
+            ],
+        ),
+        (
+            &(0x00..=0x17).collect::<Vec<u8>>(),
+            [
+                0xdd, 0xa9, 0x7c, 0xa4, 0x86, 0x4c, 0xdf, 0xe0, 0x6e, 0xaf, 0x70, 0xa0, 0xec,
+                0x0d, 0x71, 0x91,
+            ],
+        ),
+        (
+            &(0x00..=0x1f).collect::<Vec<u8>>(),
+            [
+                0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b,
+                0x49, 0x60, 0x89,
+            ],
+        ),
+    ];
+    for (key, expected) in cases {
+        let cipher = Aes::new(key).unwrap();
+        assert_eq!(cipher.encrypt_block(&pt), expected, "T-table KAT, key len {}", key.len());
+        assert_eq!(
+            cipher.encrypt_block_reference(&pt),
+            expected,
+            "reference KAT, key len {}",
+            key.len()
+        );
+        assert_eq!(
+            cipher.encrypt_blocks4(&[pt; 4]),
+            [expected; 4],
+            "batched KAT, key len {}",
+            key.len()
+        );
+        assert_eq!(cipher.decrypt_block(&expected), pt);
+    }
+}
+
+/// ≥10k random `(key, block)` pairs per key size: the fast path, the
+/// reference path, and the batch path must agree exactly, and
+/// decryption must invert the common ciphertext.
+#[test]
+fn randomized_differential_sweep() {
+    let mut rng = DeuceRng::seed_from_u64(0xAE5_D1FF);
+    for key_len in [16usize, 24, 32] {
+        let mut key = vec![0u8; key_len];
+        for i in 0..3500u32 {
+            rng.fill(&mut key);
+            let cipher = Aes::new(&key).unwrap();
+            let mut blocks = [[0u8; 16]; 4];
+            for block in &mut blocks {
+                rng.fill(block);
+            }
+            let batched = cipher.encrypt_blocks4(&blocks);
+            for (b, (block, batch_ct)) in blocks.iter().zip(&batched).enumerate() {
+                let fast = cipher.encrypt_block(block);
+                let reference = cipher.encrypt_block_reference(block);
+                assert_eq!(fast, reference, "key len {key_len}, iter {i}, block {b}");
+                assert_eq!(fast, *batch_ct, "batch divergence: key len {key_len}, iter {i}, block {b}");
+                assert_eq!(cipher.decrypt_block(&fast), *block, "round trip failed");
+            }
+        }
+    }
+}

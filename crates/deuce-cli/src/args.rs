@@ -16,10 +16,11 @@ USAGE:
   deuce run     (--trace <file> | --benchmark <name>) --scheme <scheme>
                 [--epoch N] [--word-bytes N] [--writes N] [--lines N]
                 [--cores N] [--seed N] [--telemetry <file>] [fault flags]
+                [--pad-cache N]
   deuce compare (--trace <file> | --benchmark <name>) [generation flags]
-                [--telemetry <file>] [fault flags]
+                [--telemetry <file>] [fault flags] [--pad-cache N]
   deuce sweep   (--trace <file> | --benchmark <name>) [generation flags]
-                [--telemetry <file>] [fault flags]
+                [--telemetry <file>] [fault flags] [--pad-cache N]
   deuce report  <telemetry-file>
   deuce help
 
@@ -40,6 +41,13 @@ FAULTS:
   studies); [--ecp-entries N] sets the per-line ECP budget (default 6);
   [--spare-lines N] sizes the retirement pool (default 8). These three
   flags require --faults.
+
+PAD CACHE:
+  --pad-cache N puts a direct-mapped cache of N generated line pads in
+  front of the AES engine. Pads are a pure function of (address,
+  counter), so caching changes only AES work — every simulated metric
+  is bit-identical — and the run summary (and telemetry, when enabled)
+  gains pad_cache_hits / pad_cache_misses rows.
 
 SCHEMES:
   nodcw nofnw encdcw encfnw ble deuce dyndeuce deucefnw bledeuce addrpad
@@ -161,6 +169,8 @@ pub struct RunArgs {
     pub sample_every: u64,
     /// Online fault injection.
     pub faults: FaultArgs,
+    /// Line-pad cache entries (`--pad-cache`); `None` = no cache.
+    pub pad_cache: Option<usize>,
 }
 
 /// `deuce report` arguments.
@@ -229,6 +239,7 @@ impl Command {
         let mut sample_every: u64 = 64;
         let mut faults = FaultArgs::default();
         let mut fault_tuning: Option<&'static str> = None;
+        let mut pad_cache: Option<usize> = None;
 
         while let Some(flag) = args.next() {
             let mut value = |flag: &str| {
@@ -272,6 +283,15 @@ impl Command {
                 "--spare-lines" => {
                     faults.spare_lines = parse_number(&value("--spare-lines")?, "--spare-lines")?;
                     fault_tuning = Some("--spare-lines");
+                }
+                "--pad-cache" => {
+                    let entries: usize = parse_number(&value("--pad-cache")?, "--pad-cache")?;
+                    if entries == 0 {
+                        return Err(CliError::Usage(
+                            "--pad-cache must be at least 1 entry".into(),
+                        ));
+                    }
+                    pad_cache = Some(entries);
                 }
                 "--sample-every" => {
                     sample_every = parse_number(&value("--sample-every")?, "--sample-every")?;
@@ -340,6 +360,7 @@ impl Command {
                     telemetry,
                     sample_every,
                     faults,
+                    pad_cache,
                 }))
             }
             "compare" | "sweep" => {
@@ -355,6 +376,7 @@ impl Command {
                     telemetry,
                     sample_every,
                     faults,
+                    pad_cache,
                 };
                 Ok(if subcommand == "compare" {
                     Command::Compare(run_args)
@@ -544,6 +566,27 @@ mod tests {
         assert!(matches!(
             parse(&["run", "--benchmark", "mcf", "--scheme", "deuce", "--faults",
                     "--endurance-scale", "0"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn pad_cache_flag_parses() {
+        let cmd = parse(&[
+            "run", "--benchmark", "mcf", "--scheme", "deuce", "--pad-cache", "128",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run(r) => assert_eq!(r.pad_cache, Some(128)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Off by default; zero entries is a usage error.
+        match parse(&["compare", "--benchmark", "mcf"]).unwrap() {
+            Command::Compare(r) => assert!(r.pad_cache.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse(&["run", "--benchmark", "mcf", "--scheme", "deuce", "--pad-cache", "0"]),
             Err(CliError::Usage(_))
         ));
     }

@@ -9,11 +9,13 @@ use deuce_schemes::{SchemeConfig, SchemeKind};
 use deuce_sim::telemetry::export::{write_csv, write_csv_header, write_jsonl};
 use deuce_sim::telemetry::parse::{parse_jsonl, Event};
 use deuce_sim::telemetry::{SweepProgress, TelemetryConfig, TelemetryRecorder};
-use deuce_sim::{FaultConfig, ParallelSweep, SimConfig, SimResult, Simulator, WearConfig};
+use deuce_sim::{
+    FaultConfig, PadCacheConfig, ParallelSweep, SimConfig, SimResult, Simulator, WearConfig,
+};
 use deuce_trace::{read_trace, write_trace, Trace, TraceConfig, TraceStats};
 
 use crate::args::{CliError, GenArgs, ReportArgs, RunArgs, StatsArgs};
-use crate::format::{FaultSummary, RunSummary, METRIC_HEADER};
+use crate::format::{FaultSummary, PadCacheSummary, RunSummary, METRIC_HEADER};
 
 fn generate(gen: &GenArgs) -> Trace {
     TraceConfig::new(gen.benchmark)
@@ -94,6 +96,9 @@ fn sim_config(args: &RunArgs, trace: &Trace, scheme: SchemeConfig) -> SimConfig 
                     .spare_lines(args.faults.spare_lines),
             );
     }
+    if let Some(entries) = args.pad_cache {
+        config = config.with_pad_cache(PadCacheConfig::with_entries(entries));
+    }
     config
 }
 
@@ -156,6 +161,9 @@ pub fn run<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
     RunSummary::from(&result).write_to(out)?;
     if let Some(report) = &result.faults {
         FaultSummary::from(report).write_to(out)?;
+    }
+    if let Some(stats) = result.pad_cache {
+        PadCacheSummary::from(stats).write_to(out)?;
     }
     Ok(())
 }
@@ -504,6 +512,7 @@ mod tests {
             telemetry: None,
             sample_every: 64,
             faults: FaultArgs::default(),
+            pad_cache: None,
         };
         let mut out = Vec::new();
         sweep(&args, &mut out).unwrap();
@@ -532,6 +541,7 @@ mod tests {
             telemetry: None,
             sample_every: 64,
             faults: FaultArgs::default(),
+            pad_cache: None,
         };
         let mut out = Vec::new();
         run(&args, &mut out).unwrap();
@@ -549,6 +559,7 @@ mod tests {
             telemetry: None,
             sample_every: 64,
             faults: FaultArgs::default(),
+            pad_cache: None,
         };
         let mut out = Vec::new();
         compare(&args, &mut out).unwrap();
@@ -584,6 +595,7 @@ mod tests {
             telemetry: None,
             sample_every: 64,
             faults: FaultArgs::default(),
+            pad_cache: None,
         };
         let mut out = Vec::new();
         run(&args, &mut out).unwrap();
@@ -614,6 +626,7 @@ mod tests {
             telemetry: Some(jsonl_str.clone()),
             sample_every: 32,
             faults: FaultArgs::default(),
+            pad_cache: None,
         };
         let mut run_out = Vec::new();
         run(&args, &mut run_out).unwrap();
@@ -669,6 +682,7 @@ mod tests {
             telemetry: Some(jsonl_str.clone()),
             sample_every: 64,
             faults,
+            pad_cache: None,
         };
         let mut out = Vec::new();
         run(&args, &mut out).unwrap();
@@ -712,11 +726,56 @@ mod tests {
             telemetry: None,
             sample_every: 64,
             faults: FaultArgs::default(),
+            pad_cache: None,
         };
         let mut out = Vec::new();
         run(&args, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(!text.contains("fault_"), "faults off must not print fault rows:\n{text}");
+    }
+
+    #[test]
+    fn pad_cached_run_reports_hits_and_stays_bit_identical() {
+        let dir = std::env::temp_dir().join("deuce-cli-pad-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("cached.jsonl");
+        let jsonl_str = jsonl.to_str().unwrap().to_string();
+
+        let plain_args = RunArgs {
+            trace_path: None,
+            gen: small_gen(),
+            scheme: Some(SchemeConfig::new(SchemeKind::Deuce)),
+            telemetry: None,
+            sample_every: 64,
+            faults: FaultArgs::default(),
+            pad_cache: None,
+        };
+        let mut plain_out = Vec::new();
+        run(&plain_args, &mut plain_out).unwrap();
+        let plain_text = String::from_utf8(plain_out).unwrap();
+        assert!(!plain_text.contains("pad_cache_"), "cache off must not print rows");
+
+        let mut cached_args = plain_args.clone();
+        cached_args.pad_cache = Some(256);
+        cached_args.telemetry = Some(jsonl_str);
+        let mut cached_out = Vec::new();
+        run(&cached_args, &mut cached_out).unwrap();
+        let cached_text = String::from_utf8(cached_out).unwrap();
+        assert!(cached_text.contains("pad_cache_hits\t"), "{cached_text}");
+        assert!(cached_text.contains("pad_cache_misses\t"));
+        // Every simulated metric row agrees with the uncached run.
+        for key in ["writes\t", "flips_per_write\t", "flip_rate\t", "exec_time_us\t"] {
+            let row = |t: &str| {
+                t.lines().find(|l| l.starts_with(key)).map(str::to_string).expect(key)
+            };
+            assert_eq!(row(&plain_text), row(&cached_text), "{key}");
+        }
+        // Telemetry export carries the gated counters.
+        let exported = std::fs::read_to_string(dir.join("cached.jsonl")).unwrap();
+        assert!(exported.contains("\"name\":\"pad_cache_hits\""), "{exported}");
+        assert!(exported.contains("\"name\":\"pad_cache_misses\""));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

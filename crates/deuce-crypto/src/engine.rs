@@ -1,8 +1,21 @@
 //! The OTP generation engine (the "AES engine" box in Figs. 2–4).
+//!
+//! The hot path assembles all four counter-mode inputs of a line pad
+//! once — the `(address, counter, domain)` prefix is shared and only
+//! the sub-block byte varies — and encrypts them in one call to the
+//! batched T-table path ([`deuce_aes::Aes128::encrypt_blocks4`]). A
+//! byte-oriented reference mode ([`OtpEngine::new_reference`]) drives
+//! the same inputs through the FIPS-197 reference cipher serially; the
+//! two modes are differentially tested to emit bit-identical pads. An
+//! optional direct-mapped pad cache ([`OtpEngine::with_pad_cache`])
+//! short-circuits repeated `(address, counter)` line-pad requests.
+
+use std::sync::Mutex;
 
 use deuce_aes::Aes128;
 
 use crate::pad::{BlockPad, Pad};
+use crate::pad_cache::{PadCache, PadCacheStats};
 use crate::{SecretKey, LINE_BYTES};
 
 /// A line address in the PCM address space.
@@ -64,39 +77,133 @@ enum PadDomain {
 /// let pad_b = engine.line_pad(LineAddr::new(2), 5);
 /// assert_ne!(pad_a, pad_b); // distinct lines, distinct pads
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct OtpEngine {
     cipher: Aes128,
+    /// When set, pads come from the serial byte-oriented reference
+    /// cipher instead of the batched T-table path. Output is
+    /// bit-identical either way; the flag exists for differential
+    /// testing and benchmark baselines.
+    reference: bool,
+    /// Direct-mapped line-pad cache, present only when opted in via
+    /// [`Self::with_pad_cache`]. A `Mutex` (never contended: each
+    /// simulator owns its engine) keeps the engine `Sync` for shared
+    /// `static` use.
+    cache: Option<Mutex<PadCache>>,
+}
+
+impl Clone for OtpEngine {
+    fn clone(&self) -> Self {
+        Self {
+            cipher: self.cipher.clone(),
+            reference: self.reference,
+            cache: self
+                .cache
+                .as_ref()
+                .map(|c| Mutex::new(c.lock().expect("pad cache lock poisoned").clone())),
+        }
+    }
 }
 
 impl OtpEngine {
-    /// Creates an engine keyed with the controller's secret key.
+    /// Creates an engine keyed with the controller's secret key, using
+    /// the batched T-table fast path.
     #[must_use]
     pub fn new(key: &SecretKey) -> Self {
         Self {
             cipher: Aes128::new(key.as_bytes()),
+            reference: false,
+            cache: None,
         }
     }
 
-    fn pad_block(&self, addr: LineAddr, counter: u64, sub_block: u8, domain: PadDomain) -> [u8; 16] {
+    /// Creates an engine that generates pads through the byte-oriented
+    /// FIPS-197 reference cipher, one block at a time.
+    ///
+    /// Pads are bit-identical to [`Self::new`]'s; this constructor
+    /// exists so differential tests and benchmarks can compare the two
+    /// paths end to end.
+    #[must_use]
+    pub fn new_reference(key: &SecretKey) -> Self {
+        Self {
+            cipher: Aes128::new(key.as_bytes()),
+            reference: true,
+            cache: None,
+        }
+    }
+
+    /// Attaches a direct-mapped line-pad cache with at least `entries`
+    /// slots (rounded up to a power of two).
+    ///
+    /// Cached pads are keyed `(address, counter)` — a pure function of
+    /// the key stream — so entries never go stale and need no
+    /// invalidation; conflicting pairs simply replace each other.
+    /// Caching changes only *when* AES runs, never pad bytes.
+    #[must_use]
+    pub fn with_pad_cache(mut self, entries: usize) -> Self {
+        self.cache = Some(Mutex::new(PadCache::new(entries)));
+        self
+    }
+
+    /// Lifetime hit/miss totals of the pad cache, or `None` when no
+    /// cache is attached.
+    #[must_use]
+    pub fn pad_cache_stats(&self) -> Option<PadCacheStats> {
+        self.cache
+            .as_ref()
+            .map(|c| c.lock().expect("pad cache lock poisoned").stats())
+    }
+
+    /// Builds the 16-byte counter-mode input shared by all sub-blocks
+    /// of a pad: address, 48-bit counter, and domain tag. Byte 14 (the
+    /// sub-block index) is left zero for the caller to vary.
+    #[inline]
+    fn pad_input(addr: LineAddr, counter: u64, domain: PadDomain) -> [u8; 16] {
         let mut input = [0u8; 16];
         input[..8].copy_from_slice(&addr.value().to_le_bytes());
         // 48-bit counter field (LineCounter enforces width <= 48).
         input[8..14].copy_from_slice(&counter.to_le_bytes()[..6]);
-        input[14] = sub_block;
         input[15] = domain as u8;
-        self.cipher.encrypt_block(&input)
+        input
+    }
+
+    /// Generates a line pad from scratch (no cache involvement).
+    fn generate_line_pad(&self, addr: LineAddr, counter: u64) -> Pad {
+        let input = Self::pad_input(addr, counter, PadDomain::Line);
+        let mut bytes = [0u8; LINE_BYTES];
+        if self.reference {
+            let mut block_in = input;
+            for sub in 0..4u8 {
+                block_in[14] = sub;
+                let ct = self.cipher.encrypt_block_reference(&block_in);
+                bytes[usize::from(sub) * 16..usize::from(sub) * 16 + 16].copy_from_slice(&ct);
+            }
+        } else {
+            let mut blocks = [input; 4];
+            for (sub, block) in blocks.iter_mut().enumerate() {
+                block[14] = sub as u8;
+            }
+            let cts = self.cipher.encrypt_blocks4(&blocks);
+            for (sub, ct) in cts.iter().enumerate() {
+                bytes[sub * 16..sub * 16 + 16].copy_from_slice(ct);
+            }
+        }
+        Pad::from_bytes(bytes)
     }
 
     /// Generates the 512-bit pad for a whole line at a given counter value.
     #[must_use]
     pub fn line_pad(&self, addr: LineAddr, counter: u64) -> Pad {
-        let mut bytes = [0u8; LINE_BYTES];
-        for sub in 0..4u8 {
-            let block = self.pad_block(addr, counter, sub, PadDomain::Line);
-            bytes[usize::from(sub) * 16..usize::from(sub) * 16 + 16].copy_from_slice(&block);
+        let Some(cache) = &self.cache else {
+            return self.generate_line_pad(addr, counter);
+        };
+        let mut guard = cache.lock().expect("pad cache lock poisoned");
+        if let Some(pad) = guard.lookup(addr.value(), counter) {
+            return pad;
         }
-        Pad::from_bytes(bytes)
+        let pad = self.generate_line_pad(addr, counter);
+        guard.insert(addr.value(), counter, &pad);
+        pad
     }
 
     /// Generates the 128-bit pad for one 16-byte AES block of a line
@@ -108,12 +215,14 @@ impl OtpEngine {
     #[must_use]
     pub fn block_pad(&self, addr: LineAddr, block_index: usize, counter: u64) -> BlockPad {
         assert!(block_index < 4, "block index {block_index} out of range 0..4");
-        BlockPad::from_bytes(self.pad_block(
-            addr,
-            counter,
-            u8::try_from(block_index).expect("checked above"),
-            PadDomain::Block,
-        ))
+        let mut input = Self::pad_input(addr, counter, PadDomain::Block);
+        input[14] = u8::try_from(block_index).expect("checked above");
+        let ct = if self.reference {
+            self.cipher.encrypt_block_reference(&input)
+        } else {
+            self.cipher.encrypt_block(&input)
+        };
+        BlockPad::from_bytes(ct)
     }
 }
 
@@ -196,5 +305,33 @@ mod tests {
         }
         let density = ones as f64 / total as f64;
         assert!((density - 0.5).abs() < 0.01, "pad density {density}");
+    }
+
+    #[test]
+    fn cached_engine_returns_identical_pads() {
+        let plain = engine();
+        let cached = engine().with_pad_cache(64);
+        for addr in [0u64, 0x40, 0xdead, u64::MAX] {
+            for ctr in [0u64, 1, 7, (1 << 48) - 1] {
+                let expected = plain.line_pad(LineAddr::new(addr), ctr);
+                // Twice: once to fill the cache, once to hit it.
+                assert_eq!(cached.line_pad(LineAddr::new(addr), ctr), expected);
+                assert_eq!(cached.line_pad(LineAddr::new(addr), ctr), expected);
+            }
+        }
+        let stats = cached.pad_cache_stats().expect("cache attached");
+        assert_eq!(stats.hits, 16, "second round of lookups must all hit");
+        assert_eq!(stats.misses, 16);
+        assert_eq!(plain.pad_cache_stats(), None);
+    }
+
+    #[test]
+    fn clone_carries_cache_contents() {
+        let cached = engine().with_pad_cache(8);
+        let pad = cached.line_pad(LineAddr::new(5), 5); // miss, fills slot
+        let cloned = cached.clone();
+        assert_eq!(cloned.line_pad(LineAddr::new(5), 5), pad);
+        let stats = cloned.pad_cache_stats().expect("cache attached");
+        assert_eq!((stats.hits, stats.misses), (1, 1), "clone starts from parent's slots");
     }
 }

@@ -1,6 +1,33 @@
 //! One-time pads at line (64-byte) and AES-block (16-byte) granularity.
+//!
+//! Pad application is pure XOR, so the hot paths here work in `u64`
+//! words (eight bytes per operation) instead of byte loops; the word
+//! width is invisible in the output because XOR has no carries. The
+//! byte-loop originals survive only inside the differential tests.
 
 use crate::{LineBytes, LINE_BYTES};
+
+/// XORs `src` into `dst` in `u64` chunks, falling back to bytes for any
+/// tail shorter than eight bytes. Byte-for-byte equivalent to
+/// `dst[i] ^= src[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn xor_into(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_into length mismatch");
+    let mut dst_chunks = dst.chunks_exact_mut(8);
+    let mut src_chunks = src.chunks_exact(8);
+    for (d, s) in dst_chunks.by_ref().zip(src_chunks.by_ref()) {
+        let word = u64::from_ne_bytes(d.try_into().expect("8-byte chunk"))
+            ^ u64::from_ne_bytes(s.try_into().expect("8-byte chunk"));
+        d.copy_from_slice(&word.to_ne_bytes());
+    }
+    for (d, s) in dst_chunks.into_remainder().iter_mut().zip(src_chunks.remainder()) {
+        *d ^= s;
+    }
+}
 
 /// A 512-bit one-time pad covering a full memory line.
 ///
@@ -25,21 +52,17 @@ impl Pad {
     }
 
     /// XORs the pad with `data`, returning the encrypted (or decrypted)
-    /// line.
+    /// line. Works in `u64` words (eight lanes per XOR).
     #[must_use]
     pub fn xor(&self, data: &LineBytes) -> LineBytes {
-        let mut out = [0u8; LINE_BYTES];
-        for ((o, d), p) in out.iter_mut().zip(data).zip(&self.bytes) {
-            *o = d ^ p;
-        }
+        let mut out = *data;
+        xor_into(&mut out, &self.bytes);
         out
     }
 
-    /// XORs the pad into `data` in place.
+    /// XORs the pad into `data` in place (`u64`-chunked).
     pub fn xor_in_place(&self, data: &mut LineBytes) {
-        for (d, p) in data.iter_mut().zip(&self.bytes) {
-            *d ^= p;
-        }
+        xor_into(data, &self.bytes);
     }
 
     /// The pad bytes covering one *word* of the line, where words are
@@ -82,13 +105,11 @@ impl BlockPad {
         &self.bytes
     }
 
-    /// XORs the pad with a 16-byte block.
+    /// XORs the pad with a 16-byte block (`u64`-chunked).
     #[must_use]
     pub fn xor(&self, data: &[u8; 16]) -> [u8; 16] {
-        let mut out = [0u8; 16];
-        for ((o, d), p) in out.iter_mut().zip(data).zip(&self.bytes) {
-            *o = d ^ p;
-        }
+        let mut out = *data;
+        xor_into(&mut out, &self.bytes);
         out
     }
 }
@@ -152,5 +173,52 @@ mod tests {
         let data = [0xAA; 16];
         assert_eq!(pad.xor(&data), [0xFF; 16]);
         assert_eq!(pad.xor(&pad.xor(&data)), data);
+    }
+
+    /// The `u64`-chunked XOR must match the byte loop on every length,
+    /// alignment, and a randomized byte sweep — including tails shorter
+    /// than one word.
+    #[test]
+    fn chunked_xor_matches_byte_loop() {
+        use deuce_rng::{DeuceRng, Rng};
+        let mut rng = DeuceRng::seed_from_u64(0x0D5_F00D);
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 31, 63, 64] {
+            for _ in 0..64 {
+                let mut dst = vec![0u8; len];
+                let mut src = vec![0u8; len];
+                rng.fill(&mut dst);
+                rng.fill(&mut src);
+                let expected: Vec<u8> = dst.iter().zip(&src).map(|(d, s)| d ^ s).collect();
+                xor_into(&mut dst, &src);
+                assert_eq!(dst, expected, "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn line_xor_matches_byte_loop() {
+        use deuce_rng::{DeuceRng, Rng};
+        let mut rng = DeuceRng::seed_from_u64(0xBEE5);
+        for _ in 0..256 {
+            let mut pad_bytes = [0u8; LINE_BYTES];
+            let mut data = [0u8; LINE_BYTES];
+            rng.fill(&mut pad_bytes);
+            rng.fill(&mut data);
+            let pad = Pad::from_bytes(pad_bytes);
+            let mut expected = [0u8; LINE_BYTES];
+            for ((o, d), p) in expected.iter_mut().zip(&data).zip(&pad_bytes) {
+                *o = d ^ p;
+            }
+            assert_eq!(pad.xor(&data), expected);
+            let mut in_place = data;
+            pad.xor_in_place(&mut in_place);
+            assert_eq!(in_place, expected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_xor_lengths_panic() {
+        xor_into(&mut [0u8; 4], &[0u8; 5]);
     }
 }

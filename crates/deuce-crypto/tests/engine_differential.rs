@@ -1,0 +1,75 @@
+//! Differential validation of the batched T-table pad path against the
+//! serial byte-oriented reference engine.
+//!
+//! `OtpEngine::new` (batched fast path, optionally cached) and
+//! `OtpEngine::new_reference` must emit bit-identical pads for every
+//! `(address, counter)` pair — this is the engine-level half of the
+//! bit-identical-ciphertext contract (the cipher-level half lives in
+//! `deuce-aes/tests/differential.rs`).
+
+use deuce_crypto::{LineAddr, OtpEngine, SecretKey};
+use deuce_rng::{DeuceRng, Rng};
+
+#[test]
+fn line_pads_agree_across_engines() {
+    let key = SecretKey::from_seed(0x5EED);
+    let fast = OtpEngine::new(&key);
+    let cached = OtpEngine::new(&key).with_pad_cache(32);
+    let reference = OtpEngine::new_reference(&key);
+    let mut rng = DeuceRng::seed_from_u64(0x11AE);
+    for _ in 0..2000 {
+        let mut raw = [0u8; 16];
+        rng.fill(&mut raw);
+        let addr = LineAddr::new(u64::from_le_bytes(raw[..8].try_into().unwrap()));
+        let counter = u64::from_le_bytes(raw[8..].try_into().unwrap()) & ((1 << 48) - 1);
+        let expected = reference.line_pad(addr, counter);
+        assert_eq!(fast.line_pad(addr, counter), expected, "addr {addr}, counter {counter}");
+        assert_eq!(
+            cached.line_pad(addr, counter),
+            expected,
+            "cached engine diverged at addr {addr}, counter {counter}"
+        );
+    }
+}
+
+#[test]
+fn block_pads_agree_across_engines() {
+    let key = SecretKey::from_seed(0xB10C);
+    let fast = OtpEngine::new(&key);
+    let reference = OtpEngine::new_reference(&key);
+    let mut rng = DeuceRng::seed_from_u64(0x22BE);
+    for _ in 0..2000 {
+        let mut raw = [0u8; 16];
+        rng.fill(&mut raw);
+        let addr = LineAddr::new(u64::from_le_bytes(raw[..8].try_into().unwrap()));
+        let counter = u64::from_le_bytes(raw[8..].try_into().unwrap()) & ((1 << 48) - 1);
+        for block in 0..4 {
+            assert_eq!(
+                fast.block_pad(addr, block, counter),
+                reference.block_pad(addr, block, counter),
+                "addr {addr}, counter {counter}, block {block}"
+            );
+        }
+    }
+}
+
+/// Boundary values of the 48-bit counter field and the address space
+/// must agree too — the randomized sweep is unlikely to land on them.
+#[test]
+fn edge_inputs_agree_across_engines() {
+    let key = SecretKey::from_seed(7);
+    let fast = OtpEngine::new(&key);
+    let reference = OtpEngine::new_reference(&key);
+    for addr in [0u64, 1, u64::MAX] {
+        for counter in [0u64, 1, (1 << 48) - 1] {
+            let addr = LineAddr::new(addr);
+            assert_eq!(fast.line_pad(addr, counter), reference.line_pad(addr, counter));
+            for block in 0..4 {
+                assert_eq!(
+                    fast.block_pad(addr, block, counter),
+                    reference.block_pad(addr, block, counter)
+                );
+            }
+        }
+    }
+}

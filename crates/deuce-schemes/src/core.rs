@@ -9,7 +9,7 @@
 
 use std::sync::OnceLock;
 
-use deuce_crypto::{LineAddr, LineBytes, OtpEngine, Pad, SecretKey, LINE_BYTES};
+use deuce_crypto::{xor_into, LineAddr, LineBytes, OtpEngine, Pad, SecretKey};
 use deuce_nvm::MetaBits;
 
 use crate::config::WordSize;
@@ -104,9 +104,9 @@ pub(crate) fn reencrypt_marked_words(
     let w = word_size.bytes();
     for word in 0..word_size.words_per_line() {
         if modified.get(word as u32) {
-            for (offset, i) in (word * w..(word + 1) * w).enumerate() {
-                stored[i] = data[i] ^ pad.word(word, w)[offset];
-            }
+            let range = word * w..(word + 1) * w;
+            stored[range.clone()].copy_from_slice(&data[range]);
+            xor_into(&mut stored[word * w..(word + 1) * w], pad.word(word, w));
         }
     }
 }
@@ -121,16 +121,14 @@ pub(crate) fn dual_pad_read(
     word_size: WordSize,
 ) -> LineBytes {
     let w = word_size.bytes();
-    let mut out = [0u8; LINE_BYTES];
+    let mut out = *stored;
     for word in 0..word_size.words_per_line() {
         let pad = if modified.get(word as u32) {
             pad_lctr.word(word, w)
         } else {
             pad_tctr.word(word, w)
         };
-        for (offset, i) in (word * w..(word + 1) * w).enumerate() {
-            out[i] = stored[i] ^ pad[offset];
-        }
+        xor_into(&mut out[word * w..(word + 1) * w], pad);
     }
     out
 }

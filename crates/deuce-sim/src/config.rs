@@ -159,6 +159,34 @@ impl FaultConfig {
     }
 }
 
+/// Pad-cache configuration: a direct-mapped cache of generated line
+/// pads in front of the AES engine (see
+/// [`deuce_crypto::OtpEngine::with_pad_cache`]). Pads are a pure
+/// function of `(address, counter)`, so the cache changes only how
+/// often AES runs — never any simulated output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PadCacheConfig {
+    /// Cache slots (rounded up to a power of two).
+    pub entries: usize,
+}
+
+impl PadCacheConfig {
+    /// A modest controller-sized default (256 slots × 64 B pads = 16 KiB).
+    pub const DEFAULT: Self = Self { entries: 256 };
+
+    /// A cache with the given slot count.
+    #[must_use]
+    pub fn with_entries(entries: usize) -> Self {
+        Self { entries }
+    }
+}
+
+impl Default for PadCacheConfig {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
 /// Full simulation configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -194,6 +222,10 @@ pub struct SimConfig {
     /// implicit assumption) means counters are always on chip and cost
     /// no memory traffic.
     pub counter_cache: Option<CounterCacheConfig>,
+    /// Line-pad cache in front of the AES engine; `None` (the default)
+    /// regenerates every pad. Purely a crypto-throughput optimisation —
+    /// simulated flips, timing, and energy are unaffected.
+    pub pad_cache: Option<PadCacheConfig>,
 }
 
 impl SimConfig {
@@ -220,6 +252,7 @@ impl SimConfig {
             faults: None,
             power_channels: None,
             counter_cache: None,
+            pad_cache: None,
         }
     }
 
@@ -227,6 +260,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_counter_cache(mut self, config: CounterCacheConfig) -> Self {
         self.counter_cache = Some(config);
+        self
+    }
+
+    /// Enables the line-pad cache in front of the AES engine.
+    #[must_use]
+    pub fn with_pad_cache(mut self, config: PadCacheConfig) -> Self {
+        self.pad_cache = Some(config);
         self
     }
 
@@ -275,7 +315,16 @@ mod tests {
         assert!((c.cpu.instr_per_ns - 16.0).abs() < 1e-12);
         assert!(c.wear.is_none());
         assert!(c.faults.is_none());
+        assert!(c.pad_cache.is_none());
         assert!(!c.metric.count_counter_bits);
+    }
+
+    #[test]
+    fn pad_cache_config_defaults() {
+        assert_eq!(PadCacheConfig::default().entries, 256);
+        assert_eq!(PadCacheConfig::with_entries(32).entries, 32);
+        let c = SimConfig::new(SchemeKind::Deuce).with_pad_cache(PadCacheConfig::DEFAULT);
+        assert_eq!(c.pad_cache, Some(PadCacheConfig::DEFAULT));
     }
 
     #[test]

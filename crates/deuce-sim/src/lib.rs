@@ -40,7 +40,9 @@ mod simulator;
 mod sweep;
 mod timing;
 
-pub use config::{CpuParams, FaultConfig, MetricConfig, SimConfig, VerticalWl, WearConfig};
+pub use config::{
+    CpuParams, FaultConfig, MetricConfig, PadCacheConfig, SimConfig, VerticalWl, WearConfig,
+};
 pub use counter_cache::{CounterCache, CounterCacheConfig, CounterTraffic};
 pub use latency::{pad_latency_report, PadEngineOption, PadLatencyReport};
 pub use result::{FaultReport, SimResult};

@@ -1,5 +1,6 @@
 //! Aggregated simulation results and derived metrics.
 
+use deuce_crypto::PadCacheStats;
 use deuce_nvm::{CellArray, EnergyParams, WearSummary};
 use deuce_wear::{relative_lifetime, LifetimePolicy};
 
@@ -80,6 +81,11 @@ pub struct SimResult {
     pub line_store_bytes: u64,
     /// Fault-injection observations, when faults were enabled.
     pub faults: Option<FaultReport>,
+    /// Line-pad-cache hit/miss totals for this run, when the pad cache
+    /// was enabled. Purely an AES-work metric: pads are a pure function
+    /// of `(address, counter)`, so caching never changes any other
+    /// field of the result.
+    pub pad_cache: Option<PadCacheStats>,
 }
 
 /// An empty result: every counter zero, no wear tracking, and the
@@ -106,6 +112,7 @@ impl Default for SimResult {
             counter_cache_hit_ratio: 0.0,
             line_store_bytes: 0,
             faults: None,
+            pad_cache: None,
         }
     }
 }

@@ -63,7 +63,10 @@ impl<S: LineScheme + Copy> Simulator<S> {
     /// for passing one matching `config.scheme`.
     #[must_use]
     pub fn with_line_scheme(config: SimConfig, scheme: S) -> Self {
-        let engine = OtpEngine::new(&SecretKey::from_seed(config.key_seed));
+        let mut engine = OtpEngine::new(&SecretKey::from_seed(config.key_seed));
+        if let Some(pad_cache) = config.pad_cache {
+            engine = engine.with_pad_cache(pad_cache.entries);
+        }
         Self { config, engine, scheme }
     }
 
@@ -183,6 +186,12 @@ impl<S: LineScheme + Copy> Simulator<S> {
         if R::ENABLED && result.faults.is_some() {
             rec.fault_injection_active();
         }
+        // The engine (and its cache) outlives the run, so per-run
+        // hit/miss totals are the delta over this trace.
+        let pad_cache_start = self.engine.pad_cache_stats();
+        if R::ENABLED && pad_cache_start.is_some() {
+            rec.pad_cache_active();
+        }
 
         for event in trace.events() {
             let core = usize::from(event.core);
@@ -252,6 +261,17 @@ impl<S: LineScheme + Copy> Simulator<S> {
             result.counter_cache_misses = cache.misses();
             result.counter_cache_writebacks = cache.writebacks();
             result.counter_cache_hit_ratio = cache.hit_ratio();
+        }
+        if let Some(start) = pad_cache_start {
+            let end = self.engine.pad_cache_stats().expect("cache attached for the whole run");
+            let stats = deuce_crypto::PadCacheStats {
+                hits: end.hits - start.hits,
+                misses: end.misses - start.misses,
+            };
+            result.pad_cache = Some(stats);
+            if R::ENABLED {
+                rec.pad_cache_totals(stats.hits, stats.misses);
+            }
         }
         if R::ENABLED {
             rec.gauge(Gauge::ExecTimeNs, result.exec_time_ns);
@@ -504,6 +524,28 @@ mod tests {
         assert!(r.exec_time_ns > 0.0);
         assert!(r.energy_pj() > 0.0);
         assert!(r.power_mw() > 0.0);
+    }
+
+    #[test]
+    fn pad_cache_never_changes_results() {
+        use crate::config::PadCacheConfig;
+        let t = trace(Benchmark::Mcf, 2000);
+        let plain = Simulator::new(SimConfig::new(SchemeKind::Deuce)).run_trace(&t);
+        let cached = Simulator::new(
+            SimConfig::new(SchemeKind::Deuce).with_pad_cache(PadCacheConfig::DEFAULT),
+        )
+        .run_trace(&t);
+        assert!(plain.pad_cache.is_none());
+        let stats = cached.pad_cache.expect("pad cache enabled");
+        assert!(stats.hits + stats.misses > 0, "pads were requested");
+        // Everything simulated is bit-identical; only the AES-work
+        // accounting differs.
+        assert_eq!(plain.writes, cached.writes);
+        assert_eq!(plain.data_flips, cached.data_flips);
+        assert_eq!(plain.meta_flips, cached.meta_flips);
+        assert_eq!(plain.counter_flips, cached.counter_flips);
+        assert_eq!(plain.total_slots, cached.total_slots);
+        assert_eq!(plain.exec_time_ns, cached.exec_time_ns);
     }
 
     #[test]

@@ -135,6 +135,19 @@ pub fn write_jsonl<W: Write>(
             )?;
         }
     }
+    // Pad-cache counters exist only for runs that attach the pad cache,
+    // so cache-free exports are byte-identical to pre-cache builds.
+    if let Some(pad_cache) = recorder.pad_cache() {
+        for (name, value) in [
+            ("pad_cache_hits", pad_cache.hits),
+            ("pad_cache_misses", pad_cache.misses),
+        ] {
+            writeln!(
+                out,
+                "{{\"type\":\"counter\",\"run\":\"{run}\",\"name\":\"{name}\",\"value\":{value}}}",
+            )?;
+        }
+    }
     for sample in recorder.samples() {
         writeln!(
             out,
@@ -221,6 +234,10 @@ pub fn write_csv<W: Write>(
             writeln!(out, "{run},{name},{value}")?;
         }
         writeln!(out, "{run},ecp_entries_used_mean,{}", json_num(faults.ecp_used_hist.mean()))?;
+    }
+    if let Some(pad_cache) = recorder.pad_cache() {
+        writeln!(out, "{run},pad_cache_hits,{}", pad_cache.hits)?;
+        writeln!(out, "{run},pad_cache_misses,{}", pad_cache.misses)?;
     }
     writeln!(out, "{run},series_samples,{}", recorder.samples().len())
 }
@@ -330,6 +347,31 @@ mod tests {
         let csv = String::from_utf8(buf).unwrap();
         assert!(csv.contains("faulty,fault_cell_deaths,3"));
         assert!(csv.contains("faulty,ecp_entries_used_mean,1.0"));
+    }
+
+    #[test]
+    fn pad_cache_section_appears_only_for_cached_runs() {
+        // Cache-free: no pad-cache counters anywhere.
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, "plain", &sample_recorder()).unwrap();
+        let plain = String::from_utf8(buf).unwrap();
+        assert!(!plain.contains("pad_cache_"), "cache-free export must be unchanged");
+
+        let mut r = sample_recorder();
+        r.pad_cache_active();
+        r.pad_cache_totals(40, 8);
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, "cached", &r).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"name\":\"pad_cache_hits\",\"value\":40"));
+        assert!(text.contains("\"name\":\"pad_cache_misses\",\"value\":8"));
+        assert!(crate::parse::parse_jsonl(&text).is_ok());
+
+        let mut buf = Vec::new();
+        write_csv(&mut buf, "cached", &r).unwrap();
+        let csv = String::from_utf8(buf).unwrap();
+        assert!(csv.contains("cached,pad_cache_hits,40"));
+        assert!(csv.contains("cached,pad_cache_misses,8"));
     }
 
     #[test]

@@ -65,7 +65,7 @@ mod series;
 pub use hist::{bucket_bounds, Histogram, BUCKETS};
 pub use progress::SweepProgress;
 pub use recorder::{
-    Counter, FaultObservation, FaultTelemetry, Gauge, NullRecorder, Recorder, Stage,
-    TelemetryConfig, TelemetryRecorder, WriteObservation,
+    Counter, FaultObservation, FaultTelemetry, Gauge, NullRecorder, PadCacheTelemetry, Recorder,
+    Stage, TelemetryConfig, TelemetryRecorder, WriteObservation,
 };
 pub use series::{Sample, SeriesSampler};

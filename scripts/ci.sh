@@ -14,6 +14,10 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+echo "==> AES differential suite (T-table vs reference, FIPS-197 + randomized)"
+cargo test -q --offline -p deuce-aes --test differential
+cargo test -q --offline -p deuce-crypto --test engine_differential
+
 echo "==> cargo clippy -q --offline --workspace --all-targets -- -D warnings"
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
