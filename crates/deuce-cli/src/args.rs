@@ -3,6 +3,7 @@
 
 use deuce_crypto::EpochInterval;
 use deuce_schemes::{SchemeConfig, SchemeKind, WordSize};
+use deuce_sim::{ManifestError, RunError, ShardSpec};
 use deuce_trace::Benchmark;
 
 /// Usage text for `deuce help`.
@@ -11,18 +12,41 @@ deuce — write-efficient encryption simulator for non-volatile memories
 
 USAGE:
   deuce gen     --benchmark <name> [--writes N] [--lines N] [--cores N]
-                [--seed N] -o <file>
+                [--seed N] [--format bin|jsonl] -o <file>
   deuce stats   <trace-file>
   deuce run     (--trace <file> | --benchmark <name>) --scheme <scheme>
                 [--epoch N] [--word-bytes N] [--writes N] [--lines N]
                 [--cores N] [--seed N] [--telemetry <file>] [fault flags]
-                [--pad-cache N]
+                [--pad-cache N] [--stream] [--checkpoint <file>]
+                [--checkpoint-every N] [--from-checkpoint <file>]
   deuce compare (--trace <file> | --benchmark <name>) [generation flags]
                 [--telemetry <file>] [fault flags] [--pad-cache N]
   deuce sweep   (--trace <file> | --benchmark <name>) [generation flags]
                 [--telemetry <file>] [fault flags] [--pad-cache N]
+                [--manifest <file> [--shard i/n] [--resume]]
+  deuce merge   <manifest-file>...
   deuce report  <telemetry-file>
   deuce help
+
+STREAMING:
+  gen writes the trace directly from the generator, so any --writes
+  count runs in bounded memory; --format jsonl emits a line-oriented
+  text dialect instead of the binary container (both stream, both are
+  accepted everywhere a trace file is). run --stream drives the
+  simulation from the trace source one event at a time — bit-identical
+  to the materialised run at O(1) trace memory. --checkpoint <file>
+  appends a progress fingerprint every --checkpoint-every writes
+  (default 1000000); --from-checkpoint <file> replays the stream and
+  verifies the run still matches the recorded fingerprint (a changed
+  trace, config, or binary is detected, not silently absorbed).
+
+SHARDING:
+  sweep --manifest <file> records each finished grid cell as one
+  flushed JSONL line; --shard i/n runs only cells with index ≡ i mod n,
+  so one grid splits across processes. --resume skips cells already in
+  the manifest (a killed shard re-runs only what it lost). merge checks
+  the shard manifests cover the whole grid and prints the combined
+  table, byte-identical to an unsharded sweep.
 
 TELEMETRY:
   --telemetry <file> streams structured instrumentation (counters,
@@ -64,6 +88,10 @@ pub enum CliError {
     Trace(deuce_trace::TraceIoError),
     /// A telemetry file could not be interpreted.
     Telemetry(String),
+    /// A checkpoint replay diverged from the recorded run.
+    Checkpoint(String),
+    /// A sweep manifest could not be read, resumed, or merged.
+    Manifest(ManifestError),
     /// Terminal or file output failed.
     Io(std::io::Error),
 }
@@ -74,6 +102,8 @@ impl core::fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
             CliError::Trace(e) => write!(f, "{e}"),
             CliError::Telemetry(msg) => write!(f, "{msg}"),
+            CliError::Checkpoint(msg) => write!(f, "{msg}"),
+            CliError::Manifest(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "{e}"),
         }
     }
@@ -93,6 +123,33 @@ impl From<deuce_trace::TraceIoError> for CliError {
     }
 }
 
+impl From<RunError> for CliError {
+    fn from(e: RunError) -> Self {
+        match e {
+            RunError::Trace(t) => CliError::Trace(t),
+            mismatch @ RunError::CheckpointMismatch { .. } => {
+                CliError::Checkpoint(mismatch.to_string())
+            }
+        }
+    }
+}
+
+impl From<ManifestError> for CliError {
+    fn from(e: ManifestError) -> Self {
+        CliError::Manifest(e)
+    }
+}
+
+/// On-disk trace format for `gen -o` (`--format`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// The binary `DEUCETRC` container (compact, seekable).
+    #[default]
+    Binary,
+    /// The JSONL text dialect (greppable, concatenation-friendly).
+    Jsonl,
+}
+
 /// Workload-generation arguments shared by `gen`, `run`, and `compare`.
 #[derive(Debug, Clone)]
 pub struct GenArgs {
@@ -108,6 +165,8 @@ pub struct GenArgs {
     pub seed: u64,
     /// Output path (for `gen`).
     pub output: Option<String>,
+    /// Output format (for `gen`).
+    pub format: TraceFormat,
 }
 
 impl Default for GenArgs {
@@ -119,6 +178,7 @@ impl Default for GenArgs {
             cores: 1,
             seed: 42,
             output: None,
+            format: TraceFormat::Binary,
         }
     }
 }
@@ -171,6 +231,51 @@ pub struct RunArgs {
     pub faults: FaultArgs,
     /// Line-pad cache entries (`--pad-cache`); `None` = no cache.
     pub pad_cache: Option<usize>,
+    /// Drive the run from a streaming source instead of materialising
+    /// the trace (`--stream`, `run` only).
+    pub stream: bool,
+    /// Append periodic run checkpoints to this file (`--checkpoint`).
+    pub checkpoint: Option<String>,
+    /// Counted writes between checkpoints (`--checkpoint-every`).
+    pub checkpoint_every: u64,
+    /// Replay-verify the run against the last checkpoint in this file
+    /// (`--from-checkpoint`).
+    pub from_checkpoint: Option<String>,
+    /// Which slice of the sweep grid this process owns (`--shard`);
+    /// `None` = the whole grid.
+    pub shard: Option<ShardSpec>,
+    /// Record completed sweep cells in this manifest (`--manifest`).
+    pub manifest: Option<String>,
+    /// Skip cells already in the manifest (`--resume`).
+    pub resume: bool,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        Self {
+            trace_path: None,
+            gen: GenArgs::default(),
+            scheme: None,
+            telemetry: None,
+            sample_every: 64,
+            faults: FaultArgs::default(),
+            pad_cache: None,
+            stream: false,
+            checkpoint: None,
+            checkpoint_every: 1_000_000,
+            from_checkpoint: None,
+            shard: None,
+            manifest: None,
+            resume: false,
+        }
+    }
+}
+
+/// `deuce merge` arguments.
+#[derive(Debug, Clone)]
+pub struct MergeArgs {
+    /// Shard manifests to combine.
+    pub manifests: Vec<String>,
 }
 
 /// `deuce report` arguments.
@@ -193,6 +298,8 @@ pub enum Command {
     Compare(RunArgs),
     /// Sweep DEUCE's epoch interval and word size.
     Sweep(RunArgs),
+    /// Combine shard manifests into the full sweep table.
+    Merge(MergeArgs),
     /// Render a telemetry file as text tables.
     Report(ReportArgs),
     /// Print usage.
@@ -228,6 +335,17 @@ impl Command {
             Some(s) => s,
         };
 
+        if subcommand == "merge" {
+            let manifests: Vec<String> = args.collect();
+            if manifests.is_empty() {
+                return Err(CliError::Usage("merge requires at least one manifest file".into()));
+            }
+            if let Some(flag) = manifests.iter().find(|m| m.starts_with('-')) {
+                return Err(CliError::Usage(format!("merge takes no flags (got {flag:?})")));
+            }
+            return Ok(Command::Merge(MergeArgs { manifests }));
+        }
+
         let mut gen = GenArgs::default();
         let mut benchmark_given = false;
         let mut trace_path: Option<String> = None;
@@ -240,6 +358,13 @@ impl Command {
         let mut faults = FaultArgs::default();
         let mut fault_tuning: Option<&'static str> = None;
         let mut pad_cache: Option<usize> = None;
+        let mut stream = false;
+        let mut checkpoint: Option<String> = None;
+        let mut checkpoint_every: u64 = 1_000_000;
+        let mut from_checkpoint: Option<String> = None;
+        let mut shard: Option<ShardSpec> = None;
+        let mut manifest: Option<String> = None;
+        let mut resume = false;
 
         while let Some(flag) = args.next() {
             let mut value = |flag: &str| {
@@ -301,6 +426,34 @@ impl Command {
                         ));
                     }
                 }
+                "--format" => {
+                    gen.format = match value("--format")?.to_ascii_lowercase().as_str() {
+                        "bin" | "binary" => TraceFormat::Binary,
+                        "jsonl" | "json" => TraceFormat::Jsonl,
+                        other => {
+                            return Err(CliError::Usage(format!(
+                                "--format must be bin or jsonl (got {other:?})"
+                            )))
+                        }
+                    };
+                }
+                "--stream" => stream = true,
+                "--checkpoint" => checkpoint = Some(value("--checkpoint")?),
+                "--checkpoint-every" => {
+                    checkpoint_every =
+                        parse_number(&value("--checkpoint-every")?, "--checkpoint-every")?;
+                    if checkpoint_every == 0 {
+                        return Err(CliError::Usage(
+                            "--checkpoint-every must be at least 1".into(),
+                        ));
+                    }
+                }
+                "--from-checkpoint" => from_checkpoint = Some(value("--from-checkpoint")?),
+                "--shard" => {
+                    shard = Some(ShardSpec::parse(&value("--shard")?).map_err(CliError::Usage)?);
+                }
+                "--manifest" => manifest = Some(value("--manifest")?),
+                "--resume" => resume = true,
                 other if !other.starts_with('-') && positional.is_none() => {
                     positional = Some(other.to_string());
                 }
@@ -353,6 +506,21 @@ impl Command {
                 let scheme = scheme.ok_or_else(|| {
                     CliError::Usage("run requires --scheme <scheme>".into())
                 })?;
+                if shard.is_some() || manifest.is_some() || resume {
+                    return Err(CliError::Usage(
+                        "--shard/--manifest/--resume apply to sweep, not run".into(),
+                    ));
+                }
+                if !stream && (checkpoint.is_some() || from_checkpoint.is_some()) {
+                    return Err(CliError::Usage(
+                        "--checkpoint and --from-checkpoint require --stream".into(),
+                    ));
+                }
+                if checkpoint.is_some() && from_checkpoint.is_some() {
+                    return Err(CliError::Usage(
+                        "--checkpoint and --from-checkpoint are mutually exclusive".into(),
+                    ));
+                }
                 Ok(Command::Run(RunArgs {
                     trace_path,
                     gen,
@@ -361,6 +529,13 @@ impl Command {
                     sample_every,
                     faults,
                     pad_cache,
+                    stream,
+                    checkpoint,
+                    checkpoint_every,
+                    from_checkpoint,
+                    shard: None,
+                    manifest: None,
+                    resume: false,
                 }))
             }
             "compare" | "sweep" => {
@@ -368,6 +543,29 @@ impl Command {
                     return Err(CliError::Usage(format!(
                         "{subcommand} requires --trace <file> or --benchmark <name>"
                     )));
+                }
+                if stream || checkpoint.is_some() || from_checkpoint.is_some() {
+                    return Err(CliError::Usage(format!(
+                        "--stream/--checkpoint/--from-checkpoint apply to run, not {subcommand}"
+                    )));
+                }
+                if subcommand == "compare" && (shard.is_some() || manifest.is_some() || resume) {
+                    return Err(CliError::Usage(
+                        "--shard/--manifest/--resume apply to sweep, not compare".into(),
+                    ));
+                }
+                if manifest.is_none() && (shard.is_some() || resume) {
+                    return Err(CliError::Usage(
+                        "--shard and --resume require --manifest <file>".into(),
+                    ));
+                }
+                if manifest.is_some() && telemetry.is_some() {
+                    return Err(CliError::Usage(
+                        "--manifest and --telemetry cannot be combined (shard output \
+                         is the manifest; merge the shards first, then re-run with \
+                         --telemetry if needed)"
+                            .into(),
+                    ));
                 }
                 let run_args = RunArgs {
                     trace_path,
@@ -377,6 +575,13 @@ impl Command {
                     sample_every,
                     faults,
                     pad_cache,
+                    stream: false,
+                    checkpoint: None,
+                    checkpoint_every,
+                    from_checkpoint: None,
+                    shard,
+                    manifest,
+                    resume,
                 };
                 Ok(if subcommand == "compare" {
                     Command::Compare(run_args)
@@ -606,5 +811,104 @@ mod tests {
             parse(&["compare", "--benchmark", "gems"]),
             Ok(Command::Compare(_))
         ));
+    }
+
+    #[test]
+    fn gen_format_flag_parses() {
+        let cmd =
+            parse(&["gen", "--benchmark", "libq", "-o", "t.jsonl", "--format", "jsonl"]).unwrap();
+        match cmd {
+            Command::Gen(g) => assert_eq!(g.format, TraceFormat::Jsonl),
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&["gen", "--benchmark", "libq", "-o", "t.bin"]).unwrap() {
+            Command::Gen(g) => assert_eq!(g.format, TraceFormat::Binary),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse(&["gen", "--benchmark", "libq", "-o", "t", "--format", "xml"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn stream_and_checkpoint_flags_parse() {
+        let cmd = parse(&[
+            "run", "--benchmark", "mcf", "--scheme", "deuce", "--stream", "--checkpoint",
+            "cp.jsonl", "--checkpoint-every", "500",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run(r) => {
+                assert!(r.stream);
+                assert_eq!(r.checkpoint.as_deref(), Some("cp.jsonl"));
+                assert_eq!(r.checkpoint_every, 500);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Checkpointing needs the streaming driver; emit and verify are
+        // mutually exclusive.
+        assert!(matches!(
+            parse(&["run", "--benchmark", "mcf", "--scheme", "deuce", "--checkpoint", "c"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["run", "--benchmark", "mcf", "--scheme", "deuce", "--stream",
+                    "--checkpoint", "a", "--from-checkpoint", "b"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["run", "--benchmark", "mcf", "--scheme", "deuce", "--stream",
+                    "--checkpoint", "c", "--checkpoint-every", "0"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn sweep_shard_flags_parse() {
+        let cmd = parse(&[
+            "sweep", "--benchmark", "mcf", "--manifest", "m.jsonl", "--shard", "1/2", "--resume",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Sweep(r) => {
+                assert_eq!(r.shard, Some(ShardSpec { index: 1, count: 2 }));
+                assert_eq!(r.manifest.as_deref(), Some("m.jsonl"));
+                assert!(r.resume);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Shard flags demand a manifest, stay off compare/run, and
+        // cannot be combined with telemetry.
+        assert!(matches!(
+            parse(&["sweep", "--benchmark", "mcf", "--shard", "0/2"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["sweep", "--benchmark", "mcf", "--shard", "2/2", "--manifest", "m"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["compare", "--benchmark", "mcf", "--manifest", "m"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["run", "--benchmark", "mcf", "--scheme", "deuce", "--manifest", "m"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["sweep", "--benchmark", "mcf", "--manifest", "m", "--telemetry", "t"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn merge_takes_manifest_paths() {
+        match parse(&["merge", "a.jsonl", "b.jsonl"]).unwrap() {
+            Command::Merge(m) => assert_eq!(m.manifests, vec!["a.jsonl", "b.jsonl"]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(parse(&["merge"]), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&["merge", "--shard", "a"]), Err(CliError::Usage(_))));
     }
 }

@@ -1,64 +1,112 @@
 //! Command implementations.
 
+use std::collections::{BTreeSet, HashSet};
 use std::fs::File;
-use std::io::{BufReader, BufWriter, IsTerminal, Write};
+use std::io::{BufWriter, IsTerminal, Write};
 use std::path::Path;
 
 use deuce_nvm::EnergyParams;
-use deuce_schemes::{SchemeConfig, SchemeKind};
+use deuce_schemes::{SchemeConfig, SchemeKind, WordSize};
 use deuce_sim::telemetry::export::{write_csv, write_csv_header, write_jsonl};
 use deuce_sim::telemetry::parse::{parse_jsonl, Event};
-use deuce_sim::telemetry::{SweepProgress, TelemetryConfig, TelemetryRecorder};
-use deuce_sim::{
-    FaultConfig, PadCacheConfig, ParallelSweep, SimConfig, SimResult, Simulator, WearConfig,
+use deuce_sim::telemetry::{
+    NullRecorder, Recorder, SweepProgress, TelemetryConfig, TelemetryRecorder,
 };
-use deuce_trace::{read_trace, write_trace, Trace, TraceConfig, TraceStats};
+use deuce_sim::{
+    grid_fingerprint, merge_manifests, read_manifest, CellRecord, FaultConfig, ManifestHeader,
+    ManifestWriter, PadCacheConfig, ParallelSweep, RunCheckpoint, ShardSpec, SimConfig, SimResult,
+    Simulator, WearConfig,
+};
+use deuce_trace::{
+    open_source, write_source_jsonl, write_source_to_file, Op, Trace, TraceConfig, TraceEvent,
+    TraceIoError, TraceStats, WriteSource,
+};
 
-use crate::args::{CliError, GenArgs, ReportArgs, RunArgs, StatsArgs};
+use crate::args::{CliError, GenArgs, MergeArgs, ReportArgs, RunArgs, StatsArgs, TraceFormat};
 use crate::format::{FaultSummary, PadCacheSummary, RunSummary, METRIC_HEADER};
 
-fn generate(gen: &GenArgs) -> Trace {
+fn trace_config(gen: &GenArgs) -> TraceConfig {
     TraceConfig::new(gen.benchmark)
         .lines(gen.lines)
         .writes(gen.writes)
         .cores(gen.cores)
         .seed(gen.seed)
-        .generate()
 }
 
-fn load_or_generate(args: &RunArgs) -> Result<Trace, CliError> {
+/// Opens the run's event stream: a saved trace file in either format,
+/// or the generator driven directly (no materialised event vector).
+fn open_run_source(args: &RunArgs) -> Result<Box<dyn WriteSource>, CliError> {
     match &args.trace_path {
-        Some(path) => Ok(read_trace(BufReader::new(File::open(path)?))?),
-        None => Ok(generate(&args.gen)),
+        Some(path) => Ok(open_source(path)?),
+        None => Ok(Box::new(trace_config(&args.gen).stream())),
     }
 }
 
-/// `deuce gen`: generate a trace and write it to disk.
+fn load_or_generate(args: &RunArgs) -> Result<Trace, CliError> {
+    let mut source = open_run_source(args)?;
+    Ok(Trace::from_source(&mut *source)?)
+}
+
+/// A pass-through [`WriteSource`] that tallies reads and writes, so
+/// `gen` can report what it streamed without materialising it.
+struct CountingSource<S> {
+    inner: S,
+    reads: u64,
+    writes: u64,
+}
+
+impl<S: WriteSource> WriteSource for CountingSource<S> {
+    fn cores(&self) -> usize {
+        self.inner.cores()
+    }
+
+    fn next_event(&mut self) -> Result<Option<TraceEvent>, TraceIoError> {
+        let event = self.inner.next_event()?;
+        match event.as_ref().map(|e| e.op) {
+            Some(Op::Read) => self.reads += 1,
+            Some(Op::Write) => self.writes += 1,
+            None => {}
+        }
+        Ok(event)
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        self.inner.len_hint()
+    }
+}
+
+/// `deuce gen`: stream a generated trace to disk (bounded memory at
+/// any `--writes` count).
 ///
 /// # Errors
 ///
 /// Returns I/O errors from writing the file.
 pub fn gen<W: Write>(args: &GenArgs, out: &mut W) -> Result<(), CliError> {
-    let trace = generate(args);
     let path = args.output.as_deref().expect("parser enforces -o");
-    write_trace(BufWriter::new(File::create(path)?), &trace)?;
+    let mut source =
+        CountingSource { inner: trace_config(args).stream(), reads: 0, writes: 0 };
+    let events = match args.format {
+        TraceFormat::Binary => write_source_to_file(path, &mut source)?,
+        TraceFormat::Jsonl => {
+            write_source_jsonl(BufWriter::new(File::create(path)?), &mut source)?
+        }
+    };
     writeln!(
         out,
-        "wrote {} events ({} writes, {} reads) to {path}",
-        trace.len(),
-        trace.write_count(),
-        trace.read_count(),
+        "wrote {events} events ({} writes, {} reads) to {path}",
+        source.writes, source.reads,
     )?;
     Ok(())
 }
 
-/// `deuce stats`: summarize a saved trace.
+/// `deuce stats`: summarize a saved trace (either format).
 ///
 /// # Errors
 ///
 /// Returns I/O or trace-format errors.
 pub fn stats<W: Write>(args: &StatsArgs, out: &mut W) -> Result<(), CliError> {
-    let trace = read_trace(BufReader::new(File::open(&args.trace_path)?))?;
+    let mut source = open_source(&args.trace_path)?;
+    let trace = Trace::from_source(&mut *source)?;
     let stats = TraceStats::compute(&trace);
     writeln!(out, "events\t{}", trace.len())?;
     writeln!(out, "writes\t{}", trace.write_count())?;
@@ -78,18 +126,14 @@ pub fn stats<W: Write>(args: &StatsArgs, out: &mut W) -> Result<(), CliError> {
 
 /// Builds the simulator configuration for one scheme, wiring in fault
 /// injection when `--faults` was given: wear tracking is auto-sized to
-/// the trace's write footprint (every written line needs a cell-array
-/// slot) and the fault flags map onto [`FaultConfig`].
-fn sim_config(args: &RunArgs, trace: &Trace, scheme: SchemeConfig) -> SimConfig {
+/// `fault_lines`, the trace's write footprint (every written line needs
+/// a cell-array slot; see [`fault_lines`]), and the fault flags map
+/// onto [`FaultConfig`].
+fn sim_config(args: &RunArgs, fault_lines: usize, scheme: SchemeConfig) -> SimConfig {
     let mut config = SimConfig::with_scheme(scheme);
     if args.faults.enabled {
-        let lines = trace
-            .writes()
-            .map(|e| e.line.value())
-            .collect::<std::collections::HashSet<_>>()
-            .len();
         config = config
-            .with_wear(WearConfig::vertical_only(lines.max(1)))
+            .with_wear(WearConfig::vertical_only(fault_lines.max(1)))
             .with_faults(
                 FaultConfig::accelerated(args.faults.endurance_scale)
                     .ecp_entries(args.faults.ecp_entries)
@@ -100,6 +144,33 @@ fn sim_config(args: &RunArgs, trace: &Trace, scheme: SchemeConfig) -> SimConfig 
         config = config.with_pad_cache(PadCacheConfig::with_entries(entries));
     }
     config
+}
+
+/// The trace's unique written-line count (0 when faults are off — the
+/// value is only used to size the wear cell array). The materialised
+/// path counts in RAM; the streaming path makes a bounded-memory
+/// pre-pass over a fresh source.
+fn fault_lines(args: &RunArgs, trace: Option<&Trace>) -> Result<usize, CliError> {
+    if !args.faults.enabled {
+        return Ok(0);
+    }
+    let mut lines = HashSet::new();
+    match trace {
+        Some(trace) => {
+            for event in trace.writes() {
+                lines.insert(event.line.value());
+            }
+        }
+        None => {
+            let mut source = open_run_source(args)?;
+            while let Some(event) = source.next_event()? {
+                if event.op == Op::Write {
+                    lines.insert(event.line.value());
+                }
+            }
+        }
+    }
+    Ok(lines.len())
 }
 
 /// The telemetry configuration a `--telemetry` run collects under.
@@ -138,15 +209,87 @@ fn progress(label: &str, total: usize, shards: usize) -> SweepProgress {
         .live(std::io::stderr().is_terminal())
 }
 
+/// Drives one streaming run with the checkpoint mode the flags picked:
+/// plain, emitting (`--checkpoint`), or replay-verifying
+/// (`--from-checkpoint`).
+fn drive_stream<R: Recorder>(
+    args: &RunArgs,
+    simulator: &Simulator,
+    source: &mut dyn WriteSource,
+    rec: &mut R,
+) -> Result<SimResult, CliError> {
+    if let Some(from_path) = &args.from_checkpoint {
+        let text = std::fs::read_to_string(from_path)?;
+        let from = RunCheckpoint::from_jsonl(&text)
+            .map_err(|e| CliError::Checkpoint(format!("{from_path}: {e}")))?;
+        return Ok(simulator.resume_source(source, rec, &from)?);
+    }
+    if let Some(cp_path) = &args.checkpoint {
+        let mut file = File::create(cp_path)?;
+        let mut sink_err: Option<std::io::Error> = None;
+        let mut sink = |cp: &RunCheckpoint| {
+            if sink_err.is_none() {
+                sink_err = file.write_all(cp.to_jsonl().as_bytes()).and_then(|()| file.flush()).err();
+            }
+        };
+        let result =
+            simulator.run_source_checkpointed(source, rec, args.checkpoint_every, &mut sink)?;
+        if let Some(e) = sink_err {
+            return Err(e.into());
+        }
+        return Ok(result);
+    }
+    Ok(simulator.run_source_recorded(source, rec)?)
+}
+
+/// `deuce run --stream`: same simulation, driven from the source one
+/// event at a time — O(1) trace-resident memory at any trace length.
+fn run_streamed<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
+    let scheme = args.scheme.expect("parser enforces --scheme for run");
+    let lines = fault_lines(args, None)?;
+    let simulator = Simulator::new(sim_config(args, lines, scheme));
+    writeln!(out, "scheme\t{}", scheme.kind)?;
+    let mut source = open_run_source(args)?;
+    let result = match &args.telemetry {
+        None => drive_stream(args, &simulator, &mut *source, &mut NullRecorder)?,
+        Some(path) => {
+            let mut recorder = TelemetryRecorder::new(telemetry_config(args));
+            let result = drive_stream(args, &simulator, &mut *source, &mut recorder)?;
+            write_telemetry(path, &[(scheme.kind.to_string(), recorder)])?;
+            writeln!(out, "telemetry\t{path}")?;
+            result
+        }
+    };
+    RunSummary::from(&result).write_to(out)?;
+    if let Some(report) = &result.faults {
+        FaultSummary::from(report).write_to(out)?;
+    }
+    if let Some(stats) = result.pad_cache {
+        PadCacheSummary::from(stats).write_to(out)?;
+    }
+    if let Some(path) = &args.checkpoint {
+        writeln!(out, "checkpoint\t{path}")?;
+    }
+    if let Some(path) = &args.from_checkpoint {
+        writeln!(out, "resume_verified\t{path}")?;
+    }
+    Ok(())
+}
+
 /// `deuce run`: simulate one scheme over the trace.
 ///
 /// # Errors
 ///
-/// Returns I/O or trace-format errors.
+/// Returns I/O or trace-format errors, and
+/// [`CliError::Checkpoint`] when a `--from-checkpoint` replay diverges.
 pub fn run<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
+    if args.stream {
+        return run_streamed(args, out);
+    }
     let trace = load_or_generate(args)?;
     let scheme = args.scheme.expect("parser enforces --scheme for run");
-    let simulator = Simulator::new(sim_config(args, &trace, scheme));
+    let lines = fault_lines(args, Some(&trace))?;
+    let simulator = Simulator::new(sim_config(args, lines, scheme));
     writeln!(out, "scheme\t{}", scheme.kind)?;
     let result = match &args.telemetry {
         None => simulator.run_trace(&trace),
@@ -176,6 +319,7 @@ pub fn run<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
 /// Returns I/O or trace-format errors.
 pub fn compare<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
     let trace = load_or_generate(args)?;
+    let lines = fault_lines(args, Some(&trace))?;
     let fault_header = if args.faults.enabled { "\tfirst_ue\tlines_retired" } else { "" };
     writeln!(out, "scheme\t{METRIC_HEADER}\tmeta_bits{fault_header}")?;
     let sweep = ParallelSweep::new();
@@ -184,7 +328,7 @@ pub fn compare<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
     let results: Vec<(SchemeKind, SimResult, Option<TelemetryRecorder>)> = sweep.map_observed(
         &SchemeKind::ALL,
         |_, &kind| {
-            let simulator = Simulator::new(sim_config(args, &trace, SchemeConfig::new(kind)));
+            let simulator = Simulator::new(sim_config(args, lines, SchemeConfig::new(kind)));
             if collect {
                 let mut recorder = TelemetryRecorder::new(telemetry_config(args));
                 let result = simulator.run_trace_recorded(&trace, &mut recorder);
@@ -222,24 +366,124 @@ pub fn compare<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `deuce sweep`: the §4.2 design-space sweep (word size × epoch) over
-/// one trace.
-///
-/// # Errors
-///
-/// Returns I/O or trace-format errors.
-pub fn sweep<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
-    use deuce_crypto::EpochInterval;
-    use deuce_schemes::WordSize;
-
-    let trace = load_or_generate(args)?;
-    writeln!(out, "word_bytes\tepoch\t{METRIC_HEADER}\tmeta_bits")?;
+/// The §4.2 design-space grid: word size × epoch, in output order.
+fn sweep_grid() -> Vec<(WordSize, u64)> {
     let mut grid = Vec::new();
     for word_size in [WordSize::Bytes1, WordSize::Bytes2, WordSize::Bytes4, WordSize::Bytes8] {
         for epoch in [8u64, 16, 32, 64] {
             grid.push((word_size, epoch));
         }
     }
+    grid
+}
+
+/// The scheme for one sweep grid cell.
+fn sweep_scheme(word_size: WordSize, epoch: u64) -> SchemeConfig {
+    use deuce_crypto::EpochInterval;
+    SchemeConfig::new(SchemeKind::Deuce)
+        .with_word_size(word_size)
+        .with_epoch(EpochInterval::new(epoch).expect("power of two"))
+}
+
+/// The manifest header every shard of one sweep grid must agree on:
+/// same cells, same columns, and a fingerprint over every argument that
+/// changes the results.
+fn sweep_manifest_header(args: &RunArgs, cells: u64) -> ManifestHeader {
+    let gen = &args.gen;
+    let canonical = format!(
+        "{:?}\t{}\t{}\t{}\t{}\t{}\t{:?}\t{:?}",
+        args.trace_path,
+        gen.benchmark,
+        gen.writes,
+        gen.lines,
+        gen.cores,
+        gen.seed,
+        args.faults,
+        args.pad_cache,
+    );
+    let grid = match &args.trace_path {
+        Some(path) => format!("deuce sweep over {path}"),
+        None => format!(
+            "deuce sweep over {} writes={} lines={} cores={} seed={}",
+            gen.benchmark, gen.writes, gen.lines, gen.cores, gen.seed,
+        ),
+    };
+    ManifestHeader {
+        grid,
+        cells,
+        fingerprint: grid_fingerprint(&canonical),
+        columns: format!("word_bytes\tepoch\t{METRIC_HEADER}\tmeta_bits"),
+    }
+}
+
+/// `deuce sweep --manifest`: run this process's shard of the grid,
+/// recording each finished cell in the manifest. Stdout carries only a
+/// completion summary — the table comes from `deuce merge` once every
+/// shard is done.
+fn sweep_sharded<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
+    let trace = load_or_generate(args)?;
+    let lines = fault_lines(args, Some(&trace))?;
+    let grid = sweep_grid();
+    let header = sweep_manifest_header(args, grid.len() as u64);
+    let manifest_path = args.manifest.as_deref().expect("caller checked --manifest");
+    let shard = args.shard.unwrap_or(ShardSpec::WHOLE);
+    let (writer, completed) = if args.resume {
+        ManifestWriter::resume(manifest_path, &header)?
+    } else {
+        (ManifestWriter::create(manifest_path, &header)?, BTreeSet::new())
+    };
+    let owned = (0..grid.len() as u64).filter(|&c| shard.owns(c)).count();
+    let pending = (0..grid.len() as u64)
+        .filter(|&c| shard.owns(c) && !completed.contains(&c))
+        .count();
+    let runner = ParallelSweep::new();
+    let ticker = progress("sweep", pending, runner.shards());
+    let records = runner.run_manifest(
+        &grid,
+        shard,
+        &completed,
+        &writer,
+        |cell, &(word_size, epoch)| {
+            let scheme = sweep_scheme(word_size, epoch);
+            let result = Simulator::new(sim_config(args, lines, scheme)).run_trace(&trace);
+            CellRecord {
+                cell: cell as u64,
+                label: format!("w{}e{epoch}", word_size.bytes()),
+                writes: result.writes,
+                row: format!(
+                    "{}\t{}\t{}\t{}",
+                    word_size.bytes(),
+                    epoch,
+                    RunSummary::from(&result).metric_cells(),
+                    scheme.metadata_bits(),
+                ),
+            }
+        },
+        Some(&ticker),
+    )?;
+    writeln!(out, "manifest\t{manifest_path}")?;
+    writeln!(out, "shard\t{shard}")?;
+    writeln!(out, "cells_total\t{}", grid.len())?;
+    writeln!(out, "cells_owned\t{owned}")?;
+    writeln!(out, "cells_skipped\t{}", owned - records.len())?;
+    writeln!(out, "cells_run\t{}", records.len())?;
+    Ok(())
+}
+
+/// `deuce sweep`: the §4.2 design-space sweep (word size × epoch) over
+/// one trace.
+///
+/// # Errors
+///
+/// Returns I/O, trace-format, or manifest errors.
+pub fn sweep<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
+    if args.manifest.is_some() {
+        return sweep_sharded(args, out);
+    }
+    let trace = load_or_generate(args)?;
+    let lines = fault_lines(args, Some(&trace))?;
+    writeln!(out, "word_bytes\tepoch\t{METRIC_HEADER}\tmeta_bits")?;
+    let grid = sweep_grid();
     // One shard per grid cell; rows come back in grid order.
     let runner = ParallelSweep::new();
     let ticker = progress("sweep", grid.len(), runner.shards());
@@ -247,10 +491,8 @@ pub fn sweep<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
     let rows = runner.map_observed(
         &grid,
         |_, &(word_size, epoch)| {
-            let scheme = SchemeConfig::new(SchemeKind::Deuce)
-                .with_word_size(word_size)
-                .with_epoch(EpochInterval::new(epoch).expect("power of two"));
-            let simulator = Simulator::new(sim_config(args, &trace, scheme));
+            let scheme = sweep_scheme(word_size, epoch);
+            let simulator = Simulator::new(sim_config(args, lines, scheme));
             if collect {
                 let mut recorder = TelemetryRecorder::new(telemetry_config(args));
                 let result = simulator.run_trace_recorded(&trace, &mut recorder);
@@ -281,6 +523,27 @@ pub fn sweep<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
             .collect();
         write_telemetry(path, &runs)?;
         writeln!(out, "telemetry\t{path}")?;
+    }
+    Ok(())
+}
+
+/// `deuce merge`: combine shard manifests into the full sweep table —
+/// byte-identical to the stdout of an unsharded `deuce sweep` over the
+/// same grid.
+///
+/// # Errors
+///
+/// Returns I/O errors, and [`CliError::Manifest`] when headers
+/// disagree, cells conflict, or the shards do not cover the grid.
+pub fn merge<W: Write>(args: &MergeArgs, out: &mut W) -> Result<(), CliError> {
+    let mut manifests = Vec::with_capacity(args.manifests.len());
+    for path in &args.manifests {
+        manifests.push(read_manifest(path)?);
+    }
+    let (header, records) = merge_manifests(&manifests)?;
+    writeln!(out, "{}", header.columns)?;
+    for record in records {
+        writeln!(out, "{}", record.row)?;
     }
     Ok(())
 }
@@ -513,6 +776,7 @@ mod tests {
             sample_every: 64,
             faults: FaultArgs::default(),
             pad_cache: None,
+            ..RunArgs::default()
         };
         let mut out = Vec::new();
         sweep(&args, &mut out).unwrap();
@@ -529,6 +793,7 @@ mod tests {
             cores: 1,
             seed: 5,
             output: None,
+            format: TraceFormat::Binary,
         }
     }
 
@@ -542,6 +807,7 @@ mod tests {
             sample_every: 64,
             faults: FaultArgs::default(),
             pad_cache: None,
+            ..RunArgs::default()
         };
         let mut out = Vec::new();
         run(&args, &mut out).unwrap();
@@ -560,6 +826,7 @@ mod tests {
             sample_every: 64,
             faults: FaultArgs::default(),
             pad_cache: None,
+            ..RunArgs::default()
         };
         let mut out = Vec::new();
         compare(&args, &mut out).unwrap();
@@ -596,6 +863,7 @@ mod tests {
             sample_every: 64,
             faults: FaultArgs::default(),
             pad_cache: None,
+            ..RunArgs::default()
         };
         let mut out = Vec::new();
         run(&args, &mut out).unwrap();
@@ -627,6 +895,7 @@ mod tests {
             sample_every: 32,
             faults: FaultArgs::default(),
             pad_cache: None,
+            ..RunArgs::default()
         };
         let mut run_out = Vec::new();
         run(&args, &mut run_out).unwrap();
@@ -683,6 +952,7 @@ mod tests {
             sample_every: 64,
             faults,
             pad_cache: None,
+            ..RunArgs::default()
         };
         let mut out = Vec::new();
         run(&args, &mut out).unwrap();
@@ -727,6 +997,7 @@ mod tests {
             sample_every: 64,
             faults: FaultArgs::default(),
             pad_cache: None,
+            ..RunArgs::default()
         };
         let mut out = Vec::new();
         run(&args, &mut out).unwrap();
@@ -749,6 +1020,7 @@ mod tests {
             sample_every: 64,
             faults: FaultArgs::default(),
             pad_cache: None,
+            ..RunArgs::default()
         };
         let mut plain_out = Vec::new();
         run(&plain_args, &mut plain_out).unwrap();
@@ -808,6 +1080,193 @@ mod tests {
             &mut Vec::new(),
         )
         .unwrap_err();
-        assert!(matches!(err, CliError::Io(_)));
+        // open_source surfaces the failed open as a trace I/O error.
+        assert!(matches!(err, CliError::Trace(_)), "{err:?}");
+    }
+
+    #[test]
+    fn streamed_run_output_is_byte_identical() {
+        for faults in [FaultArgs::default(), FaultArgs { enabled: true, ..FaultArgs::default() }] {
+            let args = RunArgs {
+                gen: small_gen(),
+                scheme: Some(SchemeConfig::new(SchemeKind::Deuce)),
+                faults,
+                ..RunArgs::default()
+            };
+            let mut materialised = Vec::new();
+            run(&args, &mut materialised).unwrap();
+            let streamed_args = RunArgs { stream: true, ..args };
+            let mut streamed = Vec::new();
+            run(&streamed_args, &mut streamed).unwrap();
+            assert_eq!(
+                String::from_utf8(streamed).unwrap(),
+                String::from_utf8(materialised).unwrap(),
+                "faults={}",
+                streamed_args.faults.enabled,
+            );
+        }
+    }
+
+    #[test]
+    fn gen_jsonl_round_trips_through_stats_and_run() {
+        let dir = std::env::temp_dir().join("deuce-cli-jsonl-gen");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bin_path = dir.join("t.trace").to_str().unwrap().to_string();
+        let jsonl_path = dir.join("t.jsonl").to_str().unwrap().to_string();
+
+        for (path, format) in
+            [(&bin_path, TraceFormat::Binary), (&jsonl_path, TraceFormat::Jsonl)]
+        {
+            let gen_args =
+                GenArgs { output: Some(path.clone()), format, ..small_gen() };
+            let mut out = Vec::new();
+            gen(&gen_args, &mut out).unwrap();
+            assert!(String::from_utf8(out).unwrap().contains("300 writes"));
+        }
+
+        // Both formats describe the same workload and simulate the same.
+        let outputs: Vec<String> = [&bin_path, &jsonl_path]
+            .into_iter()
+            .map(|path| {
+                let mut stat_out = Vec::new();
+                stats(&StatsArgs { trace_path: path.clone() }, &mut stat_out).unwrap();
+                let args = RunArgs {
+                    trace_path: Some(path.clone()),
+                    scheme: Some(SchemeConfig::new(SchemeKind::Deuce)),
+                    stream: true,
+                    ..RunArgs::default()
+                };
+                let mut run_out = Vec::new();
+                run(&args, &mut run_out).unwrap();
+                String::from_utf8(stat_out).unwrap() + &String::from_utf8(run_out).unwrap()
+            })
+            .collect();
+        assert_eq!(outputs[0], outputs[1], "binary and JSONL dialects agree");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpointed_stream_resumes_and_detects_divergence() {
+        let dir = std::env::temp_dir().join("deuce-cli-checkpoint");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cp_path = dir.join("run.cp.jsonl").to_str().unwrap().to_string();
+
+        let emit_args = RunArgs {
+            gen: small_gen(),
+            scheme: Some(SchemeConfig::new(SchemeKind::Deuce)),
+            stream: true,
+            checkpoint: Some(cp_path.clone()),
+            checkpoint_every: 100,
+            ..RunArgs::default()
+        };
+        let mut emit_out = Vec::new();
+        run(&emit_args, &mut emit_out).unwrap();
+        let emit_text = String::from_utf8(emit_out).unwrap();
+        assert!(emit_text.contains("checkpoint\t"), "{emit_text}");
+        let lines = std::fs::read_to_string(&cp_path).unwrap().lines().count();
+        assert!(lines >= 3, "300 writes / every 100 -> periodic + final checkpoints");
+
+        // Same stream replays clean against the recorded fingerprint.
+        let resume_args = RunArgs {
+            checkpoint: None,
+            from_checkpoint: Some(cp_path.clone()),
+            ..emit_args.clone()
+        };
+        let mut resume_out = Vec::new();
+        run(&resume_args, &mut resume_out).unwrap();
+        assert!(String::from_utf8(resume_out).unwrap().contains("resume_verified\t"));
+
+        // A different workload (changed seed) is detected, not absorbed.
+        let mut diverged = resume_args;
+        diverged.gen.seed += 1;
+        let err = run(&diverged, &mut Vec::new()).unwrap_err();
+        assert!(matches!(err, CliError::Checkpoint(_)), "{err:?}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_sweep_merges_byte_identical_to_unsharded() {
+        let dir = std::env::temp_dir().join("deuce-cli-shard-sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let base = RunArgs { gen: small_gen(), ..RunArgs::default() };
+        let mut unsharded = Vec::new();
+        sweep(&base, &mut unsharded).unwrap();
+        let unsharded = String::from_utf8(unsharded).unwrap();
+
+        let mut manifest_paths = Vec::new();
+        for spec in ["0/2", "1/2"] {
+            let shard = ShardSpec::parse(spec).unwrap();
+            let path = dir.join(format!("shard{}.jsonl", shard.index));
+            let path_str = path.to_str().unwrap().to_string();
+            let args = RunArgs {
+                shard: Some(shard),
+                manifest: Some(path_str.clone()),
+                ..base.clone()
+            };
+            let mut out = Vec::new();
+            sweep(&args, &mut out).unwrap();
+            let text = String::from_utf8(out).unwrap();
+            assert!(text.contains("cells_owned\t8"), "{text}");
+            assert!(text.contains("cells_run\t8"), "{text}");
+            manifest_paths.push(path_str);
+        }
+        let mut merged = Vec::new();
+        merge(&MergeArgs { manifests: manifest_paths.clone() }, &mut merged).unwrap();
+        assert_eq!(String::from_utf8(merged).unwrap(), unsharded, "shard + merge == unsharded");
+
+        // One shard alone does not cover the grid.
+        let err = merge(&MergeArgs { manifests: manifest_paths[..1].to_vec() }, &mut Vec::new())
+            .unwrap_err();
+        assert!(matches!(err, CliError::Manifest(_)), "{err:?}");
+
+        // Resume: drop one shard's manifest to a prefix, then re-run
+        // with --resume; only the lost cells re-run and the merge still
+        // matches.
+        let kept: String = {
+            let text = std::fs::read_to_string(&manifest_paths[1]).unwrap();
+            text.lines().take(4).map(|l| format!("{l}\n")).collect()
+        };
+        std::fs::write(&manifest_paths[1], kept).unwrap();
+        let args = RunArgs {
+            shard: Some(ShardSpec::parse("1/2").unwrap()),
+            manifest: Some(manifest_paths[1].clone()),
+            resume: true,
+            ..base.clone()
+        };
+        let mut out = Vec::new();
+        sweep(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("cells_skipped\t3"), "{text}");
+        assert!(text.contains("cells_run\t5"), "{text}");
+        let mut merged = Vec::new();
+        merge(&MergeArgs { manifests: manifest_paths }, &mut merged).unwrap();
+        assert_eq!(String::from_utf8(merged).unwrap(), unsharded, "resumed shard still merges");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_manifest_from_different_args() {
+        let dir = std::env::temp_dir().join("deuce-cli-manifest-mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.jsonl").to_str().unwrap().to_string();
+
+        let args = RunArgs {
+            gen: small_gen(),
+            manifest: Some(path.clone()),
+            ..RunArgs::default()
+        };
+        sweep(&args, &mut Vec::new()).unwrap();
+
+        let mut other = args;
+        other.gen.seed += 1;
+        other.resume = true;
+        let err = sweep(&other, &mut Vec::new()).unwrap_err();
+        assert!(matches!(err, CliError::Manifest(_)), "{err:?}");
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

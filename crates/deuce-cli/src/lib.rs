@@ -21,8 +21,10 @@ mod args;
 mod commands;
 mod format;
 
-pub use args::{CliError, Command, FaultArgs, GenArgs, ReportArgs, RunArgs, StatsArgs};
-pub use commands::{compare, gen, report, run, stats, sweep};
+pub use args::{
+    CliError, Command, FaultArgs, GenArgs, MergeArgs, ReportArgs, RunArgs, StatsArgs, TraceFormat,
+};
+pub use commands::{compare, gen, merge, report, run, stats, sweep};
 pub use format::{FaultSummary, RunSummary, METRIC_HEADER};
 
 /// Entry point shared by the binary and tests.
@@ -42,6 +44,7 @@ where
         Command::Run(args) => run(&args, out),
         Command::Compare(args) => compare(&args, out),
         Command::Sweep(args) => sweep(&args, out),
+        Command::Merge(args) => merge(&args, out),
         Command::Report(args) => report(&args, out),
         Command::Help => {
             writeln!(out, "{}", args::USAGE)?;

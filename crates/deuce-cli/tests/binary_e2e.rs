@@ -68,6 +68,92 @@ fn full_pipeline_through_the_binary() {
 }
 
 #[test]
+fn streamed_run_matches_materialised_through_the_binary() {
+    let dir = std::env::temp_dir().join("deuce-bin-stream-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("s.jsonl");
+    let trace_str = trace.to_str().unwrap();
+
+    // JSONL gen, then the same run materialised and streamed.
+    let output = deuce()
+        .args([
+            "gen", "--benchmark", "mcf", "--writes", "400", "--lines", "32", "--format", "jsonl",
+            "-o", trace_str,
+        ])
+        .output()
+        .expect("gen runs");
+    assert!(output.status.success(), "{output:?}");
+
+    let materialised = deuce()
+        .args(["run", "--trace", trace_str, "--scheme", "deuce"])
+        .output()
+        .expect("run runs");
+    assert!(materialised.status.success());
+    let streamed = deuce()
+        .args(["run", "--trace", trace_str, "--scheme", "deuce", "--stream"])
+        .output()
+        .expect("run --stream runs");
+    assert!(streamed.status.success());
+    assert_eq!(streamed.stdout, materialised.stdout, "streaming must not change results");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sharded_sweep_through_the_binary() {
+    let dir = std::env::temp_dir().join("deuce-bin-shard-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let m0 = dir.join("m0.jsonl");
+    let m1 = dir.join("m1.jsonl");
+    let base = ["--benchmark", "mcf", "--writes", "300", "--lines", "32", "--seed", "5"];
+
+    let unsharded = deuce().arg("sweep").args(base).output().expect("sweep runs");
+    assert!(unsharded.status.success(), "{unsharded:?}");
+
+    for (spec, path) in [("0/2", &m0), ("1/2", &m1)] {
+        let output = deuce()
+            .arg("sweep")
+            .args(base)
+            .args(["--shard", spec, "--manifest", path.to_str().unwrap()])
+            .output()
+            .expect("shard runs");
+        assert!(output.status.success(), "{output:?}");
+        let text = String::from_utf8(output.stdout).unwrap();
+        assert!(text.contains("cells_run\t8"), "{text}");
+    }
+
+    let merged = deuce()
+        .args(["merge", m0.to_str().unwrap(), m1.to_str().unwrap()])
+        .output()
+        .expect("merge runs");
+    assert!(merged.status.success(), "{merged:?}");
+    assert_eq!(merged.stdout, unsharded.stdout, "merge output == unsharded sweep output");
+
+    // A killed shard: truncate shard 1's manifest, resume it, re-merge.
+    let text = std::fs::read_to_string(&m1).unwrap();
+    let kept: String = text.lines().take(3).map(|l| format!("{l}\n")).collect();
+    std::fs::write(&m1, kept).unwrap();
+    let resumed = deuce()
+        .arg("sweep")
+        .args(base)
+        .args(["--shard", "1/2", "--manifest", m1.to_str().unwrap(), "--resume"])
+        .output()
+        .expect("resume runs");
+    assert!(resumed.status.success(), "{resumed:?}");
+    let resumed_text = String::from_utf8(resumed.stdout).unwrap();
+    assert!(resumed_text.contains("cells_skipped\t2"), "{resumed_text}");
+    assert!(resumed_text.contains("cells_run\t6"), "{resumed_text}");
+    let merged = deuce()
+        .args(["merge", m0.to_str().unwrap(), m1.to_str().unwrap()])
+        .output()
+        .expect("merge runs");
+    assert!(merged.status.success());
+    assert_eq!(merged.stdout, unsharded.stdout, "resumed shard still merges identically");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn telemetry_run_and_report_through_the_binary() {
     let dir = std::env::temp_dir().join("deuce-bin-telemetry-e2e");
     std::fs::create_dir_all(&dir).unwrap();

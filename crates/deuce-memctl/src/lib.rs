@@ -38,7 +38,7 @@ pub use builder::MemoryBuilder;
 pub use memory::{MemoryError, MemoryStats, SecureMemory};
 pub use pipeline::{
     counter_line_addr, CounterOutcome, CounterStage, FaultEvents, MemoryPipeline, SchemeStage,
-    TimingStage, WearStage, WriteEffect, COUNTER_REGION,
+    StepOutcome, TimingStage, WearStage, WriteEffect, COUNTER_REGION,
 };
 pub use repair::{EcpConfig, EcpRepair, RepairAction, UncorrectableError};
 

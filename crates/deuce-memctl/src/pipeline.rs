@@ -60,6 +60,7 @@ use deuce_crypto::LineAddr;
 use deuce_nvm::{write_slots, SlotConfig};
 use deuce_schemes::WriteOutcome;
 use deuce_telemetry::{Counter, NullRecorder, Recorder, Stage};
+use deuce_trace::{Op, TraceEvent};
 
 /// Counter lines live in a dedicated address region so bank mapping
 /// keeps them apart from data lines.
@@ -172,6 +173,19 @@ impl WearStage for NoWearStage {
     fn record(&mut self, _line: LineAddr, _outcome: &WriteOutcome) -> FaultEvents {
         FaultEvents::default()
     }
+}
+
+/// The pipeline-level outcome of one trace event, as reported by
+/// [`MemoryPipeline::step`].
+#[derive(Debug)]
+pub enum StepOutcome {
+    /// The event was a read; latency was charged, nothing else changed.
+    Read,
+    /// The write was an initial placement — the line entered memory
+    /// encrypted (§3.1) and is not counted.
+    FirstTouch,
+    /// A counted write, with its full effect.
+    Write(WriteEffect),
 }
 
 /// The result of pushing one write through the scheme stage.
@@ -383,6 +397,39 @@ where
             slots,
             faults,
         })
+    }
+
+    /// Drives one trace event through the pipeline — the streaming
+    /// entry point that `WriteSource` consumers loop over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a write event carries no data.
+    pub fn step(&mut self, event: &TraceEvent) -> StepOutcome {
+        self.step_recorded(event, &mut NullRecorder)
+    }
+
+    /// [`step`](Self::step) with instrumentation (see
+    /// [`write_recorded`](Self::write_recorded)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a write event carries no data.
+    pub fn step_recorded<R: Recorder>(&mut self, event: &TraceEvent, rec: &mut R) -> StepOutcome {
+        let core = usize::from(event.core);
+        match event.op {
+            Op::Read => {
+                self.read_recorded(core, event.instr, event.line, rec);
+                StepOutcome::Read
+            }
+            Op::Write => {
+                let data = event.data.as_ref().expect("write events carry data");
+                match self.write_recorded(core, event.instr, event.line, data, rec) {
+                    Some(effect) => StepOutcome::Write(effect),
+                    None => StepOutcome::FirstTouch,
+                }
+            }
+        }
     }
 }
 

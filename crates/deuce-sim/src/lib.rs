@@ -32,21 +32,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod config;
 mod counter_cache;
 mod latency;
+mod manifest;
 mod result;
 mod simulator;
 mod sweep;
 mod timing;
 
+pub use checkpoint::RunCheckpoint;
 pub use config::{
     CpuParams, FaultConfig, MetricConfig, PadCacheConfig, SimConfig, VerticalWl, WearConfig,
 };
 pub use counter_cache::{CounterCache, CounterCacheConfig, CounterTraffic};
 pub use latency::{pad_latency_report, PadEngineOption, PadLatencyReport};
+pub use manifest::{
+    grid_fingerprint, merge_manifests, read_manifest, CellRecord, ManifestError, ManifestHeader,
+    ManifestWriter, ShardSpec,
+};
 pub use result::{FaultReport, SimResult};
-pub use simulator::Simulator;
+pub use simulator::{RunError, Simulator};
 pub use sweep::{ParallelSweep, SweepCell};
 pub use timing::MemoryTimingModel;
 

@@ -5,24 +5,96 @@
 //! [`deuce_memctl::pipeline`]; this module supplies the concrete
 //! stages (lazy scheme-line store, counter cache, wear state, timing
 //! model) and folds each write's [`WriteEffect`] into a [`SimResult`].
+//!
+//! The driver is streaming: [`Simulator::run_source`] pulls events
+//! from any [`WriteSource`] — a seeded generator, a trace file reader,
+//! or an in-RAM [`Trace`] — so memory use is independent of stream
+//! length. [`Simulator::run_trace`] is the trivial in-RAM delegation
+//! and is bit-identical by construction.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use deuce_crypto::{LineAddr, OtpEngine, SecretKey};
 use deuce_memctl::{
-    EcpConfig, EcpRepair, FaultEvents, MemoryPipeline, RepairAction, SchemeStage, WearStage,
-    WriteEffect,
+    EcpConfig, EcpRepair, FaultEvents, MemoryPipeline, RepairAction, SchemeStage, StepOutcome,
+    WearStage, WriteEffect,
 };
 use deuce_nvm::{CellArray, StuckAtFaults};
 use deuce_schemes::{AnyScheme, LineScheme, LineStore, WriteOutcome};
 use deuce_telemetry::{FaultObservation, Gauge, NullRecorder, Recorder, WriteObservation};
-use deuce_trace::{Op, Trace};
+use deuce_trace::{Trace, TraceIoError, TraceSource, WriteSource};
 use deuce_wear::{HorizontalWearLeveler, HwlMode, SecurityRefresh, StartGap};
 
+use crate::checkpoint::RunCheckpoint;
 use crate::config::{SimConfig, VerticalWl};
 use crate::counter_cache::CounterCache;
 use crate::result::{FaultReport, SimResult};
 use crate::timing::MemoryTimingModel;
+
+/// Errors from a streaming run.
+#[derive(Debug)]
+pub enum RunError {
+    /// The write source failed (I/O failure or malformed trace input).
+    Trace(TraceIoError),
+    /// Replay verification against a [`RunCheckpoint`] failed: the
+    /// stream or configuration differs from the one that produced the
+    /// checkpoint.
+    CheckpointMismatch {
+        /// Which counter diverged.
+        field: &'static str,
+        /// The checkpoint's value.
+        expected: u64,
+        /// The replayed run's value.
+        found: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Trace(e) => write!(f, "write source failed: {e}"),
+            RunError::CheckpointMismatch { field, expected, found } => write!(
+                f,
+                "checkpoint mismatch on {field}: checkpoint has {expected}, replay produced \
+                 {found} (different stream or configuration)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Trace(e) => Some(e),
+            RunError::CheckpointMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<TraceIoError> for RunError {
+    fn from(e: TraceIoError) -> Self {
+        RunError::Trace(e)
+    }
+}
+
+/// How [`Simulator`] treats checkpoints during one streaming run.
+struct CheckpointPlan<'a> {
+    /// Emit a checkpoint every this many counted writes (and one at
+    /// stream end). 0 disables periodic emission.
+    every_writes: u64,
+    /// Receives each emitted checkpoint.
+    sink: Option<&'a mut dyn FnMut(&RunCheckpoint)>,
+    /// Verify the replay against this checkpoint when the stream
+    /// reaches its position.
+    verify: Option<&'a RunCheckpoint>,
+}
+
+impl CheckpointPlan<'_> {
+    fn none() -> Self {
+        CheckpointPlan { every_writes: 0, sink: None, verify: None }
+    }
+}
 
 /// Runs traces under one configuration.
 ///
@@ -100,12 +172,116 @@ impl<S: LineScheme + Copy> Simulator<S> {
     /// Panics under the same conditions as [`run_trace`](Self::run_trace).
     #[must_use]
     pub fn run_trace_recorded<R: Recorder>(&self, trace: &Trace, rec: &mut R) -> SimResult {
-        let cores = trace
-            .events()
-            .iter()
-            .map(|e| usize::from(e.core) + 1)
-            .max()
-            .unwrap_or(1);
+        let mut source = TraceSource::new(trace);
+        self.drive(&mut source, rec, CheckpointPlan::none())
+            .expect("in-RAM sources cannot fail")
+    }
+
+    /// Drives any [`WriteSource`] through the full stack — the
+    /// bounded-memory entry point: a 100M-write generator or file
+    /// stream runs in O(working set), not O(stream length), and is
+    /// bit-identical to [`run_trace`](Self::run_trace) on the
+    /// materialised equivalent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Trace`] when the source fails (I/O failure
+    /// or malformed trace input).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`run_trace`](Self::run_trace).
+    pub fn run_source<Src: WriteSource + ?Sized>(
+        &self,
+        source: &mut Src,
+    ) -> Result<SimResult, RunError> {
+        self.drive(source, &mut NullRecorder, CheckpointPlan::none())
+    }
+
+    /// [`run_source`](Self::run_source) with telemetry recording (see
+    /// [`run_trace_recorded`](Self::run_trace_recorded)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Trace`] when the source fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`run_trace`](Self::run_trace).
+    pub fn run_source_recorded<Src: WriteSource + ?Sized, R: Recorder>(
+        &self,
+        source: &mut Src,
+        rec: &mut R,
+    ) -> Result<SimResult, RunError> {
+        self.drive(source, rec, CheckpointPlan::none())
+    }
+
+    /// [`run_source`](Self::run_source) emitting a [`RunCheckpoint`]
+    /// into `sink` every `every_writes` counted writes, plus one at
+    /// stream end. Checkpoints are observation only — the result is
+    /// bit-identical with and without them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Trace`] when the source fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`run_trace`](Self::run_trace).
+    pub fn run_source_checkpointed<Src: WriteSource + ?Sized, R: Recorder>(
+        &self,
+        source: &mut Src,
+        rec: &mut R,
+        every_writes: u64,
+        sink: &mut dyn FnMut(&RunCheckpoint),
+    ) -> Result<SimResult, RunError> {
+        self.drive(
+            source,
+            rec,
+            CheckpointPlan { every_writes, sink: Some(sink), verify: None },
+        )
+    }
+
+    /// Resumes a run from a checkpoint by deterministic replay: drives
+    /// `source` from the beginning and, when the stream reaches the
+    /// checkpoint's position, verifies every counter matches before
+    /// continuing to the end. This trades replay compute for guaranteed
+    /// correctness — a changed config, trace file, or binary is
+    /// *detected*, never silently folded into wrong results. (Skipping
+    /// completed work wholesale is the manifest layer's job, which
+    /// resumes at whole-cell granularity.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::CheckpointMismatch`] when the replay
+    /// diverges from `from` (including a stream shorter than the
+    /// checkpoint position), and [`RunError::Trace`] when the source
+    /// fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`run_trace`](Self::run_trace).
+    pub fn resume_source<Src: WriteSource + ?Sized, R: Recorder>(
+        &self,
+        source: &mut Src,
+        rec: &mut R,
+        from: &RunCheckpoint,
+    ) -> Result<SimResult, RunError> {
+        self.drive(
+            source,
+            rec,
+            CheckpointPlan { every_writes: 0, sink: None, verify: Some(from) },
+        )
+    }
+
+    /// The one streaming drive loop all public run entry points share.
+    fn drive<Src: WriteSource + ?Sized, R: Recorder>(
+        &self,
+        source: &mut Src,
+        rec: &mut R,
+        mut plan: CheckpointPlan<'_>,
+    ) -> Result<SimResult, RunError> {
+        let cores = source.cores();
         let timing = MemoryTimingModel::with_power_channels(
             self.config.timing,
             self.config.cpu,
@@ -193,52 +369,85 @@ impl<S: LineScheme + Copy> Simulator<S> {
             rec.pad_cache_active();
         }
 
-        for event in trace.events() {
-            let core = usize::from(event.core);
-            match event.op {
-                Op::Read => {
-                    result.reads += 1;
-                    pipeline.read_recorded(core, event.instr, event.line, rec);
-                }
-                Op::Write => {
-                    let data = event.data.expect("write events carry data");
-                    if let Some(effect) =
-                        pipeline.write_recorded(core, event.instr, event.line, &data, rec)
-                    {
-                        fold_effect(&mut result, &effect);
-                        if effect.faults.any() {
-                            fold_faults(&mut result, &effect.faults);
-                            if R::ENABLED {
-                                rec.fault_observed(&FaultObservation {
-                                    sim_ns: pipeline.timing.exec_time_ns(),
-                                    write_index: result.writes,
-                                    cell_deaths: effect.faults.cell_deaths,
-                                    ecp_consumed: effect.faults.ecp_consumed,
-                                    retired: effect.faults.retired,
-                                    uncorrectable: effect.faults.uncorrectable,
-                                });
-                            }
-                        }
+        let mut events_consumed: u64 = 0;
+        let mut last_emitted: Option<u64> = None;
+        while let Some(event) = source.next_event()? {
+            events_consumed += 1;
+            match pipeline.step_recorded(&event, rec) {
+                StepOutcome::Read => result.reads += 1,
+                StepOutcome::FirstTouch => {}
+                StepOutcome::Write(effect) => {
+                    fold_effect(&mut result, &effect);
+                    if effect.faults.any() {
+                        fold_faults(&mut result, &effect.faults);
                         if R::ENABLED {
-                            let mut flips = u64::from(effect.outcome.flips.data)
-                                + u64::from(effect.outcome.flips.meta);
-                            if result.counters_in_metric {
-                                flips += u64::from(effect.outcome.counter_flips);
-                            }
-                            let (hits, misses) = pipeline
-                                .counters
-                                .as_ref()
-                                .map_or((0, 0), |c| (c.hits(), c.misses()));
-                            rec.write_observed(&WriteObservation {
+                            rec.fault_observed(&FaultObservation {
                                 sim_ns: pipeline.timing.exec_time_ns(),
-                                flips,
-                                slots: effect.slots,
-                                cache_hits: hits,
-                                cache_misses: misses,
+                                write_index: result.writes,
+                                cell_deaths: effect.faults.cell_deaths,
+                                ecp_consumed: effect.faults.ecp_consumed,
+                                retired: effect.faults.retired,
+                                uncorrectable: effect.faults.uncorrectable,
                             });
                         }
                     }
+                    if R::ENABLED {
+                        let mut flips = u64::from(effect.outcome.flips.data)
+                            + u64::from(effect.outcome.flips.meta);
+                        if result.counters_in_metric {
+                            flips += u64::from(effect.outcome.counter_flips);
+                        }
+                        let (hits, misses) = pipeline
+                            .counters
+                            .as_ref()
+                            .map_or((0, 0), |c| (c.hits(), c.misses()));
+                        rec.write_observed(&WriteObservation {
+                            sim_ns: pipeline.timing.exec_time_ns(),
+                            flips,
+                            slots: effect.slots,
+                            cache_hits: hits,
+                            cache_misses: misses,
+                        });
+                    }
+                    if plan.every_writes > 0 && result.writes.is_multiple_of(plan.every_writes) {
+                        if let Some(sink) = plan.sink.as_mut() {
+                            sink(&RunCheckpoint::capture(
+                                events_consumed,
+                                &result,
+                                pipeline.timing.exec_time_ns(),
+                            ));
+                            last_emitted = Some(events_consumed);
+                        }
+                    }
                 }
+            }
+            if let Some(expected) = plan.verify {
+                if events_consumed == expected.events_consumed {
+                    let found = RunCheckpoint::capture(
+                        events_consumed,
+                        &result,
+                        pipeline.timing.exec_time_ns(),
+                    );
+                    verify_checkpoint(expected, &found)?;
+                    plan.verify = None;
+                }
+            }
+        }
+        if let Some(expected) = plan.verify {
+            // The stream ended before reaching the checkpoint position.
+            return Err(RunError::CheckpointMismatch {
+                field: "events_consumed",
+                expected: expected.events_consumed,
+                found: events_consumed,
+            });
+        }
+        if let Some(sink) = plan.sink {
+            if last_emitted != Some(events_consumed) {
+                sink(&RunCheckpoint::capture(
+                    events_consumed,
+                    &result,
+                    pipeline.timing.exec_time_ns(),
+                ));
             }
         }
 
@@ -280,8 +489,29 @@ impl<S: LineScheme + Copy> Simulator<S> {
             rec.gauge(Gauge::MetadataBits, f64::from(result.metadata_bits));
             rec.gauge(Gauge::LineStoreBytes, result.line_store_bytes as f64);
         }
-        result
+        Ok(result)
     }
+}
+
+/// Compares a replayed fingerprint against the checkpoint, field by
+/// field, naming the first divergence.
+fn verify_checkpoint(expected: &RunCheckpoint, found: &RunCheckpoint) -> Result<(), RunError> {
+    let fields: [(&'static str, u64, u64); 8] = [
+        ("reads", expected.reads, found.reads),
+        ("writes", expected.writes, found.writes),
+        ("data_flips", expected.data_flips, found.data_flips),
+        ("meta_flips", expected.meta_flips, found.meta_flips),
+        ("counter_flips", expected.counter_flips, found.counter_flips),
+        ("epoch_starts", expected.epoch_starts, found.epoch_starts),
+        ("total_slots", expected.total_slots, found.total_slots),
+        ("exec_time_ns_bits", expected.exec_time_ns_bits, found.exec_time_ns_bits),
+    ];
+    for (field, want, got) in fields {
+        if want != got {
+            return Err(RunError::CheckpointMismatch { field, expected: want, found: got });
+        }
+    }
+    Ok(())
 }
 
 /// Accumulates one counted write's effect into the aggregate result.

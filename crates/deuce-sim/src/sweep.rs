@@ -32,12 +32,15 @@
 //! assert!(results[0].flip_rate() < results[1].flip_rate(), "DEUCE beats full encryption");
 //! ```
 
+use std::collections::BTreeSet;
+use std::io;
 use std::thread;
 
 use deuce_rng::derive_seed;
 use deuce_telemetry::SweepProgress;
 use deuce_trace::TraceConfig;
 
+use crate::manifest::{CellRecord, ManifestWriter, ShardSpec};
 use crate::{SimConfig, SimResult, Simulator};
 
 /// One cell of a sweep grid: a workload and a controller configuration.
@@ -131,6 +134,30 @@ impl ParallelSweep {
         T: Send,
         F: Fn(usize, &I) -> T + Sync,
     {
+        self.map_observed_with(items, f, progress, |_| 0)
+    }
+
+    /// Like [`map_observed`](Self::map_observed), additionally
+    /// crediting `writes_of(&value)` simulated writes to the worker's
+    /// shard after each item, so [`SweepProgress`] can report per-shard
+    /// throughput (writes/sec). Still observation only.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f`.
+    pub fn map_observed_with<I, T, F, W>(
+        &self,
+        items: &[I],
+        f: F,
+        progress: Option<&SweepProgress>,
+        writes_of: W,
+    ) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+        W: Fn(&T) -> u64 + Sync,
+    {
         let shards = self.shards.min(items.len()).max(1);
         if shards == 1 {
             return items
@@ -139,6 +166,7 @@ impl ParallelSweep {
                 .map(|(i, item)| {
                     let value = f(i, item);
                     if let Some(p) = progress {
+                        p.add_writes(0, writes_of(&value));
                         p.tick(0);
                     }
                     value
@@ -146,6 +174,7 @@ impl ParallelSweep {
                 .collect();
         }
         let f = &f;
+        let writes_of = &writes_of;
         thread::scope(|scope| {
             let workers: Vec<_> = (0..shards)
                 .map(|k| {
@@ -158,6 +187,7 @@ impl ParallelSweep {
                             .map(|(i, item)| {
                                 let value = (i, f(i, item));
                                 if let Some(p) = progress {
+                                    p.add_writes(k, writes_of(&value.1));
                                     p.tick(k);
                                 }
                                 value
@@ -174,6 +204,64 @@ impl ParallelSweep {
             }
             slots.into_iter().map(|slot| slot.expect("every index filled")).collect()
         })
+    }
+
+    /// Runs this process's share of a manifest-tracked grid: cells
+    /// owned by `shard` (cell index mod `shard.count`) and not already
+    /// in `completed` are mapped through `f` in parallel, and each
+    /// finished [`CellRecord`] is appended (and flushed) to `writer`
+    /// the moment it completes — so a killed process loses at most the
+    /// cells in flight, and `--resume` re-runs only the missing ones.
+    ///
+    /// Returns this invocation's records in cell order. `f` must be a
+    /// pure function of `(cell_index, item)` for the manifest to merge
+    /// deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first manifest-append I/O error (simulation results
+    /// from other cells are discarded; re-run with resume to recover).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f`.
+    pub fn run_manifest<I, F>(
+        &self,
+        items: &[I],
+        shard: ShardSpec,
+        completed: &BTreeSet<u64>,
+        writer: &ManifestWriter,
+        f: F,
+        progress: Option<&SweepProgress>,
+    ) -> io::Result<Vec<CellRecord>>
+    where
+        I: Sync,
+        F: Fn(usize, &I) -> CellRecord + Sync,
+    {
+        let pending: Vec<(usize, &I)> = items
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let cell = *i as u64;
+                shard.owns(cell) && !completed.contains(&cell)
+            })
+            .collect();
+        let outcomes: Vec<(CellRecord, io::Result<()>)> = self.map_observed_with(
+            &pending,
+            |_, &(cell, item)| {
+                let record = f(cell, item);
+                let appended = writer.append(&record);
+                (record, appended)
+            },
+            progress,
+            |(record, _)| record.writes,
+        );
+        let mut records = Vec::with_capacity(outcomes.len());
+        for (record, appended) in outcomes {
+            appended?;
+            records.push(record);
+        }
+        Ok(records)
     }
 
     /// Runs every cell (generate its trace, simulate it), in cell
@@ -297,6 +385,75 @@ mod tests {
         assert_eq!(progress.done(), cells.len());
         let per_shard: usize = (0..3).map(|s| progress.shard_done(s)).sum();
         assert_eq!(per_shard, cells.len(), "every tick lands on its worker's shard");
+    }
+
+    #[test]
+    fn run_manifest_shards_merge_to_the_unsharded_grid() {
+        use crate::manifest::{
+            grid_fingerprint, merge_manifests, read_manifest, ManifestHeader, ManifestWriter,
+        };
+
+        let dir = std::env::temp_dir().join(format!("deuce-sweep-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let items: Vec<u64> = (0..7).map(|i| 100 + i).collect();
+        let header = ManifestHeader {
+            grid: "toy grid".into(),
+            cells: items.len() as u64,
+            fingerprint: grid_fingerprint("toy\t7"),
+            columns: "value".into(),
+        };
+        let cell_of = |i: usize, &x: &u64| CellRecord {
+            cell: i as u64,
+            label: format!("cell{i}"),
+            writes: x,
+            row: format!("{}", x * 2),
+        };
+
+        // Unsharded reference.
+        let whole_path = dir.join("whole.jsonl");
+        let writer = ManifestWriter::create(&whole_path, &header).unwrap();
+        let whole = ParallelSweep::with_shards(2)
+            .run_manifest(&items, ShardSpec::WHOLE, &BTreeSet::new(), &writer, cell_of, None)
+            .unwrap();
+        assert_eq!(whole.len(), items.len());
+        assert!(whole.iter().enumerate().all(|(i, r)| r.cell == i as u64), "cell order");
+
+        // Two process shards, merged.
+        let mut shards = Vec::new();
+        for spec in ["0/2", "1/2"] {
+            let spec = ShardSpec::parse(spec).unwrap();
+            let path = dir.join(format!("shard{}.jsonl", spec.index));
+            let writer = ManifestWriter::create(&path, &header).unwrap();
+            let records = ParallelSweep::with_shards(2)
+                .run_manifest(&items, spec, &BTreeSet::new(), &writer, cell_of, None)
+                .unwrap();
+            assert!(records.iter().all(|r| spec.owns(r.cell)), "only owned cells run");
+            shards.push(read_manifest(&path).unwrap());
+        }
+        let (_, merged) = merge_manifests(&shards).unwrap();
+        assert_eq!(merged, whole, "sharded + merged == unsharded");
+
+        // Resume: completed cells are skipped, the rest fill the gap.
+        let resume_path = dir.join("resumed.jsonl");
+        let writer = ManifestWriter::create(&resume_path, &header).unwrap();
+        let done: BTreeSet<u64> = [0u64, 3, 5].into_iter().collect();
+        for &cell in &done {
+            writer.append(&whole[cell as usize]).unwrap();
+        }
+        let progress = SweepProgress::new("resume", items.len() - done.len(), 2);
+        let rest = ParallelSweep::with_shards(2)
+            .run_manifest(&items, ShardSpec::WHOLE, &done, &writer, cell_of, Some(&progress))
+            .unwrap();
+        let ran: Vec<u64> = rest.iter().map(|r| r.cell).collect();
+        assert_eq!(ran, vec![1, 2, 4, 6], "only the missing cells ran");
+        assert_eq!(progress.done(), 4);
+        assert_eq!(progress.total_writes(), [1u64, 2, 4, 6].iter().map(|i| 100 + i).sum::<u64>());
+        let (_, records) = read_manifest(&resume_path).unwrap();
+        assert_eq!(records.len(), items.len(), "manifest now covers the grid");
+
+        for name in ["whole.jsonl", "shard0.jsonl", "shard1.jsonl", "resumed.jsonl"] {
+            std::fs::remove_file(dir.join(name)).unwrap();
+        }
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! batch runs and tests stay silent). Progress reporting never touches
 //! the result path — a sweep with and without progress is bit-identical.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Aggregated per-shard progress counters for one sweep.
 #[derive(Debug)]
@@ -15,6 +16,9 @@ pub struct SweepProgress {
     total: usize,
     done: AtomicUsize,
     per_shard: Vec<AtomicUsize>,
+    /// Simulated writes completed per shard, for throughput reporting.
+    shard_writes: Vec<AtomicU64>,
+    started: Instant,
     live: bool,
 }
 
@@ -27,6 +31,8 @@ impl SweepProgress {
             total,
             done: AtomicUsize::new(0),
             per_shard: (0..shards.max(1)).map(|_| AtomicUsize::new(0)).collect(),
+            shard_writes: (0..shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            started: Instant::now(),
             live: false,
         }
     }
@@ -77,17 +83,70 @@ impl SweepProgress {
         self.per_shard.len()
     }
 
-    /// The current progress line.
+    /// Credits `writes` completed simulated writes to `shard`, feeding
+    /// the throughput figures. Observation only, like [`tick`](Self::tick).
+    pub fn add_writes(&self, shard: usize, writes: u64) {
+        self.shard_writes[shard % self.shard_writes.len()].fetch_add(writes, Ordering::Relaxed);
+    }
+
+    /// Simulated writes completed by one shard so far.
+    #[must_use]
+    pub fn shard_writes(&self, shard: usize) -> u64 {
+        self.shard_writes[shard % self.shard_writes.len()].load(Ordering::Relaxed)
+    }
+
+    /// Simulated writes completed across all shards.
+    #[must_use]
+    pub fn total_writes(&self) -> u64 {
+        self.shard_writes.iter().map(|w| w.load(Ordering::Relaxed)).sum()
+    }
+
+    /// One shard's write throughput since the tracker was created
+    /// (writes/sec; 0 before any write is credited).
+    #[must_use]
+    pub fn shard_writes_per_sec(&self, shard: usize) -> f64 {
+        let secs = self.started.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.shard_writes(shard) as f64 / secs
+    }
+
+    /// Aggregate write throughput since the tracker was created
+    /// (writes/sec; 0 before any write is credited).
+    #[must_use]
+    pub fn writes_per_sec(&self) -> f64 {
+        let secs = self.started.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.total_writes() as f64 / secs
+    }
+
+    /// The current progress line. Throughput is appended only once
+    /// writes have been credited, so cell-only sweeps render exactly as
+    /// before.
     #[must_use]
     pub fn render(&self) -> String {
-        format!(
+        let mut line = format!(
             "{}: {}/{} cells [{} shard{}]",
             self.label,
             self.done().min(self.total),
             self.total,
             self.shards(),
             if self.shards() == 1 { "" } else { "s" },
-        )
+        );
+        if self.total_writes() > 0 {
+            let per_shard: Vec<String> = (0..self.shards())
+                .map(|s| format!("{:.0}", self.shard_writes_per_sec(s)))
+                .collect();
+            line.push_str(&format!(
+                " {:.0} writes/s ({})",
+                self.writes_per_sec(),
+                per_shard.join("+"),
+            ));
+        }
+        line
     }
 }
 
@@ -131,5 +190,21 @@ mod tests {
         assert_eq!(p.shards(), 1);
         p.tick(5);
         assert_eq!(p.done(), 1);
+    }
+
+    #[test]
+    fn write_throughput_accumulates_per_shard() {
+        let p = SweepProgress::new("tp", 4, 2);
+        assert_eq!(p.total_writes(), 0);
+        assert!(!p.render().contains("writes/s"), "no throughput before writes");
+        p.add_writes(0, 1000);
+        p.add_writes(1, 500);
+        p.add_writes(0, 200);
+        assert_eq!(p.shard_writes(0), 1200);
+        assert_eq!(p.shard_writes(1), 500);
+        assert_eq!(p.total_writes(), 1700);
+        assert!(p.writes_per_sec() > 0.0);
+        assert!(p.shard_writes_per_sec(0) > p.shard_writes_per_sec(1));
+        assert!(p.render().contains("writes/s"));
     }
 }

@@ -1,11 +1,15 @@
 //! The trace generator: turns a [`BenchmarkProfile`] into a concrete
 //! request stream.
 
+use std::collections::VecDeque;
+
 use deuce_rng::{DeuceRng, Rng};
 
 use deuce_crypto::{LineAddr, LineBytes, LINE_BYTES};
 
+use crate::io::TraceIoError;
 use crate::profiles::{Benchmark, BenchmarkProfile};
+use crate::source::WriteSource;
 use crate::trace::{Trace, TraceEvent};
 use crate::value_model::WordRole;
 
@@ -105,11 +109,32 @@ impl TraceConfig {
         self.benchmark
     }
 
-    /// Generates the trace.
+    /// Generates the trace by materialising the whole stream
+    /// ([`TraceConfig::stream`] yields the identical event sequence
+    /// without holding it in RAM).
     #[must_use]
     pub fn generate(&self) -> Trace {
+        let mut source = self.stream();
+        Trace::from_source(&mut source).expect("generator sources are infallible")
+    }
+
+    /// Creates a streaming generator over this config: the same event
+    /// sequence as [`TraceConfig::generate`], produced on demand in
+    /// O(working set) memory instead of O(trace length).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use deuce_trace::{Benchmark, Trace, TraceConfig};
+    ///
+    /// let config = TraceConfig::new(Benchmark::Mcf).writes(1_000).seed(2);
+    /// let streamed = Trace::from_source(&mut config.stream()).unwrap();
+    /// assert_eq!(streamed, config.generate());
+    /// ```
+    #[must_use]
+    pub fn stream(&self) -> GeneratorSource {
         let profile = self.benchmark.profile();
-        let mut cores: Vec<CoreGenerator> = (0..self.cores)
+        let cores: Vec<CoreGenerator> = (0..self.cores)
             .map(|core| {
                 CoreGenerator::new(
                     core,
@@ -122,13 +147,47 @@ impl TraceConfig {
                 )
             })
             .collect();
-
-        let mut trace = Trace::default();
-        for i in 0..self.writes {
-            let core = i % usize::from(self.cores);
-            cores[core].emit_writeback(&profile, &mut trace);
+        GeneratorSource {
+            profile,
+            cores,
+            pending: VecDeque::new(),
+            writes_emitted: 0,
+            writes_total: self.writes,
         }
-        trace
+    }
+}
+
+/// A seeded benchmark generator as a [`WriteSource`]: yields the exact
+/// event sequence of [`TraceConfig::generate`] without materialising
+/// it. Created by [`TraceConfig::stream`].
+#[derive(Debug)]
+pub struct GeneratorSource {
+    profile: BenchmarkProfile,
+    cores: Vec<CoreGenerator>,
+    pending: VecDeque<TraceEvent>,
+    writes_emitted: usize,
+    writes_total: usize,
+}
+
+impl WriteSource for GeneratorSource {
+    fn cores(&self) -> usize {
+        // Writebacks round-robin over cores starting at 0, so a stream
+        // with fewer writes than cores only ever touches the leading
+        // cores; reads are issued by the same core as their writeback.
+        if self.writes_total == 0 {
+            1
+        } else {
+            self.cores.len().min(self.writes_total)
+        }
+    }
+
+    fn next_event(&mut self) -> Result<Option<TraceEvent>, TraceIoError> {
+        while self.pending.is_empty() && self.writes_emitted < self.writes_total {
+            let core = self.writes_emitted % self.cores.len();
+            self.cores[core].emit_writeback(&self.profile, &mut self.pending);
+            self.writes_emitted += 1;
+        }
+        Ok(self.pending.pop_front())
     }
 }
 
@@ -234,7 +293,8 @@ impl CoreGenerator {
         LineAddr::new(u64::from(self.core) << 32 | line as u64)
     }
 
-    fn emit_writeback(&mut self, profile: &BenchmarkProfile, trace: &mut Trace) {
+    /// Emits one writeback (preceded by its share of reads) into `out`.
+    fn emit_writeback(&mut self, profile: &BenchmarkProfile, out: &mut VecDeque<TraceEvent>) {
         self.instr += self.instr_per_write as u64;
 
         if self.include_reads {
@@ -243,7 +303,7 @@ impl CoreGenerator {
                 self.read_debt -= 1.0;
                 let line = self.pick_line();
                 let addr = self.addr(line);
-                trace.push(TraceEvent::read(self.core, self.instr, addr));
+                out.push_back(TraceEvent::read(self.core, self.instr, addr));
             }
         }
 
@@ -325,7 +385,7 @@ impl CoreGenerator {
         }
 
         let data = line.data;
-        trace.push(TraceEvent::write(self.core, self.instr, addr, data));
+        out.push_back(TraceEvent::write(self.core, self.instr, addr, data));
     }
 }
 

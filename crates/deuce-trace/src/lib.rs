@@ -38,13 +38,18 @@ mod attack;
 mod generator;
 mod io;
 mod profiles;
+mod source;
 mod stats;
 mod trace;
 mod value_model;
 
 pub use attack::{AttackKind, AttackTrace};
-pub use generator::TraceConfig;
-pub use io::{read_trace, write_trace, TraceIoError};
+pub use generator::{GeneratorSource, TraceConfig};
+pub use io::{
+    open_source, read_trace, write_source_jsonl, write_source_to_file, write_trace,
+    write_trace_jsonl, BinaryStreamSource, JsonlStreamSource, TraceIoError,
+};
+pub use source::{core_count, TraceSource, WriteSource};
 pub use profiles::{Benchmark, BenchmarkProfile, FootprintDrift};
 pub use stats::TraceStats;
 pub use trace::{Op, Trace, TraceEvent};

@@ -130,21 +130,36 @@ impl Trace {
 
     /// Returns the prefix containing the first `writes` writebacks (and
     /// every read issued before the last of them) — useful for warmup
-    /// splits.
+    /// splits. Consumes `self` and truncates in place, so no event is
+    /// copied; use [`Trace::write_prefix`] to borrow instead.
     #[must_use]
-    pub fn truncate_writes(&self, writes: usize) -> Trace {
+    pub fn truncate_writes(mut self, writes: usize) -> Trace {
+        let keep = self.write_prefix_len(writes);
+        self.events.truncate(keep);
+        self
+    }
+
+    /// Borrowing variant of [`Trace::truncate_writes`]: the prefix slice
+    /// holding the first `writes` writebacks and the reads issued before
+    /// the next writeback.
+    #[must_use]
+    pub fn write_prefix(&self, writes: usize) -> &[TraceEvent] {
+        &self.events[..self.write_prefix_len(writes)]
+    }
+
+    /// Number of leading events covering the first `writes` writebacks
+    /// (reads between the last kept write and the next write included).
+    fn write_prefix_len(&self, writes: usize) -> usize {
         let mut remaining = writes;
-        let mut out = Trace::default();
-        for e in &self.events {
+        for (i, e) in self.events.iter().enumerate() {
             if e.op == Op::Write {
                 if remaining == 0 {
-                    break;
+                    return i;
                 }
                 remaining -= 1;
             }
-            out.push(e.clone());
         }
-        out
+        self.events.len()
     }
 
     /// Merges two traces by interleaving on instruction count
@@ -215,11 +230,14 @@ mod tests {
         t.push(TraceEvent::write(0, 10, LineAddr::new(0), [1u8; 64]));
         t.push(TraceEvent::read(0, 15, LineAddr::new(1)));
         t.push(TraceEvent::write(0, 20, LineAddr::new(1), [2u8; 64]));
-        let head = t.truncate_writes(1);
+        let head = t.clone().truncate_writes(1);
         assert_eq!(head.write_count(), 1);
         assert_eq!(head.len(), 3, "the read between the writes is kept");
-        assert_eq!(t.truncate_writes(0).write_count(), 0);
-        assert_eq!(t.truncate_writes(99), t, "over-asking keeps everything");
+        assert_eq!(head.events(), t.write_prefix(1), "borrowing view agrees");
+        assert_eq!(t.clone().truncate_writes(0).write_count(), 0);
+        assert_eq!(t.write_prefix(0).len(), 1, "reads before the first write stay");
+        assert_eq!(t.clone().truncate_writes(99), t, "over-asking keeps everything");
+        assert_eq!(t.write_prefix(99).len(), t.len());
     }
 
     #[test]

@@ -51,4 +51,19 @@ awk '/^== profiling/{exit} {print}' "$SMOKE_DIR/faults.report" \
     > "$SMOKE_DIR/faults.report.stable"
 diff -u results/telemetry/golden_faults_report.txt "$SMOKE_DIR/faults.report.stable"
 
+echo "==> sharded-sweep smoke test (shard + merge == unsharded, byte-identical)"
+"$DEUCE" sweep --trace "$SMOKE_DIR/smoke.trace" > "$SMOKE_DIR/sweep.unsharded"
+"$DEUCE" sweep --trace "$SMOKE_DIR/smoke.trace" \
+    --shard 0/2 --manifest "$SMOKE_DIR/shard0.jsonl" > /dev/null
+"$DEUCE" sweep --trace "$SMOKE_DIR/smoke.trace" \
+    --shard 1/2 --manifest "$SMOKE_DIR/shard1.jsonl" > /dev/null
+"$DEUCE" merge "$SMOKE_DIR/shard0.jsonl" "$SMOKE_DIR/shard1.jsonl" \
+    > "$SMOKE_DIR/sweep.merged"
+diff -u "$SMOKE_DIR/sweep.unsharded" "$SMOKE_DIR/sweep.merged"
+
+echo "==> streaming-run smoke test (run --stream == materialised run)"
+"$DEUCE" run --trace "$SMOKE_DIR/smoke.trace" --scheme deuce > "$SMOKE_DIR/run.materialised"
+"$DEUCE" run --trace "$SMOKE_DIR/smoke.trace" --scheme deuce --stream > "$SMOKE_DIR/run.streamed"
+diff -u "$SMOKE_DIR/run.materialised" "$SMOKE_DIR/run.streamed"
+
 echo "==> tier-1 OK"
