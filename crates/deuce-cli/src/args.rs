@@ -19,6 +19,7 @@ USAGE:
                 [--cores N] [--seed N] [--telemetry <file>] [fault flags]
                 [--pad-cache N] [--stream] [--checkpoint <file>]
                 [--checkpoint-every N] [--from-checkpoint <file>]
+                [--trace-out <file>] [--flight-recorder N]
   deuce compare (--trace <file> | --benchmark <name>) [generation flags]
                 [--telemetry <file>] [fault flags] [--pad-cache N]
   deuce sweep   (--trace <file> | --benchmark <name>) [generation flags]
@@ -26,6 +27,7 @@ USAGE:
                 [--manifest <file> [--shard i/n] [--resume]]
   deuce merge   <manifest-file>...
   deuce report  <telemetry-file>
+  deuce watch   <checkpoint-or-manifest-file>... [--once] [--interval-ms N]
   deuce help
 
 STREAMING:
@@ -54,6 +56,18 @@ TELEMETRY:
   plus a CSV summary next to it; [--sample-every N] sets the
   time-series window (default 64 writes). `deuce report <file>` renders
   the collected telemetry as text tables.
+
+OBSERVABILITY:
+  run --trace-out <file> writes a Chrome trace-event JSON of the run's
+  hierarchical spans (run -> pipeline stages -> pad generation / ECP
+  repair), loadable in Perfetto or chrome://tracing; the same spans
+  land as `span` records in the telemetry JSONL and as a self-time
+  table in `deuce report`. run --flight-recorder N keeps a ring of the
+  last N write events and dumps it to <out>.flight.jsonl when the run
+  fails or goes uncorrectable. `deuce watch <file>...` tails run
+  checkpoint files and sweep manifests, showing per-source progress,
+  throughput, and ETA; --once prints a single snapshot and exits,
+  --interval-ms sets the poll period (default 2000).
 
 FAULTS:
   --faults injects online stuck-at cell faults: each cell dies once its
@@ -248,6 +262,12 @@ pub struct RunArgs {
     pub manifest: Option<String>,
     /// Skip cells already in the manifest (`--resume`).
     pub resume: bool,
+    /// Write a Chrome trace-event JSON of the run's spans
+    /// (`--trace-out`, `run` only).
+    pub trace_out: Option<String>,
+    /// Keep a ring of the last N write events, dumped on failure
+    /// (`--flight-recorder`, `run` only).
+    pub flight_recorder: Option<usize>,
 }
 
 impl Default for RunArgs {
@@ -267,6 +287,8 @@ impl Default for RunArgs {
             shard: None,
             manifest: None,
             resume: false,
+            trace_out: None,
+            flight_recorder: None,
         }
     }
 }
@@ -283,6 +305,17 @@ pub struct MergeArgs {
 pub struct ReportArgs {
     /// Telemetry JSONL file to render.
     pub telemetry_path: String,
+}
+
+/// `deuce watch` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchArgs {
+    /// Checkpoint JSONL files and sweep manifests to tail.
+    pub paths: Vec<String>,
+    /// Print one snapshot and exit (`--once`).
+    pub once: bool,
+    /// Poll period in milliseconds (`--interval-ms`).
+    pub interval_ms: u64,
 }
 
 /// A parsed CLI invocation.
@@ -302,6 +335,8 @@ pub enum Command {
     Merge(MergeArgs),
     /// Render a telemetry file as text tables.
     Report(ReportArgs),
+    /// Live-monitor checkpoint files and sweep manifests.
+    Watch(WatchArgs),
     /// Print usage.
     Help,
 }
@@ -346,6 +381,39 @@ impl Command {
             return Ok(Command::Merge(MergeArgs { manifests }));
         }
 
+        if subcommand == "watch" {
+            let mut paths = Vec::new();
+            let mut once = false;
+            let mut interval_ms: u64 = 2000;
+            let mut args = args;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--once" => once = true,
+                    "--interval-ms" => {
+                        let v = args.next().ok_or_else(|| {
+                            CliError::Usage("flag --interval-ms requires a value".into())
+                        })?;
+                        interval_ms = parse_number(&v, "--interval-ms")?;
+                        if interval_ms == 0 {
+                            return Err(CliError::Usage(
+                                "--interval-ms must be at least 1".into(),
+                            ));
+                        }
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(CliError::Usage(format!("unknown flag {flag:?}")));
+                    }
+                    path => paths.push(path.to_string()),
+                }
+            }
+            if paths.is_empty() {
+                return Err(CliError::Usage(
+                    "watch requires at least one checkpoint or manifest file".into(),
+                ));
+            }
+            return Ok(Command::Watch(WatchArgs { paths, once, interval_ms }));
+        }
+
         let mut gen = GenArgs::default();
         let mut benchmark_given = false;
         let mut trace_path: Option<String> = None;
@@ -365,6 +433,8 @@ impl Command {
         let mut shard: Option<ShardSpec> = None;
         let mut manifest: Option<String> = None;
         let mut resume = false;
+        let mut trace_out: Option<String> = None;
+        let mut flight_recorder: Option<usize> = None;
 
         while let Some(flag) = args.next() {
             let mut value = |flag: &str| {
@@ -454,6 +524,17 @@ impl Command {
                 }
                 "--manifest" => manifest = Some(value("--manifest")?),
                 "--resume" => resume = true,
+                "--trace-out" => trace_out = Some(value("--trace-out")?),
+                "--flight-recorder" => {
+                    let events: usize =
+                        parse_number(&value("--flight-recorder")?, "--flight-recorder")?;
+                    if events == 0 {
+                        return Err(CliError::Usage(
+                            "--flight-recorder must keep at least 1 event".into(),
+                        ));
+                    }
+                    flight_recorder = Some(events);
+                }
                 other if !other.starts_with('-') && positional.is_none() => {
                     positional = Some(other.to_string());
                 }
@@ -536,6 +617,8 @@ impl Command {
                     shard: None,
                     manifest: None,
                     resume: false,
+                    trace_out,
+                    flight_recorder,
                 }))
             }
             "compare" | "sweep" => {
@@ -558,6 +641,11 @@ impl Command {
                     return Err(CliError::Usage(
                         "--shard and --resume require --manifest <file>".into(),
                     ));
+                }
+                if trace_out.is_some() || flight_recorder.is_some() {
+                    return Err(CliError::Usage(format!(
+                        "--trace-out/--flight-recorder apply to run, not {subcommand}"
+                    )));
                 }
                 if manifest.is_some() && telemetry.is_some() {
                     return Err(CliError::Usage(
@@ -582,6 +670,8 @@ impl Command {
                     shard,
                     manifest,
                     resume,
+                    trace_out: None,
+                    flight_recorder: None,
                 };
                 Ok(if subcommand == "compare" {
                     Command::Compare(run_args)
@@ -898,6 +988,71 @@ mod tests {
         ));
         assert!(matches!(
             parse(&["sweep", "--benchmark", "mcf", "--manifest", "m", "--telemetry", "t"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let cmd = parse(&[
+            "run", "--benchmark", "mcf", "--scheme", "deuce", "--trace-out", "spans.json",
+            "--flight-recorder", "64",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run(r) => {
+                assert_eq!(r.trace_out.as_deref(), Some("spans.json"));
+                assert_eq!(r.flight_recorder, Some(64));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Off by default; run-only; a zero-length ring is a usage error.
+        match parse(&["run", "--benchmark", "mcf", "--scheme", "deuce"]).unwrap() {
+            Command::Run(r) => {
+                assert!(r.trace_out.is_none());
+                assert!(r.flight_recorder.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse(&["sweep", "--benchmark", "mcf", "--trace-out", "s.json"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["compare", "--benchmark", "mcf", "--flight-recorder", "8"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["run", "--benchmark", "mcf", "--scheme", "deuce", "--flight-recorder", "0"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn watch_takes_paths_and_flags() {
+        match parse(&["watch", "cp.jsonl", "m.jsonl", "--once"]).unwrap() {
+            Command::Watch(w) => {
+                assert_eq!(w.paths, vec!["cp.jsonl", "m.jsonl"]);
+                assert!(w.once);
+                assert_eq!(w.interval_ms, 2000, "default poll period");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&["watch", "cp.jsonl", "--interval-ms", "250"]).unwrap() {
+            Command::Watch(w) => {
+                assert!(!w.once);
+                assert_eq!(w.interval_ms, 250);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(parse(&["watch"]), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&["watch", "--once"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&["watch", "cp.jsonl", "--interval-ms", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["watch", "cp.jsonl", "--shard", "0/2"]),
             Err(CliError::Usage(_))
         ));
     }

@@ -143,7 +143,80 @@ fn sim_config(args: &RunArgs, fault_lines: usize, scheme: SchemeConfig) -> SimCo
     if let Some(entries) = args.pad_cache {
         config = config.with_pad_cache(PadCacheConfig::with_entries(entries));
     }
+    if args.trace_out.is_some() {
+        // Span tracing wants the AES engine's own pad-generation clock.
+        config = config.with_pad_timing();
+    }
     config
+}
+
+/// Whether this run records anything (telemetry, spans, or the flight
+/// ring); otherwise it drives the monomorphised [`NullRecorder`] loop.
+fn wants_recorder(args: &RunArgs) -> bool {
+    args.telemetry.is_some() || args.trace_out.is_some() || args.flight_recorder.is_some()
+}
+
+/// Builds the recorder the run's flags ask for.
+fn build_recorder(args: &RunArgs) -> TelemetryRecorder {
+    let mut recorder = TelemetryRecorder::new(telemetry_config(args));
+    if args.trace_out.is_some() {
+        recorder = recorder.with_spans();
+    }
+    if let Some(events) = args.flight_recorder {
+        recorder = recorder.with_flight_recorder(events);
+    }
+    recorder
+}
+
+/// Where a failure dumps the flight ring: next to the run's main
+/// output file.
+fn flight_dump_path(args: &RunArgs) -> String {
+    let base = args
+        .telemetry
+        .as_deref()
+        .or(args.trace_out.as_deref())
+        .unwrap_or("deuce-run");
+    format!("{base}.flight.jsonl")
+}
+
+/// Finishes a recorded run: dumps the flight ring when the run errored
+/// or went uncorrectable (before the error propagates — the dump is
+/// the post-mortem), then writes the Chrome span trace and telemetry
+/// files for a successful run.
+fn write_run_outputs<W: Write>(
+    args: &RunArgs,
+    scheme: SchemeConfig,
+    outcome: Result<SimResult, CliError>,
+    recorder: TelemetryRecorder,
+    out: &mut W,
+) -> Result<SimResult, CliError> {
+    let uncorrectable = outcome
+        .as_ref()
+        .ok()
+        .and_then(|r| r.faults.as_ref())
+        .is_some_and(|f| f.uncorrectable_writes > 0);
+    if let Some(flight) = recorder.flight() {
+        if outcome.is_err() || uncorrectable {
+            let path = flight_dump_path(args);
+            let mut file = BufWriter::new(File::create(&path)?);
+            flight.write_jsonl(&mut file)?;
+            file.flush()?;
+            writeln!(out, "flight\t{path}")?;
+        }
+    }
+    let result = outcome?;
+    if let Some(path) = &args.trace_out {
+        let spans = recorder.spans().expect("--trace-out enables span tracing");
+        let mut file = BufWriter::new(File::create(path)?);
+        spans.write_chrome_trace(&mut file)?;
+        file.flush()?;
+        writeln!(out, "trace\t{path}")?;
+    }
+    if let Some(path) = &args.telemetry {
+        write_telemetry(path, &[(scheme.kind.to_string(), recorder)])?;
+        writeln!(out, "telemetry\t{path}")?;
+    }
+    Ok(result)
 }
 
 /// The trace's unique written-line count (0 when faults are off — the
@@ -226,6 +299,11 @@ fn drive_stream<R: Recorder>(
     }
     if let Some(cp_path) = &args.checkpoint {
         let mut file = File::create(cp_path)?;
+        if let Some(total) = source.len_hint() {
+            // Lets `deuce watch` compute progress and an ETA; resume
+            // ignores non-checkpoint kinds.
+            writeln!(file, "{{\"type\":\"run_total\",\"events\":{total}}}")?;
+        }
         let mut sink_err: Option<std::io::Error> = None;
         let mut sink = |cp: &RunCheckpoint| {
             if sink_err.is_none() {
@@ -250,15 +328,12 @@ fn run_streamed<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
     let simulator = Simulator::new(sim_config(args, lines, scheme));
     writeln!(out, "scheme\t{}", scheme.kind)?;
     let mut source = open_run_source(args)?;
-    let result = match &args.telemetry {
-        None => drive_stream(args, &simulator, &mut *source, &mut NullRecorder)?,
-        Some(path) => {
-            let mut recorder = TelemetryRecorder::new(telemetry_config(args));
-            let result = drive_stream(args, &simulator, &mut *source, &mut recorder)?;
-            write_telemetry(path, &[(scheme.kind.to_string(), recorder)])?;
-            writeln!(out, "telemetry\t{path}")?;
-            result
-        }
+    let result = if wants_recorder(args) {
+        let mut recorder = build_recorder(args);
+        let outcome = drive_stream(args, &simulator, &mut *source, &mut recorder);
+        write_run_outputs(args, scheme, outcome, recorder, out)?
+    } else {
+        drive_stream(args, &simulator, &mut *source, &mut NullRecorder)?
     };
     RunSummary::from(&result).write_to(out)?;
     if let Some(report) = &result.faults {
@@ -291,15 +366,12 @@ pub fn run<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
     let lines = fault_lines(args, Some(&trace))?;
     let simulator = Simulator::new(sim_config(args, lines, scheme));
     writeln!(out, "scheme\t{}", scheme.kind)?;
-    let result = match &args.telemetry {
-        None => simulator.run_trace(&trace),
-        Some(path) => {
-            let mut recorder = TelemetryRecorder::new(telemetry_config(args));
-            let result = simulator.run_trace_recorded(&trace, &mut recorder);
-            write_telemetry(path, &[(scheme.kind.to_string(), recorder)])?;
-            writeln!(out, "telemetry\t{path}")?;
-            result
-        }
+    let result = if wants_recorder(args) {
+        let mut recorder = build_recorder(args);
+        let outcome = Ok(simulator.run_trace_recorded(&trace, &mut recorder));
+        write_run_outputs(args, scheme, outcome, recorder, out)?
+    } else {
+        simulator.run_trace(&trace)
     };
     RunSummary::from(&result).write_to(out)?;
     if let Some(report) = &result.faults {
@@ -710,10 +782,31 @@ fn render_run<W: Write>(out: &mut W, run: &str, events: &[Event]) -> Result<(), 
     Ok(())
 }
 
+/// Record kinds `deuce report` knows how to render (or deliberately
+/// ignores). Anything else gets one warning line and is skipped, so a
+/// report from a newer tool still renders everything it understands.
+const KNOWN_KINDS: &[&str] = &[
+    "meta",
+    "counter",
+    "gauge",
+    "hist",
+    "hist_bucket",
+    "sample",
+    "profile",
+    "retirement",
+    "uncorrectable",
+    "span",
+    "flight_header",
+    "flight",
+    "run_checkpoint",
+    "run_total",
+];
+
 /// `deuce report`: render a telemetry JSONL file as text tables. The
 /// output is deterministic for a given simulation except the trailing
-/// `== profiling` section (wall-clock stage times) — diff tooling
-/// should stop at that marker.
+/// `== profiling` and `== spans` sections (wall-clock times) — diff
+/// tooling should stop at the first marker. Unknown record kinds get
+/// one leading warning line each and are otherwise skipped.
 ///
 /// # Errors
 ///
@@ -723,6 +816,21 @@ pub fn report<W: Write>(args: &ReportArgs, out: &mut W) -> Result<(), CliError> 
     let text = std::fs::read_to_string(&args.telemetry_path)?;
     let events = parse_jsonl(&text)
         .map_err(|e| CliError::Telemetry(format!("{}: {e}", args.telemetry_path)))?;
+    let mut unknown: Vec<&str> = Vec::new();
+    for event in &events {
+        let kind = event.kind();
+        if !KNOWN_KINDS.contains(&kind) && !unknown.contains(&kind) {
+            unknown.push(kind);
+        }
+    }
+    for kind in &unknown {
+        let count = events.iter().filter(|e| e.kind() == *kind).count();
+        writeln!(
+            out,
+            "warning: unknown record kind \"{kind}\" ({count} line{}) skipped",
+            if count == 1 { "" } else { "s" },
+        )?;
+    }
     let mut runs: Vec<&str> = Vec::new();
     for event in &events {
         if let Some(run) = event.str("run") {
@@ -754,6 +862,24 @@ pub fn report<W: Write>(args: &ReportArgs, out: &mut W) -> Result<(), CliError> 
                 profile.num("mean_ns").unwrap_or(0.0),
                 profile.u64("p50_ns").unwrap_or(0),
                 profile.u64("p99_ns").unwrap_or(0),
+            )?;
+        }
+    }
+    let mut spans: Vec<&Event> = events.iter().filter(|e| e.kind() == "span").collect();
+    if !spans.is_empty() {
+        spans.sort_by_key(|e| std::cmp::Reverse(e.u64("self_ns").unwrap_or(0)));
+        writeln!(out, "== spans (wall-clock; nondeterministic)")?;
+        writeln!(out, "run\tname\tparent\tcount\ttotal_ns\tself_ns")?;
+        for span in spans.iter().take(10) {
+            writeln!(
+                out,
+                "{}\t{}\t{}\t{}\t{}\t{}",
+                span.str("run").unwrap_or("?"),
+                span.str("name").unwrap_or("?"),
+                span.str("parent").filter(|p| !p.is_empty()).unwrap_or("-"),
+                span.u64("count").unwrap_or(0),
+                span.u64("total_ns").unwrap_or(0),
+                span.u64("self_ns").unwrap_or(0),
             )?;
         }
     }
@@ -1182,6 +1308,177 @@ mod tests {
         diverged.gen.seed += 1;
         let err = run(&diverged, &mut Vec::new()).unwrap_err();
         assert!(matches!(err, CliError::Checkpoint(_)), "{err:?}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_out_writes_chrome_spans_and_report_renders_the_table() {
+        let dir = std::env::temp_dir().join("deuce-cli-trace-out");
+        std::fs::create_dir_all(&dir).unwrap();
+        let chrome_path = dir.join("spans.json").to_str().unwrap().to_string();
+        let jsonl_path = dir.join("run.jsonl").to_str().unwrap().to_string();
+
+        let args = RunArgs {
+            gen: small_gen(),
+            scheme: Some(SchemeConfig::new(SchemeKind::Deuce)),
+            telemetry: Some(jsonl_path.clone()),
+            trace_out: Some(chrome_path.clone()),
+            ..RunArgs::default()
+        };
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains(&format!("trace\t{chrome_path}")), "{text}");
+
+        let chrome = std::fs::read_to_string(&chrome_path).unwrap();
+        assert!(chrome.contains("\"traceEvents\""), "{chrome}");
+        assert!(chrome.contains("\"name\":\"run\""));
+        assert!(chrome.contains("stage:scheme"));
+        assert!(chrome.contains("pad_generation"), "pad timing rides --trace-out");
+
+        // The span records ride the telemetry export and render as the
+        // report's top-N self-time table, after the diffable zone.
+        let mut report_out = Vec::new();
+        report(&ReportArgs { telemetry_path: jsonl_path }, &mut report_out).unwrap();
+        let report_text = String::from_utf8(report_out).unwrap();
+        let spans_at = report_text
+            .find("== spans (wall-clock; nondeterministic)")
+            .expect("span table rendered");
+        assert!(report_text.find("== profiling").unwrap() < spans_at);
+        assert!(report_text.contains("run\tname\tparent\tcount\ttotal_ns\tself_ns"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flight_recorder_dumps_on_uncorrectable_and_stays_quiet_otherwise() {
+        let dir = std::env::temp_dir().join("deuce-cli-flight");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl_path = dir.join("faults.jsonl").to_str().unwrap().to_string();
+        let dump_path = format!("{jsonl_path}.flight.jsonl");
+
+        // Same forced-UE setup as the fault round-trip test.
+        let faults = FaultArgs {
+            enabled: true,
+            endurance_scale: 2e-8,
+            ecp_entries: 1,
+            spare_lines: 1,
+        };
+        let args = RunArgs {
+            gen: small_gen(),
+            scheme: Some(SchemeConfig::new(SchemeKind::EncryptedDcw)),
+            telemetry: Some(jsonl_path.clone()),
+            flight_recorder: Some(8),
+            faults,
+            ..RunArgs::default()
+        };
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains(&format!("flight\t{dump_path}")), "{text}");
+        let dump = std::fs::read_to_string(&dump_path).unwrap();
+        assert!(dump.starts_with("{\"type\":\"flight_header\""), "{dump}");
+        assert_eq!(dump.lines().count(), 1 + 8, "header + full ring");
+        assert!(dump.contains("\"action\":\"write\""));
+
+        // A healthy run keeps the ring in memory and writes no dump.
+        std::fs::remove_file(&dump_path).unwrap();
+        let healthy = RunArgs {
+            scheme: Some(SchemeConfig::new(SchemeKind::Deuce)),
+            faults: FaultArgs::default(),
+            ..args
+        };
+        let mut out = Vec::new();
+        run(&healthy, &mut out).unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("flight\t"));
+        assert!(!std::path::Path::new(&dump_path).exists());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_warns_once_per_unknown_record_kind() {
+        let dir = std::env::temp_dir().join("deuce-cli-unknown-kinds");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl_path = dir.join("run.jsonl").to_str().unwrap().to_string();
+
+        let args = RunArgs {
+            gen: small_gen(),
+            scheme: Some(SchemeConfig::new(SchemeKind::Deuce)),
+            telemetry: Some(jsonl_path.clone()),
+            ..RunArgs::default()
+        };
+        run(&args, &mut Vec::new()).unwrap();
+        let mut before = Vec::new();
+        report(&ReportArgs { telemetry_path: jsonl_path.clone() }, &mut before).unwrap();
+
+        // A newer tool appended kinds this report doesn't know.
+        let mut text = std::fs::read_to_string(&jsonl_path).unwrap();
+        text.push_str("{\"type\":\"wormhole\",\"run\":\"DEUCE\",\"value\":1}\n");
+        text.push_str("{\"type\":\"wormhole\",\"run\":\"DEUCE\",\"value\":2}\n");
+        text.push_str("{\"type\":\"gizmo\",\"run\":\"DEUCE\"}\n");
+        std::fs::write(&jsonl_path, text).unwrap();
+
+        let mut after = Vec::new();
+        report(&ReportArgs { telemetry_path: jsonl_path }, &mut after).unwrap();
+        let after = String::from_utf8(after).unwrap();
+        let warnings: Vec<&str> =
+            after.lines().filter(|l| l.starts_with("warning: unknown record kind")).collect();
+        assert_eq!(
+            warnings,
+            [
+                "warning: unknown record kind \"wormhole\" (2 lines) skipped",
+                "warning: unknown record kind \"gizmo\" (1 line) skipped",
+            ],
+        );
+        // Everything understood still renders exactly as before.
+        let body: String = after
+            .lines()
+            .filter(|l| !l.starts_with("warning: "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(body, String::from_utf8(before).unwrap());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_files_lead_with_the_run_total() {
+        let dir = std::env::temp_dir().join("deuce-cli-run-total");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.trace").to_str().unwrap().to_string();
+        let cp_path = dir.join("run.cp.jsonl").to_str().unwrap().to_string();
+
+        let gen_args = GenArgs { output: Some(trace_path.clone()), ..small_gen() };
+        gen(&gen_args, &mut Vec::new()).unwrap();
+
+        // Saved traces know their length, so the checkpoint stream
+        // leads with a run_total line for `deuce watch` ETAs.
+        let args = RunArgs {
+            trace_path: Some(trace_path),
+            scheme: Some(SchemeConfig::new(SchemeKind::Deuce)),
+            stream: true,
+            checkpoint: Some(cp_path.clone()),
+            checkpoint_every: 100,
+            ..RunArgs::default()
+        };
+        run(&args, &mut Vec::new()).unwrap();
+        let text = std::fs::read_to_string(&cp_path).unwrap();
+        assert!(
+            text.starts_with("{\"type\":\"run_total\",\"events\":"),
+            "{text}"
+        );
+
+        // And resume still reads past it to the real checkpoints.
+        let resume = RunArgs {
+            checkpoint: None,
+            from_checkpoint: Some(cp_path),
+            ..args
+        };
+        let mut out = Vec::new();
+        run(&resume, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("resume_verified\t"));
 
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -20,11 +20,14 @@
 mod args;
 mod commands;
 mod format;
+mod watch;
 
 pub use args::{
     CliError, Command, FaultArgs, GenArgs, MergeArgs, ReportArgs, RunArgs, StatsArgs, TraceFormat,
+    WatchArgs,
 };
 pub use commands::{compare, gen, merge, report, run, stats, sweep};
+pub use watch::watch;
 pub use format::{FaultSummary, RunSummary, METRIC_HEADER};
 
 /// Entry point shared by the binary and tests.
@@ -46,6 +49,7 @@ where
         Command::Sweep(args) => sweep(&args, out),
         Command::Merge(args) => merge(&args, out),
         Command::Report(args) => report(&args, out),
+        Command::Watch(args) => watch(&args, out),
         Command::Help => {
             writeln!(out, "{}", args::USAGE)?;
             Ok(())

@@ -11,6 +11,7 @@
 //! short-circuits repeated `(address, counter)` line-pad requests.
 
 use std::sync::Mutex;
+use std::time::Instant;
 
 use deuce_aes::Aes128;
 
@@ -90,6 +91,23 @@ pub struct OtpEngine {
     /// simulator owns its engine) keeps the engine `Sync` for shared
     /// `static` use.
     cache: Option<Mutex<PadCache>>,
+    /// Wall-clock accounting of from-scratch pad generation, present
+    /// only when opted in via [`Self::with_pad_timing`]. Cache hits are
+    /// not timed — the stats measure AES work, the span tracer's
+    /// `pad_generation` leaf.
+    timing: Option<Mutex<PadTimingStats>>,
+}
+
+/// Wall-clock totals for from-scratch pad generation.
+///
+/// Nondeterministic (wall time); never feeds simulated results, only
+/// span traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PadTimingStats {
+    /// From-scratch generations (cache hits excluded).
+    pub calls: u64,
+    /// Total wall-clock nanoseconds spent generating.
+    pub wall_ns: u64,
 }
 
 impl Clone for OtpEngine {
@@ -101,6 +119,10 @@ impl Clone for OtpEngine {
                 .cache
                 .as_ref()
                 .map(|c| Mutex::new(c.lock().expect("pad cache lock poisoned").clone())),
+            timing: self
+                .timing
+                .as_ref()
+                .map(|t| Mutex::new(*t.lock().expect("pad timing lock poisoned"))),
         }
     }
 }
@@ -114,6 +136,7 @@ impl OtpEngine {
             cipher: Aes128::new(key.as_bytes()),
             reference: false,
             cache: None,
+            timing: None,
         }
     }
 
@@ -129,6 +152,7 @@ impl OtpEngine {
             cipher: Aes128::new(key.as_bytes()),
             reference: true,
             cache: None,
+            timing: None,
         }
     }
 
@@ -152,6 +176,24 @@ impl OtpEngine {
         self.cache
             .as_ref()
             .map(|c| c.lock().expect("pad cache lock poisoned").stats())
+    }
+
+    /// Starts wall-clock timing of from-scratch line-pad generation,
+    /// for span tracing. Adds one `Instant::now` pair per cache-missed
+    /// [`Self::line_pad`] call; pad bytes are unaffected.
+    #[must_use]
+    pub fn with_pad_timing(mut self) -> Self {
+        self.timing = Some(Mutex::new(PadTimingStats::default()));
+        self
+    }
+
+    /// Lifetime generation-call/wall-time totals, or `None` when timing
+    /// was not enabled.
+    #[must_use]
+    pub fn pad_timing_stats(&self) -> Option<PadTimingStats> {
+        self.timing
+            .as_ref()
+            .map(|t| *t.lock().expect("pad timing lock poisoned"))
     }
 
     /// Builds the 16-byte counter-mode input shared by all sub-blocks
@@ -191,17 +233,31 @@ impl OtpEngine {
         Pad::from_bytes(bytes)
     }
 
+    /// [`Self::generate_line_pad`], timed when timing is enabled.
+    fn timed_generate_line_pad(&self, addr: LineAddr, counter: u64) -> Pad {
+        let Some(timing) = &self.timing else {
+            return self.generate_line_pad(addr, counter);
+        };
+        let started = Instant::now();
+        let pad = self.generate_line_pad(addr, counter);
+        let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut stats = timing.lock().expect("pad timing lock poisoned");
+        stats.calls += 1;
+        stats.wall_ns = stats.wall_ns.saturating_add(elapsed);
+        pad
+    }
+
     /// Generates the 512-bit pad for a whole line at a given counter value.
     #[must_use]
     pub fn line_pad(&self, addr: LineAddr, counter: u64) -> Pad {
         let Some(cache) = &self.cache else {
-            return self.generate_line_pad(addr, counter);
+            return self.timed_generate_line_pad(addr, counter);
         };
         let mut guard = cache.lock().expect("pad cache lock poisoned");
         if let Some(pad) = guard.lookup(addr.value(), counter) {
             return pad;
         }
-        let pad = self.generate_line_pad(addr, counter);
+        let pad = self.timed_generate_line_pad(addr, counter);
         guard.insert(addr.value(), counter, &pad);
         pad
     }
@@ -323,6 +379,19 @@ mod tests {
         assert_eq!(stats.hits, 16, "second round of lookups must all hit");
         assert_eq!(stats.misses, 16);
         assert_eq!(plain.pad_cache_stats(), None);
+    }
+
+    #[test]
+    fn pad_timing_counts_only_generations() {
+        let timed = engine().with_pad_cache(8).with_pad_timing();
+        let plain = engine();
+        let pad = timed.line_pad(LineAddr::new(9), 2); // miss: timed
+        let again = timed.line_pad(LineAddr::new(9), 2); // hit: untimed
+        assert_eq!(pad, again);
+        assert_eq!(pad, plain.line_pad(LineAddr::new(9), 2), "timing never changes bytes");
+        let stats = timed.pad_timing_stats().expect("timing attached");
+        assert_eq!(stats.calls, 1, "cache hit must not count");
+        assert_eq!(plain.pad_timing_stats(), None);
     }
 
     #[test]

@@ -440,6 +440,11 @@ fn stage_clock<R: Recorder>() -> Option<Instant> {
 
 /// Charges the elapsed wall time to `stage` and restarts the clock for
 /// the next stage.
+///
+/// `stage_ns` is also the span tracer's landing spot: a recorder with
+/// span tracing on folds each charge into a `stage:*` span under the
+/// current `run` span, so the pipeline needs no span plumbing of its
+/// own.
 fn charge<R: Recorder>(rec: &mut R, stage: Stage, clock: Option<Instant>) -> Option<Instant> {
     let start = clock?;
     let now = Instant::now();

@@ -226,6 +226,10 @@ pub struct SimConfig {
     /// regenerates every pad. Purely a crypto-throughput optimisation —
     /// simulated flips, timing, and energy are unaffected.
     pub pad_cache: Option<PadCacheConfig>,
+    /// Wall-clock timing of from-scratch pad generation, feeding the
+    /// span tracer's `pad_generation` leaf. Off by default; never
+    /// affects simulated results.
+    pub pad_timing: bool,
 }
 
 impl SimConfig {
@@ -253,6 +257,7 @@ impl SimConfig {
             power_channels: None,
             counter_cache: None,
             pad_cache: None,
+            pad_timing: false,
         }
     }
 
@@ -267,6 +272,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_pad_cache(mut self, config: PadCacheConfig) -> Self {
         self.pad_cache = Some(config);
+        self
+    }
+
+    /// Enables wall-clock timing of pad generation (for span tracing).
+    #[must_use]
+    pub fn with_pad_timing(mut self) -> Self {
+        self.pad_timing = true;
         self
     }
 
@@ -316,6 +328,7 @@ mod tests {
         assert!(c.wear.is_none());
         assert!(c.faults.is_none());
         assert!(c.pad_cache.is_none());
+        assert!(!c.pad_timing);
         assert!(!c.metric.count_counter_bits);
     }
 

@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
 
 use deuce_crypto::{LineAddr, OtpEngine, SecretKey};
 use deuce_memctl::{
@@ -22,7 +23,9 @@ use deuce_memctl::{
 };
 use deuce_nvm::{CellArray, StuckAtFaults};
 use deuce_schemes::{AnyScheme, LineScheme, LineStore, WriteOutcome};
-use deuce_telemetry::{FaultObservation, Gauge, NullRecorder, Recorder, WriteObservation};
+use deuce_telemetry::{
+    FaultObservation, FlightEvent, Gauge, NullRecorder, Recorder, WriteObservation,
+};
 use deuce_trace::{Trace, TraceIoError, TraceSource, WriteSource};
 use deuce_wear::{HorizontalWearLeveler, HwlMode, SecurityRefresh, StartGap};
 
@@ -138,6 +141,9 @@ impl<S: LineScheme + Copy> Simulator<S> {
         let mut engine = OtpEngine::new(&SecretKey::from_seed(config.key_seed));
         if let Some(pad_cache) = config.pad_cache {
             engine = engine.with_pad_cache(pad_cache.entries);
+        }
+        if config.pad_timing {
+            engine = engine.with_pad_timing();
         }
         Self { config, engine, scheme }
     }
@@ -281,6 +287,15 @@ impl<S: LineScheme + Copy> Simulator<S> {
         rec: &mut R,
         mut plan: CheckpointPlan<'_>,
     ) -> Result<SimResult, RunError> {
+        // Span tracing and the flight recorder are double-gated: the
+        // `R::ENABLED` half vanishes under `NullRecorder`, the dynamic
+        // half keeps a telemetry-only run free of `Instant::now` pairs.
+        let wants_spans = R::ENABLED && rec.wants_spans();
+        let wants_flight = R::ENABLED && rec.wants_flight();
+        if wants_spans {
+            rec.span_begin("run");
+        }
+
         let cores = source.cores();
         let timing = MemoryTimingModel::with_power_channels(
             self.config.timing,
@@ -334,6 +349,9 @@ impl<S: LineScheme + Copy> Simulator<S> {
                 hwl: w.hwl,
                 bits_per_line,
                 index_of: HashMap::new(),
+                time_repairs: wants_spans,
+                repair_wall_ns: 0,
+                repair_calls: 0,
             }
         });
 
@@ -368,14 +386,39 @@ impl<S: LineScheme + Copy> Simulator<S> {
         if R::ENABLED && pad_cache_start.is_some() {
             rec.pad_cache_active();
         }
+        let pad_timing_start = self.engine.pad_timing_stats();
 
         let mut events_consumed: u64 = 0;
         let mut last_emitted: Option<u64> = None;
-        while let Some(event) = source.next_event()? {
+        loop {
+            let pull_started = wants_spans.then(Instant::now);
+            let next = source.next_event()?;
+            if let Some(started) = pull_started {
+                rec.span_attach(Some("run"), "source", elapsed_ns(started), 1);
+            }
+            let Some(event) = next else { break };
             events_consumed += 1;
             match pipeline.step_recorded(&event, rec) {
                 StepOutcome::Read => result.reads += 1,
-                StepOutcome::FirstTouch => {}
+                StepOutcome::FirstTouch => {
+                    // Not a counted write, but a post-mortem wants to
+                    // see initial placements too.
+                    if wants_flight {
+                        rec.flight_observed(FlightEvent {
+                            write_index: 0,
+                            addr: event.line.value(),
+                            action: "first_touch",
+                            flips: 0,
+                            slots: 0,
+                            epoch_started: false,
+                            sim_ns: pipeline.timing.exec_time_ns(),
+                            cell_deaths: 0,
+                            ecp_consumed: 0,
+                            retired: false,
+                            uncorrectable: false,
+                        });
+                    }
+                }
                 StepOutcome::Write(effect) => {
                     fold_effect(&mut result, &effect);
                     if effect.faults.any() {
@@ -408,14 +451,33 @@ impl<S: LineScheme + Copy> Simulator<S> {
                             cache_hits: hits,
                             cache_misses: misses,
                         });
+                        if wants_flight {
+                            rec.flight_observed(FlightEvent {
+                                write_index: result.writes,
+                                addr: event.line.value(),
+                                action: "write",
+                                flips,
+                                slots: effect.slots,
+                                epoch_started: effect.outcome.epoch_started,
+                                sim_ns: pipeline.timing.exec_time_ns(),
+                                cell_deaths: effect.faults.cell_deaths,
+                                ecp_consumed: effect.faults.ecp_consumed,
+                                retired: effect.faults.retired,
+                                uncorrectable: effect.faults.uncorrectable,
+                            });
+                        }
                     }
                     if plan.every_writes > 0 && result.writes.is_multiple_of(plan.every_writes) {
                         if let Some(sink) = plan.sink.as_mut() {
+                            let cp_started = wants_spans.then(Instant::now);
                             sink(&RunCheckpoint::capture(
                                 events_consumed,
                                 &result,
                                 pipeline.timing.exec_time_ns(),
                             ));
+                            if let Some(started) = cp_started {
+                                rec.span_attach(Some("run"), "checkpoint", elapsed_ns(started), 1);
+                            }
                             last_emitted = Some(events_consumed);
                         }
                     }
@@ -443,17 +505,31 @@ impl<S: LineScheme + Copy> Simulator<S> {
         }
         if let Some(sink) = plan.sink {
             if last_emitted != Some(events_consumed) {
+                let cp_started = wants_spans.then(Instant::now);
                 sink(&RunCheckpoint::capture(
                     events_consumed,
                     &result,
                     pipeline.timing.exec_time_ns(),
                 ));
+                if let Some(started) = cp_started {
+                    rec.span_attach(Some("run"), "checkpoint", elapsed_ns(started), 1);
+                }
             }
         }
 
         result.exec_time_ns = pipeline.timing.exec_time_ns();
         result.line_store_bytes = pipeline.schemes.resident_bytes();
         if let Some(wear) = pipeline.wear {
+            // Fold the repair ladder's self-measured wall time in as a
+            // child of the wear stage before the state is consumed.
+            if wants_spans && wear.repair_calls > 0 {
+                rec.span_attach(
+                    Some("stage:wear"),
+                    "ecp_repair",
+                    wear.repair_wall_ns,
+                    wear.repair_calls,
+                );
+            }
             if let (Some(report), Some(repair)) = (result.faults.as_mut(), wear.repair.as_ref()) {
                 report.spare_lines_left = repair.spares_left();
                 report.ecp_entries_used =
@@ -489,8 +565,32 @@ impl<S: LineScheme + Copy> Simulator<S> {
             rec.gauge(Gauge::MetadataBits, f64::from(result.metadata_bits));
             rec.gauge(Gauge::LineStoreBytes, result.line_store_bytes as f64);
         }
+        if wants_spans {
+            // Pad generation times itself inside the engine (the cache
+            // check would hide it from a caller-side clock); the engine
+            // outlives the run, so take the delta, and hang it under
+            // the scheme stage where the AES work is charged.
+            if let Some(start) = pad_timing_start {
+                let end = self
+                    .engine
+                    .pad_timing_stats()
+                    .expect("pad timing attached for the whole run");
+                rec.span_attach(
+                    Some("stage:scheme"),
+                    "pad_generation",
+                    end.wall_ns - start.wall_ns,
+                    end.calls - start.calls,
+                );
+            }
+            rec.span_end();
+        }
         Ok(result)
     }
+}
+
+/// Wall-clock nanoseconds since `started`, saturating.
+fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Compares a replayed fingerprint against the checkpoint, field by
@@ -578,6 +678,11 @@ struct WearState {
     hwl: Option<HwlMode>,
     bits_per_line: u32,
     index_of: HashMap<u64, usize>,
+    /// When span tracing is on, the repair ladder times itself here —
+    /// wall clock only, never simulated time.
+    time_repairs: bool,
+    repair_wall_ns: u64,
+    repair_calls: u64,
 }
 
 /// The vertical wear-leveling substrate in use.
@@ -631,6 +736,7 @@ impl WearStage for WearState {
         let mut events = FaultEvents::default();
         if let Some(repair) = &mut self.repair {
             events.cell_deaths = deaths.len() as u32;
+            let repair_started = (self.time_repairs && !deaths.is_empty()).then(Instant::now);
             for cell in deaths {
                 match repair.note_death(index, cell) {
                     RepairAction::AlreadyCovered => {}
@@ -647,6 +753,10 @@ impl WearStage for WearState {
                         break;
                     }
                 }
+            }
+            if let Some(started) = repair_started {
+                self.repair_wall_ns = self.repair_wall_ns.saturating_add(elapsed_ns(started));
+                self.repair_calls += 1;
             }
         }
         match &mut self.vwl {

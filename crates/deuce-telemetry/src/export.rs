@@ -178,6 +178,22 @@ pub fn write_jsonl<W: Write>(
             hist.quantile(0.99).unwrap_or(0),
         )?;
     }
+    // Span records exist only for runs that enable span tracing, so
+    // span-free exports are byte-identical to pre-span builds. They
+    // carry wall-clock times and are nondeterministic, like `profile`.
+    if let Some(spans) = recorder.spans() {
+        for span in spans.self_times() {
+            let range = span.write_range.map_or_else(String::new, |(first, last)| {
+                format!(",\"write_first\":{first},\"write_last\":{last}")
+            });
+            writeln!(
+                out,
+                "{{\"type\":\"span\",\"run\":\"{run}\",\"name\":\"{}\",\"parent\":\"{}\",\
+                 \"count\":{},\"total_ns\":{},\"self_ns\":{}{range}}}",
+                span.name, span.parent, span.count, span.total_ns, span.self_ns,
+            )?;
+        }
+    }
     Ok(())
 }
 
@@ -372,6 +388,102 @@ mod tests {
         let csv = String::from_utf8(buf).unwrap();
         assert!(csv.contains("cached,pad_cache_hits,40"));
         assert!(csv.contains("cached,pad_cache_misses,8"));
+    }
+
+    #[test]
+    fn span_section_appears_only_for_span_traced_runs() {
+        // Span-free: no span records anywhere.
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, "plain", &sample_recorder()).unwrap();
+        let plain = String::from_utf8(buf).unwrap();
+        assert!(!plain.contains("\"type\":\"span\""), "span-free export must be unchanged");
+
+        let mut r = sample_recorder().with_spans();
+        r.span_begin("run");
+        r.stage_ns(Stage::Scheme, 400);
+        r.span_attach(Some("stage:scheme"), "pad_generation", 150, 3);
+        r.span_end();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, "traced", &r).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"type\":\"span\",\"run\":\"traced\",\"name\":\"run\""));
+        assert!(text.contains(
+            "\"name\":\"pad_generation\",\"parent\":\"stage:scheme\",\"count\":3,\
+             \"total_ns\":150,\"self_ns\":150"
+        ));
+        assert!(crate::parse::parse_jsonl(&text).is_ok());
+    }
+
+    /// Satellite coverage: a seeded export exercising *every* event
+    /// kind — including the gated fault, pad-cache, and span records —
+    /// round-trips through the parser with values intact.
+    #[test]
+    fn every_event_kind_round_trips_through_the_parser() {
+        use crate::recorder::FaultObservation;
+        let mut r = sample_recorder().with_spans();
+        r.fault_injection_active();
+        r.fault_observed(&FaultObservation {
+            sim_ns: 500.0,
+            write_index: 3,
+            cell_deaths: 2,
+            ecp_consumed: 1,
+            retired: true,
+            uncorrectable: false,
+        });
+        r.fault_observed(&FaultObservation {
+            sim_ns: 750.0,
+            write_index: 4,
+            cell_deaths: 1,
+            ecp_consumed: 0,
+            retired: false,
+            uncorrectable: true,
+        });
+        r.ecp_entries_used(1);
+        r.pad_cache_active();
+        r.pad_cache_totals(40, 8);
+        r.span_begin("run");
+        r.stage_ns(Stage::Counter, 90);
+        r.span_end();
+
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, "full", &r).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let events = crate::parse::parse_jsonl(&text).unwrap();
+        let kinds: std::collections::BTreeSet<&str> =
+            events.iter().map(|e| e.kind()).collect();
+        for kind in [
+            "meta",
+            "counter",
+            "gauge",
+            "hist",
+            "hist_bucket",
+            "retirement",
+            "uncorrectable",
+            "sample",
+            "profile",
+            "span",
+        ] {
+            assert!(kinds.contains(kind), "missing kind {kind} in {kinds:?}");
+        }
+        // Spot-check values through the parse layer.
+        let counter = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.kind() == "counter" && e.str("name") == Some(name))
+                .and_then(|e| e.u64("value"))
+        };
+        assert_eq!(counter("writes"), Some(4));
+        assert_eq!(counter("fault_cell_deaths"), Some(3));
+        assert_eq!(counter("pad_cache_hits"), Some(40));
+        let ue = events.iter().find(|e| e.kind() == "uncorrectable").unwrap();
+        assert_eq!(ue.u64("write"), Some(4));
+        assert_eq!(ue.num("sim_ns"), Some(750.0));
+        let span = events
+            .iter()
+            .find(|e| e.kind() == "span" && e.str("name") == Some("stage:counter"))
+            .unwrap();
+        assert_eq!(span.u64("total_ns"), Some(90));
+        assert_eq!(span.str("parent"), Some("run"));
     }
 
     #[test]

@@ -187,9 +187,38 @@ mod tests {
         for v in 1..=100u64 {
             h.record(v);
         }
-        assert!(h.quantile(0.5).unwrap() >= 50 / 2 && h.quantile(0.5).unwrap() <= 100);
+        // Rank 50 lands in bucket [32,64): its upper bound, clamped to
+        // the observed [1,100] range, is exactly 64.
+        assert_eq!(h.quantile(0.5), Some(64));
+        // Rank clamps to 1: bucket [1,2)'s upper bound is 2.
+        assert_eq!(h.quantile(0.0), Some(2));
         assert_eq!(h.quantile(1.0), Some(100), "max caps the top bucket");
-        assert!(Histogram::new().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 1.0] {
+            assert!(h.quantile(q).is_none());
+        }
+    }
+
+    #[test]
+    fn single_bucket_quantiles_collapse_to_the_value() {
+        let mut h = Histogram::new();
+        h.record(5);
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), Some(5), "q={q}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_q_is_clamped() {
+        let mut h = Histogram::new();
+        h.record(7);
+        h.record(9);
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
     }
 
     #[test]

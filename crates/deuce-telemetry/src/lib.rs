@@ -22,6 +22,11 @@
 //!   JSONL back for `deuce report`.
 //! - [`SweepProgress`] — lock-free per-shard progress counters
 //!   aggregated into a live progress line for `ParallelSweep` grids.
+//! - [`SpanTrace`] — aggregated hierarchical wall-clock spans (run →
+//!   pipeline stages → pad generation / ECP repair), exported as Chrome
+//!   trace-event JSON and as `span` records in the JSONL stream.
+//! - [`FlightRecorder`] — a fixed-capacity ring of recent write events,
+//!   dumped as JSONL on run failure for post-mortems.
 //!
 //! Determinism contract: everything exported derives from simulated
 //! quantities, except `profile` events (per-stage wall time), which are
@@ -56,12 +61,15 @@
 #![warn(missing_docs)]
 
 pub mod export;
+mod flight;
 mod hist;
 pub mod parse;
 mod progress;
 mod recorder;
 mod series;
+mod span;
 
+pub use flight::{FlightEvent, FlightRecorder};
 pub use hist::{bucket_bounds, Histogram, BUCKETS};
 pub use progress::SweepProgress;
 pub use recorder::{
@@ -69,3 +77,4 @@ pub use recorder::{
     Stage, TelemetryConfig, TelemetryRecorder, WriteObservation,
 };
 pub use series::{Sample, SeriesSampler};
+pub use span::{SelfTime, SpanNode, SpanTrace};

@@ -281,4 +281,50 @@ mod tests {
         assert_eq!(err.line, 2);
         assert!(err.to_string().contains("line 2"));
     }
+
+    #[test]
+    fn truncated_lines_fail_loudly() {
+        // Cut mid-object, mid-string, and mid-value: all must error,
+        // never silently yield a partial event.
+        let err = parse_jsonl("{\"type\":\"counter\",\"value\":1").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("truncated"), "got {:?}", err.message);
+
+        let err = parse_jsonl("{\"type\":\"coun").unwrap_err();
+        assert!(err.message.contains("unterminated"), "got {:?}", err.message);
+
+        let err = parse_jsonl("{\"type\":").unwrap_err();
+        assert!(err.message.contains("truncated"), "got {:?}", err.message);
+    }
+
+    #[test]
+    fn bad_escapes_fail_loudly() {
+        let err = parse_jsonl("{\"run\":\"a\\x\"}").unwrap_err();
+        assert!(err.message.contains("unknown escape"), "got {:?}", err.message);
+
+        let err = parse_jsonl("{\"run\":\"a\\u00\"}").unwrap_err();
+        assert!(err.message.contains("\\u escape"), "got {:?}", err.message);
+
+        let err = parse_jsonl("{\"run\":\"a\\").unwrap_err();
+        assert!(err.message.contains("dangling escape"), "got {:?}", err.message);
+    }
+
+    #[test]
+    fn non_numeric_values_fail_loudly() {
+        let err = parse_jsonl("{\"value\":true}").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("bad number"), "got {:?}", err.message);
+
+        let err = parse_jsonl("{\"value\":[1,2]}").unwrap_err();
+        assert!(err.message.contains("bad number"), "got {:?}", err.message);
+
+        let err = parse_jsonl("{\"value\":1..2}").unwrap_err();
+        assert!(err.message.contains("bad number"), "got {:?}", err.message);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let err = parse_jsonl("{\"ok\":1} extra").unwrap_err();
+        assert!(err.message.contains("trailing garbage"), "got {:?}", err.message);
+    }
 }

@@ -11,8 +11,10 @@
 //! wall-time, and a windowed time-series keyed on *simulated* time so
 //! its output is deterministic.
 
+use crate::flight::{FlightEvent, FlightRecorder};
 use crate::hist::Histogram;
 use crate::series::{Sample, SeriesSampler};
+use crate::span::SpanTrace;
 
 /// Structured event counters, one slot per named quantity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +142,18 @@ impl Stage {
             Stage::Scheme => "scheme",
             Stage::Wear => "wear",
             Stage::Timing => "timing",
+        }
+    }
+
+    /// Stable span name (`"stage:<name>"`), distinguishing the stage
+    /// spans from ad-hoc spans in the same trace.
+    #[must_use]
+    pub fn span_name(self) -> &'static str {
+        match self {
+            Stage::Counter => "stage:counter",
+            Stage::Scheme => "stage:scheme",
+            Stage::Wear => "stage:wear",
+            Stage::Timing => "stage:timing",
         }
     }
 }
@@ -275,6 +289,45 @@ pub trait Recorder {
     fn pad_cache_totals(&mut self, hits: u64, misses: u64) {
         let _ = (hits, misses);
     }
+
+    /// Whether this sink collects hierarchical spans. Callers use this
+    /// (under an `ENABLED` guard) to skip the wall-clock reads that
+    /// span measurement needs.
+    fn wants_spans(&self) -> bool {
+        false
+    }
+
+    /// Opens an enclosing span; nested spans and parentless
+    /// [`span_attach`](Self::span_attach) calls fold under it.
+    fn span_begin(&mut self, name: &'static str) {
+        let _ = name;
+    }
+
+    /// Closes the innermost open span.
+    fn span_end(&mut self) {}
+
+    /// Folds a pre-measured child span under `parent` (`None` = the
+    /// innermost open span).
+    fn span_attach(
+        &mut self,
+        parent: Option<&'static str>,
+        name: &'static str,
+        wall_ns: u64,
+        count: u64,
+    ) {
+        let _ = (parent, name, wall_ns, count);
+    }
+
+    /// Whether this sink keeps a flight-recorder ring. Callers use this
+    /// (under an `ENABLED` guard) to skip event construction.
+    fn wants_flight(&self) -> bool {
+        false
+    }
+
+    /// Feeds one write event to the flight-recorder ring.
+    fn flight_observed(&mut self, event: FlightEvent) {
+        let _ = event;
+    }
 }
 
 /// The zero-overhead default: nothing is recorded, and with
@@ -317,6 +370,8 @@ pub struct TelemetryRecorder {
     series: SeriesSampler,
     faults: Option<FaultTelemetry>,
     pad_cache: Option<PadCacheTelemetry>,
+    spans: Option<SpanTrace>,
+    flight: Option<FlightRecorder>,
 }
 
 impl Default for TelemetryRecorder {
@@ -340,7 +395,25 @@ impl TelemetryRecorder {
             series: SeriesSampler::new(config.sample_every, config.energy_pj_per_flip),
             faults: None,
             pad_cache: None,
+            spans: None,
+            flight: None,
         }
+    }
+
+    /// Enables hierarchical span tracing (off by default, so span-free
+    /// recorders cost nothing extra and their exports are unchanged).
+    #[must_use]
+    pub fn with_spans(mut self) -> Self {
+        self.spans = Some(SpanTrace::new());
+        self
+    }
+
+    /// Enables the flight recorder, keeping the last `capacity` write
+    /// events (off by default).
+    #[must_use]
+    pub fn with_flight_recorder(mut self, capacity: usize) -> Self {
+        self.flight = Some(FlightRecorder::new(capacity));
+        self
     }
 
     /// The configuration in use.
@@ -404,6 +477,20 @@ impl TelemetryRecorder {
     pub fn pad_cache(&self) -> Option<&PadCacheTelemetry> {
         self.pad_cache.as_ref()
     }
+
+    /// The span trace, present only with
+    /// [`with_spans`](Self::with_spans).
+    #[must_use]
+    pub fn spans(&self) -> Option<&SpanTrace> {
+        self.spans.as_ref()
+    }
+
+    /// The flight-recorder ring, present only with
+    /// [`with_flight_recorder`](Self::with_flight_recorder).
+    #[must_use]
+    pub fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
 }
 
 impl Recorder for TelemetryRecorder {
@@ -417,6 +504,9 @@ impl Recorder for TelemetryRecorder {
 
     fn stage_ns(&mut self, stage: Stage, ns: u64) {
         self.stage_hists[stage as usize].record(ns);
+        if let Some(spans) = &mut self.spans {
+            spans.attach(None, stage.span_name(), ns, 1);
+        }
     }
 
     fn residency(&mut self, lines: u64) {
@@ -427,6 +517,9 @@ impl Recorder for TelemetryRecorder {
         self.flips_hist.record(obs.flips);
         self.slots_hist.record(u64::from(obs.slots));
         self.series.observe(obs);
+        if let Some(spans) = &mut self.spans {
+            spans.observe_write(obs.sim_ns);
+        }
     }
 
     fn fault_injection_active(&mut self) {
@@ -462,6 +555,44 @@ impl Recorder for TelemetryRecorder {
         let cache = self.pad_cache.get_or_insert_with(PadCacheTelemetry::default);
         cache.hits = hits;
         cache.misses = misses;
+    }
+
+    fn wants_spans(&self) -> bool {
+        self.spans.is_some()
+    }
+
+    fn span_begin(&mut self, name: &'static str) {
+        if let Some(spans) = &mut self.spans {
+            spans.begin(name);
+        }
+    }
+
+    fn span_end(&mut self) {
+        if let Some(spans) = &mut self.spans {
+            spans.end();
+        }
+    }
+
+    fn span_attach(
+        &mut self,
+        parent: Option<&'static str>,
+        name: &'static str,
+        wall_ns: u64,
+        count: u64,
+    ) {
+        if let Some(spans) = &mut self.spans {
+            spans.attach(parent, name, wall_ns, count);
+        }
+    }
+
+    fn wants_flight(&self) -> bool {
+        self.flight.is_some()
+    }
+
+    fn flight_observed(&mut self, event: FlightEvent) {
+        if let Some(flight) = &mut self.flight {
+            flight.record(event);
+        }
     }
 }
 

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Performance trajectory: fold the headline numbers from every recorded
+# BENCH_*.json into one table, so a CI log shows at a glance where the
+# repo's measured wins stand. Read-only — this never re-runs the
+# benchmarks, it only reports what the bench scripts wrote down.
+#
+#   bash scripts/bench_trajectory.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Pulls one scalar field out of a (possibly multi-line) JSON file; the
+# zero-dep sed idiom shared with scripts/bench_stream.sh.
+field() {
+    sed -n "s/.*\"$2\":[[:space:]]*\"\{0,1\}\([0-9a-zA-Z._-]*\)\"\{0,1\}[,}].*/\1/p" "$1" \
+        | head -n 1
+}
+
+shopt -s nullglob
+files=(BENCH_*.json)
+if [ "${#files[@]}" -eq 0 ]; then
+    echo "no BENCH_*.json files recorded yet"
+    exit 0
+fi
+
+printf '%-20s %-12s %-30s %s\n' file date metric value
+for f in "${files[@]}"; do
+    when="$(field "$f" date)"
+    for metric in speedup_encrypt_block speedup_line_pad speedup_run_trace \
+        resident_ratio writes_per_sec_materialised writes_per_sec_streaming; do
+        value="$(field "$f" "$metric")"
+        if [ -n "$value" ]; then
+            printf '%-20s %-12s %-30s %s\n' "$f" "$when" "$metric" "$value"
+        fi
+    done
+done

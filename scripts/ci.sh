@@ -66,4 +66,28 @@ echo "==> streaming-run smoke test (run --stream == materialised run)"
 "$DEUCE" run --trace "$SMOKE_DIR/smoke.trace" --scheme deuce --stream > "$SMOKE_DIR/run.streamed"
 diff -u "$SMOKE_DIR/run.materialised" "$SMOKE_DIR/run.streamed"
 
+echo "==> observability smoke test (span trace, watch --once, flight dump vs golden)"
+# Span tracing: the exported file is Chrome trace-event JSON
+# (Perfetto-loadable); timings are wall-clock so only shape is checked.
+"$DEUCE" run --trace "$SMOKE_DIR/smoke.trace" --scheme deuce \
+    --trace-out "$SMOKE_DIR/spans.json" > /dev/null
+grep -q '"traceEvents"' "$SMOKE_DIR/spans.json"
+grep -q 'stage:scheme' "$SMOKE_DIR/spans.json"
+# watch --once over a finished sweep manifest: one deterministic
+# snapshot showing the full grid complete.
+"$DEUCE" sweep --trace "$SMOKE_DIR/smoke.trace" \
+    --manifest "$SMOKE_DIR/watch-manifest.jsonl" > /dev/null
+"$DEUCE" watch --once "$SMOKE_DIR/watch-manifest.jsonl" > "$SMOKE_DIR/watch.out"
+grep -q '16/16 cells' "$SMOKE_DIR/watch.out"
+grep -q "$(printf '\tdone')" "$SMOKE_DIR/watch.out"
+# Flight recorder: the forced-UE fault run dumps its ring; every field
+# is a simulated quantity, so the dump diffs against a golden.
+"$DEUCE" run --trace "$SMOKE_DIR/smoke.trace" --scheme encdcw \
+    --faults --endurance-scale 2e-8 --ecp-entries 2 --spare-lines 4 \
+    --flight-recorder 32 --telemetry "$SMOKE_DIR/flight.jsonl" --sample-every 256 > /dev/null
+diff -u results/telemetry/golden_flight_dump.jsonl "$SMOKE_DIR/flight.jsonl.flight.jsonl"
+
+echo "==> recorded benchmark trajectory"
+bash scripts/bench_trajectory.sh
+
 echo "==> tier-1 OK"
