@@ -20,11 +20,13 @@ USAGE:
                 [--pad-cache N] [--stream] [--checkpoint <file>]
                 [--checkpoint-every N] [--from-checkpoint <file>]
                 [--trace-out <file>] [--flight-recorder N]
+                [--store-file <path> [--resident-pages N]]
   deuce compare (--trace <file> | --benchmark <name>) [generation flags]
                 [--telemetry <file>] [fault flags] [--pad-cache N]
   deuce sweep   (--trace <file> | --benchmark <name>) [generation flags]
                 [--telemetry <file>] [fault flags] [--pad-cache N]
                 [--manifest <file> [--shard i/n] [--resume]]
+                [--store-file <path> [--resident-pages N]]
   deuce merge   <manifest-file>...
   deuce report  <telemetry-file>
   deuce watch   <checkpoint-or-manifest-file>... [--once] [--interval-ms N]
@@ -87,6 +89,16 @@ PAD CACHE:
   is bit-identical — and the run summary (and telemetry, when enabled)
   gains pad_cache_hits / pad_cache_misses rows.
 
+OUT-OF-CORE STORE:
+  --store-file <path> backs the line store with a page file instead of
+  RAM: lines live in 64-slot pages, at most --resident-pages of which
+  (default 1024) stay resident in an LRU cache; dirty pages write back
+  on eviction. Address spaces far larger than RAM run in a fixed
+  residency budget, bit-identical to the in-RAM run — the summary (and
+  telemetry) gains store_page_faults / store_page_evictions /
+  store_pages_flushed / store_resident_bytes rows. With sweep, each
+  grid cell gets its own derived page file next to <path>.
+
 SCHEMES:
   nodcw nofnw encdcw encfnw ble deuce dyndeuce deucefnw bledeuce addrpad
 
@@ -106,6 +118,8 @@ pub enum CliError {
     Checkpoint(String),
     /// A sweep manifest could not be read, resumed, or merged.
     Manifest(ManifestError),
+    /// The out-of-core line-store backend failed on page-file I/O.
+    Store(String),
     /// Terminal or file output failed.
     Io(std::io::Error),
 }
@@ -118,6 +132,7 @@ impl core::fmt::Display for CliError {
             CliError::Telemetry(msg) => write!(f, "{msg}"),
             CliError::Checkpoint(msg) => write!(f, "{msg}"),
             CliError::Manifest(e) => write!(f, "{e}"),
+            CliError::Store(msg) => write!(f, "{msg}"),
             CliError::Io(e) => write!(f, "{e}"),
         }
     }
@@ -144,6 +159,7 @@ impl From<RunError> for CliError {
             mismatch @ RunError::CheckpointMismatch { .. } => {
                 CliError::Checkpoint(mismatch.to_string())
             }
+            store @ RunError::Store(_) => CliError::Store(store.to_string()),
         }
     }
 }
@@ -268,6 +284,12 @@ pub struct RunArgs {
     /// Keep a ring of the last N write events, dumped on failure
     /// (`--flight-recorder`, `run` only).
     pub flight_recorder: Option<usize>,
+    /// Back the line store with this page file instead of RAM
+    /// (`--store-file`, `run` and `sweep`).
+    pub store_file: Option<String>,
+    /// Resident-page budget for the page-file store's LRU cache
+    /// (`--resident-pages`); `None` = the default 1024.
+    pub resident_pages: Option<usize>,
 }
 
 impl Default for RunArgs {
@@ -289,6 +311,8 @@ impl Default for RunArgs {
             resume: false,
             trace_out: None,
             flight_recorder: None,
+            store_file: None,
+            resident_pages: None,
         }
     }
 }
@@ -435,6 +459,8 @@ impl Command {
         let mut resume = false;
         let mut trace_out: Option<String> = None;
         let mut flight_recorder: Option<usize> = None;
+        let mut store_file: Option<String> = None;
+        let mut resident_pages: Option<usize> = None;
 
         while let Some(flag) = args.next() {
             let mut value = |flag: &str| {
@@ -535,6 +561,17 @@ impl Command {
                     }
                     flight_recorder = Some(events);
                 }
+                "--store-file" => store_file = Some(value("--store-file")?),
+                "--resident-pages" => {
+                    let pages: usize =
+                        parse_number(&value("--resident-pages")?, "--resident-pages")?;
+                    if pages == 0 {
+                        return Err(CliError::Usage(
+                            "--resident-pages must keep at least 1 page resident".into(),
+                        ));
+                    }
+                    resident_pages = Some(pages);
+                }
                 other if !other.starts_with('-') && positional.is_none() => {
                     positional = Some(other.to_string());
                 }
@@ -544,6 +581,11 @@ impl Command {
 
         if let (Some(flag), false) = (fault_tuning, faults.enabled) {
             return Err(CliError::Usage(format!("{flag} requires --faults")));
+        }
+        if resident_pages.is_some() && store_file.is_none() {
+            return Err(CliError::Usage(
+                "--resident-pages requires --store-file <path>".into(),
+            ));
         }
 
         let scheme = match scheme_kind {
@@ -566,6 +608,11 @@ impl Command {
             "gen" => {
                 if !benchmark_given {
                     return Err(CliError::Usage("gen requires --benchmark".into()));
+                }
+                if store_file.is_some() {
+                    return Err(CliError::Usage(
+                        "--store-file applies to run and sweep, not gen".into(),
+                    ));
                 }
                 if gen.output.is_none() {
                     return Err(CliError::Usage("gen requires -o <file>".into()));
@@ -619,6 +666,8 @@ impl Command {
                     resume: false,
                     trace_out,
                     flight_recorder,
+                    store_file,
+                    resident_pages,
                 }))
             }
             "compare" | "sweep" => {
@@ -635,6 +684,11 @@ impl Command {
                 if subcommand == "compare" && (shard.is_some() || manifest.is_some() || resume) {
                     return Err(CliError::Usage(
                         "--shard/--manifest/--resume apply to sweep, not compare".into(),
+                    ));
+                }
+                if subcommand == "compare" && store_file.is_some() {
+                    return Err(CliError::Usage(
+                        "--store-file applies to run and sweep, not compare".into(),
                     ));
                 }
                 if manifest.is_none() && (shard.is_some() || resume) {
@@ -672,6 +726,8 @@ impl Command {
                     resume,
                     trace_out: None,
                     flight_recorder: None,
+                    store_file,
+                    resident_pages,
                 };
                 Ok(if subcommand == "compare" {
                     Command::Compare(run_args)
@@ -1024,6 +1080,50 @@ mod tests {
         ));
         assert!(matches!(
             parse(&["run", "--benchmark", "mcf", "--scheme", "deuce", "--flight-recorder", "0"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn store_flags_parse() {
+        let cmd = parse(&[
+            "run", "--benchmark", "mcf", "--scheme", "deuce", "--store-file", "lines.pages",
+            "--resident-pages", "8",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Run(r) => {
+                assert_eq!(r.store_file.as_deref(), Some("lines.pages"));
+                assert_eq!(r.resident_pages, Some(8));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaulted budget when only the path is given; sweep takes the
+        // flags too.
+        match parse(&["sweep", "--benchmark", "mcf", "--store-file", "s.pages"]).unwrap() {
+            Command::Sweep(r) => {
+                assert_eq!(r.store_file.as_deref(), Some("s.pages"));
+                assert_eq!(r.resident_pages, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Budget needs a path, must be nonzero, and the store flags stay
+        // off gen and compare.
+        assert!(matches!(
+            parse(&["run", "--benchmark", "mcf", "--scheme", "deuce", "--resident-pages", "8"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["run", "--benchmark", "mcf", "--scheme", "deuce", "--store-file", "s",
+                    "--resident-pages", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["gen", "--benchmark", "libq", "-o", "t.bin", "--store-file", "s"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["compare", "--benchmark", "mcf", "--store-file", "s"]),
             Err(CliError::Usage(_))
         ));
     }

@@ -13,17 +13,17 @@ use deuce_sim::telemetry::{
     NullRecorder, Recorder, SweepProgress, TelemetryConfig, TelemetryRecorder,
 };
 use deuce_sim::{
-    grid_fingerprint, merge_manifests, read_manifest, CellRecord, FaultConfig, ManifestHeader,
-    ManifestWriter, PadCacheConfig, ParallelSweep, RunCheckpoint, ShardSpec, SimConfig, SimResult,
-    Simulator, WearConfig,
+    grid_fingerprint, merge_manifests, read_manifest, CellRecord, FaultConfig, FileStoreConfig,
+    ManifestHeader, ManifestWriter, PadCacheConfig, ParallelSweep, RunCheckpoint, ShardSpec,
+    SimConfig, SimResult, Simulator, StoreBackend, WearConfig,
 };
 use deuce_trace::{
     open_source, write_source_jsonl, write_source_to_file, Op, Trace, TraceConfig, TraceEvent,
-    TraceIoError, TraceStats, WriteSource,
+    TraceIoError, TraceSource, TraceStats, WriteSource,
 };
 
 use crate::args::{CliError, GenArgs, MergeArgs, ReportArgs, RunArgs, StatsArgs, TraceFormat};
-use crate::format::{FaultSummary, PadCacheSummary, RunSummary, METRIC_HEADER};
+use crate::format::{FaultSummary, PadCacheSummary, RunSummary, StoreSummary, METRIC_HEADER};
 
 fn trace_config(gen: &GenArgs) -> TraceConfig {
     TraceConfig::new(gen.benchmark)
@@ -129,8 +129,32 @@ pub fn stats<W: Write>(args: &StatsArgs, out: &mut W) -> Result<(), CliError> {
 /// `fault_lines`, the trace's write footprint (every written line needs
 /// a cell-array slot; see [`fault_lines`]), and the fault flags map
 /// onto [`FaultConfig`].
+/// Resident-page budget the page-file store defaults to when only
+/// `--store-file` is given.
+const DEFAULT_RESIDENT_PAGES: usize = 1024;
+
+/// The store backend the run's flags pick. `cell` derives a distinct
+/// page-file path per sweep grid cell (cells run in parallel and each
+/// backend owns its file exclusively).
+fn store_backend(args: &RunArgs, cell: Option<&str>) -> StoreBackend {
+    match &args.store_file {
+        None => StoreBackend::Arena,
+        Some(path) => {
+            let path = match cell {
+                None => path.clone(),
+                Some(label) => format!("{path}.{label}"),
+            };
+            StoreBackend::File(FileStoreConfig::new(
+                path,
+                args.resident_pages.unwrap_or(DEFAULT_RESIDENT_PAGES),
+            ))
+        }
+    }
+}
+
 fn sim_config(args: &RunArgs, fault_lines: usize, scheme: SchemeConfig) -> SimConfig {
-    let mut config = SimConfig::with_scheme(scheme);
+    let mut config =
+        SimConfig::with_scheme(scheme).with_store_backend(store_backend(args, None));
     if args.faults.enabled {
         config = config
             .with_wear(WearConfig::vertical_only(fault_lines.max(1)))
@@ -342,6 +366,9 @@ fn run_streamed<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
     if let Some(stats) = result.pad_cache {
         PadCacheSummary::from(stats).write_to(out)?;
     }
+    if let Some(stats) = result.store {
+        StoreSummary::from(stats).write_to(out)?;
+    }
     if let Some(path) = &args.checkpoint {
         writeln!(out, "checkpoint\t{path}")?;
     }
@@ -366,12 +393,17 @@ pub fn run<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
     let lines = fault_lines(args, Some(&trace))?;
     let simulator = Simulator::new(sim_config(args, lines, scheme));
     writeln!(out, "scheme\t{}", scheme.kind)?;
+    // Drive through the fallible source entry points (the same code
+    // path as run_trace) so a page-file store error surfaces as a
+    // CliError instead of a panic.
     let result = if wants_recorder(args) {
         let mut recorder = build_recorder(args);
-        let outcome = Ok(simulator.run_trace_recorded(&trace, &mut recorder));
+        let outcome = simulator
+            .run_source_recorded(&mut TraceSource::new(&trace), &mut recorder)
+            .map_err(CliError::from);
         write_run_outputs(args, scheme, outcome, recorder, out)?
     } else {
-        simulator.run_trace(&trace)
+        simulator.run_source(&mut TraceSource::new(&trace))?
     };
     RunSummary::from(&result).write_to(out)?;
     if let Some(report) = &result.faults {
@@ -379,6 +411,9 @@ pub fn run<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
     }
     if let Some(stats) = result.pad_cache {
         PadCacheSummary::from(stats).write_to(out)?;
+    }
+    if let Some(stats) = result.store {
+        StoreSummary::from(stats).write_to(out)?;
     }
     Ok(())
 }
@@ -517,7 +552,12 @@ fn sweep_sharded<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> 
         &writer,
         |cell, &(word_size, epoch)| {
             let scheme = sweep_scheme(word_size, epoch);
-            let result = Simulator::new(sim_config(args, lines, scheme)).run_trace(&trace);
+            // Parallel cells each own a derived page file.
+            let config = sim_config(args, lines, scheme).with_store_backend(store_backend(
+                args,
+                Some(&format!("w{}e{epoch}", word_size.bytes())),
+            ));
+            let result = Simulator::new(config).run_trace(&trace);
             CellRecord {
                 cell: cell as u64,
                 label: format!("w{}e{epoch}", word_size.bytes()),
@@ -564,7 +604,12 @@ pub fn sweep<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
         &grid,
         |_, &(word_size, epoch)| {
             let scheme = sweep_scheme(word_size, epoch);
-            let simulator = Simulator::new(sim_config(args, lines, scheme));
+            // Parallel cells each own a derived page file.
+            let config = sim_config(args, lines, scheme).with_store_backend(store_backend(
+                args,
+                Some(&format!("w{}e{epoch}", word_size.bytes())),
+            ));
+            let simulator = Simulator::new(config);
             if collect {
                 let mut recorder = TelemetryRecorder::new(telemetry_config(args));
                 let result = simulator.run_trace_recorded(&trace, &mut recorder);
@@ -690,8 +735,13 @@ fn render_run<W: Write>(out: &mut W, run: &str, events: &[Event]) -> Result<(), 
     writeln!(out, "== run {run}")?;
     summary_from_events(events, run).write_to(out)?;
     writeln!(out)?;
+    let counters: Vec<&Event> = events
+        .iter()
+        .filter(|e| e.kind() == "counter" && e.str("run") == Some(run))
+        .collect();
+    let is_store = |e: &Event| e.str("name").is_some_and(|n| n.starts_with("store_"));
     writeln!(out, "counters:")?;
-    for event in events.iter().filter(|e| e.kind() == "counter" && e.str("run") == Some(run)) {
+    for event in counters.iter().filter(|e| !is_store(e)) {
         writeln!(
             out,
             "  {:<20} {}",
@@ -700,6 +750,21 @@ fn render_run<W: Write>(out: &mut W, run: &str, events: &[Event]) -> Result<(), 
         )?;
     }
     writeln!(out)?;
+    // The paging block appears only for page-file-backed runs, so
+    // in-RAM reports render exactly as before.
+    let store: Vec<&&Event> = counters.iter().filter(|e| is_store(e)).collect();
+    if !store.is_empty() {
+        writeln!(out, "store (page-file backend):")?;
+        for event in store {
+            writeln!(
+                out,
+                "  {:<26} {}",
+                event.str("name").unwrap_or("?"),
+                event.u64("value").unwrap_or(0),
+            )?;
+        }
+        writeln!(out)?;
+    }
     for (name, title) in [
         ("flips_per_write", "flips/write histogram"),
         ("slots_per_write", "slots/write histogram"),
@@ -1174,6 +1239,97 @@ mod tests {
         assert!(exported.contains("\"name\":\"pad_cache_misses\""));
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn paged_run_reports_residency_and_stays_bit_identical() {
+        let dir = std::env::temp_dir().join("deuce-cli-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pages = dir.join("lines.pages").to_str().unwrap().to_string();
+        let jsonl = dir.join("paged.jsonl").to_str().unwrap().to_string();
+
+        let plain_args = RunArgs {
+            gen: small_gen(),
+            scheme: Some(SchemeConfig::new(SchemeKind::Deuce)),
+            ..RunArgs::default()
+        };
+        let mut plain_out = Vec::new();
+        run(&plain_args, &mut plain_out).unwrap();
+        let plain_text = String::from_utf8(plain_out).unwrap();
+        assert!(!plain_text.contains("store_page"), "arena run must not print store rows");
+
+        // One resident page over a 32-line footprint: constant paging.
+        let mut paged_args = plain_args.clone();
+        paged_args.store_file = Some(pages);
+        paged_args.resident_pages = Some(1);
+        paged_args.telemetry = Some(jsonl.clone());
+        let mut paged_out = Vec::new();
+        run(&paged_args, &mut paged_out).unwrap();
+        let paged_text = String::from_utf8(paged_out).unwrap();
+        assert!(paged_text.contains("store_page_faults\t"), "{paged_text}");
+        assert!(paged_text.contains("store_peak_resident_bytes\t"));
+        // Every simulated metric row agrees with the in-RAM run —
+        // byte-for-byte once the store_* block is stripped.
+        let stripped: String = paged_text
+            .lines()
+            .filter(|l| !l.starts_with("store_") && !l.starts_with("telemetry\t"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(stripped, plain_text, "paged run must be bit-identical");
+
+        // Telemetry export carries the gated counters, and the report
+        // renders them as a dedicated store section.
+        let exported = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(exported.contains("\"name\":\"store_page_faults\""), "{exported}");
+        let mut report_out = Vec::new();
+        report(&ReportArgs { telemetry_path: jsonl }, &mut report_out).unwrap();
+        let report_text = String::from_utf8(report_out).unwrap();
+        assert!(report_text.contains("store (page-file backend):"), "{report_text}");
+        assert!(report_text.contains("store_page_evictions"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn paged_sweep_derives_per_cell_page_files() {
+        let dir = std::env::temp_dir().join("deuce-cli-store-sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pages = dir.join("sweep.pages").to_str().unwrap().to_string();
+
+        let base = RunArgs { gen: small_gen(), ..RunArgs::default() };
+        let mut arena_out = Vec::new();
+        sweep(&base, &mut arena_out).unwrap();
+
+        let paged_args = RunArgs {
+            store_file: Some(pages.clone()),
+            resident_pages: Some(1),
+            ..base
+        };
+        let mut paged_out = Vec::new();
+        sweep(&paged_args, &mut paged_out).unwrap();
+        // The table itself never changes — paging is invisible to every
+        // simulated metric.
+        assert_eq!(
+            String::from_utf8(paged_out).unwrap(),
+            String::from_utf8(arena_out).unwrap(),
+        );
+        // Each parallel cell wrote its own derived page file.
+        assert!(std::path::Path::new(&format!("{pages}.w1e8")).exists());
+        assert!(std::path::Path::new(&format!("{pages}.w8e64")).exists());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unwritable_store_file_is_a_clean_cli_error() {
+        let args = RunArgs {
+            gen: small_gen(),
+            scheme: Some(SchemeConfig::new(SchemeKind::Deuce)),
+            store_file: Some("/nonexistent-dir/definitely/lines.pages".into()),
+            ..RunArgs::default()
+        };
+        let err = run(&args, &mut Vec::new()).unwrap_err();
+        assert!(matches!(err, CliError::Store(_)), "{err:?}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use std::io::{self, Write};
 
 use deuce_crypto::PadCacheStats;
-use deuce_sim::{FaultReport, SimResult};
+use deuce_sim::{FaultReport, SimResult, StorePageStats};
 
 /// Tab-separated header matching [`RunSummary::metric_cells`], shared
 /// by the `compare` and `sweep` tables.
@@ -183,6 +183,51 @@ impl PadCacheSummary {
     }
 }
 
+/// The residency headline of a page-file-backed run, printed as
+/// `store_*` rows after the [`RunSummary`] block (only when
+/// `--store-file` is on, so in-RAM output is unchanged).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSummary {
+    /// Page loads that missed the resident cache.
+    pub page_faults: u64,
+    /// Resident pages displaced by the LRU budget.
+    pub page_evictions: u64,
+    /// Dirty pages written back to the page file.
+    pub pages_flushed: u64,
+    /// Resident line-store bytes at end of run.
+    pub resident_bytes: u64,
+    /// Peak resident line-store bytes over the run.
+    pub peak_resident_bytes: u64,
+}
+
+impl From<StorePageStats> for StoreSummary {
+    fn from(stats: StorePageStats) -> Self {
+        Self {
+            page_faults: stats.page_faults,
+            page_evictions: stats.page_evictions,
+            pages_flushed: stats.pages_flushed,
+            resident_bytes: stats.resident_bytes,
+            peak_resident_bytes: stats.peak_resident_bytes,
+        }
+    }
+}
+
+impl StoreSummary {
+    /// Writes the `store_*` rows of the `deuce run` summary block.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        writeln!(out, "store_page_faults\t{}", self.page_faults)?;
+        writeln!(out, "store_page_evictions\t{}", self.page_evictions)?;
+        writeln!(out, "store_pages_flushed\t{}", self.pages_flushed)?;
+        writeln!(out, "store_resident_bytes\t{}", self.resident_bytes)?;
+        writeln!(out, "store_peak_resident_bytes\t{}", self.peak_resident_bytes)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +308,25 @@ mod tests {
         let mut out = Vec::new();
         PadCacheSummary::from(PadCacheStats::default()).write_to(&mut out).unwrap();
         assert!(String::from_utf8(out).unwrap().contains("pad_cache_hit_ratio\t0.000"));
+    }
+
+    #[test]
+    fn store_summary_renders_every_row() {
+        let stats = StorePageStats {
+            page_faults: 40,
+            page_evictions: 36,
+            pages_flushed: 30,
+            resident_bytes: 4_608,
+            peak_resident_bytes: 9_216,
+        };
+        let mut out = Vec::new();
+        StoreSummary::from(stats).write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("store_page_faults\t40"));
+        assert!(text.contains("store_page_evictions\t36"));
+        assert!(text.contains("store_pages_flushed\t30"));
+        assert!(text.contains("store_resident_bytes\t4608"));
+        assert!(text.contains("store_peak_resident_bytes\t9216"));
     }
 
     #[test]

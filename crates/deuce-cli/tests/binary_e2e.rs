@@ -154,6 +154,78 @@ fn sharded_sweep_through_the_binary() {
 }
 
 #[test]
+fn paged_store_kill_and_resume_through_the_binary() {
+    let dir = std::env::temp_dir().join("deuce-bin-paged-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("p.jsonl");
+    let pages = dir.join("p.pages");
+    let cp = dir.join("p.cp");
+    let trace_str = trace.to_str().unwrap();
+
+    // 192 lines into a one-page budget: the run faults and evicts
+    // throughout, so the checkpoints carry real flush state.
+    let output = deuce()
+        .args([
+            "gen", "--benchmark", "mcf", "--writes", "600", "--lines", "192", "--format", "jsonl",
+            "-o", trace_str,
+        ])
+        .output()
+        .expect("gen runs");
+    assert!(output.status.success(), "{output:?}");
+
+    // First process: a streamed paged run emitting checkpoints. Both
+    // the page file and the checkpoint file outlive the process.
+    let paged_flags = ["--store-file", pages.to_str().unwrap(), "--resident-pages", "1"];
+    let first = deuce()
+        .args(["run", "--trace", trace_str, "--scheme", "deuce", "--stream"])
+        .args(paged_flags)
+        .args(["--checkpoint", cp.to_str().unwrap(), "--checkpoint-every", "200"])
+        .output()
+        .expect("run runs");
+    assert!(first.status.success(), "{first:?}");
+    let first_text = String::from_utf8(first.stdout).unwrap();
+    assert!(first_text.contains("store_page_evictions"), "{first_text}");
+    assert!(pages.exists(), "page file outlives the process");
+    assert!(cp.exists(), "checkpoint file outlives the process");
+
+    // Second process: replay-verify against the surviving checkpoint
+    // over the same page-file path. Verification includes the flushed
+    // page fingerprint, so the write-back history must recur exactly.
+    let second = deuce()
+        .args(["run", "--trace", trace_str, "--scheme", "deuce", "--stream"])
+        .args(paged_flags)
+        .args(["--from-checkpoint", cp.to_str().unwrap()])
+        .output()
+        .expect("resume runs");
+    assert!(second.status.success(), "{second:?}");
+    let second_text = String::from_utf8(second.stdout).unwrap();
+    assert!(second_text.contains("resume_verified"), "{second_text}");
+
+    // Apart from the checkpoint/resume trailer lines, the resumed run
+    // reports exactly what the original did — including the store rows.
+    let body = |text: &str| -> String {
+        text.lines()
+            .filter(|l| !l.starts_with("checkpoint\t") && !l.starts_with("resume_verified\t"))
+            .map(|l| format!("{l}\n"))
+            .collect()
+    };
+    assert_eq!(body(&second_text), body(&first_text));
+
+    // An arena replay of the same checkpoint must be rejected: the
+    // checkpoint pins the paged store's flush state.
+    let arena = deuce()
+        .args(["run", "--trace", trace_str, "--scheme", "deuce", "--stream"])
+        .args(["--from-checkpoint", cp.to_str().unwrap()])
+        .output()
+        .expect("arena resume runs");
+    assert!(!arena.status.success(), "arena resume must fail against a paged checkpoint");
+    let err = String::from_utf8(arena.stderr).unwrap();
+    assert!(err.contains("flush"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn telemetry_run_and_report_through_the_binary() {
     let dir = std::env::temp_dir().join("deuce-bin-telemetry-e2e");
     std::fs::create_dir_all(&dir).unwrap();

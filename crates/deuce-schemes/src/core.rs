@@ -38,6 +38,13 @@ impl CtrState {
     /// A counter at zero (every line starts here).
     pub const ZERO: Self = Self(0);
 
+    /// Reconstructs a counter from its raw stored value (the inverse of
+    /// [`value`](Self::value); used when decoding persisted line state).
+    #[must_use]
+    pub fn from_raw(value: u64) -> Self {
+        Self(value)
+    }
+
     /// Current counter value.
     #[must_use]
     pub fn value(self) -> u64 {

@@ -77,7 +77,10 @@ pub use fnw::{
 pub use line::{AnyScheme, AnyState, SchemeLine};
 pub use outcome::WriteOutcome;
 pub use scheme::{LineMut, LineRef, LineScheme, SchemeCell};
-pub use store::LineStore;
+pub use store::{
+    ArenaBackend, FilePageBackend, LineStore, PageBackend, PageHeader, StateCodec, StorePageStats,
+    SLOTS_PER_PAGE,
+};
 
 pub use deuce_crypto::{EpochInterval, LineAddr, LineBytes, OtpEngine, SecretKey, LINE_BYTES};
 pub use deuce_nvm::{FlipCount, LineImage, MetaBits};

@@ -10,8 +10,9 @@ use core::mem::size_of;
 
 use deuce_schemes::{
     AnyScheme, AnyState, BleDeuceState, BleState, CtrState, DeuceFnwState, DeuceLine, DeuceState,
-    DynDeuceState, EncryptedDcwLine, EncryptedFnwState, FnwState, LineScheme, LineStore,
-    SchemeConfig, SchemeKind, SchemeLine,
+    DynDeuceState, EncryptedDcwLine, EncryptedFnwState, FilePageBackend, FnwState, LineScheme,
+    LineStore, PageBackend, PageHeader, SchemeConfig, SchemeKind, SchemeLine, StateCodec,
+    SLOTS_PER_PAGE,
 };
 
 #[test]
@@ -53,5 +54,47 @@ fn line_store_per_line_bytes_match_components() {
             64 + shadow + size_of::<AnyState>() as u64,
             "{kind}"
         );
+    }
+}
+
+/// The on-disk page-file layout is a compatibility contract: the file
+/// header, the slots-per-page geometry, and every state codec's encoded
+/// width are pinned here. Changing one breaks existing page files —
+/// bump [`PageHeader::VERSION`] together with the change.
+#[test]
+fn page_file_layout_stays_pinned() {
+    assert_eq!(PageHeader::BYTES, 32, "file header is one fixed 32-byte block");
+    assert_eq!(SLOTS_PER_PAGE, 64, "presence bitmap is one u64");
+    assert_eq!(<() as StateCodec>::ENCODED_BYTES, 0);
+    assert_eq!(CtrState::ENCODED_BYTES, 8);
+    assert_eq!(FnwState::ENCODED_BYTES, 8);
+    assert_eq!(EncryptedFnwState::ENCODED_BYTES, 16);
+    assert_eq!(DeuceState::ENCODED_BYTES, 16);
+    assert_eq!(DynDeuceState::ENCODED_BYTES, 16);
+    assert_eq!(DeuceFnwState::ENCODED_BYTES, 16);
+    assert_eq!(BleState::ENCODED_BYTES, 32);
+    assert_eq!(BleDeuceState::ENCODED_BYTES, 40);
+    assert_eq!(AnyState::ENCODED_BYTES, 41, "1 tag byte + largest payload");
+}
+
+/// Both backends must account residency identically: per-line bytes are
+/// a property of the scheme (RAM footprint), not of where the slots
+/// live, so the resident-bytes gauge is comparable across backends.
+#[test]
+fn backends_agree_on_per_line_bytes() {
+    let dir = std::env::temp_dir();
+    for kind in SchemeKind::ALL {
+        let scheme = AnyScheme::from_config(&SchemeConfig::new(kind));
+        let arena = LineStore::new(scheme);
+        let path = dir.join(format!("deuce-state-sizes-{kind}-{}.pages", std::process::id()));
+        let backend = FilePageBackend::<AnyScheme>::create(&path, 2, scheme.needs_shadow())
+            .expect("create page file");
+        assert_eq!(
+            PageBackend::<AnyScheme>::per_line_bytes(&backend),
+            arena.per_line_bytes(),
+            "{kind}"
+        );
+        drop(backend);
+        std::fs::remove_file(&path).ok();
     }
 }

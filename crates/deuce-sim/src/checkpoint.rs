@@ -45,11 +45,27 @@ pub struct RunCheckpoint {
     /// comparison is exact (stored in hex — JSON numbers cannot carry
     /// all 64 bits).
     pub exec_time_ns_bits: u64,
+    /// Pages the line-store backend had written back when the
+    /// checkpoint was taken (0 for the in-RAM arena, which never
+    /// flushes).
+    pub flushed_pages: u64,
+    /// Running FNV-1a fingerprint over every flushed page's bytes, in
+    /// flush order (0 for the arena). Replay reproduces evictions at
+    /// identical points, so a resume against an existing page file
+    /// verifies the flushed-page state, not just the run counters.
+    pub flush_fp: u64,
 }
 
 impl RunCheckpoint {
     /// Captures the current run counters at `events_consumed`.
-    pub(crate) fn capture(events_consumed: u64, result: &SimResult, exec_time_ns: f64) -> Self {
+    /// `flush_state` is the store backend's `(flushed_pages, flush_fp)`
+    /// pair at this point in the stream.
+    pub(crate) fn capture(
+        events_consumed: u64,
+        result: &SimResult,
+        exec_time_ns: f64,
+        flush_state: (u64, u64),
+    ) -> Self {
         Self {
             events_consumed,
             reads: result.reads,
@@ -60,6 +76,8 @@ impl RunCheckpoint {
             epoch_starts: result.epoch_starts,
             total_slots: result.total_slots,
             exec_time_ns_bits: exec_time_ns.to_bits(),
+            flushed_pages: flush_state.0,
+            flush_fp: flush_state.1,
         }
     }
 
@@ -78,7 +96,8 @@ impl RunCheckpoint {
         format!(
             "{{\"type\":\"run_checkpoint\",\"version\":1,\"events\":{},\"reads\":{},\
              \"writes\":{},\"data_flips\":{},\"meta_flips\":{},\"counter_flips\":{},\
-             \"epoch_starts\":{},\"total_slots\":{},\"exec_ns_bits\":\"{:016x}\"}}\n",
+             \"epoch_starts\":{},\"total_slots\":{},\"exec_ns_bits\":\"{:016x}\",\
+             \"flushed_pages\":{},\"flush_fp\":\"{:016x}\"}}\n",
             self.events_consumed,
             self.reads,
             self.writes,
@@ -88,6 +107,8 @@ impl RunCheckpoint {
             self.epoch_starts,
             self.total_slots,
             self.exec_time_ns_bits,
+            self.flushed_pages,
+            self.flush_fp,
         )
     }
 
@@ -131,6 +152,13 @@ impl RunCheckpoint {
             epoch_starts: field("epoch_starts")?,
             total_slots: field("total_slots")?,
             exec_time_ns_bits: exec_bits,
+            // Lenient: checkpoints written before out-of-core stores
+            // carry no flush state, which matches the arena's (0, 0).
+            flushed_pages: last.u64("flushed_pages").unwrap_or(0),
+            flush_fp: last
+                .str("flush_fp")
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .unwrap_or(0),
         })
     }
 }
@@ -150,6 +178,8 @@ mod tests {
             epoch_starts: 12,
             total_slots: 6_100,
             exec_time_ns_bits: 1.25e9_f64.to_bits(),
+            flushed_pages: 5,
+            flush_fp: 0xdead_beef_cafe_f00d,
         }
     }
 
@@ -172,6 +202,18 @@ mod tests {
         text.push_str(&sample().to_jsonl());
         let back = RunCheckpoint::from_jsonl(&text).unwrap();
         assert_eq!(back.events_consumed, 12_345);
+    }
+
+    #[test]
+    fn pre_paging_checkpoints_parse_with_zero_flush_state() {
+        let old = "{\"type\":\"run_checkpoint\",\"version\":1,\"events\":10,\"reads\":1,\
+                   \"writes\":2,\"data_flips\":3,\"meta_flips\":4,\"counter_flips\":5,\
+                   \"epoch_starts\":6,\"total_slots\":7,\
+                   \"exec_ns_bits\":\"3fb999999999999a\"}\n";
+        let cp = RunCheckpoint::from_jsonl(old).unwrap();
+        assert_eq!(cp.flushed_pages, 0);
+        assert_eq!(cp.flush_fp, 0);
+        assert_eq!(cp.events_consumed, 10);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Simulation configuration.
 
+use std::path::PathBuf;
+
 use deuce_nvm::{EnergyParams, FailureModel, Geometry, SlotConfig, TimingParams};
 use deuce_schemes::{SchemeConfig, SchemeKind};
 use deuce_wear::HwlMode;
@@ -187,6 +189,40 @@ impl Default for PadCacheConfig {
     }
 }
 
+/// Out-of-core line-store configuration: a page file plus a resident
+/// page cache of `resident_pages` pages (each
+/// [`deuce_schemes::SLOTS_PER_PAGE`] line slots). The simulated result
+/// is bit-identical to the in-RAM arena; only residency accounting and
+/// the `store_page_*` telemetry block differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileStoreConfig {
+    /// Page-file path. Created (truncating any existing file) at run
+    /// start; resumable runs rebuild it deterministically by replay.
+    pub path: PathBuf,
+    /// Resident page cache capacity in pages (clamped to at least 1).
+    pub resident_pages: usize,
+}
+
+impl FileStoreConfig {
+    /// A file store at `path` with the given resident-page budget.
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>, resident_pages: usize) -> Self {
+        Self { path: path.into(), resident_pages }
+    }
+}
+
+/// Where `LineStore` slot storage lives during a run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum StoreBackend {
+    /// Every materialised line stays resident in RAM (the default, and
+    /// the historical behaviour).
+    #[default]
+    Arena,
+    /// Out-of-core: a page file with an LRU resident page cache,
+    /// enabling address spaces far beyond host RAM.
+    File(FileStoreConfig),
+}
+
 /// Full simulation configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -230,6 +266,10 @@ pub struct SimConfig {
     /// span tracer's `pad_generation` leaf. Off by default; never
     /// affects simulated results.
     pub pad_timing: bool,
+    /// Line-store slot backend: the in-RAM arena (default) or an
+    /// out-of-core page file. Never changes simulated results — only
+    /// residency and the `store_page_*` telemetry block.
+    pub store: StoreBackend,
 }
 
 impl SimConfig {
@@ -258,6 +298,7 @@ impl SimConfig {
             counter_cache: None,
             pad_cache: None,
             pad_timing: false,
+            store: StoreBackend::Arena,
         }
     }
 
@@ -272,6 +313,13 @@ impl SimConfig {
     #[must_use]
     pub fn with_pad_cache(mut self, config: PadCacheConfig) -> Self {
         self.pad_cache = Some(config);
+        self
+    }
+
+    /// Selects the line-store slot backend.
+    #[must_use]
+    pub fn with_store_backend(mut self, store: StoreBackend) -> Self {
+        self.store = store;
         self
     }
 
@@ -330,6 +378,20 @@ mod tests {
         assert!(c.pad_cache.is_none());
         assert!(!c.pad_timing);
         assert!(!c.metric.count_counter_bits);
+        assert_eq!(c.store, StoreBackend::Arena);
+    }
+
+    #[test]
+    fn store_backend_builder() {
+        let c = SimConfig::new(SchemeKind::Deuce)
+            .with_store_backend(StoreBackend::File(FileStoreConfig::new("/tmp/x.pages", 8)));
+        match &c.store {
+            StoreBackend::File(f) => {
+                assert_eq!(f.resident_pages, 8);
+                assert_eq!(f.path, PathBuf::from("/tmp/x.pages"));
+            }
+            StoreBackend::Arena => panic!("expected file backend"),
+        }
     }
 
     #[test]

@@ -44,7 +44,8 @@ mod timing;
 
 pub use checkpoint::RunCheckpoint;
 pub use config::{
-    CpuParams, FaultConfig, MetricConfig, PadCacheConfig, SimConfig, VerticalWl, WearConfig,
+    CpuParams, FaultConfig, FileStoreConfig, MetricConfig, PadCacheConfig, SimConfig, StoreBackend,
+    VerticalWl, WearConfig,
 };
 pub use counter_cache::{CounterCache, CounterCacheConfig, CounterTraffic};
 pub use latency::{pad_latency_report, PadEngineOption, PadLatencyReport};
@@ -57,6 +58,6 @@ pub use simulator::{RunError, Simulator};
 pub use sweep::{ParallelSweep, SweepCell};
 pub use timing::MemoryTimingModel;
 
-pub use deuce_schemes::{SchemeConfig, SchemeKind};
+pub use deuce_schemes::{SchemeConfig, SchemeKind, StorePageStats};
 pub use deuce_telemetry as telemetry;
 pub use deuce_wear::{HwlMode, LifetimePolicy};

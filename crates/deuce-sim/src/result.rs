@@ -2,6 +2,7 @@
 
 use deuce_crypto::PadCacheStats;
 use deuce_nvm::{CellArray, EnergyParams, WearSummary};
+use deuce_schemes::StorePageStats;
 use deuce_wear::{relative_lifetime, LifetimePolicy};
 
 /// What online fault injection observed over a run: the graceful-
@@ -86,6 +87,11 @@ pub struct SimResult {
     /// of `(address, counter)`, so caching never changes any other
     /// field of the result.
     pub pad_cache: Option<PadCacheStats>,
+    /// Store-paging statistics for this run, when the out-of-core page
+    /// file backend was used (`None` for the in-RAM arena). Purely a
+    /// residency metric: paging never changes any other field of the
+    /// result.
+    pub store: Option<StorePageStats>,
 }
 
 /// An empty result: every counter zero, no wear tracking, and the
@@ -113,6 +119,7 @@ impl Default for SimResult {
             line_store_bytes: 0,
             faults: None,
             pad_cache: None,
+            store: None,
         }
     }
 }

@@ -22,15 +22,18 @@ use deuce_memctl::{
     WearStage, WriteEffect,
 };
 use deuce_nvm::{CellArray, StuckAtFaults};
-use deuce_schemes::{AnyScheme, LineScheme, LineStore, WriteOutcome};
+use deuce_schemes::{
+    AnyScheme, ArenaBackend, FilePageBackend, LineScheme, LineStore, PageBackend, StateCodec,
+    WriteOutcome,
+};
 use deuce_telemetry::{
-    FaultObservation, FlightEvent, Gauge, NullRecorder, Recorder, WriteObservation,
+    FaultObservation, FlightEvent, Gauge, NullRecorder, Recorder, StoreTelemetry, WriteObservation,
 };
 use deuce_trace::{Trace, TraceIoError, TraceSource, WriteSource};
 use deuce_wear::{HorizontalWearLeveler, HwlMode, SecurityRefresh, StartGap};
 
 use crate::checkpoint::RunCheckpoint;
-use crate::config::{SimConfig, VerticalWl};
+use crate::config::{SimConfig, StoreBackend, VerticalWl};
 use crate::counter_cache::CounterCache;
 use crate::result::{FaultReport, SimResult};
 use crate::timing::MemoryTimingModel;
@@ -51,6 +54,11 @@ pub enum RunError {
         /// The replayed run's value.
         found: u64,
     },
+    /// The out-of-core line-store backend failed: the page file could
+    /// not be created, or an I/O error was latched during the run (the
+    /// scheme hot loop is infallible, so backends swallow I/O errors
+    /// and surface the first one here at end of run).
+    Store(String),
 }
 
 impl fmt::Display for RunError {
@@ -62,6 +70,7 @@ impl fmt::Display for RunError {
                 "checkpoint mismatch on {field}: checkpoint has {expected}, replay produced \
                  {found} (different stream or configuration)"
             ),
+            RunError::Store(msg) => write!(f, "line-store backend failed: {msg}"),
         }
     }
 }
@@ -70,7 +79,7 @@ impl std::error::Error for RunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RunError::Trace(e) => Some(e),
-            RunError::CheckpointMismatch { .. } => None,
+            RunError::CheckpointMismatch { .. } | RunError::Store(_) => None,
         }
     }
 }
@@ -128,7 +137,10 @@ impl Simulator {
     }
 }
 
-impl<S: LineScheme + Copy> Simulator<S> {
+impl<S: LineScheme + Copy> Simulator<S>
+where
+    S::State: StateCodec,
+{
     /// Creates a simulator whose hot loop is monomorphised for `scheme`.
     ///
     /// `config.scheme` still governs everything *around* the line scheme
@@ -159,7 +171,10 @@ impl<S: LineScheme + Copy> Simulator<S> {
     /// # Panics
     ///
     /// Panics if wear tracking is enabled and the trace touches more
-    /// distinct lines than [`crate::WearConfig::lines`].
+    /// distinct lines than [`crate::WearConfig::lines`], or if a
+    /// configured page-file store backend fails on I/O (use
+    /// [`run_source`](Self::run_source) to handle store errors as a
+    /// [`RunError`] instead).
     #[must_use]
     pub fn run_trace(&self, trace: &Trace) -> SimResult {
         self.run_trace_recorded(trace, &mut NullRecorder)
@@ -179,8 +194,12 @@ impl<S: LineScheme + Copy> Simulator<S> {
     #[must_use]
     pub fn run_trace_recorded<R: Recorder>(&self, trace: &Trace, rec: &mut R) -> SimResult {
         let mut source = TraceSource::new(trace);
-        self.drive(&mut source, rec, CheckpointPlan::none())
-            .expect("in-RAM sources cannot fail")
+        match self.drive(&mut source, rec, CheckpointPlan::none()) {
+            Ok(result) => result,
+            // In-RAM sources cannot fail, so the only error left is the
+            // page-file store backend.
+            Err(e) => panic!("trace run failed: {e}"),
+        }
     }
 
     /// Drives any [`WriteSource`] through the full stack — the
@@ -280,12 +299,40 @@ impl<S: LineScheme + Copy> Simulator<S> {
         )
     }
 
-    /// The one streaming drive loop all public run entry points share.
+    /// Dispatches on the configured store backend, so the streaming
+    /// loop below monomorphises per backend and the arena path stays
+    /// exactly the historical code.
     fn drive<Src: WriteSource + ?Sized, R: Recorder>(
         &self,
         source: &mut Src,
         rec: &mut R,
+        plan: CheckpointPlan<'_>,
+    ) -> Result<SimResult, RunError> {
+        match &self.config.store {
+            StoreBackend::Arena => {
+                self.drive_with(source, rec, plan, ArenaBackend::new(self.scheme.needs_shadow()))
+            }
+            StoreBackend::File(file) => {
+                let backend = FilePageBackend::create(
+                    &file.path,
+                    file.resident_pages,
+                    self.scheme.needs_shadow(),
+                )
+                .map_err(|e| {
+                    RunError::Store(format!("create page file {}: {e}", file.path.display()))
+                })?;
+                self.drive_with(source, rec, plan, backend)
+            }
+        }
+    }
+
+    /// The one streaming drive loop all public run entry points share.
+    fn drive_with<Src: WriteSource + ?Sized, R: Recorder, B: PageBackend<S>>(
+        &self,
+        source: &mut Src,
+        rec: &mut R,
         mut plan: CheckpointPlan<'_>,
+        backend: B,
     ) -> Result<SimResult, RunError> {
         // Span tracing and the flight recorder are double-gated: the
         // `R::ENABLED` half vanishes under `NullRecorder`, the dynamic
@@ -356,7 +403,7 @@ impl<S: LineScheme + Copy> Simulator<S> {
         });
 
         let store = StoreStage {
-            store: LineStore::new(self.scheme),
+            store: LineStore::with_backend(self.scheme, backend),
             engine: &self.engine,
         };
         let counters_per_line = self
@@ -385,6 +432,9 @@ impl<S: LineScheme + Copy> Simulator<S> {
         let pad_cache_start = self.engine.pad_cache_stats();
         if R::ENABLED && pad_cache_start.is_some() {
             rec.pad_cache_active();
+        }
+        if R::ENABLED && matches!(self.config.store, StoreBackend::File(_)) {
+            rec.store_paging_active();
         }
         let pad_timing_start = self.engine.pad_timing_stats();
 
@@ -474,6 +524,7 @@ impl<S: LineScheme + Copy> Simulator<S> {
                                 events_consumed,
                                 &result,
                                 pipeline.timing.exec_time_ns(),
+                                pipeline.schemes.store.flush_state(),
                             ));
                             if let Some(started) = cp_started {
                                 rec.span_attach(Some("run"), "checkpoint", elapsed_ns(started), 1);
@@ -489,6 +540,7 @@ impl<S: LineScheme + Copy> Simulator<S> {
                         events_consumed,
                         &result,
                         pipeline.timing.exec_time_ns(),
+                        pipeline.schemes.store.flush_state(),
                     );
                     verify_checkpoint(expected, &found)?;
                     plan.verify = None;
@@ -510,6 +562,7 @@ impl<S: LineScheme + Copy> Simulator<S> {
                     events_consumed,
                     &result,
                     pipeline.timing.exec_time_ns(),
+                    pipeline.schemes.store.flush_state(),
                 ));
                 if let Some(started) = cp_started {
                     rec.span_attach(Some("run"), "checkpoint", elapsed_ns(started), 1);
@@ -519,6 +572,25 @@ impl<S: LineScheme + Copy> Simulator<S> {
 
         result.exec_time_ns = pipeline.timing.exec_time_ns();
         result.line_store_bytes = pipeline.schemes.resident_bytes();
+        // End-of-run flush of dirty resident pages (no-op for the
+        // arena), then collect paging statistics and surface any I/O
+        // error the backend latched mid-run.
+        pipeline.schemes.store.flush();
+        if let Some(error) = pipeline.schemes.store.io_error() {
+            return Err(RunError::Store(error));
+        }
+        result.store = pipeline.schemes.store.paging_stats();
+        if R::ENABLED {
+            if let Some(stats) = &result.store {
+                rec.store_totals(&StoreTelemetry {
+                    page_faults: stats.page_faults,
+                    page_evictions: stats.page_evictions,
+                    pages_flushed: stats.pages_flushed,
+                    resident_bytes: stats.resident_bytes,
+                    peak_resident_bytes: stats.peak_resident_bytes,
+                });
+            }
+        }
         if let Some(wear) = pipeline.wear {
             // Fold the repair ladder's self-measured wall time in as a
             // child of the wear stage before the state is consumed.
@@ -596,7 +668,7 @@ fn elapsed_ns(started: Instant) -> u64 {
 /// Compares a replayed fingerprint against the checkpoint, field by
 /// field, naming the first divergence.
 fn verify_checkpoint(expected: &RunCheckpoint, found: &RunCheckpoint) -> Result<(), RunError> {
-    let fields: [(&'static str, u64, u64); 8] = [
+    let fields: [(&'static str, u64, u64); 10] = [
         ("reads", expected.reads, found.reads),
         ("writes", expected.writes, found.writes),
         ("data_flips", expected.data_flips, found.data_flips),
@@ -605,6 +677,8 @@ fn verify_checkpoint(expected: &RunCheckpoint, found: &RunCheckpoint) -> Result<
         ("epoch_starts", expected.epoch_starts, found.epoch_starts),
         ("total_slots", expected.total_slots, found.total_slots),
         ("exec_time_ns_bits", expected.exec_time_ns_bits, found.exec_time_ns_bits),
+        ("flushed_pages", expected.flushed_pages, found.flushed_pages),
+        ("flush_fp", expected.flush_fp, found.flush_fp),
     ];
     for (field, want, got) in fields {
         if want != got {
@@ -644,16 +718,17 @@ fn fold_faults(result: &mut SimResult, faults: &FaultEvents) {
     }
 }
 
-/// Stage 2: an arena-backed [`LineStore`] materialising lines lazily.
-/// The first write to an address is the initial placement (encrypted as
-/// it enters memory, per §3.1) and is not counted.
+/// Stage 2: a [`LineStore`] materialising lines lazily over the
+/// configured backend (in-RAM arena or out-of-core page file). The
+/// first write to an address is the initial placement (encrypted as it
+/// enters memory, per §3.1) and is not counted.
 #[derive(Debug)]
-struct StoreStage<'a, S: LineScheme> {
-    store: LineStore<S>,
+struct StoreStage<'a, S: LineScheme, B: PageBackend<S>> {
+    store: LineStore<S, B>,
     engine: &'a OtpEngine,
 }
 
-impl<S: LineScheme> SchemeStage for StoreStage<'_, S> {
+impl<S: LineScheme, B: PageBackend<S>> SchemeStage for StoreStage<'_, S, B> {
     fn write(&mut self, line: LineAddr, data: &[u8; 64]) -> Option<WriteOutcome> {
         self.store.write_first_touch(self.engine, line, data)
     }

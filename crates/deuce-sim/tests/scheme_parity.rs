@@ -138,7 +138,10 @@ fn monomorphised_fingerprint(kind: SchemeKind) -> String {
     let trace = TraceConfig::new(Benchmark::Mcf).lines(64).writes(2_000).seed(9).generate();
     let config = SimConfig::new(kind);
     let s = config.scheme;
-    fn run<S: LineScheme + Copy>(config: SimConfig, scheme: S, trace: &deuce_trace::Trace) -> SimResult {
+    fn run<S: LineScheme + Copy>(config: SimConfig, scheme: S, trace: &deuce_trace::Trace) -> SimResult
+    where
+        S::State: deuce_schemes::StateCodec,
+    {
         Simulator::with_line_scheme(config, scheme).run_trace(trace)
     }
     let r = match kind {

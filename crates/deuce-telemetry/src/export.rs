@@ -148,6 +148,23 @@ pub fn write_jsonl<W: Write>(
             )?;
         }
     }
+    // Store-paging counters exist only for runs that page the line
+    // store, so arena-backed exports are byte-identical to pre-paging
+    // builds.
+    if let Some(store) = recorder.store() {
+        for (name, value) in [
+            ("store_page_faults", store.page_faults),
+            ("store_page_evictions", store.page_evictions),
+            ("store_pages_flushed", store.pages_flushed),
+            ("store_resident_bytes", store.resident_bytes),
+            ("store_peak_resident_bytes", store.peak_resident_bytes),
+        ] {
+            writeln!(
+                out,
+                "{{\"type\":\"counter\",\"run\":\"{run}\",\"name\":\"{name}\",\"value\":{value}}}",
+            )?;
+        }
+    }
     for sample in recorder.samples() {
         writeln!(
             out,
@@ -254,6 +271,13 @@ pub fn write_csv<W: Write>(
     if let Some(pad_cache) = recorder.pad_cache() {
         writeln!(out, "{run},pad_cache_hits,{}", pad_cache.hits)?;
         writeln!(out, "{run},pad_cache_misses,{}", pad_cache.misses)?;
+    }
+    if let Some(store) = recorder.store() {
+        writeln!(out, "{run},store_page_faults,{}", store.page_faults)?;
+        writeln!(out, "{run},store_page_evictions,{}", store.page_evictions)?;
+        writeln!(out, "{run},store_pages_flushed,{}", store.pages_flushed)?;
+        writeln!(out, "{run},store_resident_bytes,{}", store.resident_bytes)?;
+        writeln!(out, "{run},store_peak_resident_bytes,{}", store.peak_resident_bytes)?;
     }
     writeln!(out, "{run},series_samples,{}", recorder.samples().len())
 }
@@ -388,6 +412,43 @@ mod tests {
         let csv = String::from_utf8(buf).unwrap();
         assert!(csv.contains("cached,pad_cache_hits,40"));
         assert!(csv.contains("cached,pad_cache_misses,8"));
+    }
+
+    #[test]
+    fn store_section_appears_only_for_paged_runs() {
+        use crate::recorder::StoreTelemetry;
+        // Arena-backed: no store counters anywhere.
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, "plain", &sample_recorder()).unwrap();
+        let plain = String::from_utf8(buf).unwrap();
+        assert!(
+            !plain.contains("store_page") && !plain.contains("store_resident"),
+            "arena-backed export must be unchanged"
+        );
+
+        let mut r = sample_recorder();
+        r.store_paging_active();
+        r.store_totals(&StoreTelemetry {
+            page_faults: 20,
+            page_evictions: 11,
+            pages_flushed: 13,
+            resident_bytes: 9216,
+            peak_resident_bytes: 18_432,
+        });
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, "paged", &r).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"name\":\"store_page_faults\",\"value\":20"));
+        assert!(text.contains("\"name\":\"store_page_evictions\",\"value\":11"));
+        assert!(text.contains("\"name\":\"store_pages_flushed\",\"value\":13"));
+        assert!(text.contains("\"name\":\"store_peak_resident_bytes\",\"value\":18432"));
+        assert!(crate::parse::parse_jsonl(&text).is_ok());
+
+        let mut buf = Vec::new();
+        write_csv(&mut buf, "paged", &r).unwrap();
+        let csv = String::from_utf8(buf).unwrap();
+        assert!(csv.contains("paged,store_page_faults,20"));
+        assert!(csv.contains("paged,store_resident_bytes,9216"));
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub use hist::{bucket_bounds, Histogram, BUCKETS};
 pub use progress::SweepProgress;
 pub use recorder::{
     Counter, FaultObservation, FaultTelemetry, Gauge, NullRecorder, PadCacheTelemetry, Recorder,
-    Stage, TelemetryConfig, TelemetryRecorder, WriteObservation,
+    Stage, StoreTelemetry, TelemetryConfig, TelemetryRecorder, WriteObservation,
 };
 pub use series::{Sample, SeriesSampler};
 pub use span::{SelfTime, SpanNode, SpanTrace};

@@ -227,6 +227,25 @@ pub struct PadCacheTelemetry {
     pub misses: u64,
 }
 
+/// Store-paging telemetry, materialised only when a run uses a paged
+/// line-store backend so arena-backed exports stay byte-identical to
+/// pre-paging builds (the same gating discipline as [`FaultTelemetry`]
+/// and [`PadCacheTelemetry`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreTelemetry {
+    /// Page-cache misses that materialised a page (fresh or reloaded).
+    pub page_faults: u64,
+    /// Pages evicted from the resident cache.
+    pub page_evictions: u64,
+    /// Dirty pages written back to the page file (evictions plus the
+    /// end-of-run flush).
+    pub pages_flushed: u64,
+    /// Line-store bytes resident in RAM at end of run.
+    pub resident_bytes: u64,
+    /// Highest resident-byte watermark observed during the run.
+    pub peak_resident_bytes: u64,
+}
+
 /// An instrumentation sink. All hooks have empty default bodies, so a
 /// sink only overrides what it collects; `ENABLED == false` promises
 /// every hook is a no-op and lets call sites skip argument
@@ -288,6 +307,16 @@ pub trait Recorder {
     /// Sets the run's end-of-run pad-cache hit/miss totals.
     fn pad_cache_totals(&mut self, hits: u64, misses: u64) {
         let _ = (hits, misses);
+    }
+
+    /// Announces that the run pages its line store out of core, so
+    /// store-paging telemetry is collected (and exported) even if no
+    /// page ever faults.
+    fn store_paging_active(&mut self) {}
+
+    /// Sets the run's end-of-run store-paging totals.
+    fn store_totals(&mut self, totals: &StoreTelemetry) {
+        let _ = totals;
     }
 
     /// Whether this sink collects hierarchical spans. Callers use this
@@ -370,6 +399,7 @@ pub struct TelemetryRecorder {
     series: SeriesSampler,
     faults: Option<FaultTelemetry>,
     pad_cache: Option<PadCacheTelemetry>,
+    store: Option<StoreTelemetry>,
     spans: Option<SpanTrace>,
     flight: Option<FlightRecorder>,
 }
@@ -395,6 +425,7 @@ impl TelemetryRecorder {
             series: SeriesSampler::new(config.sample_every, config.energy_pj_per_flip),
             faults: None,
             pad_cache: None,
+            store: None,
             spans: None,
             flight: None,
         }
@@ -478,6 +509,13 @@ impl TelemetryRecorder {
         self.pad_cache.as_ref()
     }
 
+    /// Store-paging telemetry, present only if the run announced a
+    /// paged store (or totals arrived).
+    #[must_use]
+    pub fn store(&self) -> Option<&StoreTelemetry> {
+        self.store.as_ref()
+    }
+
     /// The span trace, present only with
     /// [`with_spans`](Self::with_spans).
     #[must_use]
@@ -555,6 +593,14 @@ impl Recorder for TelemetryRecorder {
         let cache = self.pad_cache.get_or_insert_with(PadCacheTelemetry::default);
         cache.hits = hits;
         cache.misses = misses;
+    }
+
+    fn store_paging_active(&mut self) {
+        self.store.get_or_insert_with(StoreTelemetry::default);
+    }
+
+    fn store_totals(&mut self, totals: &StoreTelemetry) {
+        *self.store.get_or_insert_with(StoreTelemetry::default) = *totals;
     }
 
     fn wants_spans(&self) -> bool {
@@ -667,6 +713,23 @@ mod tests {
         assert_eq!(r.pad_cache(), Some(&PadCacheTelemetry::default()));
         r.pad_cache_totals(12, 3);
         assert_eq!(r.pad_cache(), Some(&PadCacheTelemetry { hits: 12, misses: 3 }));
+    }
+
+    #[test]
+    fn store_telemetry_absent_until_announced() {
+        let mut r = TelemetryRecorder::default();
+        assert!(r.store().is_none(), "arena-backed runs carry no store section");
+        r.store_paging_active();
+        assert_eq!(r.store(), Some(&StoreTelemetry::default()));
+        let totals = StoreTelemetry {
+            page_faults: 12,
+            page_evictions: 7,
+            pages_flushed: 9,
+            resident_bytes: 4096,
+            peak_resident_bytes: 8192,
+        };
+        r.store_totals(&totals);
+        assert_eq!(r.store(), Some(&totals));
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! Out-of-core store probe: arena vs page-file resident footprint.
+//!
+//! Usage: `store_bench <arena|paged> <space> <touched> <writes> [resident_pages] [page_file]`
+//!
+//! Streams a synthetic sparse workload — `touched` distinct lines
+//! scattered uniformly across a `space`-line address space (a billion
+//! lines and beyond) — into one DEUCE simulation and prints a single
+//! JSON object on stdout. The `arena` mode keeps every touched line
+//! resident in RAM; the `paged` mode routes the store through
+//! `FilePageBackend` with a fixed `resident_pages` budget, so the
+//! store's resident bytes stay flat no matter how many lines the
+//! stream touches. Run each mode in its own process: peak resident
+//! memory is read from `VmHWM` in `/proc/self/status`.
+//!
+//! The JSON includes the flip counters and the simulated-time bit
+//! pattern so the caller can assert the two modes are bit-identical
+//! (see `scripts/bench_store.sh`).
+
+use deuce::rng::{DeuceRng, Rng};
+use deuce::schemes::{AnyScheme, LineStore, SchemeConfig, SchemeKind};
+use deuce::sim::{FileStoreConfig, SimConfig, SimResult, Simulator, StoreBackend};
+use deuce::trace::{LineAddr, TraceEvent, TraceIoError, WriteSource, LINE_BYTES};
+use std::time::Instant;
+
+/// Per-process peak resident set in bytes (`VmHWM`), or 0 off-Linux.
+fn peak_resident_bytes() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// A sparse synthetic workload: `writes` writebacks over `touched`
+/// distinct lines scattered across a `space`-line address space.
+///
+/// The touched set is a fixed-odd-multiplier bijection of the ranks
+/// `0..touched` into `0..space` (`space` must be a power of two), so
+/// the addresses are spread over the whole space — consecutive ranks
+/// land pages apart — while the set itself stays exactly `touched`
+/// lines. Line data is re-rolled per write from a seeded RNG, so the
+/// stream is deterministic end to end.
+struct SparseSource {
+    rng: DeuceRng,
+    space: u64,
+    touched: u64,
+    writes: u64,
+    emitted: u64,
+}
+
+impl SparseSource {
+    /// Golden-ratio odd constant: multiplication mod 2^k is bijective.
+    const SCATTER: u64 = 0x9e37_79b9_7f4a_7c15;
+
+    fn new(space: u64, touched: u64, writes: u64, seed: u64) -> Self {
+        assert!(space.is_power_of_two(), "space must be a power of two");
+        assert!(touched <= space, "cannot touch more lines than the space holds");
+        Self {
+            rng: DeuceRng::seed_from_u64(seed),
+            space,
+            touched,
+            writes,
+            emitted: 0,
+        }
+    }
+
+    fn address(&self, rank: u64) -> LineAddr {
+        LineAddr::new(rank.wrapping_mul(Self::SCATTER) & (self.space - 1))
+    }
+}
+
+impl WriteSource for SparseSource {
+    fn cores(&self) -> usize {
+        1
+    }
+
+    fn next_event(&mut self) -> Result<Option<TraceEvent>, TraceIoError> {
+        if self.emitted == self.writes {
+            return Ok(None);
+        }
+        self.emitted += 1;
+        let rank = self.rng.gen_range(0..self.touched);
+        let mut data = [0u8; LINE_BYTES];
+        self.rng.fill(&mut data);
+        Ok(Some(TraceEvent::write(0, self.emitted * 1000, self.address(rank), data)))
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.writes)
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mode = args.next().unwrap_or_default();
+    let space: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+    let touched: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+    let writes: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+    let resident_pages: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(4096);
+    let page_file = args.next().unwrap_or_else(|| "store_bench.pages".into());
+    if space == 0 || touched == 0 || writes == 0 || !matches!(mode.as_str(), "arena" | "paged") {
+        eprintln!(
+            "usage: store_bench <arena|paged> <space> <touched> <writes> \
+             [resident_pages] [page_file]"
+        );
+        std::process::exit(2);
+    }
+
+    let kind = SchemeKind::Deuce;
+    let per_line = LineStore::new(AnyScheme::from_config(&SchemeConfig::new(kind))).per_line_bytes();
+    let budget_bytes = resident_pages as u64 * 64 * per_line;
+    let config = match mode.as_str() {
+        "paged" => SimConfig::new(kind).with_store_backend(StoreBackend::File(
+            FileStoreConfig::new(&page_file, resident_pages),
+        )),
+        _ => SimConfig::new(kind),
+    };
+
+    let simulator = Simulator::new(config);
+    let start = Instant::now();
+    let mut source = SparseSource::new(space, touched, writes, 11);
+    let result: SimResult = match simulator.run_source(&mut source) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("store_bench: {e}");
+            std::process::exit(1);
+        }
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+    let store = result.store.unwrap_or_default();
+
+    println!(
+        "{{\"mode\":\"{}\",\"space_lines\":{},\"touched_lines\":{},\"writes_requested\":{},\
+         \"writes_counted\":{},\"reads\":{},\"data_flips\":{},\"meta_flips\":{},\
+         \"exec_time_ns_bits\":\"{:016x}\",\"line_store_bytes\":{},\
+         \"store_page_faults\":{},\"store_page_evictions\":{},\"store_pages_flushed\":{},\
+         \"store_resident_bytes\":{},\"store_peak_resident_bytes\":{},\
+         \"resident_budget_bytes\":{},\"elapsed_s\":{:.3},\"writes_per_sec\":{:.0},\
+         \"peak_resident_bytes\":{}}}",
+        mode,
+        space,
+        touched,
+        writes,
+        result.writes,
+        result.reads,
+        result.data_flips,
+        result.meta_flips,
+        result.exec_time_ns.to_bits(),
+        result.line_store_bytes,
+        store.page_faults,
+        store.page_evictions,
+        store.pages_flushed,
+        store.resident_bytes,
+        store.peak_resident_bytes,
+        budget_bytes,
+        elapsed,
+        result.writes as f64 / elapsed,
+        peak_resident_bytes(),
+    );
+}

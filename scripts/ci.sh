@@ -66,6 +66,26 @@ echo "==> streaming-run smoke test (run --stream == materialised run)"
 "$DEUCE" run --trace "$SMOKE_DIR/smoke.trace" --scheme deuce --stream > "$SMOKE_DIR/run.streamed"
 diff -u "$SMOKE_DIR/run.materialised" "$SMOKE_DIR/run.streamed"
 
+echo "==> paged-store smoke test (page-file run == arena run, byte-identical)"
+"$DEUCE" gen --benchmark mcf --writes 1000 --lines 192 --seed 9 \
+    -o "$SMOKE_DIR/paged.trace" > /dev/null
+"$DEUCE" run --trace "$SMOKE_DIR/paged.trace" --scheme deuce > "$SMOKE_DIR/paged.arena"
+# A 3-page budget holds all 192 lines: nothing evicts, so the summary —
+# including the line_store_bytes residency gauge — must match the arena
+# run byte for byte once the store_* rows are stripped.
+"$DEUCE" run --trace "$SMOKE_DIR/paged.trace" --scheme deuce \
+    --store-file "$SMOKE_DIR/smoke.pages" --resident-pages 3 > "$SMOKE_DIR/paged.full"
+grep -v '^store_' "$SMOKE_DIR/paged.full" | diff -u "$SMOKE_DIR/paged.arena" -
+# A 1-page budget faults and evicts throughout; every simulated result
+# still matches, only the residency gauge may differ (evicted slots are
+# no longer resident at end of run).
+"$DEUCE" run --trace "$SMOKE_DIR/paged.trace" --scheme deuce \
+    --store-file "$SMOKE_DIR/smoke.pages" --resident-pages 1 > "$SMOKE_DIR/paged.tiny"
+grep -v '^store_\|^line_store_bytes' "$SMOKE_DIR/paged.tiny" \
+    | diff -u <(grep -v '^line_store_bytes' "$SMOKE_DIR/paged.arena") -
+evictions="$(awk -F'\t' '$1 == "store_page_evictions" {print $2}' "$SMOKE_DIR/paged.tiny")"
+[ -n "$evictions" ] && [ "$evictions" -gt 0 ]
+
 echo "==> observability smoke test (span trace, watch --once, flight dump vs golden)"
 # Span tracing: the exported file is Chrome trace-event JSON
 # (Perfetto-loadable); timings are wall-clock so only shape is checked.
