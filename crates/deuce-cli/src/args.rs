@@ -30,6 +30,12 @@ USAGE:
   deuce merge   <manifest-file>...
   deuce report  <telemetry-file>
   deuce watch   <checkpoint-or-manifest-file>... [--once] [--interval-ms N]
+  deuce serve   [--tenants N] [--shards N] [--requests N] [--queue-depth N]
+                [--batch N] [--scheme <scheme>] [--epoch N] [--word-bytes N]
+                [--benchmark <name>] [--lines N] [--seed N]
+                [--telemetry <file>] [--progress <file>]
+                [--flight-recorder N] [--store-dir <dir> [--resident-pages N]]
+                [--replay]
   deuce help
 
 STREAMING:
@@ -70,6 +76,21 @@ OBSERVABILITY:
   checkpoint files and sweep manifests, showing per-source progress,
   throughput, and ETA; --once prints a single snapshot and exits,
   --interval-ms sets the poll period (default 2000).
+
+SERVING:
+  serve stands up a sharded multi-tenant encrypted-memory service:
+  --tenants isolated key domains (per-tenant key seed, line store, and
+  counter cache), --shards worker threads each draining a bounded queue
+  of --queue-depth requests. Each tenant's request stream is generated
+  from --benchmark (--requests per tenant, submitted in --batch-sized
+  chunks) and a full batch is rejected — never partially applied — when
+  a shard queue is full. Per-tenant results are bit-identical to a
+  single-threaded replay of the same stream: `deuce serve --replay`
+  prints exactly the per-tenant summary blocks the service prints,
+  whatever the shard count. --progress <file> appends serve_progress
+  JSONL lines `deuce watch` can tail; --store-dir backs each tenant's
+  line store with its own page file under <dir>. Wall-clock service
+  statistics go to stderr so stdout stays diffable.
 
 FAULTS:
   --faults injects online stuck-at cell faults: each cell dies once its
@@ -342,6 +363,68 @@ pub struct WatchArgs {
     pub interval_ms: u64,
 }
 
+/// `deuce serve` arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Isolated tenant key domains (`--tenants`).
+    pub tenants: usize,
+    /// Worker shard threads (`--shards`).
+    pub shards: usize,
+    /// Requests per tenant (`--requests`).
+    pub requests: usize,
+    /// Per-shard queue capacity (`--queue-depth`).
+    pub queue_depth: usize,
+    /// Requests per submitted batch (`--batch`).
+    pub batch: usize,
+    /// Scheme every tenant simulates (`--scheme`, default deuce).
+    pub scheme: SchemeConfig,
+    /// Benchmark profile generating each tenant's request stream.
+    pub benchmark: Benchmark,
+    /// Working-set lines per tenant (`--lines`).
+    pub lines: usize,
+    /// Base RNG / key seed; tenant `i` uses `seed + i` (`--seed`).
+    pub seed: u64,
+    /// Write aggregate telemetry (counters, serve spans, per-tenant and
+    /// per-shard records) to this JSONL file (`--telemetry`).
+    pub telemetry: Option<String>,
+    /// Append live `serve_progress` JSONL lines to this file for
+    /// `deuce watch` (`--progress`).
+    pub progress: Option<String>,
+    /// Per-tenant flight ring of the last N applied writes, dumped on
+    /// an uncorrectable write or a shard panic (`--flight-recorder`).
+    pub flight_recorder: Option<usize>,
+    /// Back each tenant's line store with a page file under this
+    /// directory (`--store-dir`); `None` = in-RAM arenas.
+    pub store_dir: Option<String>,
+    /// Resident-page budget per tenant page file (`--resident-pages`).
+    pub resident_pages: Option<usize>,
+    /// Single-threaded replay: print the per-tenant summary blocks the
+    /// service would print, without spinning up shards (`--replay`).
+    pub replay: bool,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        Self {
+            tenants: 2,
+            shards: 2,
+            requests: 10_000,
+            queue_depth: 1024,
+            batch: 32,
+            scheme: SchemeConfig::new(SchemeKind::Deuce),
+            benchmark: Benchmark::Libquantum,
+            lines: 256,
+            seed: 42,
+            telemetry: None,
+            progress: None,
+            flight_recorder: None,
+            store_dir: None,
+            resident_pages: None,
+            replay: false,
+        }
+    }
+}
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone)]
 pub enum Command {
@@ -361,6 +444,8 @@ pub enum Command {
     Report(ReportArgs),
     /// Live-monitor checkpoint files and sweep manifests.
     Watch(WatchArgs),
+    /// Run the sharded multi-tenant encrypted-memory service.
+    Serve(ServeArgs),
     /// Print usage.
     Help,
 }
@@ -436,6 +521,10 @@ impl Command {
                 ));
             }
             return Ok(Command::Watch(WatchArgs { paths, once, interval_ms }));
+        }
+
+        if subcommand == "serve" {
+            return Self::parse_serve(args);
         }
 
         let mut gen = GenArgs::default();
@@ -744,6 +833,99 @@ impl Command {
             "help" | "--help" | "-h" => Ok(Command::Help),
             other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
         }
+    }
+
+    /// Parses the `serve` subcommand's flags.
+    fn parse_serve<I: Iterator<Item = String>>(mut args: I) -> Result<Self, CliError> {
+        let mut serve = ServeArgs::default();
+        let mut epoch: Option<u64> = None;
+        let mut word_bytes: Option<usize> = None;
+        while let Some(flag) = args.next() {
+            let mut value = |flag: &str| {
+                args.next()
+                    .ok_or_else(|| CliError::Usage(format!("flag {flag} requires a value")))
+            };
+            match flag.as_str() {
+                "--tenants" => serve.tenants = parse_number(&value("--tenants")?, "--tenants")?,
+                "--shards" => serve.shards = parse_number(&value("--shards")?, "--shards")?,
+                "--requests" => {
+                    serve.requests = parse_number(&value("--requests")?, "--requests")?;
+                }
+                "--queue-depth" => {
+                    serve.queue_depth = parse_number(&value("--queue-depth")?, "--queue-depth")?;
+                }
+                "--batch" => serve.batch = parse_number(&value("--batch")?, "--batch")?,
+                "--scheme" => {
+                    serve.scheme = SchemeConfig::new(parse_scheme_kind(&value("--scheme")?)?);
+                }
+                "--epoch" => epoch = Some(parse_number(&value("--epoch")?, "--epoch")?),
+                "--word-bytes" => {
+                    word_bytes = Some(parse_number(&value("--word-bytes")?, "--word-bytes")?);
+                }
+                "--benchmark" => {
+                    serve.benchmark = Benchmark::from_name(&value("--benchmark")?)
+                        .map_err(|e| CliError::Usage(e.to_string()))?;
+                }
+                "--lines" => serve.lines = parse_number(&value("--lines")?, "--lines")?,
+                "--seed" => serve.seed = parse_number(&value("--seed")?, "--seed")?,
+                "--telemetry" => serve.telemetry = Some(value("--telemetry")?),
+                "--progress" => serve.progress = Some(value("--progress")?),
+                "--flight-recorder" => {
+                    let events: usize =
+                        parse_number(&value("--flight-recorder")?, "--flight-recorder")?;
+                    if events == 0 {
+                        return Err(CliError::Usage(
+                            "--flight-recorder must keep at least 1 event".into(),
+                        ));
+                    }
+                    serve.flight_recorder = Some(events);
+                }
+                "--store-dir" => serve.store_dir = Some(value("--store-dir")?),
+                "--resident-pages" => {
+                    let pages: usize =
+                        parse_number(&value("--resident-pages")?, "--resident-pages")?;
+                    if pages == 0 {
+                        return Err(CliError::Usage(
+                            "--resident-pages must keep at least 1 page resident".into(),
+                        ));
+                    }
+                    serve.resident_pages = Some(pages);
+                }
+                "--replay" => serve.replay = true,
+                other => return Err(CliError::Usage(format!("unknown flag {other:?}"))),
+            }
+        }
+        if serve.tenants == 0 || serve.shards == 0 || serve.requests == 0 {
+            return Err(CliError::Usage(
+                "--tenants, --shards, and --requests must all be at least 1".into(),
+            ));
+        }
+        if serve.queue_depth == 0 || serve.batch == 0 {
+            return Err(CliError::Usage(
+                "--queue-depth and --batch must be at least 1".into(),
+            ));
+        }
+        if serve.batch > serve.queue_depth {
+            return Err(CliError::Usage(
+                "--batch cannot exceed --queue-depth (an oversized batch can \
+                 never be accepted)"
+                    .into(),
+            ));
+        }
+        if serve.resident_pages.is_some() && serve.store_dir.is_none() {
+            return Err(CliError::Usage(
+                "--resident-pages requires --store-dir <dir>".into(),
+            ));
+        }
+        if let Some(e) = epoch {
+            serve.scheme.epoch =
+                EpochInterval::new(e).map_err(|e| CliError::Usage(e.to_string()))?;
+        }
+        if let Some(w) = word_bytes {
+            serve.scheme.word_size =
+                WordSize::from_bytes(w).map_err(|e| CliError::Usage(e.to_string()))?;
+        }
+        Ok(Command::Serve(serve))
     }
 }
 
@@ -1165,5 +1347,95 @@ mod tests {
         }
         assert!(matches!(parse(&["merge"]), Err(CliError::Usage(_))));
         assert!(matches!(parse(&["merge", "--shard", "a"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn serve_defaults_parse() {
+        match parse(&["serve"]).unwrap() {
+            Command::Serve(s) => assert_eq!(s, ServeArgs::default()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let cmd = parse(&[
+            "serve",
+            "--tenants",
+            "4",
+            "--shards",
+            "8",
+            "--requests",
+            "5000",
+            "--queue-depth",
+            "256",
+            "--batch",
+            "16",
+            "--scheme",
+            "dyndeuce",
+            "--epoch",
+            "64",
+            "--benchmark",
+            "mcf",
+            "--lines",
+            "512",
+            "--seed",
+            "7",
+            "--telemetry",
+            "serve.jsonl",
+            "--progress",
+            "serve-progress.jsonl",
+            "--flight-recorder",
+            "32",
+            "--store-dir",
+            "/tmp/pages",
+            "--resident-pages",
+            "64",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Serve(s) => {
+                assert_eq!(s.tenants, 4);
+                assert_eq!(s.shards, 8);
+                assert_eq!(s.requests, 5000);
+                assert_eq!(s.queue_depth, 256);
+                assert_eq!(s.batch, 16);
+                assert_eq!(s.scheme.kind, SchemeKind::DynDeuce);
+                assert_eq!(s.scheme.epoch, EpochInterval::new(64).unwrap());
+                assert_eq!(s.benchmark, Benchmark::Mcf);
+                assert_eq!(s.lines, 512);
+                assert_eq!(s.seed, 7);
+                assert_eq!(s.telemetry.as_deref(), Some("serve.jsonl"));
+                assert_eq!(s.progress.as_deref(), Some("serve-progress.jsonl"));
+                assert_eq!(s.flight_recorder, Some(32));
+                assert_eq!(s.store_dir.as_deref(), Some("/tmp/pages"));
+                assert_eq!(s.resident_pages, Some(64));
+                assert!(!s.replay);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&["serve", "--replay"]).unwrap() {
+            Command::Serve(s) => assert!(s.replay),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_unsatisfiable_shapes() {
+        // A batch larger than the queue can never be accepted — the
+        // parser refuses the livelock up front.
+        assert!(matches!(
+            parse(&["serve", "--batch", "64", "--queue-depth", "32"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(parse(&["serve", "--tenants", "0"]), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&["serve", "--shards", "0"]), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&["serve", "--queue-depth", "0"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&["serve", "--resident-pages", "16"]),
+            Err(CliError::Usage(_)),
+        ), "--resident-pages without --store-dir");
+        assert!(matches!(parse(&["serve", "--flip"]), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&["serve", "--seed"]), Err(CliError::Usage(_))));
     }
 }

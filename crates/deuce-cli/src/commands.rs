@@ -4,6 +4,8 @@ use std::collections::{BTreeSet, HashSet};
 use std::fs::File;
 use std::io::{BufWriter, IsTerminal, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
 use deuce_nvm::EnergyParams;
 use deuce_schemes::{SchemeConfig, SchemeKind, WordSize};
@@ -22,7 +24,13 @@ use deuce_trace::{
     TraceIoError, TraceSource, TraceStats, WriteSource,
 };
 
-use crate::args::{CliError, GenArgs, MergeArgs, ReportArgs, RunArgs, StatsArgs, TraceFormat};
+use deuce_serve::{
+    request_event, Request, ServeError, ServeReport, ServeStats, ServiceBuilder, SubmitError,
+};
+
+use crate::args::{
+    CliError, GenArgs, MergeArgs, ReportArgs, RunArgs, ServeArgs, StatsArgs, TraceFormat,
+};
 use crate::format::{FaultSummary, PadCacheSummary, RunSummary, StoreSummary, METRIC_HEADER};
 
 fn trace_config(gen: &GenArgs) -> TraceConfig {
@@ -865,6 +873,9 @@ const KNOWN_KINDS: &[&str] = &[
     "flight",
     "run_checkpoint",
     "run_total",
+    "serve_progress",
+    "serve_tenant",
+    "serve_shard",
 ];
 
 /// `deuce report`: render a telemetry JSONL file as text tables. The
@@ -947,6 +958,332 @@ pub fn report<W: Write>(args: &ReportArgs, out: &mut W) -> Result<(), CliError> 
                 span.u64("self_ns").unwrap_or(0),
             )?;
         }
+    }
+    Ok(())
+}
+
+/// The name tenant `index` registers under (and the page-file stem it
+/// gets with `--store-dir`).
+fn serve_tenant_name(index: usize) -> String {
+    format!("t{index}")
+}
+
+/// One tenant's simulator configuration: the shared scheme, a
+/// per-tenant key domain (`seed + index`), and — with `--store-dir` —
+/// a private page file. Replay runs use a distinct file name so a
+/// verification replay never touches the service's pages.
+fn serve_tenant_config(args: &ServeArgs, index: usize, replay: bool) -> SimConfig {
+    let mut config =
+        SimConfig::with_scheme(args.scheme).key_seed(args.seed + index as u64);
+    if let Some(dir) = &args.store_dir {
+        let suffix = if replay { "replay.pages" } else { "pages" };
+        config = config.with_store_backend(StoreBackend::File(FileStoreConfig::new(
+            format!("{dir}/{}.{suffix}", serve_tenant_name(index)),
+            args.resident_pages.unwrap_or(DEFAULT_RESIDENT_PAGES),
+        )));
+    }
+    config
+}
+
+/// Materialises tenant `index`'s request stream: the benchmark
+/// generator at `--requests` writes, collapsed onto a single core with
+/// a per-tenant seed. The same function feeds both the sharded service
+/// and the `--replay` verification path, so the two see byte-identical
+/// streams.
+fn serve_requests(args: &ServeArgs, index: usize) -> Result<Vec<Request>, CliError> {
+    let mut source = TraceConfig::new(args.benchmark)
+        .lines(args.lines)
+        .writes(args.requests)
+        .cores(1)
+        .seed(args.seed + index as u64)
+        .stream();
+    let mut requests = Vec::new();
+    while let Some(event) = source.next_event()? {
+        match event.op {
+            Op::Read => requests.push(Request::read(event.line)),
+            Op::Write => requests.push(Request::write(
+                event.line,
+                event.data.expect("generator writes carry data"),
+            )),
+        }
+    }
+    Ok(requests)
+}
+
+/// Prints one tenant's deterministic summary block. `deuce serve` and
+/// `deuce serve --replay` both end in this function, so their stdout
+/// diffs clean whenever the service honoured its determinism contract.
+fn write_tenant_block<W: Write>(
+    out: &mut W,
+    name: &str,
+    scheme: SchemeKind,
+    applied: u64,
+    fingerprint: u64,
+    degraded: bool,
+    result: &SimResult,
+) -> Result<(), CliError> {
+    writeln!(out, "== tenant {name}")?;
+    writeln!(out, "scheme\t{scheme}")?;
+    writeln!(out, "requests\t{applied}")?;
+    writeln!(out, "fingerprint\t{fingerprint:016x}")?;
+    writeln!(out, "degraded\t{degraded}")?;
+    RunSummary::from(result).write_to(out)?;
+    if let Some(stats) = result.store {
+        StoreSummary::from(stats).write_to(out)?;
+    }
+    Ok(())
+}
+
+/// Single-threaded ground truth: replays every tenant's stream through
+/// a plain session and prints the same blocks the service prints.
+fn serve_replay<W: Write>(args: &ServeArgs, out: &mut W) -> Result<(), CliError> {
+    for index in 0..args.tenants {
+        let requests = serve_requests(args, index)?;
+        let simulator = Simulator::new(serve_tenant_config(args, index, true));
+        let mut session = simulator.owned_session(1)?;
+        for (seq, request) in requests.iter().enumerate() {
+            session.step(&request_event(seq as u64, request));
+        }
+        let fingerprint = session.content_fingerprint();
+        let degraded = session.uncorrectable();
+        let result = session.finish()?;
+        write_tenant_block(
+            out,
+            &serve_tenant_name(index),
+            args.scheme.kind,
+            requests.len() as u64,
+            fingerprint,
+            degraded,
+            &result,
+        )?;
+    }
+    Ok(())
+}
+
+fn serve_error(e: ServeError) -> CliError {
+    match e {
+        ServeError::Store { tenant, error } => {
+            CliError::Store(format!("tenant {tenant}: {error}"))
+        }
+        other => CliError::Usage(other.to_string()),
+    }
+}
+
+/// Appends one `serve_progress` JSONL line — the record `deuce watch`
+/// tails for live applied/rejected counts and an ETA.
+fn write_serve_progress<W: Write>(
+    out: &mut W,
+    stats: &ServeStats,
+    total: u64,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "{{\"type\":\"serve_progress\",\"submitted\":{},\"applied\":{},\"rejected\":{},\
+         \"total\":{total},\"elapsed_ms\":{}}}",
+        stats.submitted,
+        stats.applied,
+        stats.rejected,
+        stats.elapsed.as_millis(),
+    )?;
+    out.flush()?;
+    Ok(())
+}
+
+/// Post-run telemetry: the aggregate recorder in the standard JSONL +
+/// CSV format, then one `serve_tenant` line per tenant and one
+/// `serve_shard` line per shard appended to the JSONL file.
+fn write_serve_telemetry(path: &str, report: &ServeReport) -> Result<(), CliError> {
+    write_telemetry(path, &[("serve".to_string(), report.recorder.clone())])?;
+    let mut file = BufWriter::new(std::fs::OpenOptions::new().append(true).open(path)?);
+    for tenant in &report.tenants {
+        writeln!(
+            file,
+            "{{\"type\":\"serve_tenant\",\"run\":\"serve\",\"tenant\":\"{}\",\
+             \"requests\":{},\"fingerprint\":\"{:016x}\",\"degraded\":{}}}",
+            tenant.name,
+            tenant.requests_applied,
+            tenant.fingerprint,
+            // The telemetry parser speaks strings and numbers only.
+            u8::from(tenant.degraded),
+        )?;
+    }
+    for (index, shard) in report.shards.iter().enumerate() {
+        writeln!(
+            file,
+            "{{\"type\":\"serve_shard\",\"run\":\"serve\",\"shard\":{index},\
+             \"drained\":{},\"batches\":{},\"max_depth\":{},\"drain_wall_ns\":{},\
+             \"apply_wall_ns\":{}}}",
+            shard.drained,
+            shard.batches,
+            shard.max_depth,
+            shard.drain_wall_ns,
+            shard.apply_wall_ns,
+        )?;
+    }
+    file.flush()?;
+    Ok(())
+}
+
+/// Where a degraded tenant's flight ring is dumped: next to the run's
+/// telemetry or progress file, tagged with the tenant name.
+fn serve_flight_path(args: &ServeArgs, tenant: &str) -> String {
+    let base = args
+        .telemetry
+        .as_deref()
+        .or(args.progress.as_deref())
+        .unwrap_or("deuce-serve");
+    format!("{base}.{tenant}.flight.jsonl")
+}
+
+/// `deuce serve`: run a sharded multi-tenant service over generated
+/// request streams, then print one deterministic summary block per
+/// tenant. Stdout is bit-identical to `deuce serve --replay` with the
+/// same flags at any `--shards` count; wall-clock service statistics
+/// (requests/sec, per-shard accounting) go to stderr.
+///
+/// # Errors
+///
+/// Returns [`CliError::Store`] when a tenant's paged backend fails or
+/// a shard worker panics, and I/O errors from the output files.
+pub fn serve<W: Write>(args: &ServeArgs, out: &mut W) -> Result<(), CliError> {
+    if args.replay {
+        return serve_replay(args, out);
+    }
+    let streams: Vec<Vec<Request>> = (0..args.tenants)
+        .map(|index| serve_requests(args, index))
+        .collect::<Result<_, _>>()?;
+    let total: u64 = streams.iter().map(|s| s.len() as u64).sum();
+
+    let mut builder = ServiceBuilder::new()
+        .shards(args.shards)
+        .queue_depth(args.queue_depth);
+    if let Some(events) = args.flight_recorder {
+        builder = builder.with_flight_recorder(events);
+    }
+    for index in 0..args.tenants {
+        builder = builder.tenant(
+            serve_tenant_name(index),
+            serve_tenant_config(args, index, false),
+        );
+    }
+    let handle = builder.start().map_err(serve_error)?;
+
+    let mut progress_file = match &args.progress {
+        Some(path) => Some(BufWriter::new(File::create(path)?)),
+        None => None,
+    };
+
+    let done = AtomicUsize::new(0);
+    std::thread::scope(|scope| -> Result<(), CliError> {
+        let done = &done;
+        let handle = &handle;
+        for (index, requests) in streams.iter().enumerate() {
+            let id = handle
+                .tenant(&serve_tenant_name(index))
+                .expect("tenant registered above");
+            scope.spawn(move || {
+                for chunk in requests.chunks(args.batch) {
+                    loop {
+                        match handle.submit(id, chunk) {
+                            Ok(()) => break,
+                            Err(SubmitError::QueueFull { retry_after, .. }) => {
+                                std::thread::sleep(retry_after);
+                            }
+                            Err(SubmitError::ShuttingDown) => return,
+                        }
+                    }
+                }
+                done.fetch_add(1, Ordering::Release);
+            });
+        }
+        while done.load(Ordering::Acquire) < args.tenants {
+            std::thread::sleep(Duration::from_millis(50));
+            if let Some(file) = progress_file.as_mut() {
+                write_serve_progress(file, &handle.stats(), total)?;
+            }
+        }
+        Ok(())
+    })?;
+    let report = handle.shutdown();
+
+    if let Some(file) = progress_file.as_mut() {
+        // Final line: applied == total marks the stream complete for
+        // `deuce watch`.
+        write_serve_progress(
+            file,
+            &ServeStats {
+                submitted: report.submitted,
+                rejected: report.rejected,
+                applied: report.applied,
+                elapsed: report.elapsed,
+                shard_depths: Vec::new(),
+            },
+            total,
+        )?;
+    }
+
+    let stderr = std::io::stderr();
+    let mut err = stderr.lock();
+    writeln!(
+        err,
+        "serve: {} applied, {} rejected, {:.0} req/s over {:.2}s ({} shards)",
+        report.applied,
+        report.rejected,
+        report.requests_per_sec(),
+        report.elapsed.as_secs_f64(),
+        report.shards.len(),
+    )?;
+    writeln!(err, "shard\tdrained\tbatches\tmax_depth\tdrain_ms\tapply_ms")?;
+    for (index, shard) in report.shards.iter().enumerate() {
+        writeln!(
+            err,
+            "{index}\t{}\t{}\t{}\t{:.2}\t{:.2}",
+            shard.drained,
+            shard.batches,
+            shard.max_depth,
+            shard.drain_wall_ns as f64 / 1e6,
+            shard.apply_wall_ns as f64 / 1e6,
+        )?;
+    }
+
+    if let Some(path) = &args.telemetry {
+        write_serve_telemetry(path, &report)?;
+        writeln!(err, "telemetry\t{path}")?;
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+    for tenant in &report.tenants {
+        if tenant.degraded || !report.panicked_shards.is_empty() {
+            if let Some(flight) = &tenant.flight {
+                let path = serve_flight_path(args, &tenant.name);
+                let mut file = BufWriter::new(File::create(&path)?);
+                flight.write_jsonl(&mut file)?;
+                file.flush()?;
+                writeln!(err, "flight\t{path}")?;
+            }
+        }
+        match &tenant.result {
+            Ok(result) => write_tenant_block(
+                out,
+                &tenant.name,
+                args.scheme.kind,
+                tenant.requests_applied,
+                tenant.fingerprint,
+                tenant.degraded,
+                result,
+            )?,
+            Err(error) => {
+                writeln!(out, "== tenant {}", tenant.name)?;
+                writeln!(out, "error\t{error}")?;
+                failures.push(format!("tenant {}: {error}", tenant.name));
+            }
+        }
+    }
+    if !report.panicked_shards.is_empty() {
+        failures.push(format!("worker shards {:?} panicked", report.panicked_shards));
+    }
+    if let Some(first) = failures.into_iter().next() {
+        return Err(CliError::Store(format!("serve: {first}")));
     }
     Ok(())
 }

@@ -23,10 +23,10 @@ mod format;
 mod watch;
 
 pub use args::{
-    CliError, Command, FaultArgs, GenArgs, MergeArgs, ReportArgs, RunArgs, StatsArgs, TraceFormat,
-    WatchArgs,
+    CliError, Command, FaultArgs, GenArgs, MergeArgs, ReportArgs, RunArgs, ServeArgs, StatsArgs,
+    TraceFormat, WatchArgs,
 };
-pub use commands::{compare, gen, merge, report, run, stats, sweep};
+pub use commands::{compare, gen, merge, report, run, serve, stats, sweep};
 pub use watch::watch;
 pub use format::{FaultSummary, RunSummary, METRIC_HEADER};
 
@@ -50,6 +50,7 @@ where
         Command::Merge(args) => merge(&args, out),
         Command::Report(args) => report(&args, out),
         Command::Watch(args) => watch(&args, out),
+        Command::Serve(args) => serve(&args, out),
         Command::Help => {
             writeln!(out, "{}", args::USAGE)?;
             Ok(())

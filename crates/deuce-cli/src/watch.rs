@@ -1,14 +1,16 @@
 //! `deuce watch` — live monitoring of checkpointed runs and sharded
 //! sweeps.
 //!
-//! Watch tails the two progress formats other subcommands already
+//! Watch tails the three progress formats other subcommands already
 //! write: run checkpoint files (`run --stream --checkpoint`, JSONL
 //! `run_checkpoint` lines plus an optional `run_total` stream-length
-//! hint) and sweep manifests (`sweep --manifest`, a header line plus
-//! one line per finished cell). Both are append-only and flushed per
-//! record, so polling is just re-reading the file; a torn final line —
-//! a writer caught mid-append — is skipped, never an error, and the
-//! intact prefix still counts.
+//! hint), sweep manifests (`sweep --manifest`, a header line plus
+//! one line per finished cell), and serve telemetry streams
+//! (`serve --progress`, `serve_progress` lines; the last intact line
+//! wins). All are append-only and flushed per record, so polling is
+//! just re-reading the file; a torn final line — a writer caught
+//! mid-append — is skipped, never an error, and the intact prefix
+//! still counts.
 //!
 //! `--once` prints a single snapshot with no rates (rates need two
 //! samples) and exits — deterministic, so CI can diff it. Without it,
@@ -47,6 +49,15 @@ enum Progress {
         /// Cells in the whole grid.
         total: u64,
     },
+    /// A serve progress stream (`serve --progress`).
+    Serve {
+        /// Requests applied across all tenants so far.
+        applied: u64,
+        /// Requests rejected with queue-full so far.
+        rejected: u64,
+        /// Requests the run will apply in total.
+        total: u64,
+    },
 }
 
 impl Progress {
@@ -56,6 +67,7 @@ impl Progress {
             Progress::Waiting => 0,
             Progress::Run { events, .. } => events,
             Progress::Sweep { done, .. } => done,
+            Progress::Serve { applied, .. } => applied,
         }
     }
 
@@ -64,6 +76,7 @@ impl Progress {
             Progress::Waiting => false,
             Progress::Run { events, total, .. } => total.is_some_and(|t| events >= t),
             Progress::Sweep { done, total } => done >= total,
+            Progress::Serve { applied, total, .. } => applied >= total,
         }
     }
 
@@ -72,6 +85,7 @@ impl Progress {
             Progress::Waiting => "?",
             Progress::Run { .. } => "run",
             Progress::Sweep { .. } => "sweep",
+            Progress::Serve { .. } => "serve",
         }
     }
 
@@ -83,6 +97,9 @@ impl Progress {
                 None => format!("{events}/? events, {writes} writes"),
             },
             Progress::Sweep { done, total } => format!("{done}/{total} cells"),
+            Progress::Serve { applied, rejected, total } => {
+                format!("{applied}/{total} requests applied, {rejected} rejected")
+            }
         }
     }
 }
@@ -97,6 +114,7 @@ fn poll(path: &str) -> Progress {
     let mut cells_done: u64 = 0;
     let mut last_checkpoint: Option<(u64, u64)> = None;
     let mut run_total: Option<u64> = None;
+    let mut serve: Option<(u64, u64, u64)> = None;
     for line in text.lines() {
         let Ok(events) = parse_jsonl(line) else { continue };
         for event in &events {
@@ -110,11 +128,17 @@ fn poll(path: &str) -> Progress {
                 }
             } else if event.kind() == "run_total" {
                 run_total = event.u64("events");
+            } else if event.kind() == "serve_progress" {
+                if let (Some(a), Some(t)) = (event.u64("applied"), event.u64("total")) {
+                    serve = Some((a, event.u64("rejected").unwrap_or(0), t));
+                }
             }
         }
     }
     if let Some(total) = manifest_cells {
         Progress::Sweep { done: cells_done, total }
+    } else if let Some((applied, rejected, total)) = serve {
+        Progress::Serve { applied, rejected, total }
     } else if let Some((events, writes)) = last_checkpoint {
         Progress::Run { events, writes, total: run_total }
     } else if let Some(total) = run_total {
@@ -174,6 +198,7 @@ impl Tracker {
         let (value, total) = match self.progress {
             Progress::Run { events, total, .. } => (events, total?),
             Progress::Sweep { done, total } => (done, total),
+            Progress::Serve { applied, total, .. } => (applied, total),
             Progress::Waiting => return None,
         };
         Some(total.saturating_sub(value) as f64 / rate)
@@ -215,8 +240,9 @@ fn render<W: Write>(
     Ok(())
 }
 
-/// Tails checkpoint files and sweep manifests until every source
-/// completes (or forever, for sources with no known total).
+/// Tails checkpoint files, sweep manifests, and serve progress streams
+/// until every source completes (or forever, for sources with no known
+/// total).
 ///
 /// # Errors
 ///
@@ -290,6 +316,43 @@ mod tests {
         let p = poll(path.to_str().unwrap());
         assert_eq!(p, Progress::Sweep { done: 2, total: 4 }, "torn third cell is skipped");
         assert_eq!(p.describe(), "2/4 cells");
+    }
+
+    #[test]
+    fn classifies_serve_streams_last_line_wins() {
+        let path = dir().join("serve.jsonl");
+        fs::write(
+            &path,
+            "{\"type\":\"serve_progress\",\"submitted\":90,\"applied\":80,\
+             \"rejected\":3,\"total\":200,\"elapsed_ms\":12}\n\
+             {\"type\":\"serve_progress\",\"submitted\":200,\"applied\":150,\
+             \"rejected\":7,\"total\":200,\"elapsed_ms\":40}\n\
+             {\"type\":\"serve_progress\",\"submitted\":200,\"app",
+        )
+        .unwrap();
+        let p = poll(path.to_str().unwrap());
+        assert_eq!(
+            p,
+            Progress::Serve { applied: 150, rejected: 7, total: 200 },
+            "torn third line is skipped, second wins"
+        );
+        assert!(!p.complete());
+        assert_eq!(p.kind(), "serve");
+        assert_eq!(p.describe(), "150/200 requests applied, 7 rejected");
+    }
+
+    #[test]
+    fn serve_stream_completes_when_applied_reaches_total() {
+        let path = dir().join("serve-done.jsonl");
+        fs::write(
+            &path,
+            "{\"type\":\"serve_progress\",\"submitted\":200,\"applied\":200,\
+             \"rejected\":0,\"total\":200,\"elapsed_ms\":77}\n",
+        )
+        .unwrap();
+        let p = poll(path.to_str().unwrap());
+        assert!(p.complete());
+        assert_eq!(p.describe(), "200/200 requests applied, 0 rejected");
     }
 
     #[test]

@@ -215,6 +215,49 @@ impl<S: LineScheme, B: PageBackend<S>> LineStore<S, B> {
     pub fn io_error(&self) -> Option<String> {
         self.backend.io_error()
     }
+
+    /// An order-independent fingerprint of the store's entire contents:
+    /// a per-line FNV-1a hash over the address, the stored (encrypted)
+    /// image bytes, and the metadata bits, combined with a commutative
+    /// wrapping sum, so the value never depends on visitation order.
+    /// Two stores hold bit-identical memory images iff their
+    /// fingerprints match, regardless of backend (arena or paged) or
+    /// materialisation order. Hashing the stored image (not the
+    /// plaintext) keeps this pad-generation-free and O(lines).
+    ///
+    /// Lines are visited in ascending address order. The sum would make
+    /// any order produce the same value, but on a paged backend each
+    /// visit can fault a page in: the address index is a `HashMap`
+    /// whose iteration order varies per process, and walking it raw
+    /// makes `store_page_faults` / eviction counters — and which pages
+    /// end up resident — nondeterministic in every run that
+    /// fingerprints (checkpointed runs, the serve layer's replay
+    /// contract). Sorted order pins the paging side effects and is
+    /// page-sequential, the cheapest faulting pattern.
+    #[must_use]
+    pub fn content_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0100_0000_01b3;
+        let mut entries: Vec<(u64, u32)> =
+            self.index.iter().map(|(&addr, &slot)| (addr, slot)).collect();
+        entries.sort_unstable_by_key(|&(addr, _)| addr);
+        let mut combined: u64 = 0;
+        for (addr, slot) in entries {
+            let image = self.backend.with_slot(slot, |line| self.scheme.image(line));
+            let mut h = OFFSET;
+            for byte in addr.to_le_bytes() {
+                h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+            }
+            for &byte in image.data() {
+                h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+            }
+            for byte in image.meta().raw().to_le_bytes() {
+                h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+            }
+            combined = combined.wrapping_add(h);
+        }
+        combined
+    }
 }
 
 #[cfg(test)]
@@ -399,6 +442,33 @@ mod tests {
         assert!(after.0 > before.0, "flush wrote dirty pages");
         assert_ne!(after.1, before.1, "fingerprint advanced");
         assert!(paged.io_error().is_none());
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// The content fingerprint matches across backends under eviction
+    /// pressure, is insensitive to materialisation order, and moves
+    /// when any stored line changes.
+    #[test]
+    fn content_fingerprint_matches_across_backends_and_orders() {
+        let e = engine();
+        let config = SchemeConfig::new(SchemeKind::Deuce);
+        let mut arena = LineStore::new(AnyScheme::from_config(&config));
+        let mut reversed = LineStore::new(AnyScheme::from_config(&config));
+        let (mut paged, path) = paged_store(&config, "content-fp", 1);
+        let lines = 3 * SLOTS_PER_PAGE as u64;
+        let addrs: Vec<u64> = (0..lines).map(|l| l * 13 + 5).collect();
+        for &a in &addrs {
+            let _ = arena.write(&e, LineAddr::new(a), &[a as u8; LINE_BYTES]);
+            let _ = paged.write(&e, LineAddr::new(a), &[a as u8; LINE_BYTES]);
+        }
+        for &a in addrs.iter().rev() {
+            let _ = reversed.write(&e, LineAddr::new(a), &[a as u8; LINE_BYTES]);
+        }
+        assert_eq!(arena.content_fingerprint(), paged.content_fingerprint());
+        assert_eq!(arena.content_fingerprint(), reversed.content_fingerprint());
+        let before = arena.content_fingerprint();
+        let _ = arena.write(&e, LineAddr::new(addrs[0]), &[0xA5; LINE_BYTES]);
+        assert_ne!(before, arena.content_fingerprint(), "a changed line moves the fingerprint");
         let _ = std::fs::remove_file(path);
     }
 

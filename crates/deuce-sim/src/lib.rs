@@ -38,6 +38,7 @@ mod counter_cache;
 mod latency;
 mod manifest;
 mod result;
+mod session;
 mod simulator;
 mod sweep;
 mod timing;
@@ -54,6 +55,7 @@ pub use manifest::{
     ManifestWriter, ShardSpec,
 };
 pub use result::{FaultReport, SimResult};
+pub use session::{SessionBackend, SessionStep, StepSession};
 pub use simulator::{RunError, Simulator};
 pub use sweep::{ParallelSweep, SweepCell};
 pub use timing::MemoryTimingModel;

@@ -1,0 +1,735 @@
+//! Incremental (step-at-a-time) simulation sessions.
+//!
+//! [`StepSession`] is the simulator's drive loop turned inside out:
+//! instead of pulling events from a [`deuce_trace::WriteSource`] until
+//! it runs dry, a session is fed one [`TraceEvent`] at a time and
+//! finished explicitly. `Simulator::run_source` and friends are thin
+//! loops over a session, so a stepped run is bit-identical to a
+//! streamed one by construction — the property the `deuce-serve`
+//! front end's per-tenant determinism contract rests on.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::time::Instant;
+
+use deuce_crypto::{LineAddr, OtpEngine, PadCacheStats, PadTimingStats};
+use deuce_memctl::{
+    EcpConfig, EcpRepair, FaultEvents, MemoryPipeline, RepairAction, SchemeStage, StepOutcome,
+    WearStage, WriteEffect,
+};
+use deuce_nvm::{CellArray, StuckAtFaults};
+use deuce_schemes::{
+    ArenaBackend, FilePageBackend, LineBytes, LineMut, LineRef, LineScheme, LineStore, PageBackend,
+    StateCodec, StorePageStats, WriteOutcome,
+};
+use deuce_telemetry::{
+    FaultObservation, FlightEvent, Gauge, NullRecorder, Recorder, StoreTelemetry, WriteObservation,
+};
+use deuce_trace::TraceEvent;
+use deuce_wear::{HorizontalWearLeveler, HwlMode, SecurityRefresh, StartGap};
+
+use crate::checkpoint::RunCheckpoint;
+use crate::config::{SimConfig, VerticalWl};
+use crate::counter_cache::CounterCache;
+use crate::result::{FaultReport, SimResult};
+use crate::simulator::RunError;
+use crate::timing::MemoryTimingModel;
+
+/// What one stepped event did to the simulated memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStep {
+    /// A read: queued, timed, and counted, but no line mutation.
+    Read,
+    /// The first write to a line — the initial placement, encrypted as
+    /// it enters memory (§3.1) and not counted in the flip statistics.
+    FirstTouch,
+    /// A counted write through the scheme state machine.
+    Write {
+        /// Figure-of-merit bit flips this write cost (data + metadata,
+        /// plus counter bits when the configured metric counts them).
+        flips: u64,
+        /// Write slots (device write-unit occupancy) consumed.
+        slots: u32,
+        /// Whether this write started a new DEUCE epoch.
+        epoch_started: bool,
+        /// Whether the wear/fault layer declared this write
+        /// uncorrectable (fault injection only).
+        uncorrectable: bool,
+    },
+}
+
+/// The slot backend a runtime-configured [`StepSession`] runs over:
+/// whichever of the two shipped [`PageBackend`]s the session's
+/// [`crate::StoreBackend`] picked. Delegates every call, so a session
+/// over this enum observes the exact slot contents the monomorphised
+/// backends would.
+#[derive(Debug)]
+pub enum SessionBackend<S: LineScheme>
+where
+    S::State: StateCodec,
+{
+    /// Every page resident in RAM.
+    Arena(ArenaBackend<S>),
+    /// An LRU resident-page cache over a page file.
+    File(FilePageBackend<S>),
+}
+
+impl<S: LineScheme> PageBackend<S> for SessionBackend<S>
+where
+    S::State: StateCodec,
+{
+    fn push(&mut self, stored: &LineBytes, shadow: Option<&LineBytes>, state: S::State) -> u32 {
+        match self {
+            SessionBackend::Arena(b) => b.push(stored, shadow, state),
+            SessionBackend::File(b) => b.push(stored, shadow, state),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            SessionBackend::Arena(b) => b.len(),
+            SessionBackend::File(b) => b.len(),
+        }
+    }
+
+    fn with_slot_mut<T>(&mut self, slot: u32, f: impl FnOnce(LineMut<'_, S::State>) -> T) -> T {
+        match self {
+            SessionBackend::Arena(b) => b.with_slot_mut(slot, f),
+            SessionBackend::File(b) => b.with_slot_mut(slot, f),
+        }
+    }
+
+    fn with_slot<T>(&self, slot: u32, f: impl FnOnce(LineRef<'_, S::State>) -> T) -> T {
+        match self {
+            SessionBackend::Arena(b) => b.with_slot(slot, f),
+            SessionBackend::File(b) => b.with_slot(slot, f),
+        }
+    }
+
+    fn per_line_bytes(&self) -> u64 {
+        match self {
+            SessionBackend::Arena(b) => b.per_line_bytes(),
+            SessionBackend::File(b) => b.per_line_bytes(),
+        }
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        match self {
+            SessionBackend::Arena(b) => b.resident_bytes(),
+            SessionBackend::File(b) => b.resident_bytes(),
+        }
+    }
+
+    fn paging_stats(&self) -> Option<StorePageStats> {
+        match self {
+            SessionBackend::Arena(b) => b.paging_stats(),
+            SessionBackend::File(b) => b.paging_stats(),
+        }
+    }
+
+    fn flush(&mut self) {
+        match self {
+            SessionBackend::Arena(b) => b.flush(),
+            SessionBackend::File(b) => b.flush(),
+        }
+    }
+
+    fn flush_state(&self) -> (u64, u64) {
+        match self {
+            SessionBackend::Arena(b) => b.flush_state(),
+            SessionBackend::File(b) => b.flush_state(),
+        }
+    }
+
+    fn io_error(&self) -> Option<String> {
+        match self {
+            SessionBackend::Arena(b) => b.io_error(),
+            SessionBackend::File(b) => b.io_error(),
+        }
+    }
+}
+
+/// One in-flight simulation: the staged pipeline plus the running
+/// [`SimResult`], fed one event at a time.
+///
+/// Construct via [`Simulator::session`](crate::Simulator::session)
+/// (borrowing the simulator's engine) or
+/// [`Simulator::owned_session`](crate::Simulator::owned_session)
+/// (cloning it, for sessions that must own their state — e.g. one per
+/// tenant in `deuce-serve`). The engine parameter `E` is anything that
+/// borrows an [`OtpEngine`]; the backend parameter `B` defaults to the
+/// runtime-selected [`SessionBackend`].
+///
+/// # Examples
+///
+/// ```
+/// use deuce_schemes::SchemeKind;
+/// use deuce_sim::{SessionStep, SimConfig, Simulator};
+/// use deuce_trace::{LineAddr, TraceEvent};
+///
+/// let simulator = Simulator::new(SimConfig::new(SchemeKind::Deuce));
+/// let mut session = simulator.session(1).unwrap();
+/// let addr = LineAddr::new(7);
+/// // First touch materialises the line; the second write is counted.
+/// assert_eq!(session.step(&TraceEvent::write(0, 1, addr, [1u8; 64])),
+///            SessionStep::FirstTouch);
+/// assert!(matches!(session.step(&TraceEvent::write(0, 2, addr, [2u8; 64])),
+///                  SessionStep::Write { .. }));
+/// let result = session.finish().unwrap();
+/// assert_eq!(result.writes, 1);
+/// ```
+#[derive(Debug)]
+pub struct StepSession<S, E = OtpEngine, B = SessionBackend<S>>
+where
+    S: LineScheme,
+    E: Borrow<OtpEngine>,
+    B: PageBackend<S>,
+{
+    pipeline: MemoryPipeline<CounterCache, StoreStage<S, E, B>, WearState, MemoryTimingModel>,
+    result: SimResult,
+    events_consumed: u64,
+    pad_cache_start: Option<PadCacheStats>,
+    pad_timing_start: Option<PadTimingStats>,
+}
+
+impl<S, E, B> StepSession<S, E, B>
+where
+    S: LineScheme,
+    E: Borrow<OtpEngine>,
+    B: PageBackend<S>,
+{
+    /// Assembles the staged pipeline exactly as the streaming drive
+    /// loop does. `time_repairs` turns on wall-clock self-timing of the
+    /// ECP repair ladder (span tracing only; never simulated time).
+    pub(crate) fn build(
+        config: &SimConfig,
+        scheme: S,
+        engine: E,
+        backend: B,
+        cores: usize,
+        time_repairs: bool,
+    ) -> Self {
+        let timing = MemoryTimingModel::with_power_channels(
+            config.timing,
+            config.cpu,
+            config.geometry,
+            cores,
+            config.power_channels,
+        );
+
+        let meta_bits = scheme.metadata_bits();
+        let bits_per_line = deuce_crypto::LINE_BITS as u32 + meta_bits;
+        assert!(
+            config.faults.is_none() || config.wear.is_some(),
+            "fault injection requires wear tracking: combine SimConfig::with_faults \
+             with SimConfig::with_wear"
+        );
+        let wear_state = config.wear.map(|w| {
+            let faults = config.faults;
+            WearState {
+                // With faults on, the cell array also covers the spare
+                // pool — retirement moves a line's traffic there and the
+                // spares wear out like any other line.
+                cells: match faults {
+                    Some(f) => CellArray::with_faults(
+                        w.lines + f.spare_lines as usize,
+                        bits_per_line,
+                        StuckAtFaults::new(f.endurance, f.endurance_scale),
+                    ),
+                    None => CellArray::new(w.lines, bits_per_line),
+                },
+                repair: faults.map(|f| {
+                    EcpRepair::new(
+                        w.lines,
+                        EcpConfig {
+                            entries_per_line: f.ecp_entries,
+                            spare_lines: f.spare_lines,
+                        },
+                    )
+                }),
+                lines: w.lines,
+                vwl: match w.vwl {
+                    VerticalWl::StartGap => {
+                        Leveler::StartGap(StartGap::new(w.lines.max(2), w.gap_interval))
+                    }
+                    VerticalWl::SecurityRefresh => Leveler::SecurityRefresh(SecurityRefresh::new(
+                        w.lines.max(2).next_power_of_two(),
+                        w.gap_interval,
+                        config.key_seed,
+                    )),
+                },
+                hwl: w.hwl,
+                bits_per_line,
+                index_of: HashMap::new(),
+                time_repairs,
+                repair_wall_ns: 0,
+                repair_calls: 0,
+            }
+        });
+
+        // The engine (and its cache) may outlive the session, so per-run
+        // hit/miss totals are the delta over this session.
+        let pad_cache_start = engine.borrow().pad_cache_stats();
+        let pad_timing_start = engine.borrow().pad_timing_stats();
+
+        let store = StoreStage {
+            store: LineStore::with_backend(scheme, backend),
+            engine,
+        };
+        let counters_per_line = config
+            .counter_cache
+            .map_or(16, |cache| cache.counters_per_line);
+        let pipeline = MemoryPipeline::new(store, timing, config.slot)
+            .with_counter_stage(config.counter_cache.map(CounterCache::new), counters_per_line)
+            .with_wear_stage(wear_state);
+
+        let result = SimResult {
+            counters_in_metric: config.metric.count_counter_bits,
+            energy_params: config.energy,
+            metadata_bits: meta_bits,
+            faults: config.faults.map(|_| FaultReport::default()),
+            ..SimResult::default()
+        };
+
+        Self {
+            pipeline,
+            result,
+            events_consumed: 0,
+            pad_cache_start,
+            pad_timing_start,
+        }
+    }
+
+    /// Feeds one event through the pipeline. Events must arrive in the
+    /// stream's logical order; the session's result after any prefix is
+    /// bit-identical to a streamed run over that prefix.
+    pub fn step(&mut self, event: &TraceEvent) -> SessionStep {
+        self.step_recorded(event, &mut NullRecorder)
+    }
+
+    /// [`step`](Self::step) with telemetry recording. Recording never
+    /// changes the result.
+    pub fn step_recorded<R: Recorder>(&mut self, event: &TraceEvent, rec: &mut R) -> SessionStep {
+        let wants_flight = R::ENABLED && rec.wants_flight();
+        self.events_consumed += 1;
+        match self.pipeline.step_recorded(event, rec) {
+            StepOutcome::Read => {
+                self.result.reads += 1;
+                SessionStep::Read
+            }
+            StepOutcome::FirstTouch => {
+                // Not a counted write, but a post-mortem wants to see
+                // initial placements too.
+                if wants_flight {
+                    rec.flight_observed(FlightEvent {
+                        write_index: 0,
+                        addr: event.line.value(),
+                        action: "first_touch",
+                        flips: 0,
+                        slots: 0,
+                        epoch_started: false,
+                        sim_ns: self.pipeline.timing.exec_time_ns(),
+                        cell_deaths: 0,
+                        ecp_consumed: 0,
+                        retired: false,
+                        uncorrectable: false,
+                    });
+                }
+                SessionStep::FirstTouch
+            }
+            StepOutcome::Write(effect) => {
+                fold_effect(&mut self.result, &effect);
+                if effect.faults.any() {
+                    fold_faults(&mut self.result, &effect.faults);
+                    if R::ENABLED {
+                        rec.fault_observed(&FaultObservation {
+                            sim_ns: self.pipeline.timing.exec_time_ns(),
+                            write_index: self.result.writes,
+                            cell_deaths: effect.faults.cell_deaths,
+                            ecp_consumed: effect.faults.ecp_consumed,
+                            retired: effect.faults.retired,
+                            uncorrectable: effect.faults.uncorrectable,
+                        });
+                    }
+                }
+                let mut flips =
+                    u64::from(effect.outcome.flips.data) + u64::from(effect.outcome.flips.meta);
+                if self.result.counters_in_metric {
+                    flips += u64::from(effect.outcome.counter_flips);
+                }
+                if R::ENABLED {
+                    let (hits, misses) = self
+                        .pipeline
+                        .counters
+                        .as_ref()
+                        .map_or((0, 0), |c| (c.hits(), c.misses()));
+                    rec.write_observed(&WriteObservation {
+                        sim_ns: self.pipeline.timing.exec_time_ns(),
+                        flips,
+                        slots: effect.slots,
+                        cache_hits: hits,
+                        cache_misses: misses,
+                    });
+                    if wants_flight {
+                        rec.flight_observed(FlightEvent {
+                            write_index: self.result.writes,
+                            addr: event.line.value(),
+                            action: "write",
+                            flips,
+                            slots: effect.slots,
+                            epoch_started: effect.outcome.epoch_started,
+                            sim_ns: self.pipeline.timing.exec_time_ns(),
+                            cell_deaths: effect.faults.cell_deaths,
+                            ecp_consumed: effect.faults.ecp_consumed,
+                            retired: effect.faults.retired,
+                            uncorrectable: effect.faults.uncorrectable,
+                        });
+                    }
+                }
+                SessionStep::Write {
+                    flips,
+                    slots: effect.slots,
+                    epoch_started: effect.outcome.epoch_started,
+                    uncorrectable: effect.faults.uncorrectable,
+                }
+            }
+        }
+    }
+
+    /// A [`RunCheckpoint`] capturing the session as of the last stepped
+    /// event — exactly what a streamed checkpointed run would emit at
+    /// this position.
+    #[must_use]
+    pub fn checkpoint(&self) -> RunCheckpoint {
+        RunCheckpoint::capture(
+            self.events_consumed,
+            &self.result,
+            self.pipeline.timing.exec_time_ns(),
+            self.pipeline.schemes.store.flush_state(),
+        )
+    }
+
+    /// The running result (end-of-run fields like `exec_time_ns` are
+    /// only filled in by [`finish`](Self::finish)).
+    #[must_use]
+    pub fn result(&self) -> &SimResult {
+        &self.result
+    }
+
+    /// Events stepped so far.
+    #[must_use]
+    pub fn events_consumed(&self) -> u64 {
+        self.events_consumed
+    }
+
+    /// Whether any stepped write was declared uncorrectable by the
+    /// fault layer. Always `false` without fault injection.
+    #[must_use]
+    pub fn uncorrectable(&self) -> bool {
+        self.result
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.uncorrectable_writes > 0)
+    }
+
+    /// An order-independent fingerprint of the session's current memory
+    /// image (see `LineStore::content_fingerprint`): equal fingerprints
+    /// mean bit-identical stored lines, regardless of backend or
+    /// materialisation order.
+    #[must_use]
+    pub fn content_fingerprint(&self) -> u64 {
+        self.pipeline.schemes.store.content_fingerprint()
+    }
+
+    /// Finalises the session: flushes the store, folds end-of-run
+    /// statistics into the result, and returns it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Store`] when the backend latched an I/O
+    /// error during the session.
+    pub fn finish(self) -> Result<SimResult, RunError> {
+        self.finish_recorded(&mut NullRecorder)
+    }
+
+    /// [`finish`](Self::finish) with telemetry recording: emits the
+    /// end-of-run store/wear/cache totals, gauges, and span attachments
+    /// into `rec`. (The caller owns the enclosing `"run"` span, if any.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Store`] when the backend latched an I/O
+    /// error during the session.
+    pub fn finish_recorded<R: Recorder>(mut self, rec: &mut R) -> Result<SimResult, RunError> {
+        let wants_spans = R::ENABLED && rec.wants_spans();
+        self.result.exec_time_ns = self.pipeline.timing.exec_time_ns();
+        self.result.line_store_bytes = self.pipeline.schemes.resident_bytes();
+        // End-of-run flush of dirty resident pages (no-op for the
+        // arena), then collect paging statistics and surface any I/O
+        // error the backend latched mid-run.
+        self.pipeline.schemes.store.flush();
+        if let Some(error) = self.pipeline.schemes.store.io_error() {
+            return Err(RunError::Store(error));
+        }
+        self.result.store = self.pipeline.schemes.store.paging_stats();
+        if R::ENABLED {
+            if let Some(stats) = &self.result.store {
+                rec.store_totals(&StoreTelemetry {
+                    page_faults: stats.page_faults,
+                    page_evictions: stats.page_evictions,
+                    pages_flushed: stats.pages_flushed,
+                    resident_bytes: stats.resident_bytes,
+                    peak_resident_bytes: stats.peak_resident_bytes,
+                });
+            }
+        }
+        if let Some(wear) = self.pipeline.wear {
+            // Fold the repair ladder's self-measured wall time in as a
+            // child of the wear stage before the state is consumed.
+            if wants_spans && wear.repair_calls > 0 {
+                rec.span_attach(
+                    Some("stage:wear"),
+                    "ecp_repair",
+                    wear.repair_wall_ns,
+                    wear.repair_calls,
+                );
+            }
+            if let (Some(report), Some(repair)) =
+                (self.result.faults.as_mut(), wear.repair.as_ref())
+            {
+                report.spare_lines_left = repair.spares_left();
+                report.ecp_entries_used =
+                    (0..repair.lines()).map(|l| repair.entries_used(l)).collect();
+                if R::ENABLED {
+                    for &entries in &report.ecp_entries_used {
+                        rec.ecp_entries_used(u64::from(entries));
+                    }
+                }
+            }
+            self.result.cells = Some(wear.cells);
+        }
+        if let Some(cache) = &self.pipeline.counters {
+            self.result.counter_cache_misses = cache.misses();
+            self.result.counter_cache_writebacks = cache.writebacks();
+            self.result.counter_cache_hit_ratio = cache.hit_ratio();
+        }
+        if let Some(start) = self.pad_cache_start {
+            let end = self
+                .pipeline
+                .schemes
+                .engine
+                .borrow()
+                .pad_cache_stats()
+                .expect("cache attached for the whole run");
+            let stats = PadCacheStats {
+                hits: end.hits - start.hits,
+                misses: end.misses - start.misses,
+            };
+            self.result.pad_cache = Some(stats);
+            if R::ENABLED {
+                rec.pad_cache_totals(stats.hits, stats.misses);
+            }
+        }
+        if R::ENABLED {
+            rec.gauge(Gauge::ExecTimeNs, self.result.exec_time_ns);
+            rec.gauge(Gauge::EnergyPj, self.result.energy_pj());
+            rec.gauge(Gauge::HitRatio, self.result.counter_cache_hit_ratio);
+            rec.gauge(Gauge::MetadataBits, f64::from(self.result.metadata_bits));
+            rec.gauge(Gauge::LineStoreBytes, self.result.line_store_bytes as f64);
+        }
+        if wants_spans {
+            // Pad generation times itself inside the engine (the cache
+            // check would hide it from a caller-side clock); the engine
+            // may outlive the run, so take the delta, and hang it under
+            // the scheme stage where the AES work is charged.
+            if let Some(start) = self.pad_timing_start {
+                let end = self
+                    .pipeline
+                    .schemes
+                    .engine
+                    .borrow()
+                    .pad_timing_stats()
+                    .expect("pad timing attached for the whole run");
+                rec.span_attach(
+                    Some("stage:scheme"),
+                    "pad_generation",
+                    end.wall_ns - start.wall_ns,
+                    end.calls - start.calls,
+                );
+            }
+        }
+        Ok(self.result)
+    }
+
+    /// Whether a pad cache is attached to this session's engine.
+    pub(crate) fn pad_cache_attached(&self) -> bool {
+        self.pad_cache_start.is_some()
+    }
+}
+
+/// Wall-clock nanoseconds since `started`, saturating.
+pub(crate) fn elapsed_ns(started: Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Accumulates one counted write's effect into the aggregate result.
+fn fold_effect(result: &mut SimResult, effect: &WriteEffect) {
+    result.writes += 1;
+    result.data_flips += u64::from(effect.outcome.flips.data);
+    result.meta_flips += u64::from(effect.outcome.flips.meta);
+    result.counter_flips += u64::from(effect.outcome.counter_flips);
+    result.epoch_starts += u64::from(effect.outcome.epoch_started);
+    result.total_slots += u64::from(effect.slots);
+}
+
+/// Accumulates one write's fault events into the fault report.
+/// `result.writes` has already been bumped by [`fold_effect`], so the
+/// recorded first-event indices are 1-based write positions.
+fn fold_faults(result: &mut SimResult, faults: &FaultEvents) {
+    let report = result
+        .faults
+        .as_mut()
+        .expect("fault events only flow when fault injection is configured");
+    report.cell_deaths += u64::from(faults.cell_deaths);
+    report.ecp_entries_consumed += u64::from(faults.ecp_consumed);
+    report.lines_retired += u64::from(faults.retired);
+    report.uncorrectable_writes += u64::from(faults.uncorrectable);
+    if faults.retired && report.first_retirement_write.is_none() {
+        report.first_retirement_write = Some(result.writes);
+    }
+    if faults.uncorrectable && report.first_uncorrectable_write.is_none() {
+        report.first_uncorrectable_write = Some(result.writes);
+    }
+}
+
+/// Stage 2: a [`LineStore`] materialising lines lazily over the
+/// configured backend (in-RAM arena or out-of-core page file). The
+/// first write to an address is the initial placement (encrypted as it
+/// enters memory, per §3.1) and is not counted.
+///
+/// The engine is anything borrowing an [`OtpEngine`]: the streaming
+/// drive loop borrows the simulator's (so its pad cache persists across
+/// runs), while owned sessions carry a clone.
+#[derive(Debug)]
+pub(crate) struct StoreStage<S: LineScheme, E: Borrow<OtpEngine>, B: PageBackend<S>> {
+    pub(crate) store: LineStore<S, B>,
+    pub(crate) engine: E,
+}
+
+impl<S: LineScheme, E: Borrow<OtpEngine>, B: PageBackend<S>> SchemeStage for StoreStage<S, E, B> {
+    fn write(&mut self, line: LineAddr, data: &[u8; 64]) -> Option<WriteOutcome> {
+        self.store.write_first_touch(self.engine.borrow(), line, data)
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.store.resident_bytes()
+    }
+}
+
+/// Wear-tracking state bundled together.
+#[derive(Debug)]
+pub(crate) struct WearState {
+    /// Per-cell write counts; covers `lines + spare_lines` physical
+    /// lines when fault injection is on, `lines` otherwise.
+    cells: CellArray,
+    /// The ECP/retirement layer, when fault injection is on.
+    repair: Option<EcpRepair>,
+    /// Logical (primary-region) lines — the trace-capacity bound; the
+    /// cell array may be larger (spare pool).
+    lines: usize,
+    vwl: Leveler,
+    hwl: Option<HwlMode>,
+    bits_per_line: u32,
+    index_of: HashMap<u64, usize>,
+    /// When span tracing is on, the repair ladder times itself here —
+    /// wall clock only, never simulated time.
+    time_repairs: bool,
+    repair_wall_ns: u64,
+    repair_calls: u64,
+}
+
+/// The vertical wear-leveling substrate in use.
+#[derive(Debug)]
+enum Leveler {
+    StartGap(StartGap),
+    SecurityRefresh(SecurityRefresh),
+}
+
+impl WearState {
+    fn rotation(&self, index: usize, addr: u64) -> u32 {
+        let Some(mode) = self.hwl else { return 0 };
+        match &self.vwl {
+            Leveler::StartGap(sg) => {
+                HorizontalWearLeveler::new(mode, self.bits_per_line).rotation(sg, index, addr)
+            }
+            Leveler::SecurityRefresh(sr) => match mode {
+                HwlMode::Algebraic => sr.hwl_rotation(index, self.bits_per_line),
+                HwlMode::Hashed => {
+                    // Decorrelate per line, as footnote 2 prescribes.
+                    let base = u64::from(sr.hwl_rotation(index, self.bits_per_line));
+                    let mut z = base ^ addr.rotate_left(17) ^ 0x94d0_49bb_1331_11eb;
+                    z = (z ^ (z >> 27)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    ((z ^ (z >> 31)) % u64::from(self.bits_per_line)) as u32
+                }
+            },
+        }
+    }
+}
+
+/// Stage 3: cell-array wear recording under the configured vertical
+/// and horizontal levelers, with the ECP repair layer consuming any
+/// cell deaths when fault injection is on.
+impl WearStage for WearState {
+    fn record(&mut self, addr: LineAddr, outcome: &WriteOutcome) -> FaultEvents {
+        let next = self.index_of.len();
+        let lines = self.lines;
+        let index = *self.index_of.entry(addr.value()).or_insert_with(|| {
+            assert!(
+                next < lines,
+                "trace touches more than the configured {lines} wear-tracked lines"
+            );
+            next
+        });
+        let rotation = self.rotation(index, addr.value());
+        // Retired lines wear their spare, not their abandoned primary.
+        let physical = self.repair.as_ref().map_or(index, |r| r.resolve(index));
+        let deaths =
+            self.cells
+                .record_write(physical, &outcome.old_image, &outcome.new_image, rotation);
+        let mut events = FaultEvents::default();
+        if let Some(repair) = &mut self.repair {
+            events.cell_deaths = deaths.len() as u32;
+            let repair_started = (self.time_repairs && !deaths.is_empty()).then(Instant::now);
+            for cell in deaths {
+                match repair.note_death(index, cell) {
+                    RepairAction::AlreadyCovered => {}
+                    RepairAction::Corrected => events.ecp_consumed += 1,
+                    // Retirement moves the line to a pristine spare; any
+                    // remaining deaths from this write stay behind in the
+                    // abandoned physical line, so stop consuming them.
+                    RepairAction::Retired { .. } => {
+                        events.retired = true;
+                        break;
+                    }
+                    RepairAction::Uncorrectable => {
+                        events.uncorrectable = true;
+                        break;
+                    }
+                }
+            }
+            if let Some(started) = repair_started {
+                self.repair_wall_ns = self.repair_wall_ns.saturating_add(elapsed_ns(started));
+                self.repair_calls += 1;
+            }
+        }
+        match &mut self.vwl {
+            Leveler::StartGap(sg) => {
+                let _ = sg.record_write();
+            }
+            Leveler::SecurityRefresh(sr) => {
+                let _ = sr.record_write();
+            }
+        }
+        events
+    }
+}

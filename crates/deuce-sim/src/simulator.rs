@@ -2,41 +2,35 @@
 //! pipeline: counter cache → scheme engine → wear recording → timing.
 //!
 //! The pipeline structure itself lives in
-//! [`deuce_memctl::pipeline`]; this module supplies the concrete
-//! stages (lazy scheme-line store, counter cache, wear state, timing
-//! model) and folds each write's [`WriteEffect`] into a [`SimResult`].
+//! [`deuce_memctl::pipeline`]; the concrete stages (lazy scheme-line
+//! store, counter cache, wear state, timing model) and the per-event
+//! fold into a [`SimResult`] live in [`crate::session`] as
+//! [`StepSession`] — this module supplies the streaming drivers over
+//! it.
 //!
 //! The driver is streaming: [`Simulator::run_source`] pulls events
 //! from any [`WriteSource`] — a seeded generator, a trace file reader,
 //! or an in-RAM [`Trace`] — so memory use is independent of stream
 //! length. [`Simulator::run_trace`] is the trivial in-RAM delegation
-//! and is bit-identical by construction.
+//! and is bit-identical by construction. For callers that need to feed
+//! events one at a time (the `deuce-serve` front end), the same loop
+//! is exposed inside-out via [`Simulator::session`] and
+//! [`Simulator::owned_session`].
 
-use std::collections::HashMap;
 use std::fmt;
 use std::time::Instant;
 
-use deuce_crypto::{LineAddr, OtpEngine, SecretKey};
-use deuce_memctl::{
-    EcpConfig, EcpRepair, FaultEvents, MemoryPipeline, RepairAction, SchemeStage, StepOutcome,
-    WearStage, WriteEffect,
-};
-use deuce_nvm::{CellArray, StuckAtFaults};
+use deuce_crypto::{OtpEngine, SecretKey};
 use deuce_schemes::{
-    AnyScheme, ArenaBackend, FilePageBackend, LineScheme, LineStore, PageBackend, StateCodec,
-    WriteOutcome,
+    AnyScheme, ArenaBackend, FilePageBackend, LineScheme, PageBackend, StateCodec,
 };
-use deuce_telemetry::{
-    FaultObservation, FlightEvent, Gauge, NullRecorder, Recorder, StoreTelemetry, WriteObservation,
-};
+use deuce_telemetry::{NullRecorder, Recorder};
 use deuce_trace::{Trace, TraceIoError, TraceSource, WriteSource};
-use deuce_wear::{HorizontalWearLeveler, HwlMode, SecurityRefresh, StartGap};
 
 use crate::checkpoint::RunCheckpoint;
-use crate::config::{SimConfig, StoreBackend, VerticalWl};
-use crate::counter_cache::CounterCache;
-use crate::result::{FaultReport, SimResult};
-use crate::timing::MemoryTimingModel;
+use crate::config::{SimConfig, StoreBackend};
+use crate::result::SimResult;
+use crate::session::{elapsed_ns, SessionBackend, SessionStep, StepSession};
 
 /// Errors from a streaming run.
 #[derive(Debug)]
@@ -123,9 +117,9 @@ impl CheckpointPlan<'_> {
 /// bit-identical (asserted by the `scheme_parity` golden-fixture test).
 #[derive(Debug)]
 pub struct Simulator<S: LineScheme = AnyScheme> {
-    config: SimConfig,
-    engine: OtpEngine,
-    scheme: S,
+    pub(crate) config: SimConfig,
+    pub(crate) engine: OtpEngine,
+    pub(crate) scheme: S,
 }
 
 impl Simulator {
@@ -299,6 +293,69 @@ where
         )
     }
 
+    /// The store backend the configuration picks, behind the runtime
+    /// [`SessionBackend`] dispatch (sessions trade the monomorphised
+    /// backend for a uniform type).
+    fn session_backend(&self) -> Result<SessionBackend<S>, RunError> {
+        match &self.config.store {
+            StoreBackend::Arena => {
+                Ok(SessionBackend::Arena(ArenaBackend::new(self.scheme.needs_shadow())))
+            }
+            StoreBackend::File(file) => {
+                FilePageBackend::create(&file.path, file.resident_pages, self.scheme.needs_shadow())
+                    .map(SessionBackend::File)
+                    .map_err(|e| {
+                        RunError::Store(format!("create page file {}: {e}", file.path.display()))
+                    })
+            }
+        }
+    }
+
+    /// Opens a step-at-a-time session borrowing this simulator's
+    /// engine: feed it [`deuce_trace::TraceEvent`]s in stream order and
+    /// [`finish`](StepSession::finish) it for the [`SimResult`]. The
+    /// stepped run is bit-identical to
+    /// [`run_source`](Self::run_source) over the same event sequence.
+    /// `cores` is the stream's core count (what
+    /// [`WriteSource::cores`] would report).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Store`] when a configured page-file store
+    /// backend cannot be created.
+    pub fn session(&self, cores: usize) -> Result<StepSession<S, &OtpEngine>, RunError> {
+        Ok(StepSession::build(
+            &self.config,
+            self.scheme,
+            &self.engine,
+            self.session_backend()?,
+            cores,
+            false,
+        ))
+    }
+
+    /// Like [`session`](Self::session), but the session owns a clone of
+    /// the engine, so it can outlive the simulator and move across
+    /// threads — the shape `deuce-serve` uses, one owned session per
+    /// tenant. Cloning the engine never changes results: pad generation
+    /// is a pure function of the key, and the cache is a transparent
+    /// memo of it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Store`] when a configured page-file store
+    /// backend cannot be created.
+    pub fn owned_session(&self, cores: usize) -> Result<StepSession<S, OtpEngine>, RunError> {
+        Ok(StepSession::build(
+            &self.config,
+            self.scheme,
+            self.engine.clone(),
+            self.session_backend()?,
+            cores,
+            false,
+        ))
+    }
+
     /// Dispatches on the configured store backend, so the streaming
     /// loop below monomorphises per backend and the arena path stays
     /// exactly the historical code.
@@ -326,7 +383,9 @@ where
         }
     }
 
-    /// The one streaming drive loop all public run entry points share.
+    /// The one streaming drive loop all public run entry points share:
+    /// a [`StepSession`] fed from `source` until it runs dry, with
+    /// checkpoint emission/verification interleaved per the plan.
     fn drive_with<Src: WriteSource + ?Sized, R: Recorder, B: PageBackend<S>>(
         &self,
         source: &mut Src,
@@ -334,111 +393,34 @@ where
         mut plan: CheckpointPlan<'_>,
         backend: B,
     ) -> Result<SimResult, RunError> {
-        // Span tracing and the flight recorder are double-gated: the
-        // `R::ENABLED` half vanishes under `NullRecorder`, the dynamic
-        // half keeps a telemetry-only run free of `Instant::now` pairs.
+        // Span tracing is double-gated: the `R::ENABLED` half vanishes
+        // under `NullRecorder`, the dynamic half keeps a telemetry-only
+        // run free of `Instant::now` pairs.
         let wants_spans = R::ENABLED && rec.wants_spans();
-        let wants_flight = R::ENABLED && rec.wants_flight();
         if wants_spans {
             rec.span_begin("run");
         }
 
-        let cores = source.cores();
-        let timing = MemoryTimingModel::with_power_channels(
-            self.config.timing,
-            self.config.cpu,
-            self.config.geometry,
-            cores,
-            self.config.power_channels,
+        let mut session = StepSession::build(
+            &self.config,
+            self.scheme,
+            &self.engine,
+            backend,
+            source.cores(),
+            wants_spans,
         );
-
-        let meta_bits = self.scheme.metadata_bits();
-        let bits_per_line = deuce_crypto::LINE_BITS as u32 + meta_bits;
-        assert!(
-            self.config.faults.is_none() || self.config.wear.is_some(),
-            "fault injection requires wear tracking: combine SimConfig::with_faults \
-             with SimConfig::with_wear"
-        );
-        let wear_state = self.config.wear.map(|w| {
-            let faults = self.config.faults;
-            WearState {
-                // With faults on, the cell array also covers the spare
-                // pool — retirement moves a line's traffic there and the
-                // spares wear out like any other line.
-                cells: match faults {
-                    Some(f) => CellArray::with_faults(
-                        w.lines + f.spare_lines as usize,
-                        bits_per_line,
-                        StuckAtFaults::new(f.endurance, f.endurance_scale),
-                    ),
-                    None => CellArray::new(w.lines, bits_per_line),
-                },
-                repair: faults.map(|f| {
-                    EcpRepair::new(
-                        w.lines,
-                        EcpConfig {
-                            entries_per_line: f.ecp_entries,
-                            spare_lines: f.spare_lines,
-                        },
-                    )
-                }),
-                lines: w.lines,
-                vwl: match w.vwl {
-                    VerticalWl::StartGap => {
-                        Leveler::StartGap(StartGap::new(w.lines.max(2), w.gap_interval))
-                    }
-                    VerticalWl::SecurityRefresh => Leveler::SecurityRefresh(SecurityRefresh::new(
-                        w.lines.max(2).next_power_of_two(),
-                        w.gap_interval,
-                        self.config.key_seed,
-                    )),
-                },
-                hwl: w.hwl,
-                bits_per_line,
-                index_of: HashMap::new(),
-                time_repairs: wants_spans,
-                repair_wall_ns: 0,
-                repair_calls: 0,
+        if R::ENABLED {
+            if session.result().faults.is_some() {
+                rec.fault_injection_active();
             }
-        });
-
-        let store = StoreStage {
-            store: LineStore::with_backend(self.scheme, backend),
-            engine: &self.engine,
-        };
-        let counters_per_line = self
-            .config
-            .counter_cache
-            .map_or(16, |cache| cache.counters_per_line);
-        let mut pipeline = MemoryPipeline::new(store, timing, self.config.slot)
-            .with_counter_stage(
-                self.config.counter_cache.map(CounterCache::new),
-                counters_per_line,
-            )
-            .with_wear_stage(wear_state);
-
-        let mut result = SimResult {
-            counters_in_metric: self.config.metric.count_counter_bits,
-            energy_params: self.config.energy,
-            metadata_bits: meta_bits,
-            faults: self.config.faults.map(|_| FaultReport::default()),
-            ..SimResult::default()
-        };
-        if R::ENABLED && result.faults.is_some() {
-            rec.fault_injection_active();
+            if session.pad_cache_attached() {
+                rec.pad_cache_active();
+            }
+            if matches!(self.config.store, StoreBackend::File(_)) {
+                rec.store_paging_active();
+            }
         }
-        // The engine (and its cache) outlives the run, so per-run
-        // hit/miss totals are the delta over this trace.
-        let pad_cache_start = self.engine.pad_cache_stats();
-        if R::ENABLED && pad_cache_start.is_some() {
-            rec.pad_cache_active();
-        }
-        if R::ENABLED && matches!(self.config.store, StoreBackend::File(_)) {
-            rec.store_paging_active();
-        }
-        let pad_timing_start = self.engine.pad_timing_stats();
 
-        let mut events_consumed: u64 = 0;
         let mut last_emitted: Option<u64> = None;
         loop {
             let pull_started = wants_spans.then(Instant::now);
@@ -447,102 +429,23 @@ where
                 rec.span_attach(Some("run"), "source", elapsed_ns(started), 1);
             }
             let Some(event) = next else { break };
-            events_consumed += 1;
-            match pipeline.step_recorded(&event, rec) {
-                StepOutcome::Read => result.reads += 1,
-                StepOutcome::FirstTouch => {
-                    // Not a counted write, but a post-mortem wants to
-                    // see initial placements too.
-                    if wants_flight {
-                        rec.flight_observed(FlightEvent {
-                            write_index: 0,
-                            addr: event.line.value(),
-                            action: "first_touch",
-                            flips: 0,
-                            slots: 0,
-                            epoch_started: false,
-                            sim_ns: pipeline.timing.exec_time_ns(),
-                            cell_deaths: 0,
-                            ecp_consumed: 0,
-                            retired: false,
-                            uncorrectable: false,
-                        });
+            let step = session.step_recorded(&event, rec);
+            if matches!(step, SessionStep::Write { .. })
+                && plan.every_writes > 0
+                && session.result().writes.is_multiple_of(plan.every_writes)
+            {
+                if let Some(sink) = plan.sink.as_mut() {
+                    let cp_started = wants_spans.then(Instant::now);
+                    sink(&session.checkpoint());
+                    if let Some(started) = cp_started {
+                        rec.span_attach(Some("run"), "checkpoint", elapsed_ns(started), 1);
                     }
-                }
-                StepOutcome::Write(effect) => {
-                    fold_effect(&mut result, &effect);
-                    if effect.faults.any() {
-                        fold_faults(&mut result, &effect.faults);
-                        if R::ENABLED {
-                            rec.fault_observed(&FaultObservation {
-                                sim_ns: pipeline.timing.exec_time_ns(),
-                                write_index: result.writes,
-                                cell_deaths: effect.faults.cell_deaths,
-                                ecp_consumed: effect.faults.ecp_consumed,
-                                retired: effect.faults.retired,
-                                uncorrectable: effect.faults.uncorrectable,
-                            });
-                        }
-                    }
-                    if R::ENABLED {
-                        let mut flips = u64::from(effect.outcome.flips.data)
-                            + u64::from(effect.outcome.flips.meta);
-                        if result.counters_in_metric {
-                            flips += u64::from(effect.outcome.counter_flips);
-                        }
-                        let (hits, misses) = pipeline
-                            .counters
-                            .as_ref()
-                            .map_or((0, 0), |c| (c.hits(), c.misses()));
-                        rec.write_observed(&WriteObservation {
-                            sim_ns: pipeline.timing.exec_time_ns(),
-                            flips,
-                            slots: effect.slots,
-                            cache_hits: hits,
-                            cache_misses: misses,
-                        });
-                        if wants_flight {
-                            rec.flight_observed(FlightEvent {
-                                write_index: result.writes,
-                                addr: event.line.value(),
-                                action: "write",
-                                flips,
-                                slots: effect.slots,
-                                epoch_started: effect.outcome.epoch_started,
-                                sim_ns: pipeline.timing.exec_time_ns(),
-                                cell_deaths: effect.faults.cell_deaths,
-                                ecp_consumed: effect.faults.ecp_consumed,
-                                retired: effect.faults.retired,
-                                uncorrectable: effect.faults.uncorrectable,
-                            });
-                        }
-                    }
-                    if plan.every_writes > 0 && result.writes.is_multiple_of(plan.every_writes) {
-                        if let Some(sink) = plan.sink.as_mut() {
-                            let cp_started = wants_spans.then(Instant::now);
-                            sink(&RunCheckpoint::capture(
-                                events_consumed,
-                                &result,
-                                pipeline.timing.exec_time_ns(),
-                                pipeline.schemes.store.flush_state(),
-                            ));
-                            if let Some(started) = cp_started {
-                                rec.span_attach(Some("run"), "checkpoint", elapsed_ns(started), 1);
-                            }
-                            last_emitted = Some(events_consumed);
-                        }
-                    }
+                    last_emitted = Some(session.events_consumed());
                 }
             }
             if let Some(expected) = plan.verify {
-                if events_consumed == expected.events_consumed {
-                    let found = RunCheckpoint::capture(
-                        events_consumed,
-                        &result,
-                        pipeline.timing.exec_time_ns(),
-                        pipeline.schemes.store.flush_state(),
-                    );
-                    verify_checkpoint(expected, &found)?;
+                if session.events_consumed() == expected.events_consumed {
+                    verify_checkpoint(expected, &session.checkpoint())?;
                     plan.verify = None;
                 }
             }
@@ -552,117 +455,25 @@ where
             return Err(RunError::CheckpointMismatch {
                 field: "events_consumed",
                 expected: expected.events_consumed,
-                found: events_consumed,
+                found: session.events_consumed(),
             });
         }
         if let Some(sink) = plan.sink {
-            if last_emitted != Some(events_consumed) {
+            if last_emitted != Some(session.events_consumed()) {
                 let cp_started = wants_spans.then(Instant::now);
-                sink(&RunCheckpoint::capture(
-                    events_consumed,
-                    &result,
-                    pipeline.timing.exec_time_ns(),
-                    pipeline.schemes.store.flush_state(),
-                ));
+                sink(&session.checkpoint());
                 if let Some(started) = cp_started {
                     rec.span_attach(Some("run"), "checkpoint", elapsed_ns(started), 1);
                 }
             }
         }
 
-        result.exec_time_ns = pipeline.timing.exec_time_ns();
-        result.line_store_bytes = pipeline.schemes.resident_bytes();
-        // End-of-run flush of dirty resident pages (no-op for the
-        // arena), then collect paging statistics and surface any I/O
-        // error the backend latched mid-run.
-        pipeline.schemes.store.flush();
-        if let Some(error) = pipeline.schemes.store.io_error() {
-            return Err(RunError::Store(error));
-        }
-        result.store = pipeline.schemes.store.paging_stats();
-        if R::ENABLED {
-            if let Some(stats) = &result.store {
-                rec.store_totals(&StoreTelemetry {
-                    page_faults: stats.page_faults,
-                    page_evictions: stats.page_evictions,
-                    pages_flushed: stats.pages_flushed,
-                    resident_bytes: stats.resident_bytes,
-                    peak_resident_bytes: stats.peak_resident_bytes,
-                });
-            }
-        }
-        if let Some(wear) = pipeline.wear {
-            // Fold the repair ladder's self-measured wall time in as a
-            // child of the wear stage before the state is consumed.
-            if wants_spans && wear.repair_calls > 0 {
-                rec.span_attach(
-                    Some("stage:wear"),
-                    "ecp_repair",
-                    wear.repair_wall_ns,
-                    wear.repair_calls,
-                );
-            }
-            if let (Some(report), Some(repair)) = (result.faults.as_mut(), wear.repair.as_ref()) {
-                report.spare_lines_left = repair.spares_left();
-                report.ecp_entries_used =
-                    (0..repair.lines()).map(|l| repair.entries_used(l)).collect();
-                if R::ENABLED {
-                    for &entries in &report.ecp_entries_used {
-                        rec.ecp_entries_used(u64::from(entries));
-                    }
-                }
-            }
-            result.cells = Some(wear.cells);
-        }
-        if let Some(cache) = &pipeline.counters {
-            result.counter_cache_misses = cache.misses();
-            result.counter_cache_writebacks = cache.writebacks();
-            result.counter_cache_hit_ratio = cache.hit_ratio();
-        }
-        if let Some(start) = pad_cache_start {
-            let end = self.engine.pad_cache_stats().expect("cache attached for the whole run");
-            let stats = deuce_crypto::PadCacheStats {
-                hits: end.hits - start.hits,
-                misses: end.misses - start.misses,
-            };
-            result.pad_cache = Some(stats);
-            if R::ENABLED {
-                rec.pad_cache_totals(stats.hits, stats.misses);
-            }
-        }
-        if R::ENABLED {
-            rec.gauge(Gauge::ExecTimeNs, result.exec_time_ns);
-            rec.gauge(Gauge::EnergyPj, result.energy_pj());
-            rec.gauge(Gauge::HitRatio, result.counter_cache_hit_ratio);
-            rec.gauge(Gauge::MetadataBits, f64::from(result.metadata_bits));
-            rec.gauge(Gauge::LineStoreBytes, result.line_store_bytes as f64);
-        }
+        let result = session.finish_recorded(rec)?;
         if wants_spans {
-            // Pad generation times itself inside the engine (the cache
-            // check would hide it from a caller-side clock); the engine
-            // outlives the run, so take the delta, and hang it under
-            // the scheme stage where the AES work is charged.
-            if let Some(start) = pad_timing_start {
-                let end = self
-                    .engine
-                    .pad_timing_stats()
-                    .expect("pad timing attached for the whole run");
-                rec.span_attach(
-                    Some("stage:scheme"),
-                    "pad_generation",
-                    end.wall_ns - start.wall_ns,
-                    end.calls - start.calls,
-                );
-            }
             rec.span_end();
         }
         Ok(result)
     }
-}
-
-/// Wall-clock nanoseconds since `started`, saturating.
-fn elapsed_ns(started: Instant) -> u64 {
-    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Compares a replayed fingerprint against the checkpoint, field by
@@ -686,164 +497,6 @@ fn verify_checkpoint(expected: &RunCheckpoint, found: &RunCheckpoint) -> Result<
         }
     }
     Ok(())
-}
-
-/// Accumulates one counted write's effect into the aggregate result.
-fn fold_effect(result: &mut SimResult, effect: &WriteEffect) {
-    result.writes += 1;
-    result.data_flips += u64::from(effect.outcome.flips.data);
-    result.meta_flips += u64::from(effect.outcome.flips.meta);
-    result.counter_flips += u64::from(effect.outcome.counter_flips);
-    result.epoch_starts += u64::from(effect.outcome.epoch_started);
-    result.total_slots += u64::from(effect.slots);
-}
-
-/// Accumulates one write's fault events into the fault report.
-/// `result.writes` has already been bumped by [`fold_effect`], so the
-/// recorded first-event indices are 1-based write positions.
-fn fold_faults(result: &mut SimResult, faults: &FaultEvents) {
-    let report = result
-        .faults
-        .as_mut()
-        .expect("fault events only flow when fault injection is configured");
-    report.cell_deaths += u64::from(faults.cell_deaths);
-    report.ecp_entries_consumed += u64::from(faults.ecp_consumed);
-    report.lines_retired += u64::from(faults.retired);
-    report.uncorrectable_writes += u64::from(faults.uncorrectable);
-    if faults.retired && report.first_retirement_write.is_none() {
-        report.first_retirement_write = Some(result.writes);
-    }
-    if faults.uncorrectable && report.first_uncorrectable_write.is_none() {
-        report.first_uncorrectable_write = Some(result.writes);
-    }
-}
-
-/// Stage 2: a [`LineStore`] materialising lines lazily over the
-/// configured backend (in-RAM arena or out-of-core page file). The
-/// first write to an address is the initial placement (encrypted as it
-/// enters memory, per §3.1) and is not counted.
-#[derive(Debug)]
-struct StoreStage<'a, S: LineScheme, B: PageBackend<S>> {
-    store: LineStore<S, B>,
-    engine: &'a OtpEngine,
-}
-
-impl<S: LineScheme, B: PageBackend<S>> SchemeStage for StoreStage<'_, S, B> {
-    fn write(&mut self, line: LineAddr, data: &[u8; 64]) -> Option<WriteOutcome> {
-        self.store.write_first_touch(self.engine, line, data)
-    }
-
-    fn resident_bytes(&self) -> u64 {
-        self.store.resident_bytes()
-    }
-}
-
-/// Wear-tracking state bundled together.
-#[derive(Debug)]
-struct WearState {
-    /// Per-cell write counts; covers `lines + spare_lines` physical
-    /// lines when fault injection is on, `lines` otherwise.
-    cells: CellArray,
-    /// The ECP/retirement layer, when fault injection is on.
-    repair: Option<EcpRepair>,
-    /// Logical (primary-region) lines — the trace-capacity bound; the
-    /// cell array may be larger (spare pool).
-    lines: usize,
-    vwl: Leveler,
-    hwl: Option<HwlMode>,
-    bits_per_line: u32,
-    index_of: HashMap<u64, usize>,
-    /// When span tracing is on, the repair ladder times itself here —
-    /// wall clock only, never simulated time.
-    time_repairs: bool,
-    repair_wall_ns: u64,
-    repair_calls: u64,
-}
-
-/// The vertical wear-leveling substrate in use.
-#[derive(Debug)]
-enum Leveler {
-    StartGap(StartGap),
-    SecurityRefresh(SecurityRefresh),
-}
-
-impl WearState {
-    fn rotation(&self, index: usize, addr: u64) -> u32 {
-        let Some(mode) = self.hwl else { return 0 };
-        match &self.vwl {
-            Leveler::StartGap(sg) => {
-                HorizontalWearLeveler::new(mode, self.bits_per_line).rotation(sg, index, addr)
-            }
-            Leveler::SecurityRefresh(sr) => match mode {
-                HwlMode::Algebraic => sr.hwl_rotation(index, self.bits_per_line),
-                HwlMode::Hashed => {
-                    // Decorrelate per line, as footnote 2 prescribes.
-                    let base = u64::from(sr.hwl_rotation(index, self.bits_per_line));
-                    let mut z = base ^ addr.rotate_left(17) ^ 0x94d0_49bb_1331_11eb;
-                    z = (z ^ (z >> 27)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-                    ((z ^ (z >> 31)) % u64::from(self.bits_per_line)) as u32
-                }
-            },
-        }
-    }
-}
-
-/// Stage 3: cell-array wear recording under the configured vertical
-/// and horizontal levelers, with the ECP repair layer consuming any
-/// cell deaths when fault injection is on.
-impl WearStage for WearState {
-    fn record(&mut self, addr: LineAddr, outcome: &WriteOutcome) -> FaultEvents {
-        let next = self.index_of.len();
-        let lines = self.lines;
-        let index = *self.index_of.entry(addr.value()).or_insert_with(|| {
-            assert!(
-                next < lines,
-                "trace touches more than the configured {lines} wear-tracked lines"
-            );
-            next
-        });
-        let rotation = self.rotation(index, addr.value());
-        // Retired lines wear their spare, not their abandoned primary.
-        let physical = self.repair.as_ref().map_or(index, |r| r.resolve(index));
-        let deaths =
-            self.cells
-                .record_write(physical, &outcome.old_image, &outcome.new_image, rotation);
-        let mut events = FaultEvents::default();
-        if let Some(repair) = &mut self.repair {
-            events.cell_deaths = deaths.len() as u32;
-            let repair_started = (self.time_repairs && !deaths.is_empty()).then(Instant::now);
-            for cell in deaths {
-                match repair.note_death(index, cell) {
-                    RepairAction::AlreadyCovered => {}
-                    RepairAction::Corrected => events.ecp_consumed += 1,
-                    // Retirement moves the line to a pristine spare; any
-                    // remaining deaths from this write stay behind in the
-                    // abandoned physical line, so stop consuming them.
-                    RepairAction::Retired { .. } => {
-                        events.retired = true;
-                        break;
-                    }
-                    RepairAction::Uncorrectable => {
-                        events.uncorrectable = true;
-                        break;
-                    }
-                }
-            }
-            if let Some(started) = repair_started {
-                self.repair_wall_ns = self.repair_wall_ns.saturating_add(elapsed_ns(started));
-                self.repair_calls += 1;
-            }
-        }
-        match &mut self.vwl {
-            Leveler::StartGap(sg) => {
-                let _ = sg.record_write();
-            }
-            Leveler::SecurityRefresh(sr) => {
-                let _ = sr.record_write();
-            }
-        }
-        events
-    }
 }
 
 #[cfg(test)]
@@ -969,5 +622,51 @@ mod tests {
         let t = trace(Benchmark::Mcf, 2000);
         let cfg = SimConfig::new(SchemeKind::Deuce).with_wear(WearConfig::vertical_only(2));
         let _ = Simulator::new(cfg).run_trace(&t);
+    }
+
+    /// Stepping a session by hand must be bit-identical to the
+    /// streamed run over the same events, and the checkpoint captured
+    /// mid-session must match the streamed emission.
+    #[test]
+    fn stepped_session_matches_streamed_run() {
+        let t = trace(Benchmark::Libquantum, 1500);
+        let simulator = Simulator::new(SimConfig::new(SchemeKind::Deuce));
+        let streamed = simulator.run_trace(&t);
+        let cores = TraceSource::new(&t).cores();
+        let mut session = simulator.session(cores).expect("arena session");
+        for event in t.events() {
+            let _ = session.step(event);
+        }
+        let cp = session.checkpoint();
+        let stepped = session.finish().expect("arena session cannot fail");
+        assert_eq!(stepped.writes, streamed.writes);
+        assert_eq!(stepped.reads, streamed.reads);
+        assert_eq!(stepped.data_flips, streamed.data_flips);
+        assert_eq!(stepped.meta_flips, streamed.meta_flips);
+        assert_eq!(stepped.counter_flips, streamed.counter_flips);
+        assert_eq!(stepped.total_slots, streamed.total_slots);
+        assert_eq!(stepped.epoch_starts, streamed.epoch_starts);
+        assert_eq!(stepped.exec_time_ns.to_bits(), streamed.exec_time_ns.to_bits());
+        assert_eq!(stepped.line_store_bytes, streamed.line_store_bytes);
+        assert_eq!(cp.exec_time_ns().to_bits(), streamed.exec_time_ns.to_bits());
+    }
+
+    /// An owned session (cloned engine) produces the same results and
+    /// the same content fingerprint as a borrowed one.
+    #[test]
+    fn owned_session_matches_borrowed() {
+        let t = trace(Benchmark::Mcf, 1200);
+        let simulator = Simulator::new(SimConfig::new(SchemeKind::Deuce));
+        let cores = TraceSource::new(&t).cores();
+        let mut borrowed = simulator.session(cores).unwrap();
+        let mut owned = simulator.owned_session(cores).unwrap();
+        for event in t.events() {
+            assert_eq!(borrowed.step(event), owned.step(event));
+        }
+        assert_eq!(borrowed.content_fingerprint(), owned.content_fingerprint());
+        let b = borrowed.finish().unwrap();
+        let o = owned.finish().unwrap();
+        assert_eq!(b.writes, o.writes);
+        assert_eq!(b.exec_time_ns.to_bits(), o.exec_time_ns.to_bits());
     }
 }

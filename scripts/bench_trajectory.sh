@@ -27,7 +27,8 @@ for f in "${files[@]}"; do
     when="$(field "$f" date)"
     for metric in speedup_encrypt_block speedup_line_pad speedup_run_trace \
         resident_ratio writes_per_sec_materialised writes_per_sec_streaming \
-        store_resident_ratio writes_per_sec_paged_store; do
+        store_resident_ratio writes_per_sec_paged_store \
+        requests_per_sec_serve serve_parallel_speedup; do
         value="$(field "$f" "$metric")"
         if [ -n "$value" ]; then
             printf '%-20s %-12s %-30s %s\n' "$f" "$when" "$metric" "$value"

@@ -107,6 +107,40 @@ grep -q "$(printf '\tdone')" "$SMOKE_DIR/watch.out"
     --flight-recorder 32 --telemetry "$SMOKE_DIR/flight.jsonl" --sample-every 256 > /dev/null
 diff -u results/telemetry/golden_flight_dump.jsonl "$SMOKE_DIR/flight.jsonl.flight.jsonl"
 
+echo "==> serve smoke test (sharded service == single-threaded replay, byte-identical)"
+# Two tenants through four worker shards; stdout carries only the
+# deterministic per-tenant blocks, so it must diff clean against the
+# single-threaded --replay of the same flags.
+"$DEUCE" serve --tenants 2 --shards 4 --requests 800 --queue-depth 128 \
+    --telemetry "$SMOKE_DIR/serve.jsonl" --progress "$SMOKE_DIR/serve-progress.jsonl" \
+    > "$SMOKE_DIR/serve.out" 2> /dev/null
+"$DEUCE" serve --tenants 2 --requests 800 --replay > "$SMOKE_DIR/serve.replay"
+diff -u "$SMOKE_DIR/serve.replay" "$SMOKE_DIR/serve.out"
+# The serve layer's spans ride the standard telemetry pipeline: the
+# report's span table names the serve stages.
+"$DEUCE" report "$SMOKE_DIR/serve.jsonl" > "$SMOKE_DIR/serve.report"
+grep -q '^== spans' "$SMOKE_DIR/serve.report"
+grep -q 'shard:drain' "$SMOKE_DIR/serve.report"
+grep -q 'serve:apply' "$SMOKE_DIR/serve.report"
+# watch understands the progress stream and shows the run complete.
+"$DEUCE" watch --once "$SMOKE_DIR/serve-progress.jsonl" > "$SMOKE_DIR/serve-watch.out"
+grep -q 'requests applied' "$SMOKE_DIR/serve-watch.out"
+grep -q "$(printf '\tdone')" "$SMOKE_DIR/serve-watch.out"
+# The replay contract holds for per-tenant page files too, store_*
+# paging counters included: fingerprinting visits lines in sorted
+# address order, so the fault/eviction sequence is pinned even at a
+# thrash-inducing 2-page resident budget. (Fresh directories per run —
+# reusing a warm page file legitimately changes the paging counters.)
+mkdir -p "$SMOKE_DIR/serve-pages-a" "$SMOKE_DIR/serve-pages-b"
+"$DEUCE" serve --tenants 2 --shards 4 --requests 800 \
+    --store-dir "$SMOKE_DIR/serve-pages-a" --resident-pages 2 \
+    > "$SMOKE_DIR/serve-paged.out" 2> /dev/null
+"$DEUCE" serve --tenants 2 --requests 800 \
+    --store-dir "$SMOKE_DIR/serve-pages-b" --resident-pages 2 --replay \
+    > "$SMOKE_DIR/serve-paged.replay"
+diff -u "$SMOKE_DIR/serve-paged.replay" "$SMOKE_DIR/serve-paged.out"
+grep -q 'store_page_evictions' "$SMOKE_DIR/serve-paged.out"
+
 echo "==> recorded benchmark trajectory"
 bash scripts/bench_trajectory.sh
 

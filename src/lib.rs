@@ -35,6 +35,9 @@
 //! - [`telemetry`] — zero-dependency structured instrumentation:
 //!   recorders, streaming histograms, time series, and JSONL/CSV export
 //!   (a no-op unless a [`telemetry::TelemetryRecorder`] is attached).
+//! - [`serve`] — a sharded multi-tenant request service over the
+//!   simulator: isolated per-tenant key domains, bounded queues with
+//!   explicit backpressure, and shard-count-invariant results.
 //!
 //! ## Quickstart
 //!
@@ -66,6 +69,7 @@ pub use deuce_memctl as memctl;
 pub use deuce_nvm as nvm;
 pub use deuce_rng as rng;
 pub use deuce_schemes as schemes;
+pub use deuce_serve as serve;
 pub use deuce_sim as sim;
 pub use deuce_telemetry as telemetry;
 pub use deuce_trace as trace;
