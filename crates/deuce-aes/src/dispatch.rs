@@ -1,0 +1,180 @@
+//! Runtime backend selection for the block cipher.
+//!
+//! Three tiers implement the same cipher, bit-identically:
+//!
+//! - [`AesBackend::Reference`] — the byte-oriented FIPS-197 path, the
+//!   auditable oracle.
+//! - [`AesBackend::Ttable`] — the const-built T-table path, portable to
+//!   every architecture.
+//! - [`AesBackend::Hw`] — hardware AES rounds (AES-NI on x86_64,
+//!   NEON/AES on aarch64), available only where the CPU advertises the
+//!   feature.
+//!
+//! Selection happens once per process: [`default_backend`] probes the
+//! CPU via `std::arch` feature detection (no external crates) and picks
+//! the fastest available tier, unless the `DEUCE_AES_FORCE` environment
+//! variable pins one of `reference`, `ttable` or `hw` — the hook the
+//! differential CI tiers and the forced-reference end-to-end check use.
+//! Individual cipher instances can still override the process default
+//! through [`crate::Aes::with_backend`].
+
+use std::sync::OnceLock;
+
+/// Environment variable pinning the process-wide default backend.
+pub const FORCE_ENV: &str = "DEUCE_AES_FORCE";
+
+/// One implementation tier of the block cipher.
+///
+/// Every tier produces bit-identical ciphertext; they differ only in
+/// throughput and availability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AesBackend {
+    /// Byte-oriented FIPS-197 reference path (the correctness oracle).
+    Reference,
+    /// Const-built T-table path: portable fallback, always available.
+    #[default]
+    Ttable,
+    /// Hardware AES rounds via `std::arch` intrinsics; requires CPU
+    /// support (AES-NI / NEON-AES) detected at runtime.
+    Hw,
+}
+
+impl AesBackend {
+    /// Every tier, fastest last (the order [`default_backend`] prefers).
+    pub const ALL: [AesBackend; 3] = [AesBackend::Reference, AesBackend::Ttable, AesBackend::Hw];
+
+    /// Stable lowercase name, matching the `DEUCE_AES_FORCE` tokens.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            AesBackend::Reference => "reference",
+            AesBackend::Ttable => "ttable",
+            AesBackend::Hw => "hw",
+        }
+    }
+
+    /// Parses a `DEUCE_AES_FORCE` token.
+    #[must_use]
+    pub fn parse(token: &str) -> Option<Self> {
+        match token {
+            "reference" => Some(AesBackend::Reference),
+            "ttable" => Some(AesBackend::Ttable),
+            "hw" => Some(AesBackend::Hw),
+            _ => None,
+        }
+    }
+
+    /// Whether this tier can run on the current host. The software
+    /// tiers always can; [`AesBackend::Hw`] needs CPU support.
+    #[must_use]
+    pub fn is_available(self) -> bool {
+        match self {
+            AesBackend::Reference | AesBackend::Ttable => true,
+            AesBackend::Hw => hw_available(),
+        }
+    }
+}
+
+impl core::fmt::Display for AesBackend {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether the CPU exposes hardware AES rounds (AES-NI on x86_64,
+/// NEON/AES on aarch64). Always `false` on other architectures.
+#[must_use]
+pub fn hw_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("aes")
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        std::arch::is_aarch64_feature_detected!("aes")
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+/// The tiers runnable on this host, slowest first.
+#[must_use]
+pub fn available_backends() -> &'static [AesBackend] {
+    if hw_available() {
+        &AesBackend::ALL
+    } else {
+        &[AesBackend::Reference, AesBackend::Ttable]
+    }
+}
+
+/// The process-wide default backend: the `DEUCE_AES_FORCE` override if
+/// set, otherwise the fastest tier the CPU supports. Resolved once and
+/// cached — every [`crate::Aes::new`] after the first sees the same
+/// answer.
+///
+/// # Panics
+///
+/// Panics if `DEUCE_AES_FORCE` names an unknown tier, or forces `hw` on
+/// a host without hardware AES. A forced tier that silently fell back
+/// would invalidate what the differential CI runs claim to cover.
+#[must_use]
+pub fn default_backend() -> AesBackend {
+    static CHOICE: OnceLock<AesBackend> = OnceLock::new();
+    *CHOICE.get_or_init(|| match std::env::var(FORCE_ENV) {
+        Ok(token) => {
+            let backend = AesBackend::parse(&token).unwrap_or_else(|| {
+                panic!("{FORCE_ENV}={token}: unknown tier (expected reference, ttable or hw)")
+            });
+            assert!(
+                backend.is_available(),
+                "{FORCE_ENV}={token}: hardware AES is not available on this host"
+            );
+            backend
+        }
+        Err(_) => {
+            if hw_available() {
+                AesBackend::Hw
+            } else {
+                AesBackend::Ttable
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for backend in AesBackend::ALL {
+            assert_eq!(AesBackend::parse(backend.name()), Some(backend));
+            assert_eq!(backend.to_string(), backend.name());
+        }
+        assert_eq!(AesBackend::parse("neon"), None);
+        assert_eq!(AesBackend::parse(""), None);
+    }
+
+    #[test]
+    fn software_tiers_are_always_available() {
+        assert!(AesBackend::Reference.is_available());
+        assert!(AesBackend::Ttable.is_available());
+        assert_eq!(AesBackend::Hw.is_available(), hw_available());
+    }
+
+    #[test]
+    fn available_backends_track_hw_detection() {
+        let tiers = available_backends();
+        assert!(tiers.starts_with(&[AesBackend::Reference, AesBackend::Ttable]));
+        assert_eq!(tiers.contains(&AesBackend::Hw), hw_available());
+    }
+
+    #[test]
+    fn default_backend_is_available_and_stable() {
+        let first = default_backend();
+        assert!(first.is_available());
+        assert_eq!(default_backend(), first, "resolution must be cached");
+    }
+}

@@ -1,0 +1,349 @@
+//! Hardware AES rounds: AES-NI on x86_64, NEON/AES on aarch64.
+//!
+//! This is the only module in the crate that uses `unsafe` — the
+//! `std::arch` intrinsics require it. Two invariants keep it sound:
+//!
+//! 1. Every intrinsic-bearing function is `#[target_feature(enable =
+//!    "aes")]`, and the safe wrappers below are only reachable through
+//!    the dispatch layer, which selects [`crate::AesBackend::Hw`]
+//!    strictly after `is_x86_feature_detected!("aes")` (resp.
+//!    `is_aarch64_feature_detected!("aes")`) reported support.
+//! 2. All loads and stores go through the unaligned `loadu`/`ld1`
+//!    intrinsics on plain byte arrays — no alignment assumptions, no
+//!    pointer arithmetic beyond array bounds the types already prove.
+//!
+//! Round keys are loaded from the expanded [`KeySchedule`] on each call
+//! rather than cached as vector registers in the cipher struct; the
+//! schedule is at most 240 bytes and L1-resident, and keeping the
+//! struct free of architecture-specific state keeps `Clone`/`Debug`
+//! and the other tiers untouched.
+//!
+//! The 8-block entry point is the throughput path: AES round
+//! instructions pipeline (multi-cycle latency, single-cycle issue), so
+//! eight independent states advancing round-by-round hide nearly all of
+//! the latency a serial chain would expose. Decryption uses the
+//! equivalent inverse cipher with `aesimc`-transformed middle round
+//! keys, derived on the fly — decryption is off every scheme hot path
+//! (OTP decryption re-*encrypts* the counter block), so there is
+//! nothing to amortise.
+
+#![allow(unsafe_code)]
+
+use crate::key_schedule::KeySchedule;
+use crate::Block;
+
+/// Encrypts one block with hardware AES rounds.
+///
+/// Callers must only reach this through a cipher whose backend is
+/// [`crate::AesBackend::Hw`], which the dispatch layer guarantees is
+/// selected only on hosts with the `aes` CPU feature.
+#[must_use]
+pub(crate) fn encrypt_block(schedule: &KeySchedule, plaintext: &Block) -> Block {
+    // SAFETY: dispatch selects the hw tier only after runtime feature
+    // detection reported the `aes` target feature (module invariant 1).
+    unsafe { arch::encrypt_block(schedule, plaintext) }
+}
+
+/// Encrypts four independent blocks, pipelining the round instructions.
+#[must_use]
+pub(crate) fn encrypt_blocks4(schedule: &KeySchedule, blocks: &[Block; 4]) -> [Block; 4] {
+    // SAFETY: as in `encrypt_block`.
+    unsafe { arch::encrypt_blocks4(schedule, blocks) }
+}
+
+/// Encrypts eight independent blocks, pipelining the round instructions.
+#[must_use]
+pub(crate) fn encrypt_blocks8(schedule: &KeySchedule, blocks: &[Block; 8]) -> [Block; 8] {
+    // SAFETY: as in `encrypt_block`.
+    unsafe { arch::encrypt_blocks8(schedule, blocks) }
+}
+
+/// Decrypts one block via the equivalent inverse cipher.
+#[must_use]
+pub(crate) fn decrypt_block(schedule: &KeySchedule, ciphertext: &Block) -> Block {
+    // SAFETY: as in `encrypt_block`.
+    unsafe { arch::decrypt_block(schedule, ciphertext) }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod arch {
+    use super::{Block, KeySchedule};
+    use core::arch::x86_64::{
+        __m128i, _mm_aesdec_si128, _mm_aesdeclast_si128, _mm_aesenc_si128, _mm_aesenclast_si128,
+        _mm_aesimc_si128, _mm_loadu_si128, _mm_setzero_si128, _mm_storeu_si128, _mm_xor_si128,
+    };
+
+    /// Loads the expanded round keys as `__m128i` values. AES-NI
+    /// consumes round keys in the natural FIPS-197 byte order, exactly
+    /// as [`KeySchedule::round_key`] stores them.
+    #[inline]
+    #[target_feature(enable = "aes")]
+    unsafe fn round_keys(schedule: &KeySchedule) -> ([__m128i; 15], usize) {
+        let rounds = schedule.rounds();
+        let mut rk = [_mm_setzero_si128(); 15];
+        for (r, slot) in rk.iter_mut().enumerate().take(rounds + 1) {
+            *slot = _mm_loadu_si128(schedule.round_key(r).as_ptr().cast());
+        }
+        (rk, rounds)
+    }
+
+    #[inline]
+    #[target_feature(enable = "aes")]
+    unsafe fn store(state: __m128i) -> Block {
+        let mut out = [0u8; 16];
+        _mm_storeu_si128(out.as_mut_ptr().cast(), state);
+        out
+    }
+
+    #[target_feature(enable = "aes")]
+    pub(super) unsafe fn encrypt_block(schedule: &KeySchedule, plaintext: &Block) -> Block {
+        let (rk, rounds) = round_keys(schedule);
+        let mut s = _mm_xor_si128(_mm_loadu_si128(plaintext.as_ptr().cast()), rk[0]);
+        for key in &rk[1..rounds] {
+            s = _mm_aesenc_si128(s, *key);
+        }
+        store(_mm_aesenclast_si128(s, rk[rounds]))
+    }
+
+    /// Advances `N` independent states round-by-round: one `aesenc` per
+    /// state per round, issued back to back so the pipelined units
+    /// overlap their latencies.
+    #[inline]
+    #[target_feature(enable = "aes")]
+    unsafe fn encrypt_batch<const N: usize>(
+        schedule: &KeySchedule,
+        blocks: &[Block; N],
+    ) -> [Block; N] {
+        let (rk, rounds) = round_keys(schedule);
+        let mut s = [_mm_setzero_si128(); N];
+        for (state, block) in s.iter_mut().zip(blocks) {
+            *state = _mm_xor_si128(_mm_loadu_si128(block.as_ptr().cast()), rk[0]);
+        }
+        for key in &rk[1..rounds] {
+            for state in &mut s {
+                *state = _mm_aesenc_si128(*state, *key);
+            }
+        }
+        let mut out = [[0u8; 16]; N];
+        for (slot, state) in out.iter_mut().zip(s) {
+            *slot = store(_mm_aesenclast_si128(state, rk[rounds]));
+        }
+        out
+    }
+
+    #[target_feature(enable = "aes")]
+    pub(super) unsafe fn encrypt_blocks4(schedule: &KeySchedule, blocks: &[Block; 4]) -> [Block; 4] {
+        encrypt_batch(schedule, blocks)
+    }
+
+    #[target_feature(enable = "aes")]
+    pub(super) unsafe fn encrypt_blocks8(schedule: &KeySchedule, blocks: &[Block; 8]) -> [Block; 8] {
+        encrypt_batch(schedule, blocks)
+    }
+
+    /// Equivalent inverse cipher (FIPS-197 §5.3.5): middle round keys
+    /// pass through `aesimc`, consumed in reverse order.
+    #[target_feature(enable = "aes")]
+    pub(super) unsafe fn decrypt_block(schedule: &KeySchedule, ciphertext: &Block) -> Block {
+        let (rk, rounds) = round_keys(schedule);
+        let mut s = _mm_xor_si128(_mm_loadu_si128(ciphertext.as_ptr().cast()), rk[rounds]);
+        for key in rk[1..rounds].iter().rev() {
+            s = _mm_aesdec_si128(s, _mm_aesimc_si128(*key));
+        }
+        store(_mm_aesdeclast_si128(s, rk[0]))
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod arch {
+    use super::{Block, KeySchedule};
+    use core::arch::aarch64::{
+        uint8x16_t, vaesdq_u8, vaeseq_u8, vaesimcq_u8, vaesmcq_u8, vdupq_n_u8, veorq_u8, vld1q_u8,
+        vst1q_u8,
+    };
+
+    #[inline]
+    #[target_feature(enable = "aes")]
+    unsafe fn round_keys(schedule: &KeySchedule) -> ([uint8x16_t; 15], usize) {
+        let rounds = schedule.rounds();
+        let mut rk = [vdupq_n_u8(0); 15];
+        for (r, slot) in rk.iter_mut().enumerate().take(rounds + 1) {
+            *slot = vld1q_u8(schedule.round_key(r).as_ptr());
+        }
+        (rk, rounds)
+    }
+
+    #[inline]
+    #[target_feature(enable = "aes")]
+    unsafe fn store(state: uint8x16_t) -> Block {
+        let mut out = [0u8; 16];
+        vst1q_u8(out.as_mut_ptr(), state);
+        out
+    }
+
+    /// One state through the ARM round structure: `AESE` folds
+    /// AddRoundKey into SubBytes/ShiftRows, so the final round is
+    /// `AESE` with the second-to-last key followed by a bare XOR of the
+    /// last.
+    #[inline]
+    #[target_feature(enable = "aes")]
+    unsafe fn encrypt_state(mut s: uint8x16_t, rk: &[uint8x16_t; 15], rounds: usize) -> uint8x16_t {
+        for key in &rk[..rounds - 1] {
+            s = vaesmcq_u8(vaeseq_u8(s, *key));
+        }
+        veorq_u8(vaeseq_u8(s, rk[rounds - 1]), rk[rounds])
+    }
+
+    #[target_feature(enable = "aes")]
+    pub(super) unsafe fn encrypt_block(schedule: &KeySchedule, plaintext: &Block) -> Block {
+        let (rk, rounds) = round_keys(schedule);
+        store(encrypt_state(vld1q_u8(plaintext.as_ptr()), &rk, rounds))
+    }
+
+    /// Advances `N` independent states round-by-round, as on x86: the
+    /// `AESE`/`AESMC` pair fuses on every NEON-AES core, and eight
+    /// in-flight states cover its latency.
+    #[inline]
+    #[target_feature(enable = "aes")]
+    unsafe fn encrypt_batch<const N: usize>(
+        schedule: &KeySchedule,
+        blocks: &[Block; N],
+    ) -> [Block; N] {
+        let (rk, rounds) = round_keys(schedule);
+        let mut s = [vdupq_n_u8(0); N];
+        for (state, block) in s.iter_mut().zip(blocks) {
+            *state = vld1q_u8(block.as_ptr());
+        }
+        for key in &rk[..rounds - 1] {
+            for state in &mut s {
+                *state = vaesmcq_u8(vaeseq_u8(*state, *key));
+            }
+        }
+        let mut out = [[0u8; 16]; N];
+        for (slot, state) in out.iter_mut().zip(s) {
+            *slot = store(veorq_u8(vaeseq_u8(state, rk[rounds - 1]), rk[rounds]));
+        }
+        out
+    }
+
+    #[target_feature(enable = "aes")]
+    pub(super) unsafe fn encrypt_blocks4(schedule: &KeySchedule, blocks: &[Block; 4]) -> [Block; 4] {
+        encrypt_batch(schedule, blocks)
+    }
+
+    #[target_feature(enable = "aes")]
+    pub(super) unsafe fn encrypt_blocks8(schedule: &KeySchedule, blocks: &[Block; 8]) -> [Block; 8] {
+        encrypt_batch(schedule, blocks)
+    }
+
+    /// Equivalent inverse cipher: `AESD` XORs the key *before* the
+    /// inverse substitution, so the last round key is consumed first
+    /// untransformed, middle keys pass through `AESIMC`, and the first
+    /// round key is a trailing bare XOR.
+    #[target_feature(enable = "aes")]
+    pub(super) unsafe fn decrypt_block(schedule: &KeySchedule, ciphertext: &Block) -> Block {
+        let (rk, rounds) = round_keys(schedule);
+        let mut s = vaesdq_u8(vld1q_u8(ciphertext.as_ptr()), rk[rounds]);
+        for key in rk[1..rounds].iter().rev() {
+            s = vaesdq_u8(vaesimcq_u8(s), vaesimcq_u8(*key));
+        }
+        store(veorq_u8(s, rk[0]))
+    }
+}
+
+#[cfg(test)]
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+mod tests {
+    use super::*;
+    use crate::dispatch;
+    use crate::{Aes, KeySize};
+
+    fn schedule(key: &[u8]) -> KeySchedule {
+        let size = match key.len() {
+            16 => KeySize::Aes128,
+            24 => KeySize::Aes192,
+            _ => KeySize::Aes256,
+        };
+        KeySchedule::expand(key, size)
+    }
+
+    /// FIPS-197 Appendix C vectors straight through the intrinsic path.
+    #[test]
+    fn fips197_appendix_c_on_hw() {
+        if !dispatch::hw_available() {
+            return;
+        }
+        let pt: Block = core::array::from_fn(|i| (i as u8) * 0x11);
+        let cases: [(&[u8], Block); 3] = [
+            (
+                &(0x00..=0x0f).collect::<Vec<u8>>(),
+                [
+                    0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
+                    0xb4, 0xc5, 0x5a,
+                ],
+            ),
+            (
+                &(0x00..=0x17).collect::<Vec<u8>>(),
+                [
+                    0xdd, 0xa9, 0x7c, 0xa4, 0x86, 0x4c, 0xdf, 0xe0, 0x6e, 0xaf, 0x70, 0xa0, 0xec,
+                    0x0d, 0x71, 0x91,
+                ],
+            ),
+            (
+                &(0x00..=0x1f).collect::<Vec<u8>>(),
+                [
+                    0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45, 0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b,
+                    0x49, 0x60, 0x89,
+                ],
+            ),
+        ];
+        for (key, expected) in cases {
+            let ks = schedule(key);
+            assert_eq!(encrypt_block(&ks, &pt), expected);
+            assert_eq!(encrypt_blocks4(&ks, &[pt; 4]), [expected; 4]);
+            assert_eq!(encrypt_blocks8(&ks, &[pt; 8]), [expected; 8]);
+            assert_eq!(decrypt_block(&ks, &expected), pt);
+        }
+    }
+
+    /// Batched entry points must equal eight independent single-block
+    /// calls on distinct inputs (catches state cross-talk the all-equal
+    /// KAT batches cannot).
+    #[test]
+    fn batches_match_singles_on_distinct_blocks() {
+        if !dispatch::hw_available() {
+            return;
+        }
+        let key: Vec<u8> = (0x10..0x20).collect();
+        let ks = schedule(&key);
+        let blocks: [Block; 8] = core::array::from_fn(|i| core::array::from_fn(|j| (i * 16 + j) as u8));
+        let cts = encrypt_blocks8(&ks, &blocks);
+        for (block, ct) in blocks.iter().zip(&cts) {
+            assert_eq!(encrypt_block(&ks, block), *ct);
+            assert_eq!(decrypt_block(&ks, ct), *block);
+        }
+        let quad: [Block; 4] = core::array::from_fn(|i| blocks[i]);
+        assert_eq!(encrypt_blocks4(&ks, &quad), core::array::from_fn(|i| cts[i]));
+    }
+
+    /// The hw tier must agree with the reference oracle on random-ish
+    /// structured inputs across all key sizes.
+    #[test]
+    fn hw_matches_reference_oracle() {
+        if !dispatch::hw_available() {
+            return;
+        }
+        for key_len in [16usize, 24, 32] {
+            let key: Vec<u8> = (0..key_len as u8).map(|b| b.wrapping_mul(37).wrapping_add(11)).collect();
+            let ks = schedule(&key);
+            let oracle = Aes::new(&key).unwrap();
+            for seed in 0..64u64 {
+                let block: Block =
+                    core::array::from_fn(|i| (seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64) >> 13) as u8);
+                let expected = oracle.encrypt_block_reference(&block);
+                assert_eq!(encrypt_block(&ks, &block), expected, "key_len {key_len} seed {seed}");
+                assert_eq!(decrypt_block(&ks, &expected), block, "key_len {key_len} seed {seed}");
+            }
+        }
+    }
+}

@@ -6,24 +6,42 @@
 //! with the cache-line data. This crate provides that block cipher in
 //! portable Rust, with all three FIPS-197 key sizes.
 //!
-//! Two encryption paths share one key schedule:
+//! Three encryption tiers share one key schedule, selected at runtime
+//! by the dispatch layer (see [`AesBackend`]):
 //!
-//! - **T-table** ([`Aes::encrypt_block`], [`Aes::encrypt_blocks4`]) — the
-//!   hot path. Four `const`-derived 256×`u32` round tables fuse SubBytes,
-//!   ShiftRows, and MixColumns into table lookups, and the 4-block entry
-//!   point amortises key-schedule traffic across four independent blocks
-//!   (one 64-byte line pad per call). This is what the simulator's
-//!   per-write loop runs.
-//! - **Byte-oriented reference** ([`Aes::encrypt_block_reference`]) — a
-//!   direct realization of the FIPS-197 specification (S-box
-//!   substitution, row shifts, GF(2^8) column mixing), kept as the
-//!   auditable ground truth the fast path is differentially tested
-//!   against (all Appendix C vectors plus randomized key/block pairs).
+//! - **Hardware** ([`AesBackend::Hw`]) — AES-NI on x86_64 / NEON-AES on
+//!   aarch64, probed via `std::arch` feature detection with zero
+//!   external crates. The 8-block entry point
+//!   ([`Aes::encrypt_blocks8`]) pipelines the round instructions across
+//!   eight independent states; this is the default tier wherever the
+//!   CPU supports it.
+//! - **T-table** ([`AesBackend::Ttable`]) — the portable fallback. Four
+//!   `const`-derived 256×`u32` round tables fuse SubBytes, ShiftRows,
+//!   and MixColumns into table lookups; the batched entry points
+//!   amortise key-schedule traffic across 4 or 8 independent blocks
+//!   (one 64-byte line pad is half an 8-block batch).
+//! - **Byte-oriented reference** ([`AesBackend::Reference`],
+//!   [`Aes::encrypt_block_reference`]) — a direct realization of the
+//!   FIPS-197 specification (S-box substitution, row shifts, GF(2^8)
+//!   column mixing), kept as the auditable ground truth the fast tiers
+//!   are differentially tested against (all Appendix C vectors plus
+//!   randomized key/block pairs).
 //!
-//! Both paths are bit-identical by construction — the T-tables are
-//! generated from the same S-box and GF(2^8) code at compile time — and
-//! validated against the complete FIPS-197 Appendix C known-answer
-//! vectors and round-trip property tests.
+//! All tiers are bit-identical by construction — the T-tables are
+//! generated from the same S-box and GF(2^8) code at compile time, and
+//! the hardware rounds implement the identical FIPS-197 round function
+//! in silicon — and validated against the complete FIPS-197 Appendix C
+//! known-answer vectors and round-trip property tests. The process-wide
+//! default tier can be pinned with `DEUCE_AES_FORCE={reference,ttable,
+//! hw}`; individual instances override it via [`Aes::with_backend`].
+//!
+//! **Decryption** ([`Aes::decrypt_block`]) gets the hardware tier
+//! (`aesimc`/`aesdec` make it trivial there) but deliberately *no*
+//! T-table tier: on the T-table and reference backends it runs the
+//! byte-oriented inverse cipher. No scheme path in this workspace ever
+//! decrypts — counter-mode OTP decryption re-*encrypts* the counter
+//! block and XORs — so inverse T-tables would add four more KiB of
+//! const tables for a path only benchmarks and round-trip tests touch.
 //!
 //! This crate is a *simulation* component, not a hardened cryptographic
 //! library: no constant-time or side-channel guarantees are made.
@@ -40,15 +58,22 @@
 //! assert_eq!(cipher.decrypt_block(&ct), block);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `hw` module needs `std::arch`
+// intrinsics and opts back in with a module-level `allow` plus
+// per-call-site SAFETY invariants; everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dispatch;
 mod gf;
+#[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+mod hw;
 mod key_schedule;
 mod sbox;
 mod state;
 mod ttable;
 
+pub use dispatch::{available_backends, default_backend, hw_available, AesBackend, FORCE_ENV};
 pub use key_schedule::KeySchedule;
 
 use state::State;
@@ -113,13 +138,19 @@ pub struct Aes {
     /// Round keys re-packed as big-endian `u32` column words for the
     /// T-table path: `4 * (rounds + 1)` live words.
     enc_words: [u32; 4 * MAX_ROUND_KEYS],
+    /// The tier the batched/single encrypt entry points run on. The
+    /// reference path ([`Self::encrypt_block_reference`]) ignores it.
+    backend: AesBackend,
 }
 
 /// Maximum round keys across key sizes (AES-256: 14 rounds + initial).
 const MAX_ROUND_KEYS: usize = 15;
 
 impl Aes {
-    /// Creates a cipher from a key of any supported size.
+    /// Creates a cipher from a key of any supported size, running on
+    /// the process-wide default backend ([`default_backend`]: the
+    /// fastest tier the CPU supports, or the `DEUCE_AES_FORCE`
+    /// override).
     ///
     /// # Errors
     ///
@@ -144,7 +175,36 @@ impl Aes {
                 ]);
             }
         }
-        Ok(Self { schedule, enc_words })
+        Ok(Self {
+            schedule,
+            enc_words,
+            backend: dispatch::default_backend(),
+        })
+    }
+
+    /// Pins this instance to a specific tier, overriding the process
+    /// default — the hook in-process differential tests and per-tier
+    /// benchmarks use to compare tiers side by side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is [`AesBackend::Hw`] on a host without
+    /// hardware AES (a silent fallback would defeat the comparison the
+    /// caller asked for).
+    #[must_use]
+    pub fn with_backend(mut self, backend: AesBackend) -> Self {
+        assert!(
+            backend.is_available(),
+            "AES backend {backend} is not available on this host"
+        );
+        self.backend = backend;
+        self
+    }
+
+    /// The tier this instance's encrypt entry points run on.
+    #[must_use]
+    pub fn backend(&self) -> AesBackend {
+        self.backend
     }
 
     /// The key size of this cipher.
@@ -153,10 +213,19 @@ impl Aes {
         self.schedule.key_size()
     }
 
-    /// Encrypts a single 16-byte block (T-table fast path).
+    /// Encrypts a single 16-byte block on the selected backend.
     #[must_use]
     pub fn encrypt_block(&self, plaintext: &Block) -> Block {
-        ttable::encrypt_block(&self.enc_words, self.schedule.rounds(), plaintext)
+        match self.backend {
+            AesBackend::Reference => self.encrypt_block_reference(plaintext),
+            AesBackend::Ttable => {
+                ttable::encrypt_block(&self.enc_words, self.schedule.rounds(), plaintext)
+            }
+            #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+            AesBackend::Hw => hw::encrypt_block(&self.schedule, plaintext),
+            #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+            AesBackend::Hw => unreachable!("hw tier is never selectable on this architecture"),
+        }
     }
 
     /// Encrypts four independent 16-byte blocks in one pass over the key
@@ -167,7 +236,39 @@ impl Aes {
     /// call).
     #[must_use]
     pub fn encrypt_blocks4(&self, blocks: &[Block; 4]) -> [Block; 4] {
-        ttable::encrypt_blocks4(&self.enc_words, self.schedule.rounds(), blocks)
+        match self.backend {
+            AesBackend::Reference => blocks.map(|b| self.encrypt_block_reference(&b)),
+            AesBackend::Ttable => {
+                ttable::encrypt_blocks4(&self.enc_words, self.schedule.rounds(), blocks)
+            }
+            #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+            AesBackend::Hw => hw::encrypt_blocks4(&self.schedule, blocks),
+            #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+            AesBackend::Hw => unreachable!("hw tier is never selectable on this architecture"),
+        }
+    }
+
+    /// Encrypts eight independent 16-byte blocks — the widest batched
+    /// entry point, sized so one call covers a dual-pad DEUCE read (two
+    /// 64-byte line pads).
+    ///
+    /// On the hw tier the eight states pipeline through each
+    /// `aesenc`/`AESE` round back to back, hiding the instruction
+    /// latency; on the ttable tier they advance as two interleaved
+    /// 4-block streams. Output block `i` is exactly
+    /// `self.encrypt_block(&blocks[i])`.
+    #[must_use]
+    pub fn encrypt_blocks8(&self, blocks: &[Block; 8]) -> [Block; 8] {
+        match self.backend {
+            AesBackend::Reference => blocks.map(|b| self.encrypt_block_reference(&b)),
+            AesBackend::Ttable => {
+                ttable::encrypt_blocks8(&self.enc_words, self.schedule.rounds(), blocks)
+            }
+            #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+            AesBackend::Hw => hw::encrypt_blocks8(&self.schedule, blocks),
+            #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+            AesBackend::Hw => unreachable!("hw tier is never selectable on this architecture"),
+        }
     }
 
     /// Encrypts a single block with the byte-oriented FIPS-197 reference
@@ -196,8 +297,17 @@ impl Aes {
     }
 
     /// Decrypts a single 16-byte block.
+    ///
+    /// Runs on hardware when the backend is [`AesBackend::Hw`]
+    /// (`aesimc`/`aesdec` make the inverse cipher trivial there);
+    /// otherwise on the byte-oriented inverse path regardless of tier —
+    /// see the crate docs for why decryption earns no T-table tier.
     #[must_use]
     pub fn decrypt_block(&self, ciphertext: &Block) -> Block {
+        #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+        if self.backend == AesBackend::Hw {
+            return hw::decrypt_block(&self.schedule, ciphertext);
+        }
         let mut state = State::from_bytes(ciphertext);
         let rounds = self.schedule.rounds();
 
@@ -254,6 +364,26 @@ macro_rules! fixed_size_cipher {
                 self.0.encrypt_blocks4(blocks)
             }
 
+            /// Encrypts eight independent blocks in one batched call;
+            /// see [`Aes::encrypt_blocks8`].
+            #[must_use]
+            pub fn encrypt_blocks8(&self, blocks: &[Block; 8]) -> [Block; 8] {
+                self.0.encrypt_blocks8(blocks)
+            }
+
+            /// Pins this instance to a specific tier; see
+            /// [`Aes::with_backend`].
+            #[must_use]
+            pub fn with_backend(self, backend: AesBackend) -> Self {
+                Self(self.0.with_backend(backend))
+            }
+
+            /// The tier this instance runs on; see [`Aes::backend`].
+            #[must_use]
+            pub fn backend(&self) -> AesBackend {
+                self.0.backend()
+            }
+
             /// Encrypts a block with the byte-oriented reference path;
             /// see [`Aes::encrypt_block_reference`].
             #[must_use]
@@ -302,6 +432,9 @@ fixed_size_cipher!(
 );
 
 impl PartialEq for Aes {
+    /// Key equality only: two instances of the same key are equal even
+    /// when pinned to different tiers, because every tier computes the
+    /// identical function.
     fn eq(&self, other: &Self) -> bool {
         self.schedule == other.schedule
     }
@@ -328,11 +461,16 @@ mod tests {
             0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
             0x0b, 0x32,
         ];
-        let cipher = Aes128::new(&key);
-        assert_eq!(cipher.encrypt_block(&pt), expected);
-        assert_eq!(cipher.encrypt_block_reference(&pt), expected);
-        assert_eq!(cipher.encrypt_blocks4(&[pt; 4]), [expected; 4]);
-        assert_eq!(cipher.decrypt_block(&expected), pt);
+        // Every available tier must reproduce the appendix vector
+        // through every entry point.
+        for backend in available_backends() {
+            let cipher = Aes128::new(&key).with_backend(*backend);
+            assert_eq!(cipher.encrypt_block(&pt), expected, "{backend} single");
+            assert_eq!(cipher.encrypt_block_reference(&pt), expected);
+            assert_eq!(cipher.encrypt_blocks4(&[pt; 4]), [expected; 4], "{backend} x4");
+            assert_eq!(cipher.encrypt_blocks8(&[pt; 8]), [expected; 8], "{backend} x8");
+            assert_eq!(cipher.decrypt_block(&expected), pt, "{backend} decrypt");
+        }
     }
 
     /// FIPS-197 Appendix C.1: AES-128 known-answer test.
@@ -415,6 +553,42 @@ mod tests {
         let b = Aes128::new(&key_b);
         let pt = [0x42u8; 16];
         assert_ne!(a.encrypt_block(&pt), b.encrypt_block(&pt));
+    }
+
+    /// `encrypt_blocks8` must treat its eight blocks independently on
+    /// every tier (distinct inputs, compared block-by-block against the
+    /// single-block path).
+    #[test]
+    fn blocks8_matches_singles_on_every_tier() {
+        let key: Vec<u8> = (0u8..32).collect();
+        for key_len in [16usize, 24, 32] {
+            for backend in available_backends() {
+                let cipher = Aes::new(&key[..key_len]).unwrap().with_backend(*backend);
+                let blocks: [Block; 8] =
+                    core::array::from_fn(|i| core::array::from_fn(|j| (i * 31 + j * 7) as u8));
+                let cts = cipher.encrypt_blocks8(&blocks);
+                for (i, (block, ct)) in blocks.iter().zip(&cts).enumerate() {
+                    assert_eq!(
+                        cipher.encrypt_block(block),
+                        *ct,
+                        "{backend} key_len {key_len} block {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_backend_pins_the_tier() {
+        let cipher = Aes128::new(&[7u8; 16]).with_backend(AesBackend::Reference);
+        assert_eq!(cipher.backend(), AesBackend::Reference);
+        assert_eq!(Aes128::new(&[7u8; 16]).backend(), default_backend());
+    }
+
+    #[test]
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    fn hw_tier_is_rejected_off_supported_arches() {
+        assert!(!AesBackend::Hw.is_available());
     }
 }
 

@@ -1,15 +1,18 @@
-//! Differential validation of the T-table fast path against the
+//! Differential validation of every AES dispatch tier against the
 //! byte-oriented FIPS-197 reference path.
 //!
 //! The bit-identical-ciphertext contract of the crypto fast path rests
 //! on this suite: every FIPS-197 Appendix C known-answer vector plus a
 //! large randomized sweep of `(key, block)` pairs must agree byte for
-//! byte between `encrypt_block` (T-tables), `encrypt_block_reference`
-//! (byte-oriented), and `encrypt_blocks4` (the batched entry point),
-//! and decryption must invert both. `scripts/ci.sh` runs this file as
-//! part of the offline gate.
+//! byte between `encrypt_block`, `encrypt_blocks4`, `encrypt_blocks8`
+//! (the batched entry points) on every tier [`available_backends`]
+//! reports — reference, T-table, and hardware where the host has it —
+//! and decryption must invert the common ciphertext on each tier.
+//! `scripts/ci.sh` runs this file once per tier under
+//! `DEUCE_AES_FORCE`, so the process-default path is also exercised
+//! pinned to each backend.
 
-use deuce_aes::{Aes, Block};
+use deuce_aes::{available_backends, Aes, Block};
 use deuce_rng::{DeuceRng, Rng};
 
 /// FIPS-197 Appendix C: the `00 11 22 .. ff` plaintext under the
@@ -41,27 +44,41 @@ fn fips197_appendix_c_vectors_agree_across_paths() {
         ),
     ];
     for (key, expected) in cases {
-        let cipher = Aes::new(key).unwrap();
-        assert_eq!(cipher.encrypt_block(&pt), expected, "T-table KAT, key len {}", key.len());
-        assert_eq!(
-            cipher.encrypt_block_reference(&pt),
-            expected,
-            "reference KAT, key len {}",
-            key.len()
-        );
-        assert_eq!(
-            cipher.encrypt_blocks4(&[pt; 4]),
-            [expected; 4],
-            "batched KAT, key len {}",
-            key.len()
-        );
-        assert_eq!(cipher.decrypt_block(&expected), pt);
+        for backend in available_backends() {
+            let cipher = Aes::new(key).unwrap().with_backend(*backend);
+            assert_eq!(
+                cipher.encrypt_block(&pt),
+                expected,
+                "{backend} KAT, key len {}",
+                key.len()
+            );
+            assert_eq!(
+                cipher.encrypt_block_reference(&pt),
+                expected,
+                "reference KAT, key len {}",
+                key.len()
+            );
+            assert_eq!(
+                cipher.encrypt_blocks4(&[pt; 4]),
+                [expected; 4],
+                "{backend} batched x4 KAT, key len {}",
+                key.len()
+            );
+            assert_eq!(
+                cipher.encrypt_blocks8(&[pt; 8]),
+                [expected; 8],
+                "{backend} batched x8 KAT, key len {}",
+                key.len()
+            );
+            assert_eq!(cipher.decrypt_block(&expected), pt, "{backend} decrypt KAT");
+        }
     }
 }
 
-/// ≥10k random `(key, block)` pairs per key size: the fast path, the
-/// reference path, and the batch path must agree exactly, and
-/// decryption must invert the common ciphertext.
+/// ≥10k random `(key, block)` pairs per key size: on every available
+/// tier the single-block path, the reference path, and both batch
+/// widths must agree exactly, and decryption must invert the common
+/// ciphertext.
 #[test]
 fn randomized_differential_sweep() {
     let mut rng = DeuceRng::seed_from_u64(0xAE5_D1FF);
@@ -69,18 +86,40 @@ fn randomized_differential_sweep() {
         let mut key = vec![0u8; key_len];
         for i in 0..3500u32 {
             rng.fill(&mut key);
-            let cipher = Aes::new(&key).unwrap();
-            let mut blocks = [[0u8; 16]; 4];
+            let mut blocks = [[0u8; 16]; 8];
             for block in &mut blocks {
                 rng.fill(block);
             }
-            let batched = cipher.encrypt_blocks4(&blocks);
-            for (b, (block, batch_ct)) in blocks.iter().zip(&batched).enumerate() {
-                let fast = cipher.encrypt_block(block);
-                let reference = cipher.encrypt_block_reference(block);
-                assert_eq!(fast, reference, "key len {key_len}, iter {i}, block {b}");
-                assert_eq!(fast, *batch_ct, "batch divergence: key len {key_len}, iter {i}, block {b}");
-                assert_eq!(cipher.decrypt_block(&fast), *block, "round trip failed");
+            // The reference path is tier-independent: compute the
+            // expected ciphertexts once, then hold every tier to them.
+            let oracle = Aes::new(&key).unwrap();
+            let expected: [Block; 8] = blocks.map(|b| oracle.encrypt_block_reference(&b));
+            for backend in available_backends() {
+                let cipher = Aes::new(&key).unwrap().with_backend(*backend);
+                let batched8 = cipher.encrypt_blocks8(&blocks);
+                assert_eq!(
+                    batched8, expected,
+                    "x8 divergence: {backend}, key len {key_len}, iter {i}"
+                );
+                let lo: [Block; 4] = blocks[..4].try_into().unwrap();
+                let hi: [Block; 4] = blocks[4..].try_into().unwrap();
+                let batched4 = [cipher.encrypt_blocks4(&lo), cipher.encrypt_blocks4(&hi)];
+                for (b, (block, exp)) in blocks.iter().zip(&expected).enumerate() {
+                    assert_eq!(
+                        cipher.encrypt_block(block),
+                        *exp,
+                        "single divergence: {backend}, key len {key_len}, iter {i}, block {b}"
+                    );
+                    assert_eq!(
+                        batched4[b / 4][b % 4], *exp,
+                        "x4 divergence: {backend}, key len {key_len}, iter {i}, block {b}"
+                    );
+                    assert_eq!(
+                        cipher.decrypt_block(exp),
+                        *block,
+                        "round trip failed: {backend}, key len {key_len}, iter {i}, block {b}"
+                    );
+                }
             }
         }
     }

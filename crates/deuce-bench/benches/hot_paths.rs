@@ -3,7 +3,7 @@
 
 use deuce_bench::harness::{black_box, Harness, Throughput};
 
-use deuce_aes::Aes128;
+use deuce_aes::{available_backends, Aes128, AesBackend};
 use deuce_crypto::{EpochInterval, LineAddr, OtpEngine, SecretKey};
 use deuce_nvm::{write_slots, LineImage, MetaBits, SlotConfig};
 use deuce_schemes::{fnw_encode, DeuceLine, DeuceScheme, SchemeConfig, SchemeKind, SchemeLine, WordSize};
@@ -48,44 +48,64 @@ fn bench_pad_generation(c: &mut Harness) {
     group.finish();
 }
 
-/// Every crypto fast path against its reference twin: T-table vs
-/// byte-loop AES, batched four-block encryption, batched vs serial
-/// line-pad generation, the pad cache in its best case, and the
+/// Every crypto fast path against its reference twin, per dispatch
+/// tier: single-block AES, the 4- and 8-wide batched entry points, and
+/// line-pad generation on each tier the host offers, plus the pad
+/// cache in its best case, the paired dual-pad read path, and the
 /// word-wide pad XOR. The pairs quantify exactly what the fast paths
 /// buy while the differential tests pin them bit-identical.
 fn bench_pad_throughput(c: &mut Harness) {
-    let cipher = Aes128::new(&[7u8; 16]);
     let block = [0x42u8; 16];
-    let blocks = [block, [0x43; 16], [0x44; 16], [0x45; 16]];
-    let fast = OtpEngine::new(&SecretKey::from_seed(1));
-    let reference = OtpEngine::new_reference(&SecretKey::from_seed(1));
-    let cached = OtpEngine::new(&SecretKey::from_seed(1)).with_pad_cache(256);
+    let blocks4 = [block, [0x43; 16], [0x44; 16], [0x45; 16]];
+    let blocks8: [[u8; 16]; 8] = std::array::from_fn(|i| [0x42 + i as u8; 16]);
+    let key = SecretKey::from_seed(1);
+    let cached = OtpEngine::new(&key).with_pad_cache(256);
     let mut group = c.benchmark_group("pad_throughput");
     group.throughput(Throughput::Bytes(16));
     group.bench_function("aes_block_reference", |b| {
+        let cipher = Aes128::new(&[7u8; 16]).with_backend(AesBackend::Reference);
         b.iter(|| cipher.encrypt_block_reference(black_box(&block)));
     });
-    group.bench_function("aes_block_ttable", |b| {
-        b.iter(|| cipher.encrypt_block(black_box(&block)));
-    });
+    for backend in available_backends() {
+        if *backend == AesBackend::Reference {
+            continue; // covered above through the dedicated entry point
+        }
+        let cipher = Aes128::new(&[7u8; 16]).with_backend(*backend);
+        group.throughput(Throughput::Bytes(16));
+        group.bench_function(&format!("aes_block_{backend}"), |b| {
+            b.iter(|| cipher.encrypt_block(black_box(&block)));
+        });
+        group.throughput(Throughput::Bytes(64));
+        group.bench_function(&format!("aes_blocks4_{backend}"), |b| {
+            b.iter(|| cipher.encrypt_blocks4(black_box(&blocks4)));
+        });
+        group.throughput(Throughput::Bytes(128));
+        group.bench_function(&format!("aes_blocks8_{backend}"), |b| {
+            b.iter(|| cipher.encrypt_blocks8(black_box(&blocks8)));
+        });
+    }
     group.throughput(Throughput::Bytes(64));
-    group.bench_function("aes_blocks4_ttable", |b| {
-        b.iter(|| cipher.encrypt_blocks4(black_box(&blocks)));
-    });
-    group.bench_function("line_pad_reference", |b| {
-        let mut ctr = 0u64;
-        b.iter(|| {
-            ctr += 1;
-            reference.line_pad(black_box(LineAddr::new(0x1000)), black_box(ctr))
+    for backend in available_backends() {
+        let engine = OtpEngine::new(&key).with_aes_backend(*backend);
+        group.bench_function(&format!("line_pad_{backend}"), |b| {
+            let mut ctr = 0u64;
+            b.iter(|| {
+                ctr += 1;
+                engine.line_pad(black_box(LineAddr::new(0x1000)), black_box(ctr))
+            });
         });
-    });
-    group.bench_function("line_pad_batched", |b| {
-        let mut ctr = 0u64;
-        b.iter(|| {
-            ctr += 1;
-            fast.line_pad(black_box(LineAddr::new(0x1000)), black_box(ctr))
+        group.throughput(Throughput::Bytes(128));
+        group.bench_function(&format!("line_pad_pair_{backend}"), |b| {
+            // The DEUCE read path: LCTR and TCTR pads in one 8-block
+            // batch.
+            let mut ctr = 0u64;
+            b.iter(|| {
+                ctr += 2;
+                engine.line_pad_pair(black_box(LineAddr::new(0x1000)), ctr, ctr + 1)
+            });
         });
-    });
+        group.throughput(Throughput::Bytes(64));
+    }
     group.bench_function("line_pad_cached_hot", |b| {
         // Steady-state hit path: a working set far smaller than the
         // cache, revisited with unchanged counters.
@@ -96,7 +116,7 @@ fn bench_pad_throughput(c: &mut Harness) {
         });
     });
     group.bench_function("xor_line_words", |b| {
-        let pad = fast.line_pad(LineAddr::new(0x2000), 9);
+        let pad = cached.line_pad(LineAddr::new(0x2000), 9);
         let mut data = [0x5Au8; 64];
         b.iter(|| {
             pad.xor_in_place(black_box(&mut data));

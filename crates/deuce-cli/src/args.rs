@@ -36,6 +36,7 @@ USAGE:
                 [--telemetry <file>] [--progress <file>]
                 [--flight-recorder N] [--store-dir <dir> [--resident-pages N]]
                 [--replay]
+  deuce aes-backend
   deuce help
 
 STREAMING:
@@ -108,7 +109,19 @@ PAD CACHE:
   front of the AES engine. Pads are a pure function of (address,
   counter), so caching changes only AES work — every simulated metric
   is bit-identical — and the run summary (and telemetry, when enabled)
-  gains pad_cache_hits / pad_cache_misses rows.
+  gains pad_cache_hits / pad_cache_misses / pad_cache_prefills rows
+  (prefills are next-epoch pads warmed speculatively at each epoch
+  rollover).
+
+AES DISPATCH:
+  Pad generation resolves one cipher tier at engine construction:
+  hardware AES (AES-NI / NEON) when the host has it, the portable
+  T-table path otherwise, with the FIPS-197 byte-oriented reference as
+  the correctness oracle. All tiers are bit-identical; the chosen tier
+  appears as an aes_backend row in run and compare output and as a
+  gated telemetry record. DEUCE_AES_FORCE=reference|ttable|hw pins a
+  tier (hw errors where unavailable). `deuce aes-backend` prints the
+  detected tier and every tier available on this host.
 
 OUT-OF-CORE STORE:
   --store-file <path> backs the line store with a page file instead of
@@ -446,6 +459,8 @@ pub enum Command {
     Watch(WatchArgs),
     /// Run the sharded multi-tenant encrypted-memory service.
     Serve(ServeArgs),
+    /// Print the detected and available AES dispatch tiers.
+    AesBackend,
     /// Print usage.
     Help,
 }
@@ -525,6 +540,15 @@ impl Command {
 
         if subcommand == "serve" {
             return Self::parse_serve(args);
+        }
+
+        if subcommand == "aes-backend" {
+            if let Some(extra) = args.next() {
+                return Err(CliError::Usage(format!(
+                    "aes-backend takes no arguments (got {extra:?})"
+                )));
+            }
+            return Ok(Command::AesBackend);
         }
 
         let mut gen = GenArgs::default();
@@ -1335,6 +1359,15 @@ mod tests {
         ));
         assert!(matches!(
             parse(&["watch", "cp.jsonl", "--shard", "0/2"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn aes_backend_takes_no_arguments() {
+        assert!(matches!(parse(&["aes-backend"]), Ok(Command::AesBackend)));
+        assert!(matches!(
+            parse(&["aes-backend", "--force", "hw"]),
             Err(CliError::Usage(_))
         ));
     }

@@ -107,6 +107,23 @@ pub fn gen<W: Write>(args: &GenArgs, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `deuce aes-backend`: print the detected AES dispatch tier and every
+/// tier available on this host.
+///
+/// Scripts (notably ci.sh's per-tier differential loop) parse the
+/// `available` row to decide which `DEUCE_AES_FORCE` values to exercise.
+///
+/// # Errors
+///
+/// Returns I/O errors from the output stream.
+pub fn aes_backend<W: Write>(out: &mut W) -> Result<(), CliError> {
+    writeln!(out, "detected\t{}", deuce_crypto::default_backend())?;
+    let names: Vec<&str> =
+        deuce_crypto::available_backends().iter().map(|b| b.name()).collect();
+    writeln!(out, "available\t{}", names.join(" "))?;
+    Ok(())
+}
+
 /// `deuce stats`: summarize a saved trace (either format).
 ///
 /// # Errors
@@ -368,6 +385,7 @@ fn run_streamed<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
         drive_stream(args, &simulator, &mut *source, &mut NullRecorder)?
     };
     RunSummary::from(&result).write_to(out)?;
+    writeln!(out, "aes_backend\t{}", result.aes_backend)?;
     if let Some(report) = &result.faults {
         FaultSummary::from(report).write_to(out)?;
     }
@@ -414,6 +432,7 @@ pub fn run<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
         simulator.run_source(&mut TraceSource::new(&trace))?
     };
     RunSummary::from(&result).write_to(out)?;
+    writeln!(out, "aes_backend\t{}", result.aes_backend)?;
     if let Some(report) = &result.faults {
         FaultSummary::from(report).write_to(out)?;
     }
@@ -469,6 +488,11 @@ pub fn compare<W: Write>(args: &RunArgs, out: &mut W) -> Result<(), CliError> {
             RunSummary::from(result).metric_cells(),
             result.metadata_bits,
         )?;
+    }
+    // One dispatch tier per host: every scheme's engine resolves the
+    // same backend, so a single row covers the whole table.
+    if let Some((_, first, _)) = results.first() {
+        writeln!(out, "aes_backend\t{}", first.aes_backend)?;
     }
     if let Some(path) = &args.telemetry {
         let runs: Vec<(String, TelemetryRecorder)> = results
@@ -868,6 +892,7 @@ const KNOWN_KINDS: &[&str] = &[
     "profile",
     "retirement",
     "uncorrectable",
+    "aes_backend",
     "span",
     "flight_header",
     "flight",
@@ -925,19 +950,33 @@ pub fn report<W: Write>(args: &ReportArgs, out: &mut W) -> Result<(), CliError> 
         render_run(out, run, &events)?;
     }
     let profiles: Vec<&Event> = events.iter().filter(|e| e.kind() == "profile").collect();
-    if !profiles.is_empty() {
+    let backends: Vec<&Event> = events.iter().filter(|e| e.kind() == "aes_backend").collect();
+    // The dispatch tier is a host property, so it renders with the
+    // other machine-dependent output, below the marker diff tooling
+    // stops at.
+    if !profiles.is_empty() || !backends.is_empty() {
         writeln!(out, "== profiling (wall-clock; nondeterministic)")?;
-        writeln!(out, "run\tstage\tevents\tmean_ns\tp50_ns\tp99_ns")?;
-        for profile in profiles {
+        if !profiles.is_empty() {
+            writeln!(out, "run\tstage\tevents\tmean_ns\tp50_ns\tp99_ns")?;
+            for profile in profiles {
+                writeln!(
+                    out,
+                    "{}\t{}\t{}\t{:.0}\t{}\t{}",
+                    profile.str("run").unwrap_or("?"),
+                    profile.str("stage").unwrap_or("?"),
+                    profile.u64("events").unwrap_or(0),
+                    profile.num("mean_ns").unwrap_or(0.0),
+                    profile.u64("p50_ns").unwrap_or(0),
+                    profile.u64("p99_ns").unwrap_or(0),
+                )?;
+            }
+        }
+        for backend in backends {
             writeln!(
                 out,
-                "{}\t{}\t{}\t{:.0}\t{}\t{}",
-                profile.str("run").unwrap_or("?"),
-                profile.str("stage").unwrap_or("?"),
-                profile.u64("events").unwrap_or(0),
-                profile.num("mean_ns").unwrap_or(0.0),
-                profile.u64("p50_ns").unwrap_or(0),
-                profile.u64("p99_ns").unwrap_or(0),
+                "{}\taes_backend\t{}",
+                backend.str("run").unwrap_or("?"),
+                backend.str("backend").unwrap_or("?"),
             )?;
         }
     }

@@ -159,11 +159,13 @@ pub struct PadCacheSummary {
     pub hits: u64,
     /// Line-pad lookups that fell through to AES.
     pub misses: u64,
+    /// Next-epoch pads generated speculatively ahead of demand.
+    pub prefills: u64,
 }
 
 impl From<PadCacheStats> for PadCacheSummary {
     fn from(stats: PadCacheStats) -> Self {
-        Self { hits: stats.hits, misses: stats.misses }
+        Self { hits: stats.hits, misses: stats.misses, prefills: stats.prefills }
     }
 }
 
@@ -176,6 +178,7 @@ impl PadCacheSummary {
     pub fn write_to<W: Write>(&self, out: &mut W) -> io::Result<()> {
         writeln!(out, "pad_cache_hits\t{}", self.hits)?;
         writeln!(out, "pad_cache_misses\t{}", self.misses)?;
+        writeln!(out, "pad_cache_prefills\t{}", self.prefills)?;
         let total = self.hits + self.misses;
         let ratio = if total == 0 { 0.0 } else { self.hits as f64 / total as f64 };
         writeln!(out, "pad_cache_hit_ratio\t{:.3}", ratio)?;
@@ -297,12 +300,15 @@ mod tests {
     #[test]
     fn pad_cache_summary_renders_every_row() {
         let mut out = Vec::new();
-        PadCacheSummary::from(PadCacheStats { hits: 30, misses: 10 })
+        PadCacheSummary::from(PadCacheStats { hits: 30, misses: 10, prefills: 4 })
             .write_to(&mut out)
             .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("pad_cache_hits\t30"));
         assert!(text.contains("pad_cache_misses\t10"));
+        assert!(text.contains("pad_cache_prefills\t4"));
+        // Prefills are speculative work, not demand lookups: they stay
+        // out of the hit ratio.
         assert!(text.contains("pad_cache_hit_ratio\t0.750"));
         // An empty cache divides safely.
         let mut out = Vec::new();

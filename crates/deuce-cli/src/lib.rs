@@ -26,7 +26,7 @@ pub use args::{
     CliError, Command, FaultArgs, GenArgs, MergeArgs, ReportArgs, RunArgs, ServeArgs, StatsArgs,
     TraceFormat, WatchArgs,
 };
-pub use commands::{compare, gen, merge, report, run, serve, stats, sweep};
+pub use commands::{aes_backend, compare, gen, merge, report, run, serve, stats, sweep};
 pub use watch::watch;
 pub use format::{FaultSummary, RunSummary, METRIC_HEADER};
 
@@ -51,6 +51,7 @@ where
         Command::Report(args) => report(&args, out),
         Command::Watch(args) => watch(&args, out),
         Command::Serve(args) => serve(&args, out),
+        Command::AesBackend => aes_backend(out),
         Command::Help => {
             writeln!(out, "{}", args::USAGE)?;
             Ok(())

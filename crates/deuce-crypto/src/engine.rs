@@ -1,19 +1,25 @@
 //! The OTP generation engine (the "AES engine" box in Figs. 2–4).
 //!
-//! The hot path assembles all four counter-mode inputs of a line pad
-//! once — the `(address, counter, domain)` prefix is shared and only
-//! the sub-block byte varies — and encrypts them in one call to the
-//! batched T-table path ([`deuce_aes::Aes128::encrypt_blocks4`]). A
-//! byte-oriented reference mode ([`OtpEngine::new_reference`]) drives
-//! the same inputs through the FIPS-197 reference cipher serially; the
-//! two modes are differentially tested to emit bit-identical pads. An
-//! optional direct-mapped pad cache ([`OtpEngine::with_pad_cache`])
-//! short-circuits repeated `(address, counter)` line-pad requests.
+//! The hot path assembles the counter-mode inputs of a line pad once —
+//! the `(address, counter, domain)` prefix is shared and only the
+//! sub-block byte varies — and encrypts them in one batched cipher
+//! call: [`deuce_aes::Aes128::encrypt_blocks4`] for a single pad,
+//! [`deuce_aes::Aes128::encrypt_blocks8`] when a dual-pad read wants
+//! both the leading- and trailing-counter pads of a line at once
+//! ([`OtpEngine::line_pad_pair`]). Which cipher tier runs those batches
+//! (hardware AES, T-tables, or the byte-oriented reference oracle) is
+//! resolved by `deuce-aes`'s runtime dispatch — see
+//! [`OtpEngine::aes_backend`]; all tiers emit bit-identical pads and
+//! are differentially tested to. An optional direct-mapped pad cache
+//! ([`OtpEngine::with_pad_cache`]) short-circuits repeated `(address,
+//! counter)` line-pad requests, and the scheme layer can warm it
+//! speculatively ahead of epoch rollovers via
+//! [`OtpEngine::prefill_line_pad`].
 
 use std::sync::Mutex;
 use std::time::Instant;
 
-use deuce_aes::Aes128;
+use deuce_aes::{Aes128, AesBackend};
 
 use crate::pad::{BlockPad, Pad};
 use crate::pad_cache::{PadCache, PadCacheStats};
@@ -81,11 +87,6 @@ enum PadDomain {
 #[derive(Debug)]
 pub struct OtpEngine {
     cipher: Aes128,
-    /// When set, pads come from the serial byte-oriented reference
-    /// cipher instead of the batched T-table path. Output is
-    /// bit-identical either way; the flag exists for differential
-    /// testing and benchmark baselines.
-    reference: bool,
     /// Direct-mapped line-pad cache, present only when opted in via
     /// [`Self::with_pad_cache`]. A `Mutex` (never contended: each
     /// simulator owns its engine) keeps the engine `Sync` for shared
@@ -114,7 +115,6 @@ impl Clone for OtpEngine {
     fn clone(&self) -> Self {
         Self {
             cipher: self.cipher.clone(),
-            reference: self.reference,
             cache: self
                 .cache
                 .as_ref()
@@ -128,13 +128,13 @@ impl Clone for OtpEngine {
 }
 
 impl OtpEngine {
-    /// Creates an engine keyed with the controller's secret key, using
-    /// the batched T-table fast path.
+    /// Creates an engine keyed with the controller's secret key, on the
+    /// process-wide default cipher tier (the fastest the CPU supports,
+    /// or the `DEUCE_AES_FORCE` override).
     #[must_use]
     pub fn new(key: &SecretKey) -> Self {
         Self {
             cipher: Aes128::new(key.as_bytes()),
-            reference: false,
             cache: None,
             timing: None,
         }
@@ -144,16 +144,30 @@ impl OtpEngine {
     /// FIPS-197 reference cipher, one block at a time.
     ///
     /// Pads are bit-identical to [`Self::new`]'s; this constructor
-    /// exists so differential tests and benchmarks can compare the two
-    /// paths end to end.
+    /// exists so differential tests and benchmarks can compare the
+    /// tiers end to end.
     #[must_use]
     pub fn new_reference(key: &SecretKey) -> Self {
-        Self {
-            cipher: Aes128::new(key.as_bytes()),
-            reference: true,
-            cache: None,
-            timing: None,
-        }
+        Self::new(key).with_aes_backend(AesBackend::Reference)
+    }
+
+    /// Pins the engine's cipher to a specific tier, overriding the
+    /// process default — pad bytes are identical on every tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend` is unavailable on this host (hw on a CPU
+    /// without AES support).
+    #[must_use]
+    pub fn with_aes_backend(mut self, backend: AesBackend) -> Self {
+        self.cipher = self.cipher.with_backend(backend);
+        self
+    }
+
+    /// The cipher tier this engine's pads are generated on.
+    #[must_use]
+    pub fn aes_backend(&self) -> AesBackend {
+        self.cipher.backend()
     }
 
     /// Attaches a direct-mapped line-pad cache with at least `entries`
@@ -209,28 +223,41 @@ impl OtpEngine {
         input
     }
 
-    /// Generates a line pad from scratch (no cache involvement).
+    /// Generates a line pad from scratch (no cache involvement): four
+    /// counter blocks through one batched cipher call, on whatever tier
+    /// the cipher dispatched to.
     fn generate_line_pad(&self, addr: LineAddr, counter: u64) -> Pad {
         let input = Self::pad_input(addr, counter, PadDomain::Line);
+        let mut blocks = [input; 4];
+        for (sub, block) in blocks.iter_mut().enumerate() {
+            block[14] = sub as u8;
+        }
+        let cts = self.cipher.encrypt_blocks4(&blocks);
         let mut bytes = [0u8; LINE_BYTES];
-        if self.reference {
-            let mut block_in = input;
-            for sub in 0..4u8 {
-                block_in[14] = sub;
-                let ct = self.cipher.encrypt_block_reference(&block_in);
-                bytes[usize::from(sub) * 16..usize::from(sub) * 16 + 16].copy_from_slice(&ct);
-            }
-        } else {
-            let mut blocks = [input; 4];
-            for (sub, block) in blocks.iter_mut().enumerate() {
-                block[14] = sub as u8;
-            }
-            let cts = self.cipher.encrypt_blocks4(&blocks);
-            for (sub, ct) in cts.iter().enumerate() {
-                bytes[sub * 16..sub * 16 + 16].copy_from_slice(ct);
-            }
+        for (sub, ct) in cts.iter().enumerate() {
+            bytes[sub * 16..sub * 16 + 16].copy_from_slice(ct);
         }
         Pad::from_bytes(bytes)
+    }
+
+    /// Generates two line pads of the same address from scratch in one
+    /// 8-block batched cipher call — the dual-pad read's AES work,
+    /// issued wide enough to keep the hardware pipeline full.
+    fn generate_line_pad_pair(&self, addr: LineAddr, ctr_a: u64, ctr_b: u64) -> (Pad, Pad) {
+        let input_a = Self::pad_input(addr, ctr_a, PadDomain::Line);
+        let input_b = Self::pad_input(addr, ctr_b, PadDomain::Line);
+        let mut blocks = [input_a, input_a, input_a, input_a, input_b, input_b, input_b, input_b];
+        for (i, block) in blocks.iter_mut().enumerate() {
+            block[14] = (i % 4) as u8;
+        }
+        let cts = self.cipher.encrypt_blocks8(&blocks);
+        let mut bytes_a = [0u8; LINE_BYTES];
+        let mut bytes_b = [0u8; LINE_BYTES];
+        for sub in 0..4 {
+            bytes_a[sub * 16..sub * 16 + 16].copy_from_slice(&cts[sub]);
+            bytes_b[sub * 16..sub * 16 + 16].copy_from_slice(&cts[4 + sub]);
+        }
+        (Pad::from_bytes(bytes_a), Pad::from_bytes(bytes_b))
     }
 
     /// [`Self::generate_line_pad`], timed when timing is enabled.
@@ -245,6 +272,22 @@ impl OtpEngine {
         stats.calls += 1;
         stats.wall_ns = stats.wall_ns.saturating_add(elapsed);
         pad
+    }
+
+    /// [`Self::generate_line_pad_pair`], timed when timing is enabled.
+    /// A pair counts as two generation calls sharing one wall-clock
+    /// span — the stats stay comparable with the serial path.
+    fn timed_generate_line_pad_pair(&self, addr: LineAddr, ctr_a: u64, ctr_b: u64) -> (Pad, Pad) {
+        let Some(timing) = &self.timing else {
+            return self.generate_line_pad_pair(addr, ctr_a, ctr_b);
+        };
+        let started = Instant::now();
+        let pads = self.generate_line_pad_pair(addr, ctr_a, ctr_b);
+        let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut stats = timing.lock().expect("pad timing lock poisoned");
+        stats.calls += 2;
+        stats.wall_ns = stats.wall_ns.saturating_add(elapsed);
+        pads
     }
 
     /// Generates the 512-bit pad for a whole line at a given counter value.
@@ -262,6 +305,68 @@ impl OtpEngine {
         pad
     }
 
+    /// Generates the pads of one line at two counter values — a
+    /// dual-pad DEUCE read's leading and trailing pads — in a single
+    /// 8-block batched cipher call when both must be computed.
+    ///
+    /// Bytes are exactly `(self.line_pad(addr, ctr_a),
+    /// self.line_pad(addr, ctr_b))`. Cache accounting: one lookup per
+    /// *distinct* counter (equal counters — a line at its epoch start —
+    /// collapse to a single [`Self::line_pad`] call), and a lookup that
+    /// misses while the other hits falls back to a 4-block generation
+    /// for just the missing pad.
+    #[must_use]
+    pub fn line_pad_pair(&self, addr: LineAddr, ctr_a: u64, ctr_b: u64) -> (Pad, Pad) {
+        if ctr_a == ctr_b {
+            let pad = self.line_pad(addr, ctr_a);
+            return (pad, pad);
+        }
+        let Some(cache) = &self.cache else {
+            return self.timed_generate_line_pad_pair(addr, ctr_a, ctr_b);
+        };
+        let mut guard = cache.lock().expect("pad cache lock poisoned");
+        let found_a = guard.lookup(addr.value(), ctr_a);
+        let found_b = guard.lookup(addr.value(), ctr_b);
+        match (found_a, found_b) {
+            (Some(a), Some(b)) => (a, b),
+            (Some(a), None) => {
+                let b = self.timed_generate_line_pad(addr, ctr_b);
+                guard.insert(addr.value(), ctr_b, &b);
+                (a, b)
+            }
+            (None, Some(b)) => {
+                let a = self.timed_generate_line_pad(addr, ctr_a);
+                guard.insert(addr.value(), ctr_a, &a);
+                (a, b)
+            }
+            (None, None) => {
+                let (a, b) = self.timed_generate_line_pad_pair(addr, ctr_a, ctr_b);
+                guard.insert(addr.value(), ctr_a, &a);
+                guard.insert(addr.value(), ctr_b, &b);
+                (a, b)
+            }
+        }
+    }
+
+    /// Speculatively generates and caches the line pad for `(addr,
+    /// counter)` — the scheme layer calls this one write ahead of an
+    /// epoch rollover so the full-line re-encryption finds its pad
+    /// warm. A no-op without an attached cache, and when the pad is
+    /// already resident.
+    ///
+    /// Prefilling can only change *when* AES runs, never pad bytes, so
+    /// simulated results are unaffected; the speculative generation is
+    /// counted in [`PadCacheStats::prefills`], not as a miss.
+    pub fn prefill_line_pad(&self, addr: LineAddr, counter: u64) {
+        let Some(cache) = &self.cache else { return };
+        let mut guard = cache.lock().expect("pad cache lock poisoned");
+        if guard.contains(addr.value(), counter) {
+            return;
+        }
+        let pad = self.timed_generate_line_pad(addr, counter);
+        guard.insert_prefilled(addr.value(), counter, &pad);
+    }
+
     /// Generates the 128-bit pad for one 16-byte AES block of a line
     /// (Block-Level Encryption, §7.1), at that block's own counter value.
     ///
@@ -273,12 +378,7 @@ impl OtpEngine {
         assert!(block_index < 4, "block index {block_index} out of range 0..4");
         let mut input = Self::pad_input(addr, counter, PadDomain::Block);
         input[14] = u8::try_from(block_index).expect("checked above");
-        let ct = if self.reference {
-            self.cipher.encrypt_block_reference(&input)
-        } else {
-            self.cipher.encrypt_block(&input)
-        };
-        BlockPad::from_bytes(ct)
+        BlockPad::from_bytes(self.cipher.encrypt_block(&input))
     }
 }
 
@@ -392,6 +492,94 @@ mod tests {
         let stats = timed.pad_timing_stats().expect("timing attached");
         assert_eq!(stats.calls, 1, "cache hit must not count");
         assert_eq!(plain.pad_timing_stats(), None);
+    }
+
+    #[test]
+    fn line_pad_pair_matches_serial_calls() {
+        let e = engine();
+        let addr = LineAddr::new(0x1234);
+        for (a, b) in [(0u64, 1u64), (5, 37), (32, 32), ((1 << 48) - 1, 0)] {
+            let (pad_a, pad_b) = e.line_pad_pair(addr, a, b);
+            assert_eq!(pad_a, e.line_pad(addr, a), "ctr {a}");
+            assert_eq!(pad_b, e.line_pad(addr, b), "ctr {b}");
+        }
+    }
+
+    #[test]
+    fn line_pad_pair_cache_accounting() {
+        let cached = engine().with_pad_cache(64);
+        let addr = LineAddr::new(0x40);
+        // Cold: both lookups miss, one 8-block generation fills both.
+        let (a, b) = cached.line_pad_pair(addr, 3, 7);
+        let stats = cached.pad_cache_stats().expect("cache attached");
+        assert_eq!((stats.hits, stats.misses), (0, 2));
+        // Warm: both hit.
+        assert_eq!(cached.line_pad_pair(addr, 3, 7), (a, b));
+        let stats = cached.pad_cache_stats().expect("cache attached");
+        assert_eq!((stats.hits, stats.misses), (2, 2));
+        // Mixed: one hit, one miss generated on the 4-block fallback.
+        let (a2, c) = cached.line_pad_pair(addr, 3, 9);
+        assert_eq!(a2, a);
+        assert_eq!(c, engine().line_pad(addr, 9));
+        let stats = cached.pad_cache_stats().expect("cache attached");
+        assert_eq!((stats.hits, stats.misses), (3, 3));
+        // Equal counters collapse to one lookup.
+        let _ = cached.line_pad_pair(addr, 11, 11);
+        let stats = cached.pad_cache_stats().expect("cache attached");
+        assert_eq!((stats.hits, stats.misses), (3, 4));
+    }
+
+    #[test]
+    fn prefill_is_a_noop_without_a_cache() {
+        let e = engine();
+        e.prefill_line_pad(LineAddr::new(1), 1);
+        assert_eq!(e.pad_cache_stats(), None);
+    }
+
+    #[test]
+    fn prefilled_pad_is_identical_and_hits() {
+        let plain = engine();
+        let cached = engine().with_pad_cache(64);
+        let addr = LineAddr::new(0xbeef);
+        cached.prefill_line_pad(addr, 32);
+        cached.prefill_line_pad(addr, 32); // already resident: no-op
+        let stats = cached.pad_cache_stats().expect("cache attached");
+        assert_eq!((stats.hits, stats.misses, stats.prefills), (0, 0, 1));
+        assert_eq!(cached.line_pad(addr, 32), plain.line_pad(addr, 32));
+        let stats = cached.pad_cache_stats().expect("cache attached");
+        assert_eq!((stats.hits, stats.misses, stats.prefills), (1, 0, 1));
+    }
+
+    #[test]
+    fn prefill_timing_counts_a_generation() {
+        let timed = engine().with_pad_cache(8).with_pad_timing();
+        timed.prefill_line_pad(LineAddr::new(2), 64);
+        let stats = timed.pad_timing_stats().expect("timing attached");
+        assert_eq!(stats.calls, 1, "a prefill is real AES work");
+        let _ = timed.line_pad(LineAddr::new(2), 64); // hit: untimed
+        let stats = timed.pad_timing_stats().expect("timing attached");
+        assert_eq!(stats.calls, 1);
+    }
+
+    #[test]
+    fn backend_override_never_changes_pads() {
+        let default_engine = engine();
+        for backend in deuce_aes::available_backends() {
+            let pinned = engine().with_aes_backend(*backend);
+            assert_eq!(pinned.aes_backend(), *backend);
+            for ctr in [0u64, 1, 31, 32, 1000] {
+                assert_eq!(
+                    pinned.line_pad(LineAddr::new(0x77), ctr),
+                    default_engine.line_pad(LineAddr::new(0x77), ctr),
+                    "{backend} ctr {ctr}"
+                );
+                assert_eq!(
+                    pinned.block_pad(LineAddr::new(0x77), 2, ctr),
+                    default_engine.block_pad(LineAddr::new(0x77), 2, ctr),
+                    "{backend} ctr {ctr}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,10 @@ pub struct PadCacheStats {
     pub hits: u64,
     /// Lookups that fell through to AES pad generation.
     pub misses: u64,
+    /// Pads inserted speculatively (next-epoch precompute), before any
+    /// lookup asked for them. A prefill is not a miss — the demand
+    /// lookup that later finds it counts as an ordinary hit.
+    pub prefills: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -33,6 +37,7 @@ pub(crate) struct PadCache {
     slots: Vec<Option<Slot>>,
     hits: u64,
     misses: u64,
+    prefills: u64,
 }
 
 impl PadCache {
@@ -44,6 +49,7 @@ impl PadCache {
             slots: vec![None; capacity],
             hits: 0,
             misses: 0,
+            prefills: 0,
         }
     }
 
@@ -70,6 +76,14 @@ impl PadCache {
         }
     }
 
+    /// Whether `(addr, counter)` is resident, without touching the
+    /// hit/miss totals — the probe the speculative prefill path uses to
+    /// avoid regenerating a pad that is already cached.
+    pub(crate) fn contains(&self, addr: u64, counter: u64) -> bool {
+        let idx = self.index(addr, counter);
+        matches!(&self.slots[idx], Some(slot) if slot.addr == addr && slot.counter == counter)
+    }
+
     /// Stores `pad` in the slot for `(addr, counter)`, replacing any
     /// previous occupant of that slot.
     pub(crate) fn insert(&mut self, addr: u64, counter: u64, pad: &Pad) {
@@ -81,11 +95,19 @@ impl PadCache {
         });
     }
 
-    /// Lifetime hit/miss totals.
+    /// [`Self::insert`] for a speculatively generated pad, counted in
+    /// [`PadCacheStats::prefills`] instead of the demand totals.
+    pub(crate) fn insert_prefilled(&mut self, addr: u64, counter: u64, pad: &Pad) {
+        self.prefills += 1;
+        self.insert(addr, counter, pad);
+    }
+
+    /// Lifetime hit/miss/prefill totals.
     pub(crate) fn stats(&self) -> PadCacheStats {
         PadCacheStats {
             hits: self.hits,
             misses: self.misses,
+            prefills: self.prefills,
         }
     }
 }
@@ -105,7 +127,26 @@ mod tests {
         assert!(cache.lookup(0x40, 3).is_none());
         cache.insert(0x40, 3, &pad(0xAB));
         assert_eq!(cache.lookup(0x40, 3), Some(pad(0xAB)));
-        assert_eq!(cache.stats(), PadCacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.stats(), PadCacheStats { hits: 1, misses: 1, prefills: 0 });
+    }
+
+    #[test]
+    fn contains_probe_counts_nothing() {
+        let mut cache = PadCache::new(16);
+        assert!(!cache.contains(0x40, 3));
+        cache.insert(0x40, 3, &pad(0xAB));
+        assert!(cache.contains(0x40, 3));
+        assert!(!cache.contains(0x40, 4));
+        assert_eq!(cache.stats(), PadCacheStats::default(), "probes must not count");
+    }
+
+    #[test]
+    fn prefilled_insert_counts_prefill_then_hits() {
+        let mut cache = PadCache::new(16);
+        cache.insert_prefilled(0x80, 32, &pad(0xCD));
+        assert_eq!(cache.stats(), PadCacheStats { hits: 0, misses: 0, prefills: 1 });
+        assert_eq!(cache.lookup(0x80, 32), Some(pad(0xCD)));
+        assert_eq!(cache.stats(), PadCacheStats { hits: 1, misses: 0, prefills: 1 });
     }
 
     #[test]

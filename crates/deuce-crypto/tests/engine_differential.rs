@@ -1,21 +1,34 @@
-//! Differential validation of the batched T-table pad path against the
-//! serial byte-oriented reference engine.
+//! Differential validation of the batched pad path — on every AES
+//! dispatch tier the host offers — against the serial byte-oriented
+//! reference engine.
 //!
-//! `OtpEngine::new` (batched fast path, optionally cached) and
-//! `OtpEngine::new_reference` must emit bit-identical pads for every
-//! `(address, counter)` pair — this is the engine-level half of the
+//! `OtpEngine::new` (batched fast path, optionally cached, on hw or
+//! T-table tiers) and `OtpEngine::new_reference` must emit bit-identical
+//! pads for every `(address, counter)` pair, through the single, paired,
+//! and prefilled entry points — this is the engine-level half of the
 //! bit-identical-ciphertext contract (the cipher-level half lives in
-//! `deuce-aes/tests/differential.rs`).
+//! `deuce-aes/tests/differential.rs`). `scripts/ci.sh` additionally
+//! re-runs the suite with each `DEUCE_AES_FORCE` tier pinned.
 
-use deuce_crypto::{LineAddr, OtpEngine, SecretKey};
+use deuce_crypto::{available_backends, LineAddr, OtpEngine, SecretKey};
 use deuce_rng::{DeuceRng, Rng};
 
 #[test]
 fn line_pads_agree_across_engines() {
     let key = SecretKey::from_seed(0x5EED);
-    let fast = OtpEngine::new(&key);
-    let cached = OtpEngine::new(&key).with_pad_cache(32);
     let reference = OtpEngine::new_reference(&key);
+    let engines: Vec<(String, OtpEngine)> = available_backends()
+        .iter()
+        .flat_map(|b| {
+            [
+                (format!("{b}"), OtpEngine::new(&key).with_aes_backend(*b)),
+                (
+                    format!("{b}+cache"),
+                    OtpEngine::new(&key).with_aes_backend(*b).with_pad_cache(32),
+                ),
+            ]
+        })
+        .collect();
     let mut rng = DeuceRng::seed_from_u64(0x11AE);
     for _ in 0..2000 {
         let mut raw = [0u8; 16];
@@ -23,12 +36,49 @@ fn line_pads_agree_across_engines() {
         let addr = LineAddr::new(u64::from_le_bytes(raw[..8].try_into().unwrap()));
         let counter = u64::from_le_bytes(raw[8..].try_into().unwrap()) & ((1 << 48) - 1);
         let expected = reference.line_pad(addr, counter);
-        assert_eq!(fast.line_pad(addr, counter), expected, "addr {addr}, counter {counter}");
-        assert_eq!(
-            cached.line_pad(addr, counter),
-            expected,
-            "cached engine diverged at addr {addr}, counter {counter}"
-        );
+        for (label, engine) in &engines {
+            assert_eq!(
+                engine.line_pad(addr, counter),
+                expected,
+                "{label} diverged at addr {addr}, counter {counter}"
+            );
+        }
+    }
+}
+
+/// The paired entry point (DEUCE read path: LCTR and TCTR pads in one
+/// 8-block batch) and epoch prefill (speculative next-epoch insert) must
+/// be bit-identical to serial reference pads on every tier.
+#[test]
+fn paired_and_prefilled_pads_agree_across_engines() {
+    let key = SecretKey::from_seed(0xFA12);
+    let reference = OtpEngine::new_reference(&key);
+    let mut rng = DeuceRng::seed_from_u64(0x33CE);
+    for backend in available_backends() {
+        let plain = OtpEngine::new(&key).with_aes_backend(*backend);
+        let cached = OtpEngine::new(&key).with_aes_backend(*backend).with_pad_cache(64);
+        for _ in 0..500 {
+            let mut raw = [0u8; 24];
+            rng.fill(&mut raw);
+            let addr = LineAddr::new(u64::from_le_bytes(raw[..8].try_into().unwrap()));
+            let ctr_a = u64::from_le_bytes(raw[8..16].try_into().unwrap()) & ((1 << 48) - 1);
+            let ctr_b = u64::from_le_bytes(raw[16..].try_into().unwrap()) & ((1 << 48) - 1);
+            let exp_a = reference.line_pad(addr, ctr_a);
+            let exp_b = reference.line_pad(addr, ctr_b);
+            for engine in [&plain, &cached] {
+                let (a, b) = engine.line_pad_pair(addr, ctr_a, ctr_b);
+                assert_eq!(a, exp_a, "{backend} pair.a at addr {addr}");
+                assert_eq!(b, exp_b, "{backend} pair.b at addr {addr}");
+            }
+            // Prefill, then demand the same pad: must still match the
+            // reference byte for byte.
+            cached.prefill_line_pad(addr, ctr_b);
+            assert_eq!(
+                cached.line_pad(addr, ctr_b),
+                exp_b,
+                "{backend} prefilled pad diverged at addr {addr}, counter {ctr_b}"
+            );
+        }
     }
 }
 

@@ -21,7 +21,8 @@ use deuce_nvm::{LineImage, MetaBits};
 
 use crate::config::WordSize;
 use crate::core::{
-    assert_counter_width, dual_pad_read, mark_modified_words, reencrypt_marked_words, CtrState,
+    assert_counter_width, dual_pad_read, mark_modified_words, prefill_next_epoch_pad,
+    reencrypt_marked_words, CtrState,
 };
 use crate::scheme::{LineMut, LineRef, LineScheme, SchemeCell};
 use crate::WriteOutcome;
@@ -111,6 +112,10 @@ impl LineScheme for DeuceScheme {
         }
         line.state.modified = modified.raw();
         *line.shadow = *data;
+        // Overlap pad generation with scheduling: if the next write to
+        // this line will roll the epoch, park its full-line pad in the
+        // cache now.
+        prefill_next_epoch_pad(engine, addr, line.state.ctr.value(), self.counter_bits, self.epoch);
         WriteOutcome::from_images(
             old_image,
             LineImage::new(*line.stored, modified),
@@ -121,8 +126,7 @@ impl LineScheme for DeuceScheme {
 
     fn read(&self, engine: &OtpEngine, addr: LineAddr, line: LineRef<'_, DeuceState>) -> LineBytes {
         let v = VirtualCounterPair::derive(line.state.ctr.value(), self.epoch);
-        let pad_lctr = engine.line_pad(addr, v.lctr());
-        let pad_tctr = engine.line_pad(addr, v.tctr());
+        let (pad_lctr, pad_tctr) = engine.line_pad_pair(addr, v.lctr(), v.tctr());
         dual_pad_read(
             line.stored,
             &self.modified_bits(line.state),

@@ -10,7 +10,7 @@ use deuce_crypto::{EpochInterval, LineAddr, LineBytes, OtpEngine, VirtualCounter
 use deuce_nvm::{LineImage, MetaBits};
 
 use crate::config::WordSize;
-use crate::core::{assert_counter_width, CtrState};
+use crate::core::{assert_counter_width, prefill_next_epoch_pad, CtrState};
 use crate::scheme::{LineMut, LineRef, LineScheme, SchemeCell};
 use crate::WriteOutcome;
 
@@ -138,6 +138,8 @@ impl LineScheme for DeuceFnwScheme {
         }
         line.state.meta = meta.raw();
         *line.shadow = *data;
+        // Warm the next epoch's full-line pad while this write drains.
+        prefill_next_epoch_pad(engine, addr, line.state.ctr.value(), self.counter_bits, self.epoch);
         WriteOutcome::from_images(
             old_image,
             LineImage::new(*line.stored, meta),
@@ -149,8 +151,7 @@ impl LineScheme for DeuceFnwScheme {
     fn read(&self, engine: &OtpEngine, addr: LineAddr, line: LineRef<'_, DeuceFnwState>) -> LineBytes {
         let meta = MetaBits::from_raw(line.state.meta, 64);
         let v = VirtualCounterPair::derive(line.state.ctr.value(), self.epoch);
-        let pad_lctr = engine.line_pad(addr, v.lctr());
-        let pad_tctr = engine.line_pad(addr, v.tctr());
+        let (pad_lctr, pad_tctr) = engine.line_pad_pair(addr, v.lctr(), v.tctr());
         let w = Self::WORD.bytes();
         let mut out = [0u8; deuce_crypto::LINE_BYTES];
         for word in 0..Self::WORD.words_per_line() {

@@ -12,7 +12,7 @@ use deuce_crypto::{EpochInterval, LineAddr, LineBytes, OtpEngine, Pad, VirtualCo
 use deuce_nvm::{LineImage, MetaBits};
 
 use crate::config::WordSize;
-use crate::core::{assert_counter_width, CtrState};
+use crate::core::{assert_counter_width, prefill_next_epoch_pad, CtrState};
 use crate::fnw::{fnw_decode, fnw_encode};
 use crate::scheme::{LineMut, LineRef, LineScheme, SchemeCell};
 use crate::WriteOutcome;
@@ -181,6 +181,8 @@ impl LineScheme for DynDeuceScheme {
             }
         }
         *line.shadow = *data;
+        // Warm the next epoch's full-line pad while this write drains.
+        prefill_next_epoch_pad(engine, addr, line.state.ctr.value(), self.counter_bits, self.epoch);
         WriteOutcome::from_images(
             old_image,
             LineImage::new(*line.stored, Self::meta_bits(line.state)),
@@ -195,8 +197,7 @@ impl LineScheme for DynDeuceScheme {
             let ciphertext = fnw_decode(line.stored, &Self::tracking_bits(line.state), 16);
             engine.line_pad(addr, v.lctr()).xor(&ciphertext)
         } else {
-            let pad_lctr = engine.line_pad(addr, v.lctr());
-            let pad_tctr = engine.line_pad(addr, v.tctr());
+            let (pad_lctr, pad_tctr) = engine.line_pad_pair(addr, v.lctr(), v.tctr());
             let w = Self::WORD.bytes();
             let tracking = Self::tracking_bits(line.state);
             let mut out = [0u8; deuce_crypto::LINE_BYTES];

@@ -1,6 +1,6 @@
 //! Aggregated simulation results and derived metrics.
 
-use deuce_crypto::PadCacheStats;
+use deuce_crypto::{AesBackend, PadCacheStats};
 use deuce_nvm::{CellArray, EnergyParams, WearSummary};
 use deuce_schemes::StorePageStats;
 use deuce_wear::{relative_lifetime, LifetimePolicy};
@@ -92,6 +92,11 @@ pub struct SimResult {
     /// residency metric: paging never changes any other field of the
     /// result.
     pub store: Option<StorePageStats>,
+    /// The AES dispatch tier pad generation ran on, so throughput
+    /// numbers are attributable to a tier. A host/dispatch property:
+    /// every tier produces bit-identical pads, so no other field
+    /// depends on it.
+    pub aes_backend: AesBackend,
 }
 
 /// An empty result: every counter zero, no wear tracking, and the
@@ -120,6 +125,9 @@ impl Default for SimResult {
             faults: None,
             pad_cache: None,
             store: None,
+            // The portable tier; sessions overwrite this with the
+            // engine's actual dispatch choice.
+            aes_backend: AesBackend::default(),
         }
     }
 }

@@ -271,6 +271,7 @@ where
         // hit/miss totals are the delta over this session.
         let pad_cache_start = engine.borrow().pad_cache_stats();
         let pad_timing_start = engine.borrow().pad_timing_stats();
+        let aes_backend = engine.borrow().aes_backend();
 
         let store = StoreStage {
             store: LineStore::with_backend(scheme, backend),
@@ -288,6 +289,7 @@ where
             energy_params: config.energy,
             metadata_bits: meta_bits,
             faults: config.faults.map(|_| FaultReport::default()),
+            aes_backend,
             ..SimResult::default()
         };
 
@@ -524,13 +526,15 @@ where
             let stats = PadCacheStats {
                 hits: end.hits - start.hits,
                 misses: end.misses - start.misses,
+                prefills: end.prefills - start.prefills,
             };
             self.result.pad_cache = Some(stats);
             if R::ENABLED {
-                rec.pad_cache_totals(stats.hits, stats.misses);
+                rec.pad_cache_totals(stats.hits, stats.misses, stats.prefills);
             }
         }
         if R::ENABLED {
+            rec.aes_backend(self.result.aes_backend.name());
             rec.gauge(Gauge::ExecTimeNs, self.result.exec_time_ns);
             rec.gauge(Gauge::EnergyPj, self.result.energy_pj());
             rec.gauge(Gauge::HitRatio, self.result.counter_cache_hit_ratio);

@@ -614,6 +614,73 @@ mod tests {
         assert_eq!(plain.counter_flips, cached.counter_flips);
         assert_eq!(plain.total_slots, cached.total_slots);
         assert_eq!(plain.exec_time_ns, cached.exec_time_ns);
+        // Both runs report the same dispatch tier: the simulator always
+        // builds its engine through the default dispatch.
+        assert_eq!(plain.aes_backend, cached.aes_backend);
+    }
+
+    /// A short epoch forces rollovers, so the end-of-write speculative
+    /// prefill fires; warming next-epoch pads must change only the
+    /// hit/miss/prefill accounting, never the simulated results.
+    #[test]
+    fn epoch_rollover_prefill_never_changes_results() {
+        use crate::config::PadCacheConfig;
+        use deuce_crypto::EpochInterval;
+        use deuce_schemes::SchemeConfig;
+        let t = trace(Benchmark::Mcf, 3000);
+        let scheme = SchemeConfig::new(SchemeKind::Deuce)
+            .with_epoch(EpochInterval::new(4).unwrap());
+        let plain = Simulator::new(SimConfig::with_scheme(scheme)).run_trace(&t);
+        let cached = Simulator::new(
+            SimConfig::with_scheme(scheme).with_pad_cache(PadCacheConfig::DEFAULT),
+        )
+        .run_trace(&t);
+        assert!(plain.epoch_starts > 0, "short epoch must roll over");
+        let stats = cached.pad_cache.expect("pad cache enabled");
+        assert!(stats.prefills > 0, "rollovers must trigger prefills");
+        // Every epoch start past each line's first was prefilled one
+        // write earlier, so the demand lookups land on warmed entries.
+        assert!(stats.hits > 0, "prefilled pads must be claimed as hits");
+        assert_eq!(plain.writes, cached.writes);
+        assert_eq!(plain.data_flips, cached.data_flips);
+        assert_eq!(plain.meta_flips, cached.meta_flips);
+        assert_eq!(plain.counter_flips, cached.counter_flips);
+        assert_eq!(plain.total_slots, cached.total_slots);
+        assert_eq!(plain.epoch_starts, cached.epoch_starts);
+        assert_eq!(plain.exec_time_ns, cached.exec_time_ns);
+    }
+
+    /// DEUCE+FNW feeds the cache from the 8-wide batched pad path
+    /// (writes generate full-line pads, rollovers prefill the next
+    /// epoch's); accounting must cover every pad request and the run
+    /// must stay bit-identical to the uncached one. (Read-side pair
+    /// accounting is covered at the engine layer — the simulator's
+    /// read stage charges timing without decrypting.)
+    #[test]
+    fn pad_cache_accounting_under_batched_pads() {
+        use crate::config::PadCacheConfig;
+        let t = trace(Benchmark::Libquantum, 2500);
+        let plain = Simulator::new(SimConfig::new(SchemeKind::DeuceFnw)).run_trace(&t);
+        let cached = Simulator::new(
+            SimConfig::new(SchemeKind::DeuceFnw).with_pad_cache(PadCacheConfig::DEFAULT),
+        )
+        .run_trace(&t);
+        let stats = cached.pad_cache.expect("pad cache enabled");
+        // One demand lookup per counted write plus one per initial
+        // placement, all through the batched whole-line path.
+        assert!(
+            stats.hits + stats.misses >= cached.writes,
+            "batched writes must be accounted: {stats:?} vs {} writes",
+            cached.writes,
+        );
+        assert!(stats.prefills > 0, "epoch rollovers must warm next-epoch pads");
+        assert!(stats.hits > 0, "warmed pads must be claimed as hits");
+        assert_eq!(plain.writes, cached.writes);
+        assert_eq!(plain.reads, cached.reads);
+        assert_eq!(plain.data_flips, cached.data_flips);
+        assert_eq!(plain.meta_flips, cached.meta_flips);
+        assert_eq!(plain.total_slots, cached.total_slots);
+        assert_eq!(plain.exec_time_ns, cached.exec_time_ns);
     }
 
     #[test]

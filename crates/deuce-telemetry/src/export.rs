@@ -141,12 +141,21 @@ pub fn write_jsonl<W: Write>(
         for (name, value) in [
             ("pad_cache_hits", pad_cache.hits),
             ("pad_cache_misses", pad_cache.misses),
+            ("pad_cache_prefills", pad_cache.prefills),
         ] {
             writeln!(
                 out,
                 "{{\"type\":\"counter\",\"run\":\"{run}\",\"name\":\"{name}\",\"value\":{value}}}",
             )?;
         }
+    }
+    // The AES dispatch record exists only for runs that reported a
+    // tier, so exports fed by pre-dispatch drivers are byte-identical.
+    if let Some(backend) = recorder.aes_backend_name() {
+        writeln!(
+            out,
+            "{{\"type\":\"aes_backend\",\"run\":\"{run}\",\"backend\":\"{backend}\"}}",
+        )?;
     }
     // Store-paging counters exist only for runs that page the line
     // store, so arena-backed exports are byte-identical to pre-paging
@@ -271,6 +280,7 @@ pub fn write_csv<W: Write>(
     if let Some(pad_cache) = recorder.pad_cache() {
         writeln!(out, "{run},pad_cache_hits,{}", pad_cache.hits)?;
         writeln!(out, "{run},pad_cache_misses,{}", pad_cache.misses)?;
+        writeln!(out, "{run},pad_cache_prefills,{}", pad_cache.prefills)?;
     }
     if let Some(store) = recorder.store() {
         writeln!(out, "{run},store_page_faults,{}", store.page_faults)?;
@@ -399,12 +409,13 @@ mod tests {
 
         let mut r = sample_recorder();
         r.pad_cache_active();
-        r.pad_cache_totals(40, 8);
+        r.pad_cache_totals(40, 8, 6);
         let mut buf = Vec::new();
         write_jsonl(&mut buf, "cached", &r).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("\"name\":\"pad_cache_hits\",\"value\":40"));
         assert!(text.contains("\"name\":\"pad_cache_misses\",\"value\":8"));
+        assert!(text.contains("\"name\":\"pad_cache_prefills\",\"value\":6"));
         assert!(crate::parse::parse_jsonl(&text).is_ok());
 
         let mut buf = Vec::new();
@@ -412,6 +423,31 @@ mod tests {
         let csv = String::from_utf8(buf).unwrap();
         assert!(csv.contains("cached,pad_cache_hits,40"));
         assert!(csv.contains("cached,pad_cache_misses,8"));
+        assert!(csv.contains("cached,pad_cache_prefills,6"));
+    }
+
+    #[test]
+    fn aes_backend_record_appears_only_when_reported() {
+        // Pre-dispatch drivers never call the hook: no record anywhere.
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, "plain", &sample_recorder()).unwrap();
+        let plain = String::from_utf8(buf).unwrap();
+        assert!(
+            !plain.contains("aes_backend"),
+            "dispatch-free export must be unchanged"
+        );
+
+        let mut r = sample_recorder();
+        r.aes_backend("hw");
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, "dispatched", &r).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains(
+            "{\"type\":\"aes_backend\",\"run\":\"dispatched\",\"backend\":\"hw\"}"
+        ));
+        let events = crate::parse::parse_jsonl(&text).unwrap();
+        let rec = events.iter().find(|e| e.kind() == "aes_backend").unwrap();
+        assert_eq!(rec.str("backend"), Some("hw"));
     }
 
     #[test]
@@ -501,7 +537,8 @@ mod tests {
         });
         r.ecp_entries_used(1);
         r.pad_cache_active();
-        r.pad_cache_totals(40, 8);
+        r.pad_cache_totals(40, 8, 6);
+        r.aes_backend("ttable");
         r.span_begin("run");
         r.stage_ns(Stage::Counter, 90);
         r.span_end();
@@ -520,6 +557,7 @@ mod tests {
             "hist_bucket",
             "retirement",
             "uncorrectable",
+            "aes_backend",
             "sample",
             "profile",
             "span",

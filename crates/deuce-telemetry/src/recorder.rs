@@ -225,6 +225,9 @@ pub struct PadCacheTelemetry {
     pub hits: u64,
     /// Line-pad lookups that fell through to AES pad generation.
     pub misses: u64,
+    /// Pads generated speculatively ahead of demand (next-epoch
+    /// prefills); counted as neither hit nor miss.
+    pub prefills: u64,
 }
 
 /// Store-paging telemetry, materialised only when a run uses a paged
@@ -304,9 +307,16 @@ pub trait Recorder {
     /// hits.
     fn pad_cache_active(&mut self) {}
 
-    /// Sets the run's end-of-run pad-cache hit/miss totals.
-    fn pad_cache_totals(&mut self, hits: u64, misses: u64) {
-        let _ = (hits, misses);
+    /// Sets the run's end-of-run pad-cache hit/miss/prefill totals.
+    fn pad_cache_totals(&mut self, hits: u64, misses: u64, prefills: u64) {
+        let _ = (hits, misses, prefills);
+    }
+
+    /// Records which AES dispatch tier generated this run's pads. A
+    /// host/dispatch property: every tier is bit-identical, so nothing
+    /// simulated depends on it.
+    fn aes_backend(&mut self, backend: &'static str) {
+        let _ = backend;
     }
 
     /// Announces that the run pages its line store out of core, so
@@ -400,6 +410,7 @@ pub struct TelemetryRecorder {
     faults: Option<FaultTelemetry>,
     pad_cache: Option<PadCacheTelemetry>,
     store: Option<StoreTelemetry>,
+    aes_backend: Option<&'static str>,
     spans: Option<SpanTrace>,
     flight: Option<FlightRecorder>,
 }
@@ -426,6 +437,7 @@ impl TelemetryRecorder {
             faults: None,
             pad_cache: None,
             store: None,
+            aes_backend: None,
             spans: None,
             flight: None,
         }
@@ -516,6 +528,14 @@ impl TelemetryRecorder {
         self.store.as_ref()
     }
 
+    /// The AES dispatch tier the run reported, if any (the same gating
+    /// discipline as the other optional sections: recorders fed by
+    /// pre-dispatch drivers export byte-identically).
+    #[must_use]
+    pub fn aes_backend_name(&self) -> Option<&'static str> {
+        self.aes_backend
+    }
+
     /// The span trace, present only with
     /// [`with_spans`](Self::with_spans).
     #[must_use]
@@ -589,10 +609,15 @@ impl Recorder for TelemetryRecorder {
         self.pad_cache.get_or_insert_with(PadCacheTelemetry::default);
     }
 
-    fn pad_cache_totals(&mut self, hits: u64, misses: u64) {
+    fn pad_cache_totals(&mut self, hits: u64, misses: u64, prefills: u64) {
         let cache = self.pad_cache.get_or_insert_with(PadCacheTelemetry::default);
         cache.hits = hits;
         cache.misses = misses;
+        cache.prefills = prefills;
+    }
+
+    fn aes_backend(&mut self, backend: &'static str) {
+        self.aes_backend = Some(backend);
     }
 
     fn store_paging_active(&mut self) {
@@ -711,8 +736,19 @@ mod tests {
         assert!(r.pad_cache().is_none(), "cache-free runs carry no pad-cache section");
         r.pad_cache_active();
         assert_eq!(r.pad_cache(), Some(&PadCacheTelemetry::default()));
-        r.pad_cache_totals(12, 3);
-        assert_eq!(r.pad_cache(), Some(&PadCacheTelemetry { hits: 12, misses: 3 }));
+        r.pad_cache_totals(12, 3, 5);
+        assert_eq!(
+            r.pad_cache(),
+            Some(&PadCacheTelemetry { hits: 12, misses: 3, prefills: 5 })
+        );
+    }
+
+    #[test]
+    fn aes_backend_absent_until_reported() {
+        let mut r = TelemetryRecorder::default();
+        assert!(r.aes_backend_name().is_none(), "pre-dispatch exports stay unchanged");
+        r.aes_backend("ttable");
+        assert_eq!(r.aes_backend_name(), Some("ttable"));
     }
 
     #[test]

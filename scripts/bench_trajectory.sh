@@ -26,6 +26,7 @@ printf '%-20s %-12s %-30s %s\n' file date metric value
 for f in "${files[@]}"; do
     when="$(field "$f" date)"
     for metric in speedup_encrypt_block speedup_line_pad speedup_run_trace \
+        aes_backend_detected line_pad_ns_detected speedup_line_pad_vs_ttable \
         resident_ratio writes_per_sec_materialised writes_per_sec_streaming \
         store_resident_ratio writes_per_sec_paged_store \
         requests_per_sec_serve serve_parallel_speedup; do

@@ -10,13 +10,39 @@ cd "$(dirname "$0")/.."
 
 echo "==> cargo build --release --offline --workspace"
 cargo build --release --offline --workspace
+DEUCE=target/release/deuce
 
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
-echo "==> AES differential suite (T-table vs reference, FIPS-197 + randomized)"
-cargo test -q --offline -p deuce-aes --test differential
-cargo test -q --offline -p deuce-crypto --test engine_differential
+echo "==> AES differential suites, once per dispatch tier (FIPS-197 + randomized)"
+TIERS="$("$DEUCE" aes-backend | awk -F'\t' '$1 == "available" {print $2}')"
+DETECTED="$("$DEUCE" aes-backend | awk -F'\t' '$1 == "detected" {print $2}')"
+echo "    detected: $DETECTED; exercising: $TIERS"
+# Cross-check dispatch against the kernel's own CPU flags: if this host
+# has hardware AES, the hw tier must be in the exercised set — a silent
+# fall-back to ttable here would leave the fast path untested.
+if grep -q '^flags.* aes' /proc/cpuinfo 2>/dev/null; then
+    case " $TIERS " in
+        *" hw "*) ;;
+        *)
+            echo "FAIL: /proc/cpuinfo advertises AES but the hw tier is not available" >&2
+            exit 1
+            ;;
+    esac
+fi
+case " $TIERS " in
+    *" $DETECTED "*) ;;
+    *)
+        echo "FAIL: detected tier '$DETECTED' missing from available set '$TIERS'" >&2
+        exit 1
+        ;;
+esac
+for tier in $TIERS; do
+    echo "    DEUCE_AES_FORCE=$tier"
+    DEUCE_AES_FORCE=$tier cargo test -q --offline -p deuce-aes --test differential
+    DEUCE_AES_FORCE=$tier cargo test -q --offline -p deuce-crypto --test engine_differential
+done
 
 echo "==> cargo clippy -q --offline --workspace --all-targets -- -D warnings"
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
@@ -30,7 +56,6 @@ DEUCE_BENCH_SMOKE=1 cargo bench -q --offline -p deuce-bench --bench hot_paths > 
 echo "==> telemetry smoke test (deterministic report vs golden)"
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
-DEUCE=target/release/deuce
 "$DEUCE" gen --benchmark libq --writes 2000 --lines 64 --seed 42 \
     -o "$SMOKE_DIR/smoke.trace" > /dev/null
 "$DEUCE" run --trace "$SMOKE_DIR/smoke.trace" --scheme deuce \
@@ -65,6 +90,18 @@ echo "==> streaming-run smoke test (run --stream == materialised run)"
 "$DEUCE" run --trace "$SMOKE_DIR/smoke.trace" --scheme deuce > "$SMOKE_DIR/run.materialised"
 "$DEUCE" run --trace "$SMOKE_DIR/smoke.trace" --scheme deuce --stream > "$SMOKE_DIR/run.streamed"
 diff -u "$SMOKE_DIR/run.materialised" "$SMOKE_DIR/run.streamed"
+
+echo "==> forced-tier smoke test (every tier end-to-end byte-identical)"
+# Every tier must produce the identical run summary; only the
+# aes_backend row — which names the tier and exists to differ — is
+# stripped before the diff.
+for tier in $TIERS; do
+    DEUCE_AES_FORCE=$tier "$DEUCE" run --trace "$SMOKE_DIR/smoke.trace" --scheme deuce \
+        > "$SMOKE_DIR/run.$tier"
+    grep -q "^aes_backend	$tier\$" "$SMOKE_DIR/run.$tier"
+    grep -v '^aes_backend' "$SMOKE_DIR/run.$tier" \
+        | diff -u <(grep -v '^aes_backend' "$SMOKE_DIR/run.materialised") -
+done
 
 echo "==> paged-store smoke test (page-file run == arena run, byte-identical)"
 "$DEUCE" gen --benchmark mcf --writes 1000 --lines 192 --seed 9 \
